@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artefact (DESIGN.md per-experiment
+index) and asserts its *shape* — who wins, by what factor — while
+pytest-benchmark times the regeneration itself.
+"""
+
+import pytest
+
+from repro.hw.arch import create_machine
+
+
+@pytest.fixture
+def westmere():
+    return create_machine("westmere_ep")
+
+
+@pytest.fixture
+def nehalem():
+    return create_machine("nehalem_ep")
+
+
+@pytest.fixture
+def istanbul():
+    return create_machine("amd_istanbul")

@@ -1,0 +1,70 @@
+"""Ablation: wavefront group layouts (paper reference [8]).
+
+Figure 11 studies one group layout (1x4) and its mis-pinned variant;
+reference [8] shows the layout space matters: independent groups per
+socket use both memory controllers and both shared caches.  This bench
+sweeps the layouts at the Table II operating point (N = 480) and
+asserts their ordering:
+
+    2 x (1x2), one group per socket   >   1x4, one socket
+    1x4, one socket                   >   threaded-NT baseline
+    threaded-NT baseline              >   1x4 split across sockets
+"""
+
+import pytest
+
+from repro.hw.arch import create_machine
+from repro.oskern.scheduler import OSKernel
+from repro.workloads.jacobi import JacobiConfig, run_jacobi
+
+N = 480
+SWEEPS = 6
+
+LAYOUTS = {
+    # label: (variant, groups, pin)
+    "2x(1x2) both sockets": ("wavefront", 2, [0, 1, 4, 5]),
+    "1x4 one socket": ("wavefront", 1, [0, 1, 2, 3]),
+    "threaded-NT baseline": ("threaded_nt", 1, [0, 1, 2, 3]),
+    "1x4 split (hazard)": ("wavefront", 1, [0, 1, 4, 5]),
+}
+
+
+@pytest.fixture(scope="module")
+def mlups():
+    machine = create_machine("nehalem_ep")
+    kernel = OSKernel(machine, seed=9)
+    out = {}
+    for label, (variant, groups, pin) in LAYOUTS.items():
+        cfg = JacobiConfig(variant, N, SWEEPS, 4, groups=groups)
+        out[label] = run_jacobi(machine, kernel, cfg, pin_cpus=pin).mlups
+    return out
+
+
+def test_layout_sweep(benchmark):
+    def sweep():
+        machine = create_machine("nehalem_ep")
+        kernel = OSKernel(machine, seed=9)
+        return {label: run_jacobi(
+            machine, kernel,
+            JacobiConfig(v, N, SWEEPS, 4, groups=g), pin_cpus=p).mlups
+            for label, (v, g, p) in LAYOUTS.items()}
+    values = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    assert set(values) == set(LAYOUTS)
+
+
+def test_per_socket_groups_win(mlups, benchmark):
+    benchmark(lambda: mlups["2x(1x2) both sockets"])
+    assert mlups["2x(1x2) both sockets"] > 1.3 * mlups["1x4 one socket"]
+
+
+def test_full_ordering(mlups, benchmark):
+    benchmark(lambda: dict(mlups))
+    ordered = ["2x(1x2) both sockets", "1x4 one socket",
+               "threaded-NT baseline", "1x4 split (hazard)"]
+    values = [mlups[label] for label in ordered]
+    assert values == sorted(values, reverse=True), mlups
+
+
+def test_split_costs_factor_two(mlups, benchmark):
+    benchmark(lambda: mlups["1x4 split (hazard)"])
+    assert mlups["1x4 split (hazard)"] < 0.65 * mlups["1x4 one socket"]

@@ -1,0 +1,101 @@
+"""Ablation: multiplexing accuracy vs measurement length.
+
+DESIGN.md design-decision 4: "Multiplexing trades accuracy for
+coverage."  The paper warns that with multiplexed event sets
+"short-running measurements will then carry large statistical errors."
+This bench quantifies that: a bursty workload is measured with an
+increasing number of round-robin rotations; the extrapolation error of
+the burst event shrinks as the run gets longer (more rotations), and a
+steady workload always extrapolates exactly.
+"""
+
+import pytest
+
+from repro.core.perfctr import LikwidPerfCtr
+from repro.core.perfctr.multiplex import measure_multiplexed
+from repro.hw.arch import create_machine
+from repro.hw.events import Channel
+
+SETS = ["SIMD_COMP_INST_RETIRED_PACKED_DOUBLE:PMC0", "L1D_REPL:PMC0"]
+TRUE_TOTAL = 12_000.0
+
+
+def bursty_runner(machine, burst_slices: int, total_slices: int):
+    """All flops fire in the first *burst_slices* slices."""
+    state = {"slice": 0}
+    per_burst = TRUE_TOTAL / burst_slices
+
+    def run(_fraction):
+        state["slice"] += 1
+        flops = per_burst if state["slice"] <= burst_slices else 0.0
+        machine.apply_counts({0: {Channel.FLOPS_PACKED_DP: flops,
+                                  Channel.L1D_REPLACEMENT: 100.0}})
+    return run
+
+
+def multiplex_error(rotations: int) -> float:
+    machine = create_machine("core2")
+    perfctr = LikwidPerfCtr(machine)
+    run = bursty_runner(machine, burst_slices=max(1, rotations // 4),
+                        total_slices=rotations)
+    result = measure_multiplexed(perfctr, [0], SETS, run,
+                                 rotations=rotations)
+    estimate = result.event(0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE")
+    return abs(estimate - TRUE_TOTAL) / TRUE_TOTAL
+
+
+def test_error_shrinks_with_run_length(benchmark):
+    errors = benchmark.pedantic(
+        lambda: [multiplex_error(r) for r in (4, 16, 64, 256)],
+        iterations=1, rounds=1)
+    # Short runs: the burst aliases badly with the rotation schedule.
+    assert errors[0] > 0.2
+    # Long runs sample the burst representatively.
+    assert errors[-1] < 0.05
+    assert errors[-1] < errors[0]
+
+
+def test_steady_workload_exact_at_any_length(benchmark):
+    def run_all():
+        out = []
+        for rotations in (4, 32):
+            machine = create_machine("core2")
+            perfctr = LikwidPerfCtr(machine)
+
+            def run(_fraction):
+                machine.apply_counts(
+                    {0: {Channel.FLOPS_PACKED_DP: 100.0,
+                         Channel.L1D_REPLACEMENT: 50.0}})
+            result = measure_multiplexed(perfctr, [0], SETS, run,
+                                         rotations=rotations)
+            out.append((rotations,
+                        result.event(
+                            0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE")))
+        return out
+
+    for rotations, estimate in benchmark.pedantic(run_all,
+                                                  iterations=1, rounds=1):
+        assert estimate == pytest.approx(rotations * 100.0, rel=1e-6)
+
+
+def test_coverage_vs_counters(benchmark):
+    """Multiplexing measures more events than the 2 Core 2 counters
+    hold — the feature's raison d'etre."""
+    machine = create_machine("core2")
+    perfctr = LikwidPerfCtr(machine)
+    sets = ["SIMD_COMP_INST_RETIRED_PACKED_DOUBLE:PMC0,L1D_REPL:PMC1",
+            "BR_INST_RETIRED_ANY:PMC0,DTLB_MISSES_ANY:PMC1"]
+
+    def run(_fraction):
+        machine.apply_counts({0: {Channel.FLOPS_PACKED_DP: 10.0,
+                                  Channel.L1D_REPLACEMENT: 20.0,
+                                  Channel.BRANCHES: 30.0,
+                                  Channel.DTLB_MISSES: 40.0}})
+
+    result = benchmark.pedantic(
+        measure_multiplexed, args=(perfctr, [0], sets, run),
+        kwargs=dict(rotations=8), iterations=1, rounds=1)
+    # Four events measured with two counters; steady load -> exact.
+    assert result.event(0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE") == \
+        pytest.approx(80.0)
+    assert result.event(0, "DTLB_MISSES_ANY") == pytest.approx(320.0)

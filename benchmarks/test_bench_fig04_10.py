@@ -1,0 +1,121 @@
+"""Benchmarks: Figures 4-10 — STREAM triad pinning studies.
+
+Each test regenerates one figure's box-plot series (reduced sample
+counts keep the harness fast; `repro-bench fig N --samples 100`
+reproduces the paper's full 100-sample runs) and asserts the shape
+facts the paper draws from it.
+"""
+
+import statistics
+
+import pytest
+
+from repro.experiments import stream_figure
+
+COUNTS = [1, 2, 4, 8, 12, 16, 24]
+COUNTS_AMD = [1, 2, 4, 6, 8, 12]
+
+
+def med(series, n):
+    return statistics.median(series.samples[n])
+
+
+def test_fig4_icc_unpinned(benchmark):
+    series = benchmark.pedantic(
+        stream_figure, args=(4,),
+        kwargs=dict(samples=40, thread_counts=COUNTS),
+        iterations=1, rounds=1)
+    # Large variance, especially at low thread counts.
+    assert series.spread(2) > 5000
+    assert series.spread(4) > 5000
+    # Median grows with threads but stays below the pinned plateau.
+    assert med(series, 1) < med(series, 12)
+    assert med(series, 12) < 42000
+
+
+def test_fig5_icc_pinned(benchmark):
+    series = benchmark.pedantic(
+        stream_figure, args=(5,),
+        kwargs=dict(thread_counts=COUNTS), iterations=1, rounds=1)
+    # "The pinned case consistently shows high performance."
+    for n in COUNTS:
+        assert series.spread(n) < 200
+    assert med(series, 1) == pytest.approx(9500, rel=0.02)
+    assert med(series, 2) == pytest.approx(19000, rel=0.02)
+    assert med(series, 12) == pytest.approx(42000, rel=0.02)
+    assert med(series, 24) == pytest.approx(42000, rel=0.02)
+
+
+def test_fig6_kmp_scatter(benchmark):
+    series = benchmark.pedantic(
+        stream_figure, args=(6,),
+        kwargs=dict(thread_counts=COUNTS), iterations=1, rounds=1)
+    # "This option provides the same high performance as with
+    # likwid-pin, at all thread counts."
+    pinned = stream_figure(5, thread_counts=COUNTS)
+    for n in COUNTS:
+        assert med(series, n) == pytest.approx(med(pinned, n), rel=0.02)
+
+
+def test_fig7_gcc_unpinned(benchmark):
+    series = benchmark.pedantic(
+        stream_figure, args=(7,),
+        kwargs=dict(samples=40, thread_counts=COUNTS),
+        iterations=1, rounds=1)
+    icc = stream_figure(4, samples=40, thread_counts=COUNTS)
+    # gcc's saturated bandwidth sits visibly below icc's.
+    assert max(series.samples[24]) < max(icc.samples[24])
+    assert series.spread(4) > 3000
+
+
+def test_fig8_gcc_pinned(benchmark):
+    series = benchmark.pedantic(
+        stream_figure, args=(8,),
+        kwargs=dict(thread_counts=COUNTS), iterations=1, rounds=1)
+    # Write-allocate costs ~25% of reported bandwidth at saturation.
+    assert med(series, 12) == pytest.approx(31500, rel=0.03)
+    assert med(series, 24) == pytest.approx(31500, rel=0.03)
+    for n in COUNTS:
+        assert series.spread(n) < 200
+
+
+def test_fig9_istanbul_unpinned(benchmark):
+    series = benchmark.pedantic(
+        stream_figure, args=(9,),
+        kwargs=dict(samples=40, thread_counts=COUNTS_AMD),
+        iterations=1, rounds=1)
+    # "no significant difference ... between the distribution for
+    # smaller or larger thread counts" — spreads comparable.
+    spreads = [series.spread(n) for n in (2, 4, 6)]
+    assert min(spreads) > 1500
+
+
+def test_fig10_istanbul_pinned(benchmark):
+    series = benchmark.pedantic(
+        stream_figure, args=(10,),
+        kwargs=dict(thread_counts=COUNTS_AMD), iterations=1, rounds=1)
+    # "good, stable results for all thread counts"
+    for n in COUNTS_AMD:
+        assert series.spread(n) < 200
+    assert med(series, 12) == pytest.approx(25000, rel=0.03)
+    assert med(series, 2) == pytest.approx(11600, rel=0.03)
+
+
+def test_seed_robustness_of_unpinned_distributions(benchmark):
+    """The unpinned variance claims are statistical: medians and spreads
+    must be stable across scheduler seeds, not artefacts of one RNG
+    stream."""
+    def medians_for(seed):
+        series = stream_figure(4, samples=40, thread_counts=[2, 8],
+                               seed=seed)
+        return {n: statistics.median(series.samples[n])
+                for n in (2, 8)}, {n: series.spread(n) for n in (2, 8)}
+
+    results = benchmark.pedantic(
+        lambda: [medians_for(s) for s in (1, 20100630, 999)],
+        iterations=1, rounds=1)
+    for n in (2, 8):
+        medians = [r[0][n] for r in results]
+        spreads = [r[1][n] for r in results]
+        assert max(medians) < 1.35 * min(medians)
+        assert all(s > 4000 for s in spreads)

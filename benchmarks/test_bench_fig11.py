@@ -1,0 +1,67 @@
+"""Benchmark: Figure 11 — topology-aware stencil vs problem size.
+
+Regenerates the three MLUPS-vs-size curves on the Nehalem EP node and
+asserts the paper's qualitative claims: correct pinning of the
+wavefront group to one socket's shared L3 wins everywhere; splitting
+the group across sockets reverses the optimisation (≈2x loss) and
+falls below the nontemporal threaded baseline.
+"""
+
+import pytest
+
+from repro.experiments import figure11_jacobi_sweep
+
+SIZES = (50, 100, 200, 300, 400, 480, 500)
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return figure11_jacobi_sweep(sizes=SIZES)
+
+
+def test_fig11_regeneration(benchmark):
+    result = benchmark.pedantic(figure11_jacobi_sweep,
+                                kwargs=dict(sizes=(100, 300, 480)),
+                                iterations=1, rounds=1)
+    assert set(result) == {"wavefront 1x4",
+                           "wavefront 1x4 (2 per socket)", "threaded"}
+
+
+def test_wavefront_dominates_baseline(curves, benchmark):
+    benchmark(lambda: dict(curves["wavefront 1x4"]))
+    for (n, w), (_n, b) in zip(curves["wavefront 1x4"],
+                               curves["threaded"]):
+        assert w > b, f"N={n}: wavefront {w:.0f} <= baseline {b:.0f}"
+
+
+def test_wrong_pinning_reversal(curves, benchmark):
+    benchmark(lambda: dict(curves["wavefront 1x4 (2 per socket)"]))
+    for (n, w), (_n, s) in zip(curves["wavefront 1x4"],
+                               curves["wavefront 1x4 (2 per socket)"]):
+        if 200 <= n <= 480:
+            assert s < 0.65 * w, f"N={n}"
+
+
+def test_wrong_pinning_below_baseline(curves, benchmark):
+    benchmark(lambda: dict(curves["threaded"]))
+    for (n, s), (_n, b) in zip(curves["wavefront 1x4 (2 per socket)"],
+                               curves["threaded"]):
+        if n >= 200:
+            assert s < b, f"N={n}"
+
+
+def test_table2_point_consistent(curves, benchmark):
+    """The N=480 points of Fig. 11 match Table II's measurements."""
+    benchmark(lambda: dict(curves["wavefront 1x4"]))
+    w480 = dict(curves["wavefront 1x4"])[480]
+    b480 = dict(curves["threaded"])[480]
+    assert w480 == pytest.approx(1331, rel=0.03)
+    assert b480 == pytest.approx(1032, rel=0.03)
+
+
+def test_large_size_decline(curves, benchmark):
+    """The wavefront curve declines once the pipeline depth no longer
+    fits the shared L3 (the right-hand side of Fig. 11)."""
+    benchmark(lambda: dict(curves["wavefront 1x4"]))
+    series = dict(curves["wavefront 1x4"])
+    assert series[500] < series[300]

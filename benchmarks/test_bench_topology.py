@@ -1,0 +1,41 @@
+"""Benchmark: Figure 1 and the §II.B topology listings.
+
+Regenerates the topology reports for the paper's machines and times
+the CPUID decode path (the tool's startup cost, which the paper's
+lightweight-tooling argument hinges on).
+"""
+
+from repro.core.topology import probe_topology, render_topology
+from repro.core.topology_ascii import render_ascii
+from repro.experiments import figure1_topology
+
+
+def test_fig1_nehalem_diagram(benchmark):
+    text = benchmark(figure1_topology)
+    assert "Hardware Thread Topology" in text
+    assert "Sockets:\t\t2" in text
+    assert "8 MB" in text
+
+
+def test_westmere_listing(benchmark, westmere):
+    topology = benchmark(probe_topology, westmere)
+    # The paper listing's load-bearing facts.
+    assert topology.socket_members(0) == \
+        [0, 12, 1, 13, 2, 14, 3, 15, 4, 16, 5, 17]
+    l3 = next(c for c in topology.caches if c.level == 3)
+    assert l3.sets == 12288 and not l3.inclusive
+    text = render_topology(topology)
+    assert "Non Inclusive cache" in text
+
+
+def test_ascii_art_render(benchmark, westmere):
+    topology = probe_topology(westmere)
+    art = benchmark(render_ascii, topology)
+    assert art.count("12 MB") == 2
+
+
+def test_istanbul_amd_decode(benchmark, istanbul):
+    topology = benchmark(probe_topology, istanbul)
+    assert topology.num_sockets == 2
+    assert topology.cores_per_socket == 6
+    assert topology.threads_per_core == 1

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""The bandwidth map (paper outlook): cache/memory bandwidth overview.
+
+Produces the working-set bandwidth ladder for one core and for a full
+socket, and the ccNUMA core-domain x memory-domain matrix — "a quick
+overview of the cache and memory bandwidth bottlenecks in a
+shared-memory node, including the ccNUMA behavior".
+
+Run:  python examples/bandwidth_map.py
+"""
+
+from repro import create_machine
+from repro.core.bench import (bandwidth_ladder, numa_bandwidth_map,
+                              render_ladder, render_numa_map)
+
+
+def main() -> None:
+    machine = create_machine("westmere_ep")
+    print(f"bandwidth map for {machine.spec.cpu_name}\n")
+
+    print("== load kernel, 1 thread (core 0) ==")
+    print(render_ladder(bandwidth_ladder(machine, "load", cpus=[0])))
+
+    socket0 = machine.spec.hwthreads_of_socket(0)[::2]   # 6 physical cores
+    print("\n== triad kernel, 6 threads (socket 0) ==")
+    print(render_ladder(bandwidth_ladder(machine, "triad", cpus=socket0)))
+
+    print("\n== ccNUMA map (copy kernel, reported GB/s) ==")
+    print(render_numa_map(numa_bandwidth_map(machine)))
+    print("\nDiagonal: local memory. Off-diagonal: the QPI-limited "
+          "remote path —\nwhy first-touch placement plus pinning "
+          "matters for bandwidth-bound codes.")
+
+
+if __name__ == "__main__":
+    main()

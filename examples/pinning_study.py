@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Case study 1 in miniature: why pinning matters (Figs 4/5/7/8).
+
+Runs the OpenMP STREAM triad on the simulated Westmere EP node with
+and without likwid-pin, for both compiler models, and prints text
+box-plots of the bandwidth distributions — the variance collapse the
+paper's figures show.
+
+Run:  python examples/pinning_study.py
+"""
+
+import statistics
+
+from repro import create_machine
+from repro.workloads.stream import stream_samples
+
+THREAD_COUNTS = (1, 2, 4, 6, 8, 12, 16, 24)
+WIDTH = 46
+MAX_BW = 45000.0
+
+
+def bar(samples: list[float]) -> str:
+    """Render min..median..max as a text box plot."""
+    lo, med, hi = min(samples), statistics.median(samples), max(samples)
+    cells = [" "] * WIDTH
+    pos = lambda v: min(WIDTH - 1, int(v / MAX_BW * WIDTH))
+    for i in range(pos(lo), pos(hi) + 1):
+        cells[i] = "-"
+    cells[pos(lo)] = "|"
+    cells[pos(hi)] = "|"
+    cells[pos(med)] = "#"
+    return "".join(cells) + f"  med {med:7.0f} MB/s"
+
+
+def study(machine, compiler: str) -> None:
+    print(f"\n=== {compiler} on {machine.spec.cpu_name} ===")
+    for pinned in (False, True):
+        label = "pinned (likwid-pin, scatter)" if pinned else "not pinned"
+        print(f"\n  {label}:")
+        print(f"  {'thr':>4}  0 {'MB/s'.center(WIDTH - 4)} {MAX_BW:.0f}")
+        for n in THREAD_COUNTS:
+            samples = stream_samples(machine, nthreads=n, compiler=compiler,
+                                     pinned=pinned,
+                                     samples=8 if pinned else 60)
+            print(f"  {n:>4}  {bar(samples)}")
+
+
+def main() -> None:
+    machine = create_machine("westmere_ep")
+    study(machine, "icc")
+    study(machine, "gcc")
+
+    istanbul = create_machine("amd_istanbul")
+    print(f"\n=== icc on {istanbul.spec.cpu_name} (Figs 9/10) ===")
+    for pinned in (False, True):
+        samples = stream_samples(istanbul, nthreads=6, compiler="icc",
+                                 pinned=pinned, samples=40)
+        spread = max(samples) - min(samples)
+        print(f"  6 threads {'pinned  ' if pinned else 'unpinned'}: "
+              f"median {statistics.median(samples):7.0f} MB/s, "
+              f"spread {spread:7.0f} MB/s")
+
+
+if __name__ == "__main__":
+    main()

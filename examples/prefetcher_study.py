@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""likwid-features in action (§II.D): measuring prefetcher impact.
+
+Toggles the Core 2 hardware prefetchers through IA32_MISC_ENABLE and
+measures, with likwid-perfctr over the exact cache simulator, how L1
+line traffic and effective latency change for three access patterns —
+the experiment the paper motivates with "often it is beneficial to
+know the influence of the hardware prefetchers".
+
+Run:  python examples/prefetcher_study.py
+"""
+
+from repro import create_machine
+from repro.core.features import LikwidFeatures
+from repro.core.perfctr import LikwidPerfCtr
+from repro.oskern.msr_driver import MsrDriver
+from repro.tables import render_table
+from repro.workloads.kernels import random_load, streaming_load, strided_load
+from repro.workloads.runner import run_trace
+
+PATTERNS = {
+    "sequential": lambda: streaming_load(40_000),
+    "strided (2 lines)": lambda: strided_load(20_000, 128),
+    "random access": lambda: random_load(20_000, 1 << 22),
+}
+
+
+def measure(prefetch_on: bool):
+    machine = create_machine("core2")
+    features = LikwidFeatures(MsrDriver(machine))
+    if not prefetch_on:
+        for key in ("HW_PREFETCHER", "CL_PREFETCHER",
+                    "DCU_PREFETCHER", "IP_PREFETCHER"):
+            features.disable(key)
+    perfctr = LikwidPerfCtr(machine)
+    out = {}
+    for name, make_trace in PATTERNS.items():
+        result = perfctr.wrap(
+            [0], "L1D_REPL:PMC0",
+            lambda mt=make_trace: run_trace(machine, 0, mt()))
+        cycles = result.event(0, "CPU_CLK_UNHALTED_CORE")
+        instr = result.event(0, "INSTR_RETIRED_ANY")
+        out[name] = (result.event(0, "L1D_REPL"), cycles / instr)
+    return out
+
+
+def main() -> None:
+    machine = create_machine("core2")
+    print(LikwidFeatures(MsrDriver(machine)).report())
+    print("\ndisabling all prefetchers on the measurement machine:"
+          "\n  $ likwid-features -u HW_PREFETCHER -u CL_PREFETCHER"
+          " -u DCU_PREFETCHER -u IP_PREFETCHER\n")
+
+    on = measure(True)
+    off = measure(False)
+    rows = []
+    for name in PATTERNS:
+        repl_on, cpi_on = on[name]
+        repl_off, cpi_off = off[name]
+        rows.append([name, f"{repl_on:.0f}", f"{repl_off:.0f}",
+                     f"{cpi_on:.2f}", f"{cpi_off:.2f}",
+                     f"{cpi_off / cpi_on:.2f}x"])
+    print(render_table(
+        ["pattern", "L1D_REPL on", "L1D_REPL off",
+         "CPI on", "CPI off", "slowdown off"], rows))
+    print("\nPrefetchers hide latency for regular patterns (sequential, "
+          "strided) but cannot help random access — turning "
+          "them off is only ever interesting for irregular codes, where\n"
+          "they mostly add useless fills.")
+
+
+if __name__ == "__main__":
+    main()

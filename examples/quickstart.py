@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: the LIKWID workflow in five minutes.
+
+1. Probe the node's thread and cache topology (likwid-topology).
+2. Pin an OpenMP STREAM run to the right cores (likwid-pin).
+3. Measure memory bandwidth with performance counters (likwid-perfctr).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import OSKernel, create_machine
+from repro.core.perfctr import LikwidPerfCtr
+from repro.core.perfctr.output import render_header, render_result
+from repro.core.topology import probe_topology, render_topology
+from repro.core.topology_ascii import render_ascii
+from repro.workloads.stream import run_stream, scatter_pin_list
+
+
+def main() -> None:
+    # -- 1. likwid-topology -c -g ------------------------------------------
+    machine = create_machine("westmere_ep")
+    topology = probe_topology(machine)
+    print(render_topology(topology))
+    print(render_ascii(topology, socket=0))
+
+    # -- 2. likwid-pin: scatter four threads across both sockets ----------
+    kernel = OSKernel(machine, seed=42)
+    pin = scatter_pin_list(machine.spec, 4)
+    print(f"\npinning 4 threads scatter-style to cores {pin}")
+
+    # -- 3. likwid-perfctr -c <pins> -g MEM <stream> -----------------------
+    perfctr = LikwidPerfCtr(machine)
+    result = perfctr.wrap(
+        pin, "MEM",
+        lambda: run_stream(machine, kernel, nthreads=4, compiler="icc",
+                           pin_cpus=pin).result)
+    print()
+    print(render_header(machine, "MEM"))
+    print(render_result(machine, result))
+
+    lock_cpu = pin[0]
+    bw = result.metric(lock_cpu, "Memory bandwidth [MBytes/s]")
+    print(f"\nsocket-0 memory bandwidth (uncore, socket lock on core "
+          f"{lock_cpu}): {bw:.0f} MB/s")
+
+
+if __name__ == "__main__":
+    main()

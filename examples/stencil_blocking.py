@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Case studies 2 and 3: the topology-aware temporally blocked stencil.
+
+Reproduces Figure 11 (MLUPS vs problem size for three pinnings of the
+wavefront Jacobi code) as a text chart, and Table II (uncore traffic of
+the three kernel variants) measured through likwid-perfctr with socket
+locks.
+
+Run:  python examples/stencil_blocking.py
+"""
+
+from repro.experiments import figure11_jacobi_sweep, table2_uncore
+from repro.tables import render_table
+
+SIZES = (50, 100, 150, 200, 250, 300, 350, 400, 450, 500)
+MAX_MLUPS = 2000.0
+WIDTH = 50
+
+MARKS = {"wavefront 1x4": "o",
+         "wavefront 1x4 (2 per socket)": "x",
+         "threaded": "^"}
+
+
+def chart(curves) -> str:
+    lines = [f"    MLUPS 0 {'.' * (WIDTH - 2)} {MAX_MLUPS:.0f}"]
+    for i, n in enumerate(SIZES):
+        row = [" "] * WIDTH
+        for label, series in curves.items():
+            value = series[i][1]
+            pos = min(WIDTH - 1, int(value / MAX_MLUPS * WIDTH))
+            row[pos] = MARKS[label]
+        lines.append(f"  N={n:>3}  |{''.join(row)}|")
+    legend = "   ".join(f"{mark} {label}" for label, mark in MARKS.items())
+    lines.append(f"          {legend}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("Figure 11: optimized 3D Jacobi smoother on dual-socket "
+          "Nehalem EP (4 threads)\n")
+    curves = figure11_jacobi_sweep(sizes=SIZES)
+    print(chart(curves))
+    print("""
+Correct pinning (o) keeps the four-thread wavefront group inside one
+socket's shared L3; splitting pairs across sockets (x) reverses the
+optimization and falls below the nontemporal threaded baseline (^).
+""")
+
+    print("Table II: uncore measurement of the traffic reduction "
+          "(one socket, likwid-perfctr socket locks)\n")
+    rows = table2_uncore()
+    print(render_table(
+        ["", *[r.variant for r in rows]],
+        [["UNC_L3_LINES_IN_ANY"] + [f"{r.l3_lines_in:.3g}" for r in rows],
+         ["UNC_L3_LINES_OUT_ANY"] + [f"{r.l3_lines_out:.3g}" for r in rows],
+         ["Total data volume [GB]"] + [f"{r.data_volume_gb:.2f}"
+                                       for r in rows],
+         ["Performance [MLUPS]"] + [f"{r.mlups:.0f}" for r in rows]]))
+    blocked = next(r for r in rows if r.variant == "wavefront")
+    threaded = next(r for r in rows if r.variant == "threaded")
+    print(f"\ntraffic cut {threaded.data_volume_gb / blocked.data_volume_gb:.1f}x, "
+          f"speedup only {blocked.mlups / threaded.mlups:.2f}x — one data "
+          "stream cannot saturate the memory bus (paper's point (i)).")
+
+    # The model's own diagnosis of that claim:
+    from repro.hw.arch import get_arch
+    from repro.model.ecm import PlacedWork
+    from repro.model.explain import diagnose
+    from repro.workloads.jacobi import JacobiConfig, jacobi_phase
+    spec = get_arch("nehalem_ep")
+    print("\nmodel diagnosis (why the speedup is sub-proportional):")
+    for variant in ("threaded", "wavefront"):
+        cfg = JacobiConfig(variant, 480, 18, 4)
+        phase = jacobi_phase(spec, cfg)
+        work = [PlacedWork(i, cpu, 0, phase)
+                for i, cpu in enumerate([0, 1, 2, 3])]
+        d = diagnose(spec, work)
+        print(f"  {variant:12s}: bottleneck {d.bottlenecks()}, "
+              f"socket mem util {d.sockets[0].mem_utilisation:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Beyond aggregate counts: timeline mode and statistical sampling.
+
+Two extensions of the paper's counting model on the same substrate:
+
+1. **Timeline mode** — periodic counter readout exposes phase
+   behaviour that one aggregate number hides (a ramping FLOP rate).
+2. **Overflow-driven sampling** — the PMU's counter-overflow interrupt
+   drives a statistical profiler (the paper's §II.A "IP sampling"
+   option and its "profiling, also on the assembly level" outlook).
+
+Run:  python examples/timeline_profile.py
+"""
+
+from repro import create_machine
+from repro.core.perfctr import LikwidPerfCtr
+from repro.core.perfctr.timeline import TimelineMeasurement, render_timeline
+from repro.core.profile import CodeSegment, SamplingProfiler
+from repro.hw.events import Channel
+
+
+def timeline_demo() -> None:
+    print("=== timeline mode: likwid-perfctr -g FLOPS_DP -d 1.0 ===\n")
+    machine = create_machine("nehalem_ep")
+    perfctr = LikwidPerfCtr(machine)
+    timeline = TimelineMeasurement(perfctr, [0], "FLOPS_DP", interval=1.0)
+
+    def application_slice(index: int, interval: float) -> None:
+        # A solver that converges: FLOP intensity ramps up, then idles.
+        intensity = [0.2, 0.8, 1.0, 1.0, 0.3, 0.05][index]
+        machine.apply_counts(
+            {0: {Channel.FLOPS_PACKED_DP: 1.0e9 * intensity * interval,
+                 Channel.INSTRUCTIONS: 2.0e9 * interval,
+                 Channel.CORE_CYCLES: 2.66e9 * interval}},
+            elapsed_seconds=interval)
+
+    timeline.run(application_slice, 6)
+    print(render_timeline(timeline, 0, "FP_COMP_OPS_EXE_SSE_FP_PACKED"))
+    mflops = timeline.metric_series(0, "DP MFlops/s")
+    print("\nper-interval DP MFlops/s:",
+          [f"{v:.0f}" for v in mflops])
+
+
+def profiler_demo() -> None:
+    print("\n=== overflow sampling: a cycles profile ===\n")
+    machine = create_machine("nehalem_ep")
+    segments = [
+        CodeSegment("init_arrays", 0.4e9),
+        CodeSegment("assemble_matrix", 1.2e9,
+                    {Channel.L1D_REPLACEMENT: 2e6}),
+        CodeSegment("solve_pressure", 6.0e9,
+                    {Channel.FLOPS_PACKED_DP: 3e9}),
+        CodeSegment("write_output", 0.4e9),
+    ]
+    profiler = SamplingProfiler(machine, 0, period=10_000_000)
+    profiler.run(segments)
+    print(profiler.render())
+
+    print("\nSame code, sampled on L1D_REPL instead of cycles "
+          "(a cache-miss profile):")
+    miss_profiler = SamplingProfiler(create_machine("nehalem_ep"), 0,
+                                     event="L1D_REPL", period=100_000)
+    miss_profiler.run(segments, chunk=10_000_000)
+    print(miss_profiler.render())
+
+
+def main() -> None:
+    timeline_demo()
+    profiler_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: this offline environment lacks the `wheel` package that
+PEP 660 editable installs require, so `python setup.py develop` (or a
+.pth file) is the supported editable-install path."""
+from setuptools import setup
+
+setup()

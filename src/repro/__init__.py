@@ -1,0 +1,27 @@
+"""repro — a Python reproduction of the LIKWID tool suite (ICPP 2010).
+
+Treibig, Hager & Wellein: "LIKWID: A lightweight performance-oriented
+tool suite for x86 multicore environments".  The physical x86 node is
+replaced by a simulated substrate (CPUID/MSR/PMU/cache emulation plus
+an ECM-style performance model) so every tool, API and experiment of
+the paper runs deterministically on any machine; see DESIGN.md.
+
+Public API highlights::
+
+    from repro import create_machine, OSKernel
+    from repro.core import probe_topology, render_topology
+    from repro.core import LikwidPerfCtr, LikwidPin, LikwidFeatures, MarkerAPI
+
+    machine = create_machine("westmere_ep")
+    print(render_topology(probe_topology(machine)))
+"""
+
+from repro.errors import ReproError
+from repro.hw.arch import available, create_machine, get_arch
+from repro.hw.machine import SimMachine
+from repro.oskern.scheduler import OSKernel
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "available", "create_machine", "get_arch",
+           "SimMachine", "OSKernel", "__version__"]

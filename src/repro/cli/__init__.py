@@ -1,0 +1,2 @@
+"""Command-line front-ends: likwid-topology, likwid-perfctr,
+likwid-pin, likwid-features, repro-bench."""

@@ -1,0 +1,176 @@
+"""``repro-bench``: regenerate the paper's tables and figures as text.
+
+    repro-bench table2
+    repro-bench fig 5
+    repro-bench fig11
+    repro-bench table1
+    repro-bench fig1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import experiments
+from repro.tables import render_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's evaluation artefacts.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("fig1", help="topology diagram (Fig. 1)")
+    sub.add_parser("table1", help="LIKWID vs PAPI comparison (Table I)")
+    fig = sub.add_parser("fig", help="STREAM figure 4-10")
+    fig.add_argument("number", type=int, choices=sorted(experiments.STREAM_FIGURES))
+    fig.add_argument("--samples", type=int, default=100)
+    fig.add_argument("--csv", action="store_true",
+                     help="emit raw samples as CSV instead of a table")
+    fig11 = sub.add_parser("fig11", help="Jacobi MLUPS vs size (Fig. 11)")
+    fig11.add_argument("--csv", action="store_true")
+    table2 = sub.add_parser("table2",
+                            help="uncore traffic of temporal blocking")
+    table2.add_argument("--csv", action="store_true")
+    ladder = sub.add_parser(
+        "ladder", help="bandwidth ladder (likwid-bench working-set sweep)")
+    ladder.add_argument("-k", dest="kernel", default="load",
+                        help="microkernel (load/store/copy/triad/...)")
+    ladder.add_argument("--arch", default="westmere_ep")
+    ladder.add_argument("--threads", type=int, default=1)
+    bwmap = sub.add_parser(
+        "bwmap", help="ccNUMA bandwidth map (cores x memory domains)")
+    bwmap.add_argument("-k", dest="kernel", default="copy")
+    bwmap.add_argument("--arch", default="westmere_ep")
+    allcmd = sub.add_parser(
+        "all", help="regenerate every paper artefact in one run")
+    allcmd.add_argument("--samples", type=int, default=60,
+                        help="samples per thread count for Figs 4/7/9")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli.common import restore_sigpipe
+    restore_sigpipe()
+    args = build_parser().parse_args(argv)
+    if args.command == "fig1":
+        print(experiments.figure1_topology())
+    elif args.command == "table1":
+        rows = experiments.table1_comparison()
+        print(render_table(["", "LIKWID", "PAPI"],
+                           [(r.aspect, r.likwid, r.papi) for r in rows]))
+    elif args.command == "fig":
+        series = experiments.stream_figure(args.number, samples=args.samples)
+        arch, compiler, mode = experiments.STREAM_FIGURES[args.number]
+        if args.csv:
+            from repro.export import stream_series_to_csv
+            print(stream_series_to_csv(series), end="")
+            return 0
+        print(f"# Figure {args.number}: STREAM triad, {compiler} on {arch}, "
+              f"{mode} ({args.samples} samples/thread count)")
+        rows = []
+        for nthreads in sorted(series.samples):
+            q1, med, q3 = series.quartiles(nthreads)
+            data = series.samples[nthreads]
+            rows.append([nthreads, f"{min(data):.0f}", f"{q1:.0f}",
+                         f"{med:.0f}", f"{q3:.0f}", f"{max(data):.0f}"])
+        print(render_table(
+            ["threads", "min", "q1", "median", "q3", "max"], rows))
+    elif args.command == "fig11":
+        curves = experiments.figure11_jacobi_sweep()
+        if args.csv:
+            from repro.export import fig11_to_csv
+            print(fig11_to_csv(curves), end="")
+            return 0
+        sizes = [n for n, _ in next(iter(curves.values()))]
+        header = ["size"] + list(curves)
+        rows = []
+        for i, n in enumerate(sizes):
+            rows.append([n] + [f"{curves[label][i][1]:.0f}"
+                               for label in curves])
+        print("# Figure 11: Jacobi smoother [MLUPS] on Nehalem EP")
+        print(render_table(header, rows))
+    elif args.command == "ladder":
+        from repro.core.bench import bandwidth_ladder, render_ladder
+        from repro.hw.arch import create_machine
+        machine = create_machine(args.arch)
+        cpus = machine.spec.scatter_order()[:args.threads]
+        print(f"# bandwidth ladder: {args.kernel} on {args.arch}, "
+              f"{args.threads} thread(s) pinned to {cpus}")
+        print(render_ladder(bandwidth_ladder(machine, args.kernel,
+                                             cpus=cpus)))
+    elif args.command == "bwmap":
+        from repro.core.bench import numa_bandwidth_map, render_numa_map
+        from repro.hw.arch import create_machine
+        machine = create_machine(args.arch)
+        print(f"# ccNUMA bandwidth map: {args.kernel} on {args.arch}")
+        print(render_numa_map(numa_bandwidth_map(machine,
+                                                 kernel=args.kernel)))
+    elif args.command == "all":
+        print("=" * 70)
+        print("Figure 1 / topology listings")
+        print("=" * 70)
+        print(experiments.figure1_topology())
+        print("=" * 70)
+        print("Table I: LIKWID vs PAPI")
+        print("=" * 70)
+        rows = experiments.table1_comparison()
+        print(render_table(["", "LIKWID", "PAPI"],
+                           [(r.aspect, r.likwid, r.papi) for r in rows]))
+        for fig in sorted(experiments.STREAM_FIGURES):
+            arch, compiler, mode = experiments.STREAM_FIGURES[fig]
+            series = experiments.stream_figure(fig, samples=args.samples)
+            print("=" * 70)
+            print(f"Figure {fig}: STREAM triad, {compiler} on {arch}, "
+                  f"{mode} [MB/s]")
+            print("=" * 70)
+            frows = []
+            for nthreads in sorted(series.samples):
+                q1, med, q3 = series.quartiles(nthreads)
+                data = series.samples[nthreads]
+                frows.append([nthreads, f"{min(data):.0f}", f"{q1:.0f}",
+                              f"{med:.0f}", f"{q3:.0f}", f"{max(data):.0f}"])
+            print(render_table(
+                ["threads", "min", "q1", "median", "q3", "max"], frows))
+        print("=" * 70)
+        print("Figure 11: Jacobi smoother [MLUPS] on Nehalem EP")
+        print("=" * 70)
+        curves = experiments.figure11_jacobi_sweep()
+        sizes = [n for n, _ in next(iter(curves.values()))]
+        frows = []
+        for i, n in enumerate(sizes):
+            frows.append([n] + [f"{curves[label][i][1]:.0f}"
+                                for label in curves])
+        print(render_table(["size"] + list(curves), frows))
+        print("=" * 70)
+        print("Table II: uncore measurements, one Nehalem EP socket")
+        print("=" * 70)
+        t2 = experiments.table2_uncore()
+        print(render_table(
+            ["", *[r.variant for r in t2]],
+            [["UNC_L3_LINES_IN_ANY"] + [f"{r.l3_lines_in:.3g}" for r in t2],
+             ["UNC_L3_LINES_OUT_ANY"] + [f"{r.l3_lines_out:.3g}"
+                                         for r in t2],
+             ["Total data volume [GB]"] + [f"{r.data_volume_gb:.2f}"
+                                           for r in t2],
+             ["Performance [MLUPS]"] + [f"{r.mlups:.0f}" for r in t2]]))
+    elif args.command == "table2":
+        rows = experiments.table2_uncore()
+        if args.csv:
+            from repro.export import table2_to_csv
+            print(table2_to_csv(rows), end="")
+            return 0
+        print("# Table II: likwid-perfctr uncore measurements, one "
+              "Nehalem EP socket")
+        print(render_table(
+            ["", *[r.variant for r in rows]],
+            [["UNC_L3_LINES_IN_ANY"] + [f"{r.l3_lines_in:.3g}" for r in rows],
+             ["UNC_L3_LINES_OUT_ANY"] + [f"{r.l3_lines_out:.3g}" for r in rows],
+             ["Total data volume [GB]"] + [f"{r.data_volume_gb:.2f}" for r in rows],
+             ["Performance [MLUPS]"] + [f"{r.mlups:.0f}" for r in rows]]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

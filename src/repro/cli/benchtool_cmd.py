@@ -1,0 +1,63 @@
+"""``likwid-bench``: threaded streaming microbenchmarks.
+
+The microbenchmarking tool the paper's outlook announces, with the
+workgroup syntax the released likwid-bench adopted::
+
+    likwid-bench -t triad -w S0:1GB:4
+    likwid-bench -t copy -w S0:2GB:6 -w S1:2GB:6 --arch westmere_ep
+    likwid-bench -a                           # list kernels
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.common import add_arch_argument, machine_from_args
+from repro.core.bench import (KERNELS, Workgroup, render_workgroups,
+                              run_workgroups)
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="likwid-bench",
+        description="Low-level threaded bandwidth/flops microbenchmarks.")
+    parser.add_argument("-t", dest="kernel", default="triad",
+                        help="test kernel (see -a)")
+    parser.add_argument("-w", dest="workgroups", action="append",
+                        metavar="DOMAIN:SIZE[:THREADS]",
+                        help="workgroup, e.g. S0:1GB:4 (repeatable)")
+    parser.add_argument("-a", action="store_true", dest="list_kernels",
+                        help="list available test kernels")
+    parser.add_argument("--iterations", type=int, default=4)
+    add_arch_argument(parser)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli.common import restore_sigpipe
+    restore_sigpipe()
+    args = build_parser().parse_args(argv)
+    if args.list_kernels:
+        for name, k in sorted(KERNELS.items()):
+            nt = " (nontemporal)" if k.nontemporal else ""
+            print(f"{name}\t{k.read_streams} read / {k.write_streams} "
+                  f"write streams, {k.flops_per_element:g} flops/elem{nt}")
+        return 0
+    machine = machine_from_args(args)
+    texts = args.workgroups or ["S0:1GB:1"]
+    try:
+        groups = [Workgroup.parse(t) for t in texts]
+        results = run_workgroups(machine, args.kernel, groups,
+                                 iterations=args.iterations)
+    except ReproError as exc:
+        print(f"likwid-bench: {exc}", file=sys.stderr)
+        return 1
+    print(f"# likwid-bench {args.kernel} on {machine.spec.cpu_name}")
+    print(render_workgroups(results, args.kernel))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Shared CLI plumbing for the likwid-* front-ends.
+
+Real LIKWID probes the hardware it runs on; the reproduction runs
+against the simulated machine catalog, selected with ``--arch`` (the
+one necessary departure from the original command lines, documented in
+README).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.hw.arch import available, create_machine
+from repro.hw.machine import SimMachine
+
+
+def add_arch_argument(parser: argparse.ArgumentParser,
+                      default: str = "westmere_ep") -> None:
+    parser.add_argument(
+        "--arch", default=default, choices=available(),
+        help="simulated machine to run on (default: %(default)s)")
+
+
+def machine_from_args(args: argparse.Namespace) -> SimMachine:
+    return create_machine(args.arch)
+
+
+# Workload registry for the wrapper-style tools: the simulated stand-in
+# for "./a.out" on the real command line.
+WORKLOADS = ("stream_icc", "stream_gcc", "jacobi_threaded",
+             "jacobi_threaded_nt", "jacobi_wavefront", "dgemm", "sleep")
+
+
+def run_workload(name: str, machine: SimMachine, kernel,
+                 *, nthreads: int, pin_cpus: list[int] | None = None):
+    """Execute a named workload; returns the model RunResult (or None
+    for 'sleep', which generates no events — the monitoring-mode idiom
+    from the paper)."""
+    from repro.workloads.jacobi import JacobiConfig, run_jacobi
+    from repro.workloads.stream import run_stream
+
+    if name == "sleep":
+        machine.apply_counts({}, elapsed_seconds=1.0)
+        return None
+    if name.startswith("stream_"):
+        compiler = name.split("_", 1)[1]
+        return run_stream(machine, kernel, nthreads=nthreads,
+                          compiler=compiler, pin_cpus=pin_cpus).result
+    if name == "dgemm":
+        from repro.workloads.matmul import MatmulConfig, run_matmul
+        cfg = MatmulConfig(256, 16, nthreads)
+        return run_matmul(machine, kernel, cfg, pin_cpus=pin_cpus).result
+    if name.startswith("jacobi_"):
+        variant = name.split("_", 1)[1]
+        cfg = JacobiConfig(variant, 320, 6, nthreads)
+        return run_jacobi(machine, kernel, cfg, pin_cpus=pin_cpus).result
+    raise SystemExit(f"unknown workload {name!r}; choose from {WORKLOADS}")
+
+
+def run_marked_workload(name: str, machine: SimMachine, kernel,
+                        session, *, nthreads: int,
+                        pin_cpus: list[int] | None = None):
+    """Run a stream workload instrumented with marker regions "Init"
+    and "Benchmark" (the paper's -m listing) against a started
+    session; returns the MarkerAPI holding per-region results."""
+    from repro.core.perfctr import MarkerAPI
+    from repro.model.ecm import KernelPhase, PlacedWork, solve
+    from repro.workloads.runner import apply_result
+    from repro.workloads.stream import stream_phase
+
+    if not name.startswith("stream_"):
+        raise SystemExit("marker mode is wired for the stream workloads")
+    compiler = name.split("_", 1)[1]
+    cpus = pin_cpus or session.cpus
+    cpus = cpus[:nthreads]
+
+    marker = MarkerAPI(session)
+    marker.likwid_markerInit(len(cpus), 2)
+    init_id = marker.likwid_markerRegisterRegion("Init")
+    bench_id = marker.likwid_markerRegisterRegion("Benchmark")
+
+    def run_phase(phase):
+        work = [PlacedWork(tid=i, hwthread=cpu,
+                           memory_socket=machine.spec.socket_of(cpu),
+                           phase=phase)
+                for i, cpu in enumerate(cpus)]
+        apply_result(machine, solve(machine.spec, work))
+
+    init_phase = KernelPhase(
+        "init", iters=500_000, instr_per_iter=3.0, cycles_per_iter=2.0,
+        loads_per_iter=0.0, stores_per_iter=1.0,
+        mem_write_bytes_per_iter=8.0, mem_read_bytes_per_iter=8.0)
+    for thread, cpu in enumerate(cpus):
+        marker.likwid_markerStartRegion(thread, cpu)
+    run_phase(init_phase)
+    for thread, cpu in enumerate(cpus):
+        marker.likwid_markerStopRegion(thread, cpu, init_id)
+
+    bench_phase = stream_phase("triad", compiler, 2_000_000)
+    for thread, cpu in enumerate(cpus):
+        marker.likwid_markerStartRegion(thread, cpu)
+    run_phase(bench_phase)
+    for thread, cpu in enumerate(cpus):
+        marker.likwid_markerStopRegion(thread, cpu, bench_id)
+
+    marker.likwid_markerClose()
+    return marker
+
+
+def restore_sigpipe() -> None:
+    """Die silently on SIGPIPE like a well-behaved Unix filter (so
+    ``likwid-topology | head`` does not traceback)."""
+    import signal
+    try:
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    except (AttributeError, ValueError):
+        pass  # non-Unix platform or non-main thread

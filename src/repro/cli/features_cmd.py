@@ -1,0 +1,50 @@
+"""``likwid-features`` command-line front-end (paper §II.D)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.common import add_arch_argument, machine_from_args
+from repro.core.features import LikwidFeatures
+from repro.errors import ReproError
+from repro.oskern.msr_driver import MsrDriver
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="likwid-features",
+        description="View and toggle processor features (Core 2 only).")
+    parser.add_argument("-c", dest="cpu", type=int, default=0,
+                        help="cpu to operate on (default 0)")
+    parser.add_argument("-e", dest="enable", default=None, metavar="KEY",
+                        help="enable a feature (e.g. CL_PREFETCHER)")
+    parser.add_argument("-u", dest="disable", default=None, metavar="KEY",
+                        help="disable a feature (e.g. CL_PREFETCHER)")
+    add_arch_argument(parser, default="core2")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli.common import restore_sigpipe
+    restore_sigpipe()
+    args = build_parser().parse_args(argv)
+    machine = machine_from_args(args)
+    try:
+        features = LikwidFeatures(MsrDriver(machine), cpu=args.cpu)
+        if args.enable:
+            state = features.enable(args.enable)
+            print(f"{state.key}: {state.display}")
+        elif args.disable:
+            state = features.disable(args.disable)
+            print(f"{state.key}: {state.display}")
+        else:
+            print(features.report())
+    except ReproError as exc:
+        print(f"likwid-features: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

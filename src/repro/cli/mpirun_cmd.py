@@ -1,0 +1,105 @@
+"""``repro-mpirun``: MPI-wide pinning + counter collection.
+
+The paper's hybrid command line and its MPI-profiling outlook in one
+front-end::
+
+    repro-mpirun -np 4 -pernode --omp 8 -c 0-7 -t intel_mpi \\
+                 -g FLOPS_DP stream_icc --arch westmere_ep
+
+launches one rank per simulated node, pins each rank's team with
+likwid-pin semantics (skip mask 0x3 for Intel MPI + Intel OpenMP),
+measures every rank with likwid-perfctr, and prints the per-rank
+results plus the cross-rank min/max/avg reduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.mpiperf import MpiPerfCtr
+from repro.core.pin import LikwidPin
+from repro.errors import ReproError
+from repro.hw.arch import available
+from repro.oskern.mpi import MpiExec, SimCluster
+from repro.workloads.runner import run_team
+from repro.workloads.stream import STREAM_KERNELS, stream_phase
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mpirun",
+        description="Launch and measure a hybrid MPI+OpenMP job.")
+    parser.add_argument("-np", dest="nranks", type=int, default=2,
+                        help="number of MPI ranks (default 2)")
+    parser.add_argument("-pernode", action="store_true", default=True,
+                        help="one rank per node (default; the paper's mode)")
+    parser.add_argument("--omp", dest="omp_threads", type=int, default=4,
+                        help="OMP_NUM_THREADS per rank (default 4)")
+    parser.add_argument("-c", dest="cpus", default="0-3",
+                        help="per-rank pin list (default 0-3)")
+    parser.add_argument("-t", dest="thread_type", default="intel_mpi",
+                        help="threading model preset (default intel_mpi)")
+    parser.add_argument("-g", dest="group", default="FLOPS_DP",
+                        help="event group to measure on every rank")
+    parser.add_argument("workload", nargs="?", default="stream_icc",
+                        help="stream_icc | stream_gcc")
+    parser.add_argument("--arch", default="westmere_ep", choices=available())
+    parser.add_argument("--elements", type=int, default=4_000_000,
+                        help="STREAM elements per rank")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli.common import restore_sigpipe
+    restore_sigpipe()
+    args = build_parser().parse_args(argv)
+    if not args.workload.startswith("stream_"):
+        print("repro-mpirun: only stream_* workloads are wired",
+              file=sys.stderr)
+        return 2
+    compiler = args.workload.split("_", 1)[1]
+
+    try:
+        cluster = SimCluster(args.arch, args.nranks, seed=13)
+        mpiexec = MpiExec(cluster)
+
+        def setup(kernel):
+            return LikwidPin(kernel).launch(
+                args.cpus, thread_type=args.thread_type).master
+
+        mpiexec.run(args.nranks, pernode=True, setup=setup)
+        mpiexec.spawn_teams(args.omp_threads)
+        mpiexec.place_all()
+
+        mpi_perfctr = MpiPerfCtr(mpiexec, args.group, args.cpus)
+        bandwidths: dict[int, float] = {}
+
+        def run_rank(rank):
+            result = run_team(
+                rank.node.machine, rank.node.kernel, rank.team,
+                lambda _i, n: stream_phase("triad", compiler,
+                                           args.elements // n),
+                migrate=False)
+            bandwidths[rank.rank] = (
+                STREAM_KERNELS["triad"].reported_bytes * args.elements
+                / result.total_time / 1e6)
+            return result
+
+        measurement = mpi_perfctr.wrap(run_rank)
+    except ReproError as exc:
+        print(f"repro-mpirun: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"# {args.nranks} ranks x {args.omp_threads} threads "
+          f"({args.workload}, pin {args.cpus}, skip preset "
+          f"{args.thread_type}) on {args.arch}")
+    for rank in sorted(bandwidths):
+        print(f"rank {rank}: {bandwidths[rank]:.0f} MB/s")
+    print()
+    print(measurement.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

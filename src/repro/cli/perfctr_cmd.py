@@ -1,0 +1,127 @@
+"""``likwid-perfctr`` command-line front-end.
+
+Mirrors the paper's usage::
+
+    likwid-perfctr -c 0-3 -g FLOPS_DP stream_icc
+    likwid-perfctr -c 0-7 -g SIMD_...:PMC0,SIMD_...:PMC1 sleep
+    likwid-perfctr -c 0-3 -g FLOPS_DP -m stream_icc
+
+with the wrapped binary replaced by a named simulated workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.common import (WORKLOADS, add_arch_argument,
+                              machine_from_args, run_marked_workload,
+                              run_workload)
+from repro.core.affinity import parse_corelist
+from repro.core.perfctr import LikwidPerfCtr
+from repro.core.perfctr.groups import GROUP_FUNCTIONS, groups_for
+from repro.core.perfctr.output import render_header, render_result
+from repro.errors import ReproError
+from repro.oskern.scheduler import OSKernel
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="likwid-perfctr",
+        description="Measure hardware performance counter metrics.")
+    parser.add_argument("-c", dest="cpus", default="0",
+                        help="cpu list to measure (e.g. 0-3)")
+    parser.add_argument("-g", dest="group", required=False,
+                        help="event group or EVENT:COUNTER list")
+    parser.add_argument("-a", action="store_true", dest="list_groups",
+                        help="list available event groups")
+    parser.add_argument("-e", action="store_true", dest="list_events",
+                        help="list available events and counters")
+    parser.add_argument("-m", action="store_true", dest="marker",
+                        help="marker mode: per-region results (the "
+                             "stream workloads expose Init/Benchmark)")
+    parser.add_argument("--pin", action="store_true",
+                        help="also pin the workload to the measured cpus "
+                             "(the likwid-perfctr ... likwid-pin idiom)")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="workload thread count (default: #cpus)")
+    parser.add_argument("--xml", action="store_true",
+                        help="emit results as XML instead of tables")
+    parser.add_argument("workload", nargs="?", default="stream_icc",
+                        help=f"simulated workload: {', '.join(WORKLOADS)}")
+    add_arch_argument(parser, default="nehalem_ep")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli.common import restore_sigpipe
+    restore_sigpipe()
+    args = build_parser().parse_args(argv)
+    machine = machine_from_args(args)
+    if args.list_groups:
+        for name, group in sorted(groups_for(machine.spec).items()):
+            print(f"{name}\t{GROUP_FUNCTIONS[name]}")
+        return 0
+    if args.list_events:
+        from repro.core.perfctr.counters import CounterMap
+        counters = CounterMap(machine.spec)
+        names = []
+        for cls in ("PMC", "FIXC", "UPMC", "UFIXC"):
+            names.extend(counters.names(cls))
+        print("Counters:", " ".join(names))
+        table = machine.spec.events
+        for name in table.names():
+            ev = table.lookup(name)
+            where = (f"FIXC{ev.fixed_index}" if ev.is_fixed
+                     else "UPMC" if ev.scope.value == "uncore" else "PMC")
+            print(f"{name}\t0x{ev.event_code:02X}:0x{ev.umask:02X}\t{where}")
+        return 0
+    if not args.group:
+        print("likwid-perfctr: option -g is required", file=sys.stderr)
+        return 2
+
+    kernel = OSKernel(machine, seed=0)
+    cpus = parse_corelist(args.cpus, max_cpu=machine.num_hwthreads - 1)
+    nthreads = args.threads or len(cpus)
+    pin = cpus if args.pin else None
+    group_name = args.group if ":" not in args.group else None
+
+    perfctr = LikwidPerfCtr(machine)
+    try:
+        if args.marker:
+            session = perfctr.session(cpus, args.group)
+            session.start()
+            marker = run_marked_workload(args.workload, machine, kernel,
+                                         session, nthreads=nthreads,
+                                         pin_cpus=pin)
+            session.stop()
+            if args.xml:
+                from repro.core.xmlout import measurement_to_xml
+                for region in marker.region_names():
+                    print(measurement_to_xml(marker.region_result(region),
+                                             group_name=group_name,
+                                             region=region))
+                return 0
+            print(render_header(machine, group_name))
+            for region in marker.region_names():
+                print(render_result(machine, marker.region_result(region),
+                                    region=region))
+            return 0
+        result = perfctr.wrap(
+            cpus, args.group,
+            lambda: run_workload(args.workload, machine, kernel,
+                                 nthreads=nthreads, pin_cpus=pin))
+    except ReproError as exc:
+        print(f"likwid-perfctr: {exc}", file=sys.stderr)
+        return 1
+    if args.xml:
+        from repro.core.xmlout import measurement_to_xml
+        print(measurement_to_xml(result, group_name=group_name))
+        return 0
+    print(render_header(machine, group_name))
+    print(render_result(machine, result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

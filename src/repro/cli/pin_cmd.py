@@ -1,0 +1,85 @@
+"""``likwid-pin`` command-line front-end.
+
+Mirrors the paper's usage::
+
+    likwid-pin -c 0-3 -t intel stream_icc
+    likwid-pin -c 0-7 -s 0x3 stream_icc
+
+The wrapped binary is a named simulated workload; the tool prints the
+final thread→core placements so the pinning effect is visible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.common import (WORKLOADS, add_arch_argument,
+                              machine_from_args, run_workload)
+from repro.core.affinity import parse_skip_mask
+from repro.core.pin import LikwidPin
+from repro.errors import ReproError
+from repro.oskern.scheduler import OSKernel
+from repro.workloads.stream import run_stream
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="likwid-pin",
+        description="Pin a multithreaded application to cores.")
+    parser.add_argument("-c", dest="cpus", required=True,
+                        help="core list to pin to, e.g. 0-3")
+    parser.add_argument("-t", dest="thread_type", default=None,
+                        help="threading implementation: gnu (default), "
+                             "intel, posix, intel_mpi")
+    parser.add_argument("-s", dest="skip", default=None,
+                        help="explicit skip mask, e.g. 0x3")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="workload thread count (default: #cores)")
+    parser.add_argument("workload", nargs="?", default="stream_gcc",
+                        help=f"simulated workload: {', '.join(WORKLOADS)}")
+    add_arch_argument(parser)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli.common import restore_sigpipe
+    restore_sigpipe()
+    args = build_parser().parse_args(argv)
+    machine = machine_from_args(args)
+    kernel = OSKernel(machine, seed=0)
+    pin = LikwidPin(kernel)
+    skip = parse_skip_mask(args.skip) if args.skip else None
+    try:
+        process = pin.launch(args.cpus, thread_type=args.thread_type,
+                             skip=skip)
+        nthreads = args.threads or len(process.cpus)
+        if args.workload.startswith("stream_"):
+            compiler = args.workload.split("_", 1)[1]
+            model = ("intel" if (args.thread_type or "").startswith("intel")
+                     else "gnu")
+            # Launch through the already-installed overlay: run_stream's
+            # own pin path is bypassed by passing the env-pinned kernel.
+            result = run_stream(machine, kernel, nthreads=nthreads,
+                                compiler=compiler, openmp_model=model,
+                                pin_cpus=process.cpus,
+                                skip_mask=process.skip_mask)
+            print(f"[likwid-pin] measured bandwidth: "
+                  f"{result.bandwidth_mb_s:.0f} MB/s")
+            run_result = result.result
+        else:
+            run_result = run_workload(args.workload, machine, kernel,
+                                      nthreads=nthreads,
+                                      pin_cpus=process.cpus)
+    except ReproError as exc:
+        print(f"likwid-pin: {exc}", file=sys.stderr)
+        return 1
+    if run_result is not None:
+        print("[likwid-pin] thread placements (tid -> hwthread):")
+        for outcome in run_result.threads:
+            print(f"  {outcome.tid} -> {outcome.hwthread}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""``likwid-topology`` command-line front-end."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.common import add_arch_argument, machine_from_args
+from repro.core.numa import probe_numa, render_numa
+from repro.core.topology import probe_topology, render_topology
+from repro.core.topology_ascii import render_ascii
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="likwid-topology",
+        description="Probe hardware thread and cache topology.")
+    parser.add_argument("-c", action="store_true", dest="caches",
+                        help="print extended cache parameters")
+    parser.add_argument("-g", action="store_true", dest="graphical",
+                        help="ASCII-art cache/socket diagram")
+    parser.add_argument("--xml", action="store_true",
+                        help="emit the report as XML instead of text")
+    parser.add_argument("--gen-topofile", metavar="PATH", default=None,
+                        help="probe once and write a topology config file")
+    parser.add_argument("--topofile", metavar="PATH", default=None,
+                        help="read the topology from a config file "
+                             "instead of probing CPUID")
+    add_arch_argument(parser)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli.common import restore_sigpipe
+    restore_sigpipe()
+    args = build_parser().parse_args(argv)
+    machine = machine_from_args(args)
+    if args.gen_topofile:
+        from repro.core.topofile import write_topofile
+        path = write_topofile(machine, args.gen_topofile)
+        print(f"wrote topology of {machine.spec.cpu_name} to {path}")
+        return 0
+    if args.topofile:
+        from repro.core.topofile import read_topofile
+        topology, numa = read_topofile(args.topofile)
+    else:
+        topology = probe_topology(machine)
+        numa = probe_numa(machine)
+    if args.xml:
+        from repro.core.xmlout import topology_to_xml
+        print(topology_to_xml(topology, numa))
+        return 0
+    print(render_topology(topology, caches=args.caches))
+    print(render_numa(numa))
+    if args.graphical:
+        print(render_ascii(topology))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The LIKWID tool suite: topology, pin, perfctr, features — plus the
+future-work tools the paper sketches: NUMA probing, the bandwidth map
+(likwid-bench), the timer API, and the sampling profiler."""
+
+from repro.core.bench import bandwidth_ladder, numa_bandwidth_map
+from repro.core.features import LikwidFeatures
+from repro.core.perfctr import LikwidPerfCtr, MarkerAPI
+from repro.core.numa import NumaTopology, probe_numa, render_numa
+from repro.core.pin import LikwidPin
+from repro.core.topology import NodeTopology, probe_topology, render_topology
+from repro.core.profile import CodeSegment, SamplingProfiler
+from repro.core.timer import Timer
+from repro.core.topology_ascii import render_ascii
+
+__all__ = ["LikwidFeatures", "LikwidPerfCtr", "MarkerAPI", "LikwidPin",
+           "NodeTopology", "probe_topology", "render_topology", "render_ascii",
+           "NumaTopology", "probe_numa", "render_numa",
+           "bandwidth_ladder", "numa_bandwidth_map", "Timer",
+           "SamplingProfiler", "CodeSegment"]

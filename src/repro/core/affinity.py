@@ -1,0 +1,169 @@
+"""Core-list and skip-mask handling for likwid-pin and likwid-perfctr.
+
+Implements the command-line syntax the paper's examples use:
+``-c 0-3``, ``-c 0,2-5``, skip masks like ``-s 0x3``, and the ``-t``
+thread-type presets that encode each threading implementation's
+management-thread layout (Intel OpenMP spawns a shepherd as its first
+created thread; Intel MPI adds another for hybrid runs).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AffinityError
+
+# Skip-mask presets for ``likwid-pin -t`` (paper §II.C): the mask is a
+# binary pattern over *newly created* threads; bit i set means the i-th
+# created thread must not be pinned.
+THREAD_TYPE_SKIP_MASKS: dict[str, int] = {
+    "gnu": 0x0,        # gcc OpenMP: no shepherd; the default
+    "gcc": 0x0,
+    "posix": 0x0,      # plain pthreads
+    "intel": 0x1,      # Intel OpenMP: first created thread is the shepherd
+    "intel_mpi": 0x3,  # Intel MPI + Intel OpenMP hybrid (paper example)
+}
+
+DEFAULT_THREAD_TYPE = "gnu"
+
+
+def parse_corelist(text: str, *, max_cpu: int | None = None) -> list[int]:
+    """Parse '0-3', '0,2-5,7', '4' into an ordered CPU id list.
+
+    Order matters: threads are pinned working through this list.
+    Duplicates are rejected — accidentally pinning two threads to one
+    core is the pathology the tool exists to prevent.
+    """
+    if not text or not text.strip():
+        raise AffinityError("empty core list")
+    cpus: list[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            raise AffinityError(f"empty element in core list {text!r}")
+        try:
+            if "-" in part:
+                lo_s, _, hi_s = part.partition("-")
+                lo, hi = int(lo_s), int(hi_s)
+                if hi < lo:
+                    raise AffinityError(f"descending range {part!r}")
+                cpus.extend(range(lo, hi + 1))
+            else:
+                cpus.append(int(part))
+        except ValueError:
+            raise AffinityError(f"malformed core list element {part!r}") from None
+    if any(c < 0 for c in cpus):
+        raise AffinityError(f"negative cpu id in {text!r}")
+    if len(set(cpus)) != len(cpus):
+        raise AffinityError(f"duplicate cpu ids in {text!r}")
+    if max_cpu is not None:
+        bad = [c for c in cpus if c > max_cpu]
+        if bad:
+            raise AffinityError(
+                f"cpu ids {bad} beyond the last hardware thread {max_cpu}")
+    return cpus
+
+
+def format_corelist(cpus: list[int]) -> str:
+    """Render a CPU list compactly ('0-3,8'), collapsing ascending runs."""
+    if not cpus:
+        return ""
+    parts: list[str] = []
+    i = 0
+    while i < len(cpus):
+        j = i
+        while j + 1 < len(cpus) and cpus[j + 1] == cpus[j] + 1:
+            j += 1
+        parts.append(str(cpus[i]) if i == j else f"{cpus[i]}-{cpus[j]}")
+        i = j + 1
+    return ",".join(parts)
+
+
+def parse_skip_mask(text: str) -> int:
+    """Parse a skip mask ('0x3', '3', '0b11') into an integer."""
+    try:
+        mask = int(text, 0)
+    except ValueError:
+        raise AffinityError(f"malformed skip mask {text!r}") from None
+    if mask < 0:
+        raise AffinityError(f"negative skip mask {text!r}")
+    return mask
+
+
+# ---------------------------------------------------------------------------
+# Affinity domains (the paper's cpuset future-work item: "likwid-pin
+# will be equipped with cpuset support, so that logical core IDs may be
+# used when binding threads")
+# ---------------------------------------------------------------------------
+
+def affinity_domains(spec) -> dict[str, list[int]]:
+    """Thread-affinity domains of one machine, likwid-style.
+
+    ``N`` — the whole node; ``S<i>`` — socket i; ``C<i>`` — the i-th
+    last-level-cache sharing group; ``M<i>`` — NUMA memory domain i.
+    Members are ordered physical cores first, then SMT siblings, so
+    logical id k < #cores always denotes a distinct physical core.
+    """
+    def core_major(hwthreads: list[int]) -> list[int]:
+        return sorted(hwthreads,
+                      key=lambda hw: (spec.hwthread_location(hw)[2], hw))
+
+    domains: dict[str, list[int]] = {
+        "N": core_major(list(range(spec.num_hwthreads)))}
+    for socket in range(spec.sockets):
+        domains[f"S{socket}"] = core_major(spec.hwthreads_of_socket(socket))
+    llc = spec.last_level_cache()
+    cores_per_group = max(1, llc.threads_sharing // spec.threads_per_core)
+    index = 0
+    for socket in range(spec.sockets):
+        for start in range(0, spec.cores_per_socket, cores_per_group):
+            group: list[int] = []
+            for core in range(start, min(start + cores_per_group,
+                                         spec.cores_per_socket)):
+                group.extend(spec.hwthreads_of_core(socket, core))
+            domains[f"C{index}"] = core_major(group)
+            index += 1
+    for domain in range(spec.num_numa_domains):
+        domains[f"M{domain}"] = core_major(
+            spec.hwthreads_of_numa_domain(domain))
+    return domains
+
+
+def resolve_affinity_expression(spec, text: str) -> list[int]:
+    """Resolve a likwid-pin core expression into physical CPU ids.
+
+    Plain lists ("0-3") are physical ids; "<domain>:<list>" selects
+    *logical* ids inside an affinity domain, e.g. ``S1:0-3`` = the
+    first four physical cores of socket 1, ``M0:0,2`` = logical cpus
+    0 and 2 of NUMA domain 0, ``N:0-7`` = the first eight physical
+    cores of the node.
+    """
+    domain_name, sep, logical = text.partition(":")
+    if not sep:
+        return parse_corelist(text, max_cpu=spec.num_hwthreads - 1)
+    domains = affinity_domains(spec)
+    try:
+        members = domains[domain_name.strip()]
+    except KeyError:
+        raise AffinityError(
+            f"unknown affinity domain {domain_name!r}; available: "
+            f"{', '.join(sorted(domains))}") from None
+    indices = parse_corelist(logical)
+    bad = [i for i in indices if i >= len(members)]
+    if bad:
+        raise AffinityError(
+            f"logical ids {bad} beyond domain {domain_name} "
+            f"({len(members)} members)")
+    return [members[i] for i in indices]
+
+
+def skip_mask_for(thread_type: str | None, explicit: int | None = None) -> int:
+    """Resolve the effective skip mask: an explicit ``-s`` mask wins,
+    otherwise the ``-t`` preset, otherwise the gcc default."""
+    if explicit is not None:
+        return explicit
+    key = (thread_type or DEFAULT_THREAD_TYPE).lower()
+    try:
+        return THREAD_TYPE_SKIP_MASKS[key]
+    except KeyError:
+        raise AffinityError(
+            f"unknown thread type {thread_type!r}; known: "
+            f"{', '.join(sorted(THREAD_TYPE_SKIP_MASKS))}") from None

@@ -1,0 +1,328 @@
+"""likwid-bench: low-level bandwidth benchmarking ("bandwidth map").
+
+The paper's outlook: "low-level benchmarking with a tool creating a
+'bandwidth map'.  This will allow a quick overview of the cache and
+memory bandwidth bottlenecks in a shared-memory node, including the
+ccNUMA behavior."
+
+Two instruments:
+
+* :func:`bandwidth_ladder` — sweep a streaming kernel's working-set
+  size through the cache hierarchy and report the sustained bandwidth
+  plateau per level (the classic L1/L2/L3/memory staircase).
+* :func:`numa_bandwidth_map` — pin a thread group to each NUMA domain
+  and stream from every memory domain in turn; the resulting matrix
+  exposes the local/remote bandwidth asymmetry.  The map is produced
+  by the same contention solver the workloads use, so it is consistent
+  with every other number in this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.hw.machine import SimMachine
+from repro.model.ecm import KernelPhase, PlacedWork, solve
+from repro.tables import render_table
+
+
+@dataclass(frozen=True)
+class BenchKernel:
+    """One streaming microkernel (likwid-bench test case)."""
+
+    name: str
+    read_streams: int
+    write_streams: int
+    nontemporal: bool = False
+    flops_per_element: float = 0.0
+
+    @property
+    def bytes_per_element(self) -> float:
+        """Traffic per scalar element including write-allocate."""
+        writes = self.write_streams * (1.0 if self.nontemporal else 2.0)
+        return 8.0 * (self.read_streams + writes)
+
+    @property
+    def reported_bytes_per_element(self) -> float:
+        """What the benchmark reports (reads + writes, no allocate)."""
+        return 8.0 * (self.read_streams + self.write_streams)
+
+
+KERNELS: dict[str, BenchKernel] = {
+    "load": BenchKernel("load", read_streams=1, write_streams=0),
+    "store": BenchKernel("store", read_streams=0, write_streams=1),
+    "store_nt": BenchKernel("store_nt", 0, 1, nontemporal=True),
+    "copy": BenchKernel("copy", read_streams=1, write_streams=1),
+    "triad": BenchKernel("triad", 2, 1, flops_per_element=2.0),
+    "triad_nt": BenchKernel("triad_nt", 2, 1, nontemporal=True,
+                            flops_per_element=2.0),
+}
+
+
+@dataclass
+class LadderPoint:
+    """One working-set size of the bandwidth ladder."""
+
+    working_set: int       # bytes per thread
+    level: str             # "L1" | "L2" | "L3" | "MEM"
+    bandwidth: float       # sustained bytes/s for the thread group
+
+
+def _fit_level(machine: SimMachine, working_set: int,
+               threads_per_llc: int) -> str:
+    """Which level holds a per-thread working set of this size."""
+    for cache in machine.spec.data_caches():
+        share = cache.size
+        if cache.level == machine.spec.last_level_cache().level:
+            share = cache.size // max(threads_per_llc, 1)
+        elif cache.threads_sharing > machine.spec.threads_per_core:
+            share = cache.size // (cache.threads_sharing
+                                   // machine.spec.threads_per_core)
+        if working_set <= share:
+            return f"L{cache.level}"
+    return "MEM"
+
+
+def bandwidth_ladder(machine: SimMachine, kernel: str = "load",
+                     cpus: list[int] | None = None,
+                     sizes: list[int] | None = None) -> list[LadderPoint]:
+    """Sweep the working set through the hierarchy on the given cores.
+
+    Each point reports the thread group's aggregate bandwidth at that
+    per-thread working-set size.
+    """
+    try:
+        k = KERNELS[kernel]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown bench kernel {kernel!r}; known: "
+            f"{', '.join(sorted(KERNELS))}") from None
+    spec = machine.spec
+    perf = spec.perf
+    if cpus is None:
+        cpus = [0]
+    if sizes is None:
+        sizes = [1 << p for p in range(12, 28)]   # 4 kB .. 128 MB
+
+    llc = spec.last_level_cache()
+    threads_per_llc = sum(
+        1 for c in cpus
+        if spec.socket_of(c) == spec.socket_of(cpus[0]))
+
+    points: list[LadderPoint] = []
+    for size in sizes:
+        level = _fit_level(machine, size, threads_per_llc)
+        if level == f"L{llc.level}":
+            phase = KernelPhase(
+                f"bench_{kernel}", iters=size // 8,
+                cycles_per_iter=k.bytes_per_element / perf.l1_bytes_per_cycle,
+                l3_bytes_per_iter=k.bytes_per_element,
+                flops_per_iter=k.flops_per_element)
+        elif level == "MEM":
+            phase = KernelPhase(
+                f"bench_{kernel}", iters=size // 8,
+                cycles_per_iter=k.bytes_per_element / perf.l1_bytes_per_cycle,
+                l3_bytes_per_iter=k.bytes_per_element,
+                mem_read_bytes_per_iter=8.0 * k.read_streams
+                + (0.0 if k.nontemporal else 8.0 * k.write_streams),
+                mem_write_bytes_per_iter=8.0 * k.write_streams,
+                nt_store_fraction=1.0 if k.nontemporal else 0.0,
+                flops_per_iter=k.flops_per_element)
+        else:
+            # L1/L2 resident: core-private load/store path limit.
+            per_cycle = (perf.l1_bytes_per_cycle if level == "L1"
+                         else perf.l2_bytes_per_cycle)
+            phase = KernelPhase(
+                f"bench_{kernel}", iters=size // 8,
+                cycles_per_iter=k.bytes_per_element / per_cycle,
+                flops_per_iter=k.flops_per_element)
+        work = [PlacedWork(tid=i, hwthread=cpu,
+                           memory_socket=spec.socket_of(cpu), phase=phase)
+                for i, cpu in enumerate(cpus)]
+        result = solve(spec, work)
+        total_bytes = k.reported_bytes_per_element * phase.iters * len(cpus)
+        points.append(LadderPoint(size, level,
+                                  total_bytes / result.total_time))
+    return points
+
+
+def numa_bandwidth_map(machine: SimMachine, kernel: str = "copy",
+                       threads_per_domain: int | None = None
+                       ) -> list[list[float]]:
+    """Bandwidth matrix [run domain][memory domain] in bytes/s.
+
+    Threads are pinned to the physical cores of one NUMA domain and
+    stream data homed on another; the diagonal shows local bandwidth,
+    off-diagonal entries the ccNUMA penalty.
+    """
+    k = KERNELS[kernel]
+    spec = machine.spec
+    n_domains = spec.num_numa_domains
+    if threads_per_domain is None:
+        threads_per_domain = spec.cores_per_socket \
+            // spec.numa_domains_per_socket
+    matrix: list[list[float]] = []
+    for run_domain in range(n_domains):
+        cpus = [hw for hw in spec.hwthreads_of_numa_domain(run_domain)
+                if spec.hwthread_location(hw)[2] == 0][:threads_per_domain]
+        row: list[float] = []
+        for mem_domain in range(n_domains):
+            mem_socket = mem_domain // spec.numa_domains_per_socket
+            phase = KernelPhase(
+                f"numa_{kernel}", iters=1_000_000,
+                cycles_per_iter=0.5,
+                mem_read_bytes_per_iter=8.0 * k.read_streams
+                + (0.0 if k.nontemporal else 8.0 * k.write_streams),
+                mem_write_bytes_per_iter=8.0 * k.write_streams,
+                nt_store_fraction=1.0 if k.nontemporal else 0.0)
+            work = [PlacedWork(tid=i, hwthread=cpu,
+                               memory_socket=mem_socket, phase=phase)
+                    for i, cpu in enumerate(cpus)]
+            result = solve(spec, work)
+            total = (k.reported_bytes_per_element * phase.iters * len(cpus))
+            row.append(total / result.total_time)
+        matrix.append(row)
+    return matrix
+
+
+@dataclass(frozen=True)
+class Workgroup:
+    """One likwid-bench workgroup: a thread team streaming over a
+    working set inside an affinity domain (``-w S0:1GB:4``)."""
+
+    domain: str
+    size: int          # bytes, total working set of the group
+    nthreads: int
+
+    @classmethod
+    def parse(cls, text: str) -> "Workgroup":
+        """Parse the likwid-bench syntax '<domain>:<size>[:<threads>]'
+        with size suffixes kB/MB/GB."""
+        parts = text.split(":")
+        if len(parts) not in (2, 3):
+            raise WorkloadError(
+                f"malformed workgroup {text!r} (want DOMAIN:SIZE[:THREADS])")
+        from repro.units import parse_size
+        try:
+            size = parse_size(parts[1])
+        except ValueError:
+            raise WorkloadError(f"bad size in workgroup {text!r}") from None
+        nthreads = 1
+        if len(parts) == 3:
+            try:
+                nthreads = int(parts[2])
+            except ValueError:
+                raise WorkloadError(
+                    f"bad thread count in workgroup {text!r}") from None
+        if size <= 0 or nthreads < 1:
+            raise WorkloadError(f"non-positive workgroup {text!r}")
+        return cls(parts[0], size, nthreads)
+
+
+@dataclass
+class WorkgroupResult:
+    workgroup: Workgroup
+    cpus: list[int]
+    bandwidth: float      # reported bytes/s
+    flops: float          # flops/s (triad kernels)
+    runtime: float
+
+
+def run_workgroups(machine: SimMachine, kernel: str,
+                   workgroups: list[Workgroup],
+                   *, iterations: int = 4) -> list[WorkgroupResult]:
+    """Execute one bench kernel over several workgroups concurrently.
+
+    All groups run in a single solve, so two groups hammering the same
+    socket genuinely share its bandwidth — the way likwid-bench
+    exposes contention between thread teams.
+    """
+    from repro.core.affinity import affinity_domains
+    try:
+        k = KERNELS[kernel]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown bench kernel {kernel!r}; known: "
+            f"{', '.join(sorted(KERNELS))}") from None
+    spec = machine.spec
+    domains = affinity_domains(spec)
+    work: list[PlacedWork] = []
+    group_tids: list[list[int]] = []
+    tid = 0
+    for wg in workgroups:
+        try:
+            members = domains[wg.domain]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown affinity domain {wg.domain!r}; available: "
+                f"{', '.join(sorted(domains))}") from None
+        if wg.nthreads > len(members):
+            raise WorkloadError(
+                f"workgroup {wg.domain} has only {len(members)} cpus")
+        cpus = members[:wg.nthreads]
+        elements = wg.size // 8 // max(1, k.read_streams + k.write_streams)
+        per_thread = max(elements // wg.nthreads, 1) * iterations
+        phase = KernelPhase(
+            f"bench_{kernel}", iters=per_thread,
+            flops_per_iter=k.flops_per_element,
+            cycles_per_iter=0.5,
+            mem_read_bytes_per_iter=8.0 * k.read_streams
+            + (0.0 if k.nontemporal else 8.0 * k.write_streams),
+            mem_write_bytes_per_iter=8.0 * k.write_streams,
+            nt_store_fraction=1.0 if k.nontemporal else 0.0)
+        tids = []
+        for cpu in cpus:
+            work.append(PlacedWork(tid, cpu, spec.socket_of(cpu), phase))
+            tids.append(tid)
+            tid += 1
+        group_tids.append(tids)
+    result = solve(spec, work)
+    runtimes = {t.tid: t.runtime for t in result.threads}
+    out: list[WorkgroupResult] = []
+    for wg, tids in zip(workgroups, group_tids):
+        group_runtime = max(runtimes[t] for t in tids)
+        per_thread = next(w.phase.iters for w in work if w.tid == tids[0])
+        total_elements = per_thread * len(tids)
+        members = domains[wg.domain][:wg.nthreads]
+        out.append(WorkgroupResult(
+            workgroup=wg, cpus=members,
+            bandwidth=k.reported_bytes_per_element * total_elements
+            / group_runtime,
+            flops=k.flops_per_element * total_elements / group_runtime,
+            runtime=group_runtime))
+    return out
+
+
+def render_workgroups(results: list[WorkgroupResult],
+                      kernel: str) -> str:
+    rows = []
+    for r in results:
+        wg = r.workgroup
+        rows.append([f"{wg.domain}:{wg.size // 1024}kB:{wg.nthreads}",
+                     " ".join(map(str, r.cpus)),
+                     f"{r.bandwidth / 1e6:.0f} MB/s",
+                     f"{r.flops / 1e6:.0f} MFlop/s",
+                     f"{r.runtime:.4f} s"])
+    total_bw = sum(r.bandwidth for r in results)
+    rows.append(["TOTAL", "", f"{total_bw / 1e6:.0f} MB/s", "", ""])
+    return render_table(
+        [f"workgroup ({kernel})", "cpus", "bandwidth", "flops", "runtime"],
+        rows)
+
+
+def render_ladder(points: list[LadderPoint]) -> str:
+    """The bandwidth-map staircase as a table."""
+    rows = []
+    for p in points:
+        rows.append([f"{p.working_set // 1024} kB", p.level,
+                     f"{p.bandwidth / 1e9:.1f} GB/s"])
+    return render_table(["working set", "level", "bandwidth"], rows)
+
+
+def render_numa_map(matrix: list[list[float]]) -> str:
+    header = ["cores \\ memory"] + [f"M{j}" for j in range(len(matrix))]
+    rows = []
+    for i, row in enumerate(matrix):
+        rows.append([f"M{i}"] + [f"{v / 1e9:.1f} GB/s" for v in row])
+    return render_table(header, rows)

@@ -1,0 +1,122 @@
+"""likwid-features: view and toggle processor features (paper §II.D).
+
+Reads and writes the feature bits of ``IA32_MISC_ENABLE`` through the
+msr device files.  Only the four prefetcher bits are writable; the
+remaining entries (SpeedStep, thermal control, BTS, PEBS, ...) are
+report-only.  Like the original tool, this "currently only works for
+Intel Core 2 processors".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FeatureError
+from repro.hw import registers as regs
+from repro.oskern.msr_driver import MsrDriver
+from repro.tables import RULE
+
+# Features whose display wording is supported/not supported rather than
+# enabled/disabled (capabilities, not switches).
+_CAPABILITY_KEYS = {"BTS", "PEBS", "MONITOR"}
+
+
+@dataclass(frozen=True)
+class FeatureState:
+    name: str
+    key: str
+    enabled: bool
+    writable: bool
+
+    @property
+    def display(self) -> str:
+        if self.key in _CAPABILITY_KEYS:
+            return "supported" if self.enabled else "not supported"
+        return "enabled" if self.enabled else "disabled"
+
+
+class LikwidFeatures:
+    """The likwid-features tool bound to one CPU of a machine."""
+
+    def __init__(self, driver: MsrDriver, cpu: int = 0):
+        self.driver = driver
+        self.machine = driver.machine
+        self.cpu = cpu
+        if not self.machine.spec.has_misc_enable:
+            raise FeatureError(
+                f"likwid-features only supports Intel Core 2 processors "
+                f"(got {self.machine.spec.cpu_name})")
+
+    # -- reading -----------------------------------------------------------
+
+    def _read(self) -> int:
+        msr = self.driver.open(self.cpu, write=False)
+        try:
+            return msr.read_msr(regs.IA32_MISC_ENABLE)
+        finally:
+            msr.close()
+
+    def state(self, key: str) -> FeatureState:
+        """Current state of one feature by its command-line key."""
+        bit = self._bit(key)
+        raw = bool(self._read() & (1 << bit.bit))
+        enabled = (not raw) if bit.invert else raw
+        return FeatureState(bit.name, bit.key, enabled, bit.writable)
+
+    def states(self) -> list[FeatureState]:
+        """All features, in the report order of the paper's listing."""
+        value = self._read()
+        out = []
+        for bit in regs.MISC_ENABLE_BITS:
+            raw = bool(value & (1 << bit.bit))
+            enabled = (not raw) if bit.invert else raw
+            out.append(FeatureState(bit.name, bit.key, enabled, bit.writable))
+        return out
+
+    # -- toggling ------------------------------------------------------------
+
+    def _bit(self, key: str) -> regs.MiscEnableBit:
+        try:
+            return regs.MISC_ENABLE_BY_KEY[key.upper()]
+        except KeyError:
+            raise FeatureError(
+                f"unknown feature {key!r}; known: "
+                f"{', '.join(sorted(regs.MISC_ENABLE_BY_KEY))}") from None
+
+    def _set(self, key: str, enabled: bool) -> FeatureState:
+        bit = self._bit(key)
+        if not bit.writable:
+            raise FeatureError(f"feature {bit.key} is read-only")
+        raw_bit_value = (not enabled) if bit.invert else enabled
+        msr = self.driver.open(self.cpu, write=True)
+        try:
+            value = msr.read_msr(regs.IA32_MISC_ENABLE)
+            if raw_bit_value:
+                value |= 1 << bit.bit
+            else:
+                value &= ~(1 << bit.bit)
+            msr.write_msr(regs.IA32_MISC_ENABLE, value)
+        finally:
+            msr.close()
+        return self.state(key)
+
+    def enable(self, key: str) -> FeatureState:
+        """``likwid-features -e <KEY>``"""
+        return self._set(key, True)
+
+    def disable(self, key: str) -> FeatureState:
+        """``likwid-features -u <KEY>``"""
+        return self._set(key, False)
+
+    # -- report ----------------------------------------------------------------
+
+    def report(self) -> str:
+        """The paper's listing format."""
+        lines = [RULE,
+                 f"CPU name:\t{self.machine.spec.cpu_name}",
+                 f"CPU core id:\t{self.cpu}",
+                 RULE]
+        for st in self.states():
+            lines.append(f"{st.name}: {st.display}")
+        lines.append(RULE)
+        return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""MPI-wide performance counting (likwid-mpirun precursor).
+
+The paper's outlook: "Further goals are the combination of LIKWID with
+one of the available MPI profiling frameworks to facilitate the
+collection of performance counter data in MPI programs."
+
+:class:`MpiPerfCtr` runs one likwid-perfctr session per MPI rank (each
+on its own node's msr driver), wraps the ranks' execution, and reduces
+the per-rank results into the min/max/avg/sum statistics an MPI
+profiler reports — including the per-rank imbalance view that
+motivates collecting counters across ranks in the first place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.perfctr.measurement import LikwidPerfCtr, MeasurementResult
+from repro.errors import CounterError
+from repro.oskern.mpi import MpiExec, MpiRank
+from repro.tables import render_table
+
+
+@dataclass
+class EventStatistics:
+    """Cross-rank reduction of one event (summed over each rank's cpus)."""
+
+    event: str
+    minimum: float
+    maximum: float
+    average: float
+    total: float
+    min_rank: int
+    max_rank: int
+
+    @property
+    def imbalance(self) -> float:
+        """max/avg — 1.0 means perfectly balanced."""
+        return self.maximum / self.average if self.average else 0.0
+
+
+@dataclass
+class MpiMeasurement:
+    """All ranks' results plus reductions."""
+
+    group_or_events: str
+    per_rank: dict[int, MeasurementResult] = field(default_factory=dict)
+
+    def rank_total(self, rank: int, event: str) -> float:
+        return self.per_rank[rank].total(event)
+
+    def events(self) -> list[str]:
+        first = next(iter(self.per_rank.values()))
+        names: list[str] = []
+        for cpu in first.cpus:
+            for name in first.counts[cpu]:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def statistics(self, event: str) -> EventStatistics:
+        totals = {rank: result.total(event)
+                  for rank, result in self.per_rank.items()}
+        if not totals:
+            raise CounterError("no rank results")
+        min_rank = min(totals, key=totals.get)
+        max_rank = max(totals, key=totals.get)
+        values = list(totals.values())
+        return EventStatistics(
+            event=event,
+            minimum=totals[min_rank], maximum=totals[max_rank],
+            average=sum(values) / len(values), total=sum(values),
+            min_rank=min_rank, max_rank=max_rank)
+
+    def render(self) -> str:
+        rows = []
+        for event in self.events():
+            s = self.statistics(event)
+            rows.append([event, f"{s.total:.6g}", f"{s.average:.6g}",
+                         f"{s.minimum:.6g} (r{s.min_rank})",
+                         f"{s.maximum:.6g} (r{s.max_rank})",
+                         f"{s.imbalance:.2f}"])
+        return render_table(
+            ["Event", "sum", "avg/rank", "min", "max", "max/avg"], rows)
+
+
+class MpiPerfCtr:
+    """likwid-perfctr across all ranks of an MPI job."""
+
+    def __init__(self, mpiexec: MpiExec, group_or_events: str,
+                 cpus_per_rank: str | list[int] = "0-3"):
+        if not mpiexec.ranks:
+            raise CounterError("mpiexec has no launched ranks")
+        self.mpiexec = mpiexec
+        self.group_or_events = group_or_events
+        self.cpus_per_rank = cpus_per_rank
+
+    def wrap(self, run_rank: Callable[[MpiRank], object]) -> MpiMeasurement:
+        """Measure every rank's execution of *run_rank*.
+
+        Each rank's session programs the counters of its own node —
+        ranks on different nodes measure truly independent hardware.
+        """
+        measurement = MpiMeasurement(self.group_or_events)
+        for rank in self.mpiexec.ranks:
+            perfctr = LikwidPerfCtr(rank.node.machine)
+            result = perfctr.wrap(self.cpus_per_rank, self.group_or_events,
+                                  lambda r=rank: run_rank(r))
+            measurement.per_rank[rank.rank] = result
+        return measurement

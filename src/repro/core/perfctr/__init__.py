@@ -1,0 +1,14 @@
+"""likwid-perfCtr: hardware performance counter measurement."""
+
+from repro.core.perfctr.counters import Assignment, CounterMap
+from repro.core.perfctr.events import EventSpec, parse_event_string
+from repro.core.perfctr.groups import GroupDef, groups_for, lookup_group
+from repro.core.perfctr.marker import MarkerAPI
+from repro.core.perfctr.measurement import (LikwidPerfCtr, MeasurementResult,
+                                            PerfCtrSession)
+from repro.core.perfctr.multiplex import measure_multiplexed, split_event_sets
+
+__all__ = ["Assignment", "CounterMap", "EventSpec", "parse_event_string",
+           "GroupDef", "groups_for", "lookup_group", "MarkerAPI",
+           "LikwidPerfCtr", "MeasurementResult", "PerfCtrSession",
+           "measure_multiplexed", "split_event_sets"]

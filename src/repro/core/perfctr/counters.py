@@ -1,0 +1,286 @@
+"""Counter resources: naming, validation, allocation and programming.
+
+Maps the tool-level counter names (``PMC0``, ``FIXC1``, ``UPMC3``,
+``UFIXC0``) onto MSR addresses for a given architecture, validates
+event→counter assignments against hardware constraints (fixed events
+only on their fixed counter, uncore events only on uncore counters),
+and programs/reads the registers through msr device files.
+
+Uncore counters are socket-scope, so a measurement spanning several
+cores of one socket must elect exactly one *socket lock owner* per
+socket; only that CPU programs and reads the uncore PMU and the counts
+are attributed to it (paper §II.A: "socket locks ... enforce that all
+uncore event counts are assigned to one thread per socket").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CounterError
+from repro.hw import registers as regs
+from repro.hw.events import CounterScope, EventDef, EventTable
+from repro.hw.spec import ArchSpec
+from repro.core.perfctr.events import EventOptions, EventSpec
+from repro.oskern.msr_driver import MsrDriver
+
+
+@dataclass(frozen=True)
+class CounterInfo:
+    """One physical counter visible to the tool."""
+
+    name: str
+    cls: str          # PMC | FIXC | UPMC | UFIXC
+    index: int
+    config_addr: int | None   # PERFEVTSEL address (None for fixed)
+    counter_addr: int
+
+    @property
+    def is_uncore(self) -> bool:
+        return self.cls in ("UPMC", "UFIXC")
+
+
+class CounterMap:
+    """All counters of one architecture, by name."""
+
+    def __init__(self, spec: ArchSpec):
+        self.spec = spec
+        self._counters: dict[str, CounterInfo] = {}
+        pmu = spec.pmu
+        for i in range(pmu.num_pmcs):
+            self._add(CounterInfo(f"PMC{i}", "PMC", i,
+                                  pmu.evtsel_address(i), pmu.pmc_address(i)))
+        if pmu.has_fixed:
+            for i in range(3):
+                self._add(CounterInfo(f"FIXC{i}", "FIXC", i, None,
+                                      regs.IA32_FIXED_CTR0 + i))
+        for i in range(pmu.num_uncore_pmcs):
+            self._add(CounterInfo(f"UPMC{i}", "UPMC", i,
+                                  regs.MSR_UNCORE_PERFEVTSEL0 + i,
+                                  regs.MSR_UNCORE_PMC0 + i))
+        if pmu.has_uncore_fixed:
+            self._add(CounterInfo("UFIXC0", "UFIXC", 0, None,
+                                  regs.MSR_UNCORE_FIXED_CTR0))
+
+    def _add(self, info: CounterInfo) -> None:
+        self._counters[info.name] = info
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def lookup(self, name: str) -> CounterInfo:
+        try:
+            return self._counters[name]
+        except KeyError:
+            raise CounterError(
+                f"no counter {name!r} on {self.spec.name}") from None
+
+    def names(self, cls: str | None = None) -> list[str]:
+        return sorted((n for n, c in self._counters.items()
+                       if cls is None or c.cls == cls),
+                      key=lambda n: self._counters[n].index)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A validated event→counter binding."""
+
+    event: EventDef
+    counter: CounterInfo
+    options: EventOptions = EventOptions()
+
+
+def validate_assignments(table: EventTable, counters: CounterMap,
+                         specs: list[EventSpec]) -> list[Assignment]:
+    """Resolve and validate a parsed event string for an architecture."""
+    out: list[Assignment] = []
+    for spec in specs:
+        event = table.lookup(spec.event)
+        counter = counters.lookup(spec.counter)
+        if event.is_fixed:
+            if counter.cls != "FIXC" or counter.index != event.fixed_index:
+                raise CounterError(
+                    f"{event.name} is hard-wired to FIXC{event.fixed_index}, "
+                    f"cannot count on {counter.name}")
+            if spec.options != EventOptions():
+                raise CounterError(
+                    f"fixed counter {counter.name} has no event-select "
+                    "register; options are not supported")
+        elif event.scope is CounterScope.UNCORE:
+            if counter.cls != "UPMC":
+                raise CounterError(
+                    f"uncore event {event.name} requires a UPMC counter, "
+                    f"got {counter.name}")
+        else:
+            if counter.cls != "PMC":
+                raise CounterError(
+                    f"core event {event.name} requires a PMC counter, "
+                    f"got {counter.name}")
+            if not event.allowed_on(counter.index):
+                raise CounterError(
+                    f"{event.name} cannot be counted on {counter.name}")
+        out.append(Assignment(event, counter, spec.options))
+    return out
+
+
+def auto_fixed_assignments(table: EventTable,
+                           counters: CounterMap) -> list[Assignment]:
+    """The always-counted fixed events on Intel (paper: INSTR_RETIRED_ANY
+    and CPU_CLK_UNHALTED_CORE "are always counted ... so that the
+    derived CPI metric is easily obtained")."""
+    out: list[Assignment] = []
+    if not self_has_fixed(counters):
+        return out
+    for name in ("INSTR_RETIRED_ANY", "CPU_CLK_UNHALTED_CORE",
+                 "CPU_CLK_UNHALTED_REF"):
+        if name in table:
+            event = table.lookup(name)
+            if event.is_fixed:
+                out.append(Assignment(
+                    event, counters.lookup(f"FIXC{event.fixed_index}")))
+    return out
+
+
+def self_has_fixed(counters: CounterMap) -> bool:
+    return bool(counters.names("FIXC"))
+
+
+# ---------------------------------------------------------------------------
+# programming through the msr driver
+# ---------------------------------------------------------------------------
+
+class CounterProgrammer:
+    """Programs, starts, stops and reads one CPU's share of a setup."""
+
+    def __init__(self, driver: MsrDriver, counters: CounterMap):
+        self.driver = driver
+        self.counters = counters
+        self.spec = counters.spec
+
+    # -- core counters -------------------------------------------------------
+
+    def setup_core(self, cpu: int, assignments: list[Assignment]) -> None:
+        """Write event selections and zero the involved counters."""
+        msr = self.driver.open(cpu)
+        try:
+            if not self.spec.pmu.vendor_amd:
+                msr.write_msr(regs.IA32_PERF_GLOBAL_CTRL, 0)
+            fixed_ctrl = 0
+            for a in assignments:
+                if a.counter.is_uncore:
+                    continue
+                if a.counter.cls == "FIXC":
+                    fixed_ctrl |= regs.fixed_ctr_ctrl_encode(a.counter.index)
+                else:
+                    # Intel gates counting with the global-control MSR,
+                    # so EN can be staged here; AMD has no global control
+                    # and must keep EN clear until start.
+                    msr.write_msr(a.counter.config_addr, regs.evtsel_encode(
+                        a.event.event_code, a.event.umask,
+                        enable=not self.spec.pmu.vendor_amd,
+                        **a.options.evtsel_kwargs()))
+                msr.write_msr(a.counter.counter_addr, 0)
+            if fixed_ctrl and not self.spec.pmu.vendor_amd:
+                msr.write_msr(regs.IA32_FIXED_CTR_CTRL, fixed_ctrl)
+        finally:
+            msr.close()
+
+    def start_core(self, cpu: int, assignments: list[Assignment]) -> None:
+        """Enable counting (global-control on Intel; EN bits on AMD)."""
+        msr = self.driver.open(cpu)
+        try:
+            if self.spec.pmu.vendor_amd:
+                for a in assignments:
+                    if not a.counter.is_uncore and a.counter.cls == "PMC":
+                        msr.write_msr(a.counter.config_addr, regs.evtsel_encode(
+                            a.event.event_code, a.event.umask, enable=True,
+                            **a.options.evtsel_kwargs()))
+                return
+            ctrl = 0
+            for a in assignments:
+                if a.counter.is_uncore:
+                    continue
+                if a.counter.cls == "FIXC":
+                    ctrl |= regs.global_ctrl_fixed_bit(a.counter.index)
+                else:
+                    ctrl |= regs.global_ctrl_pmc_bit(a.counter.index)
+            msr.write_msr(regs.IA32_PERF_GLOBAL_CTRL, ctrl)
+        finally:
+            msr.close()
+
+    def stop_core(self, cpu: int, assignments: list[Assignment]) -> None:
+        msr = self.driver.open(cpu)
+        try:
+            if self.spec.pmu.vendor_amd:
+                for a in assignments:
+                    if not a.counter.is_uncore and a.counter.cls == "PMC":
+                        msr.write_msr(a.counter.config_addr, regs.evtsel_encode(
+                            a.event.event_code, a.event.umask, enable=False,
+                            **a.options.evtsel_kwargs()))
+            else:
+                msr.write_msr(regs.IA32_PERF_GLOBAL_CTRL, 0)
+        finally:
+            msr.close()
+
+    def read_core(self, cpu: int,
+                  assignments: list[Assignment]) -> dict[str, int]:
+        """Read the core-scope counters; keys are counter names."""
+        msr = self.driver.open(cpu, write=False)
+        try:
+            return {a.counter.name: msr.read_msr(a.counter.counter_addr)
+                    for a in assignments if not a.counter.is_uncore}
+        finally:
+            msr.close()
+
+    # -- uncore counters (socket-lock owner only) -------------------------------
+
+    def setup_uncore(self, cpu: int, assignments: list[Assignment]) -> None:
+        msr = self.driver.open(cpu)
+        try:
+            msr.write_msr(regs.MSR_UNCORE_PERF_GLOBAL_CTRL, 0)
+            fixed = False
+            for a in assignments:
+                if not a.counter.is_uncore:
+                    continue
+                if a.counter.cls == "UFIXC":
+                    fixed = True
+                else:
+                    msr.write_msr(a.counter.config_addr, regs.evtsel_encode(
+                        a.event.event_code, a.event.umask, enable=True,
+                        **a.options.evtsel_kwargs()))
+                msr.write_msr(a.counter.counter_addr, 0)
+            if fixed:
+                msr.write_msr(regs.MSR_UNCORE_FIXED_CTR_CTRL, 1)
+        finally:
+            msr.close()
+
+    def start_uncore(self, cpu: int, assignments: list[Assignment]) -> None:
+        msr = self.driver.open(cpu)
+        try:
+            ctrl = 0
+            for a in assignments:
+                if not a.counter.is_uncore:
+                    continue
+                if a.counter.cls == "UFIXC":
+                    ctrl |= 1 << 32
+                else:
+                    ctrl |= regs.global_ctrl_pmc_bit(a.counter.index)
+            msr.write_msr(regs.MSR_UNCORE_PERF_GLOBAL_CTRL, ctrl)
+        finally:
+            msr.close()
+
+    def stop_uncore(self, cpu: int) -> None:
+        msr = self.driver.open(cpu)
+        try:
+            msr.write_msr(regs.MSR_UNCORE_PERF_GLOBAL_CTRL, 0)
+        finally:
+            msr.close()
+
+    def read_uncore(self, cpu: int,
+                    assignments: list[Assignment]) -> dict[str, int]:
+        msr = self.driver.open(cpu, write=False)
+        try:
+            return {a.counter.name: msr.read_msr(a.counter.counter_addr)
+                    for a in assignments if a.counter.is_uncore}
+        finally:
+            msr.close()

@@ -1,0 +1,149 @@
+"""Command-line event parsing for likwid-perfctr.
+
+The paper's syntax assigns events to named counters explicitly::
+
+    -g SIMD_COMP_INST_RETIRED_PACKED_DOUBLE:PMC0,\\
+       SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE:PMC1
+
+Counter names are PMC<n> (general-purpose), FIXC<n> (Intel fixed) and
+UPMC<n> (Nehalem uncore).  Additional colon-separated *options* select
+PERFEVTSEL filter bits (``EVENT:PMC0:EDGEDETECT:CMASK=0x2``): supported
+are EDGEDETECT, INVERT, ANYTHREAD, KERNEL (ring-0 only), USER (ring-3
+only) and CMASK=<n>.  A ``-g`` argument with no colon is a
+preconfigured group instead (resolved by
+:mod:`repro.core.perfctr.groups`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import EventError
+
+_COUNTER_RE = re.compile(r"^(PMC|FIXC|UPMC|UFIXC)(\d+)$")
+
+_FLAG_OPTIONS = ("EDGEDETECT", "INVERT", "ANYTHREAD", "KERNEL", "USER")
+
+
+@dataclass(frozen=True)
+class EventOptions:
+    """PERFEVTSEL filter options of one assignment."""
+
+    edge: bool = False
+    invert: bool = False
+    anythread: bool = False
+    kernel_only: bool = False
+    user_only: bool = False
+    cmask: int = 0
+
+    def evtsel_kwargs(self) -> dict:
+        """Keyword arguments for :func:`repro.hw.registers.evtsel_encode`."""
+        return dict(edge=self.edge, inv=self.invert,
+                    anythread=self.anythread, cmask=self.cmask,
+                    usr=not self.kernel_only, os=not self.user_only)
+
+
+def parse_options(parts: list[str], context: str) -> EventOptions:
+    """Parse the option tail of one EVENT:COUNTER[:OPT...] element."""
+    values = {"edge": False, "invert": False, "anythread": False,
+              "kernel_only": False, "user_only": False, "cmask": 0}
+    for part in parts:
+        token = part.strip().upper()
+        if token == "EDGEDETECT":
+            values["edge"] = True
+        elif token == "INVERT":
+            values["invert"] = True
+        elif token == "ANYTHREAD":
+            values["anythread"] = True
+        elif token == "KERNEL":
+            values["kernel_only"] = True
+        elif token == "USER":
+            values["user_only"] = True
+        elif token.startswith("CMASK="):
+            try:
+                values["cmask"] = int(token[6:], 0)
+            except ValueError:
+                raise EventError(
+                    f"bad CMASK value in {context!r}") from None
+            if not 0 <= values["cmask"] <= 0xFF:
+                raise EventError(f"CMASK out of range in {context!r}")
+        else:
+            raise EventError(
+                f"unknown event option {part!r} in {context!r} "
+                f"(known: {', '.join(_FLAG_OPTIONS)}, CMASK=<n>)")
+    if values["kernel_only"] and values["user_only"]:
+        raise EventError(f"KERNEL and USER are exclusive in {context!r}")
+    return EventOptions(**values)
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One EVENT:COUNTER[:OPTIONS] assignment from the command line."""
+
+    event: str
+    counter: str
+    options: EventOptions = field(default_factory=EventOptions)
+
+    @property
+    def counter_class(self) -> str:
+        return _COUNTER_RE.match(self.counter).group(1)
+
+    @property
+    def counter_index(self) -> int:
+        return int(_COUNTER_RE.match(self.counter).group(2))
+
+    def render(self) -> str:
+        """Back to command-line form, options included."""
+        parts = [self.event, self.counter]
+        o = self.options
+        if o.edge:
+            parts.append("EDGEDETECT")
+        if o.invert:
+            parts.append("INVERT")
+        if o.anythread:
+            parts.append("ANYTHREAD")
+        if o.kernel_only:
+            parts.append("KERNEL")
+        if o.user_only:
+            parts.append("USER")
+        if o.cmask:
+            parts.append(f"CMASK=0x{o.cmask:X}")
+        return ":".join(parts)
+
+
+def is_event_string(text: str) -> bool:
+    """Heuristic the tool uses: explicit event strings contain ':'."""
+    return ":" in text
+
+
+def parse_event_string(text: str, *,
+                       allow_duplicates: bool = False) -> list[EventSpec]:
+    """Parse 'EVENT:CTR,EVENT:CTR,...' into EventSpecs.
+
+    A counter assigned twice is an error in a plain measurement but is
+    exactly what multiplexing mode schedules round-robin, so the
+    multiplexer parses with *allow_duplicates*.
+    """
+    if not text.strip():
+        raise EventError("empty event string")
+    specs: list[EventSpec] = []
+    seen_counters: set[str] = set()
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            raise EventError(f"empty element in event string {text!r}")
+        fields = item.split(":")
+        if len(fields) < 2 or not fields[0] or not fields[1]:
+            raise EventError(
+                f"malformed event assignment {item!r} (want EVENT:COUNTER)")
+        event, counter = fields[0], fields[1]
+        m = _COUNTER_RE.match(counter)
+        if m is None:
+            raise EventError(f"malformed counter name {counter!r}")
+        if counter in seen_counters and not allow_duplicates:
+            raise EventError(f"counter {counter} assigned twice")
+        seen_counters.add(counter)
+        options = parse_options(fields[2:], item)
+        specs.append(EventSpec(event, counter, options))
+    return specs

@@ -1,0 +1,126 @@
+"""Tiny arithmetic-expression evaluator for derived metrics.
+
+Preconfigured event groups define metrics as formulas over event names
+and the built-in variables ``time`` (region runtime in seconds) and
+``clock`` (core clock in Hz), e.g.::
+
+    DP MFlops/s = 1.0E-06*(PACKED*2.0+SCALAR)/time
+
+A real recursive-descent parser (not :func:`eval`) keeps evaluation
+safe and gives precise error messages for malformed group files.
+Grammar::
+
+    expr   := term (('+'|'-') term)*
+    term   := unary (('*'|'/') unary)*
+    unary  := '-' unary | atom
+    atom   := NUMBER | IDENT | '(' expr ')'
+
+Identifiers may contain letters, digits and underscores.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+
+from repro.errors import GroupError
+
+_TOKEN_RE = re.compile(r"""
+    (?P<num>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>[-+*/()])
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+
+def tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise GroupError(f"bad character {text[pos]!r} in formula {text!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind != "ws":
+            tokens.append((kind, m.group()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, variables: Mapping[str, float]):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+        self.variables = variables
+
+    def _peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> tuple[str, str]:
+        tok = self._peek()
+        if tok is None:
+            raise GroupError(f"unexpected end of formula {self.text!r}")
+        self.pos += 1
+        return tok
+
+    def parse(self) -> float:
+        value = self._expr()
+        if self._peek() is not None:
+            raise GroupError(
+                f"trailing tokens after expression in {self.text!r}")
+        return value
+
+    def _expr(self) -> float:
+        value = self._term()
+        while (tok := self._peek()) and tok[1] in "+-":
+            self._next()
+            rhs = self._term()
+            value = value + rhs if tok[1] == "+" else value - rhs
+        return value
+
+    def _term(self) -> float:
+        value = self._unary()
+        while (tok := self._peek()) and tok[1] in "*/":
+            self._next()
+            rhs = self._unary()
+            if tok[1] == "*":
+                value *= rhs
+            else:
+                value = value / rhs if rhs != 0 else float("nan")
+        return value
+
+    def _unary(self) -> float:
+        tok = self._peek()
+        if tok and tok[1] == "-":
+            self._next()
+            return -self._unary()
+        return self._atom()
+
+    def _atom(self) -> float:
+        kind, text = self._next()
+        if kind == "num":
+            return float(text)
+        if kind == "ident":
+            try:
+                return float(self.variables[text])
+            except KeyError:
+                raise GroupError(
+                    f"unknown variable {text!r} in formula {self.text!r}") from None
+        if text == "(":
+            value = self._expr()
+            kind, text = self._next()
+            if text != ")":
+                raise GroupError(f"expected ')' in formula {self.text!r}")
+            return value
+        raise GroupError(f"unexpected token {text!r} in formula {self.text!r}")
+
+
+def evaluate(formula: str, variables: Mapping[str, float]) -> float:
+    """Evaluate a metric formula against counter values."""
+    return _Parser(formula, variables).parse()
+
+
+def formula_variables(formula: str) -> set[str]:
+    """The identifiers a formula references (for validation)."""
+    return {text for kind, text in tokenize(formula) if kind == "ident"}

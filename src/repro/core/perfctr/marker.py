@@ -1,0 +1,161 @@
+"""The likwid marker API (paper §II.A).
+
+Restricts measurement to named code regions::
+
+    likwid_markerInit(numberOfThreads, numberOfRegions)
+    MainId = likwid_markerRegisterRegion("Main")
+    likwid_markerStartRegion(threadId, coreId)
+    ... measured code ...
+    likwid_markerStopRegion(threadId, coreId, MainId)
+    likwid_markerClose()
+
+Semantics reproduced from the paper: counts accumulate automatically
+over repeated executions of a region; **nesting or partial overlap of
+regions is not allowed** (start-while-started raises); the caller
+supplies both its thread id and the core id it runs on — the API
+trusts the user to have pinned correctly (the likwid-pin pairing).
+
+The marker layer snapshots counter values through an already-started
+:class:`~repro.core.perfctr.measurement.PerfCtrSession`; the counts it
+attributes to a region are whatever ran on the core in between, exactly
+like the real implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.perfctr.measurement import (MeasurementResult, PerfCtrSession,
+                                            derive_metrics)
+from repro.errors import MarkerError
+
+
+@dataclass
+class RegionData:
+    """Accumulated measurements of one named region."""
+
+    name: str
+    region_id: int
+    call_count: dict[int, int] = field(default_factory=dict)   # per thread
+    counts: dict[int, dict[str, float]] = field(default_factory=dict)  # per core
+
+
+class MarkerAPI:
+    """One process's marker state (likwid.h in miniature)."""
+
+    def __init__(self, session: PerfCtrSession):
+        self.session = session
+        self._initialised = False
+        self._closed = False
+        self._max_threads = 0
+        self._max_regions = 0
+        self._regions: list[RegionData] = []
+        # thread id -> (core id, snapshot) while inside a region
+        self._active: dict[int, tuple[int, dict[str, float]]] = {}
+
+    # -- API entry points -----------------------------------------------------
+
+    def likwid_markerInit(self, number_of_threads: int,
+                          number_of_regions: int) -> None:
+        if self._initialised:
+            raise MarkerError("likwid_markerInit called twice")
+        if number_of_threads < 1 or number_of_regions < 1:
+            raise MarkerError("thread and region counts must be positive")
+        self._initialised = True
+        self._max_threads = number_of_threads
+        self._max_regions = number_of_regions
+
+    def likwid_markerRegisterRegion(self, name: str) -> int:
+        self._check_init()
+        if any(r.name == name for r in self._regions):
+            raise MarkerError(f"region {name!r} registered twice")
+        if len(self._regions) >= self._max_regions:
+            raise MarkerError(
+                f"more regions than declared ({self._max_regions})")
+        region = RegionData(name=name, region_id=len(self._regions))
+        self._regions.append(region)
+        return region.region_id
+
+    def likwid_markerStartRegion(self, thread_id: int, core_id: int) -> None:
+        self._check_init()
+        self._check_thread(thread_id)
+        if thread_id in self._active:
+            raise MarkerError(
+                f"thread {thread_id} started a region while one is active "
+                "(nesting/overlap is not allowed)")
+        if core_id not in self.session.cpus:
+            raise MarkerError(
+                f"core {core_id} is not part of the measurement set "
+                f"{self.session.cpus}")
+        snapshot = self.session.read_raw(core_id)
+        self._active[thread_id] = (core_id, snapshot)
+
+    def likwid_markerStopRegion(self, thread_id: int, core_id: int,
+                                region_id: int) -> None:
+        self._check_init()
+        try:
+            start_core, snapshot = self._active.pop(thread_id)
+        except KeyError:
+            raise MarkerError(
+                f"thread {thread_id} stopped a region without starting one"
+            ) from None
+        if start_core != core_id:
+            raise MarkerError(
+                f"thread {thread_id} started on core {start_core} but "
+                f"stopped on core {core_id} — was it pinned?")
+        try:
+            region = self._regions[region_id]
+        except IndexError:
+            raise MarkerError(f"unknown region id {region_id}") from None
+        current = self.session.read_raw(core_id)
+        acc = region.counts.setdefault(core_id, {})
+        for name, value in current.items():
+            delta = value - snapshot.get(name, 0.0)
+            acc[name] = acc.get(name, 0.0) + delta
+        region.call_count[thread_id] = region.call_count.get(thread_id, 0) + 1
+
+    def likwid_markerClose(self) -> None:
+        self._check_init()
+        if self._active:
+            raise MarkerError(
+                f"regions still open on threads {sorted(self._active)}")
+        self._closed = True
+
+    # -- results -----------------------------------------------------------------
+
+    def region_result(self, name: str) -> MeasurementResult:
+        """Accumulated measurement for one region, as a standard result
+        (with group metrics when the session measures a group)."""
+        if not self._closed:
+            raise MarkerError("results only available after likwid_markerClose")
+        for region in self._regions:
+            if region.name == name:
+                break
+        else:
+            raise MarkerError(f"unknown region {name!r}")
+        cpus = sorted(region.counts)
+        result = MeasurementResult(cpus=cpus,
+                                   counts={c: dict(region.counts[c])
+                                           for c in cpus},
+                                   group=self.session.group)
+        if self.session.group is not None:
+            derive_metrics(result, self.session.group,
+                           self.session.machine.spec.clock_hz)
+        return result
+
+    def region_names(self) -> list[str]:
+        return [r.name for r in self._regions]
+
+    # -- checks ---------------------------------------------------------------------
+
+    def _check_init(self) -> None:
+        if not self._initialised:
+            raise MarkerError("likwid_markerInit has not been called")
+        if self._closed:
+            raise MarkerError("marker API already closed")
+
+    def _check_thread(self, thread_id: int) -> None:
+        if not 0 <= thread_id < self._max_threads:
+            raise MarkerError(
+                f"thread id {thread_id} outside declared range "
+                f"0..{self._max_threads - 1}")

@@ -1,0 +1,228 @@
+"""The likwid-perfCtr measurement engine (wrapper mode).
+
+A :class:`PerfCtrSession` owns one configured measurement: a set of
+CPUs, validated event→counter assignments, socket locks for uncore
+events, and the msr-level programming.  The wrapper-mode flow is::
+
+    perfctr = LikwidPerfCtr(machine)
+    result = perfctr.wrap("0-3", "FLOPS_DP", run_application)
+
+which is ``likwid-perfctr -c 0-3 -g FLOPS_DP ./a.out``: set up the
+counters, start them, run the application, stop, read, and derive
+metrics.  Counting is strictly core-based: whatever executed on the
+measured cores during the window is counted, regardless of process
+(paper §II.A) — enforcing affinity is the user's job (likwid-pin).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.affinity import parse_corelist
+from repro.core.perfctr.counters import (Assignment, CounterMap,
+                                         CounterProgrammer,
+                                         auto_fixed_assignments,
+                                         validate_assignments)
+from repro.core.perfctr.events import is_event_string, parse_event_string
+from repro.core.perfctr.formula import evaluate
+from repro.core.perfctr.groups import GroupDef, lookup_group
+from repro.errors import CounterError
+from repro.hw.machine import SimMachine
+from repro.oskern.msr_driver import MsrDriver
+
+
+@dataclass
+class MeasurementResult:
+    """Counts and derived metrics of one measurement window."""
+
+    cpus: list[int]
+    counts: dict[int, dict[str, float]]           # cpu -> event -> count
+    metrics: dict[int, dict[str, float]] = field(default_factory=dict)
+    wall_time: float = 0.0
+    group: GroupDef | None = None
+
+    def event(self, cpu: int, name: str) -> float:
+        return self.counts[cpu].get(name, 0.0)
+
+    def total(self, name: str) -> float:
+        return sum(c.get(name, 0.0) for c in self.counts.values())
+
+    def metric(self, cpu: int, name: str) -> float:
+        return self.metrics[cpu][name]
+
+
+class PerfCtrSession:
+    """One configured measurement across a CPU set."""
+
+    def __init__(self, machine: SimMachine, driver: MsrDriver,
+                 cpus: list[int], assignments: list[Assignment],
+                 group: GroupDef | None = None):
+        if not cpus:
+            raise CounterError("no cpus to measure")
+        if len(set(cpus)) != len(cpus):
+            raise CounterError(f"duplicate cpus in measurement set {cpus}")
+        self.machine = machine
+        self.cpus = list(cpus)
+        self.assignments = assignments
+        self.group = group
+        self.counters = CounterMap(machine.spec)
+        self.programmer = CounterProgrammer(driver, self.counters)
+        self._started_at: float | None = None
+        self.wall_time = 0.0
+
+        self.core_assignments = [a for a in assignments
+                                 if not a.counter.is_uncore]
+        self.uncore_assignments = [a for a in assignments
+                                   if a.counter.is_uncore]
+        # Socket locks: the first measured CPU of each socket owns the
+        # socket's uncore counters.
+        self.socket_locks: dict[int, int] = {}
+        if self.uncore_assignments:
+            if not machine.spec.pmu.has_uncore:
+                raise CounterError(
+                    f"{machine.spec.name} has no uncore counters")
+            for cpu in self.cpus:
+                socket = machine.spec.socket_of(cpu)
+                self.socket_locks.setdefault(socket, cpu)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Program and enable all counters (counters start from zero)."""
+        for cpu in self.cpus:
+            self.programmer.setup_core(cpu, self.core_assignments)
+        for cpu in self.socket_locks.values():
+            self.programmer.setup_uncore(cpu, self.uncore_assignments)
+        for cpu in self.cpus:
+            self.programmer.start_core(cpu, self.core_assignments)
+        for cpu in self.socket_locks.values():
+            self.programmer.start_uncore(cpu, self.uncore_assignments)
+        self._started_at = _time.perf_counter()
+
+    def stop(self) -> None:
+        if self._started_at is None:
+            raise CounterError("session not started")
+        self.wall_time = _time.perf_counter() - self._started_at
+        for cpu in self.cpus:
+            self.programmer.stop_core(cpu, self.core_assignments)
+        for cpu in self.socket_locks.values():
+            self.programmer.stop_uncore(cpu)
+
+    # -- reading ----------------------------------------------------------------
+
+    def read_raw(self, cpu: int) -> dict[str, float]:
+        """Current counter values for one CPU, keyed by event name.
+        Uncore counts appear only for the socket-lock owner."""
+        values: dict[str, float] = {}
+        raw = self.programmer.read_core(cpu, self.core_assignments)
+        for a in self.core_assignments:
+            values[a.event.name] = float(raw[a.counter.name])
+        if self.uncore_assignments:
+            socket = self.machine.spec.socket_of(cpu)
+            if self.socket_locks.get(socket) == cpu:
+                raw = self.programmer.read_uncore(cpu, self.uncore_assignments)
+                for a in self.uncore_assignments:
+                    values[a.event.name] = float(raw[a.counter.name])
+            else:
+                # Socket lock: the count is attributed to one thread per
+                # socket; everyone else reports zero for uncore events.
+                for a in self.uncore_assignments:
+                    values[a.event.name] = 0.0
+        return values
+
+    def read(self, *, wall_time: float | None = None) -> MeasurementResult:
+        counts = {cpu: self.read_raw(cpu) for cpu in self.cpus}
+        result = MeasurementResult(
+            cpus=list(self.cpus), counts=counts,
+            wall_time=self.wall_time if wall_time is None else wall_time,
+            group=self.group)
+        if self.group is not None:
+            derive_metrics(result, self.group, self.machine.spec.clock_hz)
+        return result
+
+
+def derive_metrics(result: MeasurementResult, group: GroupDef,
+                   clock_hz: float) -> None:
+    """Evaluate a group's metric formulas per CPU.
+
+    ``time`` is derived from the unhalted-cycles event when present
+    (exactly how the real tool computes per-core runtime), falling back
+    to wall-clock time otherwise."""
+    cycles_events = ("CPU_CLK_UNHALTED_CORE", "CPU_CLOCKS_UNHALTED")
+    for cpu in result.cpus:
+        variables = dict(result.counts[cpu])
+        region_time = result.wall_time
+        for name in cycles_events:
+            if variables.get(name, 0.0) > 0:
+                region_time = variables[name] / clock_hz
+                break
+        variables["time"] = region_time if region_time > 0 else float("nan")
+        variables["clock"] = clock_hz
+        result.metrics[cpu] = {
+            label: evaluate(formula, variables)
+            for label, formula in group.metrics
+        }
+
+
+class LikwidPerfCtr:
+    """The likwid-perfCtr tool bound to one machine."""
+
+    def __init__(self, machine: SimMachine, driver: MsrDriver | None = None):
+        self.machine = machine
+        self.driver = driver or MsrDriver(machine)
+        self.counters = CounterMap(machine.spec)
+
+    def _resolve(self, group_or_events: str) \
+            -> tuple[list[Assignment], GroupDef | None]:
+        table = self.machine.spec.events
+        if is_event_string(group_or_events):
+            specs = parse_event_string(group_or_events)
+            group = None
+        else:
+            group = lookup_group(self.machine.spec, group_or_events)
+            specs = list(group.events)
+        assignments = validate_assignments(table, self.counters, specs)
+        # The Intel fixed counters always count (paper: CPI for free).
+        present = {a.event.name for a in assignments}
+        for extra in auto_fixed_assignments(table, self.counters):
+            if extra.event.name not in present:
+                assignments.append(extra)
+        return assignments, group
+
+    def session(self, cpus: str | list[int],
+                group_or_events: str) -> PerfCtrSession:
+        """Configure a measurement (``-c <cpus> -g <group|events>``)."""
+        if isinstance(cpus, str):
+            cpus = parse_corelist(cpus,
+                                  max_cpu=self.machine.num_hwthreads - 1)
+        assignments, group = self._resolve(group_or_events)
+        return PerfCtrSession(self.machine, self.driver, cpus,
+                              assignments, group)
+
+    def wrap(self, cpus: str | list[int], group_or_events: str,
+             run: Callable[[], object]) -> MeasurementResult:
+        """Wrapper mode: measure an application over its full runtime.
+
+        The callable stands for the wrapped binary; anything it
+        executes on the measured cores lands in the counters.
+        """
+        session = self.session(cpus, group_or_events)
+        session.start()
+        payload = run()
+        session.stop()
+        wall = getattr(payload, "total_time", None)
+        result = session.read(wall_time=wall)
+        return result
+
+    def available_events(self) -> list[str]:
+        return self.machine.spec.events.names()
+
+
+def cycles_channel_count(result: MeasurementResult, cpu: int) -> float:
+    """Unhalted core cycles on a CPU (helper for tests)."""
+    for name in ("CPU_CLK_UNHALTED_CORE", "CPU_CLOCKS_UNHALTED"):
+        if name in result.counts[cpu]:
+            return result.counts[cpu][name]
+    return 0.0

@@ -1,0 +1,109 @@
+"""Counter multiplexing (paper §II.A).
+
+When more events are requested than the architecture has counters,
+likwid-perfCtr assigns counters to several event sets "in a round
+robin manner" and extrapolates each set's counts to the whole run.
+The cost is statistical: a set only observes the slices during which
+it was scheduled, so short runs (or runs whose behaviour varies across
+slices) carry large errors — the trade-off the paper calls out, and
+the ablation benchmark quantifies.
+
+The application's execution is exposed to the scheduler as a
+``run_slice(fraction)`` callable (the simulated analogue of letting the
+program run while a timer rotates event sets).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.perfctr.measurement import LikwidPerfCtr, MeasurementResult
+from repro.errors import CounterError
+
+
+@dataclass
+class MultiplexResult:
+    """Extrapolated counts per event set."""
+
+    estimates: dict[int, dict[str, float]] = field(default_factory=dict)
+    scheduled_fraction: dict[str, float] = field(default_factory=dict)
+    rotations: int = 0
+
+    def event(self, cpu: int, name: str) -> float:
+        return self.estimates[cpu][name]
+
+
+def split_event_sets(perfctr: LikwidPerfCtr,
+                     event_string: str) -> list[str]:
+    """Split an oversubscribed event string into schedulable sets.
+
+    Events keep their requested counters; two assignments to the same
+    counter land in different sets (the round-robin sharing).
+    """
+    from repro.core.perfctr.events import parse_event_string
+    specs = parse_event_string(event_string, allow_duplicates=True)
+    sets: list[list[str]] = []
+    used: list[set[str]] = []
+    for spec in specs:
+        for i, counters in enumerate(used):
+            if spec.counter not in counters:
+                counters.add(spec.counter)
+                sets[i].append(spec.render())
+                break
+        else:
+            used.append({spec.counter})
+            sets.append([spec.render()])
+    return [",".join(s) for s in sets]
+
+
+def measure_multiplexed(perfctr: LikwidPerfCtr, cpus: str | list[int],
+                        event_sets: Sequence[str],
+                        run_slice: Callable[[float], object],
+                        *, rotations: int = 10) -> MultiplexResult:
+    """Round-robin the event sets over `rotations` equal slices.
+
+    Each slice: program the next set, run 1/rotations of the
+    application, read.  Final counts are extrapolated by the inverse
+    of each set's scheduled fraction.
+    """
+    if not event_sets:
+        raise CounterError("no event sets to multiplex")
+    if rotations < len(event_sets):
+        raise CounterError(
+            f"{rotations} rotations cannot schedule {len(event_sets)} sets")
+
+    accumulated: dict[int, dict[str, float]] = {}
+    slices_per_set = [0] * len(event_sets)
+    fraction = 1.0 / rotations
+
+    for rotation in range(rotations):
+        set_index = rotation % len(event_sets)
+        slices_per_set[set_index] += 1
+        result: MeasurementResult = perfctr.wrap(
+            cpus, event_sets[set_index], lambda: run_slice(fraction))
+        for cpu, counts in result.counts.items():
+            acc = accumulated.setdefault(cpu, {})
+            for name, value in counts.items():
+                acc[name] = acc.get(name, 0.0) + value
+
+    # Which events were observable in which fraction of the run?
+    scheduled: dict[str, float] = {}
+    from repro.core.perfctr.events import parse_event_string
+    for set_index, text in enumerate(event_sets):
+        frac = slices_per_set[set_index] / rotations
+        for spec in parse_event_string(text):
+            scheduled[spec.event] = scheduled.get(spec.event, 0.0) + frac
+    # The auto-added fixed events count in every slice.
+    always = {"INSTR_RETIRED_ANY", "CPU_CLK_UNHALTED_CORE",
+              "CPU_CLK_UNHALTED_REF"}
+
+    estimates: dict[int, dict[str, float]] = {}
+    for cpu, counts in accumulated.items():
+        est = estimates.setdefault(cpu, {})
+        for name, value in counts.items():
+            frac = 1.0 if name in always else scheduled.get(name, 1.0)
+            est[name] = value / frac if frac > 0 else 0.0
+    return MultiplexResult(estimates=estimates,
+                           scheduled_fraction=scheduled,
+                           rotations=rotations)

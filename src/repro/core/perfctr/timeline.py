@@ -1,0 +1,100 @@
+"""Timeline (daemon) mode: periodic counter readout during a run.
+
+The wrapper mode reports one aggregate per run; timeline mode samples
+the counters at a fixed interval while the application executes, so
+phase behaviour becomes visible ("likwid-perfctr -d <interval>" in
+later LIKWID releases — the natural extension of the monitoring idiom
+the paper demonstrates with ``sleep``).
+
+Counters keep running between samples; each sample reports the *delta*
+since the previous readout plus derived group metrics over the
+interval.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.perfctr.measurement import (LikwidPerfCtr, MeasurementResult,
+                                            derive_metrics)
+from repro.errors import CounterError
+
+
+@dataclass
+class TimelineSample:
+    """One readout interval."""
+
+    index: int
+    time: float                       # interval end, seconds since start
+    counts: dict[int, dict[str, float]]   # deltas per cpu
+    metrics: dict[int, dict[str, float]] = field(default_factory=dict)
+
+
+class TimelineMeasurement:
+    """Periodic sampling around a sliced application run."""
+
+    def __init__(self, perfctr: LikwidPerfCtr, cpus, group_or_events: str,
+                 *, interval: float = 1.0):
+        if interval <= 0:
+            raise CounterError("timeline interval must be positive")
+        self.perfctr = perfctr
+        self.session = perfctr.session(cpus, group_or_events)
+        self.interval = interval
+        self.samples: list[TimelineSample] = []
+
+    def run(self, run_slice: Callable[[int, float], object],
+            num_intervals: int) -> list[TimelineSample]:
+        """Run the application for *num_intervals* sampling periods.
+
+        ``run_slice(index, interval_seconds)`` stands for letting the
+        wrapped binary execute for one period while the counters run.
+        """
+        if num_intervals < 1:
+            raise CounterError("need at least one interval")
+        self.session.start()
+        previous = {cpu: self.session.read_raw(cpu)
+                    for cpu in self.session.cpus}
+        now = 0.0
+        for index in range(num_intervals):
+            run_slice(index, self.interval)
+            now += self.interval
+            current = {cpu: self.session.read_raw(cpu)
+                       for cpu in self.session.cpus}
+            deltas = {
+                cpu: {name: current[cpu][name] - previous[cpu].get(name, 0.0)
+                      for name in current[cpu]}
+                for cpu in self.session.cpus
+            }
+            sample = TimelineSample(index, now, deltas)
+            if self.session.group is not None:
+                result = MeasurementResult(
+                    cpus=list(self.session.cpus), counts=deltas,
+                    wall_time=self.interval, group=self.session.group)
+                derive_metrics(result, self.session.group,
+                               self.perfctr.machine.spec.clock_hz)
+                sample.metrics = result.metrics
+            self.samples.append(sample)
+            previous = current
+        self.session.stop()
+        return self.samples
+
+    def series(self, cpu: int, event: str) -> list[float]:
+        """One event's per-interval deltas on one cpu."""
+        return [s.counts[cpu].get(event, 0.0) for s in self.samples]
+
+    def metric_series(self, cpu: int, metric: str) -> list[float]:
+        return [s.metrics[cpu][metric] for s in self.samples]
+
+
+def render_timeline(timeline: TimelineMeasurement, cpu: int,
+                    event: str, *, width: int = 40) -> str:
+    """Sparkline-style text rendering of one event's timeline."""
+    series = timeline.series(cpu, event)
+    peak = max(series) if series and max(series) > 0 else 1.0
+    lines = [f"{event} on core {cpu} (interval "
+             f"{timeline.interval:g} s, peak {peak:g})"]
+    for sample, value in zip(timeline.samples, series):
+        bar = "#" * int(value / peak * width)
+        lines.append(f"  t={sample.time:7.2f}s |{bar:<{width}}| {value:g}")
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""likwid-profile: overflow-driven statistical (IP) sampling.
+
+The paper (§II.A) distinguishes two ways of using counters: aggregate
+counts over a run (likwid-perfCtr's choice), or "overflowing hardware
+counters can generate interrupts, which can be used for IP or
+call-stack sampling ... a very fine-grained view on a code's resource
+requirements (limited only by the inherent statistical errors)".  The
+outlook then names "profiling (also on the assembly level)" as a
+future application of the LIKWID philosophy.
+
+This module implements that profiler on the simulated PMU's real
+overflow machinery: the sampled counter is preloaded to
+``2^48 - period`` so it wraps after *period* events, each wrap raises
+the PMI which attributes one sample to the symbol executing at that
+moment.  The application is a sequence of :class:`CodeSegment` — the
+simulation's stand-in for an instruction stream with symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CounterError
+from repro.hw import registers as regs
+from repro.hw.events import Channel
+from repro.hw.machine import SimMachine
+from repro.hw.pmu import COUNTER_MASK
+from repro.tables import render_table
+
+
+@dataclass(frozen=True)
+class CodeSegment:
+    """A run of execution inside one symbol (function/loop/basic block)."""
+
+    symbol: str
+    cycles: float
+    channels: dict = field(default_factory=dict, hash=False, compare=False)
+
+
+@dataclass
+class ProfileEntry:
+    symbol: str
+    samples: int
+    fraction: float
+    estimated_events: float
+
+
+class SamplingProfiler:
+    """Statistical profiler over one hardware thread.
+
+    *event* selects what the sampling period is measured in —
+    CPU_CLK_UNHALTED_CORE gives a time profile, a cache-miss event a
+    miss profile (the "assembly level" resource view).
+    """
+
+    def __init__(self, machine: SimMachine, cpu: int, *,
+                 event: str = "CPU_CLK_UNHALTED_CORE",
+                 period: int = 100_000):
+        if period < 1:
+            raise CounterError("sampling period must be >= 1")
+        self.machine = machine
+        self.cpu = cpu
+        self.period = period
+        self.event = machine.spec.events.lookup(event)
+        self.samples: dict[str, int] = {}
+        self._current_symbol: str | None = None
+        self._pmu = machine.core_pmus[cpu]
+        self._armed = False
+
+    # -- PMI plumbing -----------------------------------------------------
+
+    def _counter_addr(self) -> int:
+        if self.event.is_fixed:
+            return regs.IA32_FIXED_CTR0 + self.event.fixed_index
+        return self.machine.spec.pmu.pmc_address(0)
+
+    def _status_bit(self) -> int:
+        return (32 + self.event.fixed_index if self.event.is_fixed else 0)
+
+    def _arm(self) -> None:
+        """Preload the counter so it overflows after one period."""
+        self.machine.msr[self.cpu].poke(self._counter_addr(),
+                                        COUNTER_MASK - self.period + 1)
+
+    def _pmi(self, _hwthread: int, status_bit: int) -> None:
+        if status_bit != self._status_bit():
+            return
+        if self._current_symbol is not None:
+            self.samples[self._current_symbol] = \
+                self.samples.get(self._current_symbol, 0) + 1
+        # Acknowledge and re-arm, like a PMI handler does.
+        self.machine.msr[self.cpu].write(regs.IA32_PERF_GLOBAL_OVF_CTRL,
+                                         1 << status_bit)
+        self._arm()
+
+    def _enable(self) -> None:
+        msr = self.machine.msr[self.cpu]
+        if self.event.is_fixed:
+            ctrl = msr.peek(regs.IA32_FIXED_CTR_CTRL)
+            msr.write(regs.IA32_FIXED_CTR_CTRL, ctrl
+                      | regs.fixed_ctr_ctrl_encode(self.event.fixed_index))
+            enable_bit = regs.global_ctrl_fixed_bit(self.event.fixed_index)
+        else:
+            msr.write(self.machine.spec.pmu.evtsel_address(0),
+                      regs.evtsel_encode(self.event.event_code,
+                                         self.event.umask, enable=True))
+            enable_bit = regs.global_ctrl_pmc_bit(0)
+        ctrl = msr.peek(regs.IA32_PERF_GLOBAL_CTRL)
+        msr.write(regs.IA32_PERF_GLOBAL_CTRL, ctrl | enable_bit)
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, segments: list[CodeSegment], *,
+            chunk: int | None = None) -> None:
+        """Execute an annotated instruction stream under sampling.
+
+        Each segment's cycles (and channels) are fed to the PMU in
+        chunks no larger than the sampling period so overflow points
+        land inside the right symbol.
+        """
+        if self._armed:
+            raise CounterError("profiler already ran; create a new one")
+        self._armed = True
+        chunk = chunk or max(self.period // 4, 1)
+        self._pmu.overflow_handlers.append(self._pmi)
+        self._enable()
+        self._arm()
+        try:
+            for segment in segments:
+                self._current_symbol = segment.symbol
+                remaining = segment.cycles
+                total = max(segment.cycles, 1e-12)
+                while remaining > 0:
+                    step = min(chunk, remaining)
+                    share = step / total
+                    counts = {Channel.CORE_CYCLES: step,
+                              Channel.REF_CYCLES: step,
+                              Channel.INSTRUCTIONS: step}
+                    for channel, value in segment.channels.items():
+                        counts[channel] = value * share
+                    self.machine.apply_counts({self.cpu: counts})
+                    remaining -= step
+        finally:
+            self._current_symbol = None
+            self._pmu.overflow_handlers.remove(self._pmi)
+
+    # -- reporting -------------------------------------------------------------
+
+    def profile(self) -> list[ProfileEntry]:
+        """Flat profile, hottest symbol first."""
+        total = sum(self.samples.values())
+        entries = [
+            ProfileEntry(symbol, count,
+                         count / total if total else 0.0,
+                         count * self.period)
+            for symbol, count in self.samples.items()
+        ]
+        entries.sort(key=lambda e: e.samples, reverse=True)
+        return entries
+
+    def render(self) -> str:
+        rows = [[e.symbol, e.samples, f"{100 * e.fraction:.1f}%",
+                 f"{e.estimated_events:.3g}"]
+                for e in self.profile()]
+        return render_table(
+            ["symbol", "samples", "fraction",
+             f"estimated {self.event.name}"], rows)

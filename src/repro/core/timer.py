@@ -1,0 +1,66 @@
+"""The likwid timer API: TSC-based cycle-accurate timing.
+
+The LIKWID library ships a small timer module (timer_start/timer_stop
+over RDTSC) that the command-line tools and the marker API use for
+runtime measurement.  Here the time stamp counter lives in each
+hardware thread's MSR space and advances with simulated execution, so
+a timer measures exactly the time the machine model says elapsed —
+consistent with every counter-derived runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CounterError
+from repro.hw import registers as regs
+from repro.hw.machine import SimMachine
+
+
+@dataclass
+class TimerData:
+    """One start/stop interval (the C API's TimerData struct)."""
+
+    start: int = 0
+    stop: int = 0
+
+    @property
+    def cycles(self) -> int:
+        return self.stop - self.start
+
+
+class Timer:
+    """RDTSC timing bound to one machine (the TSC is node-global and
+    invariant: every hardware thread reads the same ticks)."""
+
+    def __init__(self, machine: SimMachine, cpu: int = 0):
+        self.machine = machine
+        self.cpu = cpu
+        self._clock = machine.spec.clock_hz
+
+    # -- the C API surface ---------------------------------------------------
+
+    def timer_start(self) -> TimerData:
+        data = TimerData()
+        data.start = self._rdtsc()
+        return data
+
+    def timer_stop(self, data: TimerData) -> TimerData:
+        data.stop = self._rdtsc()
+        if data.stop < data.start:
+            raise CounterError("TSC went backwards (timer misuse)")
+        return data
+
+    def timer_print(self, data: TimerData) -> float:
+        """Elapsed seconds of a stopped interval."""
+        return data.cycles / self._clock
+
+    def timer_print_cycles(self, data: TimerData) -> int:
+        return data.cycles
+
+    def get_cpu_clock(self) -> float:
+        """The calibrated clock (Hz)."""
+        return self._clock
+
+    def _rdtsc(self) -> int:
+        return self.machine.rdmsr(self.cpu, regs.IA32_TSC)

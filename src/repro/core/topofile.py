@@ -1,0 +1,84 @@
+"""Topology configuration files (the likwid-genTopoCfg mechanism).
+
+Real LIKWID can dump the probed topology into a config file once and
+have every later tool invocation read the file instead of re-probing
+CPUID — important on machines where probing is slow or restricted.
+The file format here is the XML report of :mod:`repro.core.xmlout`,
+so the cache doubles as the machine's documented layout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.numa import NumaDomain, NumaTopology, probe_numa
+from repro.core.topology import (CacheLevelInfo, HWThreadEntry, NodeTopology,
+                                 probe_topology)
+from repro.core.xmlout import topology_to_xml
+from repro.errors import TopologyError
+from repro.hw.machine import SimMachine
+
+import xml.etree.ElementTree as ET
+
+
+def write_topofile(machine: SimMachine, path: Path | str) -> Path:
+    """likwid-genTopoCfg: probe once, persist the result."""
+    path = Path(path)
+    topology = probe_topology(machine)
+    numa = probe_numa(machine)
+    path.write_text(topology_to_xml(topology, numa))
+    return path
+
+
+def read_topofile(path: Path | str) -> tuple[NodeTopology, NumaTopology]:
+    """Load a persisted topology without touching the hardware."""
+    path = Path(path)
+    if not path.exists():
+        raise TopologyError(f"no topology file at {path}")
+    try:
+        root = ET.fromstring(path.read_text())
+    except ET.ParseError as exc:
+        raise TopologyError(f"malformed topology file {path}: {exc}") from None
+    if root.tag != "topology":
+        raise TopologyError(f"{path} is not a topology file")
+
+    threads = [HWThreadEntry(
+        hwthread=int(el.get("id")), thread_id=int(el.get("thread")),
+        core_id=int(el.get("core")), socket_id=int(el.get("socket")),
+        apic_id=int(el.get("apic")))
+        for el in root.find("layout")]
+
+    caches = []
+    for el in root.find("caches"):
+        cache = CacheLevelInfo(
+            level=int(el.get("level")), type=el.get("type"),
+            size=int(el.get("size")),
+            associativity=int(el.get("associativity")),
+            line_size=int(el.get("line_size")), sets=int(el.get("sets")),
+            inclusive=el.get("inclusive") == "true",
+            threads_sharing=int(el.get("threads_sharing")))
+        cache.groups = [[int(hw) for hw in g.text.split()]
+                        for g in el.findall("group")]
+        caches.append(cache)
+
+    layout = root.find("layout")
+    topology = NodeTopology(
+        cpu_name=root.get("cpu"), vendor=root.get("vendor"),
+        clock_hz=float(root.get("clock_hz")),
+        num_sockets=int(layout.get("sockets")),
+        cores_per_socket=int(layout.get("cores_per_socket")),
+        threads_per_core=int(layout.get("threads_per_core")),
+        threads=threads, caches=caches)
+
+    numa_el = root.find("numa")
+    domains = []
+    if numa_el is not None:
+        for d in numa_el:
+            processors = tuple(int(p) for p in
+                               d.find("processors").text.split())
+            distances = tuple(int(x) for x in
+                              d.find("distances").text.split())
+            domains.append(NumaDomain(int(d.get("id")), processors,
+                                      int(d.get("memory_bytes")),
+                                      distances))
+    return topology, NumaTopology(domains)

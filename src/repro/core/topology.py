@@ -1,0 +1,390 @@
+"""likwid-topology: decode thread and cache topology from CPUID.
+
+This is the tool's engine: it talks to the machine *only* through the
+CPUID instruction (plus the TSC for the clock measurement), performing
+the same decoding the original C module does:
+
+* vendor + brand string from leaves 0x0 / 0x80000002-4;
+* **Intel Nehalem onward** — leaf 0xB (x2APIC): per-level shift widths
+  give the SMT/core/package bit fields of the APIC id;
+* **Intel Core 2 / Atom** — leaf 0x1 (logical processors per package,
+  HTT flag) combined with leaf 0x4's core-count field;
+* **older Intel (Pentium M)** — leaf 0x1 only, caches via the leaf 0x2
+  descriptor table;
+* **AMD** — leaf 0x80000008 (core count and APIC-id core field size),
+  caches via 0x80000005/0x80000006.
+
+The decoded physical core ids are *not* assumed dense (Westmere EP
+numbers its six cores 0,1,2,8,9,10) — the whole reason the tool
+decodes bit fields instead of counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.hw import registers as regs
+from repro.hw.apic import field_width
+from repro.hw.cpuid import AMD_ASSOC_DECODE, LEAF2_TABLE
+from repro.hw.machine import SimMachine
+from repro.tables import RULE, star_banner
+from repro.units import format_hz, format_size
+
+
+@dataclass(frozen=True)
+class HWThreadEntry:
+    """One row of the Hardware Thread Topology table."""
+
+    hwthread: int     # OS processor id
+    thread_id: int    # SMT id within the core
+    core_id: int      # physical core id within the package (may be sparse)
+    socket_id: int
+    apic_id: int
+
+
+@dataclass
+class CacheLevelInfo:
+    """One decoded cache level plus its sharing groups."""
+
+    level: int
+    type: str
+    size: int
+    associativity: int
+    line_size: int
+    sets: int
+    inclusive: bool
+    threads_sharing: int
+    groups: list[list[int]] = field(default_factory=list)
+
+
+@dataclass
+class NodeTopology:
+    """Everything likwid-topology reports for one node."""
+
+    cpu_name: str
+    vendor: str
+    clock_hz: float
+    num_sockets: int
+    cores_per_socket: int
+    threads_per_core: int
+    threads: list[HWThreadEntry]
+    caches: list[CacheLevelInfo]
+
+    @property
+    def num_hwthreads(self) -> int:
+        return len(self.threads)
+
+    def socket_members(self, socket: int) -> list[int]:
+        """Hardware threads of one socket, grouped per physical core in
+        core-id order (the paper's "Socket 0: ( 0 12 1 13 ... )")."""
+        members: dict[int, list[int]] = {}
+        for t in self.threads:
+            if t.socket_id == socket:
+                members.setdefault(t.core_id, []).append(t.hwthread)
+        out: list[int] = []
+        for core_id in sorted(members):
+            out.extend(sorted(members[core_id],
+                              key=lambda hw: self._entry(hw).thread_id))
+        return out
+
+    def _entry(self, hwthread: int) -> HWThreadEntry:
+        return next(t for t in self.threads if t.hwthread == hwthread)
+
+
+# ---------------------------------------------------------------------------
+# clock measurement
+# ---------------------------------------------------------------------------
+
+def measure_clock(machine: SimMachine, *, interval: float = 0.01) -> float:
+    """Measure the core clock by timing the TSC over an interval, the
+    way the real tool calibrates instead of trusting /proc."""
+    before = machine.rdmsr(0, regs.IA32_TSC)
+    machine.apply_counts({}, elapsed_seconds=interval)
+    after = machine.rdmsr(0, regs.IA32_TSC)
+    return (after - before) / interval
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+
+def _read_string(machine: SimMachine, hwthread: int = 0) -> str:
+    raw = b""
+    for leaf in (0x80000002, 0x80000003, 0x80000004):
+        r = machine.cpuid(hwthread, leaf)
+        for reg in r.as_tuple():
+            raw += reg.to_bytes(4, "little")
+    return raw.split(b"\0", 1)[0].decode("ascii").strip()
+
+
+def _vendor(machine: SimMachine) -> str:
+    r = machine.cpuid(0, 0x0)
+    raw = (r.ebx.to_bytes(4, "little") + r.edx.to_bytes(4, "little")
+           + r.ecx.to_bytes(4, "little"))
+    return raw.decode("ascii")
+
+
+def _max_leaf(machine: SimMachine) -> int:
+    return machine.cpuid(0, 0x0).eax
+
+
+def _apic_fields_leaf11(machine: SimMachine, hwthread: int) -> tuple[int, int, int]:
+    """(smt_bits, package_shift, x2apic_id) from leaf 0xB."""
+    sub0 = machine.cpuid(hwthread, 0xB, 0)
+    if (sub0.ecx >> 8) & 0xFF != 1:
+        raise TopologyError("leaf 0xB subleaf 0 is not the SMT level")
+    sub1 = machine.cpuid(hwthread, 0xB, 1)
+    if (sub1.ecx >> 8) & 0xFF != 2:
+        raise TopologyError("leaf 0xB subleaf 1 is not the Core level")
+    return sub0.eax & 0x1F, sub1.eax & 0x1F, sub0.edx
+
+
+def _decode_thread_intel_leaf11(machine: SimMachine,
+                                hwthread: int) -> HWThreadEntry:
+    smt_bits, pkg_shift, apic = _apic_fields_leaf11(machine, hwthread)
+    smt = apic & ((1 << smt_bits) - 1)
+    core = (apic >> smt_bits) & ((1 << (pkg_shift - smt_bits)) - 1)
+    pkg = apic >> pkg_shift
+    return HWThreadEntry(hwthread, smt, core, pkg, apic)
+
+
+def _legacy_field_widths(machine: SimMachine) -> tuple[int, int]:
+    """(smt_bits, core_bits) for pre-leaf-0xB Intel parts."""
+    leaf1 = machine.cpuid(0, 0x1)
+    htt = bool(leaf1.edx & (1 << 28))
+    logical_per_pkg = (leaf1.ebx >> 16) & 0xFF if htt else 1
+    max_leaf = _max_leaf(machine)
+    if max_leaf >= 0x4:
+        max_cores = ((machine.cpuid(0, 0x4, 0).eax >> 26) & 0x3F) + 1
+    else:
+        max_cores = 1
+    core_bits = field_width(max_cores - 1)
+    smt_per_core = max(logical_per_pkg // max_cores, 1)
+    smt_bits = field_width(smt_per_core - 1)
+    return smt_bits, core_bits
+
+
+def _amd_field_widths(machine: SimMachine) -> tuple[int, int]:
+    ext = machine.cpuid(0, 0x80000008)
+    cores = (ext.ecx & 0xFF) + 1
+    core_bits = (ext.ecx >> 12) & 0xF
+    if core_bits == 0:
+        core_bits = field_width(cores - 1)
+    return 0, core_bits
+
+
+def _decode_thread_from_widths(machine: SimMachine, hwthread: int,
+                               smt_bits: int, core_bits: int) -> HWThreadEntry:
+    apic = (machine.cpuid(hwthread, 0x1).ebx >> 24) & 0xFF
+    smt = apic & ((1 << smt_bits) - 1)
+    core = (apic >> smt_bits) & ((1 << core_bits) - 1)
+    pkg = apic >> (smt_bits + core_bits)
+    return HWThreadEntry(hwthread, smt, core, pkg, apic)
+
+
+# -- caches ------------------------------------------------------------------
+
+def _decode_caches_leaf4(machine: SimMachine) -> list[CacheLevelInfo]:
+    caches: list[CacheLevelInfo] = []
+    subleaf = 0
+    while True:
+        r = machine.cpuid(0, 0x4, subleaf)
+        ctype = r.eax & 0x1F
+        if ctype == 0:
+            break
+        type_name = {1: "Data cache", 2: "Instruction cache",
+                     3: "Unified cache"}[ctype]
+        level = (r.eax >> 5) & 0x7
+        threads_sharing = ((r.eax >> 14) & 0xFFF) + 1
+        line = (r.ebx & 0xFFF) + 1
+        assoc = ((r.ebx >> 22) & 0x3FF) + 1
+        partitions = ((r.ebx >> 12) & 0x3FF) + 1
+        sets = r.ecx + 1
+        caches.append(CacheLevelInfo(
+            level=level, type=type_name,
+            size=sets * assoc * partitions * line,
+            associativity=assoc, line_size=line, sets=sets,
+            inclusive=bool(r.edx & 0x2), threads_sharing=threads_sharing))
+        subleaf += 1
+    return caches
+
+
+def _decode_caches_leaf2(machine: SimMachine) -> list[CacheLevelInfo]:
+    r = machine.cpuid(0, 0x2)
+    raw = b"".join(reg.to_bytes(4, "little") for reg in r.as_tuple())
+    caches: list[CacheLevelInfo] = []
+    for descriptor in raw[1:]:  # byte 0 is the iteration count (0x01)
+        if descriptor == 0:
+            continue
+        entry = LEAF2_TABLE.get(descriptor)
+        if entry is None:
+            raise TopologyError(f"unknown leaf-2 descriptor 0x{descriptor:02X}")
+        caches.append(CacheLevelInfo(
+            level=entry.level, type=entry.type, size=entry.size,
+            associativity=entry.associativity, line_size=entry.line_size,
+            sets=entry.size // (entry.associativity * entry.line_size),
+            inclusive=True, threads_sharing=1))
+    return caches
+
+
+def _decode_caches_amd(machine: SimMachine,
+                       threads_per_core: int,
+                       cores_per_socket: int) -> list[CacheLevelInfo]:
+    caches: list[CacheLevelInfo] = []
+    l1 = machine.cpuid(0, 0x80000005)
+
+    def _l1(reg: int, type_name: str) -> CacheLevelInfo:
+        size = ((reg >> 24) & 0xFF) * 1024
+        assoc = (reg >> 16) & 0xFF
+        line = reg & 0xFF
+        return CacheLevelInfo(
+            level=1, type=type_name, size=size, associativity=assoc,
+            line_size=line, sets=size // (assoc * line),
+            inclusive=False, threads_sharing=threads_per_core)
+
+    caches.append(_l1(l1.ecx, "Data cache"))
+    caches.append(_l1(l1.edx, "Instruction cache"))
+    l23 = machine.cpuid(0, 0x80000006)
+    if l23.ecx:
+        size = ((l23.ecx >> 16) & 0xFFFF) * 1024
+        assoc = AMD_ASSOC_DECODE[(l23.ecx >> 12) & 0xF]
+        line = l23.ecx & 0xFF
+        caches.append(CacheLevelInfo(
+            level=2, type="Unified cache", size=size, associativity=assoc,
+            line_size=line, sets=size // (assoc * line),
+            inclusive=False, threads_sharing=threads_per_core))
+    if l23.edx:
+        size = ((l23.edx >> 18) & 0x3FFF) * 512 * 1024
+        assoc = AMD_ASSOC_DECODE[(l23.edx >> 12) & 0xF]
+        line = l23.edx & 0xFF
+        caches.append(CacheLevelInfo(
+            level=3, type="Unified cache", size=size, associativity=assoc,
+            line_size=line, sets=size // (assoc * line),
+            inclusive=False,
+            threads_sharing=threads_per_core * cores_per_socket))
+    return caches
+
+
+# -- groups ---------------------------------------------------------------------
+
+def _cache_groups(topology_threads: list[HWThreadEntry],
+                  cache: CacheLevelInfo,
+                  threads_per_core: int) -> list[list[int]]:
+    """Partition hardware threads into the sharing groups of one cache
+    level: each instance covers a run of cores (in core-id order) on
+    one socket."""
+    cores_per_instance = max(1, cache.threads_sharing // max(threads_per_core, 1))
+    by_socket: dict[int, dict[int, list[int]]] = {}
+    for t in topology_threads:
+        by_socket.setdefault(t.socket_id, {}).setdefault(t.core_id, []) \
+            .append(t.hwthread)
+    groups: list[list[int]] = []
+    for socket in sorted(by_socket):
+        core_ids = sorted(by_socket[socket])
+        for start in range(0, len(core_ids), cores_per_instance):
+            group: list[int] = []
+            for core_id in core_ids[start:start + cores_per_instance]:
+                group.extend(sorted(by_socket[socket][core_id]))
+            groups.append(group)
+    return groups
+
+
+# -- entry point ------------------------------------------------------------------
+
+def probe_topology(machine: SimMachine) -> NodeTopology:
+    """Decode the full node topology through CPUID."""
+    vendor = _vendor(machine)
+    nthreads = machine.num_hwthreads
+    max_leaf = _max_leaf(machine)
+
+    threads: list[HWThreadEntry] = []
+    if vendor == "GenuineIntel" and max_leaf >= 0xB:
+        for hw in range(nthreads):
+            threads.append(_decode_thread_intel_leaf11(machine, hw))
+    elif vendor == "GenuineIntel":
+        smt_bits, core_bits = _legacy_field_widths(machine)
+        for hw in range(nthreads):
+            threads.append(_decode_thread_from_widths(machine, hw,
+                                                      smt_bits, core_bits))
+    elif vendor == "AuthenticAMD":
+        smt_bits, core_bits = _amd_field_widths(machine)
+        for hw in range(nthreads):
+            threads.append(_decode_thread_from_widths(machine, hw,
+                                                      smt_bits, core_bits))
+    else:
+        raise TopologyError(f"unsupported CPU vendor {vendor!r}")
+
+    sockets = sorted({t.socket_id for t in threads})
+    cores_per_socket = len({t.core_id for t in threads
+                            if t.socket_id == sockets[0]})
+    threads_per_core = max(t.thread_id for t in threads) + 1
+
+    if vendor == "GenuineIntel" and max_leaf >= 0x4:
+        caches = _decode_caches_leaf4(machine)
+    elif vendor == "GenuineIntel":
+        caches = _decode_caches_leaf2(machine)
+    else:
+        caches = _decode_caches_amd(machine, threads_per_core,
+                                    cores_per_socket)
+
+    for cache in caches:
+        cache.groups = _cache_groups(threads, cache, threads_per_core)
+
+    return NodeTopology(
+        cpu_name=_read_string(machine),
+        vendor=vendor,
+        clock_hz=measure_clock(machine),
+        num_sockets=len(sockets),
+        cores_per_socket=cores_per_socket,
+        threads_per_core=threads_per_core,
+        threads=threads,
+        caches=caches,
+    )
+
+
+# ---------------------------------------------------------------------------
+# rendering (the paper's listing format)
+# ---------------------------------------------------------------------------
+
+def render_topology(topology: NodeTopology, *,
+                    caches: bool = True) -> str:
+    """Render the likwid-topology report (option -c adds extended cache
+    parameters, mirrored by the *caches* flag)."""
+    lines = [RULE,
+             f"CPU name:\t{topology.cpu_name}",
+             f"CPU clock:\t{format_hz(topology.clock_hz)}",
+             star_banner("Hardware Thread Topology"),
+             f"Sockets:\t\t{topology.num_sockets}",
+             f"Cores per socket:\t{topology.cores_per_socket}",
+             f"Threads per core:\t{topology.threads_per_core}",
+             RULE,
+             "HWThread\tThread\t\tCore\t\tSocket"]
+    for t in topology.threads:
+        lines.append(f"{t.hwthread}\t\t{t.thread_id}\t\t"
+                     f"{t.core_id}\t\t{t.socket_id}")
+    lines.append(RULE)
+    for socket in range(topology.num_sockets):
+        members = " ".join(str(hw) for hw in topology.socket_members(socket))
+        lines.append(f"Socket {socket}: ( {members} )")
+    lines.append(RULE)
+    if caches:
+        lines.append(star_banner("Cache Topology"))
+        for cache in topology.caches:
+            if cache.type == "Instruction cache":
+                continue  # likwid-topology omits non-data caches
+            lines.extend([
+                f"Level:\t{cache.level}",
+                f"Size:\t{format_size(cache.size)}",
+                f"Type:\t{cache.type}",
+                f"Associativity:\t{cache.associativity}",
+                f"Number of sets:\t{cache.sets}",
+                f"Cache line size:\t{cache.line_size}",
+                "Inclusive cache" if cache.inclusive else "Non Inclusive cache",
+                f"Shared among {cache.threads_sharing} threads",
+                "Cache groups:\t" + " ".join(
+                    "( " + " ".join(str(hw) for hw in group) + " )"
+                    for group in cache.groups),
+                RULE,
+            ])
+    return "\n".join(lines)

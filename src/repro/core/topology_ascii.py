@@ -1,0 +1,78 @@
+"""ASCII-art rendering of socket/cache topology (likwid-topology -g).
+
+Reproduces the paper's diagram: one box per socket containing a row of
+core boxes (listing the hardware-thread ids of each core) and one row
+of boxes per data-cache level, each box spanning the cores that share
+one cache instance::
+
+    +-------------------------------------------+
+    | +-------+ +-------+  ...                  |
+    | | 0 12  | | 1 13  |                       |
+    | +-------+ +-------+                       |
+    | +-------+ +-------+                       |
+    | | 32kB  | | 32kB  |                       |
+    ...
+    | +---------------------------------------+ |
+    | | 12MB                                  | |
+    | +---------------------------------------+ |
+    +-------------------------------------------+
+"""
+
+from __future__ import annotations
+
+from repro.core.topology import NodeTopology
+from repro.units import format_size
+
+
+def _boxes_row(cells: list[str], cell_width: int) -> list[str]:
+    """Render one row of boxes with the given inner width."""
+    top = " ".join("+" + "-" * cell_width + "+" for _ in cells)
+    mid = " ".join("|" + c.center(cell_width) + "|" for c in cells)
+    return [top, mid, top]
+
+
+def render_ascii(topology: NodeTopology, *, socket: int | None = None) -> str:
+    """Render the diagram for all sockets (or one)."""
+    sockets = (range(topology.num_sockets) if socket is None else [socket])
+    return "\n".join(_render_socket(topology, s) for s in sockets)
+
+
+def _render_socket(topology: NodeTopology, socket: int) -> str:
+    threads_per_core = topology.threads_per_core
+    by_core: dict[int, list[int]] = {}
+    for t in topology.threads:
+        if t.socket_id == socket:
+            by_core.setdefault(t.core_id, []).append(t.hwthread)
+    core_ids = sorted(by_core)
+    ncores = len(core_ids)
+
+    core_labels = [" ".join(str(hw) for hw in sorted(
+        by_core[c], key=lambda hw: topology._entry(hw).thread_id))
+        for c in core_ids]
+
+    data_caches = [c for c in topology.caches if c.type != "Instruction cache"]
+    data_caches.sort(key=lambda c: c.level)
+
+    # Cell width: fit the widest core label and the widest cache label
+    # of the per-core row.
+    unit = max([len(s) for s in core_labels]
+               + [len(format_size(c.size)) for c in data_caches]) + 2
+
+    rows: list[list[str]] = [_boxes_row(core_labels, unit)]
+    for cache in data_caches:
+        cores_per_instance = max(
+            1, cache.threads_sharing // max(threads_per_core, 1))
+        cores_per_instance = min(cores_per_instance, ncores)
+        n_instances = ncores // cores_per_instance
+        # A box spanning k cells has width k*unit + (k-1)*3 (borders+gap).
+        span_width = cores_per_instance * unit + (cores_per_instance - 1) * 3
+        labels = [format_size(cache.size)] * n_instances
+        rows.append(_boxes_row(labels, span_width))
+
+    inner_width = ncores * (unit + 2) + (ncores - 1)
+    lines = ["+" + "-" * (inner_width + 2) + "+"]
+    for row in rows:
+        for line in row:
+            lines.append("| " + line.ljust(inner_width) + " |")
+    lines.append("+" + "-" * (inner_width + 2) + "+")
+    return "\n".join(lines)

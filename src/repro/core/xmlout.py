@@ -1,0 +1,133 @@
+"""XML output for tool results (paper outlook: "On popular demand,
+future releases will also include support for XML output").
+
+Serialises topology reports and perfctr measurements into a stable,
+schema-light XML so downstream tooling can consume LIKWID output
+without scraping the ASCII tables.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.core.numa import NumaTopology
+from repro.core.perfctr.measurement import MeasurementResult
+from repro.core.topology import NodeTopology
+
+
+def _indent(elem: ET.Element, level: int = 0) -> None:
+    pad = "\n" + "  " * level
+    if len(elem):
+        if not (elem.text or "").strip():
+            elem.text = pad + "  "
+        for child in elem:
+            _indent(child, level + 1)
+            if not (child.tail or "").strip():
+                child.tail = pad + "  "
+        if not (elem[-1].tail or "").strip():
+            elem[-1].tail = pad
+    elif level and not (elem.tail or "").strip():
+        elem.tail = pad
+
+
+def _to_string(root: ET.Element) -> str:
+    _indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def topology_to_xml(topology: NodeTopology,
+                    numa: NumaTopology | None = None) -> str:
+    """Serialise a likwid-topology report."""
+    root = ET.Element("topology", {
+        "cpu": topology.cpu_name,
+        "vendor": topology.vendor,
+        "clock_hz": f"{topology.clock_hz:.0f}",
+    })
+    layout = ET.SubElement(root, "layout", {
+        "sockets": str(topology.num_sockets),
+        "cores_per_socket": str(topology.cores_per_socket),
+        "threads_per_core": str(topology.threads_per_core),
+    })
+    for t in topology.threads:
+        ET.SubElement(layout, "hwthread", {
+            "id": str(t.hwthread),
+            "thread": str(t.thread_id),
+            "core": str(t.core_id),
+            "socket": str(t.socket_id),
+            "apic": str(t.apic_id),
+        })
+    caches = ET.SubElement(root, "caches")
+    for cache in topology.caches:
+        if cache.type == "Instruction cache":
+            continue
+        node = ET.SubElement(caches, "cache", {
+            "level": str(cache.level),
+            "type": cache.type,
+            "size": str(cache.size),
+            "associativity": str(cache.associativity),
+            "sets": str(cache.sets),
+            "line_size": str(cache.line_size),
+            "inclusive": str(cache.inclusive).lower(),
+            "threads_sharing": str(cache.threads_sharing),
+        })
+        for group in cache.groups:
+            ET.SubElement(node, "group").text = \
+                " ".join(str(hw) for hw in group)
+    if numa is not None:
+        numa_el = ET.SubElement(root, "numa",
+                                {"domains": str(numa.num_domains)})
+        for domain in numa.domains:
+            node = ET.SubElement(numa_el, "domain", {
+                "id": str(domain.domain_id),
+                "memory_bytes": str(domain.memory_bytes),
+            })
+            ET.SubElement(node, "processors").text = \
+                " ".join(str(p) for p in domain.processors)
+            ET.SubElement(node, "distances").text = \
+                " ".join(str(d) for d in domain.distances)
+    return _to_string(root)
+
+
+def measurement_to_xml(result: MeasurementResult, *,
+                       group_name: str | None = None,
+                       region: str | None = None) -> str:
+    """Serialise a likwid-perfctr measurement (whole run or region)."""
+    attrs = {"wall_time": f"{result.wall_time:.9f}"}
+    if group_name:
+        attrs["group"] = group_name
+    if region:
+        attrs["region"] = region
+    root = ET.Element("measurement", attrs)
+    for cpu in result.cpus:
+        node = ET.SubElement(root, "cpu", {"id": str(cpu)})
+        for event, value in result.counts[cpu].items():
+            ET.SubElement(node, "event", {
+                "name": event, "count": f"{value:.0f}"})
+        for metric, value in result.metrics.get(cpu, {}).items():
+            ET.SubElement(node, "metric", {
+                "name": metric, "value": f"{value:.6g}"})
+    return _to_string(root)
+
+
+def parse_topology_xml(text: str) -> dict:
+    """Parse topology XML back into plain data (round-trip support)."""
+    root = ET.fromstring(text)
+    out = {
+        "cpu": root.get("cpu"),
+        "sockets": int(root.find("layout").get("sockets")),
+        "hwthreads": [
+            {k: int(v) for k, v in el.attrib.items()}
+            for el in root.find("layout")
+        ],
+        "caches": [dict(el.attrib) for el in root.find("caches")],
+    }
+    numa = root.find("numa")
+    if numa is not None:
+        out["numa_domains"] = [
+            {"id": int(d.get("id")),
+             "memory_bytes": int(d.get("memory_bytes")),
+             "processors": [int(p) for p in
+                            d.find("processors").text.split()]}
+            for d in numa
+        ]
+    return out

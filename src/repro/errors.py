@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro (LIKWID reproduction) package.
+
+Every error raised by the package derives from :class:`ReproError` so
+callers can catch the whole family with one clause, mirroring how the
+original C tools funnel failures into a small set of exit codes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CpuidError(ReproError):
+    """Malformed or unsupported CPUID request (unknown leaf/subleaf)."""
+
+
+class MsrError(ReproError):
+    """Invalid MSR access: undefined address, bad width, or permission."""
+
+
+class TopologyError(ReproError):
+    """Topology decoding failed or produced an inconsistent layout."""
+
+
+class AffinityError(ReproError):
+    """Invalid core list, skip mask, or pinning request."""
+
+
+class SchedulerError(ReproError):
+    """OS-level scheduling failure (no runnable core, unknown thread)."""
+
+
+class EventError(ReproError):
+    """Unknown performance event or malformed event string."""
+
+
+class CounterError(ReproError):
+    """Counter allocation failure: bad counter name, conflict, or an
+    event placed on a counter that cannot count it."""
+
+
+class GroupError(ReproError):
+    """Unknown performance group or unsupported group on this arch."""
+
+
+class MarkerError(ReproError):
+    """Marker API misuse: unbalanced, nested, or unregistered regions."""
+
+
+class FeatureError(ReproError):
+    """likwid-features failure: unknown feature or read-only feature."""
+
+
+class WorkloadError(ReproError):
+    """Workload construction or execution failure."""
+
+
+class PapiError(ReproError):
+    """PAPI-baseline library error (mirrors PAPI's negative codes)."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(f"PAPI error {code}: {message}")
+        self.code = code

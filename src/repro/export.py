@@ -1,0 +1,85 @@
+"""CSV/JSON export of measurements and experiment series.
+
+The ASCII tables are for humans and the XML for structured pipelines;
+spreadsheet-bound users want CSV and notebook users want plain dicts.
+These converters are deliberately dependency-free (csv + json from the
+standard library).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.core.perfctr.measurement import MeasurementResult
+
+
+def measurement_to_csv(result: MeasurementResult) -> str:
+    """One row per (cpu, kind, name): kind is 'event' or 'metric'."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["cpu", "kind", "name", "value"])
+    for cpu in result.cpus:
+        for name, value in result.counts[cpu].items():
+            writer.writerow([cpu, "event", name, f"{value:.10g}"])
+        for name, value in result.metrics.get(cpu, {}).items():
+            writer.writerow([cpu, "metric", name, f"{value:.10g}"])
+    return buf.getvalue()
+
+
+def measurement_to_dict(result: MeasurementResult) -> dict:
+    """JSON-ready representation of one measurement."""
+    return {
+        "wall_time": result.wall_time,
+        "group": result.group.name if result.group else None,
+        "cpus": {
+            str(cpu): {
+                "events": dict(result.counts[cpu]),
+                "metrics": dict(result.metrics.get(cpu, {})),
+            }
+            for cpu in result.cpus
+        },
+    }
+
+
+def measurement_to_json(result: MeasurementResult, *, indent: int = 2) -> str:
+    return json.dumps(measurement_to_dict(result), indent=indent,
+                      sort_keys=True)
+
+
+def stream_series_to_csv(series) -> str:
+    """Figs 4-10 box-plot data: one row per (threads, sample)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["arch", "compiler", "mode", "threads", "sample",
+                     "bandwidth_mb_s"])
+    for nthreads in sorted(series.samples):
+        for index, value in enumerate(series.samples[nthreads]):
+            writer.writerow([series.arch, series.compiler, series.mode,
+                             nthreads, index, f"{value:.4f}"])
+    return buf.getvalue()
+
+
+def fig11_to_csv(curves: dict[str, list[tuple[int, float]]]) -> str:
+    """Figure 11: one row per (series, size)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["series", "size", "mlups"])
+    for label, points in curves.items():
+        for n, mlups in points:
+            writer.writerow([label, n, f"{mlups:.2f}"])
+    return buf.getvalue()
+
+
+def table2_to_csv(rows) -> str:
+    """Table II: one row per variant."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["variant", "l3_lines_in", "l3_lines_out",
+                     "data_volume_gb", "mlups"])
+    for r in rows:
+        writer.writerow([r.variant, f"{r.l3_lines_in:.6g}",
+                         f"{r.l3_lines_out:.6g}",
+                         f"{r.data_volume_gb:.4f}", f"{r.mlups:.2f}"])
+    return buf.getvalue()

@@ -1,0 +1,10 @@
+"""Simulated x86 hardware substrate: CPUID, MSRs, PMUs, caches.
+
+This package replaces the physical hardware the original LIKWID talks
+to (see DESIGN.md section 2 for the substitution map).
+"""
+
+from repro.hw.machine import SimMachine
+from repro.hw.spec import ArchSpec, CacheSpec, MachinePerf
+
+__all__ = ["SimMachine", "ArchSpec", "CacheSpec", "MachinePerf"]

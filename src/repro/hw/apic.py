@@ -1,0 +1,68 @@
+"""APIC ID composition and decomposition.
+
+x86 encodes a hardware thread's position in the machine inside its
+APIC ID as packed bit fields::
+
+    | package id | core id | SMT id |
+
+The field widths come from CPUID (leaf 0xB on Nehalem+, derived from
+leaves 0x1/0x4 on older parts).  Crucially, the *core id* field is not
+necessarily dense: on Westmere EP hexacore parts the six cores carry
+ids 0, 1, 2, 8, 9, 10 — which is why likwid-topology must decode the
+fields rather than assume consecutive numbering, and why this module
+exists as a faithful substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def field_width(max_value: int) -> int:
+    """Number of bits needed to represent ids ``0..max_value``.
+
+    This matches the hardware rule: the SMT field is wide enough for
+    the largest SMT id, the core field for the largest core id, both
+    rounded up to whole bits (ceil(log2(max_value+1)))."""
+    if max_value < 0:
+        raise ValueError(f"max_value must be >= 0, got {max_value}")
+    width = 0
+    while (1 << width) <= max_value:
+        width += 1
+    return width
+
+
+@dataclass(frozen=True)
+class ApicLayout:
+    """Bit-field layout of the APIC ID for one processor model."""
+
+    smt_bits: int
+    core_bits: int
+
+    @property
+    def core_shift(self) -> int:
+        return self.smt_bits
+
+    @property
+    def package_shift(self) -> int:
+        return self.smt_bits + self.core_bits
+
+    def compose(self, package: int, core: int, smt: int) -> int:
+        """Pack (package, core, smt) into an APIC ID."""
+        if smt >= (1 << self.smt_bits) and self.smt_bits >= 0 and smt != 0:
+            raise ValueError(f"smt id {smt} does not fit in {self.smt_bits} bits")
+        if core >= (1 << self.core_bits):
+            raise ValueError(f"core id {core} does not fit in {self.core_bits} bits")
+        return (package << self.package_shift) | (core << self.core_shift) | smt
+
+    def decompose(self, apic_id: int) -> tuple[int, int, int]:
+        """Unpack an APIC ID into (package, core, smt)."""
+        smt = apic_id & ((1 << self.smt_bits) - 1)
+        core = (apic_id >> self.core_shift) & ((1 << self.core_bits) - 1)
+        package = apic_id >> self.package_shift
+        return package, core, smt
+
+
+def layout_for(max_smt_id: int, max_core_id: int) -> ApicLayout:
+    """Construct the layout covering the given maximum field values."""
+    return ApicLayout(field_width(max_smt_id), field_width(max_core_id))

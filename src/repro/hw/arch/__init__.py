@@ -1,0 +1,49 @@
+"""Architecture catalog: every machine the paper lists as supported.
+
+Use :func:`get_arch` for a spec and :func:`create_machine` for a fully
+wired :class:`~repro.hw.machine.SimMachine`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.hw.arch.amd import AMD_ISTANBUL, AMD_K8
+from repro.hw.arch.intel_core2 import CORE2_DUO, CORE2_QUAD
+from repro.hw.arch.intel_nehalem import NEHALEM_EP
+from repro.hw.arch.intel_small import ATOM, BANIAS, NEHALEM_WS, PENTIUM_M
+from repro.hw.arch.intel_westmere import WESTMERE_EP
+from repro.hw.machine import SimMachine
+from repro.hw.spec import ArchSpec
+
+ARCH_SPECS: dict[str, ArchSpec] = {
+    spec.name: spec
+    for spec in (CORE2_QUAD, CORE2_DUO, NEHALEM_EP, NEHALEM_WS,
+                 WESTMERE_EP, ATOM, PENTIUM_M, BANIAS, AMD_K8,
+                 AMD_ISTANBUL)
+}
+
+
+def available() -> list[str]:
+    """Names of all simulated architectures."""
+    return sorted(ARCH_SPECS)
+
+
+def get_arch(name: str) -> ArchSpec:
+    """Look up an architecture spec by its short name."""
+    try:
+        return ARCH_SPECS[name]
+    except KeyError:
+        raise TopologyError(
+            f"unknown architecture {name!r}; available: {', '.join(available())}"
+        ) from None
+
+
+def create_machine(name: str) -> SimMachine:
+    """Instantiate a fully wired simulated node."""
+    return SimMachine(get_arch(name))
+
+
+__all__ = ["ARCH_SPECS", "available", "get_arch", "create_machine",
+           "CORE2_QUAD", "CORE2_DUO", "NEHALEM_EP", "WESTMERE_EP",
+           "ATOM", "PENTIUM_M", "BANIAS", "NEHALEM_WS", "AMD_K8",
+           "AMD_ISTANBUL"]

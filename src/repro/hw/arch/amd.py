@@ -1,0 +1,74 @@
+"""AMD machine descriptions: K8 (Opteron) and K10 (Istanbul).
+
+The K10 Istanbul node is the paper's second STREAM testbed (Figs 9/10):
+two hexacore 2.6 GHz sockets, no SMT, exclusive L2 caches and a shared
+6 MB L3 per socket.  AMD parts expose cache geometry through the
+0x8000000x CPUID leaves and have four symmetric performance counters
+with no fixed counters — so measuring CPI costs two general-purpose
+counters, unlike Intel.
+"""
+
+from __future__ import annotations
+
+from repro.hw.arch.common import amd_events
+from repro.hw.pmu import PmuSpec
+from repro.hw.spec import ArchSpec, CacheSpec, MachinePerf
+
+_AMD_PMU = PmuSpec(num_pmcs=4, has_fixed=False, vendor_amd=True)
+
+AMD_K8 = ArchSpec(
+    name="amd_k8",
+    cpu_name="AMD Opteron 275 (K8) processor",
+    vendor="AuthenticAMD",
+    family=0xF, model=0x21, stepping=2,
+    clock_hz=2.2e9,
+    sockets=2, cores_per_socket=2, threads_per_core=1,
+    core_ids=(0, 1),
+    caches=(
+        CacheSpec(1, "Data cache", 64 * 1024, 2, 64, inclusive=False,
+                  threads_sharing=1),
+        CacheSpec(1, "Instruction cache", 64 * 1024, 2, 64, inclusive=False,
+                  threads_sharing=1),
+        CacheSpec(2, "Unified cache", 1024 * 1024, 16, 64,
+                  inclusive=False, threads_sharing=1),
+    ),
+    pmu=_AMD_PMU,
+    events=amd_events("amd_k8"),
+    cpuid_style="amd",
+    perf=MachinePerf(socket_mem_bw=6.0e9, thread_mem_bw=4.0e9,
+                     socket_l3_bw=20.0e9, thread_l3_bw=12.0e9,
+                     remote_mem_penalty=0.7, smt_issue_scale=1.0),
+    feature_flags=("fpu", "tsc", "msr", "apic", "cmov", "mmx",
+                   "sse", "sse2", "sse3"),
+)
+
+AMD_ISTANBUL = ArchSpec(
+    name="amd_istanbul",
+    cpu_name="AMD Opteron 2435 (Istanbul) processor",
+    vendor="AuthenticAMD",
+    family=0x10, model=0x08, stepping=0,
+    clock_hz=2.6e9,
+    sockets=2, cores_per_socket=6, threads_per_core=1,
+    core_ids=(0, 1, 2, 3, 4, 5),
+    caches=(
+        CacheSpec(1, "Data cache", 64 * 1024, 2, 64, inclusive=False,
+                  threads_sharing=1),
+        CacheSpec(1, "Instruction cache", 64 * 1024, 2, 64, inclusive=False,
+                  threads_sharing=1),
+        CacheSpec(2, "Unified cache", 512 * 1024, 16, 64,
+                  inclusive=False, threads_sharing=1),
+        CacheSpec(3, "Unified cache", 6 * 1024 * 1024, 48, 64,
+                  inclusive=False, threads_sharing=6),
+    ),
+    pmu=_AMD_PMU,
+    events=amd_events("amd_istanbul", has_l3=True),
+    cpuid_style="amd",
+    # Calibrated for Figs 9/10: ~12.5 GB/s per socket, ~25 GB/s across
+    # the node; a single thread extracts noticeably less, and there is
+    # no SMT so the thread count axis stops at 12.
+    perf=MachinePerf(socket_mem_bw=12.5e9, thread_mem_bw=5.8e9,
+                     socket_l3_bw=35.0e9, thread_l3_bw=10.0e9,
+                     remote_mem_penalty=0.65, smt_issue_scale=1.0),
+    feature_flags=("fpu", "tsc", "msr", "apic", "cmov", "mmx",
+                   "sse", "sse2", "sse3", "popcnt"),
+)

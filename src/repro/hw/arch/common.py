@@ -1,0 +1,174 @@
+"""Shared event-table builders for the architecture catalog.
+
+Event encodings follow the Intel SDM Vol. 3B performance-event tables
+and the AMD BKDG; every event carries the semantic channel the
+simulated execution engine feeds (see :mod:`repro.hw.events`).
+"""
+
+from __future__ import annotations
+
+from repro.hw.events import Channel, CounterScope, EventDef, EventTable
+
+
+def _ev(name: str, code: int, umask: int, channel: Channel,
+        scope: CounterScope = CounterScope.CORE,
+        fixed: int | None = None) -> EventDef:
+    return EventDef(name, code, umask, channel, scope, fixed_index=fixed)
+
+
+def intel_fixed_events() -> list[EventDef]:
+    """The three architectural fixed-counter events (Core 2 onward).
+
+    The paper notes these are "always counted (using two unassignable
+    fixed counters)" — INSTR_RETIRED_ANY and CPU_CLK_UNHALTED_CORE feed
+    the derived CPI metric in every group.
+    """
+    return [
+        _ev("INSTR_RETIRED_ANY", 0xC0, 0x00, Channel.INSTRUCTIONS, fixed=0),
+        _ev("CPU_CLK_UNHALTED_CORE", 0x3C, 0x00, Channel.CORE_CYCLES, fixed=1),
+        _ev("CPU_CLK_UNHALTED_REF", 0x3C, 0x01, Channel.REF_CYCLES, fixed=2),
+    ]
+
+
+def core2_events() -> EventTable:
+    """Intel Core 2 (65nm/45nm) core events; L2 is the last-level cache,
+    so memory traffic is observed through L2 line fills/evicts."""
+    table = EventTable("core2")
+    table.add_all(intel_fixed_events())
+    table.add_all([
+        _ev("SIMD_COMP_INST_RETIRED_PACKED_SINGLE", 0xCA, 0x01, Channel.FLOPS_PACKED_SP),
+        _ev("SIMD_COMP_INST_RETIRED_SCALAR_SINGLE", 0xCA, 0x02, Channel.FLOPS_SCALAR_SP),
+        _ev("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 0xCA, 0x04, Channel.FLOPS_PACKED_DP),
+        _ev("SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE", 0xCA, 0x08, Channel.FLOPS_SCALAR_DP),
+        _ev("L1D_REPL", 0x45, 0x0F, Channel.L1D_REPLACEMENT),
+        _ev("L1D_M_EVICT", 0x47, 0x00, Channel.L1D_EVICT),
+        _ev("L1D_ALL_REF", 0x43, 0x01, Channel.LOADS),
+        _ev("L2_LINES_IN_ANY", 0x24, 0x70, Channel.L2_LINES_IN),
+        _ev("L2_LINES_OUT_ANY", 0x26, 0x70, Channel.L2_LINES_OUT),
+        _ev("L2_RQSTS_ANY", 0x2E, 0xFF, Channel.L2_REQUESTS),
+        _ev("L2_RQSTS_MISS", 0x2E, 0x41, Channel.L2_MISSES),
+        _ev("INST_RETIRED_LOADS", 0xC0, 0x01, Channel.LOADS),
+        _ev("INST_RETIRED_STORES", 0xC0, 0x02, Channel.STORES),
+        _ev("BR_INST_RETIRED_ANY", 0xC4, 0x00, Channel.BRANCHES),
+        _ev("BR_INST_RETIRED_MISPRED", 0xC5, 0x00, Channel.BRANCH_MISSES),
+        _ev("DTLB_MISSES_ANY", 0x08, 0x01, Channel.DTLB_MISSES),
+        _ev("BUS_TRANS_MEM_ANY", 0x6F, 0xC0, Channel.DRAM_READS),
+    ])
+    return table
+
+
+def nehalem_events(arch: str) -> EventTable:
+    """Intel Nehalem/Westmere core + uncore events.
+
+    Uncore events are socket scope (the UNC_* family) — the reason
+    likwid-perfCtr applies socket locks, and the events behind the
+    paper's Table II (UNC_L3_LINES_IN_ANY / UNC_L3_LINES_OUT_ANY).
+    """
+    table = EventTable(arch)
+    table.add_all(intel_fixed_events())
+    table.add_all([
+        _ev("FP_COMP_OPS_EXE_SSE_FP_PACKED", 0x10, 0x10, Channel.FLOPS_PACKED_DP),
+        _ev("FP_COMP_OPS_EXE_SSE_FP_SCALAR", 0x10, 0x20, Channel.FLOPS_SCALAR_DP),
+        _ev("FP_COMP_OPS_EXE_SSE_SINGLE_PRECISION", 0x10, 0x40, Channel.FLOPS_PACKED_SP),
+        _ev("FP_COMP_OPS_EXE_SSE_SCALAR_SINGLE", 0x10, 0x41, Channel.FLOPS_SCALAR_SP),
+        _ev("L1D_REPL", 0x51, 0x01, Channel.L1D_REPLACEMENT),
+        _ev("L1D_M_EVICT", 0x51, 0x04, Channel.L1D_EVICT),
+        _ev("L2_LINES_IN_ANY", 0xF1, 0x07, Channel.L2_LINES_IN),
+        _ev("L2_LINES_OUT_ANY", 0xF2, 0x0F, Channel.L2_LINES_OUT),
+        _ev("L2_RQSTS_REFERENCES", 0x24, 0xFF, Channel.L2_REQUESTS),
+        _ev("L2_RQSTS_MISS", 0x24, 0xAA, Channel.L2_MISSES),
+        _ev("MEM_INST_RETIRED_LOADS", 0x0B, 0x01, Channel.LOADS),
+        _ev("MEM_INST_RETIRED_STORES", 0x0B, 0x02, Channel.STORES),
+        _ev("BR_INST_RETIRED_ALL_BRANCHES", 0xC4, 0x04, Channel.BRANCHES),
+        _ev("BR_MISP_RETIRED_ALL_BRANCHES", 0xC5, 0x02, Channel.BRANCH_MISSES),
+        _ev("DTLB_MISSES_ANY", 0x49, 0x01, Channel.DTLB_MISSES),
+        # Counter-constrained event: the offcore-response facility is
+        # backed by dedicated match registers tied to the first two
+        # general counters (SDM: OFFCORE_RESPONSE_0/1).
+        EventDef("OFFCORE_RESPONSE_0_ANY_REQUEST", 0xB7, 0x01,
+                 Channel.DRAM_READS, counter_mask=frozenset({0, 1})),
+        # Uncore (socket scope)
+        _ev("UNC_L3_HITS_ANY", 0x08, 0x03, Channel.UNC_L3_HITS, CounterScope.UNCORE),
+        _ev("UNC_L3_MISS_ANY", 0x09, 0x03, Channel.UNC_L3_MISSES, CounterScope.UNCORE),
+        _ev("UNC_L3_LINES_IN_ANY", 0x0A, 0x0F, Channel.L3_LINES_IN, CounterScope.UNCORE),
+        _ev("UNC_L3_LINES_OUT_ANY", 0x0B, 0x0F, Channel.L3_LINES_OUT, CounterScope.UNCORE),
+        _ev("UNC_QMC_NORMAL_READS_ANY", 0x2C, 0x07, Channel.MEM_READS, CounterScope.UNCORE),
+        _ev("UNC_QMC_WRITES_FULL_ANY", 0x2D, 0x07, Channel.MEM_WRITES, CounterScope.UNCORE),
+    ])
+    return table
+
+
+def atom_events() -> EventTable:
+    """Intel Atom (Bonnell): Core-2-like SIMD events, 2 PMCs + fixed."""
+    table = EventTable("atom")
+    table.add_all(intel_fixed_events())
+    table.add_all([
+        _ev("SIMD_COMP_INST_RETIRED_PACKED_SINGLE", 0xCA, 0x01, Channel.FLOPS_PACKED_SP),
+        _ev("SIMD_COMP_INST_RETIRED_SCALAR_SINGLE", 0xCA, 0x02, Channel.FLOPS_SCALAR_SP),
+        _ev("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 0xCA, 0x04, Channel.FLOPS_PACKED_DP),
+        _ev("SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE", 0xCA, 0x08, Channel.FLOPS_SCALAR_DP),
+        _ev("L2_LINES_IN_ANY", 0x24, 0x70, Channel.L2_LINES_IN),
+        _ev("L2_LINES_OUT_ANY", 0x26, 0x70, Channel.L2_LINES_OUT),
+        _ev("L2_RQSTS_ANY", 0x2E, 0xFF, Channel.L2_REQUESTS),
+        _ev("L2_RQSTS_MISS", 0x2E, 0x41, Channel.L2_MISSES),
+        _ev("BR_INST_RETIRED_ANY", 0xC4, 0x00, Channel.BRANCHES),
+        _ev("BR_INST_RETIRED_MISPRED", 0xC5, 0x00, Channel.BRANCH_MISSES),
+    ])
+    return table
+
+
+def pentium_m_events() -> EventTable:
+    """Intel Pentium M (Banias/Dothan): no fixed counters — instructions
+    and cycles occupy general-purpose counters."""
+    table = EventTable("pentium_m")
+    table.add_all([
+        _ev("INSTR_RETIRED_ANY", 0xC0, 0x00, Channel.INSTRUCTIONS),
+        _ev("CPU_CLK_UNHALTED", 0x79, 0x00, Channel.CORE_CYCLES),
+        _ev("EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_DP", 0xD9, 0x03, Channel.FLOPS_PACKED_DP),
+        _ev("EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_DP", 0xD9, 0x02, Channel.FLOPS_SCALAR_DP),
+        _ev("DATA_MEM_REFS", 0x43, 0x00, Channel.LOADS),
+        _ev("L2_LINES_IN", 0x24, 0x00, Channel.L2_LINES_IN),
+        _ev("L2_LINES_OUT", 0x26, 0x00, Channel.L2_LINES_OUT),
+        _ev("BR_INST_RETIRED", 0xC4, 0x00, Channel.BRANCHES),
+        _ev("BR_MISPRED_RETIRED", 0xC5, 0x00, Channel.BRANCH_MISSES),
+    ])
+    return table
+
+
+def amd_events(arch: str, *, has_l3: bool = False) -> EventTable:
+    """AMD K8/K10 events: 4 symmetric counters, no fixed counters, and
+    DRAM traffic observed through northbridge events counted core-side.
+
+    K10 (Istanbul) additionally exposes its shared L3 through
+    northbridge events that are nonetheless programmed on the core
+    counters — AMD's answer to Intel's uncore, without socket locks.
+    """
+    table = EventTable(arch)
+    if has_l3:
+        table.add_all([
+            _ev("L3_READ_REQUEST_ALL_CORES", 0xE1, 0xF7, Channel.L3_REQUESTS),
+            _ev("L3_MISSES_ALL_CORES", 0xE2, 0xF7, Channel.L3_MISSES),
+            _ev("L3_FILLS_ALL_CORES", 0xE3, 0xF7, Channel.L3_LINES_IN_CORE),
+        ])
+    table.add_all([
+        _ev("RETIRED_INSTRUCTIONS", 0xC0, 0x00, Channel.INSTRUCTIONS),
+        _ev("CPU_CLOCKS_UNHALTED", 0x76, 0x00, Channel.CORE_CYCLES),
+        _ev("SSE_RETIRED_PACKED_DOUBLE", 0x03, 0x10, Channel.FLOPS_PACKED_DP),
+        _ev("SSE_RETIRED_SCALAR_DOUBLE", 0x03, 0x20, Channel.FLOPS_SCALAR_DP),
+        _ev("SSE_RETIRED_PACKED_SINGLE", 0x03, 0x01, Channel.FLOPS_PACKED_SP),
+        _ev("SSE_RETIRED_SCALAR_SINGLE", 0x03, 0x02, Channel.FLOPS_SCALAR_SP),
+        _ev("DATA_CACHE_REFILLS_L2", 0x42, 0x1E, Channel.L1D_REPLACEMENT),
+        _ev("DATA_CACHE_REFILLS_NORTHBRIDGE", 0x43, 0x1E, Channel.L2_MISSES),
+        _ev("DATA_CACHE_EVICTED_ALL", 0x44, 0x3F, Channel.L1D_EVICT),
+        _ev("L2_FILL_WRITEBACK", 0x7F, 0x03, Channel.L2_LINES_OUT),
+        _ev("L2_REQUESTS_ALL", 0x7D, 0x1F, Channel.L2_REQUESTS),
+        _ev("L2_MISSES_ALL", 0x7E, 0x07, Channel.L2_MISSES),
+        _ev("DRAM_ACCESSES_DCT_READS", 0xE0, 0x07, Channel.DRAM_READS),
+        _ev("DRAM_ACCESSES_DCT_WRITES", 0xE0, 0x38, Channel.DRAM_WRITES),
+        _ev("RETIRED_BRANCH_INSTR", 0xC2, 0x00, Channel.BRANCHES),
+        _ev("RETIRED_MISPREDICTED_BRANCH_INSTR", 0xC3, 0x00, Channel.BRANCH_MISSES),
+        _ev("DTLB_L2_MISS_ALL", 0x46, 0x07, Channel.DTLB_MISSES),
+        _ev("RETIRED_LOADS", 0xD0, 0x00, Channel.LOADS),
+        _ev("RETIRED_STORES", 0xD1, 0x00, Channel.STORES),
+    ])
+    return table

@@ -1,0 +1,75 @@
+"""Intel Core 2 machine descriptions.
+
+Two variants used in the paper: the 45nm Core 2 Quad (the marker-API
+FLOPS_DP listing, "Intel Core 2 45nm processor", 2.83 GHz) and the
+65nm Core 2 Duo used for the likwid-features listing.  Core 2 is the
+only architecture on which likwid-features can toggle prefetchers
+(``IA32_MISC_ENABLE`` bits), as the paper states.
+"""
+
+from __future__ import annotations
+
+from repro.hw.arch.common import core2_events
+from repro.hw.pmu import PmuSpec
+from repro.hw.spec import ArchSpec, CacheSpec, MachinePerf
+
+_CORE2_PMU = PmuSpec(num_pmcs=2, has_fixed=True)
+
+_CORE2_FLAGS = ("fpu", "tsc", "msr", "apic", "cmov", "mmx",
+                "sse", "sse2", "sse3", "ssse3", "sse4_1")
+
+CORE2_QUAD = ArchSpec(
+    name="core2",
+    cpu_name="Intel Core 2 45nm processor",
+    vendor="GenuineIntel",
+    family=6, model=0x17, stepping=6,
+    clock_hz=2.83e9,
+    sockets=1, cores_per_socket=4, threads_per_core=1,
+    core_ids=(0, 1, 2, 3),
+    caches=(
+        CacheSpec(1, "Data cache", 32 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=1),
+        CacheSpec(1, "Instruction cache", 32 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=1),
+        # Penryn: two 6 MB L2 slices, each shared by a core pair; the
+        # L2 is the last cache level, so memory traffic shows up as
+        # L2_LINES_IN/OUT.
+        CacheSpec(2, "Unified cache", 6 * 1024 * 1024, 24, 64,
+                  inclusive=True, threads_sharing=2),
+    ),
+    pmu=_CORE2_PMU,
+    events=core2_events(),
+    cpuid_style="leaf4",
+    perf=MachinePerf(socket_mem_bw=7.0e9, thread_mem_bw=4.2e9,
+                     socket_l3_bw=45.0e9, thread_l3_bw=18.0e9,
+                     remote_mem_penalty=1.0, smt_issue_scale=1.0),
+    feature_flags=_CORE2_FLAGS,
+    has_misc_enable=True,
+)
+
+CORE2_DUO = ArchSpec(
+    name="core2duo",
+    cpu_name="Intel Core 2 65nm processor",
+    vendor="GenuineIntel",
+    family=6, model=0x0F, stepping=6,
+    clock_hz=2.4e9,
+    sockets=1, cores_per_socket=2, threads_per_core=1,
+    core_ids=(0, 1),
+    caches=(
+        CacheSpec(1, "Data cache", 32 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=1),
+        CacheSpec(1, "Instruction cache", 32 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=1),
+        CacheSpec(2, "Unified cache", 4 * 1024 * 1024, 16, 64,
+                  inclusive=True, threads_sharing=2),
+    ),
+    pmu=_CORE2_PMU,
+    events=core2_events(),
+    cpuid_style="leaf4",
+    perf=MachinePerf(socket_mem_bw=6.0e9, thread_mem_bw=4.0e9,
+                     socket_l3_bw=35.0e9, thread_l3_bw=16.0e9,
+                     remote_mem_penalty=1.0, smt_issue_scale=1.0),
+    feature_flags=("fpu", "tsc", "msr", "apic", "cmov", "mmx",
+                   "sse", "sse2", "sse3", "ssse3"),
+    has_misc_enable=True,
+)

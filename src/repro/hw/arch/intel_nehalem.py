@@ -1,0 +1,47 @@
+"""Intel Nehalem EP (Xeon X5500-class) dual-socket node.
+
+The machine of the paper's Figure 1, Figure 11 and Table II: two
+quad-core 2.66 GHz sockets with SMT, per-core 256 kB L2, one shared
+8 MB L3 per socket, QPI-attached ccNUMA memory, and the first-generation
+uncore PMU (socket scope) that provides UNC_L3_LINES_IN_ANY /
+UNC_L3_LINES_OUT_ANY used in Table II.
+"""
+
+from __future__ import annotations
+
+from repro.hw.arch.common import nehalem_events
+from repro.hw.pmu import PmuSpec
+from repro.hw.spec import ArchSpec, CacheSpec, MachinePerf
+
+NEHALEM_EP = ArchSpec(
+    name="nehalem_ep",
+    cpu_name="Intel Core i7 (Nehalem EP) processor",
+    vendor="GenuineIntel",
+    family=6, model=0x1A, stepping=5,
+    clock_hz=2.66e9,
+    sockets=2, cores_per_socket=4, threads_per_core=2,
+    core_ids=(0, 1, 2, 3),
+    caches=(
+        CacheSpec(1, "Data cache", 32 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=2),
+        CacheSpec(1, "Instruction cache", 32 * 1024, 4, 64, inclusive=True,
+                  threads_sharing=2),
+        CacheSpec(2, "Unified cache", 256 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=2),
+        CacheSpec(3, "Unified cache", 8 * 1024 * 1024, 16, 64,
+                  inclusive=True, threads_sharing=8),
+    ),
+    pmu=PmuSpec(num_pmcs=4, has_fixed=True, num_uncore_pmcs=8,
+                has_uncore_fixed=True),
+    events=nehalem_events("nehalem_ep"),
+    cpuid_style="leaf11",
+    # Calibrated for the paper's Nehalem EP case studies: one socket
+    # saturates near 21.3 GB/s of combined read+writeback traffic; a
+    # single stream cannot saturate the controller (the Fig 11 /
+    # Table II discussion point (i)).
+    perf=MachinePerf(socket_mem_bw=21.3e9, thread_mem_bw=9.0e9,
+                     socket_l3_bw=75.0e9, thread_l3_bw=19.0e9,
+                     remote_mem_penalty=0.6, smt_issue_scale=1.2),
+    feature_flags=("fpu", "tsc", "msr", "apic", "cmov", "mmx", "sse",
+                   "sse2", "sse3", "ssse3", "sse4_1", "sse4_2", "popcnt"),
+)

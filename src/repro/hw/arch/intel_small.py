@@ -1,0 +1,127 @@
+"""Small Intel parts from the paper's supported-architecture list:
+Atom (Bonnell, SMT but single core) and Pentium M (Dothan, the legacy
+part whose cache parameters come from the CPUID leaf 0x2 descriptor
+table rather than deterministic cache parameters).
+"""
+
+from __future__ import annotations
+
+from repro.hw.arch.common import atom_events, nehalem_events, pentium_m_events
+from repro.hw.pmu import PmuSpec
+from repro.hw.spec import ArchSpec, CacheSpec, MachinePerf
+
+
+def _nehalem_ws_events():
+    return nehalem_events("nehalem_ws")
+
+ATOM = ArchSpec(
+    name="atom",
+    cpu_name="Intel Atom N270 processor",
+    vendor="GenuineIntel",
+    family=6, model=0x1C, stepping=2,
+    clock_hz=1.6e9,
+    sockets=1, cores_per_socket=1, threads_per_core=2,
+    core_ids=(0,),
+    caches=(
+        CacheSpec(1, "Data cache", 24 * 1024, 6, 64, inclusive=True,
+                  threads_sharing=2),
+        CacheSpec(1, "Instruction cache", 32 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=2),
+        CacheSpec(2, "Unified cache", 512 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=2),
+    ),
+    pmu=PmuSpec(num_pmcs=2, has_fixed=True),
+    events=atom_events(),
+    cpuid_style="leaf4",
+    perf=MachinePerf(socket_mem_bw=2.5e9, thread_mem_bw=1.8e9,
+                     socket_l3_bw=8.0e9, thread_l3_bw=6.0e9,
+                     remote_mem_penalty=1.0, smt_issue_scale=1.3),
+    feature_flags=("fpu", "tsc", "msr", "apic", "cmov", "mmx",
+                   "sse", "sse2", "sse3", "ssse3"),
+)
+
+NEHALEM_WS = ArchSpec(
+    name="nehalem_ws",
+    cpu_name="Intel Core i7-920 (Nehalem) processor",
+    vendor="GenuineIntel",
+    family=6, model=0x1A, stepping=4,
+    clock_hz=2.66e9,
+    sockets=1, cores_per_socket=4, threads_per_core=2,
+    core_ids=(0, 1, 2, 3),
+    caches=(
+        CacheSpec(1, "Data cache", 32 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=2),
+        CacheSpec(1, "Instruction cache", 32 * 1024, 4, 64, inclusive=True,
+                  threads_sharing=2),
+        CacheSpec(2, "Unified cache", 256 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=2),
+        CacheSpec(3, "Unified cache", 8 * 1024 * 1024, 16, 64,
+                  inclusive=True, threads_sharing=8),
+    ),
+    pmu=PmuSpec(num_pmcs=4, has_fixed=True, num_uncore_pmcs=8,
+                has_uncore_fixed=True),
+    events=_nehalem_ws_events(),
+    cpuid_style="leaf11",
+    perf=MachinePerf(socket_mem_bw=16.0e9, thread_mem_bw=8.5e9,
+                     socket_l3_bw=70.0e9, thread_l3_bw=18.0e9,
+                     remote_mem_penalty=1.0, smt_issue_scale=1.2),
+    feature_flags=("fpu", "tsc", "msr", "apic", "cmov", "mmx", "sse",
+                   "sse2", "sse3", "ssse3", "sse4_1", "sse4_2", "popcnt"),
+)
+
+PENTIUM_M = ArchSpec(
+    name="pentium_m",
+    cpu_name="Intel Pentium M (Dothan) processor",
+    vendor="GenuineIntel",
+    family=6, model=0x0D, stepping=6,
+    clock_hz=1.6e9,
+    sockets=1, cores_per_socket=1, threads_per_core=1,
+    core_ids=(0,),
+    caches=(
+        CacheSpec(1, "Data cache", 32 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=1),
+        CacheSpec(1, "Instruction cache", 32 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=1),
+        CacheSpec(2, "Unified cache", 2 * 1024 * 1024, 8, 64,
+                  inclusive=True, threads_sharing=1),
+    ),
+    pmu=PmuSpec(num_pmcs=2, has_fixed=False),
+    events=pentium_m_events(),
+    cpuid_style="legacy",
+    perf=MachinePerf(socket_mem_bw=2.0e9, thread_mem_bw=2.0e9,
+                     socket_l3_bw=6.0e9, thread_l3_bw=6.0e9,
+                     remote_mem_penalty=1.0, smt_issue_scale=1.0),
+    feature_flags=("fpu", "tsc", "msr", "apic", "cmov", "mmx",
+                   "sse", "sse2"),
+    # Descriptor bytes for L1d 32k/8w (0x2C), L1i 32k/8w (0x30),
+    # L2 2M/8w (0x7D) — decoded via the LEAF2_TABLE lookup.
+    leaf2_descriptors=(0x2C, 0x30, 0x7D),
+)
+
+BANIAS = ArchSpec(
+    name="banias",
+    cpu_name="Intel Pentium M (Banias) processor",
+    vendor="GenuineIntel",
+    family=6, model=0x09, stepping=5,
+    clock_hz=1.3e9,
+    sockets=1, cores_per_socket=1, threads_per_core=1,
+    core_ids=(0,),
+    caches=(
+        CacheSpec(1, "Data cache", 32 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=1),
+        CacheSpec(1, "Instruction cache", 32 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=1),
+        CacheSpec(2, "Unified cache", 1024 * 1024, 8, 64,
+                  inclusive=True, threads_sharing=1),
+    ),
+    pmu=PmuSpec(num_pmcs=2, has_fixed=False),
+    events=pentium_m_events(),
+    cpuid_style="legacy",
+    perf=MachinePerf(socket_mem_bw=1.6e9, thread_mem_bw=1.6e9,
+                     socket_l3_bw=5.0e9, thread_l3_bw=5.0e9,
+                     remote_mem_penalty=1.0, smt_issue_scale=1.0),
+    feature_flags=("fpu", "tsc", "msr", "apic", "cmov", "mmx",
+                   "sse", "sse2"),
+    # L1d/L1i 32k/8w (0x2C/0x30), L2 1M/8w (0x7C).
+    leaf2_descriptors=(0x2C, 0x30, 0x7C),
+)

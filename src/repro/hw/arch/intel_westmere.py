@@ -1,0 +1,49 @@
+"""Intel Westmere EP dual-socket node (the paper's STREAM testbed).
+
+Two hexacore 2.93 GHz sockets, two SMT threads per core.  The physical
+core ids inside a package are the non-contiguous set {0, 1, 2, 8, 9,
+10} — exactly what the paper's likwid-topology listing shows and the
+reason topology must be decoded from the APIC id bit fields rather than
+assumed dense.  Cache parameters match that listing: L1 32 kB/8-way/64
+sets, L2 256 kB/8-way/512 sets (both inclusive, shared by 2 SMT
+threads), L3 12 MB/16-way/12288 sets, non-inclusive, shared by all 12
+threads of the socket.
+"""
+
+from __future__ import annotations
+
+from repro.hw.arch.common import nehalem_events
+from repro.hw.pmu import PmuSpec
+from repro.hw.spec import ArchSpec, CacheSpec, MachinePerf
+
+WESTMERE_EP = ArchSpec(
+    name="westmere_ep",
+    cpu_name="Intel Xeon X5670 (Westmere EP) processor",
+    vendor="GenuineIntel",
+    family=6, model=0x2C, stepping=2,
+    clock_hz=2.93e9,
+    sockets=2, cores_per_socket=6, threads_per_core=2,
+    core_ids=(0, 1, 2, 8, 9, 10),
+    caches=(
+        CacheSpec(1, "Data cache", 32 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=2),
+        CacheSpec(1, "Instruction cache", 32 * 1024, 4, 64, inclusive=True,
+                  threads_sharing=2),
+        CacheSpec(2, "Unified cache", 256 * 1024, 8, 64, inclusive=True,
+                  threads_sharing=2),
+        CacheSpec(3, "Unified cache", 12 * 1024 * 1024, 16, 64,
+                  inclusive=False, threads_sharing=12),
+    ),
+    pmu=PmuSpec(num_pmcs=4, has_fixed=True, num_uncore_pmcs=8,
+                has_uncore_fixed=True),
+    events=nehalem_events("westmere_ep"),
+    cpuid_style="leaf11",
+    # Calibrated for Figs 4-8: one socket sustains ~21 GB/s of STREAM
+    # traffic, saturating at 3-4 threads; the two-socket pinned maximum
+    # is ~42 GB/s of physical traffic.
+    perf=MachinePerf(socket_mem_bw=21.0e9, thread_mem_bw=9.5e9,
+                     socket_l3_bw=70.0e9, thread_l3_bw=21.0e9,
+                     remote_mem_penalty=0.6, smt_issue_scale=1.2),
+    feature_flags=("fpu", "tsc", "msr", "apic", "cmov", "mmx", "sse",
+                   "sse2", "sse3", "ssse3", "sse4_1", "sse4_2", "popcnt"),
+)

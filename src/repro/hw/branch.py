@@ -1,0 +1,93 @@
+"""Branch predictor models for the exact trace substrate.
+
+The BRANCH group (paper §II.A table: "Branch prediction miss
+rate/ratio") needs a source of misprediction counts.  On the analytic
+path workloads declare a miss rate; on the exact path these predictor
+models produce it from actual branch outcome streams:
+
+* :class:`BimodalPredictor` — a table of 2-bit saturating counters
+  indexed by branch address (the classic Smith predictor): loop-closing
+  branches predict almost perfectly, alternating patterns almost never.
+* :class:`GsharePredictor` — global history XOR-folded into the table
+  index; captures correlated/periodic patterns the bimodal table
+  cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PredictorStats:
+    branches: int = 0
+    mispredictions: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        return (self.mispredictions / self.branches
+                if self.branches else 0.0)
+
+
+class BimodalPredictor:
+    """Per-address 2-bit saturating counters (00/01 -> not taken,
+    10/11 -> taken)."""
+
+    def __init__(self, entries: int = 1024):
+        if entries < 1:
+            raise ValueError("predictor needs at least one entry")
+        self.entries = entries
+        self._table = [2] * entries   # weakly taken, the usual reset
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.entries
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record one executed branch; returns True on misprediction."""
+        index = self._index(pc)
+        predicted = self._table[index] >= 2
+        mispredicted = predicted != taken
+        self.stats.branches += 1
+        if mispredicted:
+            self.stats.mispredictions += 1
+        counter = self._table[index]
+        self._table[index] = min(3, counter + 1) if taken \
+            else max(0, counter - 1)
+        return mispredicted
+
+
+class GsharePredictor(BimodalPredictor):
+    """Bimodal table indexed by PC xor global branch history."""
+
+    def __init__(self, entries: int = 1024, history_bits: int = 8):
+        super().__init__(entries)
+        self.history_bits = history_bits
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) % self.entries
+
+    def update(self, pc: int, taken: bool) -> bool:
+        mispredicted = super().update(pc, taken)
+        mask = (1 << self.history_bits) - 1
+        self._history = ((self._history << 1) | int(taken)) & mask
+        return mispredicted
+
+
+@dataclass
+class BranchUnit:
+    """The front-end branch unit of one simulated core: feeds the
+    BRANCHES / BRANCH_MISSES channels from outcome streams."""
+
+    predictor: BimodalPredictor = field(default_factory=GsharePredictor)
+
+    def execute(self, pc: int, taken: bool) -> bool:
+        return self.predictor.update(pc, taken)
+
+    @property
+    def stats(self) -> PredictorStats:
+        return self.predictor.stats

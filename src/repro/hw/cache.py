@@ -1,0 +1,305 @@
+"""Trace-driven set-associative cache hierarchy simulator.
+
+The exact execution substrate: workloads issue individual loads and
+stores and the hierarchy tracks line state with true LRU per set,
+write-allocate on store misses, nontemporal-store bypass, and the
+prefetchers of :mod:`repro.hw.prefetch`.  Its statistics convert
+directly into the PMU's event channels, so likwid-perfctr measurements
+over a traced kernel are exact.
+
+Large workloads (the paper's 75 GB Jacobi runs) use the analytic model
+in :mod:`repro.model` instead; the ablation benchmark
+``benchmarks/test_bench_ablation_cachemodel.py`` checks the two
+substrates agree on miss counts for streaming/strided/blocked kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.events import Channel
+from repro.hw.prefetch import IpStridePrefetcher, PrefetcherConfig, StreamDetector
+from repro.hw.spec import CacheSpec
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    lines_in: int = 0          # fills (demand + prefetch)
+    prefetch_fills: int = 0
+    evictions: int = 0         # lines victimised (clean + dirty)
+    dirty_evictions: int = 0   # writebacks to the next level
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssocCache:
+    """One set-associative, true-LRU cache level."""
+
+    def __init__(self, spec: CacheSpec, name: str = ""):
+        self.spec = spec
+        self.name = name or f"L{spec.level}"
+        self.num_sets = spec.sets
+        self.ways = spec.associativity
+        self.line_size = spec.line_size
+        # Per set: {line_number: dirty}; dict preserves insertion order,
+        # and we re-insert on touch, giving true LRU with O(1) ops.
+        self._sets: list[dict[int, bool]] = [dict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def _set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def lookup(self, line: int, *, touch: bool = True) -> bool:
+        """Probe for a line; on a hit optionally refresh its LRU age."""
+        s = self._sets[self._set_index(line)]
+        if line not in s:
+            return False
+        if touch:
+            dirty = s.pop(line)
+            s[line] = dirty
+        return True
+
+    def access(self, line: int, *, write: bool = False) -> bool:
+        """Demand access to a line; returns True on hit.  Misses do NOT
+        fill — the hierarchy decides fill policy (allocate vs bypass)."""
+        self.stats.accesses += 1
+        s = self._sets[self._set_index(line)]
+        if line in s:
+            self.stats.hits += 1
+            dirty = s.pop(line) or write
+            s[line] = dirty
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, line: int, *, dirty: bool = False,
+             prefetch: bool = False) -> tuple[int, bool] | None:
+        """Install a line, evicting LRU if the set is full.
+
+        Returns (victim_line, victim_dirty) when a line was evicted.
+        """
+        s = self._sets[self._set_index(line)]
+        if line in s:
+            s[line] = s.pop(line) or dirty
+            return None
+        victim: tuple[int, bool] | None = None
+        if len(s) >= self.ways:
+            victim_line = next(iter(s))
+            victim = (victim_line, s.pop(victim_line))
+            self.stats.evictions += 1
+            if victim[1]:
+                self.stats.dirty_evictions += 1
+        s[line] = dirty
+        self.stats.lines_in += 1
+        if prefetch:
+            self.stats.prefetch_fills += 1
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Drop a line (used by nontemporal stores); True if present."""
+        s = self._sets[self._set_index(line)]
+        return s.pop(line, None) is not None
+
+    def contents(self) -> set[int]:
+        """All resident line numbers (testing/inspection)."""
+        return {line for s in self._sets for line in s}
+
+
+class SimTlb:
+    """Fully associative, true-LRU data TLB."""
+
+    def __init__(self, entries: int = 64, page_size: int = 4096):
+        self.entries = entries
+        self.page_size = page_size
+        self._pages: dict[int, None] = {}
+        self.accesses = 0
+        self.misses = 0
+
+    def translate(self, addr: int) -> bool:
+        """Look up the page of *addr*; returns True on a TLB hit."""
+        self.accesses += 1
+        page = addr // self.page_size
+        if page in self._pages:
+            self._pages.pop(page)
+            self._pages[page] = None
+            return True
+        self.misses += 1
+        if len(self._pages) >= self.entries:
+            self._pages.pop(next(iter(self._pages)))
+        self._pages[page] = None
+        return False
+
+
+class CacheHierarchy:
+    """A private L1/L2[/L3] stack for one hardware thread plus DRAM,
+    fronted by a data TLB.
+
+    Fill policy is inclusive-on-fill: a demand miss that reaches DRAM
+    installs the line in every level on the way back (matching the
+    inclusive Intel hierarchies of the paper's machines; the exclusive
+    AMD policy is approximated the same way, documented in DESIGN.md).
+    """
+
+    def __init__(self, caches: list[CacheSpec],
+                 prefetch: PrefetcherConfig | None = None,
+                 *, tlb_entries: int = 64, page_size: int = 4096):
+        data_levels = sorted((c for c in caches if c.is_data),
+                             key=lambda c: c.level)
+        if not data_levels:
+            raise ValueError("hierarchy needs at least one data cache level")
+        self.levels = [SetAssocCache(c) for c in data_levels]
+        self.line_size = self.levels[0].line_size
+        self.tlb = SimTlb(tlb_entries, page_size)
+        self.prefetch = prefetch or PrefetcherConfig()
+        self._l1_stream = StreamDetector(depth=1)    # DCU prefetcher
+        self._l2_stream = StreamDetector(depth=2)    # HW (L2 streamer)
+        self._ip = IpStridePrefetcher()
+        self.loads = 0
+        self.stores = 0
+        self.nt_stores = 0
+        self.dram_reads = 0    # lines fetched from memory
+        self.dram_writes = 0   # dirty writebacks + NT store lines
+        self._nt_accum = 0     # bytes pending in write-combining buffers
+
+    # -- internals -------------------------------------------------------------
+
+    def _line(self, addr: int) -> int:
+        return addr // self.line_size
+
+    def _fill_chain(self, line: int, upto: int, *, dirty: bool = False,
+                    prefetch: bool = False) -> None:
+        """Install *line* into levels[0..upto], cascading evictions.
+
+        A dirty victim at level i is written into level i+1 (or DRAM
+        from the last level); clean victims simply vanish.
+        """
+        for i in range(upto, -1, -1):
+            victim = self.levels[i].fill(line, dirty=dirty and i == 0,
+                                         prefetch=prefetch)
+            if victim is not None:
+                self._writeback(victim, from_level=i)
+
+    def _writeback(self, victim: tuple[int, bool], from_level: int) -> None:
+        line, dirty = victim
+        if not dirty:
+            return
+        nxt = from_level + 1
+        if nxt >= len(self.levels):
+            self.dram_writes += 1
+            return
+        if self.levels[nxt].lookup(line, touch=False):
+            # Mark dirty in the outer level.
+            self.levels[nxt].fill(line, dirty=True)
+        else:
+            wb_victim = self.levels[nxt].fill(line, dirty=True)
+            if wb_victim is not None:
+                self._writeback(wb_victim, from_level=nxt)
+
+    def _miss_level(self, line: int) -> int:
+        """First level where the line hits, or len(levels) for DRAM.
+        Registers a demand access at each missing level."""
+        for i, cache in enumerate(self.levels):
+            if cache.access(line):
+                return i
+        return len(self.levels)
+
+    def _prefetch_into(self, lines: list[int], upto: int) -> None:
+        for line in lines:
+            if not self.levels[0].lookup(line, touch=False):
+                # Prefetch fills travel the same path as demand fills.
+                hit_level = len(self.levels)
+                for i in range(upto + 1, len(self.levels)):
+                    if self.levels[i].lookup(line):
+                        hit_level = i
+                        break
+                if hit_level == len(self.levels):
+                    self.dram_reads += 1
+                self._fill_chain(line, upto, prefetch=True)
+
+    # -- public access interface -------------------------------------------------
+
+    def load(self, addr: int, *, stream: int = 0) -> int:
+        """Execute one load; returns the level index that served it
+        (len(levels) means DRAM)."""
+        self.loads += 1
+        return self._demand(addr, write=False, stream=stream)
+
+    def store(self, addr: int, *, stream: int = 0,
+              nontemporal: bool = False) -> int:
+        """Execute one store.  Normal stores write-allocate; nontemporal
+        stores bypass the hierarchy entirely (and invalidate any stale
+        copy), saving the write-allocate read — the 1/3 traffic saving
+        of the paper's Table II."""
+        if nontemporal:
+            self.nt_stores += 1
+            self.tlb.translate(addr)
+            line = self._line(addr)
+            for cache in self.levels:
+                cache.invalidate(line)
+            # Write-combining buffers emit one line per line's worth of
+            # stores; count fractional lines so any store pattern sums
+            # correctly (a full line of 8 stores -> 1 line written).
+            self._nt_accum += 8
+            if self._nt_accum >= self.line_size:
+                self._nt_accum -= self.line_size
+                self.dram_writes += 1
+            return len(self.levels)
+        self.stores += 1
+        return self._demand(addr, write=True, stream=stream)
+
+    def _demand(self, addr: int, *, write: bool, stream: int) -> int:
+        self.tlb.translate(addr)
+        line = self._line(addr)
+        hit_level = self._miss_level(line)
+        if hit_level == len(self.levels):
+            self.dram_reads += 1
+        if hit_level > 0:
+            self._fill_chain(line, hit_level - 1, dirty=write)
+        elif write:
+            self.levels[0].fill(line, dirty=True)
+        # Prefetchers observe demand traffic and inject fills.
+        if self.prefetch.dcu_prefetcher and not write:
+            self._prefetch_into(self._l1_stream.observe(line), upto=0)
+        if self.prefetch.ip_prefetcher:
+            self._prefetch_into(self._ip.observe(stream, addr, self.line_size),
+                                upto=0)
+        if hit_level >= 1 and len(self.levels) > 1:
+            if self.prefetch.hw_prefetcher:
+                self._prefetch_into(self._l2_stream.observe(line), upto=1)
+            if self.prefetch.cl_prefetcher and hit_level >= 2:
+                self._prefetch_into([line ^ 1], upto=1)
+        return hit_level
+
+    # -- channel conversion ---------------------------------------------------------
+
+    def channels(self) -> dict[Channel, float]:
+        """Convert the trace statistics into PMU event channels."""
+        l1 = self.levels[0]
+        out: dict[Channel, float] = {
+            Channel.LOADS: float(self.loads),
+            Channel.STORES: float(self.stores),
+            Channel.NT_STORES: float(self.nt_stores),
+            Channel.L1D_REPLACEMENT: float(l1.stats.lines_in),
+            Channel.L1D_EVICT: float(l1.stats.dirty_evictions),
+            Channel.DRAM_READS: float(self.dram_reads),
+            Channel.DRAM_WRITES: float(self.dram_writes),
+            Channel.DTLB_MISSES: float(self.tlb.misses),
+        }
+        if len(self.levels) > 1:
+            l2 = self.levels[1]
+            out[Channel.L2_REQUESTS] = float(l2.stats.accesses)
+            out[Channel.L2_MISSES] = float(l2.stats.misses)
+            out[Channel.L2_LINES_IN] = float(l2.stats.lines_in)
+            out[Channel.L2_LINES_OUT] = float(l2.stats.evictions)
+        if len(self.levels) > 2:
+            l3 = self.levels[2]
+            out[Channel.L3_REQUESTS] = float(l3.stats.accesses)
+            out[Channel.L3_MISSES] = float(l3.stats.misses)
+            out[Channel.L3_LINES_IN] = float(l3.stats.lines_in)
+            out[Channel.L3_LINES_OUT] = float(l3.stats.evictions)
+        return out

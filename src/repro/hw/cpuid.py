@@ -1,0 +1,250 @@
+"""CPUID instruction emulation.
+
+Encodes an :class:`~repro.hw.spec.ArchSpec` into the register quadruples
+the real ``cpuid`` instruction returns, per hardware thread.  The
+likwid-topology engine (:mod:`repro.core.topology`) then *decodes* these
+registers with the same bit-field arithmetic the original C tool uses —
+encode and decode are written independently so the decode path is a real
+test of the topology logic, not a table lookup.
+
+Supported leaves (matching the paper's description of the probing
+methods):
+
+* ``0x0``   — max leaf + vendor string
+* ``0x1``   — signature (family/model/stepping), APIC id, HTT,
+  logical processors per package, feature flags
+* ``0x2``   — legacy cache descriptor table (Pentium M)
+* ``0x4``   — deterministic cache parameters (Core 2 onward)
+* ``0xB``   — x2APIC extended topology (Nehalem onward)
+* ``0x80000000`` — max extended leaf
+* ``0x80000002-4`` — processor brand string
+* ``0x80000005/6`` — AMD L1 / L2+L3 cache descriptors
+* ``0x80000008`` — AMD core count / APIC id size
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import CpuidError
+from repro.hw.spec import ArchSpec, CacheSpec
+
+
+@dataclass(frozen=True)
+class CpuidResult:
+    eax: int
+    ebx: int
+    ecx: int
+    edx: int
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        return (self.eax, self.ebx, self.ecx, self.edx)
+
+
+# -- feature flag bit positions (leaf 1) ------------------------------------
+
+EDX_FLAGS = {"fpu": 0, "tsc": 4, "msr": 5, "apic": 9, "cmov": 15,
+             "mmx": 23, "sse": 25, "sse2": 26, "htt": 28}
+ECX_FLAGS = {"sse3": 0, "ssse3": 9, "sse4_1": 19, "sse4_2": 20,
+             "popcnt": 23, "x2apic": 21}
+
+# -- legacy leaf 0x2 cache descriptors (subset used by Pentium M) ------------
+
+@dataclass(frozen=True)
+class Leaf2Descriptor:
+    level: int
+    type: str
+    size: int
+    associativity: int
+    line_size: int
+
+
+LEAF2_TABLE: dict[int, Leaf2Descriptor] = {
+    0x2C: Leaf2Descriptor(1, "Data cache", 32 * 1024, 8, 64),
+    0x30: Leaf2Descriptor(1, "Instruction cache", 32 * 1024, 8, 64),
+    0x7D: Leaf2Descriptor(2, "Unified cache", 2 * 1024 * 1024, 8, 64),
+    0x7C: Leaf2Descriptor(2, "Unified cache", 1024 * 1024, 8, 64),
+    0x0A: Leaf2Descriptor(1, "Data cache", 8 * 1024, 2, 32),
+    0x08: Leaf2Descriptor(1, "Instruction cache", 16 * 1024, 4, 32),
+}
+
+CACHE_TYPE_CODES = {"Data cache": 1, "Instruction cache": 2, "Unified cache": 3}
+CACHE_TYPE_NAMES = {v: k for k, v in CACHE_TYPE_CODES.items()}
+
+# AMD leaf 0x80000006 associativity encoding (L2/L3 field).
+AMD_ASSOC_CODES = {1: 0x1, 2: 0x2, 4: 0x4, 8: 0x6, 16: 0x8, 32: 0xA,
+                   48: 0xB, 64: 0xC, 96: 0xD, 128: 0xE}
+AMD_ASSOC_DECODE = {v: k for k, v in AMD_ASSOC_CODES.items()}
+
+
+def encode_signature(family: int, model: int, stepping: int) -> int:
+    """Pack family/model/stepping into leaf-1 EAX, with the extended
+    family/model fields used when family >= 0xF or family == 6."""
+    base_family = min(family, 0xF)
+    ext_family = family - base_family if family > 0xF else 0
+    base_model = model & 0xF
+    ext_model = (model >> 4) & 0xF
+    return (stepping & 0xF) | (base_model << 4) | (base_family << 8) \
+        | (ext_model << 16) | (ext_family << 20)
+
+
+def decode_signature(eax: int) -> tuple[int, int, int]:
+    """Unpack leaf-1 EAX into (family, model, stepping)."""
+    stepping = eax & 0xF
+    base_model = (eax >> 4) & 0xF
+    base_family = (eax >> 8) & 0xF
+    ext_model = (eax >> 16) & 0xF
+    ext_family = (eax >> 20) & 0xFF
+    family = base_family + ext_family if base_family == 0xF else base_family
+    model = (ext_model << 4) | base_model if base_family in (0x6, 0xF) else base_model
+    return family, model, stepping
+
+
+def _pack12(text: str) -> tuple[int, int, int]:
+    raw = text.encode("ascii")
+    if len(raw) != 12:
+        raise CpuidError(f"vendor string must be 12 chars: {text!r}")
+    return struct.unpack("<III", raw)
+
+
+class CpuidEngine:
+    """Per-machine CPUID responder."""
+
+    def __init__(self, spec: ArchSpec):
+        self.spec = spec
+        self._max_leaf = {"leaf11": 0xB, "leaf4": 0xA,
+                          "legacy": 0x2, "amd": 0x1}[spec.cpuid_style]
+        self._max_ext_leaf = 0x80000008 if spec.cpuid_style == "amd" else 0x80000004
+
+    # ----------------------------------------------------------------------
+
+    def cpuid(self, hwthread: int, leaf: int, subleaf: int = 0) -> CpuidResult:
+        """Execute CPUID on a given hardware thread."""
+        spec = self.spec
+        if leaf == 0x0:
+            b, d, c = _pack12(spec.vendor)
+            return CpuidResult(self._max_leaf, b, c, d)
+        if leaf == 0x80000000:
+            return CpuidResult(self._max_ext_leaf, 0, 0, 0)
+        if 0x80000002 <= leaf <= 0x80000004:
+            return self._brand_string(leaf)
+        if leaf == 0x1:
+            return self._leaf1(hwthread)
+        if leaf == 0x2 and spec.cpuid_style in ("legacy", "leaf4"):
+            return self._leaf2()
+        if leaf == 0x4 and spec.cpuid_style in ("leaf4", "leaf11"):
+            return self._leaf4(subleaf)
+        if leaf == 0xB and spec.cpuid_style == "leaf11":
+            return self._leaf11(hwthread, subleaf)
+        if leaf == 0x80000005 and spec.cpuid_style == "amd":
+            return self._amd_l1()
+        if leaf == 0x80000006 and spec.cpuid_style == "amd":
+            return self._amd_l2_l3()
+        if leaf == 0x80000008 and spec.cpuid_style == "amd":
+            return self._amd_extended_topology()
+        raise CpuidError(
+            f"unsupported CPUID leaf 0x{leaf:X} on {spec.name} "
+            f"(style {spec.cpuid_style})")
+
+    # -- leaf implementations ----------------------------------------------
+
+    def _brand_string(self, leaf: int) -> CpuidResult:
+        raw = self.spec.cpu_name.encode("ascii")[:47].ljust(48, b"\0")
+        offset = (leaf - 0x80000002) * 16
+        a, b, c, d = struct.unpack("<IIII", raw[offset:offset + 16])
+        return CpuidResult(a, b, c, d)
+
+    def _leaf1(self, hwthread: int) -> CpuidResult:
+        spec = self.spec
+        eax = encode_signature(spec.family, spec.model, spec.stepping)
+        apic_id = spec.apic_id(hwthread)
+        # EBX[23:16]: maximum addressable logical processors per package.
+        # Hardware reports the *field capacity*, i.e. including APIC id
+        # holes — that is why topology code cannot trust it for counting.
+        layout = spec.apic_layout
+        logical_per_pkg = 1 << layout.package_shift
+        ebx = (apic_id << 24) | ((logical_per_pkg & 0xFF) << 16)
+        ecx = 0
+        edx = 0
+        for flag in spec.feature_flags:
+            if flag in EDX_FLAGS:
+                edx |= 1 << EDX_FLAGS[flag]
+            elif flag in ECX_FLAGS:
+                ecx |= 1 << ECX_FLAGS[flag]
+        if spec.threads_per_socket > 1:
+            edx |= 1 << EDX_FLAGS["htt"]
+        return CpuidResult(eax, ebx, ecx, edx)
+
+    def _leaf2(self) -> CpuidResult:
+        descriptors = list(self.spec.leaf2_descriptors)
+        if len(descriptors) > 15:
+            raise CpuidError("leaf 0x2 supports at most 15 descriptors here")
+        raw = bytes([0x01] + descriptors + [0x00] * (15 - len(descriptors)))
+        a, b, c, d = struct.unpack("<IIII", raw)
+        return CpuidResult(a, b, c, d)
+
+    def _leaf4(self, subleaf: int) -> CpuidResult:
+        spec = self.spec
+        caches = sorted(spec.caches, key=lambda c: (c.level, c.type))
+        if subleaf >= len(caches):
+            return CpuidResult(0, 0, 0, 0)  # type 0 = no more caches
+        cache = caches[subleaf]
+        max_core_id_width = spec.apic_layout.core_bits
+        eax = (CACHE_TYPE_CODES[cache.type]
+               | (cache.level << 5)
+               | (1 << 8)  # self-initialising
+               | ((cache.threads_sharing - 1) << 14)
+               | (((1 << max_core_id_width) - 1) << 26))
+        ebx = ((cache.line_size - 1)
+               | (0 << 12)  # partitions - 1
+               | ((cache.associativity - 1) << 22))
+        ecx = cache.sets - 1
+        edx = 0x2 if cache.inclusive else 0x0
+        return CpuidResult(eax, ebx, ecx, edx)
+
+    def _leaf11(self, hwthread: int, subleaf: int) -> CpuidResult:
+        spec = self.spec
+        layout = spec.apic_layout
+        x2apic = spec.apic_id(hwthread)
+        if subleaf == 0:  # SMT level
+            return CpuidResult(layout.smt_bits, spec.threads_per_core,
+                               (1 << 8) | subleaf, x2apic)
+        if subleaf == 1:  # Core level
+            return CpuidResult(layout.package_shift, spec.threads_per_socket,
+                               (2 << 8) | subleaf, x2apic)
+        return CpuidResult(0, 0, subleaf, x2apic)  # invalid level: stop
+
+    def _amd_l1(self) -> CpuidResult:
+        l1d = self._find_cache(1, "Data cache")
+        l1i = self._find_cache(1, "Instruction cache")
+        ecx = ((l1d.size // 1024) << 24) | (l1d.associativity << 16) \
+            | l1d.line_size if l1d else 0
+        edx = ((l1i.size // 1024) << 24) | (l1i.associativity << 16) \
+            | l1i.line_size if l1i else 0
+        return CpuidResult(0, 0, ecx, edx)
+
+    def _amd_l2_l3(self) -> CpuidResult:
+        l2 = self._find_cache(2, "Unified cache")
+        l3 = self._find_cache(3, "Unified cache")
+        ecx = 0
+        if l2:
+            ecx = ((l2.size // 1024) << 16) \
+                | (AMD_ASSOC_CODES[l2.associativity] << 12) | l2.line_size
+        edx = 0
+        if l3:
+            edx = ((l3.size // (512 * 1024)) << 18) \
+                | (AMD_ASSOC_CODES[l3.associativity] << 12) | l3.line_size
+        return CpuidResult(0, 0, ecx, edx)
+
+    def _amd_extended_topology(self) -> CpuidResult:
+        spec = self.spec
+        ecx = (spec.cores_per_socket - 1) & 0xFF
+        ecx |= spec.apic_layout.package_shift << 12  # ApicIdCoreIdSize
+        return CpuidResult(0, 0, ecx, 0)
+
+    def _find_cache(self, level: int, type_: str) -> CacheSpec | None:
+        for c in self.spec.caches:
+            if c.level == level and c.type == type_:
+                return c
+        return None

@@ -1,0 +1,144 @@
+"""Performance event definitions.
+
+Events are the per-architecture vocabulary of likwid-perfctr: names
+like ``SIMD_COMP_INST_RETIRED_PACKED_DOUBLE`` map to an event number
+plus unit mask programmed into a PERFEVTSEL register, with constraints
+on which counters can host them.
+
+Each event also carries a *channel*: the semantic quantity the
+simulated execution engine produces (e.g. ``flops_packed_dp``,
+``l3_lines_in``).  On real hardware the channel is implicit in the
+silicon; in the simulator it is the bridge between workload execution
+and counter increments.  Channels with socket scope (uncore) are
+accumulated per socket rather than per hardware thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import EventError
+
+
+class CounterScope(Enum):
+    """Where a counter lives: core-private or socket-wide uncore."""
+
+    CORE = "core"
+    UNCORE = "uncore"
+
+
+class Channel(str, Enum):
+    """Semantic event sources produced by simulated execution.
+
+    Core-scope channels accumulate per hardware thread; uncore-scope
+    channels (the ``UNC_*`` family) accumulate per socket.
+    """
+
+    INSTRUCTIONS = "instructions"
+    CORE_CYCLES = "core_cycles"
+    REF_CYCLES = "ref_cycles"
+    FLOPS_PACKED_DP = "flops_packed_dp"
+    FLOPS_SCALAR_DP = "flops_scalar_dp"
+    FLOPS_PACKED_SP = "flops_packed_sp"
+    FLOPS_SCALAR_SP = "flops_scalar_sp"
+    LOADS = "loads"
+    STORES = "stores"
+    L1D_REPLACEMENT = "l1d_replacement"
+    L1D_EVICT = "l1d_evict"
+    L2_LINES_IN = "l2_lines_in"
+    L2_LINES_OUT = "l2_lines_out"
+    L2_REQUESTS = "l2_requests"
+    L2_MISSES = "l2_misses"
+    L3_REQUESTS = "l3_requests"
+    L3_MISSES = "l3_misses"
+    # L3 fills attributed to the requesting core (AMD K10 NB events).
+    L3_LINES_IN_CORE = "l3_lines_in_core"
+    BRANCHES = "branches"
+    BRANCH_MISSES = "branch_misses"
+    DTLB_MISSES = "dtlb_misses"
+    NT_STORES = "nt_stores"
+    # DRAM traffic attributed to the requesting core (AMD northbridge
+    # events and Core 2 front-side-bus events are counted core-side).
+    DRAM_READS = "dram_reads"
+    DRAM_WRITES = "dram_writes"
+    # Uncore (socket scope)
+    UNC_CYCLES = "unc_cycles"
+    L3_LINES_IN = "l3_lines_in"
+    L3_LINES_OUT = "l3_lines_out"
+    UNC_L3_HITS = "unc_l3_hits"
+    UNC_L3_MISSES = "unc_l3_misses"
+    MEM_READS = "mem_reads"
+    MEM_WRITES = "mem_writes"
+
+
+UNCORE_CHANNELS = frozenset({
+    Channel.UNC_CYCLES, Channel.L3_LINES_IN, Channel.L3_LINES_OUT,
+    Channel.UNC_L3_HITS, Channel.UNC_L3_MISSES,
+    Channel.MEM_READS, Channel.MEM_WRITES,
+})
+
+
+@dataclass(frozen=True)
+class EventDef:
+    """One countable hardware event on a given architecture."""
+
+    name: str
+    event_code: int
+    umask: int
+    channel: Channel
+    scope: CounterScope = CounterScope.CORE
+    fixed_index: int | None = None   # hosted on fixed counter N (Intel)
+    counter_mask: frozenset[int] | None = None  # restricted PMC indices
+
+    @property
+    def is_fixed(self) -> bool:
+        return self.fixed_index is not None
+
+    def allowed_on(self, pmc_index: int) -> bool:
+        """True if this event may be programmed on general counter N."""
+        if self.is_fixed:
+            return False
+        return self.counter_mask is None or pmc_index in self.counter_mask
+
+
+@dataclass
+class EventTable:
+    """Name → EventDef mapping for one architecture."""
+
+    arch: str
+    _events: dict[str, EventDef] = field(default_factory=dict)
+
+    def add(self, event: EventDef) -> None:
+        if event.name in self._events:
+            raise EventError(f"duplicate event {event.name} on {self.arch}")
+        self._events[event.name] = event
+
+    def add_all(self, events: list[EventDef]) -> None:
+        for ev in events:
+            self.add(ev)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def lookup(self, name: str) -> EventDef:
+        try:
+            return self._events[name]
+        except KeyError:
+            raise EventError(f"unknown event {name!r} on {self.arch}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._events)
+
+    def by_encoding(self, event_code: int, umask: int,
+                    scope: CounterScope = CounterScope.CORE) -> EventDef | None:
+        """Reverse lookup used by the PMU when counting: which event is
+        currently programmed into a PERFEVTSEL register?"""
+        for ev in self._events.values():
+            if (ev.event_code == event_code and ev.umask == umask
+                    and ev.scope == scope and not ev.is_fixed):
+                return ev
+        return None

@@ -1,0 +1,138 @@
+"""SimMachine: a fully wired simulated shared-memory node.
+
+Instantiating a :class:`SimMachine` from an :class:`~repro.hw.spec.ArchSpec`
+creates, per hardware thread, an MSR register file with the PMU's
+counter registers (plus ``IA32_MISC_ENABLE`` on Core 2 for
+likwid-features, and the TSC), one core PMU per hardware thread, one
+shared uncore PMU per socket on architectures that have one, and a
+CPUID responder.  This is the hardware the OS layer
+(:mod:`repro.oskern`) and the LIKWID tools run against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.hw import registers as regs
+from repro.hw.cpuid import CpuidEngine, CpuidResult
+from repro.hw.events import Channel
+from repro.hw.msr import MSRSpace
+from repro.hw.pmu import CorePMU, UncorePMU
+from repro.hw.spec import ArchSpec
+
+
+def default_misc_enable() -> int:
+    """Power-on value of IA32_MISC_ENABLE matching the paper's
+    likwid-features listing: all prefetchers on, BTS/PEBS supported,
+    SpeedStep/thermal control/perfmon/monitor enabled, IDA off."""
+    value = 0
+    enabled_plain = {"FAST_STRINGS", "TM1", "PERFMON", "SPEEDSTEP",
+                     "MONITOR", "XD_BIT"}
+    for bit in regs.MISC_ENABLE_BITS:
+        if bit.invert:
+            # Inverted bits: set means disabled/unavailable.  Only IDA
+            # starts disabled; prefetchers and BTS/PEBS start available.
+            if bit.key == "IDA":
+                value |= 1 << bit.bit
+        elif bit.key in enabled_plain:
+            value |= 1 << bit.bit
+    return value
+
+
+class SimMachine:
+    """One simulated multicore/multisocket node."""
+
+    def __init__(self, spec: ArchSpec):
+        self.spec = spec
+        self._cpuid = CpuidEngine(spec)
+        self.msr: list[MSRSpace] = []
+        self.core_pmus: list[CorePMU] = []
+        self.uncore_pmus: list[UncorePMU] = [
+            UncorePMU(s, spec.pmu, spec.events)
+            for s in range(spec.sockets)
+        ] if spec.pmu.has_uncore else []
+
+        misc_reset = default_misc_enable()
+        misc_write_mask = 0
+        for bit in regs.MISC_ENABLE_BITS:
+            if bit.writable:
+                misc_write_mask |= 1 << bit.bit
+
+        for hwthread in range(spec.num_hwthreads):
+            space = MSRSpace(hwthread)
+            space.declare(regs.IA32_TSC, name="TSC")
+            if spec.has_misc_enable:
+                space.declare(regs.IA32_MISC_ENABLE, reset=misc_reset,
+                              write_mask=misc_write_mask, name="MISC_ENABLE")
+            pmu = CorePMU(hwthread, space, spec.pmu, spec.events)
+            if self.uncore_pmus:
+                self.uncore_pmus[spec.socket_of(hwthread)].attach(space)
+            self.msr.append(space)
+            self.core_pmus.append(pmu)
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def num_hwthreads(self) -> int:
+        return self.spec.num_hwthreads
+
+    # -- instruction-level interfaces -----------------------------------------
+
+    def cpuid(self, hwthread: int, leaf: int, subleaf: int = 0) -> CpuidResult:
+        """Execute the CPUID instruction on a hardware thread."""
+        return self._cpuid.cpuid(hwthread, leaf, subleaf)
+
+    def rdmsr(self, hwthread: int, address: int) -> int:
+        return self.msr[hwthread].read(address)
+
+    def wrmsr(self, hwthread: int, address: int, value: int) -> None:
+        self.msr[hwthread].write(address, value)
+
+    # -- execution feedback ----------------------------------------------------
+
+    def apply_counts(self,
+                     core_counts: Mapping[int, Mapping[Channel, float]],
+                     uncore_counts: Mapping[int, Mapping[Channel, float]]
+                     | None = None,
+                     elapsed_seconds: float = 0.0) -> None:
+        """Feed one execution slice's event production into the PMUs.
+
+        *core_counts* maps hardware-thread id → channel counts;
+        *uncore_counts* maps socket id → socket-scope channel counts.
+        The TSC of every thread always advances with wall-clock time
+        (it is invariant and never halts)."""
+        for hwthread, channels in core_counts.items():
+            self.core_pmus[hwthread].apply(channels)
+        if uncore_counts:
+            if not self.uncore_pmus:
+                raise ValueError(
+                    f"{self.name} has no uncore PMU but uncore counts given")
+            for socket, channels in uncore_counts.items():
+                self.uncore_pmus[socket].apply(channels)
+        if elapsed_seconds:
+            ticks = int(elapsed_seconds * self.spec.clock_hz)
+            for space in self.msr:
+                space.poke(regs.IA32_TSC,
+                           space.peek(regs.IA32_TSC) + ticks)
+
+    # -- feature state queried by the cache/prefetch models ---------------------
+
+    def misc_enable_state(self, hwthread: int, key: str) -> bool:
+        """Current enabled/disabled state of a MISC_ENABLE feature."""
+        if not self.spec.has_misc_enable:
+            # Architectures without the register behave as if every
+            # prefetcher is enabled and features are fixed.
+            return True
+        bit = regs.MISC_ENABLE_BY_KEY[key]
+        raw = bool(self.msr[hwthread].peek(regs.IA32_MISC_ENABLE)
+                   & (1 << bit.bit))
+        return (not raw) if bit.invert else raw
+
+    def prefetchers_enabled(self, hwthread: int) -> dict[str, bool]:
+        """State of all four prefetchers for one hardware thread."""
+        return {key: self.misc_enable_state(hwthread, key)
+                for key in regs.PREFETCHER_KEYS}

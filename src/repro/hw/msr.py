@@ -1,0 +1,106 @@
+"""MSR register file: the per-core model-specific register space.
+
+On real hardware MSRs are accessed with the RDMSR/WRMSR instructions
+(or, from user space, through the ``msr`` kernel module's device
+files).  Here each simulated hardware thread owns an :class:`MSRSpace`
+holding 64-bit registers at sparse addresses.  Registers must be
+*declared* before use — reading or writing an undeclared address
+raises :class:`~repro.errors.MsrError`, mirroring the #GP fault an
+unsupported MSR access causes on hardware.
+
+Registers can be declared with a write mask (reserved bits are
+preserved on write) and with read/write hooks so the PMU can react to
+control-register updates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import MsrError
+
+U64_MASK = (1 << 64) - 1
+
+
+@dataclass
+class MsrRegister:
+    """One 64-bit register: value, writable-bit mask, and hooks."""
+
+    address: int
+    value: int = 0
+    write_mask: int = U64_MASK
+    read_hook: Callable[[int], int] | None = None
+    write_hook: Callable[[int, int], None] | None = None
+    name: str = ""
+
+
+@dataclass
+class MSRSpace:
+    """Sparse 64-bit register file for one hardware thread.
+
+    The PMU declares its counter and control registers here; the
+    OS-level msr driver (``repro.oskern.msr_driver``) exposes this
+    space as a device file.
+    """
+
+    hwthread: int = 0
+    _regs: dict[int, MsrRegister] = field(default_factory=dict)
+
+    def declare(self, address: int, *, reset: int = 0,
+                write_mask: int = U64_MASK, name: str = "",
+                read_hook: Callable[[int], int] | None = None,
+                write_hook: Callable[[int, int], None] | None = None) -> MsrRegister:
+        """Register an MSR at *address*.  Re-declaring raises."""
+        if address in self._regs:
+            raise MsrError(f"MSR 0x{address:X} already declared on thread {self.hwthread}")
+        reg = MsrRegister(address, reset & U64_MASK, write_mask & U64_MASK,
+                          read_hook, write_hook, name or f"MSR_{address:X}")
+        self._regs[address] = reg
+        return reg
+
+    def declared(self, address: int) -> bool:
+        """True if *address* exists in this register file."""
+        return address in self._regs
+
+    def addresses(self) -> list[int]:
+        """All declared addresses, sorted."""
+        return sorted(self._regs)
+
+    def _reg(self, address: int) -> MsrRegister:
+        try:
+            return self._regs[address]
+        except KeyError:
+            raise MsrError(
+                f"rdmsr/wrmsr to undeclared MSR 0x{address:X} "
+                f"on hwthread {self.hwthread} (#GP)"
+            ) from None
+
+    def read(self, address: int) -> int:
+        """RDMSR: return the 64-bit value at *address*."""
+        reg = self._reg(address)
+        if reg.read_hook is not None:
+            reg.value = reg.read_hook(reg.value) & U64_MASK
+        return reg.value
+
+    def write(self, address: int, value: int) -> None:
+        """WRMSR: store *value*, preserving bits outside the write mask."""
+        if not 0 <= value <= U64_MASK:
+            raise MsrError(f"wrmsr value out of 64-bit range: {value!r}")
+        reg = self._reg(address)
+        new = (reg.value & ~reg.write_mask) | (value & reg.write_mask)
+        reg.value = new & U64_MASK
+        if reg.write_hook is not None:
+            reg.write_hook(address, reg.value)
+
+    def poke(self, address: int, value: int) -> None:
+        """Hardware-internal update bypassing the write mask and hooks.
+
+        Used by the PMU when a counter increments: hardware can always
+        change its own registers.
+        """
+        self._reg(address).value = value & U64_MASK
+
+    def peek(self, address: int) -> int:
+        """Hardware-internal read bypassing hooks."""
+        return self._reg(address).value

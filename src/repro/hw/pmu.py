@@ -1,0 +1,263 @@
+"""Performance monitoring units (core PMU and socket-scope uncore PMU).
+
+The PMU owns the counter registers inside each hardware thread's MSR
+space and implements the *counting semantics*: when simulated execution
+reports event channels (see :mod:`repro.hw.events`), every counter that
+is currently programmed and enabled for a matching event accumulates,
+with 48-bit wrap-around exactly like the physical counters.
+
+Key behaviours reproduced from the paper and the Intel/AMD manuals:
+
+* Intel cores have N general-purpose counters (2 on Core 2/Atom, 4 on
+  Nehalem/Westmere) plus 3 *fixed* counters hard-wired to
+  INSTR_RETIRED_ANY / CPU_CLK_UNHALTED_CORE / CPU_CLK_UNHALTED_REF;
+  the paper's CPI metric relies on the fixed pair always counting.
+* AMD K8/K10 have 4 general-purpose counters and *no* fixed counters.
+* Nehalem's "uncore" PMU is shared by all cores of a socket — the
+  registers are socket-scope, which is why likwid-perfCtr needs socket
+  locks.  Here the uncore registers are declared in every thread's MSR
+  space but alias one shared register file per socket.
+* Counting is core-based, not process-based: the PMU adds whatever the
+  execution layer says ran on the core, with no notion of processes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.hw import registers as regs
+from repro.hw.events import Channel, CounterScope, EventTable
+from repro.hw.msr import MSRSpace
+
+COUNTER_WIDTH = 48
+COUNTER_MASK = (1 << COUNTER_WIDTH) - 1
+
+
+@dataclass(frozen=True)
+class PmuSpec:
+    """Counter resources of one architecture."""
+
+    num_pmcs: int
+    has_fixed: bool           # Intel fixed counters present
+    num_uncore_pmcs: int = 0  # Nehalem/Westmere: 8, else 0
+    has_uncore_fixed: bool = False
+    vendor_amd: bool = False  # AMD register addresses
+
+    @property
+    def has_uncore(self) -> bool:
+        return self.num_uncore_pmcs > 0
+
+    def pmc_address(self, index: int) -> int:
+        base = regs.AMD_PMC0 if self.vendor_amd else regs.IA32_PMC0
+        return base + index
+
+    def evtsel_address(self, index: int) -> int:
+        base = regs.AMD_PERFEVTSEL0 if self.vendor_amd else regs.IA32_PERFEVTSEL0
+        return base + index
+
+
+class CorePMU:
+    """Per-hardware-thread performance monitoring unit.
+
+    Counter wrap-around raises the counter's bit in
+    IA32_PERF_GLOBAL_STATUS and delivers a PMI to any registered
+    overflow handler — the mechanism behind IP sampling (paper §II.A:
+    "overflowing hardware counters can generate interrupts, which can
+    be used for IP or call-stack sampling").  Writing a set bit to
+    IA32_PERF_GLOBAL_OVF_CTRL acknowledges (clears) the status bit.
+    """
+
+    def __init__(self, hwthread: int, msr: MSRSpace, spec: PmuSpec,
+                 events: EventTable):
+        self.hwthread = hwthread
+        self.msr = msr
+        self.spec = spec
+        self.events = events
+        # PMI handlers: called with (hwthread, status_bit_index).
+        self.overflow_handlers: list = []
+        for i in range(spec.num_pmcs):
+            msr.declare(spec.evtsel_address(i), name=f"PERFEVTSEL{i}")
+            msr.declare(spec.pmc_address(i), write_mask=COUNTER_MASK,
+                        name=f"PMC{i}")
+        if spec.has_fixed:
+            msr.declare(regs.IA32_FIXED_CTR0, write_mask=COUNTER_MASK,
+                        name="FIXED_CTR0")
+            msr.declare(regs.IA32_FIXED_CTR1, write_mask=COUNTER_MASK,
+                        name="FIXED_CTR1")
+            msr.declare(regs.IA32_FIXED_CTR2, write_mask=COUNTER_MASK,
+                        name="FIXED_CTR2")
+            msr.declare(regs.IA32_FIXED_CTR_CTRL, name="FIXED_CTR_CTRL")
+        if not spec.vendor_amd:
+            msr.declare(regs.IA32_PERF_GLOBAL_CTRL, name="PERF_GLOBAL_CTRL")
+            msr.declare(regs.IA32_PERF_GLOBAL_STATUS, write_mask=0,
+                        name="PERF_GLOBAL_STATUS")
+            msr.declare(regs.IA32_PERF_GLOBAL_OVF_CTRL,
+                        write_hook=self._ack_overflow,
+                        name="PERF_GLOBAL_OVF_CTRL")
+
+    def _ack_overflow(self, _addr: int, value: int) -> None:
+        """OVF_CTRL write: clear the acknowledged status bits."""
+        status = self.msr.peek(regs.IA32_PERF_GLOBAL_STATUS)
+        self.msr.poke(regs.IA32_PERF_GLOBAL_STATUS, status & ~value)
+
+    def _raise_overflow(self, status_bit: int) -> None:
+        if self.spec.vendor_amd:
+            # AMD K8/K10 signal overflow via APIC only; status modelling
+            # is Intel-specific here.
+            pass
+        else:
+            status = self.msr.peek(regs.IA32_PERF_GLOBAL_STATUS)
+            self.msr.poke(regs.IA32_PERF_GLOBAL_STATUS,
+                          status | (1 << status_bit))
+        for handler in self.overflow_handlers:
+            handler(self.hwthread, status_bit)
+
+    # -- enable logic ------------------------------------------------------
+
+    def _global_ctrl(self) -> int:
+        if self.spec.vendor_amd:
+            return ~0  # AMD has no global enable register; EN bit suffices
+        return self.msr.peek(regs.IA32_PERF_GLOBAL_CTRL)
+
+    def pmc_active(self, index: int) -> bool:
+        """True if general counter *index* is currently counting."""
+        evtsel = self.msr.peek(self.spec.evtsel_address(index))
+        if not regs.evtsel_enabled(evtsel):
+            return False
+        return bool(self._global_ctrl() & regs.global_ctrl_pmc_bit(index))
+
+    def fixed_active(self, index: int) -> bool:
+        """True if fixed counter *index* is currently counting."""
+        if not self.spec.has_fixed:
+            return False
+        ctrl = self.msr.peek(regs.IA32_FIXED_CTR_CTRL)
+        if not regs.fixed_ctr_enabled(ctrl, index):
+            return False
+        return bool(self._global_ctrl() & regs.global_ctrl_fixed_bit(index))
+
+    # -- counting ----------------------------------------------------------
+
+    _FIXED_CHANNELS = (Channel.INSTRUCTIONS, Channel.CORE_CYCLES,
+                       Channel.REF_CYCLES)
+
+    def apply(self, channels: Mapping[Channel, float]) -> None:
+        """Accumulate one execution slice's event channels.
+
+        Everything that executed on this hardware thread is counted —
+        the PMU has no notion of which process generated the events
+        (the paper's core-based-counting design point)."""
+        for i in range(self.spec.num_pmcs):
+            if not self.pmc_active(i):
+                continue
+            evtsel = self.msr.peek(self.spec.evtsel_address(i))
+            ev = self.events.by_encoding(regs.evtsel_event(evtsel),
+                                         regs.evtsel_umask(evtsel))
+            if ev is None:
+                continue
+            count = channels.get(ev.channel, 0.0)
+            if count:
+                addr = self.spec.pmc_address(i)
+                raw = self.msr.peek(addr) + int(round(count))
+                self.msr.poke(addr, raw & COUNTER_MASK)
+                if raw > COUNTER_MASK:
+                    self._raise_overflow(i)
+        for fi, channel in enumerate(self._FIXED_CHANNELS):
+            if not self.fixed_active(fi):
+                continue
+            count = channels.get(channel, 0.0)
+            if count:
+                addr = regs.IA32_FIXED_CTR0 + fi
+                raw = self.msr.peek(addr) + int(round(count))
+                self.msr.poke(addr, raw & COUNTER_MASK)
+                if raw > COUNTER_MASK:
+                    self._raise_overflow(32 + fi)
+
+
+class UncorePMU:
+    """Socket-scope uncore PMU (Nehalem/Westmere).
+
+    One instance per socket; its registers appear in the MSR space of
+    *every* hardware thread on the socket, aliasing shared storage.
+    Reading UPMC0 from any core of the socket returns the same value —
+    the reason likwid-perfCtr applies socket locks so the count is
+    attributed to exactly one thread.
+    """
+
+    def __init__(self, socket: int, spec: PmuSpec, events: EventTable):
+        self.socket = socket
+        self.spec = spec
+        self.events = events
+        self._shared: dict[int, int] = {}
+        addresses = [regs.MSR_UNCORE_PERF_GLOBAL_CTRL]
+        for i in range(spec.num_uncore_pmcs):
+            addresses.append(regs.MSR_UNCORE_PERFEVTSEL0 + i)
+            addresses.append(regs.MSR_UNCORE_PMC0 + i)
+        if spec.has_uncore_fixed:
+            addresses.append(regs.MSR_UNCORE_FIXED_CTR0)
+            addresses.append(regs.MSR_UNCORE_FIXED_CTR_CTRL)
+        for addr in addresses:
+            self._shared[addr] = 0
+
+    def attach(self, msr: MSRSpace) -> None:
+        """Declare the shared uncore registers inside one thread's MSR
+        space, with hooks aliasing this socket's storage."""
+
+        def make_read(addr: int):
+            return lambda _current: self._shared[addr]
+
+        def make_write(addr: int):
+            def hook(_addr: int, value: int) -> None:
+                self._shared[addr] = value
+            return hook
+
+        for addr in self._shared:
+            msr.declare(addr, read_hook=make_read(addr),
+                        write_hook=make_write(addr),
+                        name=f"UNCORE_{addr:X}")
+
+    # -- direct shared-file access (used by apply and tests) ---------------
+
+    def peek(self, addr: int) -> int:
+        return self._shared[addr]
+
+    def poke(self, addr: int, value: int) -> None:
+        self._shared[addr] = value & ((1 << 64) - 1)
+
+    def upmc_active(self, index: int) -> bool:
+        evtsel = self._shared[regs.MSR_UNCORE_PERFEVTSEL0 + index]
+        if not regs.evtsel_enabled(evtsel):
+            return False
+        ctrl = self._shared[regs.MSR_UNCORE_PERF_GLOBAL_CTRL]
+        return bool(ctrl & regs.global_ctrl_pmc_bit(index))
+
+    def fixed_active(self) -> bool:
+        if not self.spec.has_uncore_fixed:
+            return False
+        if not self._shared[regs.MSR_UNCORE_FIXED_CTR_CTRL] & 1:
+            return False
+        # Uncore fixed enable lives in global ctrl bit 32.
+        return bool(self._shared[regs.MSR_UNCORE_PERF_GLOBAL_CTRL] & (1 << 32))
+
+    def apply(self, channels: Mapping[Channel, float]) -> None:
+        """Accumulate socket-scope channels into the uncore counters."""
+        for i in range(self.spec.num_uncore_pmcs):
+            if not self.upmc_active(i):
+                continue
+            evtsel = self._shared[regs.MSR_UNCORE_PERFEVTSEL0 + i]
+            ev = self.events.by_encoding(regs.evtsel_event(evtsel),
+                                         regs.evtsel_umask(evtsel),
+                                         scope=CounterScope.UNCORE)
+            if ev is None:
+                continue
+            count = channels.get(ev.channel, 0.0)
+            if count:
+                addr = regs.MSR_UNCORE_PMC0 + i
+                self._shared[addr] = (self._shared[addr]
+                                      + int(round(count))) & COUNTER_MASK
+        if self.fixed_active():
+            count = channels.get(Channel.UNC_CYCLES, 0.0)
+            if count:
+                addr = regs.MSR_UNCORE_FIXED_CTR0
+                self._shared[addr] = (self._shared[addr]
+                                      + int(round(count))) & COUNTER_MASK

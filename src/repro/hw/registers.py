@@ -1,0 +1,175 @@
+"""Model-specific register (MSR) addresses and bit-field layouts.
+
+These are the registers likwid-perfctr and likwid-features program on
+real hardware, with the addresses and field encodings taken from the
+Intel SDM Vol. 3 / AMD BKDG.  The simulated machines define exactly
+these registers so the tool layer performs the same address arithmetic
+and bit twiddling as the original C code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# --------------------------------------------------------------------------
+# Architectural (Intel) performance monitoring registers
+# --------------------------------------------------------------------------
+
+IA32_PMC0 = 0x0C1            # general-purpose counter 0 (PMC1..3 follow)
+IA32_PERFEVTSEL0 = 0x186     # event-select for PMC0 (PERFEVTSEL1..3 follow)
+IA32_FIXED_CTR0 = 0x309      # INSTR_RETIRED_ANY
+IA32_FIXED_CTR1 = 0x30A      # CPU_CLK_UNHALTED_CORE
+IA32_FIXED_CTR2 = 0x30B      # CPU_CLK_UNHALTED_REF
+IA32_FIXED_CTR_CTRL = 0x38D
+IA32_PERF_GLOBAL_STATUS = 0x38E
+IA32_PERF_GLOBAL_CTRL = 0x38F
+IA32_PERF_GLOBAL_OVF_CTRL = 0x390
+IA32_MISC_ENABLE = 0x1A0
+IA32_PLATFORM_INFO = 0x0CE
+IA32_TSC = 0x010
+
+# Core-2 only prefetcher control lives in IA32_MISC_ENABLE; Nehalem moved
+# the prefetcher bits to MSR 0x1A4 (not modelled by likwid 1.x, so the
+# features tool restricts itself to Core 2, as the paper states).
+
+# --------------------------------------------------------------------------
+# Nehalem/Westmere uncore performance monitoring (socket scope)
+# --------------------------------------------------------------------------
+
+MSR_UNCORE_PERF_GLOBAL_CTRL = 0x391
+MSR_UNCORE_PERF_GLOBAL_STATUS = 0x392
+MSR_UNCORE_FIXED_CTR0 = 0x394       # UNC_CLK_UNHALTED
+MSR_UNCORE_FIXED_CTR_CTRL = 0x395
+MSR_UNCORE_PMC0 = 0x3B0             # UPMC0..7 follow
+MSR_UNCORE_PERFEVTSEL0 = 0x3C0      # for UPMC0..7
+
+NUM_UNCORE_PMC = 8
+
+# --------------------------------------------------------------------------
+# AMD K8/K10 performance monitoring
+# --------------------------------------------------------------------------
+
+AMD_PERFEVTSEL0 = 0xC0010000        # PERFEVTSEL0..3
+AMD_PMC0 = 0xC0010004               # PMC0..3
+
+# --------------------------------------------------------------------------
+# PERFEVTSEL bit fields (architectural layout, shared by Intel and AMD
+# for the low 32 bits that matter here)
+# --------------------------------------------------------------------------
+
+EVTSEL_EVENT_SHIFT = 0      # bits 0-7: event number
+EVTSEL_UMASK_SHIFT = 8      # bits 8-15: unit mask
+EVTSEL_USR = 1 << 16        # count user-mode
+EVTSEL_OS = 1 << 17         # count kernel-mode
+EVTSEL_EDGE = 1 << 18
+EVTSEL_PC = 1 << 19
+EVTSEL_INT = 1 << 20
+EVTSEL_ANYTHREAD = 1 << 21
+EVTSEL_EN = 1 << 22         # enable
+EVTSEL_INV = 1 << 23
+EVTSEL_CMASK_SHIFT = 24     # bits 24-31
+
+
+def evtsel_encode(event: int, umask: int, *, usr: bool = True, os: bool = True,
+                  enable: bool = False, edge: bool = False, inv: bool = False,
+                  anythread: bool = False, cmask: int = 0) -> int:
+    """Compose a PERFEVTSEL value from its fields."""
+    val = (event & 0xFF) | ((umask & 0xFF) << EVTSEL_UMASK_SHIFT)
+    if usr:
+        val |= EVTSEL_USR
+    if os:
+        val |= EVTSEL_OS
+    if edge:
+        val |= EVTSEL_EDGE
+    if enable:
+        val |= EVTSEL_EN
+    if inv:
+        val |= EVTSEL_INV
+    if anythread:
+        val |= EVTSEL_ANYTHREAD
+    val |= (cmask & 0xFF) << EVTSEL_CMASK_SHIFT
+    return val
+
+
+def evtsel_event(value: int) -> int:
+    """Extract the event-number field of a PERFEVTSEL value."""
+    return value & 0xFF
+
+
+def evtsel_umask(value: int) -> int:
+    """Extract the unit-mask field of a PERFEVTSEL value."""
+    return (value >> EVTSEL_UMASK_SHIFT) & 0xFF
+
+
+def evtsel_enabled(value: int) -> bool:
+    """True if the enable bit (bit 22) of a PERFEVTSEL value is set."""
+    return bool(value & EVTSEL_EN)
+
+
+# --------------------------------------------------------------------------
+# IA32_FIXED_CTR_CTRL fields: 4 bits per fixed counter
+#   bit0 enable-OS, bit1 enable-USR, bit2 anythread, bit3 PMI
+# --------------------------------------------------------------------------
+
+def fixed_ctr_ctrl_encode(counter_index: int, *, usr: bool = True, os: bool = True) -> int:
+    """Enable-field for one fixed counter inside IA32_FIXED_CTR_CTRL."""
+    field = (1 if os else 0) | ((1 if usr else 0) << 1)
+    return field << (4 * counter_index)
+
+
+def fixed_ctr_enabled(ctrl_value: int, counter_index: int) -> bool:
+    """True if fixed counter *counter_index* counts in any ring."""
+    return bool((ctrl_value >> (4 * counter_index)) & 0b11)
+
+
+# --------------------------------------------------------------------------
+# IA32_PERF_GLOBAL_CTRL fields
+# --------------------------------------------------------------------------
+
+def global_ctrl_pmc_bit(index: int) -> int:
+    """Enable bit for general-purpose counter *index*."""
+    return 1 << index
+
+
+def global_ctrl_fixed_bit(index: int) -> int:
+    """Enable bit for fixed counter *index* (bits 32..34)."""
+    return 1 << (32 + index)
+
+
+# --------------------------------------------------------------------------
+# IA32_MISC_ENABLE feature bits (Core 2; see paper section II.D)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MiscEnableBit:
+    """One switchable/reportable feature inside IA32_MISC_ENABLE."""
+
+    name: str            # likwid-features display name
+    key: str             # command-line key (-u/-e argument)
+    bit: int             # bit position
+    writable: bool       # can the tool toggle it?
+    invert: bool = False # True when *set* means *disabled* (prefetch bits)
+
+
+# Bit assignments per Intel SDM table for IA32_MISC_ENABLE on Core 2.
+MISC_ENABLE_BITS: tuple[MiscEnableBit, ...] = (
+    MiscEnableBit("Fast-Strings", "FAST_STRINGS", 0, False),
+    MiscEnableBit("Automatic Thermal Control", "TM1", 3, False),
+    MiscEnableBit("Performance monitoring", "PERFMON", 7, False),
+    MiscEnableBit("Hardware Prefetcher", "HW_PREFETCHER", 9, True, invert=True),
+    MiscEnableBit("Branch Trace Storage", "BTS", 11, False, invert=True),
+    MiscEnableBit("PEBS", "PEBS", 12, False, invert=True),
+    MiscEnableBit("Intel Enhanced SpeedStep", "SPEEDSTEP", 16, False),
+    MiscEnableBit("MONITOR/MWAIT", "MONITOR", 18, False),
+    MiscEnableBit("Adjacent Cache Line Prefetch", "CL_PREFETCHER", 19, True, invert=True),
+    MiscEnableBit("Limit CPUID Maxval", "CPUID_MAX", 22, False),
+    MiscEnableBit("XD Bit Disable", "XD_BIT", 34, False),
+    MiscEnableBit("DCU Prefetcher", "DCU_PREFETCHER", 37, True, invert=True),
+    MiscEnableBit("Intel Dynamic Acceleration", "IDA", 38, False, invert=True),
+    MiscEnableBit("IP Prefetcher", "IP_PREFETCHER", 39, True, invert=True),
+)
+
+MISC_ENABLE_BY_KEY = {b.key: b for b in MISC_ENABLE_BITS}
+
+# Prefetcher keys in the order likwid-features documents them.
+PREFETCHER_KEYS = ("HW_PREFETCHER", "CL_PREFETCHER", "DCU_PREFETCHER", "IP_PREFETCHER")

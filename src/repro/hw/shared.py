@@ -1,0 +1,151 @@
+"""Multi-core trace simulation with a shared last-level cache.
+
+The single-core :class:`~repro.hw.cache.CacheHierarchy` cannot show the
+effect the paper's case study 2 is built on: threads communicating
+*through a shared cache*.  :class:`SharedCacheSystem` simulates one
+socket exactly — private L1/L2 per core, one shared LLC instance, a
+write-invalidate coherence protocol between the private hierarchies —
+so the shared-cache reuse of pipeline-parallel (wavefront) processing,
+and its destruction when threads do NOT share the LLC, is observable
+at trace granularity.
+
+Coherence model: private caches hold at most one core's copy of a
+dirty line; a store by core A invalidates B's private copies
+(write-invalidate).  Clean lines may be replicated.  Dirty data
+written back from a private hierarchy lands in the shared LLC, where
+another core's demand read can pick it up without touching memory —
+the wavefront mechanism in miniature.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.hw.cache import SetAssocCache
+from repro.hw.spec import ArchSpec, CacheSpec
+
+
+class SharedCacheSystem:
+    """One socket's cores with private levels and a shared LLC."""
+
+    def __init__(self, spec: ArchSpec, *, cores: int | None = None):
+        self.spec = spec
+        self.num_cores = cores or spec.cores_per_socket
+        data_caches = spec.data_caches()
+        llc = data_caches[-1]
+        if llc.threads_sharing <= spec.threads_per_core:
+            raise WorkloadError(
+                f"{spec.name} has no shared last-level cache")
+        private_specs: list[CacheSpec] = [
+            c for c in data_caches
+            if c.threads_sharing <= spec.threads_per_core]
+        self.private: list[list[SetAssocCache]] = [
+            [SetAssocCache(c, name=f"core{core}-L{c.level}")
+             for c in private_specs]
+            for core in range(self.num_cores)
+        ]
+        self.shared = SetAssocCache(llc, name="LLC")
+        self.line_size = llc.line_size
+        self.dram_reads = 0
+        self.dram_writes = 0
+        self.llc_forwards = 0   # reads served by another core's data
+        self.invalidations = 0
+        self.loads = [0] * self.num_cores
+        self.stores = [0] * self.num_cores
+        # line -> set of cores with a private copy; dirty ownership.
+        self._copies: dict[int, set[int]] = {}
+        self._dirty_owner: dict[int, int] = {}
+
+    # -- internals ----------------------------------------------------------
+
+    def _line(self, addr: int) -> int:
+        return addr // self.line_size
+
+    def _private_lookup(self, core: int, line: int) -> bool:
+        return any(level.access(line) for level in self.private[core])
+
+    def _fill_private(self, core: int, line: int, *, dirty: bool) -> None:
+        for level in reversed(self.private[core]):
+            victim = level.fill(line, dirty=dirty and level
+                                is self.private[core][0])
+            if victim is not None:
+                self._evict_private(core, victim)
+        self._copies.setdefault(line, set()).add(core)
+        if dirty:
+            self._dirty_owner[line] = core
+
+    def _evict_private(self, core: int, victim: tuple[int, bool]) -> None:
+        line, dirty = victim
+        holders = self._copies.get(line)
+        if holders is not None:
+            holders.discard(core)
+            if not holders:
+                self._copies.pop(line, None)
+        if dirty:
+            # Writeback into the shared LLC.
+            self._dirty_owner.pop(line, None)
+            llc_victim = self.shared.fill(line, dirty=True)
+            if llc_victim is not None and llc_victim[1]:
+                self.dram_writes += 1
+
+    def _invalidate_others(self, core: int, line: int) -> None:
+        holders = self._copies.get(line, set())
+        for other in list(holders):
+            if other == core:
+                continue
+            for level in self.private[other]:
+                level.invalidate(line)
+            holders.discard(other)
+            self.invalidations += 1
+        self._dirty_owner.pop(line, None)
+
+    # -- access interface ------------------------------------------------------
+
+    def load(self, core: int, addr: int) -> str:
+        """One load; returns the level that served it:
+        'private' | 'llc' | 'forward' | 'dram'."""
+        self._check_core(core)
+        self.loads[core] += 1
+        line = self._line(addr)
+        if self._private_lookup(core, line):
+            return "private"
+        # Dirty data in another core's private hierarchy: forward it
+        # (and demote the owner's copy to clean-shared via the LLC).
+        owner = self._dirty_owner.get(line)
+        if owner is not None and owner != core:
+            self.llc_forwards += 1
+            self.shared.fill(line, dirty=True)
+            self._dirty_owner.pop(line, None)
+            self._fill_private(core, line, dirty=False)
+            return "forward"
+        if self.shared.access(line):
+            self._fill_private(core, line, dirty=False)
+            return "llc"
+        self.dram_reads += 1
+        victim = self.shared.fill(line)
+        if victim is not None and victim[1]:
+            self.dram_writes += 1
+        self._fill_private(core, line, dirty=False)
+        return "dram"
+
+    def store(self, core: int, addr: int) -> str:
+        """One store (write-allocate, write-invalidate coherence)."""
+        self._check_core(core)
+        self.stores[core] += 1
+        line = self._line(addr)
+        self._invalidate_others(core, line)
+        if self._private_lookup(core, line):
+            self._fill_private(core, line, dirty=True)
+            return "private"
+        if self.shared.access(line):
+            self._fill_private(core, line, dirty=True)
+            return "llc"
+        self.dram_reads += 1   # write-allocate
+        victim = self.shared.fill(line)
+        if victim is not None and victim[1]:
+            self.dram_writes += 1
+        self._fill_private(core, line, dirty=True)
+        return "dram"
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise WorkloadError(f"no core {core} in this system")

@@ -1,0 +1,130 @@
+"""likwid.h — the C marker API, verbatim (paper §II.A listing).
+
+The paper's instrumentation example::
+
+    #include <likwid.h>
+    int coreID = likwid_processGetProcessorId();
+    likwid_markerInit(numberOfThreads, numberOfRegions);
+    int MainId = likwid_markerRegisterRegion("Main");
+    likwid_markerStartRegion(0, coreID);
+    ...
+    likwid_markerStopRegion(0, coreID, MainId);
+    likwid_markerClose();
+
+This module exposes exactly those free functions.  In the real tool
+the library discovers its configuration through environment variables
+set by ``likwid-perfctr -m``; here :func:`likwid_markerBind` plays that
+role, binding the process to a started
+:class:`~repro.core.perfctr.measurement.PerfCtrSession` and to the OS
+instance whose scheduler answers ``likwid_processGetProcessorId``.
+
+Also provided are the likwid API's pinning helpers
+(``likwid_pinProcess`` / ``likwid_pinThread``), which the paper's
+library offers "to determine the core ID of processes or threads" and
+bind them.
+"""
+
+from __future__ import annotations
+
+from repro.core.perfctr.marker import MarkerAPI
+from repro.core.perfctr.measurement import PerfCtrSession
+from repro.errors import MarkerError
+from repro.oskern.scheduler import OSKernel
+from repro.oskern.threads import SimThread
+
+_marker: MarkerAPI | None = None
+_kernel: OSKernel | None = None
+_calling: SimThread | None = None
+
+
+def likwid_markerBind(session: PerfCtrSession, kernel: OSKernel,
+                      calling_thread: SimThread) -> None:
+    """Bind the API to a measurement session and the calling thread
+    (the simulation's stand-in for the env-var handshake the real
+    likwid-perfctr -m performs with the instrumented binary)."""
+    global _marker, _kernel, _calling
+    _marker = MarkerAPI(session)
+    _kernel = kernel
+    _calling = calling_thread
+
+
+def likwid_markerUnbind() -> None:
+    """Reset module state (process exit)."""
+    global _marker, _kernel, _calling
+    _marker = None
+    _kernel = None
+    _calling = None
+
+
+def _require_marker() -> MarkerAPI:
+    if _marker is None:
+        raise MarkerError("likwid marker API not bound "
+                          "(call likwid_markerBind first)")
+    return _marker
+
+
+def _require_kernel() -> OSKernel:
+    if _kernel is None:
+        raise MarkerError("likwid API not bound to an OS instance")
+    return _kernel
+
+
+def likwid_setCallingThread(thread: SimThread) -> None:
+    """Switch the simulated "calling thread" (each simulated thread
+    calls this before using the API, standing in for real TLS)."""
+    global _calling
+    _calling = thread
+
+
+# -- the C API ---------------------------------------------------------------
+
+def likwid_processGetProcessorId() -> int:
+    """Core id the calling thread currently runs on."""
+    kernel = _require_kernel()
+    if _calling is None:
+        raise MarkerError("no calling thread bound")
+    if _calling.hwthread is None:
+        kernel.place_thread(_calling.tid)
+    return int(_calling.hwthread)  # type: ignore[arg-type]
+
+
+def likwid_pinProcess(cpu: int) -> int:
+    """Pin the calling process to one core; returns 0 on success."""
+    kernel = _require_kernel()
+    if _calling is None:
+        raise MarkerError("no calling thread bound")
+    kernel.sched_setaffinity(_calling.tid, {cpu})
+    kernel.place_thread(_calling.tid)
+    return 0
+
+
+def likwid_pinThread(cpu: int) -> int:
+    """Alias for pinProcess at thread granularity."""
+    return likwid_pinProcess(cpu)
+
+
+def likwid_markerInit(number_of_threads: int, number_of_regions: int) -> None:
+    _require_marker().likwid_markerInit(number_of_threads, number_of_regions)
+
+
+def likwid_markerRegisterRegion(name: str) -> int:
+    return _require_marker().likwid_markerRegisterRegion(name)
+
+
+def likwid_markerStartRegion(thread_id: int, core_id: int) -> None:
+    _require_marker().likwid_markerStartRegion(thread_id, core_id)
+
+
+def likwid_markerStopRegion(thread_id: int, core_id: int,
+                            region_id: int) -> None:
+    _require_marker().likwid_markerStopRegion(thread_id, core_id, region_id)
+
+
+def likwid_markerClose() -> None:
+    _require_marker().likwid_markerClose()
+
+
+def likwid_markerResults() -> MarkerAPI:
+    """Access the accumulated region results (the tool side reads
+    these after the application exits)."""
+    return _require_marker()

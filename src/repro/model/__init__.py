@@ -1,0 +1,8 @@
+"""Analytic machine performance model (ECM-style)."""
+
+from repro.model.ecm import (KernelPhase, PlacedWork, RunResult,
+                             ThreadOutcome, solve)
+from repro.model.explain import ModelDiagnosis, diagnose
+
+__all__ = ["KernelPhase", "PlacedWork", "RunResult", "ThreadOutcome",
+           "solve", "ModelDiagnosis", "diagnose"]

@@ -1,0 +1,290 @@
+"""Analytic execution model (ECM-style) for large workloads.
+
+Trace-driven simulation is exact but cannot push the paper's ~75 GB
+Jacobi runs through Python in reasonable time.  This module implements
+an Execution-Cache-Memory style model (the modelling approach of the
+LIKWID authors themselves, paper reference [9]): each thread executes a
+:class:`KernelPhase` describing per-iteration work (flops, instructions,
+in-core cycles) and per-iteration traffic at each memory level; the
+solver turns that into rates and runtimes under the machine's resource
+constraints:
+
+* in-core issue rate, shared between SMT siblings on one core;
+* timeslicing when multiple threads are oversubscribed on one
+  hardware thread (the unpinned-run pathology of Figs 4/7/9);
+* per-thread memory concurrency (one stream cannot saturate a memory
+  controller — the Table II discussion point);
+* per-socket memory-controller bandwidth, shared by all streams whose
+  data is homed on the socket, with a ccNUMA penalty for remote
+  streams;
+* per-socket shared-L3 bandwidth.
+
+Execution is *progressive*: rates are re-solved whenever a thread
+finishes, so bandwidth freed by early finishers is redistributed to the
+stragglers (the memory controller is work-conserving).  The solution
+also yields event-channel counts for the PMUs, so likwid-perfctr
+measures a modelled run just as it would a real one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.events import Channel
+from repro.hw.spec import ArchSpec
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class KernelPhase:
+    """Per-thread description of one homogeneous execution phase."""
+
+    name: str
+    iters: int                        # iterations this thread executes
+    flops_per_iter: float = 0.0       # double-precision flops
+    sp_flops_per_iter: float = 0.0    # single-precision flops
+    packed_fraction: float = 1.0      # fraction of flops in packed SSE ops
+    instr_per_iter: float = 4.0
+    cycles_per_iter: float = 1.0      # in-core (L1-resident) cost
+    loads_per_iter: float = 2.0
+    stores_per_iter: float = 1.0
+    nt_store_fraction: float = 0.0    # stores that bypass the cache
+    branches_per_iter: float = 0.25
+    branch_miss_rate: float = 0.02
+    tlb_miss_per_iter: float = 0.0
+    # Traffic volumes per iteration (bytes).
+    l2_bytes_per_iter: float = 0.0    # L1 <-> L2
+    l3_bytes_per_iter: float = 0.0    # L2 <-> L3
+    mem_read_bytes_per_iter: float = 0.0   # DRAM -> socket
+    mem_write_bytes_per_iter: float = 0.0  # socket -> DRAM
+    # L3 allocation/victim volumes for the uncore LINES_IN/OUT events;
+    # None means "streaming default": reads allocate, and everything
+    # allocated is victimised again (clean) plus dirty writebacks.
+    l3_fill_bytes_per_iter: float | None = None
+    l3_victim_bytes_per_iter: float | None = None
+    # Model knobs.
+    mem_concurrency: float = 1.0      # fraction of thread_mem_bw reachable
+    bw_efficiency: float = 1.0        # controller efficiency for this mix
+
+    @property
+    def mem_bytes_per_iter(self) -> float:
+        return self.mem_read_bytes_per_iter + self.mem_write_bytes_per_iter
+
+    @property
+    def l3_fill_bytes(self) -> float:
+        if self.l3_fill_bytes_per_iter is not None:
+            return self.l3_fill_bytes_per_iter
+        return self.mem_read_bytes_per_iter
+
+    @property
+    def l3_victim_bytes(self) -> float:
+        if self.l3_victim_bytes_per_iter is not None:
+            return self.l3_victim_bytes_per_iter
+        return (self.mem_read_bytes_per_iter
+                + self.mem_write_bytes_per_iter * (1.0 - self.nt_store_fraction))
+
+
+@dataclass
+class PlacedWork:
+    """One compute thread's phase bound to hardware."""
+
+    tid: int
+    hwthread: int
+    memory_socket: int
+    phase: KernelPhase
+    # Fraction of the phase during which this thread's accesses are
+    # remote (it migrated away from its first-touch socket mid-run).
+    remote_fraction: float = 0.0
+
+
+@dataclass
+class ThreadOutcome:
+    tid: int
+    hwthread: int
+    rate: float          # average iterations / second
+    runtime: float       # completion time (seconds from phase start)
+    channels: dict[Channel, float] = field(default_factory=dict)
+
+
+@dataclass
+class RunResult:
+    total_time: float
+    threads: list[ThreadOutcome]
+    socket_channels: dict[int, dict[Channel, float]]
+
+    def aggregate(self, channel: Channel) -> float:
+        """Sum a core-scope channel over all threads."""
+        return sum(t.channels.get(channel, 0.0) for t in self.threads)
+
+
+def _line_count(nbytes: float, line_size: int = 64) -> float:
+    return nbytes / line_size
+
+
+def _instant_rates(spec: ArchSpec, active: list[PlacedWork], *,
+                   rounds: int = 12) -> list[float]:
+    """Instantaneous rates for the currently running threads."""
+    perf = spec.perf
+
+    per_hwthread: dict[int, int] = {}
+    per_core: dict[tuple[int, int], set[int]] = {}
+    for w in active:
+        per_hwthread[w.hwthread] = per_hwthread.get(w.hwthread, 0) + 1
+        core = spec.physical_core_of(w.hwthread)
+        per_core.setdefault(core, set()).add(w.hwthread)
+
+    limits: list[float] = []
+    for w in active:
+        p = w.phase
+        ts = 1.0 / per_hwthread[w.hwthread]
+        occupied = len(per_core[spec.physical_core_of(w.hwthread)])
+        issue = 1.0 if occupied <= 1 else perf.smt_issue_scale / occupied
+        rate = spec.clock_hz * ts * issue / max(p.cycles_per_iter, _EPS)
+        if p.mem_bytes_per_iter > 0:
+            bw = perf.thread_mem_bw * p.mem_concurrency * ts
+            run_socket = spec.socket_of(w.hwthread)
+            remote = (1.0 if run_socket != w.memory_socket
+                      else w.remote_fraction)
+            if remote > 0:
+                bw *= (1.0 - remote) + remote * perf.remote_mem_penalty
+            rate = min(rate, bw / p.mem_bytes_per_iter)
+        if p.l3_bytes_per_iter > 0:
+            rate = min(rate, perf.thread_l3_bw * ts / p.l3_bytes_per_iter)
+        limits.append(rate)
+
+    rates = list(limits)
+    for _ in range(rounds):
+        mem_demand: dict[int, float] = {}
+        remote_demand: dict[int, float] = {}
+        l3_demand: dict[int, float] = {}
+        for w, r in zip(active, rates):
+            p = w.phase
+            if p.mem_bytes_per_iter > 0:
+                demand = r * p.mem_bytes_per_iter / max(p.bw_efficiency, _EPS)
+                mem_demand[w.memory_socket] = (
+                    mem_demand.get(w.memory_socket, 0.0) + demand)
+                if spec.socket_of(w.hwthread) != w.memory_socket:
+                    # Remote streams additionally cross the socket
+                    # interconnect towards the home memory controller.
+                    remote_demand[w.memory_socket] = (
+                        remote_demand.get(w.memory_socket, 0.0) + demand)
+            if p.l3_bytes_per_iter > 0:
+                sock = spec.socket_of(w.hwthread)
+                l3_demand[sock] = (l3_demand.get(sock, 0.0)
+                                   + r * p.l3_bytes_per_iter)
+        changed = False
+        for i, w in enumerate(active):
+            p = w.phase
+            scale = 1.0
+            if p.mem_bytes_per_iter > 0:
+                demand = mem_demand[w.memory_socket]
+                if demand > perf.socket_mem_bw:
+                    scale = min(scale, perf.socket_mem_bw / demand)
+                if spec.socket_of(w.hwthread) != w.memory_socket:
+                    link = remote_demand[w.memory_socket]
+                    if link > perf.interconnect_bw:
+                        scale = min(scale, perf.interconnect_bw / link)
+            if p.l3_bytes_per_iter > 0:
+                demand = l3_demand[spec.socket_of(w.hwthread)]
+                if demand > perf.socket_l3_bw:
+                    scale = min(scale, perf.socket_l3_bw / demand)
+            if scale < 1.0 - 1e-9:
+                rates[i] *= scale
+                changed = True
+        if not changed:
+            break
+    return rates
+
+
+def solve(spec: ArchSpec, work: list[PlacedWork]) -> RunResult:
+    """Run all placed phases to completion and produce counters."""
+    if not work:
+        return RunResult(0.0, [], {})
+
+    remaining = {i: float(max(w.phase.iters, 0)) for i, w in enumerate(work)}
+    finish_time = {i: 0.0 for i in remaining}
+    now = 0.0
+    active_ids = [i for i, iters in remaining.items() if iters > 0]
+
+    while active_ids:
+        active = [work[i] for i in active_ids]
+        rates = _instant_rates(spec, active)
+        # Time until the next completion at current rates.
+        dt = min(remaining[i] / max(r, _EPS)
+                 for i, r in zip(active_ids, rates))
+        now += dt
+        survivors: list[int] = []
+        for i, r in zip(active_ids, rates):
+            remaining[i] -= r * dt
+            if remaining[i] <= 1e-6 * max(work[i].phase.iters, 1):
+                finish_time[i] = now
+            else:
+                survivors.append(i)
+        active_ids = survivors
+
+    total_time = max(finish_time.values())
+    outcomes: list[ThreadOutcome] = []
+    socket_channels: dict[int, dict[Channel, float]] = {}
+    for i, w in enumerate(work):
+        runtime = finish_time[i]
+        rate = w.phase.iters / runtime if runtime > 0 else 0.0
+        channels = _thread_channels(spec, w, runtime)
+        outcomes.append(ThreadOutcome(w.tid, w.hwthread, rate, runtime, channels))
+        sock = socket_channels.setdefault(w.memory_socket, {})
+        _accumulate_socket(sock, w.phase)
+    for sock in socket_channels.values():
+        sock[Channel.UNC_CYCLES] = total_time * spec.clock_hz
+    return RunResult(total_time, outcomes, socket_channels)
+
+
+def _thread_channels(spec: ArchSpec, w: PlacedWork,
+                     runtime: float) -> dict[Channel, float]:
+    p = w.phase
+    n = p.iters
+    # A packed SSE double op performs 2 flops, a packed single op 4.
+    packed_dp_ops = p.flops_per_iter * p.packed_fraction / 2.0 * n
+    scalar_dp_ops = p.flops_per_iter * (1.0 - p.packed_fraction) * n
+    packed_sp_ops = p.sp_flops_per_iter * p.packed_fraction / 4.0 * n
+    scalar_sp_ops = p.sp_flops_per_iter * (1.0 - p.packed_fraction) * n
+    stores = p.stores_per_iter * n
+    nt = stores * p.nt_store_fraction
+    return {
+        Channel.INSTRUCTIONS: p.instr_per_iter * n,
+        Channel.CORE_CYCLES: runtime * spec.clock_hz,
+        Channel.REF_CYCLES: runtime * spec.clock_hz,
+        Channel.FLOPS_PACKED_DP: packed_dp_ops,
+        Channel.FLOPS_SCALAR_DP: scalar_dp_ops,
+        Channel.FLOPS_PACKED_SP: packed_sp_ops,
+        Channel.FLOPS_SCALAR_SP: scalar_sp_ops,
+        Channel.LOADS: p.loads_per_iter * n,
+        Channel.STORES: stores - nt,
+        Channel.NT_STORES: nt,
+        Channel.BRANCHES: p.branches_per_iter * n,
+        Channel.BRANCH_MISSES: p.branches_per_iter * p.branch_miss_rate * n,
+        Channel.DTLB_MISSES: p.tlb_miss_per_iter * n,
+        Channel.L2_LINES_IN: _line_count(p.l2_bytes_per_iter * n),
+        Channel.L2_LINES_OUT: _line_count(p.l2_bytes_per_iter * n) * 0.5,
+        Channel.L2_REQUESTS: _line_count(p.l2_bytes_per_iter * n) * 1.1,
+        Channel.L2_MISSES: _line_count(p.l3_bytes_per_iter * n),
+        Channel.L1D_REPLACEMENT: _line_count(p.l2_bytes_per_iter * n),
+        Channel.L1D_EVICT: _line_count(p.l2_bytes_per_iter * n) * 0.4,
+        Channel.L3_REQUESTS: _line_count(p.l3_bytes_per_iter * n),
+        Channel.L3_MISSES: _line_count(p.mem_bytes_per_iter * n),
+        Channel.L3_LINES_IN_CORE: _line_count(p.mem_read_bytes_per_iter * n),
+        Channel.DRAM_READS: _line_count(p.mem_read_bytes_per_iter * n),
+        Channel.DRAM_WRITES: _line_count(p.mem_write_bytes_per_iter * n),
+    }
+
+
+def _accumulate_socket(sock: dict[Channel, float], p: KernelPhase) -> None:
+    n = p.iters
+    for channel, value in (
+        (Channel.L3_LINES_IN, _line_count(p.l3_fill_bytes * n)),
+        (Channel.L3_LINES_OUT, _line_count(p.l3_victim_bytes * n)),
+        (Channel.MEM_READS, _line_count(p.mem_read_bytes_per_iter * n)),
+        (Channel.MEM_WRITES, _line_count(p.mem_write_bytes_per_iter * n)),
+        (Channel.UNC_L3_HITS, _line_count(p.l3_bytes_per_iter * n)),
+        (Channel.UNC_L3_MISSES, _line_count(p.mem_bytes_per_iter * n)),
+    ):
+        sock[channel] = sock.get(channel, 0.0) + value

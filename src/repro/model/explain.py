@@ -1,0 +1,152 @@
+"""Model diagnostics: which resource limits each thread, and by how much.
+
+ECM-style modelling is only useful if the user can see *why* a rate
+came out: this module re-derives each thread's standalone limits
+(in-core issue, per-thread memory concurrency, L3 path) and the shared
+caps (socket memory controller, interconnect, shared L3), then names
+the binding constraint.  The bottleneck report is what turns a number
+("783 MLUPS") into a diagnosis ("socket memory bandwidth, 21.3 GB/s,
+100% utilised") — the analysis style of the paper's case study 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import ArchSpec
+from repro.model.ecm import PlacedWork, RunResult, solve
+from repro.tables import render_table
+
+_EPS = 1e-12
+
+
+@dataclass
+class ThreadDiagnosis:
+    tid: int
+    hwthread: int
+    rate: float
+    limits: dict[str, float]        # resource -> standalone rate limit
+    bottleneck: str                 # the resource actually binding
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved rate relative to the best standalone limit."""
+        best = min(self.limits.values())
+        return self.rate / best if best > 0 else 0.0
+
+
+@dataclass
+class SocketDiagnosis:
+    socket: int
+    mem_demand: float               # bytes/s requested at this controller
+    mem_utilisation: float          # demand / socket_mem_bw (capped obs.)
+    l3_demand: float
+    l3_utilisation: float
+
+
+@dataclass
+class ModelDiagnosis:
+    threads: list[ThreadDiagnosis]
+    sockets: list[SocketDiagnosis]
+    result: RunResult
+
+    def bottlenecks(self) -> dict[str, int]:
+        """Histogram of binding resources across threads."""
+        out: dict[str, int] = {}
+        for t in self.threads:
+            out[t.bottleneck] = out.get(t.bottleneck, 0) + 1
+        return out
+
+    def render(self) -> str:
+        rows = []
+        for t in self.threads:
+            rows.append([t.tid, t.hwthread, f"{t.rate:.4g}",
+                         t.bottleneck, f"{100 * t.efficiency:.0f}%"])
+        thread_table = render_table(
+            ["tid", "cpu", "rate [it/s]", "bottleneck", "vs standalone"],
+            rows)
+        sock_rows = []
+        for s in self.sockets:
+            sock_rows.append([
+                s.socket, f"{s.mem_demand / 1e9:.1f} GB/s",
+                f"{100 * s.mem_utilisation:.0f}%",
+                f"{s.l3_demand / 1e9:.1f} GB/s",
+                f"{100 * s.l3_utilisation:.0f}%"])
+        socket_table = render_table(
+            ["socket", "mem demand", "mem util", "L3 demand", "L3 util"],
+            sock_rows)
+        return thread_table + "\n" + socket_table
+
+
+def _standalone_limits(spec: ArchSpec, work: list[PlacedWork],
+                       w: PlacedWork, occupancy) -> dict[str, float]:
+    perf = spec.perf
+    per_hwthread, per_core = occupancy
+    p = w.phase
+    ts = 1.0 / per_hwthread[w.hwthread]
+    occupied = len(per_core[spec.physical_core_of(w.hwthread)])
+    issue = 1.0 if occupied <= 1 else perf.smt_issue_scale / occupied
+    limits = {"in-core issue":
+              spec.clock_hz * ts * issue / max(p.cycles_per_iter, _EPS)}
+    if p.mem_bytes_per_iter > 0:
+        bw = perf.thread_mem_bw * p.mem_concurrency * ts
+        remote = (1.0 if spec.socket_of(w.hwthread) != w.memory_socket
+                  else w.remote_fraction)
+        if remote > 0:
+            bw *= (1.0 - remote) + remote * perf.remote_mem_penalty
+        limits["memory concurrency"] = bw / p.mem_bytes_per_iter
+    if p.l3_bytes_per_iter > 0:
+        limits["L3 path"] = perf.thread_l3_bw * ts / p.l3_bytes_per_iter
+    return limits
+
+
+def diagnose(spec: ArchSpec, work: list[PlacedWork]) -> ModelDiagnosis:
+    """Solve the model and attribute each thread's rate to a resource."""
+    result = solve(spec, work)
+    rates = {t.tid: t.rate for t in result.threads}
+
+    per_hwthread: dict[int, int] = {}
+    per_core: dict[tuple[int, int], set[int]] = {}
+    for w in work:
+        per_hwthread[w.hwthread] = per_hwthread.get(w.hwthread, 0) + 1
+        per_core.setdefault(spec.physical_core_of(w.hwthread),
+                            set()).add(w.hwthread)
+    occupancy = (per_hwthread, per_core)
+
+    mem_demand: dict[int, float] = {}
+    l3_demand: dict[int, float] = {}
+    threads: list[ThreadDiagnosis] = []
+    for w in work:
+        limits = _standalone_limits(spec, work, w, occupancy)
+        rate = rates[w.tid]
+        p = w.phase
+        if p.mem_bytes_per_iter > 0:
+            mem_demand[w.memory_socket] = (
+                mem_demand.get(w.memory_socket, 0.0)
+                + rate * p.mem_bytes_per_iter)
+        if p.l3_bytes_per_iter > 0:
+            sock = spec.socket_of(w.hwthread)
+            l3_demand[sock] = (l3_demand.get(sock, 0.0)
+                               + rate * p.l3_bytes_per_iter)
+        # Binding resource: the standalone limit the thread actually
+        # reached, else the shared resource that scaled it down.
+        bottleneck = min(limits, key=limits.get)
+        if rate < 0.999 * limits[bottleneck]:
+            if (p.mem_bytes_per_iter > 0
+                    and spec.socket_of(w.hwthread) != w.memory_socket):
+                bottleneck = "interconnect / remote memory"
+            elif p.mem_bytes_per_iter > 0:
+                bottleneck = "socket memory bandwidth"
+            else:
+                bottleneck = "shared L3 bandwidth"
+        threads.append(ThreadDiagnosis(w.tid, w.hwthread, rate,
+                                       limits, bottleneck))
+
+    sockets = []
+    for socket in sorted(set(mem_demand) | set(l3_demand)):
+        md = mem_demand.get(socket, 0.0)
+        ld = l3_demand.get(socket, 0.0)
+        sockets.append(SocketDiagnosis(
+            socket, md, md / spec.perf.socket_mem_bw,
+            ld, ld / spec.perf.socket_l3_bw))
+    return ModelDiagnosis(threads, sockets, result)

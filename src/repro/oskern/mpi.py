@@ -1,0 +1,126 @@
+"""Simulated MPI launching for hybrid MPI+OpenMP pinning (paper §II.C).
+
+The paper's hybrid example::
+
+    $ export OMP_NUM_THREADS=8
+    $ mpiexec -n 64 -pernode likwid-pin -c 0-7 -s 0x3 ./a.out
+
+"would start 64 MPI processes on 64 nodes (via the -pernode option)
+with eight threads each, and not bind the first two newly created
+threads" — the Intel MPI progress thread plus the Intel OpenMP
+shepherd, which is why the hybrid skip mask is 0x3.
+
+This module provides a :class:`SimCluster` of identical simulated
+nodes and an :class:`MpiExec` launcher that starts one process per
+rank; the MPI library model creates its progress thread at
+``MPI_Init`` (the *first* thread a rank creates), before the OpenMP
+runtime spawns its team.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulerError
+from repro.hw.arch import create_machine
+from repro.hw.machine import SimMachine
+from repro.oskern.openmp import OpenMPRuntime, Team
+from repro.oskern.scheduler import OSKernel
+from repro.oskern.threads import SimThread, ThreadKind
+
+
+@dataclass
+class SimNode:
+    """One cluster node: a machine plus its OS instance."""
+
+    index: int
+    machine: SimMachine
+    kernel: OSKernel
+
+
+class SimCluster:
+    """A homogeneous cluster of simulated shared-memory nodes."""
+
+    def __init__(self, arch: str, num_nodes: int, *, seed: int = 0):
+        if num_nodes < 1:
+            raise SchedulerError("cluster needs at least one node")
+        self.nodes = []
+        for index in range(num_nodes):
+            machine = create_machine(arch)
+            kernel = OSKernel(machine, seed=seed + index * 104729)
+            self.nodes.append(SimNode(index, machine, kernel))
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class MpiRank:
+    """One launched MPI process."""
+
+    rank: int
+    node: SimNode
+    master: SimThread
+    progress_thread: SimThread | None = None
+    team: Team | None = None
+
+    @property
+    def compute_threads(self) -> list[SimThread]:
+        return self.team.compute_threads if self.team else [self.master]
+
+
+@dataclass
+class MpiExec:
+    """The mpiexec launcher bound to a cluster.
+
+    *mpi_model* 'intel' spawns a progress (shepherd) thread at
+    MPI_Init; 'mpich-sock' style implementations without a progress
+    thread are modelled with 'none'.
+    """
+
+    cluster: SimCluster
+    mpi_model: str = "intel"
+    ranks: list[MpiRank] = field(default_factory=list)
+
+    def run(self, nranks: int, *, pernode: bool = False,
+            setup=None) -> list[MpiRank]:
+        """Launch *nranks* processes round-robin (or one per node).
+
+        *setup(kernel) -> master_thread* stands for whatever wrapper
+        starts the rank's binary — e.g. ``LikwidPin.launch`` — and must
+        return the process's master thread.  After the master starts,
+        MPI_Init runs (possibly creating the progress thread), then the
+        caller attaches an OpenMP team via :meth:`spawn_team`.
+        """
+        if pernode and nranks > len(self.cluster):
+            raise SchedulerError(
+                f"-pernode with {nranks} ranks needs {nranks} nodes, "
+                f"cluster has {len(self.cluster)}")
+        self.ranks = []
+        for rank in range(nranks):
+            node = self.cluster.nodes[rank if pernode
+                                      else rank % len(self.cluster)]
+            if setup is not None:
+                master = setup(node.kernel)
+            else:
+                master = node.kernel.spawn_process(f"rank-{rank}")
+            progress = None
+            if self.mpi_model == "intel":
+                # MPI_Init: the library's progress/shepherd thread is
+                # the first thread the process creates.
+                progress = node.kernel.pthread_create(
+                    ThreadKind.SHEPHERD, f"mpi-progress-{rank}")
+            self.ranks.append(MpiRank(rank, node, master, progress))
+        return self.ranks
+
+    def spawn_teams(self, omp_threads: int,
+                    omp_model: str = "intel") -> None:
+        """Open the OpenMP parallel region inside every rank."""
+        for mpi_rank in self.ranks:
+            runtime = OpenMPRuntime(mpi_rank.node.kernel, omp_model)
+            mpi_rank.team = runtime.spawn_team(omp_threads,
+                                               master=mpi_rank.master)
+
+    def place_all(self) -> None:
+        for node in self.cluster.nodes:
+            node.kernel.place_all()

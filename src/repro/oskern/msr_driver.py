@@ -1,0 +1,115 @@
+"""The Linux ``msr`` kernel module, simulated.
+
+likwid-perfCtr "uses the Linux msr module to modify the MSRs from user
+space.  The msr module ... implements the read/write access to MSRs
+based on device files" (paper, §II.A).  This module reproduces that
+interface: per-CPU device files ``/dev/cpu/N/msr`` supporting 8-byte
+pread/pwrite at the file offset equal to the register address.
+
+The module must be *loaded* before device files can be opened, and
+opening requires root unless the device permissions were relaxed —
+the two installation stumbling blocks the real tool documents.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import MsrError
+from repro.hw.machine import SimMachine
+
+
+@dataclass
+class DriverStats:
+    """Access accounting: the basis of the tool's low-overhead claim —
+    a measurement costs a fixed number of device-file operations, not
+    anything proportional to the application's runtime."""
+
+    opens: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def operations(self) -> int:
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        self.opens = self.reads = self.writes = 0
+
+
+class MsrFile:
+    """An open ``/dev/cpu/N/msr`` file descriptor."""
+
+    def __init__(self, machine: SimMachine, cpu: int, writable: bool,
+                 stats: DriverStats | None = None):
+        self._machine = machine
+        self.cpu = cpu
+        self.writable = writable
+        self.closed = False
+        self._stats = stats
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise MsrError(f"I/O on closed msr device for cpu {self.cpu}")
+
+    def pread(self, address: int) -> bytes:
+        """Read 8 bytes at offset *address* (one RDMSR)."""
+        self._check_open()
+        if self._stats is not None:
+            self._stats.reads += 1
+        return struct.pack("<Q", self._machine.rdmsr(self.cpu, address))
+
+    def pwrite(self, address: int, data: bytes) -> None:
+        """Write 8 bytes at offset *address* (one WRMSR)."""
+        self._check_open()
+        if not self.writable:
+            raise MsrError(f"msr device for cpu {self.cpu} opened read-only")
+        if len(data) != 8:
+            raise MsrError(f"msr writes must be 8 bytes, got {len(data)}")
+        if self._stats is not None:
+            self._stats.writes += 1
+        self._machine.wrmsr(self.cpu, address, struct.unpack("<Q", data)[0])
+
+    # Convenience integer forms used by the tool layer.
+
+    def read_msr(self, address: int) -> int:
+        return struct.unpack("<Q", self.pread(address))[0]
+
+    def write_msr(self, address: int, value: int) -> None:
+        self.pwrite(address, struct.pack("<Q", value & (2**64 - 1)))
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class MsrDriver:
+    """The msr kernel module: loadable, with device-node permissions."""
+
+    def __init__(self, machine: SimMachine, *, loaded: bool = True,
+                 device_writable: bool = True):
+        self.machine = machine
+        self.loaded = loaded
+        self.device_writable = device_writable
+        self.stats = DriverStats()
+
+    def load(self) -> None:
+        """modprobe msr"""
+        self.loaded = True
+
+    def unload(self) -> None:
+        self.loaded = False
+
+    def open(self, cpu: int, *, write: bool = True) -> MsrFile:
+        """Open ``/dev/cpu/<cpu>/msr``."""
+        if not self.loaded:
+            raise MsrError(
+                "msr module not loaded: /dev/cpu/*/msr does not exist "
+                "(run 'modprobe msr')")
+        if not 0 <= cpu < self.machine.num_hwthreads:
+            raise MsrError(f"no such device /dev/cpu/{cpu}/msr")
+        if write and not self.device_writable:
+            raise MsrError(
+                f"permission denied opening /dev/cpu/{cpu}/msr for writing")
+        self.stats.opens += 1
+        return MsrFile(self.machine, cpu, writable=write, stats=self.stats)

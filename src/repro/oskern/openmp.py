@@ -1,0 +1,102 @@
+"""OpenMP runtime models: thread-creation behaviour of icc and gcc.
+
+The paper's central pinning subtlety (§II.C, §IV.A): "the Intel OpenMP
+implementation always runs OMP_NUM_THREADS+1 threads but uses the
+first newly created thread as a management thread, which should not be
+pinned ... gcc OpenMP only creates OMP_NUM_THREADS-1 additional
+threads and does not require a shepherd thread."
+
+This module reproduces both runtimes, including the Intel runtime's
+own affinity interface (``KMP_AFFINITY``), which only operates when
+the executable runs on a GenuineIntel processor and which LIKWID
+disables automatically to avoid interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulerError
+from repro.oskern.scheduler import OSKernel
+from repro.oskern.threads import SimThread, ThreadKind
+
+
+@dataclass
+class Team:
+    """One OpenMP parallel team."""
+
+    master: SimThread
+    created: list[SimThread] = field(default_factory=list)
+
+    @property
+    def all_threads(self) -> list[SimThread]:
+        return [self.master, *self.created]
+
+    @property
+    def compute_threads(self) -> list[SimThread]:
+        """Threads that execute parallel-region work, in OpenMP thread-id
+        order (master is OpenMP thread 0)."""
+        return [t for t in self.all_threads if t.computes]
+
+
+class OpenMPRuntime:
+    """A compiled-in OpenMP runtime ('intel' or 'gnu')."""
+
+    def __init__(self, kernel: OSKernel, model: str = "gnu"):
+        if model not in ("intel", "gnu"):
+            raise SchedulerError(f"unknown OpenMP runtime model {model!r}")
+        self.kernel = kernel
+        self.model = model
+
+    def spawn_team(self, num_threads: int,
+                   master: SimThread | None = None) -> Team:
+        """Create the parallel team for OMP_NUM_THREADS=*num_threads*.
+
+        Intel: num_threads newly created threads, the first of which is
+        the shepherd (never computes).  GNU: num_threads-1 created
+        threads, all compute.  Either way the master computes and
+        exactly *num_threads* threads do work.
+        """
+        if num_threads < 1:
+            raise SchedulerError("OMP_NUM_THREADS must be >= 1")
+        if master is None:
+            master = self.kernel.spawn_process()
+        team = Team(master=master)
+        if self.model == "intel":
+            if num_threads > 1:
+                team.created.append(
+                    self.kernel.pthread_create(ThreadKind.SHEPHERD, "omp-shepherd"))
+                for i in range(1, num_threads):
+                    team.created.append(
+                        self.kernel.pthread_create(ThreadKind.WORKER, f"omp-{i}"))
+        else:
+            for i in range(1, num_threads):
+                team.created.append(
+                    self.kernel.pthread_create(ThreadKind.WORKER, f"omp-{i}"))
+        self._apply_kmp_affinity(team)
+        return team
+
+    # -- the Intel runtime's own affinity interface ---------------------------
+
+    def _apply_kmp_affinity(self, team: Team) -> None:
+        """Honour KMP_AFFINITY — Intel runtime only, Intel CPUs only.
+
+        The benchmark section of the paper sets KMP_AFFINITY=disabled
+        for the likwid-pin runs and =scatter for the Fig. 6 run.
+        """
+        if self.model != "intel":
+            return
+        mode = self.kernel.env.get("KMP_AFFINITY", "disabled").lower()
+        if mode in ("disabled", "none", ""):
+            return
+        if self.kernel.machine.spec.vendor != "GenuineIntel":
+            return  # icc's topology interface no-ops on non-Intel parts
+        if mode == "scatter":
+            order = self.kernel.machine.spec.scatter_order()
+        elif mode == "compact":
+            order = self.kernel.machine.spec.compact_order()
+        else:
+            raise SchedulerError(f"unsupported KMP_AFFINITY={mode!r}")
+        for omp_id, thread in enumerate(team.compute_threads):
+            cpu = order[omp_id % len(order)]
+            self.kernel.sched_setaffinity(thread.tid, {cpu})

@@ -1,0 +1,84 @@
+"""The pthread_create wrapper library that likwid-pin preloads.
+
+The paper (§II.C, Fig. 3): "By overloading the pthread_create API call
+with a shared library wrapper, each thread can be pinned in turn upon
+creation, working through a list of core IDs.  This list, and possibly
+other parameters, are encoded in environment variables that are
+evaluated when the library wrapper is first called."
+
+:class:`PinOverlay` reproduces that: it installs a creation hook into
+the simulated kernel, lazily parses ``LIKWID_PIN`` (the core-ID list)
+and ``LIKWID_SKIP`` (the skip mask as a binary pattern over newly
+created threads) from the process environment on first use, and pins
+each non-skipped thread to the next core in the list.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AffinityError
+from repro.oskern.scheduler import OSKernel
+from repro.oskern.threads import SimThread
+
+ENV_CPULIST = "LIKWID_PIN"
+ENV_SKIP = "LIKWID_SKIP"
+
+
+class PinOverlay:
+    """State of the preloaded wrapper library inside one process."""
+
+    def __init__(self) -> None:
+        self._initialised = False
+        self._cpulist: list[int] = []
+        self._skip_mask = 0
+        self._created = 0      # newly created threads seen so far
+        self._next_slot = 1    # master already took cpulist[0]
+        self.pinned_tids: list[int] = []
+        self.skipped_tids: list[int] = []
+
+    # -- env evaluation (lazy, as in the real wrapper) -----------------------
+
+    def _initialise(self, kernel: OSKernel) -> None:
+        raw = kernel.env.get(ENV_CPULIST, "")
+        if raw:
+            try:
+                self._cpulist = [int(c) for c in raw.split(",") if c != ""]
+            except ValueError as exc:
+                raise AffinityError(f"bad {ENV_CPULIST}={raw!r}") from exc
+        self._skip_mask = int(kernel.env.get(ENV_SKIP, "0x0"), 16)
+        self._initialised = True
+
+    # -- process start: likwid-pin pins the starting process itself ----------
+
+    def pin_master(self, kernel: OSKernel, master: SimThread) -> None:
+        """Pin the initial process thread to the first core of the list
+        (what likwid-pin does before handing over to the application)."""
+        if not self._initialised:
+            self._initialise(kernel)
+        if self._cpulist:
+            kernel.sched_setaffinity(master.tid, {self._cpulist[0]})
+
+    # -- the wrapped pthread_create -------------------------------------------
+
+    def __call__(self, kernel: OSKernel, thread: SimThread) -> None:
+        if not self._initialised:
+            self._initialise(kernel)
+        index = self._created
+        self._created += 1
+        if not self._cpulist:
+            return
+        if self._skip_mask & (1 << index):
+            self.skipped_tids.append(thread.tid)
+            return
+        if self._next_slot >= len(self._cpulist):
+            # More threads than cores in the list: wrap around, like the
+            # real wrapper working through the list modulo its length.
+            self._next_slot = 0
+        cpu = self._cpulist[self._next_slot]
+        self._next_slot += 1
+        kernel.sched_setaffinity(thread.tid, {cpu})
+        self.pinned_tids.append(thread.tid)
+
+    def install(self, kernel: OSKernel) -> "PinOverlay":
+        """LD_PRELOAD the wrapper into the process."""
+        kernel.register_create_hook(self)
+        return self

@@ -1,0 +1,62 @@
+"""Rendering of ``/proc/cpuinfo`` for a simulated machine.
+
+The paper notes that the Linux kernel "numbers the usable cores and
+makes this information accessible in /proc/cpuinfo", but that the
+mapping to node topology is opaque — which is exactly what this
+renderer shows: per-CPU stanzas with ``physical id``/``core id``
+fields whose relation to caches and sockets needs likwid-topology to
+untangle.
+"""
+
+from __future__ import annotations
+
+from repro.hw.cpuid import decode_signature
+from repro.hw.machine import SimMachine
+
+
+def render_cpuinfo(machine: SimMachine) -> str:
+    """Produce the text of /proc/cpuinfo for every hardware thread."""
+    spec = machine.spec
+    stanzas = []
+    for hwthread in range(spec.num_hwthreads):
+        leaf1 = machine.cpuid(hwthread, 0x1)
+        family, model, stepping = decode_signature(leaf1.eax)
+        socket, core_index, _smt = spec.hwthread_location(hwthread)
+        vendor = "GenuineIntel" if spec.vendor == "GenuineIntel" else "AuthenticAMD"
+        llc = spec.last_level_cache()
+        flags = " ".join(spec.feature_flags
+                         + (("ht",) if spec.threads_per_core > 1 else ()))
+        stanzas.append("\n".join([
+            f"processor\t: {hwthread}",
+            f"vendor_id\t: {vendor}",
+            f"cpu family\t: {family}",
+            f"model\t\t: {model}",
+            f"model name\t: {spec.cpu_name}",
+            f"stepping\t: {stepping}",
+            f"cpu MHz\t\t: {spec.clock_hz / 1e6:.3f}",
+            f"cache size\t: {llc.size // 1024} KB",
+            f"physical id\t: {socket}",
+            f"siblings\t: {spec.threads_per_socket}",
+            f"core id\t\t: {spec.core_ids[core_index]}",
+            f"cpu cores\t: {spec.cores_per_socket}",
+            f"apicid\t\t: {spec.apic_id(hwthread)}",
+            f"flags\t\t: {flags}",
+        ]))
+    return "\n\n".join(stanzas) + "\n"
+
+
+def parse_cpuinfo(text: str) -> list[dict[str, str]]:
+    """Parse /proc/cpuinfo text back into per-CPU field dictionaries."""
+    cpus: list[dict[str, str]] = []
+    current: dict[str, str] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            if current:
+                cpus.append(current)
+                current = {}
+            continue
+        key, _, value = line.partition(":")
+        current[key.strip()] = value.strip()
+    if current:
+        cpus.append(current)
+    return cpus

@@ -1,0 +1,187 @@
+"""Simulated OS kernel: thread creation, affinity, and placement.
+
+This layer reproduces the scheduling behaviour behind the paper's
+case studies:
+
+* ``sched_setaffinity`` semantics — an affinity mask restricts where a
+  thread may run; likwid-pin works entirely through this interface.
+* **Topology-blind balancing of unpinned threads.**  The Linux kernel
+  balances run queues but, from the application's point of view, the
+  mapping of threads to sockets/SMT siblings is effectively random —
+  which produces the large unpinned variance in the paper's Figures
+  4, 7 and 9.  Placement picks, among allowed CPUs, one with minimal
+  (per-cpu load, per-core load) and random tie-breaking, so with few
+  threads both may land on one socket, or on SMT siblings of one core.
+* **First-touch ccNUMA memory** — a thread's memory lands on the
+  socket where it first runs.
+* **Migration** — unpinned threads may be migrated after first touch,
+  leaving their memory behind on the old socket (remote accesses).
+* ``pthread_create`` interception hooks — the mechanism likwid-pin's
+  preloaded wrapper library uses (paper Fig. 3).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable
+
+from repro.errors import SchedulerError
+from repro.hw.machine import SimMachine
+from repro.oskern.threads import SimThread, ThreadKind
+
+# A creation hook sees the kernel and the freshly created thread; the
+# likwid-pin preload overlay registers one to pin threads on creation.
+CreateHook = Callable[["OSKernel", SimThread], None]
+
+
+class OSKernel:
+    """The simulated operating system for one :class:`SimMachine`."""
+
+    def __init__(self, machine: SimMachine, *, seed: int = 0,
+                 migration_rate: float = 0.35):
+        self.machine = machine
+        self.rng = random.Random(seed)
+        self.migration_rate = migration_rate
+        self.threads: dict[int, SimThread] = {}
+        self._next_tid = 1000
+        self._creation_count = 0
+        self._create_hooks: list[CreateHook] = []
+        self.env: dict[str, str] = {}  # process environment variables
+
+    # -- cpu sets -------------------------------------------------------------
+
+    @property
+    def all_cpus(self) -> frozenset[int]:
+        return frozenset(range(self.machine.num_hwthreads))
+
+    def _validate_cpus(self, cpus: Iterable[int]) -> frozenset[int]:
+        mask = frozenset(cpus)
+        if not mask:
+            raise SchedulerError("empty affinity mask")
+        bad = mask - self.all_cpus
+        if bad:
+            raise SchedulerError(f"affinity mask contains invalid cpus {sorted(bad)}")
+        return mask
+
+    # -- thread lifecycle -------------------------------------------------------
+
+    def register_create_hook(self, hook: CreateHook) -> None:
+        """Install a pthread_create interceptor (the preload mechanism)."""
+        self._create_hooks.append(hook)
+
+    def clear_create_hooks(self) -> None:
+        self._create_hooks.clear()
+
+    def spawn_process(self, name: str = "a.out") -> SimThread:
+        """Create the initial (master) thread of a new process."""
+        thread = self._new_thread(ThreadKind.MASTER, name)
+        return thread
+
+    def pthread_create(self, kind: ThreadKind = ThreadKind.WORKER,
+                       name: str = "") -> SimThread:
+        """Create a new thread; creation hooks run before it executes,
+        exactly like a wrapped pthread_create returning to the caller."""
+        thread = self._new_thread(kind, name)
+        for hook in self._create_hooks:
+            hook(self, thread)
+        return thread
+
+    def _new_thread(self, kind: ThreadKind, name: str) -> SimThread:
+        tid = self._next_tid
+        self._next_tid += 1
+        thread = SimThread(tid=tid, kind=kind,
+                           creation_index=self._creation_count,
+                           name=name or f"thread-{tid}")
+        self._creation_count += 1
+        self.threads[tid] = thread
+        return thread
+
+    def _get(self, tid: int) -> SimThread:
+        try:
+            return self.threads[tid]
+        except KeyError:
+            raise SchedulerError(f"unknown tid {tid}") from None
+
+    # -- affinity syscalls -------------------------------------------------------
+
+    def sched_setaffinity(self, tid: int, cpus: Iterable[int]) -> None:
+        thread = self._get(tid)
+        thread.affinity = self._validate_cpus(cpus)
+        if thread.hwthread is not None and thread.hwthread not in thread.affinity:
+            thread.hwthread = None  # will be re-placed
+
+    def sched_getaffinity(self, tid: int) -> frozenset[int]:
+        thread = self._get(tid)
+        return thread.affinity if thread.affinity is not None else self.all_cpus
+
+    # -- placement ---------------------------------------------------------------
+
+    def _load(self) -> tuple[dict[int, int], dict[tuple[int, int], int]]:
+        """Current (per-hwthread, per-physical-core) runnable counts."""
+        per_cpu = {cpu: 0 for cpu in self.all_cpus}
+        per_core: dict[tuple[int, int], int] = {}
+        for t in self.threads.values():
+            if t.hwthread is not None:
+                per_cpu[t.hwthread] += 1
+                core = self.machine.spec.physical_core_of(t.hwthread)
+                per_core[core] = per_core.get(core, 0) + 1
+        return per_cpu, per_core
+
+    def _pick_cpu(self, allowed: frozenset[int]) -> int:
+        """Least-loaded allowed CPU; ties broken at random — the
+        topology-blind randomness that makes unpinned runs volatile."""
+        per_cpu, per_core = self._load()
+
+        def key(cpu: int) -> tuple[int, int]:
+            core = self.machine.spec.physical_core_of(cpu)
+            return (per_cpu[cpu], per_core.get(core, 0))
+
+        best = min(key(cpu) for cpu in allowed)
+        candidates = [cpu for cpu in allowed if key(cpu) == best]
+        return self.rng.choice(candidates)
+
+    def place_thread(self, tid: int) -> int:
+        """Assign a runnable CPU honouring the affinity mask, and set the
+        first-touch memory home if not already set."""
+        thread = self._get(tid)
+        allowed = thread.affinity if thread.affinity is not None else self.all_cpus
+        thread.hwthread = self._pick_cpu(allowed)
+        if thread.memory_socket is None:
+            thread.memory_socket = self.machine.spec.socket_of(thread.hwthread)
+        return thread.hwthread
+
+    def place_all(self, tids: Iterable[int] | None = None) -> None:
+        """Place every (given) thread in creation order."""
+        pool = sorted(
+            (self._get(t) for t in tids) if tids is not None
+            else self.threads.values(),
+            key=lambda t: t.creation_index)
+        for thread in pool:
+            if thread.hwthread is None or thread.pinned:
+                self.place_thread(thread.tid)
+
+    def maybe_migrate(self, tids: Iterable[int]) -> int:
+        """Randomly migrate unpinned threads to a rebalanced CPU while
+        their memory stays on the first-touch socket.  Returns how many
+        threads moved — the source of remote-access penalties in the
+        unpinned STREAM runs."""
+        moved = 0
+        for tid in tids:
+            thread = self._get(tid)
+            if thread.pinned or thread.hwthread is None:
+                continue
+            if self.rng.random() < self.migration_rate:
+                allowed = (thread.affinity if thread.affinity is not None
+                           else self.all_cpus)
+                old = thread.hwthread
+                thread.hwthread = None
+                new = self._pick_cpu(allowed)
+                thread.hwthread = new
+                if new != old:
+                    moved += 1
+        return moved
+
+    def reset_threads(self) -> None:
+        """Tear down all threads (process exit) but keep hooks and env."""
+        self.threads.clear()
+        self._creation_count = 0

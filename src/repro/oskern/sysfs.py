@@ -1,0 +1,100 @@
+"""Rendering of the sysfs CPU topology tree for a simulated machine.
+
+Produces the ``/sys/devices/system/cpu`` hierarchy as a path → content
+mapping: ``topology/{physical_package_id,core_id,thread_siblings_list,
+core_siblings_list}`` plus ``cache/indexN/*`` attributes.  LIKWID
+itself decodes CPUID directly, but tests use this tree as an
+independent oracle: sysfs and the CPUID decode must agree.
+"""
+
+from __future__ import annotations
+
+from repro.hw.machine import SimMachine
+
+
+def _cpulist(cpus: list[int]) -> str:
+    """Render a sorted CPU list in the kernel's range syntax (0-3,8)."""
+    cpus = sorted(cpus)
+    parts: list[str] = []
+    i = 0
+    while i < len(cpus):
+        j = i
+        while j + 1 < len(cpus) and cpus[j + 1] == cpus[j] + 1:
+            j += 1
+        parts.append(str(cpus[i]) if i == j else f"{cpus[i]}-{cpus[j]}")
+        i = j + 1
+    return ",".join(parts)
+
+
+def render_sysfs(machine: SimMachine) -> dict[str, str]:
+    """Build the sysfs tree as {relative_path: contents}, including the
+    ``/sys/devices/system/node`` NUMA hierarchy (cpulist, MemTotal and
+    SLIT distances) that libnuma-based tools read."""
+    spec = machine.spec
+    tree: dict[str, str] = {
+        "online": _cpulist(list(range(spec.num_hwthreads))),
+        "node/online": _cpulist(list(range(spec.num_numa_domains))),
+    }
+    for domain in range(spec.num_numa_domains):
+        base = f"node/node{domain}"
+        tree[f"{base}/cpulist"] = _cpulist(
+            spec.hwthreads_of_numa_domain(domain))
+        tree[f"{base}/meminfo"] = (
+            f"Node {domain} MemTotal: "
+            f"{spec.memory_per_numa_domain // 1024} kB")
+        tree[f"{base}/distance"] = " ".join(
+            str(spec.numa_distance(domain, other))
+            for other in range(spec.num_numa_domains))
+    data_caches = spec.data_caches()
+    for cpu in range(spec.num_hwthreads):
+        socket, core_index, _smt = spec.hwthread_location(cpu)
+        base = f"cpu{cpu}/topology"
+        tree[f"{base}/physical_package_id"] = str(socket)
+        tree[f"{base}/core_id"] = str(spec.core_ids[core_index])
+        tree[f"{base}/thread_siblings_list"] = _cpulist(
+            spec.hwthreads_of_core(socket, core_index))
+        tree[f"{base}/core_siblings_list"] = _cpulist(
+            spec.hwthreads_of_socket(socket))
+        for index, cache in enumerate(data_caches):
+            cbase = f"cpu{cpu}/cache/index{index}"
+            tree[f"{cbase}/level"] = str(cache.level)
+            tree[f"{cbase}/type"] = ("Data" if cache.type == "Data cache"
+                                     else "Unified")
+            tree[f"{cbase}/size"] = f"{cache.size // 1024}K"
+            tree[f"{cbase}/ways_of_associativity"] = str(cache.associativity)
+            tree[f"{cbase}/coherency_line_size"] = str(cache.line_size)
+            tree[f"{cbase}/number_of_sets"] = str(cache.sets)
+            tree[f"{cbase}/shared_cpu_list"] = _cpulist(
+                _sharing_group(machine, cpu, cache.threads_sharing))
+    return tree
+
+
+def _sharing_group(machine: SimMachine, cpu: int, threads_sharing: int) -> list[int]:
+    """The hardware threads sharing one cache instance with *cpu*.
+
+    Cache instances tile the socket: a cache shared by K threads covers
+    K/threads_per_core consecutive core indices on the same socket.
+    """
+    spec = machine.spec
+    socket, core_index, _smt = spec.hwthread_location(cpu)
+    cores_per_instance = max(1, threads_sharing // spec.threads_per_core)
+    first = (core_index // cores_per_instance) * cores_per_instance
+    group: list[int] = []
+    for ci in range(first, min(first + cores_per_instance, spec.cores_per_socket)):
+        group.extend(spec.hwthreads_of_core(socket, ci))
+    return group
+
+
+def parse_cpulist(text: str) -> list[int]:
+    """Inverse of the kernel list format: '0-2,8' → [0, 1, 2, 8]."""
+    cpus: list[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part:
+            lo, hi = part.split("-")
+            cpus.extend(range(int(lo), int(hi) + 1))
+        else:
+            cpus.append(int(part))
+    return cpus

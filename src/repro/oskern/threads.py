@@ -1,0 +1,42 @@
+"""Thread table for the simulated OS kernel.
+
+Threads carry the attributes the LIKWID pinning machinery cares about:
+an affinity mask (``sched_setaffinity`` semantics), a *kind* that
+distinguishes compute threads from OpenMP/MPI management ("shepherd")
+threads, and their creation order — the quantity likwid-pin's skip
+mask is defined over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class ThreadKind(Enum):
+    MASTER = "master"       # the initial process thread
+    WORKER = "worker"       # a compute thread
+    SHEPHERD = "shepherd"   # OpenMP/MPI management thread (never computes)
+
+
+@dataclass
+class SimThread:
+    """One schedulable thread."""
+
+    tid: int
+    kind: ThreadKind
+    creation_index: int          # 0 for master, then pthread_create order
+    affinity: frozenset[int] | None = None  # None = may run anywhere
+    hwthread: int | None = None  # current placement (set by the scheduler)
+    memory_socket: int | None = None  # ccNUMA home of its data (first touch)
+    name: str = ""
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def pinned(self) -> bool:
+        """True when the affinity mask allows exactly one hardware thread."""
+        return self.affinity is not None and len(self.affinity) == 1
+
+    @property
+    def computes(self) -> bool:
+        return self.kind is not ThreadKind.SHEPHERD

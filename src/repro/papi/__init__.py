@@ -1,0 +1,17 @@
+"""PAPI-like baseline library (the paper's Table I comparator)."""
+
+from repro.papi.papi import (PAPI_ECNFLCT, PAPI_EINVAL, PAPI_ENOEVNT,
+                             PAPI_ENOEVST, PAPI_ENOTRUN, PAPI_EISRUN,
+                             PAPI_OK, PAPI_VER_CURRENT, PapiLibrary)
+from repro.papi.presets import (PAPI_BR_INS, PAPI_BR_MSP, PAPI_DP_OPS,
+                                PAPI_FP_OPS, PAPI_L1_DCM, PAPI_L2_TCA,
+                                PAPI_L2_TCM, PAPI_LD_INS, PAPI_SR_INS,
+                                PAPI_TLB_DM, PAPI_TOT_CYC, PAPI_TOT_INS,
+                                PRESETS, PRESETS_BY_SYMBOL)
+
+__all__ = ["PapiLibrary", "PAPI_VER_CURRENT", "PAPI_OK", "PAPI_EINVAL",
+           "PAPI_ENOEVNT", "PAPI_ECNFLCT", "PAPI_ENOTRUN", "PAPI_EISRUN",
+           "PAPI_ENOEVST", "PRESETS", "PRESETS_BY_SYMBOL",
+           "PAPI_TOT_INS", "PAPI_TOT_CYC", "PAPI_FP_OPS", "PAPI_DP_OPS",
+           "PAPI_L1_DCM", "PAPI_L2_TCM", "PAPI_L2_TCA", "PAPI_BR_INS",
+           "PAPI_BR_MSP", "PAPI_TLB_DM", "PAPI_LD_INS", "PAPI_SR_INS"]

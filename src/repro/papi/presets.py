@@ -1,0 +1,124 @@
+"""PAPI preset events and their per-architecture native mappings.
+
+PAPI's abstraction is the *preset*: a portable event name
+(``PAPI_TOT_INS``, ``PAPI_FP_OPS``, ...) that the library maps onto
+one or more native events of the running architecture.  This mirrors
+the paper's Table I row "Event abstraction: abstraction through papi
+events, which map to native events" — contrast with LIKWID's
+preconfigured event *groups* with derived metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Preset codes use PAPI's historic 0x8000xxxx numbering.
+PAPI_TOT_INS = 0x80000032
+PAPI_TOT_CYC = 0x8000003B
+PAPI_FP_OPS = 0x80000066
+PAPI_DP_OPS = 0x80000068
+PAPI_L1_DCM = 0x80000000
+PAPI_L2_TCM = 0x80000007
+PAPI_L2_TCA = 0x8000005C
+PAPI_BR_INS = 0x80000037
+PAPI_BR_MSP = 0x8000002E
+PAPI_TLB_DM = 0x80000014
+PAPI_LD_INS = 0x80000035
+PAPI_SR_INS = 0x80000036
+
+
+@dataclass(frozen=True)
+class PresetDef:
+    code: int
+    symbol: str
+    description: str
+
+
+PRESETS: dict[int, PresetDef] = {p.code: p for p in [
+    PresetDef(PAPI_TOT_INS, "PAPI_TOT_INS", "Instructions completed"),
+    PresetDef(PAPI_TOT_CYC, "PAPI_TOT_CYC", "Total cycles"),
+    PresetDef(PAPI_FP_OPS, "PAPI_FP_OPS", "Floating point operations"),
+    PresetDef(PAPI_DP_OPS, "PAPI_DP_OPS", "Double precision operations"),
+    PresetDef(PAPI_L1_DCM, "PAPI_L1_DCM", "L1 data cache misses"),
+    PresetDef(PAPI_L2_TCM, "PAPI_L2_TCM", "L2 total cache misses"),
+    PresetDef(PAPI_L2_TCA, "PAPI_L2_TCA", "L2 total cache accesses"),
+    PresetDef(PAPI_BR_INS, "PAPI_BR_INS", "Branch instructions"),
+    PresetDef(PAPI_BR_MSP, "PAPI_BR_MSP", "Mispredicted branches"),
+    PresetDef(PAPI_TLB_DM, "PAPI_TLB_DM", "Data TLB misses"),
+    PresetDef(PAPI_LD_INS, "PAPI_LD_INS", "Load instructions"),
+    PresetDef(PAPI_SR_INS, "PAPI_SR_INS", "Store instructions"),
+]}
+
+PRESETS_BY_SYMBOL = {p.symbol: p for p in PRESETS.values()}
+
+# Per-architecture native mappings: preset code -> native event name.
+_NEHALEM = {
+    PAPI_TOT_INS: "INSTR_RETIRED_ANY",
+    PAPI_TOT_CYC: "CPU_CLK_UNHALTED_CORE",
+    PAPI_FP_OPS: "FP_COMP_OPS_EXE_SSE_FP_SCALAR",
+    PAPI_DP_OPS: "FP_COMP_OPS_EXE_SSE_FP_PACKED",
+    PAPI_L1_DCM: "L1D_REPL",
+    PAPI_L2_TCM: "L2_RQSTS_MISS",
+    PAPI_L2_TCA: "L2_RQSTS_REFERENCES",
+    PAPI_BR_INS: "BR_INST_RETIRED_ALL_BRANCHES",
+    PAPI_BR_MSP: "BR_MISP_RETIRED_ALL_BRANCHES",
+    PAPI_TLB_DM: "DTLB_MISSES_ANY",
+    PAPI_LD_INS: "MEM_INST_RETIRED_LOADS",
+    PAPI_SR_INS: "MEM_INST_RETIRED_STORES",
+}
+
+_CORE2 = {
+    PAPI_TOT_INS: "INSTR_RETIRED_ANY",
+    PAPI_TOT_CYC: "CPU_CLK_UNHALTED_CORE",
+    PAPI_FP_OPS: "SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE",
+    PAPI_DP_OPS: "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE",
+    PAPI_L1_DCM: "L1D_REPL",
+    PAPI_L2_TCM: "L2_RQSTS_MISS",
+    PAPI_L2_TCA: "L2_RQSTS_ANY",
+    PAPI_BR_INS: "BR_INST_RETIRED_ANY",
+    PAPI_BR_MSP: "BR_INST_RETIRED_MISPRED",
+    PAPI_TLB_DM: "DTLB_MISSES_ANY",
+    PAPI_LD_INS: "INST_RETIRED_LOADS",
+    PAPI_SR_INS: "INST_RETIRED_STORES",
+}
+
+_AMD = {
+    PAPI_TOT_INS: "RETIRED_INSTRUCTIONS",
+    PAPI_TOT_CYC: "CPU_CLOCKS_UNHALTED",
+    PAPI_FP_OPS: "SSE_RETIRED_SCALAR_DOUBLE",
+    PAPI_DP_OPS: "SSE_RETIRED_PACKED_DOUBLE",
+    PAPI_L1_DCM: "DATA_CACHE_REFILLS_L2",
+    PAPI_L2_TCM: "L2_MISSES_ALL",
+    PAPI_L2_TCA: "L2_REQUESTS_ALL",
+    PAPI_BR_INS: "RETIRED_BRANCH_INSTR",
+    PAPI_BR_MSP: "RETIRED_MISPREDICTED_BRANCH_INSTR",
+    PAPI_TLB_DM: "DTLB_L2_MISS_ALL",
+    PAPI_LD_INS: "RETIRED_LOADS",
+    PAPI_SR_INS: "RETIRED_STORES",
+}
+
+NATIVE_MAPPINGS: dict[str, dict[int, str]] = {
+    "nehalem_ep": _NEHALEM,
+    "nehalem_ws": _NEHALEM,
+    "westmere_ep": _NEHALEM,
+    "core2": _CORE2,
+    "core2duo": _CORE2,
+    "atom": {k: v for k, v in _CORE2.items()
+             if k not in (PAPI_LD_INS, PAPI_SR_INS, PAPI_TLB_DM,
+                          PAPI_L1_DCM)},
+    "banias": {
+        PAPI_TOT_INS: "INSTR_RETIRED_ANY",
+        PAPI_TOT_CYC: "CPU_CLK_UNHALTED",
+        PAPI_BR_INS: "BR_INST_RETIRED",
+        PAPI_BR_MSP: "BR_MISPRED_RETIRED",
+    },
+    "pentium_m": {
+        PAPI_TOT_INS: "INSTR_RETIRED_ANY",
+        PAPI_TOT_CYC: "CPU_CLK_UNHALTED",
+        PAPI_DP_OPS: "EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_DP",
+        PAPI_BR_INS: "BR_INST_RETIRED",
+        PAPI_BR_MSP: "BR_MISPRED_RETIRED",
+    },
+    "amd_k8": _AMD,
+    "amd_istanbul": _AMD,
+}

@@ -1,0 +1,55 @@
+"""ASCII table rendering in the style of likwid-perfctr output.
+
+The paper's listings use bordered tables::
+
+    +-----------------------+--------+--------+
+    | Event                 | core 0 | core 1 |
+    +-----------------------+--------+--------+
+    | INSTR_RETIRED_ANY     | 313742 | 376154 |
+    +-----------------------+--------+--------+
+
+This module reproduces that format, plus the horizontal-rule banner
+style used by likwid-topology.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+RULE = "-" * 61
+STARS = "*" * 61
+
+
+def render_table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a bordered ASCII table.
+
+    All cells are stringified; column widths fit the widest cell.  The
+    header row is separated from the body by a border line, matching
+    likwid-perfctr's output tables.
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    cells = [list(header)] + str_rows
+    ncols = max(len(r) for r in cells)
+    for r in cells:
+        r.extend([""] * (ncols - len(r)))
+    widths = [max(len(r[i]) for r in cells) for i in range(ncols)]
+    border = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+    def fmt_row(row: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+
+    lines = [border, fmt_row(cells[0]), border]
+    for row in cells[1:]:
+        lines.append(fmt_row(row))
+    lines.append(border)
+    return "\n".join(lines)
+
+
+def banner(*lines: str) -> str:
+    """likwid-topology style section banner bounded by '---' rules."""
+    return "\n".join([RULE, *lines, RULE])
+
+
+def star_banner(title: str) -> str:
+    """likwid-topology style star banner used for major sections."""
+    return "\n".join([STARS, title, STARS])

@@ -1,0 +1,88 @@
+"""Unit formatting and parsing helpers.
+
+The original LIKWID tools print human-oriented quantities: clock rates
+in GHz, cache sizes in kB/MB, bandwidths in MBytes/s.  These helpers
+centralise the formatting so tool output stays consistent, and provide
+the inverse parsers used by tests and by the CLI.
+"""
+
+from __future__ import annotations
+
+KILO = 1000
+MEGA = 1000**2
+GIGA = 1000**3
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+CACHELINE_BYTES = 64
+
+
+def format_hz(hz: float) -> str:
+    """Render a clock rate the way likwid-topology does (e.g. '2.93 GHz')."""
+    if hz >= GIGA:
+        return f"{hz / GIGA:.2f} GHz"
+    if hz >= MEGA:
+        return f"{hz / MEGA:.2f} MHz"
+    if hz >= KILO:
+        return f"{hz / KILO:.2f} kHz"
+    return f"{hz:.0f} Hz"
+
+
+def format_size(nbytes: int) -> str:
+    """Render a cache/memory size in binary units ('32 kB', '12 MB').
+
+    likwid-topology prints power-of-two sizes with decimal-looking unit
+    names; we follow that convention (kB == 1024 bytes here).
+    """
+    if nbytes >= GIB and nbytes % GIB == 0:
+        return f"{nbytes // GIB} GB"
+    if nbytes >= MIB and nbytes % MIB == 0:
+        return f"{nbytes // MIB} MB"
+    if nbytes >= KIB and nbytes % KIB == 0:
+        return f"{nbytes // KIB} kB"
+    return f"{nbytes} B"
+
+
+def parse_size(text: str) -> int:
+    """Parse '32 kB' / '12MB' / '64' back into bytes."""
+    s = text.strip()
+    for suffix, mult in (("GB", GIB), ("MB", MIB), ("kB", KIB), ("KB", KIB), ("B", 1)):
+        if s.endswith(suffix):
+            return int(float(s[: -len(suffix)].strip()) * mult)
+    return int(s)
+
+
+def mbytes_per_s(nbytes: float, seconds: float) -> float:
+    """Bandwidth in MBytes/s (decimal mega, as likwid-perfctr reports)."""
+    if seconds <= 0.0:
+        return 0.0
+    return nbytes / MEGA / seconds
+
+
+def mflops_per_s(flops: float, seconds: float) -> float:
+    """Rate in MFlops/s (decimal mega)."""
+    if seconds <= 0.0:
+        return 0.0
+    return flops / MEGA / seconds
+
+
+def mlups(updates: float, seconds: float) -> float:
+    """Million lattice-site updates per second, the Jacobi metric."""
+    if seconds <= 0.0:
+        return 0.0
+    return updates / MEGA / seconds
+
+
+def format_count(value: float) -> str:
+    """Format an event count the way likwid-perfctr prints it.
+
+    Small integer counts print exactly; large ones use the 6-significant-
+    digit scientific form seen in the paper's listings (1.88024e+07).
+    """
+    if value != value:  # NaN
+        return "nan"
+    if abs(value) < 1e6 and float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6g}"

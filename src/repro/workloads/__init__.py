@@ -1,0 +1,10 @@
+"""Workloads: STREAM triad, 3D Jacobi, and exact trace kernels."""
+
+from repro.workloads.jacobi import JacobiConfig, JacobiResult, run_jacobi
+from repro.workloads.matmul import MatmulConfig, MatmulResult, run_matmul
+from repro.workloads.runner import run_team, run_trace
+from repro.workloads.stream import StreamResult, run_stream, stream_samples
+
+__all__ = ["JacobiConfig", "JacobiResult", "run_jacobi",
+           "MatmulConfig", "MatmulResult", "run_matmul", "run_team",
+           "run_trace", "StreamResult", "run_stream", "stream_samples"]

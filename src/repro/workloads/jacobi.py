@@ -1,0 +1,221 @@
+"""3D 7-point Jacobi smoother (paper case studies 2 and 3).
+
+Three variants, matching the paper's Table II and Figure 11:
+
+* ``threaded`` — straightforward domain-decomposed threading with
+  temporal stores: every store misses, write-allocates, and is later
+  written back (24 B + layer-condition excess per update).
+* ``threaded_nt`` — the same with nontemporal stores, eliminating the
+  write-allocate read (the paper: "nontemporal stores save about 1/3
+  of the data transfer volume").  This is the "threaded" reference
+  curve of Fig. 11 (its caption: "with nontemporal stores").
+* ``wavefront`` — the temporally blocked pipeline-parallel kernel of
+  paper reference [8]: a group of threads shares a socket's L3, each
+  handling one time-step of a moving wavefront, so grid data travels
+  to memory only once per *depth* sweeps.  Splitting the group across
+  sockets destroys the shared-cache reuse — the Fig. 11 "hazardous"
+  pinning case.
+
+Traffic model (per lattice-site update, line-granular):
+
+* The source-array read is 8 B when the *layer condition* (three
+  adjacent planes resident in the thread's L3 share) holds, and
+  ``8 * LAYER_EXCESS`` when it fails — calibrated to Table II, where
+  the measured read volume per update is ~11.2 B at N = 480.
+* The wavefront reuse depth is bounded by how many pipeline stages fit
+  in the shared L3 and by the implementation maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.hw.machine import SimMachine
+from repro.hw.spec import ArchSpec
+from repro.model.ecm import KernelPhase, RunResult
+from repro.oskern.openmp import Team
+from repro.oskern.scheduler import OSKernel
+from repro.oskern.threads import ThreadKind
+from repro.workloads.runner import run_team
+
+VARIANTS = ("threaded", "threaded_nt", "wavefront")
+
+DOUBLE = 8                 # sizeof(double)
+LAYER_EXCESS = 1.4         # source-read inflation when the layer condition fails
+WAVEFRONT_MAX_DEPTH = 8.0  # implementation bound on in-cache time steps
+FLOPS_PER_UPDATE = 8.0     # 6 adds + 1 mul + 1 scale
+
+
+@dataclass(frozen=True)
+class JacobiConfig:
+    """One Jacobi experiment: variant, cubic grid size, sweeps, threads.
+
+    *groups* partitions the threads into independent wavefront teams
+    (the "GxT" layouts of paper reference [8]): ``nthreads=4,
+    groups=2`` is two 1x2 pipelines, each owning half the domain —
+    pinned to different sockets they use both memory controllers and
+    both L3s.
+    """
+
+    variant: str
+    n: int                   # linear grid size (cubic domain)
+    sweeps: int              # time steps
+    nthreads: int
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise WorkloadError(f"unknown Jacobi variant {self.variant!r}")
+        if self.n < 8:
+            raise WorkloadError(f"grid size {self.n} too small")
+        if self.groups < 1 or self.nthreads % self.groups:
+            raise WorkloadError(
+                f"{self.nthreads} threads do not split into "
+                f"{self.groups} equal groups")
+
+    @property
+    def threads_per_group(self) -> int:
+        return self.nthreads // self.groups
+
+    @property
+    def updates(self) -> int:
+        return self.n ** 3 * self.sweeps
+
+
+def layer_condition_factor(spec: ArchSpec, n: int, nthreads: int) -> float:
+    """1.0 when three N x N planes fit in the thread's L3 share."""
+    llc = spec.last_level_cache()
+    share = llc.size / max(nthreads, 1)
+    return 1.0 if 3 * n * n * DOUBLE <= share else LAYER_EXCESS
+
+
+def wavefront_depth(spec: ArchSpec, n: int) -> float:
+    """Temporal reuse depth of the wavefront pipeline: how many time
+    steps of a grid point execute per trip of its plane through the
+    shared L3 — the cache holds ``depth`` pipeline stages of ~3 planes
+    each, bounded by the implementation's maximum pipeline length."""
+    llc = spec.last_level_cache()
+    depth = llc.size / max(n * n * DOUBLE, 1)
+    return max(1.5, min(WAVEFRONT_MAX_DEPTH, depth))
+
+
+def in_cache(spec: ArchSpec, n: int) -> bool:
+    """True when both grids fit in one socket's last-level cache."""
+    return 2 * n ** 3 * DOUBLE <= spec.last_level_cache().size
+
+
+def jacobi_phase(spec: ArchSpec, config: JacobiConfig, *,
+                 split_groups: bool = False) -> KernelPhase:
+    """Per-thread kernel descriptor for one Jacobi run.
+
+    *split_groups* marks a wavefront group whose threads do NOT share
+    an L3 (the mis-pinned Fig. 11 case): the pipeline stages exchange
+    through memory, so the reuse depth collapses to 1.
+    """
+    n, nthreads = config.n, config.nthreads
+    iters = config.updates // nthreads
+    # Cache shares and stream concurrency are per wavefront group: two
+    # groups on two sockets each see a full L3 and memory controller.
+    f = layer_condition_factor(spec, n, config.threads_per_group)
+    # Short inner loops cost extra per-iteration overhead (pipeline
+    # startup, remainder loops) — relevant only at small N.
+    small_n_overhead = 1.0 + 64.0 / n
+
+    read = DOUBLE * f          # source stream with layer-condition excess
+    if in_cache(spec, n):
+        # Cache-resident: only compulsory traffic, amortised to ~zero.
+        read = 0.0
+
+    if config.variant == "threaded":
+        mem_read = read + (DOUBLE if read else 0.0)  # + write-allocate
+        mem_write = DOUBLE if read else 0.0
+        return KernelPhase(
+            name="jacobi_threaded", iters=iters,
+            flops_per_iter=FLOPS_PER_UPDATE, packed_fraction=1.0,
+            instr_per_iter=10.0, cycles_per_iter=4.5 * small_n_overhead,
+            loads_per_iter=7.0, stores_per_iter=1.0,
+            l2_bytes_per_iter=24.0 + read, l3_bytes_per_iter=24.0 + read,
+            mem_read_bytes_per_iter=mem_read,
+            mem_write_bytes_per_iter=mem_write,
+            l3_fill_bytes_per_iter=mem_read,
+            l3_victim_bytes_per_iter=mem_read,
+        )
+    if config.variant == "threaded_nt":
+        mem_write = DOUBLE if read else 0.0
+        return KernelPhase(
+            name="jacobi_threaded_nt", iters=iters,
+            flops_per_iter=FLOPS_PER_UPDATE, packed_fraction=1.0,
+            instr_per_iter=10.0, cycles_per_iter=4.5 * small_n_overhead,
+            loads_per_iter=7.0, stores_per_iter=1.0, nt_store_fraction=1.0,
+            l2_bytes_per_iter=16.0 + read, l3_bytes_per_iter=16.0 + read,
+            mem_read_bytes_per_iter=read,
+            mem_write_bytes_per_iter=mem_write,
+            l3_fill_bytes_per_iter=read,
+            l3_victim_bytes_per_iter=read,
+            bw_efficiency=0.93,   # streaming stores drive the bus less well
+        )
+    # wavefront
+    depth = 1.0 if split_groups else wavefront_depth(spec, n)
+    mem_read = (read + DOUBLE) / depth if read else 0.0
+    mem_write = DOUBLE / depth if read else 0.0
+    # The whole group drains through the leading thread's access
+    # stream: collectively one stream's worth of memory concurrency.
+    group_concurrency = (0.88 / config.threads_per_group
+                         if not split_groups else 0.6)
+    return KernelPhase(
+        name="jacobi_wavefront", iters=iters,
+        flops_per_iter=FLOPS_PER_UPDATE, packed_fraction=1.0,
+        instr_per_iter=12.0,
+        cycles_per_iter=5.4 * (1.0 + 24.0 / n),
+        loads_per_iter=8.0, stores_per_iter=1.0,
+        l2_bytes_per_iter=40.0, l3_bytes_per_iter=40.0,
+        mem_read_bytes_per_iter=mem_read,
+        mem_write_bytes_per_iter=mem_write,
+        l3_fill_bytes_per_iter=mem_read,
+        l3_victim_bytes_per_iter=mem_read,
+        mem_concurrency=group_concurrency,
+    )
+
+
+@dataclass
+class JacobiResult:
+    mlups: float
+    config: JacobiConfig
+    result: RunResult
+
+
+def run_jacobi(machine: SimMachine, kernel: OSKernel, config: JacobiConfig,
+               *, pin_cpus: list[int] | None = None,
+               migrate: bool = False) -> JacobiResult:
+    """Run one Jacobi experiment on POSIX threads (the paper's code is
+    pthreads-based), optionally pinned to an explicit CPU list."""
+    kernel.reset_threads()
+    kernel.clear_create_hooks()
+    master = kernel.spawn_process("jacobi")
+    threads = [master]
+    for i in range(1, config.nthreads):
+        threads.append(kernel.pthread_create(ThreadKind.WORKER, f"jacobi-{i}"))
+    if pin_cpus is not None:
+        if len(pin_cpus) < config.nthreads:
+            raise WorkloadError("pin list shorter than thread count")
+        for thread, cpu in zip(threads, pin_cpus):
+            kernel.sched_setaffinity(thread.tid, {cpu})
+
+    split = False
+    if config.variant == "wavefront" and pin_cpus is not None:
+        # Each group must share one socket's L3; a group spanning
+        # sockets loses the shared-cache reuse.
+        tpg = config.threads_per_group
+        for g in range(config.groups):
+            chunk = pin_cpus[g * tpg:(g + 1) * tpg]
+            if len({machine.spec.socket_of(c) for c in chunk}) > 1:
+                split = True
+
+    team = Team(master=master, created=threads[1:])
+    phase = jacobi_phase(machine.spec, config, split_groups=split)
+    result = run_team(machine, kernel, team, lambda _i, _n: phase,
+                      migrate=migrate)
+    mlups = (config.updates / result.total_time / 1e6
+             if result.total_time > 0 else 0.0)
+    return JacobiResult(mlups, config, result)

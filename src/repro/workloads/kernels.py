@@ -1,0 +1,133 @@
+"""Trace-kernel generators for the exact (cache-simulator) substrate.
+
+Each generator yields ``(op, address, stream_id)`` tuples consumed by
+:func:`repro.workloads.runner.run_trace`.  These small kernels exercise
+the cache hierarchy and prefetchers precisely — they back the CACHE /
+L2CACHE group tests, the prefetcher case study, and the ablation
+benchmark that validates the analytic model against exact simulation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+Trace = Iterator[tuple[str, int, int]]
+
+LINE = 64
+DOUBLE = 8
+
+
+def streaming_load(n: int, *, base: int = 0, stream: int = 0) -> Trace:
+    """Sequential 8-byte loads over n elements (perfectly prefetchable)."""
+    for i in range(n):
+        yield ("L", base + i * DOUBLE, stream)
+
+
+def streaming_triad(n: int, *, nontemporal: bool = False) -> Trace:
+    """STREAM triad access pattern: a[i] = b[i] + s*c[i].
+
+    Arrays are spaced far apart so they map to disjoint address ranges;
+    each array is its own prefetch stream, as distinct load/store
+    instructions would be on hardware.
+    """
+    spacing = 1 << 30
+    for i in range(n):
+        yield ("L", spacing * 1 + i * DOUBLE, 1)   # b[i]
+        yield ("L", spacing * 2 + i * DOUBLE, 2)   # c[i]
+        yield ("N" if nontemporal else "S", spacing * 3 + i * DOUBLE, 3)  # a[i]
+
+
+def strided_load(n: int, stride_bytes: int, *, base: int = 0,
+                 stream: int = 0) -> Trace:
+    """Constant-stride loads — the IP prefetcher's target pattern."""
+    for i in range(n):
+        yield ("L", base + i * stride_bytes, stream)
+
+
+def random_load(n: int, footprint_bytes: int, *, seed: int = 1234,
+                stream: int = 0) -> Trace:
+    """Uniform random loads inside a footprint (prefetcher-hostile)."""
+    state = seed & 0x7FFFFFFF
+    lines = max(footprint_bytes // LINE, 1)
+    for _ in range(n):
+        # xorshift31 — deterministic and dependency-free.
+        state ^= (state << 13) & 0x7FFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0x7FFFFFFF
+        yield ("L", (state % lines) * LINE, stream)
+
+
+def pointer_chase(n: int, footprint_bytes: int, *, stream: int = 0) -> Trace:
+    """Latency-bound dependent loads over a line-per-element ring with a
+    large prime stride, defeating stream and stride detectors with a
+    non-repeating short-term pattern."""
+    lines = max(footprint_bytes // LINE, 3)
+    step = _coprime_step(lines)
+    idx = 0
+    for _ in range(n):
+        yield ("L", idx * LINE, stream)
+        idx = (idx + step) % lines
+
+
+def _coprime_step(lines: int) -> int:
+    step = lines // 2 + 1
+    while _gcd(step, lines) != 1:
+        step += 1
+    return step
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def blocked_sum(n: int, block_bytes: int, repeats: int, *,
+                stream: int = 0) -> Trace:
+    """Cache-blocked reduction: sweep one block repeatedly before
+    moving on (the temporal-blocking access idiom, in miniature)."""
+    per_block = max(block_bytes // DOUBLE, 1)
+    blocks = max(n // per_block, 1)
+    for b in range(blocks):
+        base = b * block_bytes
+        for _ in range(repeats):
+            for i in range(per_block):
+                yield ("L", base + i * DOUBLE, stream)
+
+
+def loop_branches(iterations: int, body_branches: int = 0, *,
+                  pc: int = 0x400000) -> Trace:
+    """The branch stream of a counted loop: the backward branch is
+    taken ``iterations - 1`` times then falls through; optional
+    always-taken body branches model calls/ifs inside the loop."""
+    for i in range(iterations):
+        for b in range(body_branches):
+            yield ("B", pc + 16 + 4 * b, 1)
+        yield ("B", pc, 1 if i < iterations - 1 else 0)
+
+
+def random_branches(n: int, *, taken_permille: int = 500,
+                    seed: int = 77, pc: int = 0x500000) -> Trace:
+    """Data-dependent branches: taken with the given probability,
+    uncorrelated — the predictor-hostile pattern."""
+    state = seed & 0x7FFFFFFF
+    for _ in range(n):
+        state ^= (state << 13) & 0x7FFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0x7FFFFFFF
+        yield ("B", pc, 1 if (state % 1000) < taken_permille else 0)
+
+
+def alternating_branches(n: int, *, pc: int = 0x600000) -> Trace:
+    """Strictly alternating outcome: defeats a bimodal predictor but
+    is trivially captured by global history (gshare)."""
+    for i in range(n):
+        yield ("B", pc, i & 1)
+
+
+def copy_kernel(n: int, *, nontemporal: bool = False) -> Trace:
+    """c[i] = a[i]: one load stream and one store stream."""
+    spacing = 1 << 30
+    for i in range(n):
+        yield ("L", i * DOUBLE, 1)
+        yield ("N" if nontemporal else "S", spacing + i * DOUBLE, 2)

@@ -1,0 +1,116 @@
+"""Blocked dense matrix multiply: the compute-bound counterpart.
+
+STREAM and Jacobi are bandwidth-starved; DGEMM is the classic
+compute-bound workload, and the block size slides it along the
+roofline: a b x b tile held in L1 amortises each loaded element over b
+fused multiply-adds, so arithmetic traffic per FMA is ~16/b bytes.
+Small blocks are memory-bound; large blocks hit the SSE issue limit —
+the FLOPS_DP group then shows the machine's peak, which is how
+likwid-perfctr users sanity-check a kernel against the roofline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.hw.machine import SimMachine
+from repro.hw.spec import ArchSpec
+from repro.model.ecm import KernelPhase, RunResult
+from repro.oskern.scheduler import OSKernel
+from repro.oskern.threads import ThreadKind
+from repro.oskern.openmp import Team
+from repro.workloads.runner import run_team
+
+DOUBLE = 8
+# SSE2 peak: one packed-double multiply + one add per cycle = 4 flops.
+SSE_FLOPS_PER_CYCLE = 4.0
+
+
+@dataclass(frozen=True)
+class MatmulConfig:
+    """C = A x B with cubic dimension n, square blocking b."""
+
+    n: int
+    block: int
+    nthreads: int
+    compiler: str = "icc"
+
+    def __post_init__(self) -> None:
+        if self.block < 1 or self.block > self.n:
+            raise WorkloadError(
+                f"block {self.block} outside 1..{self.n}")
+        if self.compiler not in ("icc", "gcc"):
+            raise WorkloadError(f"unknown compiler {self.compiler!r}")
+
+    @property
+    def fmas(self) -> int:
+        return self.n ** 3
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.fmas
+
+
+def matmul_phase(spec: ArchSpec, config: MatmulConfig) -> KernelPhase:
+    """Per-thread descriptor for one blocked DGEMM."""
+    iters = config.fmas // config.nthreads  # iterations are FMAs
+    b = config.block
+    # Tiles of A and B stream through the cache once per block pass:
+    # each element is reused b times, so DRAM traffic ~ 16/b bytes/FMA
+    # (plus the C tile, negligible for b >= 2).
+    mem_bytes = 16.0 / b + 8.0 / max(b * b, 1)
+    l1_resident = 3 * b * b * DOUBLE <= spec.data_caches()[0].size
+    vectorised = config.compiler == "icc"
+    cycles = (2.0 / SSE_FLOPS_PER_CYCLE if vectorised else 2.0)
+    if not l1_resident:
+        cycles *= 1.3   # tile spills L1: extra load ports pressure
+    return KernelPhase(
+        name=f"dgemm_b{b}_{config.compiler}",
+        iters=iters,
+        flops_per_iter=2.0,
+        packed_fraction=1.0 if vectorised else 0.0,
+        instr_per_iter=1.5 if vectorised else 4.0,
+        cycles_per_iter=cycles,
+        loads_per_iter=2.0 / (2 if vectorised else 1),
+        stores_per_iter=1.0 / max(b, 1),
+        l2_bytes_per_iter=mem_bytes * 2,
+        l3_bytes_per_iter=mem_bytes * 1.5,
+        mem_read_bytes_per_iter=mem_bytes,
+        mem_write_bytes_per_iter=8.0 / max(b * b, 1),
+    )
+
+
+@dataclass
+class MatmulResult:
+    gflops: float
+    config: MatmulConfig
+    result: RunResult
+
+
+def run_matmul(machine: SimMachine, kernel: OSKernel, config: MatmulConfig,
+               *, pin_cpus: list[int] | None = None) -> MatmulResult:
+    """Run one DGEMM on pthreads, optionally pinned."""
+    kernel.reset_threads()
+    kernel.clear_create_hooks()
+    master = kernel.spawn_process("dgemm")
+    threads = [master] + [
+        kernel.pthread_create(ThreadKind.WORKER, f"dgemm-{i}")
+        for i in range(1, config.nthreads)]
+    if pin_cpus is not None:
+        if len(pin_cpus) < config.nthreads:
+            raise WorkloadError("pin list shorter than thread count")
+        for thread, cpu in zip(threads, pin_cpus):
+            kernel.sched_setaffinity(thread.tid, {cpu})
+    team = Team(master=master, created=threads[1:])
+    phase = matmul_phase(machine.spec, config)
+    result = run_team(machine, kernel, team, lambda _i, _n: phase,
+                      migrate=False)
+    gflops = (config.flops / result.total_time / 1e9
+              if result.total_time > 0 else 0.0)
+    return MatmulResult(gflops, config, result)
+
+
+def peak_gflops(spec: ArchSpec, nthreads: int) -> float:
+    """SSE double-precision peak of the thread group."""
+    return nthreads * spec.clock_hz * SSE_FLOPS_PER_CYCLE / 1e9

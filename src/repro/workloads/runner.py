@@ -1,0 +1,117 @@
+"""Workload execution: binds OpenMP teams to the machine model.
+
+``run_team`` is the bridge between the OS layer and the performance
+model: it places the team's threads (honouring whatever affinity
+likwid-pin or KMP_AFFINITY installed), optionally lets the scheduler
+migrate unpinned threads away from their first-touch memory, solves
+the contention model, and feeds the resulting event channels into the
+machine's PMUs — so a likwid-perfctr measurement wrapped around the
+run observes it exactly as on hardware.
+
+``run_trace`` is the exact counterpart for small kernels: it executes
+an access trace through the set-associative cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.hw.cache import CacheHierarchy
+from repro.hw.events import Channel
+from repro.hw.machine import SimMachine
+from repro.hw.prefetch import PrefetcherConfig
+from repro.model.ecm import KernelPhase, PlacedWork, RunResult, solve
+from repro.oskern.openmp import Team
+from repro.oskern.scheduler import OSKernel
+
+# phase_for(thread_index, num_compute_threads) -> KernelPhase
+PhaseFactory = Callable[[int, int], KernelPhase]
+
+
+def run_team(machine: SimMachine, kernel: OSKernel, team: Team,
+             phase_for: PhaseFactory, *, migrate: bool = True,
+             apply_counts: bool = True) -> RunResult:
+    """Execute one parallel phase on an OpenMP team."""
+    kernel.place_all()
+    compute = team.compute_threads
+    if migrate:
+        kernel.maybe_migrate([t.tid for t in compute])
+    work: list[PlacedWork] = []
+    for index, thread in enumerate(compute):
+        if thread.hwthread is None:
+            kernel.place_thread(thread.tid)
+        assert thread.memory_socket is not None
+        work.append(PlacedWork(
+            tid=thread.tid,
+            hwthread=thread.hwthread,
+            memory_socket=thread.memory_socket,
+            phase=phase_for(index, len(compute)),
+        ))
+    result = solve(machine.spec, work)
+    if apply_counts:
+        apply_result(machine, result)
+    return result
+
+
+def apply_result(machine: SimMachine, result: RunResult) -> None:
+    """Feed a solved run into the PMUs (merging threads per hwthread —
+    the PMU counts everything on the core, whoever ran it)."""
+    core_counts: dict[int, dict[Channel, float]] = {}
+    for outcome in result.threads:
+        merged = core_counts.setdefault(outcome.hwthread, {})
+        for channel, value in outcome.channels.items():
+            merged[channel] = merged.get(channel, 0.0) + value
+    uncore = result.socket_channels if machine.uncore_pmus else None
+    machine.apply_counts(core_counts, uncore, elapsed_seconds=result.total_time)
+
+
+def run_trace(machine: SimMachine, hwthread: int,
+              trace: Iterable[tuple[str, int, int]], *,
+              flops_per_load: float = 1.0,
+              apply_counts: bool = True) -> dict[Channel, float]:
+    """Execute an access trace exactly through the cache simulator.
+
+    *trace* yields ``(op, address, stream_id)`` with op ``'L'`` (load),
+    ``'S'`` (store), ``'N'`` (nontemporal store) or ``'B'`` (branch at
+    program counter *address*, whose third field is the taken outcome,
+    run through the core's branch predictor).  The prefetcher
+    configuration is read from the machine's IA32_MISC_ENABLE for the
+    given hardware thread, so likwid-features toggles are observable.
+    """
+    from repro.hw.branch import BranchUnit
+    config = PrefetcherConfig.from_machine(machine, hwthread)
+    hierarchy = CacheHierarchy(list(machine.spec.caches), config,
+                               tlb_entries=machine.spec.dtlb_entries,
+                               page_size=machine.spec.page_size)
+    branch_unit = BranchUnit()
+    cycles = 0.0
+    for op, addr, stream in trace:
+        if op == "L":
+            level = hierarchy.load(addr, stream=stream)
+        elif op == "S":
+            level = hierarchy.store(addr, stream=stream)
+        elif op == "N":
+            level = hierarchy.store(addr, stream=stream, nontemporal=True)
+        elif op == "B":
+            # A mispredicted branch costs a pipeline flush (~15 cycles).
+            cycles += 15.0 if branch_unit.execute(addr, bool(stream)) \
+                else 1.0
+            continue
+        else:
+            raise ValueError(f"unknown trace op {op!r}")
+        # Rough latency model per service level: L1 hit 1 cycle, then
+        # increasingly expensive — only used for CPI-flavoured metrics.
+        cycles += (1.0, 8.0, 30.0, 200.0)[min(level, 3)]
+    channels = hierarchy.channels()
+    ops = (hierarchy.loads + hierarchy.stores + hierarchy.nt_stores
+           + branch_unit.stats.branches)
+    channels[Channel.INSTRUCTIONS] = ops * 2.0
+    channels[Channel.CORE_CYCLES] = cycles
+    channels[Channel.REF_CYCLES] = cycles
+    channels[Channel.FLOPS_SCALAR_DP] = hierarchy.loads * flops_per_load
+    channels[Channel.BRANCHES] = float(branch_unit.stats.branches)
+    channels[Channel.BRANCH_MISSES] = float(
+        branch_unit.stats.mispredictions)
+    if apply_counts:
+        machine.apply_counts({hwthread: channels})
+    return channels

@@ -1,0 +1,214 @@
+"""The OpenMP STREAM triad benchmark (paper case study 1, Figs 4-10).
+
+``a[i] = b[i] + s * c[i]`` over large arrays.  The paper benchmarks two
+compilers whose generated code differs in exactly the ways that matter
+for the pinning study:
+
+* **icc** (-O3 -xSSE4.2): packed SSE, streaming (nontemporal) stores —
+  24 bytes of physical traffic per element, high per-thread memory
+  concurrency.
+* **gcc 4.3** (-O3): scalar code without nontemporal stores — the
+  store misses write-allocate, so 32 bytes of physical traffic per
+  element while STREAM still *reports* 24, and lower per-thread
+  concurrency.  This is why gcc's saturated bandwidth is ~25% below
+  icc's and why gcc profits more from SMT oversubscription (paper's
+  discussion of Figs 7/8).
+
+STREAM reports bandwidth as 24 bytes x N / time regardless of what the
+hardware actually moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.hw.machine import SimMachine
+from repro.hw.spec import ArchSpec
+from repro.model.ecm import KernelPhase, RunResult
+from repro.oskern.openmp import OpenMPRuntime
+from repro.oskern.preload import ENV_CPULIST, ENV_SKIP, PinOverlay
+from repro.oskern.scheduler import OSKernel
+from repro.workloads.runner import run_team
+
+REPORTED_BYTES_PER_ELEMENT = 24  # 3 x 8-byte doubles: the STREAM convention
+
+COMPILERS = ("icc", "gcc")
+
+
+@dataclass(frozen=True)
+class StreamKernel:
+    """One of the four STREAM kernels."""
+
+    name: str
+    read_arrays: int
+    write_arrays: int
+    flops_per_element: float
+
+    @property
+    def reported_bytes(self) -> float:
+        """STREAM's bandwidth convention: reads + writes, no allocate."""
+        return 8.0 * (self.read_arrays + self.write_arrays)
+
+
+STREAM_KERNELS: dict[str, StreamKernel] = {
+    "copy": StreamKernel("copy", 1, 1, 0.0),     # c[i] = a[i]
+    "scale": StreamKernel("scale", 1, 1, 1.0),   # b[i] = s*c[i]
+    "add": StreamKernel("add", 2, 1, 1.0),       # c[i] = a[i]+b[i]
+    "triad": StreamKernel("triad", 2, 1, 2.0),   # a[i] = b[i]+s*c[i]
+}
+
+
+def stream_phase(kernel: str, compiler: str, iters: int) -> KernelPhase:
+    """Per-thread descriptor for one sweep of any STREAM kernel.
+
+    The compiler model decides vectorisation, nontemporal stores, and
+    achievable memory concurrency — the code-generation difference
+    behind the icc/gcc gap of Figs 4-8.
+    """
+    try:
+        k = STREAM_KERNELS[kernel]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown STREAM kernel {kernel!r}; known: "
+            f"{', '.join(STREAM_KERNELS)}") from None
+    reads = 8.0 * k.read_arrays
+    writes = 8.0 * k.write_arrays
+    if compiler == "icc":
+        return KernelPhase(
+            name=f"stream_{kernel}_icc",
+            iters=iters,
+            flops_per_iter=k.flops_per_element,
+            packed_fraction=1.0,          # fully vectorised
+            instr_per_iter=0.6 * (k.read_arrays + k.write_arrays) + 0.55,
+            cycles_per_iter=0.25 * (k.read_arrays + k.write_arrays + 1),
+            loads_per_iter=float(k.read_arrays),
+            stores_per_iter=float(k.write_arrays),
+            nt_store_fraction=1.0,        # streaming stores
+            l2_bytes_per_iter=reads + writes,
+            l3_bytes_per_iter=reads + writes,
+            mem_read_bytes_per_iter=reads,
+            mem_write_bytes_per_iter=writes,
+            mem_concurrency=1.0,
+        )
+    if compiler == "gcc":
+        return KernelPhase(
+            name=f"stream_{kernel}_gcc",
+            iters=iters,
+            flops_per_iter=k.flops_per_element,
+            packed_fraction=0.0,          # scalar SSE
+            instr_per_iter=1.6 * (k.read_arrays + k.write_arrays) + 0.2,
+            cycles_per_iter=0.65 * (k.read_arrays + k.write_arrays) + 0.05,
+            loads_per_iter=float(k.read_arrays),
+            stores_per_iter=float(k.write_arrays),
+            nt_store_fraction=0.0,        # write-allocate on store misses
+            l2_bytes_per_iter=reads + 2 * writes,
+            l3_bytes_per_iter=reads + 2 * writes,
+            mem_read_bytes_per_iter=reads + writes,  # + write-allocate
+            mem_write_bytes_per_iter=writes,
+            mem_concurrency=0.75,
+        )
+    raise WorkloadError(f"unknown compiler model {compiler!r}")
+
+
+def triad_phase(compiler: str, iters: int) -> KernelPhase:
+    """The per-thread kernel descriptor for one triad sweep."""
+    return stream_phase("triad", compiler, iters)
+
+
+@dataclass
+class StreamResult:
+    """One STREAM triad run."""
+
+    bandwidth_mb_s: float      # reported, STREAM convention
+    nthreads: int
+    result: RunResult
+
+
+def run_stream(machine: SimMachine, kernel: OSKernel, *,
+               nthreads: int, compiler: str = "icc",
+               stream_kernel: str = "triad",
+               openmp_model: str | None = None,
+               pin_cpus: list[int] | None = None,
+               skip_mask: int | None = None,
+               n_elements: int = 20_000_000,
+               migrate: bool = True) -> StreamResult:
+    """Run one OpenMP STREAM triad measurement.
+
+    *pin_cpus* reproduces ``likwid-pin -c <list>``: the overlay library
+    is preloaded with the list (and a skip mask; ``None`` selects the
+    per-runtime default — 0x1 for Intel's shepherd thread, 0x0 for gcc,
+    exactly likwid-pin's ``-t`` presets).
+    """
+    if compiler not in COMPILERS:
+        raise WorkloadError(f"unknown compiler {compiler!r}")
+    if openmp_model is None:
+        openmp_model = "intel" if compiler == "icc" else "gnu"
+
+    kernel.reset_threads()
+    kernel.clear_create_hooks()
+    if pin_cpus is not None:
+        if skip_mask is None:
+            skip_mask = 0x1 if openmp_model == "intel" else 0x0
+        kernel.env[ENV_CPULIST] = ",".join(map(str, pin_cpus))
+        kernel.env[ENV_SKIP] = hex(skip_mask)
+        overlay = PinOverlay().install(kernel)
+    else:
+        kernel.env.pop(ENV_CPULIST, None)
+        kernel.env.pop(ENV_SKIP, None)
+        overlay = None
+
+    runtime = OpenMPRuntime(kernel, openmp_model)
+    master = kernel.spawn_process("stream")
+    if overlay is not None:
+        overlay.pin_master(kernel, master)
+    team = runtime.spawn_team(nthreads, master=master)
+
+    per_thread = n_elements // nthreads
+    result = run_team(
+        machine, kernel, team,
+        lambda _i, _n: stream_phase(stream_kernel, compiler, per_thread),
+        migrate=migrate and pin_cpus is None)
+    total_elements = per_thread * nthreads
+    reported = STREAM_KERNELS[stream_kernel].reported_bytes
+    bandwidth = (reported * total_elements
+                 / result.total_time / 1e6 if result.total_time > 0 else 0.0)
+    return StreamResult(bandwidth, nthreads, result)
+
+
+def run_full_stream(machine: SimMachine, kernel: OSKernel, *,
+                    nthreads: int, compiler: str = "icc",
+                    pin_cpus: list[int] | None = None,
+                    n_elements: int = 20_000_000) -> dict[str, float]:
+    """Run all four STREAM kernels; returns name -> bandwidth MB/s."""
+    return {name: run_stream(machine, kernel, nthreads=nthreads,
+                             compiler=compiler, stream_kernel=name,
+                             pin_cpus=pin_cpus,
+                             n_elements=n_elements).bandwidth_mb_s
+            for name in STREAM_KERNELS}
+
+
+def scatter_pin_list(spec: ArchSpec, nthreads: int) -> list[int]:
+    """The pin list the paper uses for Figs 5/8/10: threads equally
+    distributed over sockets, physical cores before SMT threads."""
+    order = spec.scatter_order()
+    return order[:nthreads]
+
+
+def stream_samples(machine: SimMachine, *, nthreads: int, compiler: str,
+                   pinned: bool, samples: int = 100, seed: int = 12345,
+                   kmp_affinity: str | None = None,
+                   n_elements: int = 20_000_000) -> list[float]:
+    """Repeat a STREAM measurement (the paper's 100 samples per thread
+    count), each with a fresh scheduler RNG state."""
+    bandwidths: list[float] = []
+    for sample in range(samples):
+        kernel = OSKernel(machine, seed=seed + sample * 7919)
+        if kmp_affinity is not None:
+            kernel.env["KMP_AFFINITY"] = kmp_affinity
+        pin = (scatter_pin_list(machine.spec, nthreads) if pinned else None)
+        run = run_stream(machine, kernel, nthreads=nthreads,
+                         compiler=compiler, pin_cpus=pin,
+                         n_elements=n_elements)
+        bandwidths.append(run.bandwidth_mb_s)
+    return bandwidths

@@ -1,0 +1,89 @@
+"""Unit tests for core-list parsing and skip-mask resolution."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.affinity import (THREAD_TYPE_SKIP_MASKS, format_corelist,
+                                 parse_corelist, parse_skip_mask,
+                                 skip_mask_for)
+from repro.errors import AffinityError
+
+
+class TestParseCorelist:
+    @pytest.mark.parametrize("text,expected", [
+        ("0-3", [0, 1, 2, 3]),
+        ("0,2-5,7", [0, 2, 3, 4, 5, 7]),
+        ("4", [4]),
+        ("3,1,2", [3, 1, 2]),        # order preserved: pin order matters
+        ("0-0", [0]),
+    ])
+    def test_valid(self, text, expected):
+        assert parse_corelist(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "  ", "0,,1", "a", "1-", "-3",
+                                      "1-2-3", "0x3"])
+    def test_malformed(self, text):
+        with pytest.raises(AffinityError):
+            parse_corelist(text)
+
+    def test_descending_range(self):
+        with pytest.raises(AffinityError, match="descending"):
+            parse_corelist("5-2")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(AffinityError, match="duplicate"):
+            parse_corelist("0,1,0")
+        with pytest.raises(AffinityError, match="duplicate"):
+            parse_corelist("0-3,2")
+
+    def test_max_cpu_bound(self):
+        assert parse_corelist("0-3", max_cpu=3) == [0, 1, 2, 3]
+        with pytest.raises(AffinityError, match="beyond the last"):
+            parse_corelist("0-4", max_cpu=3)
+
+
+class TestFormatCorelist:
+    @pytest.mark.parametrize("cpus,text", [
+        ([0, 1, 2, 3], "0-3"),
+        ([0, 2, 3, 4, 8], "0,2-4,8"),
+        ([], ""),
+        ([7], "7"),
+    ])
+    def test_format(self, cpus, text):
+        assert format_corelist(cpus) == text
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=20,
+                    unique=True))
+    def test_roundtrip_for_sorted_lists(self, cpus):
+        cpus = sorted(cpus)
+        assert parse_corelist(format_corelist(cpus)) == cpus
+
+
+class TestSkipMasks:
+    @pytest.mark.parametrize("text,value", [
+        ("0x3", 3), ("3", 3), ("0b11", 3), ("0x0", 0), ("0o7", 7),
+    ])
+    def test_parse(self, text, value):
+        assert parse_skip_mask(text) == value
+
+    @pytest.mark.parametrize("text", ["xyz", "-1", ""])
+    def test_parse_errors(self, text):
+        with pytest.raises(AffinityError):
+            parse_skip_mask(text)
+
+    def test_thread_type_presets(self):
+        """The paper's presets: intel=0x1, hybrid Intel MPI=0x3,
+        gcc is the default with no skipping."""
+        assert THREAD_TYPE_SKIP_MASKS["intel"] == 0x1
+        assert THREAD_TYPE_SKIP_MASKS["intel_mpi"] == 0x3
+        assert THREAD_TYPE_SKIP_MASKS["gnu"] == 0x0
+
+    def test_resolution_order(self):
+        assert skip_mask_for("intel") == 0x1
+        assert skip_mask_for("intel", explicit=0x7) == 0x7  # -s wins
+        assert skip_mask_for(None) == 0x0                   # gcc default
+
+    def test_unknown_thread_type(self):
+        with pytest.raises(AffinityError, match="unknown thread type"):
+            skip_mask_for("rust")

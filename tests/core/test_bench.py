@@ -1,0 +1,169 @@
+"""Tests for the bandwidth-map tool (likwid-bench)."""
+
+import pytest
+
+from repro.core.bench import (KERNELS, bandwidth_ladder, numa_bandwidth_map,
+                              render_ladder, render_numa_map)
+from repro.errors import WorkloadError
+from repro.hw.arch import create_machine
+
+
+@pytest.fixture(scope="module")
+def westmere():
+    return create_machine("westmere_ep")
+
+
+class TestKernels:
+    def test_catalog(self):
+        assert {"load", "store", "store_nt", "copy", "triad",
+                "triad_nt"} <= set(KERNELS)
+
+    def test_write_allocate_accounting(self):
+        assert KERNELS["copy"].bytes_per_element == 24.0   # rd + wa + wb
+        assert KERNELS["copy"].reported_bytes_per_element == 16.0
+        assert KERNELS["triad_nt"].bytes_per_element == 24.0
+
+    def test_unknown_kernel(self, westmere):
+        with pytest.raises(WorkloadError, match="unknown bench kernel"):
+            bandwidth_ladder(westmere, "saxpy")
+
+
+class TestLadder:
+    def test_staircase_monotonically_decreasing(self, westmere):
+        points = bandwidth_ladder(westmere, "load", cpus=[0])
+        bws = [p.bandwidth for p in points]
+        for a, b in zip(bws, bws[1:]):
+            assert b <= a * 1.0001
+
+    def test_level_classification(self, westmere):
+        points = {p.working_set: p.level
+                  for p in bandwidth_ladder(westmere, "load", cpus=[0])}
+        assert points[16 * 1024] == "L1"      # 16 kB < 32 kB L1
+        assert points[128 * 1024] == "L2"     # < 256 kB L2
+        assert points[4 * 1024 * 1024] == "L3"
+        assert points[64 * 1024 * 1024] == "MEM"
+
+    def test_plateau_values(self, westmere):
+        perf = westmere.spec.perf
+        points = {p.level: p.bandwidth
+                  for p in bandwidth_ladder(westmere, "load", cpus=[0])}
+        assert points["L1"] == pytest.approx(
+            perf.l1_bytes_per_cycle * westmere.spec.clock_hz, rel=0.01)
+        assert points["MEM"] == pytest.approx(perf.thread_mem_bw, rel=0.01)
+
+    def test_llc_share_shrinks_with_threads(self, westmere):
+        """With 6 threads on one socket, a 4 MB/thread working set no
+        longer fits the shared 12 MB L3."""
+        solo = {p.working_set: p.level
+                for p in bandwidth_ladder(westmere, "load", cpus=[0])}
+        group = {p.working_set: p.level
+                 for p in bandwidth_ladder(westmere, "load",
+                                           cpus=[0, 1, 2, 3, 4, 5])}
+        ws = 4 * 1024 * 1024
+        assert solo[ws] == "L3"
+        assert group[ws] == "MEM"
+
+    def test_memory_plateau_saturates_with_group(self, westmere):
+        group = bandwidth_ladder(westmere, "load", cpus=[0, 1, 2, 3, 4, 5],
+                                 sizes=[1 << 26])
+        assert group[0].bandwidth == pytest.approx(
+            westmere.spec.perf.socket_mem_bw, rel=0.01)
+
+    def test_nt_store_beats_plain_store_in_memory(self, westmere):
+        plain = bandwidth_ladder(westmere, "store", cpus=[0],
+                                 sizes=[1 << 26])[0]
+        nt = bandwidth_ladder(westmere, "store_nt", cpus=[0],
+                              sizes=[1 << 26])[0]
+        # NT avoids the write-allocate read: 1/3 less physical traffic
+        # for the same reported bytes.
+        assert nt.bandwidth == pytest.approx(plain.bandwidth * 2, rel=0.02)
+
+    def test_render(self, westmere):
+        text = render_ladder(bandwidth_ladder(westmere, "copy", cpus=[0]))
+        assert "GB/s" in text and "MEM" in text
+
+
+class TestNumaMap:
+    def test_diagonal_dominates(self, westmere):
+        matrix = numa_bandwidth_map(westmere)
+        for i, row in enumerate(matrix):
+            for j, value in enumerate(row):
+                if i != j:
+                    assert value < row[i]
+
+    def test_symmetric_for_symmetric_machine(self, westmere):
+        matrix = numa_bandwidth_map(westmere)
+        assert matrix[0][1] == pytest.approx(matrix[1][0], rel=0.01)
+
+    def test_remote_capped_by_interconnect(self, westmere):
+        matrix = numa_bandwidth_map(westmere, kernel="load")
+        perf = westmere.spec.perf
+        # Reported remote bandwidth cannot exceed the QPI cap.
+        assert matrix[0][1] <= perf.interconnect_bw * 1.01
+
+    def test_istanbul_map_shape(self):
+        machine = create_machine("amd_istanbul")
+        matrix = numa_bandwidth_map(machine)
+        assert len(matrix) == 2
+        assert matrix[0][0] > matrix[0][1]
+
+    def test_render(self, westmere):
+        text = render_numa_map(numa_bandwidth_map(westmere))
+        assert "cores \\ memory" in text
+
+
+class TestWorkgroups:
+    """likwid-bench workgroup parsing and execution."""
+
+    def test_parse_full(self):
+        from repro.core.bench import Workgroup
+        wg = Workgroup.parse("S0:1 GB:4")
+        assert (wg.domain, wg.size, wg.nthreads) == ("S0", 1024**3, 4)
+
+    def test_parse_defaults_one_thread(self):
+        from repro.core.bench import Workgroup
+        assert Workgroup.parse("N:32 kB").nthreads == 1
+
+    @pytest.mark.parametrize("bad", ["S0", "S0:x:4", "S0:1GB:x",
+                                     "S0:1GB:0", "S0:1GB:4:5"])
+    def test_parse_errors(self, bad):
+        from repro.core.bench import Workgroup
+        with pytest.raises(WorkloadError):
+            Workgroup.parse(bad)
+
+    def test_two_socket_groups_double_bandwidth(self, westmere):
+        from repro.core.bench import Workgroup, run_workgroups
+        one = run_workgroups(westmere, "triad",
+                             [Workgroup.parse("S0:1GB:4")])
+        two = run_workgroups(westmere, "triad",
+                             [Workgroup.parse("S0:1GB:4"),
+                              Workgroup.parse("S1:1GB:4")])
+        total_two = sum(r.bandwidth for r in two)
+        assert total_two == pytest.approx(2 * one[0].bandwidth, rel=0.01)
+
+    def test_same_socket_groups_share_bandwidth(self, westmere):
+        from repro.core.bench import Workgroup, run_workgroups
+        # Two groups on socket 0 (cache domain == socket on Westmere).
+        results = run_workgroups(westmere, "load",
+                                 [Workgroup.parse("S0:1GB:3"),
+                                  Workgroup.parse("C0:1GB:3")])
+        total = sum(r.bandwidth for r in results)
+        assert total <= westmere.spec.perf.socket_mem_bw * 1.01
+
+    def test_unknown_domain(self, westmere):
+        from repro.core.bench import Workgroup, run_workgroups
+        with pytest.raises(WorkloadError, match="unknown affinity domain"):
+            run_workgroups(westmere, "load", [Workgroup.parse("Z9:1GB:1")])
+
+    def test_too_many_threads(self, westmere):
+        from repro.core.bench import Workgroup, run_workgroups
+        with pytest.raises(WorkloadError, match="only"):
+            run_workgroups(westmere, "load", [Workgroup.parse("S0:1GB:99")])
+
+    def test_render(self, westmere):
+        from repro.core.bench import (Workgroup, render_workgroups,
+                                      run_workgroups)
+        results = run_workgroups(westmere, "copy",
+                                 [Workgroup.parse("S0:64MB:2")])
+        text = render_workgroups(results, "copy")
+        assert "TOTAL" in text and "MB/s" in text

@@ -1,0 +1,101 @@
+"""Tests for likwid-features (§II.D listing and toggling semantics)."""
+
+import pytest
+
+from repro.core.features import LikwidFeatures
+from repro.errors import FeatureError
+from repro.hw.arch import create_machine
+from repro.oskern.msr_driver import MsrDriver
+
+
+@pytest.fixture
+def features():
+    return LikwidFeatures(MsrDriver(create_machine("core2")), cpu=0)
+
+
+class TestReport:
+    def test_paper_listing_lines(self, features):
+        text = features.report()
+        for line in [
+            "CPU name:\tIntel Core 2 45nm processor",
+            "CPU core id:\t0",
+            "Fast-Strings: enabled",
+            "Automatic Thermal Control: enabled",
+            "Performance monitoring: enabled",
+            "Hardware Prefetcher: enabled",
+            "Branch Trace Storage: supported",
+            "PEBS: supported",
+            "Intel Enhanced SpeedStep: enabled",
+            "MONITOR/MWAIT: supported",
+            "Adjacent Cache Line Prefetch: enabled",
+            "Limit CPUID Maxval: disabled",
+            "XD Bit Disable: enabled",
+            "DCU Prefetcher: enabled",
+            "Intel Dynamic Acceleration: disabled",
+            "IP Prefetcher: enabled",
+        ]:
+            assert line in text, f"missing {line!r}"
+
+    def test_states_count(self, features):
+        assert len(features.states()) == 14
+
+
+class TestToggle:
+    def test_disable_cl_prefetcher(self, features):
+        """The paper's example: likwid-features -u CL_PREFETCHER."""
+        state = features.disable("CL_PREFETCHER")
+        assert state.display == "disabled"
+        assert "Adjacent Cache Line Prefetch: disabled" in features.report()
+
+    def test_reenable(self, features):
+        features.disable("CL_PREFETCHER")
+        state = features.enable("CL_PREFETCHER")
+        assert state.enabled
+
+    def test_all_prefetchers_toggle(self, features):
+        for key in ("HW_PREFETCHER", "CL_PREFETCHER", "DCU_PREFETCHER",
+                    "IP_PREFETCHER"):
+            assert features.disable(key).enabled is False
+            assert features.enable(key).enabled is True
+
+    def test_read_only_feature_rejected(self, features):
+        with pytest.raises(FeatureError, match="read-only"):
+            features.disable("SPEEDSTEP")
+
+    def test_unknown_key(self, features):
+        with pytest.raises(FeatureError, match="unknown feature"):
+            features.enable("TURBO_BUTTON")
+
+    def test_case_insensitive_key(self, features):
+        assert features.state("cl_prefetcher").key == "CL_PREFETCHER"
+
+    def test_toggle_visible_to_hardware(self, features):
+        """The write must land in IA32_MISC_ENABLE so the cache
+        simulator's prefetchers actually switch off."""
+        machine = features.machine
+        assert machine.misc_enable_state(0, "DCU_PREFETCHER")
+        features.disable("DCU_PREFETCHER")
+        assert not machine.misc_enable_state(0, "DCU_PREFETCHER")
+
+    def test_per_cpu_independent(self):
+        machine = create_machine("core2")
+        driver = MsrDriver(machine)
+        f0 = LikwidFeatures(driver, cpu=0)
+        f1 = LikwidFeatures(driver, cpu=1)
+        f0.disable("IP_PREFETCHER")
+        assert not f0.state("IP_PREFETCHER").enabled
+        assert f1.state("IP_PREFETCHER").enabled
+
+
+class TestRestrictions:
+    @pytest.mark.parametrize("arch", ["westmere_ep", "nehalem_ep",
+                                      "amd_istanbul", "atom"])
+    def test_only_core2_supported(self, arch):
+        """Paper: 'likwid-features currently only works for Intel
+        Core 2 processors'."""
+        with pytest.raises(FeatureError, match="Core 2"):
+            LikwidFeatures(MsrDriver(create_machine(arch)))
+
+    def test_core2duo_also_supported(self):
+        features = LikwidFeatures(MsrDriver(create_machine("core2duo")))
+        assert "Intel Core 2 65nm processor" in features.report()

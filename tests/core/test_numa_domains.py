@@ -1,0 +1,121 @@
+"""Tests for NUMA topology probing and affinity-domain expressions
+(the paper's future-work items, implemented)."""
+
+import pytest
+
+from repro.core.affinity import affinity_domains, resolve_affinity_expression
+from repro.core.numa import probe_numa, render_numa
+from repro.errors import AffinityError
+from repro.hw.arch import ARCH_SPECS, create_machine, get_arch
+
+
+class TestNumaProbe:
+    def test_one_domain_per_socket(self):
+        numa = probe_numa(create_machine("westmere_ep"))
+        assert numa.num_domains == 2
+        assert set(numa.domains[0].processors) == \
+            set(get_arch("westmere_ep").hwthreads_of_socket(0))
+
+    def test_memory_split(self):
+        numa = probe_numa(create_machine("westmere_ep"))
+        spec = get_arch("westmere_ep")
+        for domain in numa.domains:
+            assert domain.memory_bytes == spec.memory_per_socket
+
+    def test_distances_slit(self):
+        numa = probe_numa(create_machine("amd_istanbul"))
+        assert numa.domains[0].distances == (10, 21)
+        assert numa.domains[1].distances == (21, 10)
+
+    def test_domain_of(self):
+        numa = probe_numa(create_machine("westmere_ep"))
+        assert numa.domain_of(0) == 0
+        assert numa.domain_of(7) == 1
+        with pytest.raises(ValueError):
+            numa.domain_of(99)
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_domains_partition_threads(self, arch):
+        machine = create_machine(arch)
+        numa = probe_numa(machine)
+        seen: set[int] = set()
+        for domain in numa.domains:
+            assert not seen & set(domain.processors)
+            seen |= set(domain.processors)
+        assert seen == set(range(machine.num_hwthreads))
+
+    def test_render(self):
+        text = render_numa(probe_numa(create_machine("westmere_ep")))
+        assert "NUMA domains: 2" in text
+        assert "Memory: 12288 MB" in text
+        assert "Distances: 10 21" in text
+
+
+class TestAffinityDomains:
+    SPEC = get_arch("westmere_ep")
+
+    def test_domain_catalog(self):
+        domains = affinity_domains(self.SPEC)
+        assert set(domains) == {"N", "S0", "S1", "C0", "C1", "M0", "M1"}
+
+    def test_socket_domain_core_major(self):
+        domains = affinity_domains(self.SPEC)
+        # Physical cores first, then the SMT siblings.
+        assert domains["S0"] == [0, 1, 2, 3, 4, 5,
+                                 12, 13, 14, 15, 16, 17]
+
+    def test_node_domain_covers_cores_first(self):
+        domains = affinity_domains(self.SPEC)
+        assert domains["N"][:12] == list(range(12))
+
+    def test_cache_domain_equals_socket_on_westmere(self):
+        # Westmere's L3 is socket-wide, so C domains == S domains.
+        domains = affinity_domains(self.SPEC)
+        assert domains["C0"] == domains["S0"]
+        assert domains["C1"] == domains["S1"]
+
+    def test_cache_domains_on_core2(self):
+        # Core 2 Quad: L2 shared by core pairs -> two cache domains.
+        spec = get_arch("core2")
+        domains = affinity_domains(spec)
+        assert domains["C0"] == [0, 1]
+        assert domains["C1"] == [2, 3]
+
+    def test_memory_domain_matches_numa(self):
+        domains = affinity_domains(self.SPEC)
+        assert set(domains["M1"]) == \
+            set(self.SPEC.hwthreads_of_numa_domain(1))
+
+
+class TestExpressions:
+    SPEC = get_arch("westmere_ep")
+
+    def test_plain_list_is_physical(self):
+        assert resolve_affinity_expression(self.SPEC, "0-3") == [0, 1, 2, 3]
+
+    def test_socket_logical(self):
+        assert resolve_affinity_expression(self.SPEC, "S1:0-3") == \
+            [6, 7, 8, 9]
+
+    def test_node_logical_skips_smt(self):
+        cpus = resolve_affinity_expression(self.SPEC, "N:0-11")
+        assert cpus == list(range(12))   # all physical cores, no SMT
+
+    def test_memory_domain_selection(self):
+        assert resolve_affinity_expression(self.SPEC, "M0:0,2") == [0, 2]
+
+    def test_unknown_domain(self):
+        with pytest.raises(AffinityError, match="unknown affinity domain"):
+            resolve_affinity_expression(self.SPEC, "X0:0-1")
+
+    def test_logical_id_out_of_range(self):
+        with pytest.raises(AffinityError, match="beyond domain"):
+            resolve_affinity_expression(self.SPEC, "S0:0-12")
+
+    def test_pin_tool_accepts_domains(self):
+        from repro.core.pin import LikwidPin
+        from repro.oskern.scheduler import OSKernel
+        kernel = OSKernel(create_machine("westmere_ep"), seed=0)
+        process = LikwidPin(kernel).launch("S1:0-3", thread_type="posix")
+        assert process.cpus == [6, 7, 8, 9]
+        assert kernel.sched_getaffinity(process.master.tid) == frozenset({6})

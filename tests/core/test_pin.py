@@ -1,0 +1,103 @@
+"""Tests for likwid-pin: launch semantics and the paper's pathologies."""
+
+import pytest
+
+from repro.core.pin import LikwidPin
+from repro.errors import AffinityError
+from repro.hw.arch import create_machine
+from repro.oskern.scheduler import OSKernel
+from repro.oskern.threads import ThreadKind
+
+
+@pytest.fixture
+def kernel():
+    return OSKernel(create_machine("westmere_ep"), seed=0)
+
+
+class TestLaunch:
+    def test_master_pinned_and_env_exported(self, kernel):
+        pin = LikwidPin(kernel)
+        process = pin.launch("0-3", thread_type="intel")
+        assert kernel.sched_getaffinity(process.master.tid) == frozenset({0})
+        assert kernel.env["LIKWID_PIN"] == "0,1,2,3"
+        assert kernel.env["LIKWID_SKIP"] == "0x1"
+
+    def test_kmp_affinity_disabled_automatically(self, kernel):
+        """Paper §II.C: 'The current version of LIKWID does this
+        automatically.'"""
+        kernel.env["KMP_AFFINITY"] = "scatter"
+        LikwidPin(kernel).launch("0-3")
+        assert kernel.env["KMP_AFFINITY"] == "disabled"
+
+    def test_invalid_corelist_rejected(self, kernel):
+        with pytest.raises(AffinityError):
+            LikwidPin(kernel).launch("0-99")
+
+    def test_explicit_skip_overrides_type(self, kernel):
+        process = LikwidPin(kernel).launch("0-7", thread_type="intel",
+                                           skip=0x3)
+        assert process.skip_mask == 0x3
+
+
+class TestIntelOpenMPPinning:
+    """The paper's canonical example: OMP_NUM_THREADS=4,
+    likwid-pin -c 0-3 -t intel ./a.out."""
+
+    def _launch_team(self, kernel, corelist, thread_type):
+        from repro.oskern.openmp import OpenMPRuntime
+        pin = LikwidPin(kernel)
+        process = pin.launch(corelist, thread_type=thread_type)
+        runtime = OpenMPRuntime(kernel, "intel" if thread_type == "intel"
+                                else "gnu")
+        team = runtime.spawn_team(4, master=process.master)
+        kernel.place_all()
+        return process, team
+
+    def test_shepherd_unpinned_workers_on_cores(self, kernel):
+        process, team = self._launch_team(kernel, "0-3", "intel")
+        shepherd = team.created[0]
+        assert shepherd.kind is ThreadKind.SHEPHERD
+        assert kernel.sched_getaffinity(shepherd.tid) == kernel.all_cpus
+        compute_cpus = sorted(t.hwthread for t in team.compute_threads)
+        assert compute_cpus == [0, 1, 2, 3]
+
+    def test_gcc_team_pins_without_skip(self, kernel):
+        _process, team = self._launch_team(kernel, "0-3", "gnu")
+        compute_cpus = sorted(t.hwthread for t in team.compute_threads)
+        assert compute_cpus == [0, 1, 2, 3]
+
+    def test_wrong_mask_pathology(self, kernel):
+        """Forgetting -t intel pins the shepherd and shifts every
+        worker, stacking two compute threads on one core — the
+        mis-pinning pathology the paper warns about."""
+        from repro.oskern.openmp import OpenMPRuntime
+        pin = LikwidPin(kernel)
+        process = pin.launch("0-3", skip=0x0)   # WRONG for Intel OpenMP
+        team = OpenMPRuntime(kernel, "intel").spawn_team(4,
+                                                         master=process.master)
+        kernel.place_all()
+        compute_cpus = [t.hwthread for t in team.compute_threads]
+        # The shepherd consumed core 1; workers shifted and one wrapped
+        # around onto the master's core.
+        assert sorted(compute_cpus) != [0, 1, 2, 3]
+        assert len(set(compute_cpus)) < 4   # oversubscription happened
+
+
+class TestVerify:
+    def test_verify_reports_placements(self, kernel):
+        pin = LikwidPin(kernel)
+        process = pin.launch("2,4,6", thread_type="posix")
+        kernel.pthread_create()
+        kernel.pthread_create()
+        placements = pin.verify(process)
+        assert sorted(placements.values()) == [2, 4, 6]
+
+    def test_verify_rejects_unpinned(self, kernel):
+        pin = LikwidPin(kernel)
+        process = pin.launch("0,1", skip=0x1)
+        kernel.pthread_create()   # skipped -> unpinned
+        process.overlay.pinned_tids.append(
+            kernel.pthread_create().tid)  # forge an unpinned entry
+        kernel.threads[process.overlay.pinned_tids[-1]].affinity = None
+        with pytest.raises(AffinityError, match="not pinned"):
+            pin.verify(process)

@@ -1,0 +1,104 @@
+"""Tests for the timer API and the multi-core statistics table."""
+
+import pytest
+
+from repro.core.timer import Timer
+from repro.errors import CounterError
+from repro.hw.arch import create_machine
+from repro.hw.events import Channel
+
+
+class TestTimer:
+    def test_measures_simulated_time(self):
+        machine = create_machine("westmere_ep")
+        timer = Timer(machine)
+        data = timer.timer_start()
+        machine.apply_counts({}, elapsed_seconds=0.125)
+        timer.timer_stop(data)
+        assert timer.timer_print(data) == pytest.approx(0.125, rel=1e-6)
+        assert timer.timer_print_cycles(data) == int(0.125 * 2.93e9)
+
+    def test_tsc_is_node_global(self):
+        machine = create_machine("westmere_ep")
+        t0 = Timer(machine, cpu=0)
+        t5 = Timer(machine, cpu=5)
+        d0 = t0.timer_start()
+        d5 = t5.timer_start()
+        machine.apply_counts({}, elapsed_seconds=0.01)
+        t0.timer_stop(d0)
+        t5.timer_stop(d5)
+        assert d0.cycles == d5.cycles
+
+    def test_zero_interval(self):
+        machine = create_machine("core2")
+        timer = Timer(machine)
+        data = timer.timer_stop(timer.timer_start())
+        assert data.cycles == 0
+
+    def test_backwards_tsc_rejected(self):
+        machine = create_machine("core2")
+        timer = Timer(machine)
+        data = timer.timer_start()
+        data.start += 1000  # corrupt
+        with pytest.raises(CounterError, match="backwards"):
+            timer.timer_stop(data)
+
+    def test_clock_query(self):
+        assert Timer(create_machine("nehalem_ep")).get_cpu_clock() == 2.66e9
+
+    def test_consistent_with_marker_runtime(self):
+        """Timer seconds == perfctr's cycle-derived Runtime metric."""
+        from repro.core.perfctr import LikwidPerfCtr
+        machine = create_machine("core2")
+        timer = Timer(machine)
+        perfctr = LikwidPerfCtr(machine)
+        data = timer.timer_start()
+        result = perfctr.wrap(
+            [0], "FLOPS_DP",
+            lambda: machine.apply_counts(
+                {0: {Channel.CORE_CYCLES: 2.83e9 * 0.25,
+                     Channel.INSTRUCTIONS: 1e6}},
+                elapsed_seconds=0.25))
+        timer.timer_stop(data)
+        assert timer.timer_print(data) == pytest.approx(
+            result.metric(0, "Runtime [s]"), rel=1e-6)
+
+
+class TestStatisticsTable:
+    def test_sum_min_max_avg(self):
+        from repro.core.perfctr import LikwidPerfCtr
+        from repro.core.perfctr.output import render_statistics_table
+        machine = create_machine("nehalem_ep")
+        perfctr = LikwidPerfCtr(machine)
+        result = perfctr.wrap(
+            [0, 1], "L1D_REPL:PMC0",
+            lambda: machine.apply_counts(
+                {0: {Channel.L1D_REPLACEMENT: 10},
+                 1: {Channel.L1D_REPLACEMENT: 30}}))
+        table = render_statistics_table(result)
+        assert "| L1D_REPL" in table
+        assert "| 40 " in table     # sum
+        assert "| 10 " in table     # min
+        assert "| 30 " in table     # max
+        assert "| 20 " in table     # avg
+
+    def test_single_core_has_no_statistics(self):
+        from repro.core.perfctr import LikwidPerfCtr
+        from repro.core.perfctr.output import (render_result,
+                                               render_statistics_table)
+        machine = create_machine("nehalem_ep")
+        perfctr = LikwidPerfCtr(machine)
+        result = perfctr.wrap([0], "L1D_REPL:PMC0", lambda: None)
+        assert render_statistics_table(result) == ""
+        assert "Sum" not in render_result(machine, result)
+
+    def test_full_report_includes_statistics(self):
+        from repro.core.perfctr import LikwidPerfCtr
+        from repro.core.perfctr.output import render_result
+        machine = create_machine("nehalem_ep")
+        perfctr = LikwidPerfCtr(machine)
+        result = perfctr.wrap([0, 1, 2], "L1D_REPL:PMC0", lambda: None)
+        text = render_result(machine, result)
+        assert "Sum" in text and "Avg" in text
+        assert "Sum" not in render_result(machine, result,
+                                          statistics=False)

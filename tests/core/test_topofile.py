@@ -1,0 +1,75 @@
+"""Tests for topology config files (probe once, read forever)."""
+
+import pytest
+
+from repro.core.topofile import read_topofile, write_topofile
+from repro.core.topology import probe_topology, render_topology
+from repro.errors import TopologyError
+from repro.hw.arch import ARCH_SPECS, create_machine
+
+
+class TestTopofile:
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_roundtrip_every_arch(self, arch, tmp_path):
+        machine = create_machine(arch)
+        path = write_topofile(machine, tmp_path / "topo.xml")
+        loaded, numa = read_topofile(path)
+        probed = probe_topology(machine)
+        assert loaded.num_hwthreads == probed.num_hwthreads
+        assert [(t.hwthread, t.core_id, t.socket_id)
+                for t in loaded.threads] == \
+            [(t.hwthread, t.core_id, t.socket_id) for t in probed.threads]
+        assert numa.num_domains == machine.spec.num_numa_domains
+
+    def test_loaded_topology_renders_identically(self, tmp_path):
+        """Modulo the re-measured clock, the cached report equals the
+        probed one — the point of the cache."""
+        machine = create_machine("westmere_ep")
+        path = write_topofile(machine, tmp_path / "t.xml")
+        loaded, _numa = read_topofile(path)
+        probed = probe_topology(machine)
+        loaded_text = render_topology(loaded).splitlines()
+        probed_text = render_topology(probed).splitlines()
+        # Skip the clock line (measured vs cached float formatting).
+        assert [l for l in loaded_text if not l.startswith("CPU clock")] == \
+            [l for l in probed_text if not l.startswith("CPU clock")]
+
+    def test_cache_groups_preserved(self, tmp_path):
+        machine = create_machine("westmere_ep")
+        path = write_topofile(machine, tmp_path / "t.xml")
+        loaded, _ = read_topofile(path)
+        l3 = next(c for c in loaded.caches if c.level == 3)
+        assert l3.groups[0][:4] == [0, 12, 1, 13]
+        assert not l3.inclusive
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TopologyError, match="no topology file"):
+            read_topofile(tmp_path / "nope.xml")
+
+    def test_malformed_file(self, tmp_path):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("this is not xml <")
+        with pytest.raises(TopologyError, match="malformed"):
+            read_topofile(bad)
+
+    def test_wrong_document_type(self, tmp_path):
+        bad = tmp_path / "other.xml"
+        bad.write_text("<measurement/>")
+        with pytest.raises(TopologyError, match="not a topology file"):
+            read_topofile(bad)
+
+    def test_no_hardware_access_on_read(self, tmp_path):
+        """Reading the file must not touch CPUID — the whole point on
+        restricted machines."""
+        machine = create_machine("core2")
+        path = write_topofile(machine, tmp_path / "t.xml")
+        calls = {"n": 0}
+        original = machine.cpuid
+
+        def counting(hw, leaf, subleaf=0):
+            calls["n"] += 1
+            return original(hw, leaf, subleaf)
+
+        machine.cpuid = counting
+        read_topofile(path)
+        assert calls["n"] == 0

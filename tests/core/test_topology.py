@@ -1,0 +1,140 @@
+"""Tests for likwid-topology: the CPUID decode path must reconstruct
+every machine spec exactly, including the paper's Westmere listing."""
+
+import pytest
+
+from repro.hw.arch import ARCH_SPECS, create_machine, get_arch
+from repro.core.topology import measure_clock, probe_topology, render_topology
+
+
+@pytest.fixture(scope="module")
+def westmere_topology():
+    return probe_topology(create_machine("westmere_ep"))
+
+
+class TestDecodeMatchesSpec:
+    """The decoder sees only CPUID registers; its output must equal the
+    spec the registers were encoded from — for every architecture."""
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_shape(self, arch):
+        spec = get_arch(arch)
+        topo = probe_topology(create_machine(arch))
+        assert topo.num_sockets == spec.sockets
+        assert topo.cores_per_socket == spec.cores_per_socket
+        assert topo.threads_per_core == spec.threads_per_core
+        assert topo.num_hwthreads == spec.num_hwthreads
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_per_thread_rows(self, arch):
+        spec = get_arch(arch)
+        topo = probe_topology(create_machine(arch))
+        for entry in topo.threads:
+            socket, core_index, smt = spec.hwthread_location(entry.hwthread)
+            assert entry.socket_id == socket
+            assert entry.core_id == spec.core_ids[core_index]
+            assert entry.thread_id == smt
+            assert entry.apic_id == spec.apic_id(entry.hwthread)
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_data_caches_decoded(self, arch):
+        spec = get_arch(arch)
+        topo = probe_topology(create_machine(arch))
+        decoded = {(c.level, c.type): c for c in topo.caches}
+        for cache in spec.caches:
+            d = decoded[(cache.level, cache.type)]
+            assert d.size == cache.size
+            assert d.associativity == cache.associativity
+            assert d.line_size == cache.line_size
+
+    def test_cpu_name_from_brand_string(self, westmere_topology):
+        assert "Westmere" in westmere_topology.cpu_name
+
+    def test_clock_measured_from_tsc(self):
+        machine = create_machine("westmere_ep")
+        clock = measure_clock(machine)
+        assert clock == pytest.approx(2.93e9, rel=0.01)
+
+
+class TestWestmereListing:
+    """The paper's §II.B listing, field by field."""
+
+    def test_sparse_core_ids(self, westmere_topology):
+        socket0 = [t for t in westmere_topology.threads
+                   if t.socket_id == 0 and t.thread_id == 0]
+        assert [t.core_id for t in socket0] == [0, 1, 2, 8, 9, 10]
+
+    def test_socket_line(self, westmere_topology):
+        assert westmere_topology.socket_members(0) == \
+            [0, 12, 1, 13, 2, 14, 3, 15, 4, 16, 5, 17]
+        assert westmere_topology.socket_members(1) == \
+            [6, 18, 7, 19, 8, 20, 9, 21, 10, 22, 11, 23]
+
+    def test_hwthread_3_is_core_8(self, westmere_topology):
+        entry = next(t for t in westmere_topology.threads if t.hwthread == 3)
+        assert (entry.thread_id, entry.core_id, entry.socket_id) == (0, 8, 0)
+
+    def test_l1_groups(self, westmere_topology):
+        l1 = next(c for c in westmere_topology.caches
+                  if c.level == 1 and c.type == "Data cache")
+        assert l1.groups[:2] == [[0, 12], [1, 13]]
+        assert len(l1.groups) == 12
+
+    def test_l3_groups_are_sockets(self, westmere_topology):
+        l3 = next(c for c in westmere_topology.caches if c.level == 3)
+        assert l3.groups == [
+            [0, 12, 1, 13, 2, 14, 3, 15, 4, 16, 5, 17],
+            [6, 18, 7, 19, 8, 20, 9, 21, 10, 22, 11, 23]]
+        assert not l3.inclusive
+        assert l3.threads_sharing == 12
+
+    def test_rendered_listing_contains_paper_lines(self, westmere_topology):
+        text = render_topology(westmere_topology)
+        for line in [
+            "Sockets:\t\t2",
+            "Cores per socket:\t6",
+            "Threads per core:\t2",
+            "Socket 0: ( 0 12 1 13 2 14 3 15 4 16 5 17 )",
+            "Size:\t12 MB",
+            "Number of sets:\t12288",
+            "Non Inclusive cache",
+            "Shared among 12 threads",
+        ]:
+            assert line in text, f"missing: {line!r}"
+
+    def test_render_without_caches(self, westmere_topology):
+        text = render_topology(westmere_topology, caches=False)
+        assert "Cache Topology" not in text
+
+    def test_instruction_caches_omitted_from_render(self, westmere_topology):
+        text = render_topology(westmere_topology)
+        assert "Instruction cache" not in text
+
+
+class TestLegacyDecoders:
+    def test_pentium_m_via_leaf2(self):
+        topo = probe_topology(create_machine("pentium_m"))
+        l2 = next(c for c in topo.caches if c.level == 2)
+        assert l2.size == 2 * 1024 * 1024
+        assert topo.num_sockets == 1
+        assert topo.threads_per_core == 1
+
+    def test_core2_via_leaf1_and_leaf4(self):
+        topo = probe_topology(create_machine("core2"))
+        assert topo.cores_per_socket == 4
+        assert topo.threads_per_core == 1
+        l2 = next(c for c in topo.caches if c.level == 2)
+        assert l2.threads_sharing == 2   # shared core pairs
+
+    def test_atom_smt(self):
+        topo = probe_topology(create_machine("atom"))
+        assert topo.threads_per_core == 2
+        assert topo.cores_per_socket == 1
+
+    def test_amd_istanbul_l3(self):
+        topo = probe_topology(create_machine("amd_istanbul"))
+        l3 = next(c for c in topo.caches if c.level == 3)
+        assert l3.size == 6 * 1024 * 1024
+        assert l3.associativity == 48
+        assert l3.threads_sharing == 6
+        assert l3.groups[0] == [0, 1, 2, 3, 4, 5]

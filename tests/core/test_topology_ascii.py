@@ -1,0 +1,46 @@
+"""Tests for the ASCII-art topology diagram (likwid-topology -g)."""
+
+import pytest
+
+from repro.core.topology import probe_topology
+from repro.core.topology_ascii import render_ascii
+from repro.hw.arch import ARCH_SPECS, create_machine
+
+
+class TestAsciiArt:
+    def test_westmere_socket_contents(self):
+        topo = probe_topology(create_machine("westmere_ep"))
+        art = render_ascii(topo, socket=0)
+        # Core boxes list the SMT pairs of the paper's listing.
+        assert "0 12" in art
+        assert "5 17" in art
+        # Cache size labels per level.
+        assert "32 kB" in art
+        assert "256 kB" in art
+        assert "12 MB" in art
+
+    def test_one_l3_box_spans_socket(self):
+        topo = probe_topology(create_machine("westmere_ep"))
+        art = render_ascii(topo, socket=0)
+        assert art.count("12 MB") == 1
+        assert art.count("256 kB") == 6
+
+    def test_all_sockets_rendered_by_default(self):
+        topo = probe_topology(create_machine("westmere_ep"))
+        art = render_ascii(topo)
+        assert art.count("12 MB") == 2
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_renders_on_every_arch(self, arch):
+        topo = probe_topology(create_machine(arch))
+        art = render_ascii(topo)
+        assert art.startswith("+")
+        # Balanced frame: every line starts/ends with | or +.
+        for line in art.splitlines():
+            assert line[0] in "+|" and line[-1] in "+|"
+
+    def test_lines_have_consistent_width_per_socket(self):
+        topo = probe_topology(create_machine("nehalem_ep"))
+        art = render_ascii(topo, socket=0)
+        widths = {len(line) for line in art.splitlines()}
+        assert len(widths) == 1

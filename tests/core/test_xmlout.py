@@ -1,0 +1,118 @@
+"""Tests for XML serialisation of tool results."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.numa import probe_numa
+from repro.core.perfctr import LikwidPerfCtr
+from repro.core.topology import probe_topology
+from repro.core.xmlout import (measurement_to_xml, parse_topology_xml,
+                               topology_to_xml)
+from repro.hw.arch import ARCH_SPECS, create_machine
+from repro.hw.events import Channel
+
+
+class TestTopologyXml:
+    @pytest.fixture(scope="class")
+    def xml_text(self):
+        machine = create_machine("westmere_ep")
+        return topology_to_xml(probe_topology(machine), probe_numa(machine))
+
+    def test_well_formed(self, xml_text):
+        root = ET.fromstring(xml_text)
+        assert root.tag == "topology"
+
+    def test_layout_attributes(self, xml_text):
+        root = ET.fromstring(xml_text)
+        layout = root.find("layout")
+        assert layout.get("sockets") == "2"
+        assert layout.get("cores_per_socket") == "6"
+        assert len(layout.findall("hwthread")) == 24
+
+    def test_sparse_core_ids_serialised(self, xml_text):
+        root = ET.fromstring(xml_text)
+        cores = {el.get("core") for el in root.find("layout")}
+        assert "8" in cores and "10" in cores
+
+    def test_cache_groups(self, xml_text):
+        root = ET.fromstring(xml_text)
+        l3 = [c for c in root.find("caches") if c.get("level") == "3"][0]
+        assert l3.get("inclusive") == "false"
+        groups = [g.text for g in l3.findall("group")]
+        assert groups[0].startswith("0 12 1 13")
+
+    def test_numa_section(self, xml_text):
+        root = ET.fromstring(xml_text)
+        numa = root.find("numa")
+        assert numa.get("domains") == "2"
+        domain0 = numa[0]
+        assert domain0.find("distances").text == "10 21"
+
+    def test_instruction_caches_omitted(self, xml_text):
+        root = ET.fromstring(xml_text)
+        types = {c.get("type") for c in root.find("caches")}
+        assert "Instruction cache" not in types
+
+    def test_roundtrip_parse(self, xml_text):
+        data = parse_topology_xml(xml_text)
+        assert data["sockets"] == 2
+        assert len(data["hwthreads"]) == 24
+        assert data["numa_domains"][1]["processors"][0] == 6
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_every_arch_serialises(self, arch):
+        machine = create_machine(arch)
+        text = topology_to_xml(probe_topology(machine), probe_numa(machine))
+        assert ET.fromstring(text).tag == "topology"
+
+
+class TestMeasurementXml:
+    @pytest.fixture(scope="class")
+    def result(self):
+        machine = create_machine("nehalem_ep")
+        perfctr = LikwidPerfCtr(machine)
+        return perfctr.wrap(
+            [0, 1], "FLOPS_DP",
+            lambda: machine.apply_counts(
+                {0: {Channel.FLOPS_PACKED_DP: 100,
+                     Channel.INSTRUCTIONS: 400,
+                     Channel.CORE_CYCLES: 800},
+                 1: {Channel.FLOPS_PACKED_DP: 200,
+                     Channel.INSTRUCTIONS: 400,
+                     Channel.CORE_CYCLES: 800}}))
+
+    def test_events_and_metrics(self, result):
+        root = ET.fromstring(measurement_to_xml(result,
+                                                group_name="FLOPS_DP"))
+        assert root.get("group") == "FLOPS_DP"
+        cpu0 = root.find("cpu[@id='0']")
+        event = cpu0.find("event[@name='FP_COMP_OPS_EXE_SSE_FP_PACKED']")
+        assert event.get("count") == "100"
+        metric = cpu0.find("metric[@name='CPI']")
+        assert float(metric.get("value")) == 2.0
+
+    def test_region_attribute(self, result):
+        root = ET.fromstring(measurement_to_xml(result, region="Main"))
+        assert root.get("region") == "Main"
+
+    def test_per_cpu_isolation(self, result):
+        root = ET.fromstring(measurement_to_xml(result))
+        cpu1 = root.find("cpu[@id='1']")
+        assert cpu1.find(
+            "event[@name='FP_COMP_OPS_EXE_SSE_FP_PACKED']").get("count") == "200"
+
+
+class TestCliXml:
+    def test_topology_xml_flag(self, capsys):
+        from repro.cli.topology_cmd import main
+        assert main(["--xml", "--arch", "atom"]) == 0
+        out = capsys.readouterr().out
+        assert ET.fromstring(out).get("vendor") == "GenuineIntel"
+
+    def test_perfctr_xml_flag(self, capsys):
+        from repro.cli.perfctr_cmd import main
+        rc = main(["-c", "0", "-g", "FLOPS_DP", "--xml", "sleep",
+                   "--arch", "core2"])
+        assert rc == 0
+        assert ET.fromstring(capsys.readouterr().out).tag == "measurement"

@@ -1,0 +1,71 @@
+"""Unit and property tests for APIC id bit-field handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hw.apic import ApicLayout, field_width, layout_for
+
+
+class TestFieldWidth:
+    @pytest.mark.parametrize("max_value,width", [
+        (0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (10, 4),
+        (15, 4), (16, 5),
+    ])
+    def test_widths(self, max_value, width):
+        assert field_width(max_value) == width
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            field_width(-1)
+
+
+class TestLayout:
+    def test_westmere_layout(self):
+        # 2 SMT threads, core ids up to 10 -> 1 smt bit, 4 core bits.
+        layout = layout_for(1, 10)
+        assert layout.smt_bits == 1
+        assert layout.core_bits == 4
+        assert layout.package_shift == 5
+
+    def test_westmere_sparse_core_encoding(self):
+        layout = layout_for(1, 10)
+        # socket 1, physical core 8, SMT thread 1
+        apic = layout.compose(1, 8, 1)
+        assert apic == (1 << 5) | (8 << 1) | 1
+        assert layout.decompose(apic) == (1, 8, 1)
+
+    def test_single_core_no_smt(self):
+        layout = layout_for(0, 0)
+        assert layout.compose(3, 0, 0) == 3
+        assert layout.decompose(3) == (3, 0, 0)
+
+    def test_core_overflow_rejected(self):
+        layout = ApicLayout(smt_bits=1, core_bits=2)
+        with pytest.raises(ValueError):
+            layout.compose(0, 4, 0)
+
+    def test_smt_overflow_rejected(self):
+        layout = ApicLayout(smt_bits=1, core_bits=2)
+        with pytest.raises(ValueError):
+            layout.compose(0, 0, 2)
+
+
+@given(smt_bits=st.integers(0, 3), core_bits=st.integers(0, 5),
+       package=st.integers(0, 7), data=st.data())
+def test_compose_decompose_roundtrip(smt_bits, core_bits, package, data):
+    """Property: decompose(compose(x)) == x for in-range fields."""
+    layout = ApicLayout(smt_bits, core_bits)
+    core = data.draw(st.integers(0, (1 << core_bits) - 1))
+    smt = data.draw(st.integers(0, (1 << smt_bits) - 1))
+    apic = layout.compose(package, core, smt)
+    assert layout.decompose(apic) == (package, core, smt)
+
+
+@given(st.integers(0, 10_000))
+def test_field_width_is_minimal(max_value):
+    """Property: the width fits max_value and width-1 would not."""
+    w = field_width(max_value)
+    assert max_value < (1 << w)
+    if w > 0:
+        assert max_value >= (1 << (w - 1))

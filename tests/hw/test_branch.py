@@ -1,0 +1,103 @@
+"""Tests for the branch predictor models and the BRANCH group path."""
+
+import pytest
+
+from repro.hw.branch import BimodalPredictor, BranchUnit, GsharePredictor
+from repro.workloads.kernels import (alternating_branches, loop_branches,
+                                     random_branches)
+
+
+def run_outcomes(predictor, outcomes, pc=0x1000):
+    for taken in outcomes:
+        predictor.update(pc, taken)
+    return predictor.stats
+
+
+class TestBimodal:
+    def test_loop_branch_near_perfect(self):
+        stats = run_outcomes(BimodalPredictor(),
+                             [True] * 999 + [False])
+        # One miss at most for warmup plus the loop exit.
+        assert stats.mispredictions <= 2
+        assert stats.branches == 1000
+
+    def test_alternating_defeats_bimodal(self):
+        stats = run_outcomes(BimodalPredictor(),
+                             [bool(i & 1) for i in range(1000)])
+        assert stats.miss_ratio > 0.4
+
+    def test_counters_saturate(self):
+        p = BimodalPredictor(entries=1)
+        for _ in range(10):
+            p.update(0, True)
+        assert p.predict(0)
+        p.update(0, False)     # one not-taken does not flip a strong state
+        assert p.predict(0)
+
+    def test_aliasing_across_entries(self):
+        p = BimodalPredictor(entries=2)
+        # pcs 0x0 and 0x8 map to different entries; 0x0 and 0x10 alias.
+        p.update(0x0, True)
+        p.update(0x8, False)
+        assert p._index(0x0) == p._index(0x10)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=0)
+
+
+class TestGshare:
+    def test_alternating_learned_via_history(self):
+        p = GsharePredictor()
+        stats = run_outcomes(p, [bool(i & 1) for i in range(2000)])
+        assert stats.miss_ratio < 0.1   # history disambiguates
+
+    def test_random_branches_near_chance(self):
+        p = GsharePredictor()
+        for op, pc, taken in random_branches(4000):
+            p.update(pc, bool(taken))
+        assert 0.3 < p.stats.miss_ratio < 0.6
+
+
+class TestBranchTracePath:
+    def test_loop_kernel_low_miss_rate(self):
+        from repro.core.perfctr import LikwidPerfCtr
+        from repro.hw.arch import create_machine
+        from repro.workloads.runner import run_trace
+        machine = create_machine("core2")
+        result = LikwidPerfCtr(machine).wrap(
+            [0], "BRANCH",
+            lambda: run_trace(machine, 0, loop_branches(5000,
+                                                        body_branches=1)))
+        assert result.event(0, "BR_INST_RETIRED_ANY") == 10000
+        assert result.metric(0, "Branch misprediction ratio") < 0.01
+
+    def test_random_kernel_high_miss_rate(self):
+        from repro.core.perfctr import LikwidPerfCtr
+        from repro.hw.arch import create_machine
+        from repro.workloads.runner import run_trace
+        machine = create_machine("core2")
+        result = LikwidPerfCtr(machine).wrap(
+            [0], "BRANCH",
+            lambda: run_trace(machine, 0, random_branches(5000)))
+        assert result.metric(0, "Branch misprediction ratio") > 0.3
+
+    def test_mispredictions_cost_cycles(self):
+        from repro.hw.arch import create_machine
+        from repro.hw.events import Channel
+        from repro.workloads.runner import run_trace
+        machine = create_machine("core2")
+        good = run_trace(machine, 0, loop_branches(4000),
+                         apply_counts=False)
+        bad = run_trace(create_machine("core2"), 0, random_branches(4000),
+                        apply_counts=False)
+        assert bad[Channel.CORE_CYCLES] > 3 * good[Channel.CORE_CYCLES]
+
+    def test_alternating_kernel(self):
+        from repro.hw.arch import create_machine
+        from repro.hw.events import Channel
+        from repro.workloads.runner import run_trace
+        machine = create_machine("core2")
+        ch = run_trace(machine, 0, alternating_branches(2000),
+                       apply_counts=False)
+        assert ch[Channel.BRANCH_MISSES] < 0.1 * ch[Channel.BRANCHES]

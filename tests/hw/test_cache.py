@@ -1,0 +1,212 @@
+"""Unit and property tests for the set-associative cache simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.cache import CacheHierarchy, SetAssocCache
+from repro.hw.events import Channel
+from repro.hw.prefetch import PrefetcherConfig
+from repro.hw.spec import CacheSpec
+
+
+def small_cache(sets=4, ways=2, line=64):
+    return SetAssocCache(CacheSpec(1, "Data cache",
+                                   sets * ways * line, ways, line))
+
+
+def tiny_hierarchy():
+    """A small two-level hierarchy for fast exact tests."""
+    return CacheHierarchy([
+        CacheSpec(1, "Data cache", 4 * 1024, 4, 64),
+        CacheSpec(2, "Unified cache", 32 * 1024, 8, 64),
+    ], PrefetcherConfig.all_off())
+
+
+class TestSetAssocCache:
+    def test_miss_then_hit_after_fill(self):
+        c = small_cache()
+        assert not c.access(0)
+        c.fill(0)
+        assert c.access(0)
+
+    def test_lru_eviction_order(self):
+        c = small_cache(sets=1, ways=2)
+        c.fill(0)
+        c.fill(1)
+        c.access(0)          # 0 becomes MRU
+        victim = c.fill(2)   # evicts 1 (LRU)
+        assert victim == (1, False)
+        assert c.access(0)
+        assert not c.access(1)
+
+    def test_dirty_eviction_reported(self):
+        c = small_cache(sets=1, ways=1)
+        c.fill(0, dirty=True)
+        victim = c.fill(1)
+        assert victim == (0, True)
+        assert c.stats.dirty_evictions == 1
+
+    def test_set_mapping(self):
+        c = small_cache(sets=4, ways=1)
+        # Lines 0 and 4 map to set 0; 1 maps to set 1.
+        c.fill(0)
+        c.fill(1)
+        assert c.fill(4) == (0, False)
+        assert c.access(1)
+
+    def test_fill_existing_line_merges_dirty(self):
+        c = small_cache()
+        c.fill(3, dirty=False)
+        assert c.fill(3, dirty=True) is None
+        victim = None
+        # Force eviction of line 3 by filling its set beyond capacity.
+        for line in (7, 11):
+            v = c.fill(line)
+            victim = victim or v
+        assert victim == (3, True)
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.fill(5)
+        assert c.invalidate(5)
+        assert not c.invalidate(5)
+        assert not c.access(5)
+
+    def test_stats_counts(self):
+        c = small_cache()
+        c.access(0)
+        c.fill(0)
+        c.access(0)
+        assert c.stats.accesses == 2
+        assert c.stats.misses == 1
+        assert c.stats.hits == 1
+        assert c.stats.miss_rate == 0.5
+
+    def test_contents(self):
+        c = small_cache()
+        c.fill(1)
+        c.fill(9)
+        assert c.contents() == {1, 9}
+
+
+class TestHierarchyExactTraffic:
+    def test_streaming_reads_miss_once_per_line(self):
+        h = tiny_hierarchy()
+        n = 512  # 512 loads x 8 B = 64 lines
+        for i in range(n):
+            h.load(i * 8)
+        assert h.loads == n
+        assert h.levels[0].stats.misses == n // 8
+        assert h.dram_reads == n // 8
+
+    def test_repeat_sweep_hits_in_cache(self):
+        h = tiny_hierarchy()
+        for _ in range(3):
+            for i in range(256):   # 2 KB working set < 4 KB L1
+                h.load(i * 8)
+        # Only the first sweep misses.
+        assert h.levels[0].stats.misses == 256 // 8
+
+    def test_store_write_allocate(self):
+        h = tiny_hierarchy()
+        for i in range(64):
+            h.store(i * 8)
+        # Write-allocate reads every line from memory once.
+        assert h.dram_reads == 8
+        assert h.stores == 64
+
+    def test_nontemporal_store_bypasses(self):
+        h = tiny_hierarchy()
+        for i in range(64):
+            h.store(i * 8, nontemporal=True)
+        assert h.dram_reads == 0
+        assert h.dram_writes == 8   # 64 x 8 B = 8 lines
+        assert h.nt_stores == 64
+        assert h.levels[0].stats.lines_in == 0
+
+    def test_nt_store_invalidates_cached_copy(self):
+        h = tiny_hierarchy()
+        h.load(0)
+        assert h.levels[0].lookup(0, touch=False)
+        h.store(0, nontemporal=True)
+        assert not h.levels[0].lookup(0, touch=False)
+
+    def test_dirty_writeback_reaches_memory(self):
+        h = tiny_hierarchy()
+        l2_lines = h.levels[1].num_sets * h.levels[1].ways
+        # Write far more lines than L2 holds; dirty lines must reach DRAM.
+        for i in range(l2_lines * 3):
+            h.store(i * 64)
+        assert h.dram_writes > 0
+
+    def test_l1_hit_causes_no_l2_traffic(self):
+        h = tiny_hierarchy()
+        h.load(0)
+        l2_before = h.levels[1].stats.accesses
+        h.load(8)  # same line
+        assert h.levels[1].stats.accesses == l2_before
+
+    def test_channels_reflect_stats(self):
+        h = tiny_hierarchy()
+        for i in range(128):
+            h.load(i * 8)
+        ch = h.channels()
+        assert ch[Channel.LOADS] == 128
+        assert ch[Channel.L1D_REPLACEMENT] == h.levels[0].stats.lines_in
+        assert ch[Channel.L2_LINES_IN] == h.levels[1].stats.lines_in
+        assert ch[Channel.DRAM_READS] == h.dram_reads
+
+    def test_requires_data_cache(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([CacheSpec(1, "Instruction cache", 1024, 2, 64)])
+
+
+class TestInclusionAndWriteback:
+    def test_fill_populates_all_levels(self):
+        h = tiny_hierarchy()
+        h.load(0)
+        assert h.levels[0].lookup(0, touch=False)
+        assert h.levels[1].lookup(0, touch=False)
+
+    def test_l1_victim_dirty_goes_to_l2_not_memory(self):
+        h = tiny_hierarchy()
+        # L1: 4 KB, 4-way, 16 sets. Fill set 0 with 5 dirty lines.
+        for i in range(5):
+            h.store(i * 16 * 64)   # all map to L1 set 0
+        assert h.dram_writes == 0  # victims absorbed by L2
+        assert h.levels[0].stats.dirty_evictions == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300),
+       ways=st.integers(1, 4))
+def test_cache_never_exceeds_capacity(addresses, ways):
+    """Property: resident lines never exceed sets x ways, and every
+    access is classified as exactly one of hit/miss."""
+    c = SetAssocCache(CacheSpec(1, "Data cache", 8 * ways * 64, ways, 64))
+    for addr in addresses:
+        line = addr // 64
+        if not c.access(line):
+            c.fill(line)
+        assert len(c.contents()) <= c.num_sets * c.ways
+    assert c.stats.hits + c.stats.misses == c.stats.accesses
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from("LSN"),
+                              st.integers(0, 1 << 14)),
+                    min_size=1, max_size=200))
+def test_hierarchy_conservation(ops):
+    """Property: DRAM reads equal outermost-level demand+prefetch fills,
+    and op counters add up."""
+    h = tiny_hierarchy()
+    for op, addr in ops:
+        if op == "L":
+            h.load(addr)
+        elif op == "S":
+            h.store(addr)
+        else:
+            h.store(addr, nontemporal=True)
+    assert h.dram_reads == h.levels[-1].stats.lines_in
+    assert h.loads + h.stores + h.nt_stores == len(ops)

@@ -1,0 +1,198 @@
+"""Unit tests for the CPUID encoder (leaves, signatures, vendor)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CpuidError
+from repro.hw.arch import ARCH_SPECS, get_arch
+from repro.hw.cpuid import (CpuidEngine, decode_signature, encode_signature)
+
+
+@pytest.fixture
+def westmere():
+    return CpuidEngine(get_arch("westmere_ep"))
+
+
+@pytest.fixture
+def istanbul():
+    return CpuidEngine(get_arch("amd_istanbul"))
+
+
+class TestSignature:
+    @pytest.mark.parametrize("family,model,stepping", [
+        (6, 0x17, 6),    # Core 2 Penryn
+        (6, 0x2C, 2),    # Westmere
+        (6, 0x1A, 5),    # Nehalem
+        (0xF, 0x21, 2),  # AMD K8
+        (0x10, 0x08, 0), # AMD K10
+        (6, 0x0D, 6),    # Pentium M
+    ])
+    def test_roundtrip(self, family, model, stepping):
+        eax = encode_signature(family, model, stepping)
+        assert decode_signature(eax) == (family, model, stepping)
+
+    def test_extended_family_encoding(self):
+        # K10: family 0x10 = base 0xF + extended 0x01.
+        eax = encode_signature(0x10, 0x08, 0)
+        assert (eax >> 8) & 0xF == 0xF
+        assert (eax >> 20) & 0xFF == 0x1
+
+    def test_extended_model_for_family6(self):
+        eax = encode_signature(6, 0x2C, 2)
+        assert (eax >> 4) & 0xF == 0xC
+        assert (eax >> 16) & 0xF == 0x2
+
+
+class TestLeaf0:
+    def test_intel_vendor_string(self, westmere):
+        r = westmere.cpuid(0, 0)
+        raw = (r.ebx.to_bytes(4, "little") + r.edx.to_bytes(4, "little")
+               + r.ecx.to_bytes(4, "little"))
+        assert raw == b"GenuineIntel"
+
+    def test_amd_vendor_string(self, istanbul):
+        r = istanbul.cpuid(0, 0)
+        raw = (r.ebx.to_bytes(4, "little") + r.edx.to_bytes(4, "little")
+               + r.ecx.to_bytes(4, "little"))
+        assert raw == b"AuthenticAMD"
+
+    def test_max_leaf_per_style(self):
+        assert CpuidEngine(get_arch("westmere_ep")).cpuid(0, 0).eax == 0xB
+        assert CpuidEngine(get_arch("core2")).cpuid(0, 0).eax == 0xA
+        assert CpuidEngine(get_arch("pentium_m")).cpuid(0, 0).eax == 0x2
+        assert CpuidEngine(get_arch("amd_istanbul")).cpuid(0, 0).eax == 0x1
+
+
+class TestLeaf1:
+    def test_htt_flag_set_on_multicore(self, westmere):
+        assert westmere.cpuid(0, 1).edx & (1 << 28)
+
+    def test_htt_flag_clear_on_single_thread(self):
+        pm = CpuidEngine(get_arch("pentium_m"))
+        assert not pm.cpuid(0, 1).edx & (1 << 28)
+
+    def test_apic_id_in_ebx(self, westmere):
+        spec = get_arch("westmere_ep")
+        for hw in (0, 3, 12, 23):
+            ebx = westmere.cpuid(hw, 1).ebx
+            assert (ebx >> 24) & 0xFF == spec.apic_id(hw)
+
+    def test_feature_flags(self, westmere):
+        r = westmere.cpuid(0, 1)
+        assert r.edx & (1 << 26)   # sse2
+        assert r.ecx & (1 << 20)   # sse4_2
+
+
+class TestLeaf4:
+    def test_cache_parameters_roundtrip(self, westmere):
+        spec = get_arch("westmere_ep")
+        caches = sorted(spec.caches, key=lambda c: (c.level, c.type))
+        for subleaf, cache in enumerate(caches):
+            r = westmere.cpuid(0, 4, subleaf)
+            assert (r.eax >> 5) & 0x7 == cache.level
+            assert (r.ebx & 0xFFF) + 1 == cache.line_size
+            assert ((r.ebx >> 22) & 0x3FF) + 1 == cache.associativity
+            assert r.ecx + 1 == cache.sets
+            assert bool(r.edx & 0x2) == cache.inclusive
+            assert ((r.eax >> 14) & 0xFFF) + 1 == cache.threads_sharing
+
+    def test_terminating_subleaf(self, westmere):
+        r = westmere.cpuid(0, 4, 10)
+        assert r.eax & 0x1F == 0
+
+
+class TestLeaf11:
+    def test_smt_level(self, westmere):
+        r = westmere.cpuid(0, 0xB, 0)
+        assert r.eax & 0x1F == 1          # shift past SMT
+        assert r.ebx == 2                 # 2 threads per core
+        assert (r.ecx >> 8) & 0xFF == 1   # level type SMT
+
+    def test_core_level(self, westmere):
+        r = westmere.cpuid(0, 0xB, 1)
+        assert r.eax & 0x1F == 5          # full package shift (1 + 4)
+        assert r.ebx == 12                # threads per package
+        assert (r.ecx >> 8) & 0xFF == 2
+
+    def test_invalid_level_terminates(self, westmere):
+        r = westmere.cpuid(0, 0xB, 2)
+        assert r.eax == 0 and r.ebx == 0
+        assert (r.ecx >> 8) & 0xFF == 0
+
+    def test_x2apic_id_matches_spec(self, westmere):
+        spec = get_arch("westmere_ep")
+        for hw in range(spec.num_hwthreads):
+            assert westmere.cpuid(hw, 0xB, 0).edx == spec.apic_id(hw)
+
+
+class TestLegacyLeaf2:
+    def test_pentium_m_descriptors(self):
+        engine = CpuidEngine(get_arch("pentium_m"))
+        r = engine.cpuid(0, 2)
+        raw = b"".join(reg.to_bytes(4, "little") for reg in r.as_tuple())
+        assert raw[0] == 0x01  # iteration count
+        assert {0x2C, 0x30, 0x7D} <= set(raw[1:])
+
+
+class TestAmdLeaves:
+    def test_l1_cache(self, istanbul):
+        r = istanbul.cpuid(0, 0x80000005)
+        assert (r.ecx >> 24) & 0xFF == 64    # 64 KB L1d
+        assert (r.ecx >> 16) & 0xFF == 2     # 2-way
+        assert r.ecx & 0xFF == 64            # line size
+
+    def test_l2_l3(self, istanbul):
+        r = istanbul.cpuid(0, 0x80000006)
+        assert (r.ecx >> 16) & 0xFFFF == 512          # 512 KB L2
+        assert ((r.edx >> 18) & 0x3FFF) * 512 == 6144  # 6 MB L3 in KB
+
+    def test_core_count(self, istanbul):
+        r = istanbul.cpuid(0, 0x80000008)
+        assert (r.ecx & 0xFF) + 1 == 6
+
+    def test_extended_leaf_range(self, istanbul):
+        assert istanbul.cpuid(0, 0x80000000).eax == 0x80000008
+
+
+class TestBrandString:
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_brand_string_roundtrip(self, arch):
+        spec = get_arch(arch)
+        engine = CpuidEngine(spec)
+        raw = b""
+        for leaf in (0x80000002, 0x80000003, 0x80000004):
+            r = engine.cpuid(0, leaf)
+            for reg in r.as_tuple():
+                raw += reg.to_bytes(4, "little")
+        assert raw.split(b"\0")[0].decode() == spec.cpu_name[:47]
+
+
+class TestErrors:
+    def test_unsupported_leaf_raises(self, westmere):
+        with pytest.raises(CpuidError, match="unsupported CPUID leaf"):
+            westmere.cpuid(0, 0x15)
+
+    def test_leaf_0xb_unavailable_on_core2(self):
+        engine = CpuidEngine(get_arch("core2"))
+        with pytest.raises(CpuidError):
+            engine.cpuid(0, 0xB)
+
+    def test_amd_has_no_leaf4(self, istanbul):
+        with pytest.raises(CpuidError):
+            istanbul.cpuid(0, 0x4)
+
+
+@given(family=st.sampled_from([5, 6, 0xF, 0x10, 0x15]),
+       model=st.integers(0, 0xFF), stepping=st.integers(0, 0xF))
+def test_signature_roundtrip_property(family, model, stepping):
+    """Property: signature decode inverts encode for families that use
+    the extended-model convention (6 and >= 0xF)."""
+    eax = encode_signature(family, model, stepping)
+    dec_family, dec_model, dec_stepping = decode_signature(eax)
+    assert dec_family == family
+    assert dec_stepping == stepping
+    if family in (6,) or family >= 0xF:
+        assert dec_model == model
+    else:
+        assert dec_model == model & 0xF

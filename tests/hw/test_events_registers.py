@@ -1,0 +1,131 @@
+"""Unit tests for event tables and PERFEVTSEL bit-field helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EventError
+from repro.hw import registers as regs
+from repro.hw.arch import ARCH_SPECS, get_arch
+from repro.hw.events import Channel, CounterScope, EventDef, EventTable
+
+
+class TestEvtselFields:
+    def test_encode_fields(self):
+        v = regs.evtsel_encode(0xCA, 0x04, enable=True)
+        assert regs.evtsel_event(v) == 0xCA
+        assert regs.evtsel_umask(v) == 0x04
+        assert regs.evtsel_enabled(v)
+        assert v & regs.EVTSEL_USR
+        assert v & regs.EVTSEL_OS
+
+    def test_disable(self):
+        v = regs.evtsel_encode(0x10, 0x10, enable=False)
+        assert not regs.evtsel_enabled(v)
+
+    @given(event=st.integers(0, 0xFF), umask=st.integers(0, 0xFF),
+           cmask=st.integers(0, 0xFF))
+    def test_roundtrip_property(self, event, umask, cmask):
+        v = regs.evtsel_encode(event, umask, cmask=cmask)
+        assert regs.evtsel_event(v) == event
+        assert regs.evtsel_umask(v) == umask
+        assert (v >> regs.EVTSEL_CMASK_SHIFT) & 0xFF == cmask
+
+    def test_fixed_ctrl_fields(self):
+        v = regs.fixed_ctr_ctrl_encode(1)
+        assert regs.fixed_ctr_enabled(v, 1)
+        assert not regs.fixed_ctr_enabled(v, 0)
+        assert not regs.fixed_ctr_enabled(v, 2)
+
+    def test_global_ctrl_bits(self):
+        assert regs.global_ctrl_pmc_bit(2) == 0b100
+        assert regs.global_ctrl_fixed_bit(1) == 1 << 33
+
+
+class TestMiscEnableTable:
+    def test_paper_listing_feature_names(self):
+        names = [b.name for b in regs.MISC_ENABLE_BITS]
+        # The 14 features of the paper's likwid-features listing.
+        assert len(names) == 14
+        assert "Adjacent Cache Line Prefetch" in names
+        assert "Intel Enhanced SpeedStep" in names
+
+    def test_only_prefetchers_writable(self):
+        writable = {b.key for b in regs.MISC_ENABLE_BITS if b.writable}
+        assert writable == set(regs.PREFETCHER_KEYS)
+
+    def test_prefetch_bits_inverted(self):
+        for key in regs.PREFETCHER_KEYS:
+            assert regs.MISC_ENABLE_BY_KEY[key].invert
+
+
+class TestEventTable:
+    def test_lookup_known_event(self):
+        table = get_arch("westmere_ep").events
+        ev = table.lookup("UNC_L3_LINES_IN_ANY")
+        assert ev.scope is CounterScope.UNCORE
+        assert ev.channel is Channel.L3_LINES_IN
+
+    def test_unknown_event_raises(self):
+        table = get_arch("core2").events
+        with pytest.raises(EventError, match="unknown event"):
+            table.lookup("NOT_AN_EVENT")
+
+    def test_duplicate_event_rejected(self):
+        table = EventTable("test")
+        ev = EventDef("X", 1, 2, Channel.LOADS)
+        table.add(ev)
+        with pytest.raises(EventError, match="duplicate"):
+            table.add(ev)
+
+    def test_by_encoding_roundtrip(self):
+        table = get_arch("nehalem_ep").events
+        ev = table.lookup("L1D_REPL")
+        assert table.by_encoding(ev.event_code, ev.umask) is ev
+
+    def test_by_encoding_respects_scope(self):
+        table = get_arch("nehalem_ep").events
+        unc = table.lookup("UNC_L3_LINES_IN_ANY")
+        assert table.by_encoding(unc.event_code, unc.umask) is not unc
+        assert table.by_encoding(unc.event_code, unc.umask,
+                                 scope=CounterScope.UNCORE) is unc
+
+    def test_fixed_events_not_matched_by_encoding(self):
+        table = get_arch("nehalem_ep").events
+        fixed = table.lookup("INSTR_RETIRED_ANY")
+        found = table.by_encoding(fixed.event_code, fixed.umask)
+        assert found is None or not found.is_fixed
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_every_arch_has_instructions_and_cycles(self, arch):
+        table = get_arch(arch).events
+        channels = {table.lookup(n).channel for n in table.names()}
+        assert Channel.INSTRUCTIONS in channels
+        assert Channel.CORE_CYCLES in channels
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_encodings_unique_within_scope(self, arch):
+        table = get_arch(arch).events
+        seen = {}
+        for name in table.names():
+            ev = table.lookup(name)
+            if ev.is_fixed:
+                continue
+            key = (ev.event_code, ev.umask, ev.scope)
+            assert key not in seen, f"{name} duplicates {seen.get(key)}"
+            seen[key] = name
+
+    def test_fixed_events_on_intel_only(self):
+        assert get_arch("westmere_ep").events.lookup("INSTR_RETIRED_ANY").is_fixed
+        assert not get_arch("amd_istanbul").events.lookup(
+            "RETIRED_INSTRUCTIONS").is_fixed
+
+    def test_allowed_on_unconstrained(self):
+        ev = get_arch("core2").events.lookup("L1D_REPL")
+        assert ev.allowed_on(0) and ev.allowed_on(1)
+
+    def test_counter_mask_constraint(self):
+        ev = EventDef("Y", 5, 0, Channel.LOADS,
+                      counter_mask=frozenset({0}))
+        assert ev.allowed_on(0)
+        assert not ev.allowed_on(1)

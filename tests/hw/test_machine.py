@@ -1,0 +1,75 @@
+"""Unit tests for SimMachine wiring."""
+
+import pytest
+
+from repro.hw import registers as regs
+from repro.hw.arch import ARCH_SPECS, create_machine
+from repro.hw.machine import default_misc_enable
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_every_arch_builds(self, arch):
+        m = create_machine(arch)
+        assert m.num_hwthreads == m.spec.num_hwthreads
+        assert len(m.msr) == m.num_hwthreads
+        assert len(m.core_pmus) == m.num_hwthreads
+
+    def test_uncore_only_on_nehalem_family(self):
+        assert len(create_machine("nehalem_ep").uncore_pmus) == 2
+        assert len(create_machine("westmere_ep").uncore_pmus) == 2
+        assert create_machine("core2").uncore_pmus == []
+        assert create_machine("amd_istanbul").uncore_pmus == []
+
+    def test_unknown_arch(self):
+        from repro.errors import TopologyError
+        from repro.hw.arch import create_machine as cm
+        with pytest.raises(TopologyError, match="unknown architecture"):
+            cm("itanium")
+
+
+class TestMiscEnable:
+    def test_default_value_matches_paper_listing(self):
+        value = default_misc_enable()
+        # Prefetcher bits clear (= enabled, inverted semantics).
+        for key in regs.PREFETCHER_KEYS:
+            bit = regs.MISC_ENABLE_BY_KEY[key]
+            assert not value & (1 << bit.bit)
+        # SpeedStep enabled, IDA disabled (bit set, inverted).
+        assert value & (1 << 16)
+        assert value & (1 << 38)
+
+    def test_only_core2_has_register(self):
+        assert create_machine("core2").msr[0].declared(regs.IA32_MISC_ENABLE)
+        assert not create_machine("westmere_ep").msr[0].declared(
+            regs.IA32_MISC_ENABLE)
+
+    def test_write_mask_restricted_to_prefetch_bits(self):
+        m = create_machine("core2")
+        before = m.rdmsr(0, regs.IA32_MISC_ENABLE)
+        m.wrmsr(0, regs.IA32_MISC_ENABLE, 0xFFFFFFFFFFFFFFFF)
+        after = m.rdmsr(0, regs.IA32_MISC_ENABLE)
+        changed = before ^ after
+        writable = 0
+        for bit in regs.MISC_ENABLE_BITS:
+            if bit.writable:
+                writable |= 1 << bit.bit
+        assert changed & ~writable == 0
+
+    def test_misc_enable_state_semantics(self):
+        m = create_machine("core2")
+        assert m.misc_enable_state(0, "CL_PREFETCHER")
+        bit = regs.MISC_ENABLE_BY_KEY["CL_PREFETCHER"]
+        value = m.rdmsr(0, regs.IA32_MISC_ENABLE) | (1 << bit.bit)
+        m.wrmsr(0, regs.IA32_MISC_ENABLE, value)
+        assert not m.misc_enable_state(0, "CL_PREFETCHER")
+
+    def test_non_core2_reports_enabled(self):
+        m = create_machine("amd_k8")
+        assert m.misc_enable_state(0, "HW_PREFETCHER")
+
+    def test_prefetchers_enabled_dict(self):
+        m = create_machine("core2")
+        state = m.prefetchers_enabled(2)
+        assert set(state) == set(regs.PREFETCHER_KEYS)
+        assert all(state.values())

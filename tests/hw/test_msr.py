@@ -1,0 +1,105 @@
+"""Unit tests for the MSR register file."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MsrError
+from repro.hw.msr import U64_MASK, MSRSpace
+
+
+@pytest.fixture
+def space():
+    return MSRSpace(hwthread=0)
+
+
+class TestDeclaration:
+    def test_declare_and_read_reset_value(self, space):
+        space.declare(0x10, reset=42)
+        assert space.read(0x10) == 42
+
+    def test_declared_predicate(self, space):
+        space.declare(0x10)
+        assert space.declared(0x10)
+        assert not space.declared(0x11)
+
+    def test_double_declare_rejected(self, space):
+        space.declare(0x10)
+        with pytest.raises(MsrError, match="already declared"):
+            space.declare(0x10)
+
+    def test_addresses_sorted(self, space):
+        space.declare(0x300)
+        space.declare(0x10)
+        space.declare(0x186)
+        assert space.addresses() == [0x10, 0x186, 0x300]
+
+
+class TestAccess:
+    def test_write_then_read(self, space):
+        space.declare(0x186)
+        space.write(0x186, 0xDEADBEEF)
+        assert space.read(0x186) == 0xDEADBEEF
+
+    def test_read_undeclared_is_gp_fault(self, space):
+        with pytest.raises(MsrError, match="#GP"):
+            space.read(0x999)
+
+    def test_write_undeclared_is_gp_fault(self, space):
+        with pytest.raises(MsrError, match="#GP"):
+            space.write(0x999, 1)
+
+    def test_write_out_of_range_rejected(self, space):
+        space.declare(0x10)
+        with pytest.raises(MsrError, match="out of 64-bit range"):
+            space.write(0x10, 1 << 64)
+        with pytest.raises(MsrError, match="out of 64-bit range"):
+            space.write(0x10, -1)
+
+    def test_write_mask_preserves_reserved_bits(self, space):
+        # Only the low byte is writable; upper bits keep the reset value.
+        space.declare(0x1A0, reset=0xFF00, write_mask=0xFF)
+        space.write(0x1A0, 0xFFFF)
+        assert space.read(0x1A0) == 0xFFFF & 0xFF | 0xFF00
+
+    def test_full_width_value(self, space):
+        space.declare(0x10)
+        space.write(0x10, U64_MASK)
+        assert space.read(0x10) == U64_MASK
+
+
+class TestHooks:
+    def test_read_hook_overrides_value(self, space):
+        space.declare(0x10, read_hook=lambda _v: 123)
+        assert space.read(0x10) == 123
+
+    def test_write_hook_sees_masked_value(self, space):
+        seen = []
+        space.declare(0x10, write_mask=0xF,
+                      write_hook=lambda addr, v: seen.append((addr, v)))
+        space.write(0x10, 0x123)
+        assert seen == [(0x10, 0x3)]
+
+    def test_poke_bypasses_write_mask_and_hooks(self, space):
+        seen = []
+        space.declare(0x10, write_mask=0,
+                      write_hook=lambda a, v: seen.append(v))
+        space.poke(0x10, 0xABC)
+        assert space.peek(0x10) == 0xABC
+        assert seen == []
+
+    def test_peek_bypasses_read_hook(self, space):
+        space.declare(0x10, reset=7, read_hook=lambda _v: 0)
+        assert space.peek(0x10) == 7
+        assert space.read(0x10) == 0
+
+
+@given(value=st.integers(min_value=0, max_value=U64_MASK),
+       mask=st.integers(min_value=0, max_value=U64_MASK),
+       reset=st.integers(min_value=0, max_value=U64_MASK))
+def test_write_mask_algebra(value, mask, reset):
+    """Property: a masked write yields (reset & ~mask) | (value & mask)."""
+    space = MSRSpace()
+    space.declare(0x10, reset=reset, write_mask=mask)
+    space.write(0x10, value)
+    assert space.read(0x10) == (reset & ~mask) | (value & mask)

@@ -1,0 +1,149 @@
+"""Unit tests for core and uncore PMU counting semantics."""
+
+import pytest
+
+from repro.hw import registers as regs
+from repro.hw.arch import create_machine
+from repro.hw.events import Channel
+from repro.hw.pmu import COUNTER_MASK
+
+
+@pytest.fixture
+def nehalem():
+    return create_machine("nehalem_ep")
+
+
+@pytest.fixture
+def istanbul():
+    return create_machine("amd_istanbul")
+
+
+def _program_pmc(machine, cpu, index, event_name, *, enable=True):
+    ev = machine.spec.events.lookup(event_name)
+    machine.wrmsr(cpu, machine.spec.pmu.evtsel_address(index),
+                  regs.evtsel_encode(ev.event_code, ev.umask, enable=enable))
+
+
+class TestIntelCorePmu:
+    def test_disabled_counter_does_not_count(self, nehalem):
+        _program_pmc(nehalem, 0, 0, "L1D_REPL", enable=True)
+        # Global control still zero -> no counting.
+        nehalem.apply_counts({0: {Channel.L1D_REPLACEMENT: 100}})
+        assert nehalem.rdmsr(0, regs.IA32_PMC0) == 0
+
+    def test_enabled_counter_counts_matching_channel(self, nehalem):
+        _program_pmc(nehalem, 0, 0, "L1D_REPL")
+        nehalem.wrmsr(0, regs.IA32_PERF_GLOBAL_CTRL, 0b1)
+        nehalem.apply_counts({0: {Channel.L1D_REPLACEMENT: 100,
+                                  Channel.LOADS: 999}})
+        assert nehalem.rdmsr(0, regs.IA32_PMC0) == 100
+
+    def test_evtsel_enable_bit_required(self, nehalem):
+        _program_pmc(nehalem, 0, 0, "L1D_REPL", enable=False)
+        nehalem.wrmsr(0, regs.IA32_PERF_GLOBAL_CTRL, 0b1)
+        nehalem.apply_counts({0: {Channel.L1D_REPLACEMENT: 100}})
+        assert nehalem.rdmsr(0, regs.IA32_PMC0) == 0
+
+    def test_fixed_counters_need_ctrl_and_global_bits(self, nehalem):
+        counts = {0: {Channel.INSTRUCTIONS: 1000, Channel.CORE_CYCLES: 2000}}
+        nehalem.apply_counts(counts)
+        assert nehalem.rdmsr(0, regs.IA32_FIXED_CTR0) == 0
+        nehalem.wrmsr(0, regs.IA32_FIXED_CTR_CTRL,
+                      regs.fixed_ctr_ctrl_encode(0)
+                      | regs.fixed_ctr_ctrl_encode(1))
+        nehalem.wrmsr(0, regs.IA32_PERF_GLOBAL_CTRL,
+                      regs.global_ctrl_fixed_bit(0)
+                      | regs.global_ctrl_fixed_bit(1))
+        nehalem.apply_counts(counts)
+        assert nehalem.rdmsr(0, regs.IA32_FIXED_CTR0) == 1000
+        assert nehalem.rdmsr(0, regs.IA32_FIXED_CTR1) == 2000
+
+    def test_counts_accumulate(self, nehalem):
+        _program_pmc(nehalem, 0, 1, "L1D_REPL")
+        nehalem.wrmsr(0, regs.IA32_PERF_GLOBAL_CTRL, 0b10)
+        for _ in range(3):
+            nehalem.apply_counts({0: {Channel.L1D_REPLACEMENT: 7}})
+        assert nehalem.rdmsr(0, regs.IA32_PMC0 + 1) == 21
+
+    def test_counter_wraps_at_48_bits(self, nehalem):
+        _program_pmc(nehalem, 0, 0, "L1D_REPL")
+        nehalem.wrmsr(0, regs.IA32_PERF_GLOBAL_CTRL, 0b1)
+        nehalem.msr[0].poke(regs.IA32_PMC0, COUNTER_MASK - 5)
+        nehalem.apply_counts({0: {Channel.L1D_REPLACEMENT: 10}})
+        assert nehalem.rdmsr(0, regs.IA32_PMC0) == 4
+
+    def test_per_thread_counting_is_independent(self, nehalem):
+        _program_pmc(nehalem, 0, 0, "L1D_REPL")
+        nehalem.wrmsr(0, regs.IA32_PERF_GLOBAL_CTRL, 0b1)
+        nehalem.apply_counts({0: {Channel.L1D_REPLACEMENT: 5},
+                              1: {Channel.L1D_REPLACEMENT: 50}})
+        assert nehalem.rdmsr(0, regs.IA32_PMC0) == 5
+        assert nehalem.rdmsr(1, regs.IA32_PMC0) == 0  # cpu 1 not programmed
+
+
+class TestAmdCorePmu:
+    def test_amd_counts_with_en_bit_only(self, istanbul):
+        ev = istanbul.spec.events.lookup("RETIRED_INSTRUCTIONS")
+        istanbul.wrmsr(0, regs.AMD_PERFEVTSEL0,
+                       regs.evtsel_encode(ev.event_code, ev.umask, enable=True))
+        istanbul.apply_counts({0: {Channel.INSTRUCTIONS: 123}})
+        assert istanbul.rdmsr(0, regs.AMD_PMC0) == 123
+
+    def test_amd_has_no_fixed_or_global_registers(self, istanbul):
+        assert not istanbul.msr[0].declared(regs.IA32_FIXED_CTR0)
+        assert not istanbul.msr[0].declared(regs.IA32_PERF_GLOBAL_CTRL)
+
+    def test_amd_four_counters(self, istanbul):
+        for i in range(4):
+            assert istanbul.msr[0].declared(regs.AMD_PMC0 + i)
+        assert not istanbul.msr[0].declared(regs.AMD_PMC0 + 4)
+
+
+class TestUncorePmu:
+    def _arm_upmc0(self, machine, cpu, event="UNC_L3_LINES_IN_ANY"):
+        ev = machine.spec.events.lookup(event)
+        machine.wrmsr(cpu, regs.MSR_UNCORE_PERFEVTSEL0,
+                      regs.evtsel_encode(ev.event_code, ev.umask, enable=True))
+        machine.wrmsr(cpu, regs.MSR_UNCORE_PERF_GLOBAL_CTRL, 0b1)
+
+    def test_uncore_counts_socket_channels(self, nehalem):
+        self._arm_upmc0(nehalem, 0)
+        nehalem.apply_counts({}, {0: {Channel.L3_LINES_IN: 1000}})
+        assert nehalem.rdmsr(0, regs.MSR_UNCORE_PMC0) == 1000
+
+    def test_uncore_registers_alias_across_socket(self, nehalem):
+        """Any core of the socket sees the same uncore register — the
+        reason socket locks exist."""
+        self._arm_upmc0(nehalem, 0)
+        nehalem.apply_counts({}, {0: {Channel.L3_LINES_IN: 42}})
+        socket0 = nehalem.spec.hwthreads_of_socket(0)
+        for cpu in socket0:
+            assert nehalem.rdmsr(cpu, regs.MSR_UNCORE_PMC0) == 42
+
+    def test_uncore_sockets_are_separate(self, nehalem):
+        self._arm_upmc0(nehalem, 0)
+        self._arm_upmc0(nehalem, 4)  # cpu 4 is on socket 1
+        nehalem.apply_counts({}, {0: {Channel.L3_LINES_IN: 10},
+                                  1: {Channel.L3_LINES_IN: 20}})
+        assert nehalem.rdmsr(0, regs.MSR_UNCORE_PMC0) == 10
+        assert nehalem.rdmsr(4, regs.MSR_UNCORE_PMC0) == 20
+
+    def test_uncore_fixed_counter(self, nehalem):
+        nehalem.wrmsr(0, regs.MSR_UNCORE_FIXED_CTR_CTRL, 1)
+        nehalem.wrmsr(0, regs.MSR_UNCORE_PERF_GLOBAL_CTRL, 1 << 32)
+        nehalem.apply_counts({}, {0: {Channel.UNC_CYCLES: 555}})
+        assert nehalem.rdmsr(0, regs.MSR_UNCORE_FIXED_CTR0) == 555
+
+    def test_no_uncore_on_core2(self):
+        core2 = create_machine("core2")
+        assert not core2.uncore_pmus
+        with pytest.raises(ValueError, match="no uncore"):
+            core2.apply_counts({}, {0: {Channel.L3_LINES_IN: 1}})
+
+
+class TestTsc:
+    def test_tsc_advances_with_time(self, nehalem):
+        before = nehalem.rdmsr(5, regs.IA32_TSC)
+        nehalem.apply_counts({}, elapsed_seconds=0.5)
+        after = nehalem.rdmsr(5, regs.IA32_TSC)
+        assert after - before == int(0.5 * nehalem.spec.clock_hz)

@@ -1,0 +1,130 @@
+"""Unit tests for the prefetcher models and their MISC_ENABLE wiring."""
+
+import pytest
+
+from repro.hw.arch import create_machine
+from repro.hw.cache import CacheHierarchy
+from repro.hw.prefetch import (IpStridePrefetcher, PrefetcherConfig,
+                               StreamDetector)
+from repro.hw.spec import CacheSpec
+
+
+class TestStreamDetector:
+    def test_needs_confirmation_before_prefetch(self):
+        d = StreamDetector(depth=2, confirm=2)
+        assert d.observe(10) == []
+        assert d.observe(11) == []         # run = 1
+        assert d.observe(12) == [13, 14]   # confirmed
+
+    def test_broken_stream_resets(self):
+        d = StreamDetector(depth=1, confirm=2)
+        d.observe(10)
+        d.observe(11)
+        assert d.observe(50) == []
+        assert d.observe(51) == []
+        assert d.observe(52) == [53]
+
+    def test_repeated_same_line_is_not_a_stream(self):
+        d = StreamDetector(confirm=1)
+        d.observe(5)
+        assert d.observe(5) == []
+        assert d.observe(6) == [7, 8]
+
+
+class TestIpStridePrefetcher:
+    def test_constant_stride_detected(self):
+        p = IpStridePrefetcher()
+        out = []
+        for i in range(5):
+            out = p.observe(1, i * 256, 64)
+        assert out == [(4 * 256 + 256) // 64]
+
+    def test_sub_line_stride_not_prefetched(self):
+        p = IpStridePrefetcher()
+        out = []
+        for i in range(6):
+            out = p.observe(1, i * 8, 64)   # stays inside one line mostly
+        # stride 8 within the same line: no cross-line prefetch target
+        assert out == [] or out[0] * 64 != (5 * 8 // 64) * 64
+
+    def test_streams_tracked_independently(self):
+        p = IpStridePrefetcher()
+        for i in range(4):
+            p.observe(1, i * 128, 64)
+            p.observe(2, 10_000 - i * 128, 64)
+        assert p.observe(1, 4 * 128, 64) == [(4 * 128 + 128) // 64]
+
+    def test_table_capacity_bounded(self):
+        p = IpStridePrefetcher(max_streams=4)
+        for s in range(10):
+            p.observe(s, 0, 64)
+        assert len(p._table) <= 4
+
+    def test_irregular_stride_never_fires(self):
+        p = IpStridePrefetcher()
+        for addr in (0, 100, 350, 351, 900, 1700):
+            assert p.observe(1, addr, 64) == []
+
+
+class TestConfigFromMachine:
+    def test_default_all_enabled(self):
+        m = create_machine("core2")
+        config = PrefetcherConfig.from_machine(m, 0)
+        assert config.hw_prefetcher and config.cl_prefetcher
+        assert config.dcu_prefetcher and config.ip_prefetcher
+
+    def test_reflects_misc_enable_writes(self):
+        from repro.core.features import LikwidFeatures
+        from repro.oskern.msr_driver import MsrDriver
+        m = create_machine("core2")
+        features = LikwidFeatures(MsrDriver(m), cpu=0)
+        features.disable("CL_PREFETCHER")
+        config = PrefetcherConfig.from_machine(m, 0)
+        assert not config.cl_prefetcher
+        assert config.hw_prefetcher
+
+    def test_non_core2_reports_always_enabled(self):
+        m = create_machine("westmere_ep")
+        config = PrefetcherConfig.from_machine(m, 0)
+        assert config.hw_prefetcher
+
+
+class TestPrefetchEffectOnTraffic:
+    def _hierarchy(self, config):
+        return CacheHierarchy([
+            CacheSpec(1, "Data cache", 4 * 1024, 4, 64),
+            CacheSpec(2, "Unified cache", 64 * 1024, 8, 64),
+        ], config)
+
+    def test_dcu_prefetcher_reduces_l1_demand_misses(self):
+        on = self._hierarchy(PrefetcherConfig(False, False, True, False))
+        off = self._hierarchy(PrefetcherConfig.all_off())
+        for h in (on, off):
+            for i in range(2048):
+                h.load(i * 8)
+        assert on.levels[0].stats.misses < off.levels[0].stats.misses
+
+    def test_adjacent_line_prefetch_pairs_lines(self):
+        on = self._hierarchy(PrefetcherConfig(False, True, False, False))
+        # Touch only even lines from DRAM; CL prefetch should pull the
+        # odd buddies into L2.
+        for i in range(0, 256, 2):
+            on.load(i * 64)
+        odd_in_l2 = sum(1 for line in on.levels[1].contents() if line % 2)
+        assert odd_in_l2 > 0
+
+    def test_prefetch_fills_counted_separately(self):
+        on = self._hierarchy(PrefetcherConfig(True, True, True, True))
+        for i in range(1024):
+            on.load(i * 8)
+        assert on.levels[0].stats.prefetch_fills > 0
+
+    def test_random_access_defeats_prefetchers(self):
+        from repro.workloads.kernels import random_load
+        on = self._hierarchy(PrefetcherConfig(True, True, True, True))
+        off = self._hierarchy(PrefetcherConfig.all_off())
+        for h in (on, off):
+            for op, addr, stream in random_load(2000, 1 << 20, seed=9):
+                h.load(addr, stream=stream)
+        # Prefetching cannot help random access by much.
+        assert on.levels[0].stats.misses >= 0.8 * off.levels[0].stats.misses

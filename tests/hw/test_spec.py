@@ -1,0 +1,106 @@
+"""Unit tests for ArchSpec topology arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hw.arch import ARCH_SPECS, get_arch
+
+
+@pytest.fixture
+def westmere():
+    return get_arch("westmere_ep")
+
+
+class TestLocations:
+    def test_paper_listing_rows(self, westmere):
+        # The exact rows of the paper's Westmere listing.
+        assert westmere.hwthread_location(0) == (0, 0, 0)
+        assert westmere.hwthread_location(3) == (0, 3, 0)    # core id 8
+        assert westmere.core_ids[3] == 8
+        assert westmere.hwthread_location(6) == (1, 0, 0)
+        assert westmere.hwthread_location(12) == (0, 0, 1)
+        assert westmere.hwthread_location(23) == (1, 5, 1)
+
+    def test_out_of_range(self, westmere):
+        with pytest.raises(ValueError):
+            westmere.hwthread_location(24)
+        with pytest.raises(ValueError):
+            westmere.hwthread_location(-1)
+
+    def test_smt_siblings(self, westmere):
+        assert westmere.hwthreads_of_core(0, 0) == [0, 12]
+        assert westmere.hwthreads_of_core(1, 3) == [9, 21]
+
+    def test_socket_members(self, westmere):
+        assert westmere.hwthreads_of_socket(0) == \
+            [0, 12, 1, 13, 2, 14, 3, 15, 4, 16, 5, 17]
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_every_hwthread_locates_uniquely(self, arch):
+        spec = get_arch(arch)
+        seen = set()
+        for hw in range(spec.num_hwthreads):
+            loc = spec.hwthread_location(hw)
+            assert loc not in seen
+            seen.add(loc)
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_apic_ids_unique(self, arch):
+        spec = get_arch(arch)
+        apics = [spec.apic_id(hw) for hw in range(spec.num_hwthreads)]
+        assert len(set(apics)) == len(apics)
+
+
+class TestOrders:
+    def test_scatter_alternates_sockets(self, westmere):
+        order = westmere.scatter_order()
+        assert order[:4] == [0, 6, 1, 7]
+        # Physical cores exhausted before SMT siblings appear.
+        smt1_start = order.index(12)
+        assert smt1_start == westmere.num_cores
+
+    def test_compact_fills_core_first(self, westmere):
+        order = westmere.compact_order()
+        assert order[:4] == [0, 12, 1, 13]
+
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_orders_are_permutations(self, arch):
+        spec = get_arch(arch)
+        full = set(range(spec.num_hwthreads))
+        assert set(spec.scatter_order()) == full
+        assert set(spec.compact_order()) == full
+
+
+class TestCaches:
+    def test_data_caches_sorted_and_filtered(self, westmere):
+        levels = [c.level for c in westmere.data_caches()]
+        assert levels == [1, 2, 3]
+        assert all(c.type != "Instruction cache"
+                   for c in westmere.data_caches())
+
+    def test_last_level_cache(self, westmere):
+        assert westmere.last_level_cache().size == 12 * 1024 * 1024
+
+    def test_cache_sets_arithmetic(self, westmere):
+        l1 = westmere.data_caches()[0]
+        assert l1.sets == 64
+        l3 = westmere.last_level_cache()
+        assert l3.sets == 12288
+
+    def test_core_ids_length_validated(self):
+        import dataclasses
+        spec = get_arch("core2")
+        with pytest.raises(ValueError, match="core_ids"):
+            dataclasses.replace(spec, core_ids=(0, 1))
+
+
+@given(arch=st.sampled_from(sorted(ARCH_SPECS)), data=st.data())
+def test_location_apic_consistency(arch, data):
+    """Property: apic_id composes exactly the decoded location fields."""
+    spec = get_arch(arch)
+    hw = data.draw(st.integers(0, spec.num_hwthreads - 1))
+    socket, core_index, smt = spec.hwthread_location(hw)
+    apic = spec.apic_id(hw)
+    assert spec.apic_layout.decompose(apic) == \
+        (socket, spec.core_ids[core_index], smt)

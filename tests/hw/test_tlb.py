@@ -1,0 +1,84 @@
+"""Tests for the data TLB model and the end-to-end TLB group."""
+
+import pytest
+
+from repro.hw.cache import CacheHierarchy, SimTlb
+from repro.hw.events import Channel
+from repro.hw.prefetch import PrefetcherConfig
+from repro.hw.spec import CacheSpec
+
+
+def hierarchy(tlb_entries=8):
+    return CacheHierarchy(
+        [CacheSpec(1, "Data cache", 32 * 1024, 8, 64)],
+        PrefetcherConfig.all_off(), tlb_entries=tlb_entries)
+
+
+class TestSimTlb:
+    def test_miss_then_hit(self):
+        tlb = SimTlb(entries=4)
+        assert not tlb.translate(0)
+        assert tlb.translate(8)       # same page
+        assert tlb.misses == 1
+
+    def test_capacity_eviction_lru(self):
+        tlb = SimTlb(entries=2, page_size=4096)
+        tlb.translate(0)              # page 0
+        tlb.translate(4096)           # page 1
+        tlb.translate(0)              # touch page 0 (MRU)
+        tlb.translate(8192)           # page 2 evicts page 1
+        assert tlb.translate(0)       # still resident
+        assert not tlb.translate(4096)
+
+    def test_page_granularity(self):
+        tlb = SimTlb(entries=4, page_size=4096)
+        for offset in range(0, 4096, 64):
+            tlb.translate(offset)
+        assert tlb.misses == 1
+        assert tlb.accesses == 64
+
+
+class TestHierarchyTlb:
+    def test_streaming_one_miss_per_page(self):
+        h = hierarchy(tlb_entries=64)
+        n = 4096
+        for i in range(n):
+            h.load(i * 8)
+        pages = n * 8 // 4096
+        assert h.tlb.misses == pages
+
+    def test_sparse_access_thrashes_tlb(self):
+        h = hierarchy(tlb_entries=8)
+        # Touch 16 pages round-robin: working set exceeds the TLB.
+        for rep in range(10):
+            for page in range(16):
+                h.load(page * 4096)
+        assert h.tlb.misses == 160   # every access misses
+
+    def test_nt_stores_translate(self):
+        h = hierarchy()
+        h.store(0, nontemporal=True)
+        assert h.tlb.accesses == 1
+
+    def test_channel_exported(self):
+        h = hierarchy()
+        for page in range(5):
+            h.load(page * 4096)
+        assert h.channels()[Channel.DTLB_MISSES] == 5
+
+
+class TestTlbGroupEndToEnd:
+    def test_tlb_group_measures_trace(self):
+        """likwid-perfctr -g TLB over a traced page-strided kernel."""
+        from repro.core.perfctr import LikwidPerfCtr
+        from repro.hw.arch import create_machine
+        from repro.workloads.kernels import strided_load
+        from repro.workloads.runner import run_trace
+
+        machine = create_machine("core2")
+        perfctr = LikwidPerfCtr(machine)
+        result = perfctr.wrap(
+            [0], "TLB",
+            lambda: run_trace(machine, 0, strided_load(1000, 4096)))
+        assert result.event(0, "DTLB_MISSES_ANY") >= 1000 - 64
+        assert result.metric(0, "DTLB miss rate") > 0

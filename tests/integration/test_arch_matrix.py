@@ -1,0 +1,97 @@
+"""Cross-architecture matrix: every tool works on every machine of the
+paper's supported list (§II.A: Pentium M, Atom, Core 2, Nehalem,
+Westmere, AMD K8, AMD K10)."""
+
+import pytest
+
+from repro.core.numa import probe_numa, render_numa
+from repro.core.perfctr import LikwidPerfCtr
+from repro.core.perfctr.groups import groups_for
+from repro.core.pin import LikwidPin
+from repro.core.topology import probe_topology, render_topology
+from repro.core.topology_ascii import render_ascii
+from repro.core.xmlout import topology_to_xml
+from repro.hw.arch import ARCH_SPECS, create_machine, get_arch
+from repro.hw.events import Channel
+from repro.oskern.proc import parse_cpuinfo, render_cpuinfo
+from repro.oskern.scheduler import OSKernel
+
+ARCHES = sorted(ARCH_SPECS)
+
+
+@pytest.mark.parametrize("arch", ARCHES)
+class TestEveryArch:
+    def test_topology_roundtrip(self, arch):
+        machine = create_machine(arch)
+        spec = get_arch(arch)
+        topo = probe_topology(machine)
+        assert topo.num_hwthreads == spec.num_hwthreads
+        text = render_topology(topo)
+        assert f"Sockets:\t\t{spec.sockets}" in text
+        assert render_ascii(topo)
+        assert topology_to_xml(topo, probe_numa(machine))
+
+    def test_numa_render(self, arch):
+        machine = create_machine(arch)
+        text = render_numa(probe_numa(machine))
+        assert f"NUMA domains: {machine.spec.num_numa_domains}" in text
+
+    def test_cpuinfo_round(self, arch):
+        machine = create_machine(arch)
+        cpus = parse_cpuinfo(render_cpuinfo(machine))
+        assert len(cpus) == machine.num_hwthreads
+
+    def test_flops_dp_measurement(self, arch):
+        machine = create_machine(arch)
+        perfctr = LikwidPerfCtr(machine)
+        session_events = groups_for(machine.spec)["FLOPS_DP"]
+        channels = {Channel.FLOPS_PACKED_DP: 500.0,
+                    Channel.INSTRUCTIONS: 2000.0,
+                    Channel.CORE_CYCLES: 3000.0}
+        result = perfctr.wrap(
+            [0], "FLOPS_DP",
+            lambda: machine.apply_counts({0: dict(channels)},
+                                         elapsed_seconds=0.001))
+        packed_event = session_events.events[-2 if arch.startswith("amd")
+                                             else 0].event
+        # The packed-DP event of the group observed the channel.
+        assert result.event(0, packed_event) in (500.0, 2000.0, 3000.0)
+        metrics = result.metrics[0]
+        flops_metric = next(k for k in metrics if "MFlops" in k)
+        assert metrics[flops_metric] >= 0
+
+    def test_pin_launch_and_team(self, arch):
+        machine = create_machine(arch)
+        kernel = OSKernel(machine, seed=1)
+        n = min(2, machine.num_hwthreads)
+        corelist = ",".join(str(c) for c in range(n))
+        process = LikwidPin(kernel).launch(corelist, thread_type="posix")
+        assert kernel.sched_getaffinity(process.master.tid) == frozenset({0})
+
+    def test_all_groups_measurable(self, arch):
+        """Every advertised group sets up, starts, and reads."""
+        machine = create_machine(arch)
+        perfctr = LikwidPerfCtr(machine)
+        for name in groups_for(machine.spec):
+            result = perfctr.wrap([0], name, lambda: None)
+            assert result.cpus == [0], f"{arch}/{name}"
+
+    def test_papi_where_supported(self, arch):
+        from repro.papi import PAPI_TOT_INS, PAPI_VER_CURRENT, PapiLibrary
+        machine = create_machine(arch)
+        lib = PapiLibrary(machine)
+        lib.PAPI_library_init(PAPI_VER_CURRENT)
+        es = lib.PAPI_create_eventset()
+        lib.PAPI_add_event(es, PAPI_TOT_INS)
+        lib.PAPI_start(es)
+        machine.apply_counts({0: {Channel.INSTRUCTIONS: 77}})
+        assert lib.PAPI_stop(es) == [77]
+
+    def test_stream_runs(self, arch):
+        from repro.workloads.stream import run_stream
+        machine = create_machine(arch)
+        kernel = OSKernel(machine, seed=2)
+        n = min(2, machine.spec.num_cores)
+        r = run_stream(machine, kernel, nthreads=n, compiler="gcc",
+                       pin_cpus=list(range(n)), n_elements=100_000)
+        assert r.bandwidth_mb_s > 0

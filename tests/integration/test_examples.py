@@ -1,0 +1,46 @@
+"""The example scripts must stay runnable: compile them all, and run
+the fast ones end-to-end in-process."""
+
+import py_compile
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+# Fast examples are executed outright; the sampling-heavy ones are
+# compile-checked only (they run in the examples smoke outside pytest).
+FAST = {"quickstart.py", "perfctr_marker.py", "hybrid_mpi.py",
+        "timeline_profile.py"}
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 9
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "c.pyc"),
+                       doraise=True)
+
+
+@pytest.mark.parametrize("path",
+                         [p for p in EXAMPLES if p.name in FAST],
+                         ids=lambda p: p.name)
+def test_fast_example_runs(path, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100   # produced a real report
+
+
+def test_every_example_has_module_docstring_with_run_line():
+    for path in EXAMPLES:
+        text = path.read_text()
+        assert text.startswith('#!/usr/bin/env python\n"""'), path.name
+        assert "Run:" in text, path.name

@@ -1,0 +1,191 @@
+"""Integration tests: every paper table/figure reproduces in shape.
+
+These are the acceptance tests of DESIGN.md section 6 — who wins, by
+roughly what factor, and where the crossovers fall.
+"""
+
+import statistics
+
+import pytest
+
+from repro import experiments
+from repro.hw.events import Channel
+
+
+pytestmark = pytest.mark.integration
+
+
+class TestFigure1:
+    def test_nehalem_diagram(self):
+        text = experiments.figure1_topology()
+        assert "Sockets:\t\t2" in text
+        assert "Cores per socket:\t4" in text
+        assert "8 MB" in text   # shared L3 per socket
+
+
+class TestTable1:
+    def test_rows_cover_paper_aspects(self):
+        rows = experiments.table1_comparison()
+        aspects = {r.aspect for r in rows}
+        assert {"Dependencies", "Command line tools", "User API support",
+                "Library support", "Topology information",
+                "Thread and process pinning", "Multicore support",
+                "Uncore support", "Event abstraction", "Platform support",
+                "Correlated measurements"} <= aspects
+
+    def test_probed_judgements(self):
+        rows = {r.aspect: r for r in experiments.table1_comparison()}
+        assert "socket locks" in rows["Uncore support"].likwid
+        assert "No support for pinning" in rows["Thread and process pinning"].papi
+        assert "groups" in rows["Event abstraction"].likwid
+
+
+class TestStreamFigures:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        return experiments.stream_figure(4, samples=40,
+                                         thread_counts=[1, 2, 4, 8, 12, 24])
+
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return experiments.stream_figure(5,
+                                         thread_counts=[1, 2, 4, 8, 12, 24])
+
+    def test_fig4_variance_largest_at_low_counts(self, fig4):
+        assert fig4.spread(2) > fig4.spread(24) * 0.8
+        assert fig4.spread(2) > 5000
+
+    def test_fig5_pinned_tight_and_high(self, fig5):
+        for n in fig5.samples:
+            assert fig5.spread(n) < 200
+        assert fig5.median(12) == pytest.approx(42000, rel=0.02)
+        assert fig5.median(24) == pytest.approx(42000, rel=0.02)
+
+    def test_pinned_dominates_unpinned_median(self, fig4, fig5):
+        for n in (2, 4, 8):
+            assert fig5.median(n) >= fig4.median(n)
+
+    def test_fig6_kmp_scatter_equals_pinned(self, fig5):
+        fig6 = experiments.stream_figure(6, thread_counts=[2, 8, 12])
+        for n in (2, 8, 12):
+            assert fig6.median(n) == pytest.approx(fig5.median(n), rel=0.02)
+
+    def test_fig7_fig8_gcc_caps_lower(self):
+        fig8 = experiments.stream_figure(8, thread_counts=[1, 12, 24])
+        assert fig8.median(12) == pytest.approx(31500, rel=0.03)
+        fig5 = experiments.stream_figure(5, thread_counts=[12])
+        assert fig8.median(12) < fig5.median(12)
+
+    def test_fig9_fig10_istanbul(self):
+        fig9 = experiments.stream_figure(9, samples=30,
+                                         thread_counts=[2, 6, 12])
+        fig10 = experiments.stream_figure(10, thread_counts=[2, 6, 12])
+        assert fig10.median(12) == pytest.approx(25000, rel=0.03)
+        for n in (2, 6):
+            assert fig9.spread(n) > 1500
+            assert fig10.spread(n) < 200
+        # No SMT on Istanbul: 12 threads is the natural maximum.
+        assert statistics.median(fig9.samples[12]) <= fig10.median(12)
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return experiments.figure11_jacobi_sweep(sizes=(100, 200, 300,
+                                                        400, 480))
+
+    def test_wavefront_wins_everywhere(self, curves):
+        for (n, w), (_n2, b) in zip(curves["wavefront 1x4"],
+                                    curves["threaded"]):
+            assert w > b, f"N={n}"
+
+    def test_split_pinning_reverses_optimisation(self, curves):
+        """Paper: 'in case of wrong pinning the effect of the
+        optimization is reversed and performance is reduced by a factor
+        of two'."""
+        for (n, w), (_n, s), (_n2, b) in zip(
+                curves["wavefront 1x4"],
+                curves["wavefront 1x4 (2 per socket)"],
+                curves["threaded"]):
+            if n >= 200:
+                assert s < 0.65 * w
+                assert s < b
+
+    def test_wavefront_factor_about_1_3_to_1_8(self, curves):
+        ratios = [w / b for (_n, w), (_n2, b) in
+                  zip(curves["wavefront 1x4"], curves["threaded"])]
+        assert all(1.2 < r < 2.0 for r in ratios)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.variant: r for r in experiments.table2_uncore()}
+
+    def test_paper_values_within_3_percent(self, rows):
+        paper = {
+            "threaded": (5.91e8, 5.87e8, 75.39, 784),
+            "threaded_nt": (3.44e8, 3.43e8, 43.97, 1032),
+            "wavefront": (1.30e8, 1.29e8, 16.57, 1331),
+        }
+        for variant, (lines_in, lines_out, volume, mlups) in paper.items():
+            row = rows[variant]
+            assert row.l3_lines_in == pytest.approx(lines_in, rel=0.03)
+            assert row.l3_lines_out == pytest.approx(lines_out, rel=0.03)
+            assert row.data_volume_gb == pytest.approx(volume, rel=0.03)
+            assert row.mlups == pytest.approx(mlups, rel=0.03)
+
+    def test_ordering(self, rows):
+        assert rows["threaded"].mlups < rows["threaded_nt"].mlups \
+            < rows["wavefront"].mlups
+        assert rows["wavefront"].data_volume_gb \
+            < rows["threaded_nt"].data_volume_gb \
+            < rows["threaded"].data_volume_gb
+
+
+class TestEndToEnd:
+    def test_perfctr_pin_marker_full_flow(self):
+        """The complete §II.A workflow: likwid-pin + likwid-perfctr in
+        marker mode around a pinned STREAM run."""
+        from repro.core.perfctr import LikwidPerfCtr, MarkerAPI
+        from repro.hw.arch import create_machine
+        from repro.oskern.scheduler import OSKernel
+        from repro.workloads.stream import run_stream
+
+        machine = create_machine("westmere_ep")
+        kernel = OSKernel(machine, seed=4)
+        perfctr = LikwidPerfCtr(machine)
+        session = perfctr.session("0-3", "FLOPS_DP")
+        session.start()
+        marker = MarkerAPI(session)
+        marker.likwid_markerInit(1, 1)
+        rid = marker.likwid_markerRegisterRegion("Benchmark")
+        marker.likwid_markerStartRegion(0, 0)
+        run_stream(machine, kernel, nthreads=4, compiler="icc",
+                   pin_cpus=[0, 1, 2, 3])
+        marker.likwid_markerStopRegion(0, 0, rid)
+        marker.likwid_markerClose()
+        session.stop()
+        result = marker.region_result("Benchmark")
+        assert result.event(0, "FP_COMP_OPS_EXE_SSE_FP_PACKED") > 0
+        assert result.metric(0, "DP MFlops/s") > 100
+
+    def test_monitoring_whole_node(self):
+        """likwid-perfctr -c 0-7 ... sleep 1 (paper's monitoring idiom):
+        a rogue process's events are visible."""
+        from repro.core.perfctr import LikwidPerfCtr
+        from repro.hw.arch import create_machine
+        machine = create_machine("nehalem_ep")
+        perfctr = LikwidPerfCtr(machine)
+
+        def sleep_while_rogue_runs():
+            machine.apply_counts(
+                {5: {Channel.FLOPS_SCALAR_DP: 1e6,
+                     Channel.INSTRUCTIONS: 1e6,
+                     Channel.CORE_CYCLES: 2e6}},
+                elapsed_seconds=1.0)
+
+        result = perfctr.wrap(list(range(8)), "FLOPS_DP",
+                              sleep_while_rogue_runs)
+        assert result.event(5, "FP_COMP_OPS_EXE_SSE_FP_SCALAR") == 1e6
+        assert result.event(0, "FP_COMP_OPS_EXE_SSE_FP_SCALAR") == 0

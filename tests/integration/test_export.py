@@ -1,0 +1,74 @@
+"""Tests for CSV/JSON export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.perfctr import LikwidPerfCtr
+from repro.export import (fig11_to_csv, measurement_to_csv,
+                          measurement_to_dict, measurement_to_json,
+                          stream_series_to_csv, table2_to_csv)
+from repro.hw.arch import create_machine
+from repro.hw.events import Channel
+
+
+@pytest.fixture(scope="module")
+def result():
+    machine = create_machine("core2")
+    return LikwidPerfCtr(machine).wrap(
+        [0, 1], "FLOPS_DP",
+        lambda: machine.apply_counts(
+            {0: {Channel.FLOPS_PACKED_DP: 100, Channel.INSTRUCTIONS: 400,
+                 Channel.CORE_CYCLES: 800},
+             1: {Channel.FLOPS_PACKED_DP: 50, Channel.INSTRUCTIONS: 400,
+                 Channel.CORE_CYCLES: 800}}))
+
+
+class TestMeasurementExport:
+    def test_csv_rows(self, result):
+        rows = list(csv.DictReader(io.StringIO(measurement_to_csv(result))))
+        events = [r for r in rows if r["kind"] == "event"]
+        metrics = [r for r in rows if r["kind"] == "metric"]
+        assert len(events) == 2 * 5   # 2 cpus x (2 group + 3 fixed)
+        assert len(metrics) == 2 * 3
+        cell = next(r for r in events
+                    if r["cpu"] == "0"
+                    and r["name"] == "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE")
+        assert float(cell["value"]) == 100
+
+    def test_json_roundtrip(self, result):
+        data = json.loads(measurement_to_json(result))
+        assert data["group"] == "FLOPS_DP"
+        assert data["cpus"]["1"]["events"][
+            "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"] == 50
+        assert data["cpus"]["0"]["metrics"]["CPI"] == 2.0
+
+    def test_dict_is_json_serialisable(self, result):
+        json.dumps(measurement_to_dict(result))
+
+
+class TestSeriesExport:
+    def test_stream_series_csv(self):
+        from repro.experiments import stream_figure
+        series = stream_figure(5, thread_counts=[1, 2])
+        rows = list(csv.DictReader(io.StringIO(
+            stream_series_to_csv(series))))
+        assert {r["threads"] for r in rows} == {"1", "2"}
+        assert all(r["mode"] == "pinned" for r in rows)
+        assert float(rows[0]["bandwidth_mb_s"]) > 0
+
+    def test_fig11_csv(self):
+        curves = {"wavefront 1x4": [(100, 1500.0), (480, 1325.0)],
+                  "threaded": [(100, 1238.0), (480, 1032.0)]}
+        rows = list(csv.DictReader(io.StringIO(fig11_to_csv(curves))))
+        assert len(rows) == 4
+        assert rows[1]["size"] == "480"
+
+    def test_table2_csv(self):
+        from repro.experiments import Table2Row
+        rows_in = [Table2Row("threaded", 5.97e8, 5.97e8, 76.44, 783.0)]
+        rows = list(csv.DictReader(io.StringIO(table2_to_csv(rows_in))))
+        assert rows[0]["variant"] == "threaded"
+        assert float(rows[0]["mlups"]) == 783.0

@@ -1,0 +1,104 @@
+"""Tests for MPI-wide counter collection and imbalance detection."""
+
+import pytest
+
+from repro.core.mpiperf import MpiPerfCtr
+from repro.core.pin import LikwidPin
+from repro.errors import CounterError
+from repro.hw.events import Channel
+from repro.oskern.mpi import MpiExec, SimCluster
+from repro.workloads.runner import run_team
+from repro.workloads.stream import triad_phase
+
+
+def launch_cluster(nodes=2, omp_threads=4):
+    cluster = SimCluster("westmere_ep", nodes, seed=3)
+    mpiexec = MpiExec(cluster)
+
+    def setup(kernel):
+        return LikwidPin(kernel).launch("0-3",
+                                        thread_type="intel_mpi").master
+
+    mpiexec.run(nodes, pernode=True, setup=setup)
+    mpiexec.spawn_teams(omp_threads)
+    mpiexec.place_all()
+    return mpiexec
+
+
+class TestMpiPerfCtr:
+    def test_balanced_ranks(self):
+        mpiexec = launch_cluster()
+        mpi_perfctr = MpiPerfCtr(mpiexec, "FLOPS_DP", "0-3")
+
+        def run_rank(rank):
+            return run_team(rank.node.machine, rank.node.kernel, rank.team,
+                            lambda _i, _n: triad_phase("icc", 1_000_000),
+                            migrate=False)
+
+        measurement = mpi_perfctr.wrap(run_rank)
+        stats = measurement.statistics("FP_COMP_OPS_EXE_SSE_FP_PACKED")
+        # Each rank: 4 threads x 1e6 iters x 2 flops -> 4e6 packed ops.
+        assert stats.total == pytest.approx(2 * 4e6, rel=0.01)
+        assert stats.imbalance == pytest.approx(1.0, rel=0.01)
+
+    def test_imbalance_detected(self):
+        """Rank 1 does 3x the work: the reduction pinpoints it (the
+        load-imbalance use case of MPI counter collection, paper
+        reference [7])."""
+        mpiexec = launch_cluster()
+        mpi_perfctr = MpiPerfCtr(mpiexec, "FLOPS_DP", "0-3")
+
+        def run_rank(rank):
+            iters = 1_000_000 * (3 if rank.rank == 1 else 1)
+            return run_team(rank.node.machine, rank.node.kernel, rank.team,
+                            lambda _i, _n: triad_phase("icc", iters),
+                            migrate=False)
+
+        measurement = mpi_perfctr.wrap(run_rank)
+        stats = measurement.statistics("FP_COMP_OPS_EXE_SSE_FP_PACKED")
+        assert stats.max_rank == 1
+        assert stats.maximum == pytest.approx(3 * stats.minimum, rel=0.01)
+        assert stats.imbalance == pytest.approx(1.5, rel=0.01)
+
+    def test_per_rank_results_are_full_measurements(self):
+        mpiexec = launch_cluster()
+        mpi_perfctr = MpiPerfCtr(mpiexec, "FLOPS_DP", "0-3")
+
+        def run_rank(rank):
+            rank.node.machine.apply_counts(
+                {0: {Channel.FLOPS_PACKED_DP: 10.0,
+                     Channel.INSTRUCTIONS: 100.0,
+                     Channel.CORE_CYCLES: 200.0}})
+
+        measurement = mpi_perfctr.wrap(run_rank)
+        result = measurement.per_rank[0]
+        assert result.metric(0, "CPI") == 2.0
+
+    def test_render_contains_reductions(self):
+        mpiexec = launch_cluster()
+        mpi_perfctr = MpiPerfCtr(mpiexec, "FLOPS_DP", "0-3")
+        measurement = mpi_perfctr.wrap(lambda rank: None)
+        text = measurement.render()
+        assert "max/avg" in text
+        assert "INSTR_RETIRED_ANY" in text
+
+    def test_requires_launched_ranks(self):
+        cluster = SimCluster("core2", 1)
+        with pytest.raises(CounterError, match="no launched ranks"):
+            MpiPerfCtr(MpiExec(cluster), "FLOPS_DP")
+
+    def test_nodes_counted_independently(self):
+        """A burst on node 0 must not leak into node 1's counters."""
+        mpiexec = launch_cluster()
+        mpi_perfctr = MpiPerfCtr(mpiexec, "FLOPS_DP", "0-3")
+
+        def run_rank(rank):
+            if rank.rank == 0:
+                rank.node.machine.apply_counts(
+                    {0: {Channel.FLOPS_PACKED_DP: 999.0}})
+
+        measurement = mpi_perfctr.wrap(run_rank)
+        assert measurement.rank_total(
+            0, "FP_COMP_OPS_EXE_SSE_FP_PACKED") == 999
+        assert measurement.rank_total(
+            1, "FP_COMP_OPS_EXE_SSE_FP_PACKED") == 0

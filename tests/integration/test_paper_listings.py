@@ -1,0 +1,149 @@
+"""Golden tests: the paper's verbatim listings, reproduced.
+
+These tests compare whole output blocks (not just substrings) against
+the listings printed in the paper, so format regressions are caught.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.core.features import LikwidFeatures
+from repro.core.topology import probe_topology, render_topology
+from repro.hw.arch import create_machine
+from repro.oskern.msr_driver import MsrDriver
+
+
+class TestWestmereTopologyListing:
+    """§II.B: likwid-topology -c on the Westmere EP node."""
+
+    @pytest.fixture(scope="class")
+    def text(self):
+        return render_topology(probe_topology(create_machine("westmere_ep")))
+
+    def test_hwthread_table_verbatim(self, text):
+        expected = textwrap.dedent("""\
+            HWThread\tThread\t\tCore\t\tSocket
+            0\t\t0\t\t0\t\t0
+            1\t\t0\t\t1\t\t0
+            2\t\t0\t\t2\t\t0
+            3\t\t0\t\t8\t\t0
+            4\t\t0\t\t9\t\t0
+            5\t\t0\t\t10\t\t0
+            6\t\t0\t\t0\t\t1
+            7\t\t0\t\t1\t\t1
+            8\t\t0\t\t2\t\t1
+            9\t\t0\t\t8\t\t1
+            10\t\t0\t\t9\t\t1
+            11\t\t0\t\t10\t\t1
+            12\t\t1\t\t0\t\t0
+            13\t\t1\t\t1\t\t0
+            14\t\t1\t\t2\t\t0
+            15\t\t1\t\t8\t\t0
+            16\t\t1\t\t9\t\t0
+            17\t\t1\t\t10\t\t0
+            18\t\t1\t\t0\t\t1
+            19\t\t1\t\t1\t\t1
+            20\t\t1\t\t2\t\t1
+            21\t\t1\t\t8\t\t1
+            22\t\t1\t\t9\t\t1
+            23\t\t1\t\t10\t\t1""")
+        assert expected in text
+
+    def test_socket_lines_verbatim(self, text):
+        assert "Socket 0: ( 0 12 1 13 2 14 3 15 4 16 5 17 )" in text
+        assert "Socket 1: ( 6 18 7 19 8 20 9 21 10 22 11 23 )" in text
+
+    def test_l1_block_verbatim(self, text):
+        expected = "\n".join([
+            "Level:\t1",
+            "Size:\t32 kB",
+            "Type:\tData cache",
+            "Associativity:\t8",
+            "Number of sets:\t64",
+            "Cache line size:\t64",
+            "Inclusive cache",
+            "Shared among 2 threads",
+            "Cache groups:\t( 0 12 ) ( 1 13 ) ( 2 14 ) ( 3 15 ) ( 4 16 )"
+            " ( 5 17 ) ( 6 18 ) ( 7 19 ) ( 8 20 ) ( 9 21 ) ( 10 22 )"
+            " ( 11 23 )",
+        ])
+        assert expected in text
+
+    def test_l3_block_verbatim(self, text):
+        expected = "\n".join([
+            "Level:\t3",
+            "Size:\t12 MB",
+            "Type:\tUnified cache",
+            "Associativity:\t16",
+            "Number of sets:\t12288",
+            "Cache line size:\t64",
+            "Non Inclusive cache",
+            "Shared among 12 threads",
+            "Cache groups:\t( 0 12 1 13 2 14 3 15 4 16 5 17 )"
+            " ( 6 18 7 19 8 20 9 21 10 22 11 23 )",
+        ])
+        assert expected in text
+
+
+class TestFeaturesListing:
+    """§II.D: the likwid-features report, line for line."""
+
+    def test_full_block(self):
+        features = LikwidFeatures(MsrDriver(create_machine("core2")))
+        expected = "\n".join([
+            "Fast-Strings: enabled",
+            "Automatic Thermal Control: enabled",
+            "Performance monitoring: enabled",
+            "Hardware Prefetcher: enabled",
+            "Branch Trace Storage: supported",
+            "PEBS: supported",
+            "Intel Enhanced SpeedStep: enabled",
+            "MONITOR/MWAIT: supported",
+            "Adjacent Cache Line Prefetch: enabled",
+            "Limit CPUID Maxval: disabled",
+            "XD Bit Disable: enabled",
+            "DCU Prefetcher: enabled",
+            "Intel Dynamic Acceleration: disabled",
+            "IP Prefetcher: enabled",
+        ])
+        assert expected in features.report()
+
+    def test_toggle_output_verbatim(self):
+        """$ likwid-features -u CL_PREFETCHER ->  CL_PREFETCHER: disabled"""
+        features = LikwidFeatures(MsrDriver(create_machine("core2")))
+        state = features.disable("CL_PREFETCHER")
+        assert f"{state.key}: {state.display}" == "CL_PREFETCHER: disabled"
+
+
+class TestPerfctrListingShape:
+    """§II.A: the marker-mode output structure (header, region tables)."""
+
+    def test_header_block(self):
+        from repro.core.perfctr.output import render_header
+        machine = create_machine("core2")
+        header = render_header(machine, "FLOPS_DP")
+        lines = header.splitlines()
+        assert lines[0] == "-" * 61
+        assert lines[1] == "CPU type:\tIntel Core 2 45nm processor"
+        assert lines[2] == "CPU clock:\t2.83 GHz"
+        assert "Measuring group FLOPS_DP" in lines
+
+    def test_event_table_column_order_matches_paper(self):
+        """Group events first, then the always-counted fixed events —
+        the row order of the paper's FLOPS_DP tables."""
+        from repro.core.perfctr import LikwidPerfCtr
+        from repro.core.perfctr.output import render_event_table
+        machine = create_machine("core2")
+        result = LikwidPerfCtr(machine).wrap([0, 1], "FLOPS_DP",
+                                             lambda: None)
+        table = render_event_table(result)
+        rows = [line for line in table.splitlines() if line.startswith("| ")]
+        names = [row.split("|")[1].strip() for row in rows[1:]]
+        assert names == [
+            "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE",
+            "SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE",
+            "INSTR_RETIRED_ANY",
+            "CPU_CLK_UNHALTED_CORE",
+            "CPU_CLK_UNHALTED_REF",
+        ]

@@ -1,0 +1,119 @@
+"""Cross-module property-based tests (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.affinity import resolve_affinity_expression
+from repro.hw.arch import ARCH_SPECS, create_machine, get_arch
+from repro.model.ecm import KernelPhase, PlacedWork, solve
+from repro.oskern.scheduler import OSKernel
+
+ARCH_NAMES = sorted(ARCH_SPECS)
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(arch=st.sampled_from(ARCH_NAMES), seed=st.integers(0, 1000),
+           nthreads=st.integers(1, 30))
+    def test_placement_respects_affinity(self, arch, seed, nthreads):
+        """Every placed thread sits inside its affinity mask."""
+        machine = create_machine(arch)
+        kernel = OSKernel(machine, seed=seed)
+        rng_cpus = list(range(machine.num_hwthreads))
+        threads = []
+        for i in range(nthreads):
+            t = kernel.pthread_create()
+            if i % 3 == 0:
+                mask = {rng_cpus[i % len(rng_cpus)],
+                        rng_cpus[(i * 7) % len(rng_cpus)]}
+                kernel.sched_setaffinity(t.tid, mask)
+            threads.append(t)
+        kernel.place_all()
+        for t in threads:
+            assert t.hwthread in kernel.sched_getaffinity(t.tid)
+            assert t.memory_socket == \
+                machine.spec.socket_of(t.hwthread) or t.memory_socket \
+                is not None
+
+    @settings(max_examples=20, deadline=None)
+    @given(arch=st.sampled_from(ARCH_NAMES), seed=st.integers(0, 500))
+    def test_balancer_minimises_max_load(self, arch, seed):
+        """With nthreads <= ncpus, no hardware thread is doubly loaded."""
+        machine = create_machine(arch)
+        kernel = OSKernel(machine, seed=seed)
+        n = machine.num_hwthreads
+        threads = [kernel.pthread_create() for _ in range(n)]
+        kernel.place_all()
+        placements = [t.hwthread for t in threads]
+        assert len(set(placements)) == n
+
+
+class TestModelProperties:
+    SPEC = get_arch("westmere_ep")
+
+    @settings(max_examples=30, deadline=None)
+    @given(bytes_per_iter=st.floats(8.0, 128.0),
+           nthreads=st.integers(1, 12))
+    def test_socket_bandwidth_never_exceeded(self, bytes_per_iter, nthreads):
+        phase = KernelPhase("m", 100_000, cycles_per_iter=0.1,
+                            mem_read_bytes_per_iter=bytes_per_iter)
+        cpus = self.SPEC.hwthreads_of_socket(0)[:nthreads]
+        work = [PlacedWork(i, cpu, 0, phase) for i, cpu in enumerate(cpus)]
+        result = solve(self.SPEC, work)
+        # Instantaneous aggregate bandwidth is capped; since all threads
+        # are identical they finish together, so average == instantaneous.
+        total_bw = sum(t.rate for t in result.threads) * bytes_per_iter
+        assert total_bw <= self.SPEC.perf.socket_mem_bw * 1.001
+
+    @settings(max_examples=30, deadline=None)
+    @given(cycles=st.floats(0.5, 16.0), iters=st.integers(1000, 10_000_000))
+    def test_compute_runtime_exact(self, cycles, iters):
+        phase = KernelPhase("c", iters, cycles_per_iter=cycles)
+        result = solve(self.SPEC, [PlacedWork(0, 0, 0, phase)])
+        expected = iters * cycles / self.SPEC.clock_hz
+        assert result.total_time == pytest.approx(expected, rel=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(nthreads=st.integers(1, 24))
+    def test_more_threads_never_slower_total(self, nthreads):
+        """Fixed total work spread over more (distinct) cores never
+        increases the runtime."""
+        total_iters = 1_200_000
+        order = self.SPEC.scatter_order()
+
+        def runtime(k):
+            phase = KernelPhase("m", total_iters // k,
+                                cycles_per_iter=0.75,
+                                mem_read_bytes_per_iter=16.0,
+                                mem_write_bytes_per_iter=8.0)
+            work = [PlacedWork(i, order[i], self.SPEC.socket_of(order[i]),
+                               phase) for i in range(k)]
+            return solve(self.SPEC, work).total_time
+
+        assert runtime(nthreads) <= runtime(1) * 1.001
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_counters_scale_linearly_with_iters(self, seed):
+        from repro.hw.events import Channel
+        base = KernelPhase("f", 1000 * (seed + 1), flops_per_iter=2.0)
+        result = solve(self.SPEC, [PlacedWork(0, 0, 0, base)])
+        packed = result.threads[0].channels[Channel.FLOPS_PACKED_DP]
+        assert packed == pytest.approx(base.iters)
+
+
+class TestAffinityExpressionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(arch=st.sampled_from(ARCH_NAMES), data=st.data())
+    def test_domain_expressions_yield_valid_distinct_cpus(self, arch, data):
+        spec = get_arch(arch)
+        from repro.core.affinity import affinity_domains
+        domains = affinity_domains(spec)
+        name = data.draw(st.sampled_from(sorted(domains)))
+        size = len(domains[name])
+        upper = data.draw(st.integers(0, size - 1))
+        cpus = resolve_affinity_expression(spec, f"{name}:0-{upper}")
+        assert len(cpus) == upper + 1
+        assert len(set(cpus)) == len(cpus)
+        assert all(0 <= c < spec.num_hwthreads for c in cpus)

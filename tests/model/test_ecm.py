@@ -1,0 +1,168 @@
+"""Tests for the ECM-style contention solver."""
+
+import pytest
+
+from repro.hw.arch import get_arch
+from repro.hw.events import Channel
+from repro.model.ecm import KernelPhase, PlacedWork, solve
+
+
+SPEC = get_arch("westmere_ep")
+PERF = SPEC.perf
+
+
+def mem_phase(iters=1_000_000, bytes_per_iter=24.0, **kw):
+    defaults = dict(mem_read_bytes_per_iter=bytes_per_iter * 2 / 3,
+                    mem_write_bytes_per_iter=bytes_per_iter / 3,
+                    cycles_per_iter=0.5)
+    defaults.update(kw)
+    return KernelPhase("mem", iters, **defaults)
+
+
+def compute_phase(iters=1_000_000, cycles=2.0):
+    return KernelPhase("compute", iters, cycles_per_iter=cycles)
+
+
+def place(phases_cpus, memory_socket=None):
+    work = []
+    for tid, (phase, cpu) in enumerate(phases_cpus):
+        sock = SPEC.socket_of(cpu) if memory_socket is None else memory_socket
+        work.append(PlacedWork(tid, cpu, sock, phase))
+    return work
+
+
+class TestSingleThread:
+    def test_compute_bound_rate(self):
+        result = solve(SPEC, place([(compute_phase(cycles=2.0), 0)]))
+        rate = result.threads[0].rate
+        assert rate == pytest.approx(SPEC.clock_hz / 2.0, rel=1e-6)
+
+    def test_memory_bound_rate(self):
+        phase = mem_phase(bytes_per_iter=24.0)
+        result = solve(SPEC, place([(phase, 0)]))
+        assert result.threads[0].rate == pytest.approx(
+            PERF.thread_mem_bw / 24.0, rel=1e-6)
+
+    def test_l3_bound_rate(self):
+        phase = KernelPhase("l3", 1_000_000, cycles_per_iter=0.1,
+                            l3_bytes_per_iter=64.0)
+        result = solve(SPEC, place([(phase, 0)]))
+        assert result.threads[0].rate == pytest.approx(
+            PERF.thread_l3_bw / 64.0, rel=1e-6)
+
+    def test_empty_work(self):
+        result = solve(SPEC, [])
+        assert result.total_time == 0.0
+
+
+class TestSharedResources:
+    def test_socket_bandwidth_saturates(self):
+        cpus = [0, 1, 2, 3, 4, 5]   # six cores of socket 0
+        work = place([(mem_phase(), c) for c in cpus])
+        result = solve(SPEC, work)
+        total_bw = sum(t.rate for t in result.threads) * 24.0
+        assert total_bw == pytest.approx(PERF.socket_mem_bw, rel=1e-3)
+
+    def test_two_sockets_double_bandwidth(self):
+        work = place([(mem_phase(), c) for c in
+                      [0, 1, 2, 6, 7, 8]])   # 3 cores on each socket
+        result = solve(SPEC, work)
+        total_bw = sum(t.rate for t in result.threads) * 24.0
+        assert total_bw == pytest.approx(2 * PERF.socket_mem_bw, rel=1e-3)
+
+    def test_remote_memory_penalty(self):
+        # Thread runs on socket 1, memory on socket 0.
+        work = [PlacedWork(0, 6, 0, mem_phase())]
+        result = solve(SPEC, work)
+        assert result.threads[0].rate == pytest.approx(
+            PERF.thread_mem_bw * PERF.remote_mem_penalty / 24.0, rel=1e-6)
+
+    def test_partial_remote_fraction(self):
+        work = [PlacedWork(0, 0, 0, mem_phase(), remote_fraction=0.5)]
+        result = solve(SPEC, work)
+        expected_bw = PERF.thread_mem_bw * (0.5 + 0.5 * PERF.remote_mem_penalty)
+        assert result.threads[0].rate == pytest.approx(
+            expected_bw / 24.0, rel=1e-6)
+
+    def test_compute_threads_unaffected_by_memory_saturation(self):
+        work = place([(mem_phase(), c) for c in [0, 1, 2, 3]]
+                     + [(compute_phase(cycles=1.0), 4)])
+        result = solve(SPEC, work)
+        assert result.threads[-1].rate == pytest.approx(SPEC.clock_hz,
+                                                        rel=1e-6)
+
+
+class TestOccupancyEffects:
+    def test_timeslicing_halves_compute(self):
+        work = place([(compute_phase(), 0), (compute_phase(), 0)])
+        result = solve(SPEC, work)
+        solo = solve(SPEC, place([(compute_phase(), 0)])).threads[0]
+        # Both finish together at roughly double the solo runtime.
+        assert result.total_time == pytest.approx(2 * solo.runtime, rel=0.01)
+
+    def test_smt_siblings_share_issue_width(self):
+        # cpus 0 and 12 are SMT siblings of core 0.
+        work = place([(compute_phase(), 0), (compute_phase(), 12)])
+        result = solve(SPEC, work)
+        expected = SPEC.clock_hz * PERF.smt_issue_scale / 2 / 2.0
+        for t in result.threads:
+            assert t.rate == pytest.approx(expected, rel=1e-6)
+
+    def test_separate_cores_full_speed(self):
+        work = place([(compute_phase(), 0), (compute_phase(), 1)])
+        result = solve(SPEC, work)
+        for t in result.threads:
+            assert t.rate == pytest.approx(SPEC.clock_hz / 2.0, rel=1e-6)
+
+    def test_progressive_redistribution(self):
+        """A slow (oversubscribed) thread speeds up after the fast ones
+        finish: total time is far below the static worst case."""
+        fast = mem_phase(iters=1_000_000)
+        slow = mem_phase(iters=1_000_000)
+        work = place([(fast, 0), (fast, 1), (fast, 2),
+                      (slow, 3), (slow, 3)])   # two threads timeshare cpu 3
+        result = solve(SPEC, work)
+        runtimes = sorted(t.runtime for t in result.threads)
+        # The stragglers finish later but not 2x later (they inherit
+        # the finished threads' bandwidth share).
+        assert runtimes[-1] < 1.9 * runtimes[0]
+
+
+class TestChannels:
+    def test_flop_channels_split_packed_scalar(self):
+        phase = KernelPhase("f", 1000, flops_per_iter=4.0,
+                            packed_fraction=0.5)
+        result = solve(SPEC, [PlacedWork(0, 0, 0, phase)])
+        ch = result.threads[0].channels
+        assert ch[Channel.FLOPS_PACKED_DP] == 1000.0   # 4*0.5/2*1000
+        assert ch[Channel.FLOPS_SCALAR_DP] == 2000.0
+
+    def test_cycles_match_runtime(self):
+        result = solve(SPEC, place([(compute_phase(), 0)]))
+        t = result.threads[0]
+        assert t.channels[Channel.CORE_CYCLES] == pytest.approx(
+            t.runtime * SPEC.clock_hz)
+
+    def test_socket_channels_accumulate(self):
+        work = place([(mem_phase(iters=64_000), c) for c in (0, 1)])
+        result = solve(SPEC, work)
+        sock = result.socket_channels[0]
+        expected_reads = 2 * 64_000 * 16.0 / 64
+        assert sock[Channel.MEM_READS] == pytest.approx(expected_reads)
+        assert sock[Channel.UNC_CYCLES] > 0
+
+    def test_nt_stores_excluded_from_l3_victims(self):
+        phase = KernelPhase("nt", 1000, stores_per_iter=1.0,
+                            nt_store_fraction=1.0,
+                            mem_read_bytes_per_iter=16.0,
+                            mem_write_bytes_per_iter=8.0)
+        result = solve(SPEC, [PlacedWork(0, 0, 0, phase)])
+        sock = result.socket_channels[0]
+        assert sock[Channel.L3_LINES_OUT] == pytest.approx(
+            1000 * 16.0 / 64)   # only the read stream victimises
+
+    def test_total_time_is_max_runtime(self):
+        work = place([(compute_phase(iters=1000), 0),
+                      (compute_phase(iters=100_000), 1)])
+        result = solve(SPEC, work)
+        assert result.total_time == max(t.runtime for t in result.threads)

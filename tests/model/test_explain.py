@@ -1,0 +1,84 @@
+"""Tests for the model bottleneck diagnosis."""
+
+import pytest
+
+from repro.hw.arch import get_arch
+from repro.model.ecm import KernelPhase, PlacedWork
+from repro.model.explain import diagnose
+
+SPEC = get_arch("westmere_ep")
+
+
+def work_for(phase, cpus, memory_socket=None):
+    return [PlacedWork(i, cpu,
+                       SPEC.socket_of(cpu) if memory_socket is None
+                       else memory_socket, phase)
+            for i, cpu in enumerate(cpus)]
+
+
+class TestBottleneckAttribution:
+    def test_compute_bound(self):
+        phase = KernelPhase("c", 1_000_000, cycles_per_iter=4.0)
+        d = diagnose(SPEC, work_for(phase, [0]))
+        assert d.threads[0].bottleneck == "in-core issue"
+        assert d.threads[0].efficiency == pytest.approx(1.0)
+
+    def test_single_stream_memory_bound(self):
+        phase = KernelPhase("m", 1_000_000, cycles_per_iter=0.2,
+                            mem_read_bytes_per_iter=24.0)
+        d = diagnose(SPEC, work_for(phase, [0]))
+        assert d.threads[0].bottleneck == "memory concurrency"
+
+    def test_saturated_socket(self):
+        phase = KernelPhase("m", 1_000_000, cycles_per_iter=0.2,
+                            mem_read_bytes_per_iter=24.0)
+        d = diagnose(SPEC, work_for(phase, [0, 1, 2, 3, 4, 5]))
+        assert all(t.bottleneck == "socket memory bandwidth"
+                   for t in d.threads)
+        assert d.sockets[0].mem_utilisation == pytest.approx(1.0, abs=0.01)
+
+    def test_remote_memory(self):
+        phase = KernelPhase("m", 1_000_000, cycles_per_iter=0.2,
+                            mem_read_bytes_per_iter=24.0)
+        # Many threads on socket 1 hammering socket 0's memory.
+        cpus = SPEC.hwthreads_of_socket(1)[:6]
+        d = diagnose(SPEC, work_for(phase, cpus, memory_socket=0))
+        assert any(t.bottleneck == "interconnect / remote memory"
+                   for t in d.threads)
+
+    def test_l3_bound(self):
+        phase = KernelPhase("l3", 1_000_000, cycles_per_iter=0.1,
+                            l3_bytes_per_iter=128.0)
+        d = diagnose(SPEC, work_for(phase, [0]))
+        assert d.threads[0].bottleneck == "L3 path"
+
+    def test_bottleneck_histogram(self):
+        mem = KernelPhase("m", 1_000_000, cycles_per_iter=0.2,
+                          mem_read_bytes_per_iter=24.0)
+        cpu = KernelPhase("c", 1_000_000, cycles_per_iter=4.0)
+        work = work_for(mem, [0, 1, 2, 3]) + [
+            PlacedWork(99, 4, 0, cpu)]
+        d = diagnose(SPEC, work)
+        hist = d.bottlenecks()
+        assert hist.get("socket memory bandwidth", 0) == 4
+        assert hist.get("in-core issue", 0) == 1
+
+    def test_render(self):
+        phase = KernelPhase("m", 1_000_000, cycles_per_iter=0.2,
+                            mem_read_bytes_per_iter=24.0)
+        d = diagnose(SPEC, work_for(phase, [0, 1, 2]))
+        text = d.render()
+        assert "bottleneck" in text
+        assert "mem util" in text
+
+    def test_diagnosis_consistent_with_solver(self):
+        """Rates in the diagnosis equal the plain solve() rates."""
+        from repro.model.ecm import solve
+        phase = KernelPhase("m", 500_000, cycles_per_iter=0.5,
+                            mem_read_bytes_per_iter=16.0,
+                            mem_write_bytes_per_iter=8.0)
+        work = work_for(phase, [0, 1, 6, 7])
+        d = diagnose(SPEC, work)
+        plain = solve(SPEC, work)
+        for dt, pt in zip(d.threads, plain.threads):
+            assert dt.rate == pytest.approx(pt.rate, rel=1e-9)

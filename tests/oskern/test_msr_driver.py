@@ -1,0 +1,80 @@
+"""Unit tests for the simulated msr kernel module."""
+
+import struct
+
+import pytest
+
+from repro.errors import MsrError
+from repro.hw import registers as regs
+from repro.hw.arch import create_machine
+from repro.oskern.msr_driver import MsrDriver
+
+
+@pytest.fixture
+def driver():
+    return MsrDriver(create_machine("nehalem_ep"))
+
+
+class TestModule:
+    def test_open_requires_loaded_module(self):
+        driver = MsrDriver(create_machine("core2"), loaded=False)
+        with pytest.raises(MsrError, match="modprobe msr"):
+            driver.open(0)
+        driver.load()
+        assert driver.open(0) is not None
+
+    def test_unload(self, driver):
+        driver.unload()
+        with pytest.raises(MsrError):
+            driver.open(0)
+
+    def test_no_such_device(self, driver):
+        with pytest.raises(MsrError, match="no such device"):
+            driver.open(99)
+
+    def test_write_permission_enforced(self):
+        driver = MsrDriver(create_machine("core2"), device_writable=False)
+        with pytest.raises(MsrError, match="permission denied"):
+            driver.open(0, write=True)
+        # Read-only open still works.
+        assert driver.open(0, write=False).read_msr(regs.IA32_TSC) == 0
+
+
+class TestFileSemantics:
+    def test_pread_is_8_bytes_little_endian(self, driver):
+        f = driver.open(0, write=False)
+        data = f.pread(regs.IA32_TSC)
+        assert len(data) == 8
+        assert struct.unpack("<Q", data)[0] == 0
+
+    def test_pwrite_roundtrip(self, driver):
+        f = driver.open(2)
+        f.pwrite(regs.IA32_PERFEVTSEL0, struct.pack("<Q", 0x414243))
+        assert f.read_msr(regs.IA32_PERFEVTSEL0) == 0x414243
+
+    def test_pwrite_requires_8_bytes(self, driver):
+        f = driver.open(0)
+        with pytest.raises(MsrError, match="8 bytes"):
+            f.pwrite(regs.IA32_PERFEVTSEL0, b"\x01")
+
+    def test_write_on_readonly_fd(self, driver):
+        f = driver.open(0, write=False)
+        with pytest.raises(MsrError, match="read-only"):
+            f.write_msr(regs.IA32_PERFEVTSEL0, 1)
+
+    def test_closed_fd_rejected(self, driver):
+        f = driver.open(0)
+        f.close()
+        with pytest.raises(MsrError, match="closed"):
+            f.read_msr(regs.IA32_TSC)
+
+    def test_per_cpu_isolation(self, driver):
+        f0 = driver.open(0)
+        f1 = driver.open(1)
+        f0.write_msr(regs.IA32_PERFEVTSEL0, 0x11)
+        assert f1.read_msr(regs.IA32_PERFEVTSEL0) == 0
+
+    def test_undeclared_address_faults(self, driver):
+        f = driver.open(0)
+        with pytest.raises(MsrError, match="#GP"):
+            f.read_msr(0xDEAD)

@@ -1,0 +1,99 @@
+"""Unit tests for the Intel/GNU OpenMP runtime models."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.hw.arch import create_machine
+from repro.oskern.openmp import OpenMPRuntime
+from repro.oskern.scheduler import OSKernel
+from repro.oskern.threads import ThreadKind
+
+
+def make_kernel(arch="westmere_ep", **env):
+    kernel = OSKernel(create_machine(arch), seed=0)
+    kernel.env.update(env)
+    return kernel
+
+
+class TestTeamShapes:
+    def test_intel_spawns_n_plus_one(self):
+        """Paper: 'the Intel OpenMP implementation always runs
+        OMP_NUM_THREADS+1 threads but uses the first newly created
+        thread as a management thread'."""
+        kernel = make_kernel()
+        team = OpenMPRuntime(kernel, "intel").spawn_team(4)
+        assert len(team.all_threads) == 5
+        assert team.created[0].kind is ThreadKind.SHEPHERD
+        assert len(team.compute_threads) == 4
+
+    def test_gnu_spawns_n_minus_one(self):
+        kernel = make_kernel()
+        team = OpenMPRuntime(kernel, "gnu").spawn_team(4)
+        assert len(team.all_threads) == 4
+        assert all(t.kind is not ThreadKind.SHEPHERD
+                   for t in team.all_threads)
+        assert len(team.compute_threads) == 4
+
+    def test_single_thread_team(self):
+        kernel = make_kernel()
+        for model in ("intel", "gnu"):
+            kernel.reset_threads()
+            team = OpenMPRuntime(kernel, model).spawn_team(1)
+            assert len(team.compute_threads) == 1
+
+    def test_master_is_openmp_thread_zero(self):
+        kernel = make_kernel()
+        team = OpenMPRuntime(kernel, "gnu").spawn_team(3)
+        assert team.compute_threads[0] is team.master
+
+    def test_invalid_runtime_model(self):
+        with pytest.raises(SchedulerError, match="unknown OpenMP"):
+            OpenMPRuntime(make_kernel(), "llvm")
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(SchedulerError):
+            OpenMPRuntime(make_kernel(), "gnu").spawn_team(0)
+
+
+class TestKmpAffinity:
+    def test_disabled_by_default(self):
+        kernel = make_kernel()
+        team = OpenMPRuntime(kernel, "intel").spawn_team(4)
+        for t in team.compute_threads:
+            assert kernel.sched_getaffinity(t.tid) == kernel.all_cpus
+
+    def test_scatter_distributes_across_sockets(self):
+        kernel = make_kernel(KMP_AFFINITY="scatter")
+        team = OpenMPRuntime(kernel, "intel").spawn_team(4)
+        cpus = [next(iter(kernel.sched_getaffinity(t.tid)))
+                for t in team.compute_threads]
+        sockets = [kernel.machine.spec.socket_of(c) for c in cpus]
+        assert sorted(sockets) == [0, 0, 1, 1]
+        # Shepherd remains unpinned.
+        assert kernel.sched_getaffinity(team.created[0].tid) == kernel.all_cpus
+
+    def test_compact_fills_one_core_first(self):
+        kernel = make_kernel(KMP_AFFINITY="compact")
+        team = OpenMPRuntime(kernel, "intel").spawn_team(2)
+        cpus = [next(iter(kernel.sched_getaffinity(t.tid)))
+                for t in team.compute_threads]
+        assert cpus == [0, 12]   # SMT siblings of core 0
+
+    def test_noop_on_gnu_runtime(self):
+        kernel = make_kernel(KMP_AFFINITY="scatter")
+        team = OpenMPRuntime(kernel, "gnu").spawn_team(4)
+        for t in team.compute_threads:
+            assert kernel.sched_getaffinity(t.tid) == kernel.all_cpus
+
+    def test_noop_on_amd_hardware(self):
+        """Paper: 'Intel compilers support thread affinity only if the
+        application is executed on Intel processors'."""
+        kernel = make_kernel(arch="amd_istanbul", KMP_AFFINITY="scatter")
+        team = OpenMPRuntime(kernel, "intel").spawn_team(4)
+        for t in team.compute_threads:
+            assert kernel.sched_getaffinity(t.tid) == kernel.all_cpus
+
+    def test_unknown_mode_rejected(self):
+        kernel = make_kernel(KMP_AFFINITY="weird")
+        with pytest.raises(SchedulerError, match="KMP_AFFINITY"):
+            OpenMPRuntime(kernel, "intel").spawn_team(2)

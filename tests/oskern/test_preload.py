@@ -1,0 +1,83 @@
+"""Unit tests for the pthread_create wrapper (the likwid-pin mechanism)."""
+
+import pytest
+
+from repro.errors import AffinityError
+from repro.hw.arch import create_machine
+from repro.oskern.preload import ENV_CPULIST, ENV_SKIP, PinOverlay
+from repro.oskern.scheduler import OSKernel
+
+
+@pytest.fixture
+def kernel():
+    return OSKernel(create_machine("westmere_ep"), seed=0)
+
+
+def launch(kernel, cpulist, skip="0x0"):
+    kernel.env[ENV_CPULIST] = cpulist
+    kernel.env[ENV_SKIP] = skip
+    overlay = PinOverlay().install(kernel)
+    master = kernel.spawn_process()
+    overlay.pin_master(kernel, master)
+    return overlay, master
+
+
+class TestMasterPinning:
+    def test_master_pinned_to_first_core(self, kernel):
+        _overlay, master = launch(kernel, "4,5,6")
+        assert kernel.sched_getaffinity(master.tid) == frozenset({4})
+
+    def test_no_cpulist_means_no_pinning(self, kernel):
+        overlay = PinOverlay().install(kernel)
+        master = kernel.spawn_process()
+        overlay.pin_master(kernel, master)
+        assert kernel.sched_getaffinity(master.tid) == kernel.all_cpus
+
+
+class TestWorkerPinning:
+    def test_workers_walk_the_list(self, kernel):
+        _overlay, _master = launch(kernel, "0,1,2,3")
+        workers = [kernel.pthread_create() for _ in range(3)]
+        assert [next(iter(kernel.sched_getaffinity(w.tid)))
+                for w in workers] == [1, 2, 3]
+
+    def test_skip_mask_skips_shepherd(self, kernel):
+        overlay, _master = launch(kernel, "0,1,2,3", skip="0x1")
+        shepherd = kernel.pthread_create()
+        workers = [kernel.pthread_create() for _ in range(3)]
+        assert kernel.sched_getaffinity(shepherd.tid) == kernel.all_cpus
+        assert [next(iter(kernel.sched_getaffinity(w.tid)))
+                for w in workers] == [1, 2, 3]
+        assert overlay.skipped_tids == [shepherd.tid]
+
+    def test_hybrid_mask_0x3_skips_two(self, kernel):
+        overlay, _master = launch(kernel, "0,1,2", skip="0x3")
+        first = kernel.pthread_create()
+        second = kernel.pthread_create()
+        third = kernel.pthread_create()
+        assert overlay.skipped_tids == [first.tid, second.tid]
+        assert kernel.sched_getaffinity(third.tid) == frozenset({1})
+
+    def test_list_wraps_around(self, kernel):
+        _overlay, _master = launch(kernel, "0,1")
+        w1 = kernel.pthread_create()
+        w2 = kernel.pthread_create()   # list exhausted -> wraps to index 0
+        assert kernel.sched_getaffinity(w1.tid) == frozenset({1})
+        assert kernel.sched_getaffinity(w2.tid) == frozenset({0})
+
+    def test_env_read_lazily_at_first_call(self, kernel):
+        overlay = PinOverlay().install(kernel)
+        master = kernel.spawn_process()
+        # Env set AFTER install but before first thread creation.
+        kernel.env[ENV_CPULIST] = "2,3"
+        kernel.env[ENV_SKIP] = "0x0"
+        w = kernel.pthread_create()
+        assert kernel.sched_getaffinity(w.tid) == frozenset({3})
+        del master, overlay
+
+    def test_malformed_cpulist_raises(self, kernel):
+        kernel.env[ENV_CPULIST] = "0,x"
+        overlay = PinOverlay().install(kernel)
+        with pytest.raises(AffinityError, match="bad LIKWID_PIN"):
+            kernel.pthread_create()
+        del overlay

@@ -1,0 +1,106 @@
+"""Tests for /proc/cpuinfo and sysfs rendering: the independent oracle
+against which the CPUID decode path is cross-checked."""
+
+import pytest
+
+from repro.hw.arch import ARCH_SPECS, create_machine, get_arch
+from repro.oskern.proc import parse_cpuinfo, render_cpuinfo
+from repro.oskern.sysfs import _cpulist, parse_cpulist, render_sysfs
+
+
+class TestCpuinfo:
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_one_stanza_per_hwthread(self, arch):
+        m = create_machine(arch)
+        cpus = parse_cpuinfo(render_cpuinfo(m))
+        assert len(cpus) == m.num_hwthreads
+        assert [int(c["processor"]) for c in cpus] == list(range(len(cpus)))
+
+    def test_westmere_core_ids_sparse(self):
+        m = create_machine("westmere_ep")
+        cpus = parse_cpuinfo(render_cpuinfo(m))
+        socket0_cores = {int(c["core id"]) for c in cpus
+                         if c["physical id"] == "0"}
+        assert socket0_cores == {0, 1, 2, 8, 9, 10}
+
+    def test_family_model_match_spec(self):
+        m = create_machine("amd_istanbul")
+        cpu0 = parse_cpuinfo(render_cpuinfo(m))[0]
+        assert int(cpu0["cpu family"]) == 0x10
+        assert cpu0["vendor_id"] == "AuthenticAMD"
+
+    def test_siblings_and_cores(self):
+        m = create_machine("westmere_ep")
+        cpu0 = parse_cpuinfo(render_cpuinfo(m))[0]
+        assert int(cpu0["siblings"]) == 12
+        assert int(cpu0["cpu cores"]) == 6
+
+    def test_ht_flag_when_smt(self):
+        m = create_machine("westmere_ep")
+        cpu0 = parse_cpuinfo(render_cpuinfo(m))[0]
+        assert "ht" in cpu0["flags"].split()
+        m2 = create_machine("amd_istanbul")
+        cpu0 = parse_cpuinfo(render_cpuinfo(m2))[0]
+        assert "ht" not in cpu0["flags"].split()
+
+
+class TestCpulistFormat:
+    @pytest.mark.parametrize("cpus,text", [
+        ([0, 1, 2, 3], "0-3"),
+        ([0, 2, 3, 4, 8], "0,2-4,8"),
+        ([5], "5"),
+        ([0, 12], "0,12"),
+    ])
+    def test_render(self, cpus, text):
+        assert _cpulist(cpus) == text
+
+    @pytest.mark.parametrize("text,cpus", [
+        ("0-3", [0, 1, 2, 3]),
+        ("0,2-4,8", [0, 2, 3, 4, 8]),
+        ("", []),
+    ])
+    def test_parse(self, text, cpus):
+        assert parse_cpulist(text) == cpus
+
+    def test_roundtrip(self):
+        original = [0, 1, 2, 7, 9, 10, 11, 23]
+        assert parse_cpulist(_cpulist(original)) == original
+
+
+class TestSysfs:
+    @pytest.mark.parametrize("arch", sorted(ARCH_SPECS))
+    def test_topology_consistent_with_spec(self, arch):
+        m = create_machine(arch)
+        spec = get_arch(arch)
+        tree = render_sysfs(m)
+        for cpu in range(spec.num_hwthreads):
+            socket, core_index, _smt = spec.hwthread_location(cpu)
+            assert tree[f"cpu{cpu}/topology/physical_package_id"] == str(socket)
+            assert tree[f"cpu{cpu}/topology/core_id"] == \
+                str(spec.core_ids[core_index])
+            siblings = parse_cpulist(
+                tree[f"cpu{cpu}/topology/thread_siblings_list"])
+            assert cpu in siblings
+            assert len(siblings) == spec.threads_per_core
+
+    def test_westmere_l3_shared_by_socket(self):
+        m = create_machine("westmere_ep")
+        tree = render_sysfs(m)
+        shared = parse_cpulist(tree["cpu0/cache/index2/shared_cpu_list"])
+        assert sorted(shared) == sorted(m.spec.hwthreads_of_socket(0))
+
+    def test_l1_shared_by_smt_pair(self):
+        m = create_machine("westmere_ep")
+        tree = render_sysfs(m)
+        assert parse_cpulist(tree["cpu0/cache/index0/shared_cpu_list"]) == [0, 12]
+
+    def test_cache_attributes(self):
+        m = create_machine("westmere_ep")
+        tree = render_sysfs(m)
+        assert tree["cpu0/cache/index2/size"] == "12288K"
+        assert tree["cpu0/cache/index2/ways_of_associativity"] == "16"
+        assert tree["cpu0/cache/index2/number_of_sets"] == "12288"
+
+    def test_online_list(self):
+        m = create_machine("core2")
+        assert render_sysfs(m)["online"] == "0-3"

@@ -1,0 +1,34 @@
+"""Unit tests for the thread table semantics."""
+
+from repro.oskern.threads import SimThread, ThreadKind
+
+
+class TestSimThread:
+    def test_pinned_requires_singleton_mask(self):
+        t = SimThread(tid=1, kind=ThreadKind.WORKER, creation_index=0)
+        assert not t.pinned
+        t.affinity = frozenset({3, 4})
+        assert not t.pinned
+        t.affinity = frozenset({3})
+        assert t.pinned
+
+    def test_shepherds_do_not_compute(self):
+        shepherd = SimThread(tid=1, kind=ThreadKind.SHEPHERD,
+                             creation_index=1)
+        worker = SimThread(tid=2, kind=ThreadKind.WORKER, creation_index=2)
+        master = SimThread(tid=3, kind=ThreadKind.MASTER, creation_index=0)
+        assert not shepherd.computes
+        assert worker.computes
+        assert master.computes
+
+    def test_default_name_and_meta(self):
+        t = SimThread(tid=7, kind=ThreadKind.WORKER, creation_index=0)
+        assert t.hwthread is None
+        assert t.memory_socket is None
+        t.meta["key"] = "value"
+        assert t.meta == {"key": "value"}
+
+    def test_kind_enum_values(self):
+        assert ThreadKind.MASTER.value == "master"
+        assert ThreadKind.SHEPHERD.value == "shepherd"
+        assert ThreadKind.WORKER.value == "worker"

@@ -1,0 +1,200 @@
+"""Tests for counter mapping, assignment validation, and programming."""
+
+import pytest
+
+from repro.core.perfctr.counters import (CounterMap, CounterProgrammer,
+                                         auto_fixed_assignments,
+                                         validate_assignments)
+from repro.core.perfctr.events import parse_event_string
+from repro.errors import CounterError
+from repro.hw import registers as regs
+from repro.hw.arch import create_machine, get_arch
+from repro.oskern.msr_driver import MsrDriver
+
+
+class TestCounterMap:
+    def test_nehalem_resources(self):
+        cm = CounterMap(get_arch("nehalem_ep"))
+        assert cm.names("PMC") == ["PMC0", "PMC1", "PMC2", "PMC3"]
+        assert cm.names("FIXC") == ["FIXC0", "FIXC1", "FIXC2"]
+        assert len(cm.names("UPMC")) == 8
+        assert cm.names("UFIXC") == ["UFIXC0"]
+
+    def test_core2_resources(self):
+        cm = CounterMap(get_arch("core2"))
+        assert cm.names("PMC") == ["PMC0", "PMC1"]
+        assert cm.names("UPMC") == []
+
+    def test_amd_resources(self):
+        cm = CounterMap(get_arch("amd_istanbul"))
+        assert len(cm.names("PMC")) == 4
+        assert cm.names("FIXC") == []
+        assert cm.lookup("PMC0").config_addr == regs.AMD_PERFEVTSEL0
+
+    def test_unknown_counter(self):
+        cm = CounterMap(get_arch("core2"))
+        with pytest.raises(CounterError, match="no counter"):
+            cm.lookup("PMC7")
+
+    def test_addresses(self):
+        cm = CounterMap(get_arch("nehalem_ep"))
+        assert cm.lookup("PMC2").counter_addr == regs.IA32_PMC0 + 2
+        assert cm.lookup("FIXC1").counter_addr == regs.IA32_FIXED_CTR1
+        assert cm.lookup("UPMC3").counter_addr == regs.MSR_UNCORE_PMC0 + 3
+        assert cm.lookup("FIXC0").config_addr is None
+
+
+class TestValidation:
+    def _validate(self, arch, text):
+        spec = get_arch(arch)
+        return validate_assignments(spec.events, CounterMap(spec),
+                                    parse_event_string(text))
+
+    def test_valid_core_assignment(self):
+        out = self._validate("nehalem_ep", "L1D_REPL:PMC0,L1D_M_EVICT:PMC1")
+        assert [a.counter.name for a in out] == ["PMC0", "PMC1"]
+
+    def test_fixed_event_must_use_its_fixed_counter(self):
+        with pytest.raises(CounterError, match="hard-wired"):
+            self._validate("nehalem_ep", "INSTR_RETIRED_ANY:PMC0")
+        with pytest.raises(CounterError, match="hard-wired"):
+            self._validate("nehalem_ep", "INSTR_RETIRED_ANY:FIXC1")
+        out = self._validate("nehalem_ep", "INSTR_RETIRED_ANY:FIXC0")
+        assert out[0].counter.name == "FIXC0"
+
+    def test_uncore_event_requires_upmc(self):
+        with pytest.raises(CounterError, match="requires a UPMC"):
+            self._validate("nehalem_ep", "UNC_L3_LINES_IN_ANY:PMC0")
+        out = self._validate("nehalem_ep", "UNC_L3_LINES_IN_ANY:UPMC0")
+        assert out[0].counter.is_uncore
+
+    def test_core_event_rejects_upmc(self):
+        with pytest.raises(CounterError, match="requires a PMC"):
+            self._validate("nehalem_ep", "L1D_REPL:UPMC0")
+
+    def test_unknown_event(self):
+        from repro.errors import EventError
+        with pytest.raises(EventError):
+            self._validate("nehalem_ep", "BOGUS_EVENT:PMC0")
+
+    def test_counter_beyond_capacity(self):
+        with pytest.raises(CounterError, match="no counter"):
+            self._validate("core2", "L1D_REPL:PMC2")
+
+    def test_auto_fixed_on_intel(self):
+        spec = get_arch("westmere_ep")
+        extra = auto_fixed_assignments(spec.events, CounterMap(spec))
+        assert [a.event.name for a in extra] == [
+            "INSTR_RETIRED_ANY", "CPU_CLK_UNHALTED_CORE",
+            "CPU_CLK_UNHALTED_REF"]
+
+    def test_auto_fixed_empty_on_amd(self):
+        spec = get_arch("amd_k8")
+        assert auto_fixed_assignments(spec.events, CounterMap(spec)) == []
+
+
+class TestProgramming:
+    def _setup(self, arch="nehalem_ep"):
+        machine = create_machine(arch)
+        spec = machine.spec
+        cm = CounterMap(spec)
+        programmer = CounterProgrammer(MsrDriver(machine), cm)
+        assignments = validate_assignments(
+            spec.events, cm, parse_event_string("L1D_REPL:PMC0"))
+        assignments += auto_fixed_assignments(spec.events, cm)
+        return machine, programmer, assignments
+
+    def test_setup_programs_evtsel_without_counting(self):
+        machine, programmer, assignments = self._setup()
+        programmer.setup_core(0, assignments)
+        evtsel = machine.rdmsr(0, regs.IA32_PERFEVTSEL0)
+        ev = machine.spec.events.lookup("L1D_REPL")
+        assert regs.evtsel_event(evtsel) == ev.event_code
+        assert regs.evtsel_umask(evtsel) == ev.umask
+        assert not machine.core_pmus[0].pmc_active(0)  # global ctrl off
+
+    def test_start_activates_counters(self):
+        machine, programmer, assignments = self._setup()
+        programmer.setup_core(0, assignments)
+        programmer.start_core(0, assignments)
+        assert machine.core_pmus[0].pmc_active(0)
+        assert machine.core_pmus[0].fixed_active(0)
+        assert machine.core_pmus[0].fixed_active(1)
+
+    def test_stop_deactivates(self):
+        machine, programmer, assignments = self._setup()
+        programmer.setup_core(0, assignments)
+        programmer.start_core(0, assignments)
+        programmer.stop_core(0, assignments)
+        assert not machine.core_pmus[0].pmc_active(0)
+
+    def test_setup_zeroes_counters(self):
+        machine, programmer, assignments = self._setup()
+        machine.msr[0].poke(regs.IA32_PMC0, 999)
+        programmer.setup_core(0, assignments)
+        assert machine.rdmsr(0, regs.IA32_PMC0) == 0
+
+    def test_read_returns_by_counter_name(self):
+        machine, programmer, assignments = self._setup()
+        programmer.setup_core(0, assignments)
+        machine.msr[0].poke(regs.IA32_PMC0, 77)
+        raw = programmer.read_core(0, assignments)
+        assert raw["PMC0"] == 77
+
+    def test_amd_start_stop_via_en_bit(self):
+        machine = create_machine("amd_istanbul")
+        spec = machine.spec
+        cm = CounterMap(spec)
+        programmer = CounterProgrammer(MsrDriver(machine), cm)
+        assignments = validate_assignments(
+            spec.events, cm,
+            parse_event_string("RETIRED_INSTRUCTIONS:PMC0"))
+        programmer.setup_core(0, assignments)
+        assert not machine.core_pmus[0].pmc_active(0)
+        programmer.start_core(0, assignments)
+        assert machine.core_pmus[0].pmc_active(0)
+        programmer.stop_core(0, assignments)
+        assert not machine.core_pmus[0].pmc_active(0)
+
+    def test_uncore_programming(self):
+        machine = create_machine("nehalem_ep")
+        spec = machine.spec
+        cm = CounterMap(spec)
+        programmer = CounterProgrammer(MsrDriver(machine), cm)
+        assignments = validate_assignments(
+            spec.events, cm,
+            parse_event_string("UNC_L3_LINES_IN_ANY:UPMC0"))
+        programmer.setup_uncore(0, assignments)
+        programmer.start_uncore(0, assignments)
+        assert machine.uncore_pmus[0].upmc_active(0)
+        programmer.stop_uncore(0)
+        assert not machine.uncore_pmus[0].upmc_active(0)
+
+
+class TestCounterConstraints:
+    """Events tied to specific counters (offcore-response facility)."""
+
+    def _validate(self, text):
+        spec = get_arch("nehalem_ep")
+        return validate_assignments(spec.events, CounterMap(spec),
+                                    parse_event_string(text))
+
+    def test_allowed_counters_accepted(self):
+        out = self._validate("OFFCORE_RESPONSE_0_ANY_REQUEST:PMC0")
+        assert out[0].counter.index == 0
+        out = self._validate("OFFCORE_RESPONSE_0_ANY_REQUEST:PMC1")
+        assert out[0].counter.index == 1
+
+    def test_disallowed_counter_rejected(self):
+        with pytest.raises(CounterError, match="cannot be counted on PMC2"):
+            self._validate("OFFCORE_RESPONSE_0_ANY_REQUEST:PMC2")
+
+    def test_constrained_event_still_counts(self):
+        from repro.core.perfctr.measurement import LikwidPerfCtr
+        from repro.hw.events import Channel
+        machine = create_machine("nehalem_ep")
+        perfctr = LikwidPerfCtr(machine)
+        result = perfctr.wrap(
+            [0], "OFFCORE_RESPONSE_0_ANY_REQUEST:PMC1",
+            lambda: machine.apply_counts({0: {Channel.DRAM_READS: 321}}))
+        assert result.event(0, "OFFCORE_RESPONSE_0_ANY_REQUEST") == 321

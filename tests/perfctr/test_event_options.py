@@ -1,0 +1,86 @@
+"""Tests for event-option parsing and programming (EDGEDETECT etc.)."""
+
+import pytest
+
+from repro.core.perfctr import LikwidPerfCtr
+from repro.core.perfctr.events import (EventOptions, parse_event_string,
+                                       parse_options)
+from repro.errors import CounterError, EventError
+from repro.hw import registers as regs
+from repro.hw.arch import create_machine
+
+
+class TestParsing:
+    def test_plain_assignment_default_options(self):
+        spec = parse_event_string("L1D_REPL:PMC0")[0]
+        assert spec.options == EventOptions()
+
+    def test_flags(self):
+        spec = parse_event_string(
+            "L1D_REPL:PMC0:EDGEDETECT:INVERT:ANYTHREAD")[0]
+        assert spec.options.edge
+        assert spec.options.invert
+        assert spec.options.anythread
+
+    def test_cmask_values(self):
+        assert parse_event_string("A:PMC0:CMASK=2")[0].options.cmask == 2
+        assert parse_event_string("A:PMC0:CMASK=0x10")[0].options.cmask == 16
+
+    def test_ring_filters(self):
+        kernel = parse_event_string("A:PMC0:KERNEL")[0].options
+        assert kernel.kernel_only and not kernel.user_only
+        user = parse_event_string("A:PMC0:USER")[0].options
+        assert user.user_only
+
+    def test_kernel_and_user_exclusive(self):
+        with pytest.raises(EventError, match="exclusive"):
+            parse_event_string("A:PMC0:KERNEL:USER")
+
+    @pytest.mark.parametrize("bad", ["A:PMC0:FOO", "A:PMC0:CMASK=z",
+                                     "A:PMC0:CMASK=300"])
+    def test_bad_options(self, bad):
+        with pytest.raises(EventError):
+            parse_event_string(bad)
+
+    def test_case_insensitive(self):
+        spec = parse_event_string("A:PMC0:edgedetect")[0]
+        assert spec.options.edge
+
+    def test_render_roundtrip(self):
+        text = "A:PMC0:EDGEDETECT:KERNEL:CMASK=0x2"
+        spec = parse_event_string(text)[0]
+        assert parse_event_string(spec.render())[0] == spec
+
+
+class TestProgramming:
+    def test_options_land_in_evtsel(self):
+        machine = create_machine("nehalem_ep")
+        perfctr = LikwidPerfCtr(machine)
+        session = perfctr.session(
+            [0], "L1D_REPL:PMC0:EDGEDETECT:CMASK=0x3:KERNEL")
+        session.start()
+        evtsel = machine.rdmsr(0, regs.IA32_PERFEVTSEL0)
+        assert evtsel & regs.EVTSEL_EDGE
+        assert (evtsel >> regs.EVTSEL_CMASK_SHIFT) & 0xFF == 3
+        assert not evtsel & regs.EVTSEL_USR   # KERNEL = ring 0 only
+        assert evtsel & regs.EVTSEL_OS
+        session.stop()
+
+    def test_counting_still_matches_event(self):
+        from repro.hw.events import Channel
+        machine = create_machine("nehalem_ep")
+        perfctr = LikwidPerfCtr(machine)
+        result = perfctr.wrap(
+            [0], "L1D_REPL:PMC0:EDGEDETECT",
+            lambda: machine.apply_counts({0: {Channel.L1D_REPLACEMENT: 9}}))
+        assert result.event(0, "L1D_REPL") == 9
+
+    def test_fixed_counters_reject_options(self):
+        machine = create_machine("nehalem_ep")
+        perfctr = LikwidPerfCtr(machine)
+        with pytest.raises(CounterError, match="options"):
+            perfctr.session([0], "INSTR_RETIRED_ANY:FIXC0:EDGEDETECT")
+
+    def test_parse_options_direct(self):
+        options = parse_options(["EDGEDETECT", "CMASK=1"], "ctx")
+        assert options.edge and options.cmask == 1

@@ -1,0 +1,97 @@
+"""Tests for event-string parsing and the metric formula evaluator."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.perfctr.events import (EventSpec, is_event_string,
+                                       parse_event_string)
+from repro.core.perfctr.formula import evaluate, formula_variables, tokenize
+from repro.errors import EventError, GroupError
+
+
+class TestEventParsing:
+    def test_paper_example(self):
+        text = ("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE:PMC0,"
+                "SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE:PMC1")
+        specs = parse_event_string(text)
+        assert specs == [
+            EventSpec("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", "PMC0"),
+            EventSpec("SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE", "PMC1")]
+        assert specs[0].counter_class == "PMC"
+        assert specs[1].counter_index == 1
+
+    def test_uncore_counter_names(self):
+        specs = parse_event_string("UNC_L3_LINES_IN_ANY:UPMC3")
+        assert specs[0].counter_class == "UPMC"
+        assert specs[0].counter_index == 3
+
+    @pytest.mark.parametrize("bad", [
+        "", "EVENT", "EVENT:", ":PMC0", "EVENT:XYZ0", "EVENT:PMC",
+        "A:PMC0,,B:PMC1", "EVENT:pmc0",
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises(EventError):
+            parse_event_string(bad)
+
+    def test_duplicate_counter_rejected(self):
+        with pytest.raises(EventError, match="assigned twice"):
+            parse_event_string("A:PMC0,B:PMC0")
+
+    def test_group_heuristic(self):
+        assert not is_event_string("FLOPS_DP")
+        assert is_event_string("A:PMC0")
+
+
+class TestFormulaEvaluator:
+    def test_paper_flops_formula(self):
+        value = evaluate(
+            "1.0E-06*(PACKED*2.0+SCALAR)/time",
+            {"PACKED": 8.192e6, "SCALAR": 1, "time": 0.01})
+        assert value == pytest.approx(1638.4, rel=1e-4)
+
+    @pytest.mark.parametrize("formula,expected", [
+        ("1+2*3", 7.0),
+        ("(1+2)*3", 9.0),
+        ("-4+6", 2.0),
+        ("2*-3", -6.0),
+        ("10/4", 2.5),
+        ("1.5e3", 1500.0),
+        (".5*4", 2.0),
+        ("A/B", 2.0),
+    ])
+    def test_arithmetic(self, formula, expected):
+        assert evaluate(formula, {"A": 4, "B": 2}) == expected
+
+    def test_division_by_zero_is_nan(self):
+        assert math.isnan(evaluate("A/B", {"A": 1, "B": 0}))
+
+    def test_unknown_variable(self):
+        with pytest.raises(GroupError, match="unknown variable"):
+            evaluate("X+1", {})
+
+    @pytest.mark.parametrize("bad", ["1+", "(1", "1)", "", "1 2", "@", "a b"])
+    def test_malformed_formula(self, bad):
+        with pytest.raises(GroupError):
+            evaluate(bad, {"a": 1, "b": 2})
+
+    def test_variables_extraction(self):
+        assert formula_variables("1e-6*(A_1*2+B)/time") == {"A_1", "B", "time"}
+
+    def test_tokenizer_classes(self):
+        tokens = tokenize("1.5e-2*(ABC/x)")
+        kinds = [k for k, _ in tokens]
+        assert kinds == ["num", "op", "op", "ident", "op", "ident", "op"]
+
+
+@given(a=st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False),
+       b=st.floats(min_value=1e-3, max_value=1e6))
+def test_formula_matches_python_semantics(a, b):
+    """Property: the hand-written parser agrees with Python arithmetic
+    on a representative expression shape."""
+    value = evaluate("(A+2.0)*B-A/B", {"A": a, "B": b})
+    expected = (a + 2.0) * b - a / b
+    assert value == pytest.approx(expected, rel=1e-9, abs=1e-9)

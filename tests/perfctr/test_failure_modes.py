@@ -1,0 +1,121 @@
+"""Failure-injection tests: the tool layer against a hostile OS.
+
+The paper sells ease of installation ("no additional kernel modules
+and patches") but the msr module and its device permissions are still
+real-world failure points; these tests pin the error behaviour.
+"""
+
+import pytest
+
+from repro.core.features import LikwidFeatures
+from repro.core.perfctr import LikwidPerfCtr
+from repro.errors import CounterError, MsrError
+from repro.hw.arch import create_machine
+from repro.oskern.msr_driver import MsrDriver
+
+
+class TestDriverFailures:
+    def test_measurement_without_msr_module(self):
+        machine = create_machine("nehalem_ep")
+        driver = MsrDriver(machine, loaded=False)
+        perfctr = LikwidPerfCtr(machine, driver)
+        session = perfctr.session([0], "FLOPS_DP")
+        with pytest.raises(MsrError, match="modprobe msr"):
+            session.start()
+
+    def test_measurement_with_readonly_devices(self):
+        machine = create_machine("nehalem_ep")
+        driver = MsrDriver(machine, device_writable=False)
+        perfctr = LikwidPerfCtr(machine, driver)
+        session = perfctr.session([0], "FLOPS_DP")
+        with pytest.raises(MsrError, match="permission denied"):
+            session.start()
+
+    def test_module_unloaded_mid_session(self):
+        machine = create_machine("nehalem_ep")
+        driver = MsrDriver(machine)
+        perfctr = LikwidPerfCtr(machine, driver)
+        session = perfctr.session([0], "FLOPS_DP")
+        session.start()
+        driver.unload()
+        with pytest.raises(MsrError):
+            session.read()
+
+    def test_features_with_readonly_device(self):
+        machine = create_machine("core2")
+        driver = MsrDriver(machine, device_writable=False)
+        features = LikwidFeatures(driver)
+        # Reading the report works (read-only open)...
+        assert "Hardware Prefetcher" in features.report()
+        # ...but toggling needs a writable device.
+        with pytest.raises(MsrError, match="permission denied"):
+            features.disable("CL_PREFETCHER")
+
+    def test_failed_start_leaves_no_partial_enable(self):
+        """If programming cpu 1 fails, cpu 0's counters must not be
+        left running (no torn sessions)."""
+        machine = create_machine("nehalem_ep")
+        driver = MsrDriver(machine)
+        perfctr = LikwidPerfCtr(machine, driver)
+        session = perfctr.session([0, 1], "FLOPS_DP")
+
+        original_open = driver.open
+        calls = {"n": 0}
+
+        def flaky_open(cpu, *, write=True):
+            calls["n"] += 1
+            if cpu == 1:
+                raise MsrError("injected failure")
+            return original_open(cpu, write=write)
+
+        driver.open = flaky_open
+        with pytest.raises(MsrError, match="injected"):
+            session.start()
+        driver.open = original_open
+        # cpu 0 was set up but never globally enabled (start_core for
+        # cpu 0 runs after all setup_core calls, which failed first).
+        assert not machine.core_pmus[0].pmc_active(0)
+
+    def test_read_after_stop_is_stable(self):
+        from repro.hw.events import Channel
+        machine = create_machine("nehalem_ep")
+        perfctr = LikwidPerfCtr(machine)
+        session = perfctr.session([0], "L1D_REPL:PMC0")
+        session.start()
+        machine.apply_counts({0: {Channel.L1D_REPLACEMENT: 5}})
+        session.stop()
+        first = session.read()
+        machine.apply_counts({0: {Channel.L1D_REPLACEMENT: 100}})
+        second = session.read()
+        assert first.event(0, "L1D_REPL") == second.event(0, "L1D_REPL") == 5
+
+
+class TestSessionMisuse:
+    def test_double_stop(self):
+        machine = create_machine("core2")
+        session = LikwidPerfCtr(machine).session([0], "FLOPS_DP")
+        session.start()
+        session.stop()
+        # Stopping twice is a CounterError (not started anymore)?  The
+        # session keeps its started timestamp; second stop recomputes
+        # wall time — must not raise.
+        session.stop()
+
+    def test_restart_rezeros_counters(self):
+        from repro.hw.events import Channel
+        machine = create_machine("core2")
+        perfctr = LikwidPerfCtr(machine)
+        session = perfctr.session([0], "FLOPS_DP")
+        session.start()
+        machine.apply_counts({0: {Channel.FLOPS_PACKED_DP: 50}})
+        session.stop()
+        session.start()   # fresh measurement window
+        machine.apply_counts({0: {Channel.FLOPS_PACKED_DP: 7}})
+        session.stop()
+        assert session.read().event(
+            0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE") == 7
+
+    def test_empty_cpu_list(self):
+        machine = create_machine("core2")
+        with pytest.raises(CounterError, match="no cpus"):
+            LikwidPerfCtr(machine).session([], "FLOPS_DP")

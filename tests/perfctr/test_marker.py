@@ -1,0 +1,182 @@
+"""Tests for the marker API (named regions, §II.A)."""
+
+import pytest
+
+from repro.core.perfctr import LikwidPerfCtr, MarkerAPI
+from repro.errors import MarkerError
+from repro.hw.arch import create_machine
+from repro.hw.events import Channel
+
+
+@pytest.fixture
+def setup():
+    machine = create_machine("core2")
+    perfctr = LikwidPerfCtr(machine)
+    session = perfctr.session("0-3", "FLOPS_DP")
+    session.start()
+    marker = MarkerAPI(session)
+    return machine, session, marker
+
+
+def emit(machine, cpu, packed=0, instr=100, cycles=150):
+    machine.apply_counts({cpu: {Channel.FLOPS_PACKED_DP: packed,
+                                Channel.INSTRUCTIONS: instr,
+                                Channel.CORE_CYCLES: cycles}})
+
+
+class TestLifecycle:
+    def test_paper_usage_flow(self, setup):
+        """The paper's marker listing: Init/RegisterRegion/Start/Stop/
+        Close with accumulation over a loop."""
+        machine, _session, marker = setup
+        marker.likwid_markerInit(1, 2)
+        main_id = marker.likwid_markerRegisterRegion("Main")
+        accum_id = marker.likwid_markerRegisterRegion("Accum")
+        marker.likwid_markerStartRegion(0, 0)
+        emit(machine, 0, packed=1000)
+        marker.likwid_markerStopRegion(0, 0, main_id)
+        for _ in range(3):
+            marker.likwid_markerStartRegion(0, 0)
+            emit(machine, 0, packed=10)
+            marker.likwid_markerStopRegion(0, 0, accum_id)
+        marker.likwid_markerClose()
+
+        main = marker.region_result("Main")
+        accum = marker.region_result("Accum")
+        assert main.event(0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE") == 1000
+        assert accum.event(0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE") == 30
+
+    def test_region_excludes_outside_events(self, setup):
+        machine, _session, marker = setup
+        marker.likwid_markerInit(1, 1)
+        rid = marker.likwid_markerRegisterRegion("R")
+        emit(machine, 0, packed=555)          # before the region
+        marker.likwid_markerStartRegion(0, 0)
+        emit(machine, 0, packed=7)
+        marker.likwid_markerStopRegion(0, 0, rid)
+        emit(machine, 0, packed=555)          # after the region
+        marker.likwid_markerClose()
+        result = marker.region_result("R")
+        assert result.event(0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE") == 7
+
+    def test_multithreaded_regions(self, setup):
+        machine, _session, marker = setup
+        marker.likwid_markerInit(4, 1)
+        rid = marker.likwid_markerRegisterRegion("Bench")
+        for thread, core in enumerate(range(4)):
+            marker.likwid_markerStartRegion(thread, core)
+        for core in range(4):
+            emit(machine, core, packed=core * 10)
+        for thread, core in enumerate(range(4)):
+            marker.likwid_markerStopRegion(thread, core, rid)
+        marker.likwid_markerClose()
+        result = marker.region_result("Bench")
+        assert result.cpus == [0, 1, 2, 3]
+        assert result.event(3, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE") == 30
+
+    def test_metrics_derived_per_region(self, setup):
+        machine, _session, marker = setup
+        marker.likwid_markerInit(1, 1)
+        rid = marker.likwid_markerRegisterRegion("R")
+        marker.likwid_markerStartRegion(0, 0)
+        emit(machine, 0, packed=4096, instr=10000, cycles=15000)
+        marker.likwid_markerStopRegion(0, 0, rid)
+        marker.likwid_markerClose()
+        result = marker.region_result("R")
+        assert result.metric(0, "CPI") == pytest.approx(1.5)
+        assert result.metric(0, "DP MFlops/s") > 0
+
+
+class TestMisuse:
+    def test_nesting_rejected(self, setup):
+        """Paper: 'Nesting or partial overlap of code regions is not
+        allowed.'"""
+        _machine, _session, marker = setup
+        marker.likwid_markerInit(1, 2)
+        marker.likwid_markerRegisterRegion("A")
+        marker.likwid_markerStartRegion(0, 0)
+        with pytest.raises(MarkerError, match="nesting"):
+            marker.likwid_markerStartRegion(0, 0)
+
+    def test_stop_without_start(self, setup):
+        _machine, _session, marker = setup
+        marker.likwid_markerInit(1, 1)
+        rid = marker.likwid_markerRegisterRegion("A")
+        with pytest.raises(MarkerError, match="without starting"):
+            marker.likwid_markerStopRegion(0, 0, rid)
+
+    def test_api_before_init(self, setup):
+        _machine, _session, marker = setup
+        with pytest.raises(MarkerError, match="markerInit"):
+            marker.likwid_markerRegisterRegion("A")
+
+    def test_double_init(self, setup):
+        _machine, _session, marker = setup
+        marker.likwid_markerInit(1, 1)
+        with pytest.raises(MarkerError, match="twice"):
+            marker.likwid_markerInit(1, 1)
+
+    def test_too_many_regions(self, setup):
+        _machine, _session, marker = setup
+        marker.likwid_markerInit(1, 1)
+        marker.likwid_markerRegisterRegion("A")
+        with pytest.raises(MarkerError, match="more regions"):
+            marker.likwid_markerRegisterRegion("B")
+
+    def test_duplicate_region_name(self, setup):
+        _machine, _session, marker = setup
+        marker.likwid_markerInit(1, 2)
+        marker.likwid_markerRegisterRegion("A")
+        with pytest.raises(MarkerError, match="registered twice"):
+            marker.likwid_markerRegisterRegion("A")
+
+    def test_thread_id_range_checked(self, setup):
+        _machine, _session, marker = setup
+        marker.likwid_markerInit(2, 1)
+        with pytest.raises(MarkerError, match="thread id"):
+            marker.likwid_markerStartRegion(2, 0)
+
+    def test_core_outside_measurement_set(self, setup):
+        _machine, _session, marker = setup
+        marker.likwid_markerInit(1, 1)
+        with pytest.raises(MarkerError, match="not part of"):
+            marker.likwid_markerStartRegion(0, 99)
+
+    def test_migrating_thread_detected(self, setup):
+        _machine, _session, marker = setup
+        marker.likwid_markerInit(1, 1)
+        rid = marker.likwid_markerRegisterRegion("A")
+        marker.likwid_markerStartRegion(0, 0)
+        with pytest.raises(MarkerError, match="pinned"):
+            marker.likwid_markerStopRegion(0, 1, rid)
+
+    def test_close_with_open_region(self, setup):
+        _machine, _session, marker = setup
+        marker.likwid_markerInit(1, 1)
+        marker.likwid_markerRegisterRegion("A")
+        marker.likwid_markerStartRegion(0, 0)
+        with pytest.raises(MarkerError, match="still open"):
+            marker.likwid_markerClose()
+
+    def test_results_only_after_close(self, setup):
+        _machine, _session, marker = setup
+        marker.likwid_markerInit(1, 1)
+        marker.likwid_markerRegisterRegion("A")
+        with pytest.raises(MarkerError, match="after likwid_markerClose"):
+            marker.region_result("A")
+
+    def test_unknown_region_result(self, setup):
+        _machine, _session, marker = setup
+        marker.likwid_markerInit(1, 1)
+        marker.likwid_markerRegisterRegion("A")
+        marker.likwid_markerClose()
+        with pytest.raises(MarkerError, match="unknown region"):
+            marker.region_result("Z")
+
+    def test_unknown_region_id_on_stop(self, setup):
+        _machine, _session, marker = setup
+        marker.likwid_markerInit(1, 1)
+        marker.likwid_markerRegisterRegion("A")
+        marker.likwid_markerStartRegion(0, 0)
+        with pytest.raises(MarkerError, match="unknown region id"):
+            marker.likwid_markerStopRegion(0, 0, 5)

@@ -1,0 +1,142 @@
+"""Tests for the wrapper-mode measurement engine."""
+
+import pytest
+
+from repro.core.perfctr import LikwidPerfCtr
+from repro.errors import CounterError
+from repro.hw.arch import create_machine
+from repro.hw.events import Channel
+from repro.oskern.scheduler import OSKernel
+from repro.workloads.stream import run_stream
+
+
+@pytest.fixture
+def nehalem():
+    return create_machine("nehalem_ep")
+
+
+def synthetic_run(machine, cpus, channels):
+    """Apply fixed channel counts to given cpus (a fake application)."""
+    def run():
+        machine.apply_counts({cpu: dict(channels) for cpu in cpus},
+                             elapsed_seconds=0.01)
+    return run
+
+
+class TestWrapperMode:
+    def test_counts_only_during_window(self, nehalem):
+        perfctr = LikwidPerfCtr(nehalem)
+        channels = {Channel.L1D_REPLACEMENT: 100,
+                    Channel.INSTRUCTIONS: 1000,
+                    Channel.CORE_CYCLES: 2000}
+        # Events before the session must not appear.
+        nehalem.apply_counts({0: channels})
+        result = perfctr.wrap([0], "L1D_REPL:PMC0",
+                              synthetic_run(nehalem, [0], channels))
+        assert result.event(0, "L1D_REPL") == 100
+        # Events after the window don't change the result either.
+        nehalem.apply_counts({0: channels})
+        assert result.event(0, "L1D_REPL") == 100
+
+    def test_fixed_events_always_added(self, nehalem):
+        perfctr = LikwidPerfCtr(nehalem)
+        result = perfctr.wrap([0], "L1D_REPL:PMC0",
+                              synthetic_run(nehalem, [0],
+                                            {Channel.INSTRUCTIONS: 500,
+                                             Channel.CORE_CYCLES: 700}))
+        assert result.event(0, "INSTR_RETIRED_ANY") == 500
+        assert result.event(0, "CPU_CLK_UNHALTED_CORE") == 700
+
+    def test_multiple_cores_measured_simultaneously(self, nehalem):
+        perfctr = LikwidPerfCtr(nehalem)
+        def run():
+            nehalem.apply_counts({
+                0: {Channel.L1D_REPLACEMENT: 10},
+                1: {Channel.L1D_REPLACEMENT: 20},
+                2: {Channel.L1D_REPLACEMENT: 30},
+            })
+        result = perfctr.wrap("0-2", "L1D_REPL:PMC0", run)
+        assert [result.event(c, "L1D_REPL") for c in (0, 1, 2)] == \
+            [10, 20, 30]
+
+    def test_core_based_not_process_based(self, nehalem):
+        """Paper §II.A: everything that runs on the core is counted —
+        an interloper's events are indistinguishable."""
+        perfctr = LikwidPerfCtr(nehalem)
+        def run():
+            nehalem.apply_counts({0: {Channel.L1D_REPLACEMENT: 100}})
+            # Another "process" lands on the same core mid-measurement.
+            nehalem.apply_counts({0: {Channel.L1D_REPLACEMENT: 999}})
+        result = perfctr.wrap([0], "L1D_REPL:PMC0", run)
+        assert result.event(0, "L1D_REPL") == 1099
+
+    def test_group_metrics_derived(self, nehalem):
+        kernel = OSKernel(nehalem, seed=1)
+        perfctr = LikwidPerfCtr(nehalem)
+        result = perfctr.wrap(
+            "0-3", "FLOPS_DP",
+            lambda: run_stream(nehalem, kernel, nthreads=4, compiler="icc",
+                               pin_cpus=[0, 1, 2, 3]).result)
+        for cpu in range(4):
+            assert result.metric(cpu, "DP MFlops/s") > 0
+            assert result.metric(cpu, "CPI") > 0
+            assert result.metric(cpu, "Runtime [s]") > 0
+
+    def test_sleep_measures_nothing(self, nehalem):
+        perfctr = LikwidPerfCtr(nehalem)
+        result = perfctr.wrap(
+            "0-7", "FLOPS_DP",
+            lambda: nehalem.apply_counts({}, elapsed_seconds=1.0))
+        assert result.total("FP_COMP_OPS_EXE_SSE_FP_PACKED") == 0
+
+
+class TestSocketLocks:
+    def test_lock_owner_is_first_cpu_per_socket(self, nehalem):
+        perfctr = LikwidPerfCtr(nehalem)
+        session = perfctr.session([2, 3, 4, 5],
+                                  "UNC_L3_LINES_IN_ANY:UPMC0")
+        assert session.socket_locks == {0: 2, 1: 4}
+
+    def test_uncore_counts_attributed_once(self, nehalem):
+        perfctr = LikwidPerfCtr(nehalem)
+        def run():
+            nehalem.apply_counts({}, {0: {Channel.L3_LINES_IN: 500}})
+        result = perfctr.wrap("0-3", "UNC_L3_LINES_IN_ANY:UPMC0", run)
+        values = [result.event(c, "UNC_L3_LINES_IN_ANY") for c in range(4)]
+        assert values == [500, 0, 0, 0]
+        assert result.total("UNC_L3_LINES_IN_ANY") == 500
+
+    def test_uncore_rejected_without_uncore_pmu(self):
+        core2 = create_machine("core2")
+        perfctr = LikwidPerfCtr(core2)
+        from repro.errors import EventError
+        with pytest.raises((CounterError, EventError)):
+            perfctr.session([0], "UNC_L3_LINES_IN_ANY:UPMC0")
+
+
+class TestSessionValidation:
+    def test_duplicate_cpus_rejected(self, nehalem):
+        perfctr = LikwidPerfCtr(nehalem)
+        with pytest.raises(CounterError, match="duplicate"):
+            perfctr.session([0, 0], "L1D_REPL:PMC0")
+
+    def test_stop_before_start_rejected(self, nehalem):
+        perfctr = LikwidPerfCtr(nehalem)
+        session = perfctr.session([0], "L1D_REPL:PMC0")
+        with pytest.raises(CounterError, match="not started"):
+            session.stop()
+
+    def test_amd_measurement_path(self):
+        machine = create_machine("amd_istanbul")
+        perfctr = LikwidPerfCtr(machine)
+        def run():
+            machine.apply_counts({0: {Channel.INSTRUCTIONS: 100,
+                                      Channel.CORE_CYCLES: 250}})
+        result = perfctr.wrap([0], "FLOPS_DP", run)
+        assert result.event(0, "RETIRED_INSTRUCTIONS") == 100
+        assert result.metric(0, "CPI") == 2.5
+
+    def test_available_events_listing(self, nehalem):
+        events = LikwidPerfCtr(nehalem).available_events()
+        assert "UNC_L3_LINES_IN_ANY" in events
+        assert "L1D_REPL" in events

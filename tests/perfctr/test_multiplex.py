@@ -1,0 +1,94 @@
+"""Tests for counter multiplexing (round-robin event sets)."""
+
+import pytest
+
+from repro.core.perfctr import LikwidPerfCtr
+from repro.core.perfctr.multiplex import measure_multiplexed, split_event_sets
+from repro.errors import CounterError
+from repro.hw.arch import create_machine
+from repro.hw.events import Channel
+
+
+@pytest.fixture
+def machine():
+    return create_machine("core2")   # 2 PMCs: easy to oversubscribe
+
+
+class TestSplitting:
+    def test_no_conflict_single_set(self, machine):
+        sets = split_event_sets(LikwidPerfCtr(machine),
+                                "A:PMC0,B:PMC1")
+        assert sets == ["A:PMC0,B:PMC1"]
+
+    def test_counter_conflict_round_robins(self, machine):
+        sets = split_event_sets(LikwidPerfCtr(machine),
+                                "A:PMC0,B:PMC1,C:PMC0,D:PMC1")
+        assert sets == ["A:PMC0,B:PMC1", "C:PMC0,D:PMC1"]
+
+    def test_three_way_conflict(self, machine):
+        sets = split_event_sets(LikwidPerfCtr(machine),
+                                "A:PMC0,B:PMC0,C:PMC0")
+        assert len(sets) == 3
+
+
+class TestMultiplexedMeasurement:
+    def _run_slice(self, machine, per_slice):
+        def run(fraction):
+            counts = {name: value * fraction
+                      for name, value in per_slice.items()}
+            machine.apply_counts({0: counts})
+        return run
+
+    def test_uniform_workload_extrapolates_exactly(self, machine):
+        """For a steady workload, count/scheduled_fraction recovers the
+        true total (the favourable case for multiplexing)."""
+        perfctr = LikwidPerfCtr(machine)
+        total = {Channel.FLOPS_PACKED_DP: 8000.0,
+                 Channel.L1D_REPLACEMENT: 4000.0}
+        run = self._run_slice(machine, total)
+        sets = ["SIMD_COMP_INST_RETIRED_PACKED_DOUBLE:PMC0",
+                "L1D_REPL:PMC0"]
+        result = measure_multiplexed(perfctr, [0], sets, run, rotations=10)
+        assert result.event(0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE") == \
+            pytest.approx(8000.0)
+        assert result.event(0, "L1D_REPL") == pytest.approx(4000.0)
+        assert result.scheduled_fraction["L1D_REPL"] == pytest.approx(0.5)
+
+    def test_phased_workload_carries_error(self, machine):
+        """A bursty workload makes extrapolation wrong — the statistical
+        error the paper warns about for short measurements."""
+        perfctr = LikwidPerfCtr(machine)
+        state = {"slice": 0}
+        def run(fraction):
+            state["slice"] += 1
+            # All flops land in the very first slice (a startup burst).
+            flops = 1000.0 if state["slice"] == 1 else 0.0
+            machine.apply_counts({0: {Channel.FLOPS_PACKED_DP: flops}})
+        sets = ["SIMD_COMP_INST_RETIRED_PACKED_DOUBLE:PMC0",
+                "L1D_REPL:PMC0"]
+        result = measure_multiplexed(perfctr, [0], sets, run, rotations=4)
+        estimate = result.event(0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE")
+        # True total is 1000; the burst fell entirely into set 0's
+        # scheduled half, so extrapolation doubles it.
+        assert estimate == pytest.approx(2000.0)
+
+    def test_fixed_events_not_scaled(self, machine):
+        perfctr = LikwidPerfCtr(machine)
+        run = self._run_slice(machine, {Channel.INSTRUCTIONS: 1000.0,
+                                        Channel.CORE_CYCLES: 1000.0})
+        sets = ["SIMD_COMP_INST_RETIRED_PACKED_DOUBLE:PMC0",
+                "L1D_REPL:PMC0"]
+        result = measure_multiplexed(perfctr, [0], sets, run, rotations=4)
+        # Fixed events counted in every slice: no extrapolation.
+        assert result.event(0, "INSTR_RETIRED_ANY") == pytest.approx(1000.0)
+
+    def test_too_few_rotations_rejected(self, machine):
+        perfctr = LikwidPerfCtr(machine)
+        with pytest.raises(CounterError, match="rotations"):
+            measure_multiplexed(perfctr, [0], ["A:PMC0", "B:PMC0"],
+                                lambda f: None, rotations=1)
+
+    def test_empty_sets_rejected(self, machine):
+        with pytest.raises(CounterError, match="no event sets"):
+            measure_multiplexed(LikwidPerfCtr(machine), [0], [],
+                                lambda f: None)

@@ -1,0 +1,124 @@
+"""Tests for PMU overflow interrupts and the sampling profiler."""
+
+import pytest
+
+from repro.core.profile import CodeSegment, SamplingProfiler
+from repro.errors import CounterError
+from repro.hw import registers as regs
+from repro.hw.arch import create_machine
+from repro.hw.events import Channel
+from repro.hw.pmu import COUNTER_MASK
+
+
+@pytest.fixture
+def machine():
+    return create_machine("nehalem_ep")
+
+
+class TestOverflowStatus:
+    def _arm_pmc0(self, machine, preload):
+        ev = machine.spec.events.lookup("L1D_REPL")
+        machine.wrmsr(0, regs.IA32_PERFEVTSEL0,
+                      regs.evtsel_encode(ev.event_code, ev.umask,
+                                         enable=True))
+        machine.wrmsr(0, regs.IA32_PERF_GLOBAL_CTRL, 0b1)
+        machine.msr[0].poke(regs.IA32_PMC0, preload)
+
+    def test_wrap_sets_status_bit(self, machine):
+        self._arm_pmc0(machine, COUNTER_MASK - 5)
+        machine.apply_counts({0: {Channel.L1D_REPLACEMENT: 10}})
+        status = machine.rdmsr(0, regs.IA32_PERF_GLOBAL_STATUS)
+        assert status & 0b1
+
+    def test_no_wrap_no_status(self, machine):
+        self._arm_pmc0(machine, 0)
+        machine.apply_counts({0: {Channel.L1D_REPLACEMENT: 10}})
+        assert machine.rdmsr(0, regs.IA32_PERF_GLOBAL_STATUS) == 0
+
+    def test_ovf_ctrl_acknowledges(self, machine):
+        self._arm_pmc0(machine, COUNTER_MASK - 1)
+        machine.apply_counts({0: {Channel.L1D_REPLACEMENT: 10}})
+        machine.wrmsr(0, regs.IA32_PERF_GLOBAL_OVF_CTRL, 0b1)
+        assert machine.rdmsr(0, regs.IA32_PERF_GLOBAL_STATUS) == 0
+
+    def test_fixed_counter_overflow_bit_32(self, machine):
+        machine.wrmsr(0, regs.IA32_FIXED_CTR_CTRL,
+                      regs.fixed_ctr_ctrl_encode(0))
+        machine.wrmsr(0, regs.IA32_PERF_GLOBAL_CTRL,
+                      regs.global_ctrl_fixed_bit(0))
+        machine.msr[0].poke(regs.IA32_FIXED_CTR0, COUNTER_MASK)
+        machine.apply_counts({0: {Channel.INSTRUCTIONS: 2}})
+        assert machine.rdmsr(0, regs.IA32_PERF_GLOBAL_STATUS) & (1 << 32)
+
+    def test_handler_called_on_overflow(self, machine):
+        fired = []
+        machine.core_pmus[0].overflow_handlers.append(
+            lambda hw, bit: fired.append((hw, bit)))
+        self._arm_pmc0(machine, COUNTER_MASK - 1)
+        machine.apply_counts({0: {Channel.L1D_REPLACEMENT: 5}})
+        assert fired == [(0, 0)]
+
+
+class TestSamplingProfiler:
+    SEGMENTS = [
+        CodeSegment("main", 1_000_000),
+        CodeSegment("hot_kernel", 8_000_000,
+                    {Channel.FLOPS_PACKED_DP: 4_000_000}),
+        CodeSegment("cleanup", 1_000_000),
+    ]
+
+    def test_profile_matches_cycle_distribution(self, machine):
+        profiler = SamplingProfiler(machine, 0, period=50_000)
+        profiler.run(self.SEGMENTS)
+        profile = {e.symbol: e.fraction for e in profiler.profile()}
+        assert profile["hot_kernel"] == pytest.approx(0.8, abs=0.02)
+        assert profile["main"] == pytest.approx(0.1, abs=0.02)
+
+    def test_hottest_symbol_first(self, machine):
+        profiler = SamplingProfiler(machine, 0, period=100_000)
+        profiler.run(self.SEGMENTS)
+        assert profiler.profile()[0].symbol == "hot_kernel"
+
+    def test_estimated_events_scale_with_period(self, machine):
+        profiler = SamplingProfiler(machine, 0, period=200_000)
+        profiler.run(self.SEGMENTS)
+        total = sum(e.estimated_events for e in profiler.profile())
+        assert total == pytest.approx(10_000_000, rel=0.05)
+
+    def test_finer_period_more_samples(self, machine):
+        coarse = SamplingProfiler(machine, 0, period=500_000)
+        coarse.run(self.SEGMENTS)
+        fine = SamplingProfiler(create_machine("nehalem_ep"), 0,
+                                period=50_000)
+        fine.run(self.SEGMENTS)
+        assert sum(fine.samples.values()) > 5 * sum(coarse.samples.values())
+
+    def test_event_based_profile(self, machine):
+        """Sampling on a PMC event attributes misses, not cycles."""
+        segments = [
+            CodeSegment("compute", 5_000_000,
+                        {Channel.L1D_REPLACEMENT: 1_000}),
+            CodeSegment("memory_bound", 1_000_000,
+                        {Channel.L1D_REPLACEMENT: 99_000}),
+        ]
+        profiler = SamplingProfiler(machine, 0, event="L1D_REPL",
+                                    period=1_000)
+        profiler.run(segments, chunk=50_000)
+        profile = {e.symbol: e.fraction for e in profiler.profile()}
+        assert profile["memory_bound"] > 0.9
+
+    def test_run_twice_rejected(self, machine):
+        profiler = SamplingProfiler(machine, 0)
+        profiler.run([CodeSegment("a", 1000)])
+        with pytest.raises(CounterError, match="already ran"):
+            profiler.run([CodeSegment("b", 1000)])
+
+    def test_invalid_period(self, machine):
+        with pytest.raises(CounterError, match="period"):
+            SamplingProfiler(machine, 0, period=0)
+
+    def test_render(self, machine):
+        profiler = SamplingProfiler(machine, 0, period=100_000)
+        profiler.run(self.SEGMENTS)
+        text = profiler.render()
+        assert "hot_kernel" in text and "samples" in text

@@ -1,0 +1,87 @@
+"""Tests for timeline (periodic-sampling) mode."""
+
+import pytest
+
+from repro.core.perfctr import LikwidPerfCtr
+from repro.core.perfctr.timeline import TimelineMeasurement, render_timeline
+from repro.errors import CounterError
+from repro.hw.arch import create_machine
+from repro.hw.events import Channel
+
+
+@pytest.fixture
+def machine():
+    return create_machine("nehalem_ep")
+
+
+def ramp_slice(machine, cpu=0):
+    """A workload whose intensity grows linearly with the interval."""
+    def run(index, interval):
+        machine.apply_counts(
+            {cpu: {Channel.L1D_REPLACEMENT: 100.0 * (index + 1),
+                   Channel.INSTRUCTIONS: 1000.0,
+                   Channel.CORE_CYCLES: 0.5e9 * interval}},
+            elapsed_seconds=interval)
+    return run
+
+
+class TestTimeline:
+    def test_deltas_per_interval(self, machine):
+        timeline = TimelineMeasurement(LikwidPerfCtr(machine), [0],
+                                       "L1D_REPL:PMC0", interval=0.5)
+        timeline.run(ramp_slice(machine), 4)
+        assert timeline.series(0, "L1D_REPL") == [100, 200, 300, 400]
+
+    def test_sample_times(self, machine):
+        timeline = TimelineMeasurement(LikwidPerfCtr(machine), [0],
+                                       "L1D_REPL:PMC0", interval=0.25)
+        samples = timeline.run(ramp_slice(machine), 3)
+        assert [s.time for s in samples] == [0.25, 0.5, 0.75]
+
+    def test_group_metrics_per_interval(self, machine):
+        timeline = TimelineMeasurement(LikwidPerfCtr(machine), [0],
+                                       "FLOPS_DP", interval=1.0)
+
+        def run(index, interval):
+            machine.apply_counts(
+                {0: {Channel.FLOPS_PACKED_DP: 1e6 * (index + 1),
+                     Channel.INSTRUCTIONS: 1e6,
+                     Channel.CORE_CYCLES: 2.66e9 * interval}})
+        timeline.run(run, 3)
+        mflops = timeline.metric_series(0, "DP MFlops/s")
+        assert mflops[1] == pytest.approx(2 * mflops[0], rel=0.01)
+        assert mflops[2] == pytest.approx(3 * mflops[0], rel=0.01)
+
+    def test_total_equals_wrapper_mode(self, machine):
+        """Sum of interval deltas == a single aggregate measurement."""
+        timeline = TimelineMeasurement(LikwidPerfCtr(machine), [0],
+                                       "L1D_REPL:PMC0")
+        timeline.run(ramp_slice(machine), 5)
+        assert sum(timeline.series(0, "L1D_REPL")) == 1500
+
+    def test_multi_cpu(self, machine):
+        timeline = TimelineMeasurement(LikwidPerfCtr(machine), [0, 1],
+                                       "L1D_REPL:PMC0")
+
+        def run(index, interval):
+            machine.apply_counts({0: {Channel.L1D_REPLACEMENT: 10},
+                                  1: {Channel.L1D_REPLACEMENT: 20}})
+        timeline.run(run, 2)
+        assert timeline.series(0, "L1D_REPL") == [10, 10]
+        assert timeline.series(1, "L1D_REPL") == [20, 20]
+
+    def test_invalid_parameters(self, machine):
+        perfctr = LikwidPerfCtr(machine)
+        with pytest.raises(CounterError, match="interval"):
+            TimelineMeasurement(perfctr, [0], "L1D_REPL:PMC0", interval=0)
+        timeline = TimelineMeasurement(perfctr, [0], "L1D_REPL:PMC0")
+        with pytest.raises(CounterError, match="interval"):
+            timeline.run(lambda i, dt: None, 0)
+
+    def test_render(self, machine):
+        timeline = TimelineMeasurement(LikwidPerfCtr(machine), [0],
+                                       "L1D_REPL:PMC0", interval=0.5)
+        timeline.run(ramp_slice(machine), 3)
+        text = render_timeline(timeline, 0, "L1D_REPL")
+        assert "t=   1.50s" in text
+        assert text.count("|") == 6   # two bars per line, three lines

@@ -1,0 +1,113 @@
+"""Tests for the shared formatting helpers (units, tables, errors)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.tables import banner, render_table, star_banner
+from repro.units import (KIB, MIB, format_count, format_hz, format_size,
+                         mbytes_per_s, mflops_per_s, mlups, parse_size)
+
+
+class TestUnits:
+    @pytest.mark.parametrize("hz,text", [
+        (2.93e9, "2.93 GHz"),
+        (2.83e9, "2.83 GHz"),
+        (800e6, "800.00 MHz"),
+        (32e3, "32.00 kHz"),
+        (50, "50 Hz"),
+    ])
+    def test_format_hz(self, hz, text):
+        assert format_hz(hz) == text
+
+    @pytest.mark.parametrize("nbytes,text", [
+        (32 * KIB, "32 kB"),
+        (256 * KIB, "256 kB"),
+        (12 * MIB, "12 MB"),
+        (2 * MIB, "2 MB"),
+        (6 * 1024 * MIB, "6 GB"),
+        (100, "100 B"),
+    ])
+    def test_format_size(self, nbytes, text):
+        assert format_size(nbytes) == text
+
+    @pytest.mark.parametrize("text,nbytes", [
+        ("32 kB", 32 * KIB), ("12MB", 12 * MIB), ("64", 64),
+        ("1 GB", 1024 * MIB),
+    ])
+    def test_parse_size(self, text, nbytes):
+        assert parse_size(text) == nbytes
+
+    @given(st.sampled_from([KIB, MIB]) , st.integers(1, 512))
+    def test_size_roundtrip(self, unit, count):
+        assert parse_size(format_size(count * unit)) == count * unit
+
+    def test_rates(self):
+        assert mbytes_per_s(24e9, 1.0) == 24000
+        assert mflops_per_s(1e9, 0.5) == 2000
+        assert mlups(1e8, 0.1) == 1000
+        assert mbytes_per_s(1, 0) == 0.0
+
+    @pytest.mark.parametrize("value,text", [
+        (313742, "313742"),
+        (1.88024e7, "1.88024e+07"),
+        (0, "0"),
+        (1.5, "1.5"),
+        (float("nan"), "nan"),
+    ])
+    def test_format_count(self, value, text):
+        assert format_count(value) == text
+
+
+class TestTables:
+    def test_borders_and_alignment(self):
+        table = render_table(["Event", "core 0"],
+                             [["INSTR_RETIRED_ANY", 313742]])
+        lines = table.splitlines()
+        assert lines[0] == lines[2] == lines[-1]
+        assert lines[0].startswith("+-")
+        assert "| INSTR_RETIRED_ANY | 313742 |" in table
+
+    def test_ragged_rows_padded(self):
+        table = render_table(["a", "b", "c"], [["x"], ["y", "z"]])
+        widths = {len(line) for line in table.splitlines()}
+        assert len(widths) == 1
+
+    def test_column_width_fits_widest(self):
+        table = render_table(["h"], [["very-long-cell-content"]])
+        assert "very-long-cell-content" in table
+
+    def test_banner(self):
+        text = banner("CPU name:\tfoo")
+        lines = text.splitlines()
+        assert lines[0] == "-" * 61
+        assert lines[-1] == "-" * 61
+
+    def test_star_banner(self):
+        text = star_banner("Cache Topology")
+        assert text.splitlines()[0] == "*" * 61
+        assert "Cache Topology" in text
+
+    @given(st.lists(st.lists(st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+        max_size=12), min_size=1, max_size=4), min_size=1, max_size=6))
+    def test_table_always_rectangular(self, rows):
+        table = render_table(["h1", "h2"], rows)
+        widths = {len(line) for line in table.splitlines()}
+        assert len(widths) == 1
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for cls in (errors.CpuidError, errors.MsrError, errors.TopologyError,
+                    errors.AffinityError, errors.SchedulerError,
+                    errors.EventError, errors.CounterError, errors.GroupError,
+                    errors.MarkerError, errors.FeatureError,
+                    errors.WorkloadError):
+            assert issubclass(cls, errors.ReproError)
+
+    def test_papi_error_carries_code(self):
+        exc = errors.PapiError(-7, "no such event")
+        assert exc.code == -7
+        assert "PAPI error -7" in str(exc)

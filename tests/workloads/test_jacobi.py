@@ -1,0 +1,182 @@
+"""Tests for the Jacobi workload (case studies 2/3 behaviours)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hw.arch import create_machine, get_arch
+from repro.hw.events import Channel
+from repro.oskern.scheduler import OSKernel
+from repro.workloads.jacobi import (JacobiConfig, in_cache,
+                                    layer_condition_factor, run_jacobi,
+                                    wavefront_depth)
+
+SPEC = get_arch("nehalem_ep")
+SOCKET0 = [0, 1, 2, 3]
+SPLIT = [0, 1, 4, 5]
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return create_machine("nehalem_ep")
+
+
+def run(machine, variant, n=480, sweeps=6, pin=None):
+    kernel = OSKernel(machine, seed=2)
+    cfg = JacobiConfig(variant, n, sweeps, 4)
+    return run_jacobi(machine, kernel, cfg, pin_cpus=pin or SOCKET0)
+
+
+class TestModelIngredients:
+    def test_layer_condition_threshold(self):
+        # 3 planes of N^2 doubles vs a 2 MB L3 share (8 MB / 4 threads).
+        assert layer_condition_factor(SPEC, 200, 4) == 1.0
+        assert layer_condition_factor(SPEC, 480, 4) == pytest.approx(1.4)
+
+    def test_wavefront_depth_saturates(self):
+        assert wavefront_depth(SPEC, 480) == pytest.approx(4.55, rel=0.01)
+        assert wavefront_depth(SPEC, 100) == 8.0    # capped
+        assert wavefront_depth(SPEC, 5000) == 1.5   # floor
+
+    def test_in_cache_threshold(self):
+        assert in_cache(SPEC, 50)
+        assert not in_cache(SPEC, 100)
+
+    def test_invalid_variant(self):
+        with pytest.raises(WorkloadError):
+            JacobiConfig("magic", 100, 1, 4)
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(WorkloadError):
+            JacobiConfig("threaded", 4, 1, 4)
+
+
+class TestTable2Values:
+    """The paper's Table II within 3% (shape calibration targets)."""
+
+    def test_threaded(self, machine):
+        r = run(machine, "threaded")
+        assert r.mlups == pytest.approx(784, rel=0.03)
+
+    def test_threaded_nt(self, machine):
+        r = run(machine, "threaded_nt")
+        assert r.mlups == pytest.approx(1032, rel=0.03)
+
+    def test_wavefront(self, machine):
+        r = run(machine, "wavefront")
+        assert r.mlups == pytest.approx(1331, rel=0.03)
+
+    def test_nt_saves_one_third_of_traffic(self, machine):
+        t = run(machine, "threaded").result.socket_channels[0]
+        nt = run(machine, "threaded_nt").result.socket_channels[0]
+        ratio = nt[Channel.L3_LINES_IN] / t[Channel.L3_LINES_IN]
+        assert ratio == pytest.approx(11.2 / 19.2, rel=0.02)
+
+    def test_blocking_cuts_traffic_4_5x(self, machine):
+        t = run(machine, "threaded").result.socket_channels[0]
+        w = run(machine, "wavefront").result.socket_channels[0]
+        ratio = t[Channel.L3_LINES_IN] / w[Channel.L3_LINES_IN]
+        assert ratio == pytest.approx(4.55, rel=0.03)
+
+    def test_speedup_subproportional_to_traffic(self, machine):
+        """Paper: 'the 4.5-fold decrease in memory traffic does not
+        translate into a proportional performance boost'."""
+        t = run(machine, "threaded")
+        w = run(machine, "wavefront")
+        assert 1.5 < w.mlups / t.mlups < 2.0
+
+
+class TestFig11Shape:
+    def test_wavefront_beats_baseline_at_all_sizes(self, machine):
+        for n in (100, 200, 300, 480):
+            w = run(machine, "wavefront", n=n).mlups
+            b = run(machine, "threaded_nt", n=n).mlups
+            assert w > b, f"N={n}"
+
+    def test_split_pinning_is_hazardous(self, machine):
+        """Fig 11: pinning pairs of wavefront threads to different
+        sockets roughly halves performance and drops below baseline."""
+        for n in (300, 480):
+            good = run(machine, "wavefront", n=n).mlups
+            bad = run(machine, "wavefront", n=n, pin=SPLIT).mlups
+            base = run(machine, "threaded_nt", n=n).mlups
+            assert bad < 0.65 * good
+            assert bad < base
+
+    def test_baseline_split_insensitive(self, machine):
+        """The non-blocked code doesn't care which cores it uses as
+        long as sockets are balanced."""
+        same = run(machine, "threaded_nt", n=480).mlups
+        split = run(machine, "threaded_nt", n=480, pin=SPLIT).mlups
+        assert split >= same   # two memory controllers even help
+
+    def test_unpinned_wavefront_underperforms(self, machine):
+        kernel = OSKernel(machine, seed=5)
+        cfg = JacobiConfig("wavefront", 480, 6, 4)
+        unpinned = run_jacobi(machine, kernel, cfg, migrate=True)
+        pinned = run(machine, "wavefront")
+        assert unpinned.mlups <= pinned.mlups * 1.001
+
+
+class TestCounters:
+    def test_uncore_lines_match_analysis(self, machine):
+        r = run(machine, "threaded", sweeps=6)
+        sc = r.result.socket_channels[0]
+        updates = r.config.updates
+        assert sc[Channel.L3_LINES_IN] == pytest.approx(
+            updates * 19.2 / 64, rel=0.01)
+
+    def test_flops_counted(self, machine):
+        r = run(machine, "threaded", n=100, sweeps=2)
+        packed = r.result.aggregate(Channel.FLOPS_PACKED_DP)
+        assert packed == pytest.approx(r.config.updates * 8 / 2, rel=0.01)
+
+    def test_pin_list_length_validated(self, machine):
+        kernel = OSKernel(machine, seed=0)
+        cfg = JacobiConfig("threaded", 100, 2, 4)
+        with pytest.raises(WorkloadError, match="pin list"):
+            run_jacobi(machine, kernel, cfg, pin_cpus=[0, 1])
+
+
+class TestWavefrontGroupLayouts:
+    """Reference [8]'s multi-group layouts: independent wavefront teams
+    per socket use both memory controllers and both L3s."""
+
+    def test_2x1x2_beats_1x4(self, machine):
+        kernel = OSKernel(machine, seed=2)
+        one = run_jacobi(machine, kernel,
+                         JacobiConfig("wavefront", 480, 6, 4),
+                         pin_cpus=SOCKET0).mlups
+        two = run_jacobi(machine, kernel,
+                         JacobiConfig("wavefront", 480, 6, 4, groups=2),
+                         pin_cpus=[0, 1, 4, 5]).mlups
+        assert two > 1.3 * one
+
+    def test_groups_must_not_span_sockets(self, machine):
+        """A 1x4 group over two sockets is the hazardous case even when
+        declared as one group."""
+        kernel = OSKernel(machine, seed=2)
+        good = run_jacobi(machine, kernel,
+                          JacobiConfig("wavefront", 480, 6, 4, groups=2),
+                          pin_cpus=[0, 1, 4, 5]).mlups
+        # Same cpus, but as ONE group: 2+2 split -> reuse destroyed.
+        bad = run_jacobi(machine, kernel,
+                         JacobiConfig("wavefront", 480, 6, 4, groups=1),
+                         pin_cpus=[0, 1, 4, 5]).mlups
+        assert bad < 0.6 * good
+
+    def test_invalid_group_split(self):
+        with pytest.raises(WorkloadError, match="equal groups"):
+            JacobiConfig("wavefront", 100, 2, 4, groups=3)
+
+    def test_group_layer_condition_uses_group_share(self, machine):
+        """With 2 threads per group, each thread's L3 share doubles, so
+        the layer condition holds to larger N."""
+        from repro.workloads.jacobi import jacobi_phase
+        spec = machine.spec
+        n = 350   # 3*350^2*8 = 2.9 MB: fails at 2 MB share, holds at 4 MB
+        one_group = jacobi_phase(spec, JacobiConfig("wavefront", n, 2, 4))
+        two_groups = jacobi_phase(spec,
+                                  JacobiConfig("wavefront", n, 2, 4,
+                                               groups=2))
+        assert two_groups.mem_read_bytes_per_iter < \
+            one_group.mem_read_bytes_per_iter

@@ -1,0 +1,102 @@
+"""Tests for trace kernels and the exact trace runner."""
+
+import pytest
+
+from repro.hw.arch import create_machine
+from repro.hw.events import Channel
+from repro.workloads.kernels import (blocked_sum, copy_kernel, pointer_chase,
+                                     random_load, streaming_load,
+                                     streaming_triad, strided_load)
+from repro.workloads.runner import run_trace
+
+
+class TestTraceGenerators:
+    def test_streaming_load_shape(self):
+        trace = list(streaming_load(10, base=64))
+        assert trace[0] == ("L", 64, 0)
+        assert trace[-1] == ("L", 64 + 9 * 8, 0)
+        assert all(op == "L" for op, _a, _s in trace)
+
+    def test_triad_three_streams(self):
+        trace = list(streaming_triad(4))
+        assert len(trace) == 12
+        ops = [op for op, _a, _s in trace]
+        assert ops[:3] == ["L", "L", "S"]
+        streams = {s for _o, _a, s in trace}
+        assert streams == {1, 2, 3}
+
+    def test_triad_nontemporal(self):
+        trace = list(streaming_triad(2, nontemporal=True))
+        assert [op for op, _a, _s in trace][2] == "N"
+
+    def test_strided(self):
+        trace = list(strided_load(3, 256))
+        assert [a for _o, a, _s in trace] == [0, 256, 512]
+
+    def test_random_deterministic(self):
+        a = list(random_load(50, 1 << 16, seed=3))
+        b = list(random_load(50, 1 << 16, seed=3))
+        assert a == b
+        assert len({addr for _o, addr, _s in a}) > 10
+
+    def test_pointer_chase_covers_footprint(self):
+        trace = list(pointer_chase(64, 64 * 64))
+        addrs = {a for _o, a, _s in trace}
+        assert len(addrs) == 64   # visits every line exactly once
+
+    def test_blocked_sum_repeats_blocks(self):
+        trace = list(blocked_sum(32, 8 * 8, repeats=2))
+        addrs = [a for _o, a, _s in trace]
+        assert addrs[:8] == addrs[8:16]   # first block swept twice
+
+    def test_copy_kernel(self):
+        trace = list(copy_kernel(2))
+        assert [op for op, _a, _s in trace] == ["L", "S", "L", "S"]
+
+
+class TestRunTrace:
+    def test_counts_land_in_pmu(self):
+        machine = create_machine("core2")
+        from repro.core.perfctr import LikwidPerfCtr
+        perfctr = LikwidPerfCtr(machine)
+        result = perfctr.wrap(
+            [0], "L1D_REPL:PMC0",
+            lambda: run_trace(machine, 0, streaming_load(4096)))
+        # 4096 sequential 8-byte loads = 512 lines into L1, plus the
+        # streamer prefetching a line or two past the end.
+        assert 512 <= result.event(0, "L1D_REPL") <= 516
+
+    def test_prefetcher_toggle_changes_measurement(self):
+        """The end-to-end likwid-features story: toggling a prefetcher
+        bit changes what likwid-perfctr measures."""
+        from repro.core.features import LikwidFeatures
+        from repro.oskern.msr_driver import MsrDriver
+
+        def measure(disable_prefetch):
+            machine = create_machine("core2")
+            if disable_prefetch:
+                features = LikwidFeatures(MsrDriver(machine))
+                for key in ("HW_PREFETCHER", "CL_PREFETCHER",
+                            "DCU_PREFETCHER", "IP_PREFETCHER"):
+                    features.disable(key)
+            channels = run_trace(machine, 0, strided_load(4000, 128),
+                                 apply_counts=False)
+            return channels
+
+        with_pf = measure(False)
+        without_pf = measure(True)
+        assert with_pf[Channel.L1D_REPLACEMENT] > \
+            without_pf[Channel.L1D_REPLACEMENT]  # prefetch fills extra lines
+
+    def test_invalid_op_rejected(self):
+        machine = create_machine("core2")
+        with pytest.raises(ValueError, match="unknown trace op"):
+            run_trace(machine, 0, [("X", 0, 0)])
+
+    def test_returns_channel_dict(self):
+        machine = create_machine("core2")
+        channels = run_trace(machine, 0, copy_kernel(512),
+                             apply_counts=False)
+        assert channels[Channel.LOADS] == 512
+        assert channels[Channel.STORES] == 512
+        assert channels[Channel.INSTRUCTIONS] > 0

@@ -1,0 +1,93 @@
+"""Tests for the blocked DGEMM workload (roofline behaviour)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hw.arch import create_machine, get_arch
+from repro.hw.events import Channel
+from repro.model.explain import diagnose
+from repro.model.ecm import PlacedWork
+from repro.oskern.scheduler import OSKernel
+from repro.workloads.matmul import (MatmulConfig, matmul_phase, peak_gflops,
+                                    run_matmul)
+
+SPEC = get_arch("westmere_ep")
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return create_machine("westmere_ep")
+
+
+def run(machine, block, nthreads=1, n=512, compiler="icc"):
+    kernel = OSKernel(machine, seed=0)
+    cfg = MatmulConfig(n, block, nthreads, compiler)
+    return run_matmul(machine, kernel, cfg,
+                      pin_cpus=machine.spec.scatter_order()[:nthreads])
+
+
+class TestRoofline:
+    def test_large_blocks_reach_near_peak(self, machine):
+        r = run(machine, block=32)
+        assert r.gflops == pytest.approx(peak_gflops(SPEC, 1), rel=0.05)
+
+    def test_tiny_blocks_memory_bound(self, machine):
+        r = run(machine, block=1)
+        assert r.gflops < 0.15 * peak_gflops(SPEC, 1)
+
+    def test_gflops_monotone_in_block_size(self, machine):
+        values = [run(machine, block=b).gflops for b in (1, 2, 4, 8, 16, 32)]
+        for a, b in zip(values, values[1:]):
+            assert b >= a * 0.999
+
+    def test_crossover_block_matches_machine_balance(self, machine):
+        """The block size where DGEMM turns compute-bound is set by the
+        machine balance: peak_flops*16/b <= thread_mem_bw."""
+        peak = SPEC.clock_hz * 4.0          # flops/s, one core
+        balance_block = peak / 2 * 16.0 / SPEC.perf.thread_mem_bw
+        below = run(machine, block=max(1, int(balance_block / 4))).gflops
+        above = run(machine, block=int(balance_block * 4)).gflops
+        assert above > 1.5 * below
+
+    def test_scales_across_cores_when_compute_bound(self, machine):
+        one = run(machine, block=32, nthreads=1).gflops
+        six = run(machine, block=32, nthreads=6).gflops
+        assert six == pytest.approx(6 * one, rel=0.05)
+
+    def test_memory_bound_does_not_scale_past_socket(self, machine):
+        one = run(machine, block=1, nthreads=1).gflops
+        six = run(machine, block=1, nthreads=6).gflops
+        assert six < 6 * one  # socket bandwidth clips the scaling
+
+    def test_gcc_scalar_half_rate(self, machine):
+        icc = run(machine, block=32, compiler="icc").gflops
+        gcc = run(machine, block=32, compiler="gcc").gflops
+        assert gcc < 0.5 * icc
+
+
+class TestCountersAndDiagnosis:
+    def test_flops_counted_exactly(self, machine):
+        r = run(machine, block=16, n=256)
+        packed = r.result.aggregate(Channel.FLOPS_PACKED_DP)
+        assert packed * 2 == pytest.approx(r.config.flops, rel=0.01)
+
+    def test_diagnosis_flips_with_block_size(self, machine):
+        for block, expected in ((1, "memory concurrency"),
+                                (64, "in-core issue")):
+            phase = matmul_phase(SPEC, MatmulConfig(512, block, 1))
+            d = diagnose(SPEC, [PlacedWork(0, 0, 0, phase)])
+            assert d.threads[0].bottleneck == expected, block
+
+    def test_invalid_configs(self):
+        with pytest.raises(WorkloadError):
+            MatmulConfig(128, 0, 1)
+        with pytest.raises(WorkloadError):
+            MatmulConfig(128, 256, 1)
+        with pytest.raises(WorkloadError):
+            MatmulConfig(128, 8, 1, compiler="rustc")
+
+    def test_pin_list_validated(self, machine):
+        kernel = OSKernel(machine, seed=0)
+        with pytest.raises(WorkloadError, match="pin list"):
+            run_matmul(machine, kernel, MatmulConfig(128, 8, 4),
+                       pin_cpus=[0])

@@ -1,0 +1,174 @@
+"""Tests for the STREAM triad workload (case study 1 behaviours)."""
+
+import statistics
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hw.arch import create_machine
+from repro.oskern.scheduler import OSKernel
+from repro.workloads.stream import (run_stream, scatter_pin_list,
+                                    stream_samples, triad_phase)
+
+
+@pytest.fixture(scope="module")
+def westmere():
+    return create_machine("westmere_ep")
+
+
+class TestPhases:
+    def test_icc_uses_nt_stores(self):
+        phase = triad_phase("icc", 1000)
+        assert phase.nt_store_fraction == 1.0
+        assert phase.mem_bytes_per_iter == 24.0
+        assert phase.packed_fraction == 1.0
+
+    def test_gcc_write_allocates(self):
+        phase = triad_phase("gcc", 1000)
+        assert phase.nt_store_fraction == 0.0
+        assert phase.mem_bytes_per_iter == 32.0
+        assert phase.packed_fraction == 0.0
+
+    def test_unknown_compiler(self):
+        with pytest.raises(WorkloadError):
+            triad_phase("clang", 10)
+
+
+class TestPinnedBandwidth:
+    def test_single_thread(self, westmere):
+        kernel = OSKernel(westmere, seed=0)
+        r = run_stream(westmere, kernel, nthreads=1, compiler="icc",
+                       pin_cpus=[0])
+        assert r.bandwidth_mb_s == pytest.approx(9500, rel=0.01)
+
+    def test_scatter_scaling(self, westmere):
+        kernel = OSKernel(westmere, seed=0)
+        bw = {}
+        for n in (1, 2, 4, 12):
+            pin = scatter_pin_list(westmere.spec, n)
+            bw[n] = run_stream(westmere, kernel, nthreads=n,
+                               compiler="icc", pin_cpus=pin).bandwidth_mb_s
+        assert bw[2] == pytest.approx(2 * bw[1], rel=0.01)
+        assert bw[12] == pytest.approx(42000, rel=0.02)
+        assert bw[4] < bw[12]
+
+    def test_one_socket_caps_at_half(self, westmere):
+        kernel = OSKernel(westmere, seed=0)
+        r = run_stream(westmere, kernel, nthreads=6, compiler="icc",
+                       pin_cpus=[0, 1, 2, 3, 4, 5])   # all socket 0
+        assert r.bandwidth_mb_s == pytest.approx(21000, rel=0.02)
+
+    def test_gcc_saturates_lower(self, westmere):
+        """The write-allocate traffic costs gcc ~25% of reported
+        bandwidth at saturation (Figs 5 vs 8)."""
+        kernel = OSKernel(westmere, seed=0)
+        pin = scatter_pin_list(westmere.spec, 12)
+        icc = run_stream(westmere, kernel, nthreads=12, compiler="icc",
+                         pin_cpus=pin).bandwidth_mb_s
+        gcc = run_stream(westmere, kernel, nthreads=12, compiler="gcc",
+                         pin_cpus=pin).bandwidth_mb_s
+        assert gcc == pytest.approx(icc * 0.75, rel=0.02)
+
+    def test_oversubscribed_pin_list_wraps(self, westmere):
+        kernel = OSKernel(westmere, seed=0)
+        pin = scatter_pin_list(westmere.spec, 26)
+        assert len(pin) == 24   # wrap handled by the overlay
+        r = run_stream(westmere, kernel, nthreads=26, compiler="icc",
+                       pin_cpus=pin)
+        assert r.bandwidth_mb_s > 30000   # still near saturation
+
+
+class TestUnpinnedVariance:
+    def test_unpinned_is_volatile_and_below_pinned(self, westmere):
+        unpinned = stream_samples(westmere, nthreads=4, compiler="icc",
+                                  pinned=False, samples=40)
+        pinned = stream_samples(westmere, nthreads=4, compiler="icc",
+                                pinned=True, samples=5)
+        assert max(unpinned) - min(unpinned) > 5000     # large spread
+        assert max(pinned) - min(pinned) < 100          # deterministic
+        assert statistics.median(unpinned) < statistics.median(pinned)
+
+    def test_deterministic_given_seed(self, westmere):
+        a = stream_samples(westmere, nthreads=3, compiler="icc",
+                           pinned=False, samples=5, seed=7)
+        b = stream_samples(westmere, nthreads=3, compiler="icc",
+                           pinned=False, samples=5, seed=7)
+        assert a == b
+
+    def test_kmp_scatter_matches_likwid_pin(self, westmere):
+        """Fig 6: the Intel runtime's scatter affinity is as good as
+        likwid-pin."""
+        kmp = stream_samples(westmere, nthreads=8, compiler="icc",
+                             pinned=False, kmp_affinity="scatter",
+                             samples=5)
+        pinned = stream_samples(westmere, nthreads=8, compiler="icc",
+                                pinned=True, samples=5)
+        assert statistics.median(kmp) == pytest.approx(
+            statistics.median(pinned), rel=0.02)
+
+
+class TestIstanbul:
+    def test_pinned_max_25gb(self):
+        machine = create_machine("amd_istanbul")
+        kernel = OSKernel(machine, seed=0)
+        pin = scatter_pin_list(machine.spec, 12)
+        r = run_stream(machine, kernel, nthreads=12, compiler="icc",
+                       pin_cpus=pin)
+        assert r.bandwidth_mb_s == pytest.approx(25000, rel=0.02)
+
+    def test_unpinned_varies(self):
+        machine = create_machine("amd_istanbul")
+        samples = stream_samples(machine, nthreads=4, compiler="icc",
+                                 pinned=False, samples=30)
+        assert max(samples) - min(samples) > 3000
+
+
+class TestFullStreamSuite:
+    """All four STREAM kernels (copy/scale/add/triad)."""
+
+    def test_kernel_catalog(self):
+        from repro.workloads.stream import STREAM_KERNELS
+        assert set(STREAM_KERNELS) == {"copy", "scale", "add", "triad"}
+        assert STREAM_KERNELS["copy"].reported_bytes == 16.0
+        assert STREAM_KERNELS["triad"].reported_bytes == 24.0
+
+    def test_icc_all_kernels_saturate(self, westmere):
+        from repro.workloads.stream import run_full_stream
+        kernel = OSKernel(westmere, seed=0)
+        pin = scatter_pin_list(westmere.spec, 12)
+        bws = run_full_stream(westmere, kernel, nthreads=12,
+                              compiler="icc", pin_cpus=pin)
+        for name, bw in bws.items():
+            assert bw == pytest.approx(42000, rel=0.02), name
+
+    def test_gcc_copy_worse_than_triad(self, westmere):
+        """Without NT stores, copy moves 24 B for 16 reported (2/3
+        efficiency) while triad moves 32 for 24 (3/4) — the classic
+        STREAM asymmetry."""
+        from repro.workloads.stream import run_full_stream
+        kernel = OSKernel(westmere, seed=0)
+        pin = scatter_pin_list(westmere.spec, 12)
+        bws = run_full_stream(westmere, kernel, nthreads=12,
+                              compiler="gcc", pin_cpus=pin)
+        # copy efficiency 16/24, triad efficiency 24/32 -> ratio 8/9.
+        assert bws["copy"] == pytest.approx(bws["triad"] * 8 / 9, rel=0.02)
+        assert bws["copy"] < bws["triad"]
+
+    def test_unknown_kernel_rejected(self, westmere):
+        from repro.workloads.stream import stream_phase
+        with pytest.raises(WorkloadError, match="unknown STREAM kernel"):
+            stream_phase("daxpy", "icc", 10)
+
+    def test_flop_counts_per_kernel(self, westmere):
+        from repro.hw.events import Channel
+        from repro.workloads.stream import run_stream
+        kernel = OSKernel(westmere, seed=0)
+        copy = run_stream(westmere, kernel, nthreads=1, compiler="icc",
+                          stream_kernel="copy", pin_cpus=[0],
+                          n_elements=1_000_000)
+        assert copy.result.aggregate(Channel.FLOPS_PACKED_DP) == 0
+        triad = run_stream(westmere, kernel, nthreads=1, compiler="icc",
+                           stream_kernel="triad", pin_cpus=[0],
+                           n_elements=1_000_000)
+        assert triad.result.aggregate(Channel.FLOPS_PACKED_DP) == \
+            pytest.approx(1_000_000)
