@@ -7,26 +7,46 @@ kernels where both substrates apply, the exact simulator's line
 traffic must match the analytic per-iteration volumes the workloads
 assume (24 B/iter for a write-allocate triad, 16 B/iter with
 nontemporal stores, 8 B/line for pure streams).
+
+Every traffic test runs through the ``engine`` selector (defaulting
+to the batched replay engine, like :func:`repro.workloads.run_trace`)
+and is parametrised over both engines — the counts must be identical.
+``test_batched_replay_speedup`` pins the performance contract: the
+batched engine replays a captured trace at ≥ 3× the scalar
+per-access speed at these default sizes.
 """
+
+import time
 
 import pytest
 
+from repro.hw.batch import BatchHierarchy, encode_trace
 from repro.hw.cache import CacheHierarchy
 from repro.hw.prefetch import PrefetcherConfig
 from repro.hw.spec import CacheSpec
 from repro.workloads.kernels import streaming_load, streaming_triad
+from repro.workloads.trace_cache import trace_arrays
 
 N = 16384  # elements per stream; large vs the hierarchy below
 
+ENGINES = ["batched", "scalar"]
 
-def hierarchy():
-    return CacheHierarchy([
-        CacheSpec(1, "Data cache", 32 * 1024, 8, 64),
-        CacheSpec(2, "Unified cache", 256 * 1024, 8, 64),
-    ], PrefetcherConfig.all_off())
+SPECS = [
+    CacheSpec(1, "Data cache", 32 * 1024, 8, 64),
+    CacheSpec(2, "Unified cache", 256 * 1024, 8, 64),
+]
 
 
-def run(h, trace):
+def hierarchy(engine="batched"):
+    cls = BatchHierarchy if engine == "batched" else CacheHierarchy
+    return cls(list(SPECS), PrefetcherConfig.all_off())
+
+
+def run(h, trace, engine="batched"):
+    """Feed *trace* through *h* using the selected execution engine."""
+    if engine == "batched":
+        h.replay(encode_trace(trace))
+        return h
     for op, addr, stream in trace:
         if op == "L":
             h.load(addr, stream=stream)
@@ -37,19 +57,25 @@ def run(h, trace):
     return h
 
 
-def test_stream_read_traffic_exact_vs_analytic(benchmark):
+def execute(trace, engine):
+    return run(hierarchy(engine), trace, engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_stream_read_traffic_exact_vs_analytic(benchmark, engine):
     """Pure load stream: analytic model says 8 B DRAM read per element
     (one line per 8 doubles)."""
-    h = benchmark.pedantic(run, args=(hierarchy(), streaming_load(N)),
+    h = benchmark.pedantic(execute, args=(streaming_load(N), engine),
                            iterations=1, rounds=1)
     analytic_lines = N * 8 / 64
     assert h.dram_reads == pytest.approx(analytic_lines, rel=0.01)
 
 
-def test_triad_write_allocate_traffic(benchmark):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_triad_write_allocate_traffic(benchmark, engine):
     """gcc-style triad: 24 B read (b, c, write-allocate a) + 8 B write
     back per element — the 32 B/iter the gcc STREAM phase assumes."""
-    h = benchmark.pedantic(run, args=(hierarchy(), streaming_triad(N)),
+    h = benchmark.pedantic(execute, args=(streaming_triad(N), engine),
                            iterations=1, rounds=1)
     per_iter_read = h.dram_reads * 64 / N
     assert per_iter_read == pytest.approx(24.0, rel=0.02)
@@ -62,11 +88,12 @@ def test_triad_write_allocate_traffic(benchmark):
     assert per_iter_write == pytest.approx(8.0, rel=0.02)
 
 
-def test_triad_nontemporal_traffic(benchmark):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_triad_nontemporal_traffic(benchmark, engine):
     """icc-style triad: NT stores eliminate the write-allocate, leaving
     16 B read + 8 B NT write per element — the icc phase's numbers."""
     h = benchmark.pedantic(
-        run, args=(hierarchy(), streaming_triad(N, nontemporal=True)),
+        execute, args=(streaming_triad(N, nontemporal=True), engine),
         iterations=1, rounds=1)
     assert h.dram_reads * 64 / N == pytest.approx(16.0, rel=0.02)
     assert h.dram_writes * 64 / N == pytest.approx(8.0, rel=0.02)
@@ -77,9 +104,9 @@ def test_nt_saving_matches_analytic_ratio(benchmark):
     analytic model assumes: NT stores drop the triad from 32 to 24
     bytes per element (25%; the paper's Jacobi saves 1/3 because it
     has a single read stream)."""
-    wa = benchmark.pedantic(run, args=(hierarchy(), streaming_triad(N)),
+    wa = benchmark.pedantic(execute, args=(streaming_triad(N), "batched"),
                             iterations=1, rounds=1)
-    nt = run(hierarchy(), streaming_triad(N, nontemporal=True))
+    nt = execute(streaming_triad(N, nontemporal=True), "batched")
     # Flush the write-allocate run so trailing dirty lines reach DRAM.
     for _op, addr, stream in streaming_load(64 * 1024, base=1 << 34,
                                             stream=9):
@@ -95,10 +122,50 @@ def test_blocked_reuse_cuts_traffic(benchmark):
     from repro.workloads.kernels import blocked_sum
     repeats = 4
     blocked = benchmark.pedantic(
-        run, args=(hierarchy(), blocked_sum(N, 16 * 1024, repeats)),
+        execute, args=(blocked_sum(N, 16 * 1024, repeats), "batched"),
         iterations=1, rounds=1)
-    streamed = run(hierarchy(), streaming_load(N))
+    streamed = execute(streaming_load(N), "batched")
     blocked_per_access = blocked.dram_reads / (N * repeats // 1)
     stream_per_access = streamed.dram_reads / N
     assert blocked_per_access == pytest.approx(stream_per_access / repeats,
                                                rel=0.1)
+
+
+def test_batched_engine_matches_scalar_traffic():
+    """The two engines agree exactly on every externally observable
+    count at benchmark sizes (the per-kernel differential tests live
+    in tests/hw/test_batch.py)."""
+    scalar = execute(streaming_triad(N), "scalar")
+    batched = execute(streaming_triad(N), "batched")
+    assert batched.channels() == scalar.channels()
+    assert (batched.dram_reads, batched.dram_writes) \
+        == (scalar.dram_reads, scalar.dram_writes)
+
+
+def test_batched_replay_speedup(benchmark):
+    """Performance contract of the batch engine: replaying the captured
+    triad trace (the trace cache pays generation once) is at least 3×
+    faster than the scalar per-access path at the default sizes."""
+    captured = trace_arrays("streaming_triad", N)
+
+    def scalar_pass():
+        run(hierarchy("scalar"), streaming_triad(N), "scalar")
+
+    def batched_pass():
+        hierarchy("batched").replay(captured)
+
+    def best_of(fn, rounds=5):
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    scalar_t = best_of(scalar_pass)
+    benchmark.pedantic(batched_pass, iterations=1, rounds=5)
+    batched_t = best_of(batched_pass)
+    speedup = scalar_t / batched_t
+    assert speedup >= 3.0, (
+        f"batched replay only {speedup:.2f}x faster than scalar "
+        f"({scalar_t * 1e3:.1f}ms vs {batched_t * 1e3:.1f}ms)")

@@ -13,6 +13,7 @@ import argparse
 import sys
 
 from repro import experiments
+from repro.cli.common import add_arch_argument, machine_from_args
 from repro.tables import render_table
 
 
@@ -37,12 +38,16 @@ def build_parser() -> argparse.ArgumentParser:
         "ladder", help="bandwidth ladder (likwid-bench working-set sweep)")
     ladder.add_argument("-k", dest="kernel", default="load",
                         help="microkernel (load/store/copy/triad/...)")
-    ladder.add_argument("--arch", default="westmere_ep")
+    add_arch_argument(ladder)
     ladder.add_argument("--threads", type=int, default=1)
+    ladder.add_argument("--engine", default="analytic",
+                        choices=("analytic", "batched", "scalar"),
+                        help="traffic substrate for the memory level "
+                             "(default: %(default)s)")
     bwmap = sub.add_parser(
         "bwmap", help="ccNUMA bandwidth map (cores x memory domains)")
     bwmap.add_argument("-k", dest="kernel", default="copy")
-    bwmap.add_argument("--arch", default="westmere_ep")
+    add_arch_argument(bwmap)
     allcmd = sub.add_parser(
         "all", help="regenerate every paper artefact in one run")
     allcmd.add_argument("--samples", type=int, default=60,
@@ -93,17 +98,16 @@ def main(argv: list[str] | None = None) -> int:
         print(render_table(header, rows))
     elif args.command == "ladder":
         from repro.core.bench import bandwidth_ladder, render_ladder
-        from repro.hw.arch import create_machine
-        machine = create_machine(args.arch)
+        machine = machine_from_args(args)
         cpus = machine.spec.scatter_order()[:args.threads]
         print(f"# bandwidth ladder: {args.kernel} on {args.arch}, "
               f"{args.threads} thread(s) pinned to {cpus}")
         print(render_ladder(bandwidth_ladder(machine, args.kernel,
-                                             cpus=cpus)))
+                                             cpus=cpus,
+                                             engine=args.engine)))
     elif args.command == "bwmap":
         from repro.core.bench import numa_bandwidth_map, render_numa_map
-        from repro.hw.arch import create_machine
-        machine = create_machine(args.arch)
+        machine = machine_from_args(args)
         print(f"# ccNUMA bandwidth map: {args.kernel} on {args.arch}")
         print(render_numa_map(numa_bandwidth_map(machine,
                                                  kernel=args.kernel)))

@@ -10,19 +10,31 @@ from __future__ import annotations
 
 import argparse
 
+from repro.errors import TopologyError
 from repro.hw.arch import available, create_machine
 from repro.hw.machine import SimMachine
 
 
 def add_arch_argument(parser: argparse.ArgumentParser,
                       default: str = "westmere_ep") -> None:
+    """The one ``--arch`` definition every front-end shares: same
+    default, same choices, same help text."""
     parser.add_argument(
         "--arch", default=default, choices=available(),
         help="simulated machine to run on (default: %(default)s)")
 
 
 def machine_from_args(args: argparse.Namespace) -> SimMachine:
-    return create_machine(args.arch)
+    """Instantiate the machine selected by ``--arch``, with uniform
+    error reporting across every front-end (argparse's ``choices``
+    normally rejects unknown names first; this covers programmatic
+    callers passing a namespace directly)."""
+    try:
+        return create_machine(args.arch)
+    except TopologyError as exc:
+        raise SystemExit(
+            f"unknown architecture {args.arch!r} "
+            f"(available: {', '.join(available())}): {exc}") from None
 
 
 # Workload registry for the wrapper-style tools: the simulated stand-in

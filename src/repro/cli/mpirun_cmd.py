@@ -17,10 +17,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cli.common import add_arch_argument
 from repro.core.mpiperf import MpiPerfCtr
 from repro.core.pin import LikwidPin
 from repro.errors import ReproError
-from repro.hw.arch import available
 from repro.oskern.mpi import MpiExec, SimCluster
 from repro.workloads.runner import run_team
 from repro.workloads.stream import STREAM_KERNELS, stream_phase
@@ -44,7 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="event group to measure on every rank")
     parser.add_argument("workload", nargs="?", default="stream_icc",
                         help="stream_icc | stream_gcc")
-    parser.add_argument("--arch", default="westmere_ep", choices=available())
+    add_arch_argument(parser)
     parser.add_argument("--elements", type=int, default=4_000_000,
                         help="STREAM elements per rank")
     return parser

@@ -59,6 +59,66 @@ KERNELS: dict[str, BenchKernel] = {
                             flops_per_element=2.0),
 }
 
+#: Trace-kernel equivalent of each bench kernel, for the exact engines.
+_TRACE_EQUIVALENT: dict[str, tuple[str, dict]] = {
+    "load": ("streaming_load", {}),
+    "store": ("streaming_store", {}),
+    "store_nt": ("streaming_store", {"nontemporal": True}),
+    "copy": ("copy_kernel", {}),
+    "triad": ("streaming_triad", {}),
+    "triad_nt": ("streaming_triad", {"nontemporal": True}),
+}
+
+
+def measure_kernel_traffic(kernel: str, *, engine: str = "batched",
+                           n: int = 16384) -> tuple[float, float]:
+    """Per-element DRAM (read, write) bytes of one bench kernel,
+    measured on the exact cache-simulator substrate instead of taken
+    from the closed-form stream counts.
+
+    *engine* selects the batched replay engine (default) or the scalar
+    reference; both are bit-exact with each other.  The measurement
+    runs on a fixed two-level hierarchy (the steady-state per-element
+    volume is hierarchy-independent for streaming kernels) and flushes
+    trailing dirty lines so writebacks are fully accounted.
+    """
+    from repro.hw.prefetch import PrefetcherConfig
+    from repro.hw.spec import CacheSpec
+    from repro.workloads.kernels import streaming_load
+    from repro.workloads.trace_cache import trace_arrays
+
+    try:
+        name, params = _TRACE_EQUIVALENT[kernel]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown bench kernel {kernel!r}; known: "
+            f"{', '.join(sorted(_TRACE_EQUIVALENT))}") from None
+    trace = trace_arrays(name, n, **params)
+    specs = [CacheSpec(1, "Data cache", 32 * 1024, 8, 64),
+             CacheSpec(2, "Unified cache", 256 * 1024, 8, 64)]
+    config = PrefetcherConfig.all_off()
+    if engine == "batched":
+        from repro.hw.batch import BatchHierarchy
+        h = BatchHierarchy(specs, config)
+        h.replay(trace)
+    elif engine == "scalar":
+        from repro.hw.cache import CacheHierarchy
+        h = CacheHierarchy(specs, config)
+        for op, addr, stream in trace:
+            if op == "L":
+                h.load(addr, stream=stream)
+            else:
+                h.store(addr, stream=stream, nontemporal=op == "N")
+    else:
+        raise WorkloadError(f"unknown trace engine {engine!r}; "
+                            "choose 'batched' or 'scalar'")
+    flush_elements = 64 * 1024
+    for _op, addr, stream in streaming_load(flush_elements, base=1 << 34,
+                                            stream=9):
+        h.load(addr, stream=stream)
+    reads = h.dram_reads - flush_elements * 8 // 64
+    return reads * 64 / n, h.dram_writes * 64 / n
+
 
 @dataclass
 class LadderPoint:
@@ -86,11 +146,20 @@ def _fit_level(machine: SimMachine, working_set: int,
 
 def bandwidth_ladder(machine: SimMachine, kernel: str = "load",
                      cpus: list[int] | None = None,
-                     sizes: list[int] | None = None) -> list[LadderPoint]:
+                     sizes: list[int] | None = None,
+                     *, engine: str = "analytic") -> list[LadderPoint]:
     """Sweep the working set through the hierarchy on the given cores.
 
     Each point reports the thread group's aggregate bandwidth at that
     per-thread working-set size.
+
+    *engine* selects where the memory-level traffic volumes come from:
+    ``"analytic"`` (default — the closed-form stream counts the solver
+    is calibrated against) or ``"batched"``/``"scalar"``, which run the
+    kernel's trace equivalent through the exact cache simulator via
+    :func:`measure_kernel_traffic`.  For these streaming kernels the
+    substrates agree exactly, so the ladder itself is unchanged — the
+    selector exists so sweeps can be driven from measured traffic.
     """
     try:
         k = KERNELS[kernel]
@@ -98,6 +167,13 @@ def bandwidth_ladder(machine: SimMachine, kernel: str = "load",
         raise WorkloadError(
             f"unknown bench kernel {kernel!r}; known: "
             f"{', '.join(sorted(KERNELS))}") from None
+    if engine == "analytic":
+        mem_read_per_element = 8.0 * k.read_streams \
+            + (0.0 if k.nontemporal else 8.0 * k.write_streams)
+        mem_write_per_element = 8.0 * k.write_streams
+    else:
+        mem_read_per_element, mem_write_per_element = \
+            measure_kernel_traffic(kernel, engine=engine)
     spec = machine.spec
     perf = spec.perf
     if cpus is None:
@@ -124,9 +200,8 @@ def bandwidth_ladder(machine: SimMachine, kernel: str = "load",
                 f"bench_{kernel}", iters=size // 8,
                 cycles_per_iter=k.bytes_per_element / perf.l1_bytes_per_cycle,
                 l3_bytes_per_iter=k.bytes_per_element,
-                mem_read_bytes_per_iter=8.0 * k.read_streams
-                + (0.0 if k.nontemporal else 8.0 * k.write_streams),
-                mem_write_bytes_per_iter=8.0 * k.write_streams,
+                mem_read_bytes_per_iter=mem_read_per_element,
+                mem_write_bytes_per_iter=mem_write_per_element,
                 nt_store_fraction=1.0 if k.nontemporal else 0.0,
                 flops_per_iter=k.flops_per_element)
         else:

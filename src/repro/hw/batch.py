@@ -1,0 +1,553 @@
+"""Batched trace execution: whole address arrays per call.
+
+The scalar :class:`~repro.hw.cache.CacheHierarchy` pays roughly ten
+Python calls per access (runner dispatch, TLB, per-level probe,
+prefetcher observers).  For the figure sweeps and the ablation
+benchmarks that cost dominates wall-clock and caps trace sizes.  This
+module keeps the *model* identical — same true-LRU sets, same fill
+and writeback policy, same prefetcher state machines — but executes a
+whole :class:`TraceArrays` in one tight loop with every piece of hot
+state held in locals.  The result is bit-exact with the scalar path
+(enforced by ``tests/hw/test_batch.py``) at a multiple of its speed.
+
+Layout of a batched trace: three parallel arrays ``ops`` (one byte per
+access: load/store/NT-store/branch), ``addrs`` and ``streams``
+(64-bit).  :func:`encode_trace` builds them from any scalar
+``(op, address, stream)`` iterable; generators in
+:mod:`repro.workloads.kernels` can be captured once and replayed many
+times (see :mod:`repro.workloads.trace_cache`).
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.hw.cache import CacheHierarchy, SetAssocCache
+
+OP_LOAD = 0
+OP_STORE = 1
+OP_NT_STORE = 2
+OP_BRANCH = 3
+
+_OP_CODES = {"L": OP_LOAD, "S": OP_STORE, "N": OP_NT_STORE, "B": OP_BRANCH}
+_OP_CHARS = ("L", "S", "N", "B")
+
+
+@dataclass(frozen=True)
+class TraceArrays:
+    """A compact, replayable access trace (struct-of-arrays form)."""
+
+    ops: array       # typecode 'B': OP_LOAD/OP_STORE/OP_NT_STORE/OP_BRANCH
+    addrs: array     # typecode 'q': byte address (or branch PC)
+    streams: array   # typecode 'q': stream id (or branch outcome)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[tuple[str, int, int]]:
+        """Yield the scalar ``(op, address, stream)`` view, so a
+        captured trace can also feed the scalar engine unchanged."""
+        chars = _OP_CHARS
+        for op, addr, stream in zip(self.ops, self.addrs, self.streams):
+            yield (chars[op], addr, stream)
+
+    @property
+    def nbytes(self) -> int:
+        return (self.ops.itemsize * len(self.ops)
+                + self.addrs.itemsize * len(self.addrs)
+                + self.streams.itemsize * len(self.streams))
+
+
+def encode_trace(trace: Iterable[tuple[str, int, int]]) -> TraceArrays:
+    """Capture a scalar trace iterable into :class:`TraceArrays`."""
+    if isinstance(trace, TraceArrays):
+        return trace
+    ops = array("B")
+    addrs = array("q")
+    streams = array("q")
+    codes = _OP_CODES
+    for op, addr, stream in trace:
+        try:
+            ops.append(codes[op])
+        except KeyError:
+            raise ValueError(f"unknown trace op {op!r}") from None
+        addrs.append(addr)
+        streams.append(stream)
+    return TraceArrays(ops, addrs, streams)
+
+
+class BatchCache(SetAssocCache):
+    """A :class:`SetAssocCache` whose internals the batched replay loop
+    may index directly (the public ``sets`` alias).  Semantics and
+    statistics are identical to the scalar cache — the batch engine
+    only changes *who drives* the per-set dicts, not what they do."""
+
+    def __init__(self, spec, name: str = ""):
+        super().__init__(spec, name)
+        self.sets = self._sets   # direct handle for the replay loop
+
+
+class BatchHierarchy(CacheHierarchy):
+    """Drop-in :class:`CacheHierarchy` with an array-at-a-time
+    :meth:`replay` entry point.
+
+    All scalar entry points (``load``/``store``/``channels``) remain
+    available and interoperable: a replay may be followed by scalar
+    accesses and vice versa, because both operate on the same state.
+    """
+
+    cache_factory = BatchCache
+
+    def replay(self, trace: TraceArrays, branch_unit=None) -> float:
+        """Execute a whole trace; returns accumulated model cycles
+        (same per-access latency table as the scalar runner).
+
+        Bit-exact with feeding the trace one access at a time through
+        :meth:`load`/:meth:`store`: identical hit/miss/fill/eviction
+        counts per level, DRAM traffic, TLB and prefetcher state.
+        """
+        if not isinstance(trace, TraceArrays):
+            trace = encode_trace(trace)
+        if not len(trace.ops):
+            return 0.0
+
+        levels = self.levels
+        nlevels = len(levels)
+        multi = nlevels > 1
+        l1 = levels[0]
+        l1_sets = l1._sets
+        l1_nsets = l1.num_sets
+        line_size = self.line_size
+
+        tlb = self.tlb
+        pages = tlb._pages
+        tlb_entries = tlb.entries
+        page_size = tlb.page_size
+
+        pf = self.prefetch
+        dcu_on = pf.dcu_prefetcher
+        ip_on = pf.ip_prefetcher
+        hw_on = pf.hw_prefetcher and multi
+        cl_on = pf.cl_prefetcher and multi
+
+        # Prefetcher state machines, unpacked into locals.
+        s1 = self._l1_stream
+        s1_depth, s1_confirm = s1.depth, s1.confirm
+        s1_last, s1_run = s1._last_line, s1._run
+        s2 = self._l2_stream
+        s2_depth, s2_confirm = s2.depth, s2.confirm
+        s2_last, s2_run = s2._last_line, s2._run
+        ip_table = self._ip._table
+        ip_max = self._ip.max_streams
+
+        prefetch_into = self._prefetch_into
+        miss_rest = self._miss_rest
+        branch_exec = branch_unit.execute if branch_unit is not None else None
+
+        # Only irreducible counters live in the loop; everything
+        # derivable (L1/TLB access totals, miss counts, hit cycles) is
+        # reconstructed once at the end.
+        loads = stores = nt_stores = 0
+        tlb_miss = 0
+        l1_hit = 0
+        nt_accum = self._nt_accum
+        cycles = 0.0          # branch + miss latencies; hits added at the end
+        lat = (1.0, 8.0, 30.0, 200.0)
+        nt_lat = lat[nlevels if nlevels < 3 else 3]
+
+        # Vectorise the per-access address arithmetic; plain-int lists
+        # iterate and hash faster than array('q') elements.
+        try:
+            import numpy as _np
+        except ImportError:                               # pragma: no cover
+            addrs_l = trace.addrs.tolist()
+            lines_l = [a // line_size for a in addrs_l]
+            pages_l = [a // page_size for a in addrs_l]
+            has_branch = OP_BRANCH in trace.ops
+        else:
+            a = _np.frombuffer(trace.addrs, dtype=_np.int64)
+            lines_l = (a // line_size).tolist()
+            pages_l = (a // page_size).tolist()
+            has_branch = bool(
+                (_np.frombuffer(trace.ops, dtype=_np.uint8)
+                 == OP_BRANCH).any())
+
+        # The page made MRU by the previous access: a repeat access can
+        # skip the TLB dict ops entirely (pop+reinsert of the MRU entry
+        # is the identity, and the MRU entry is never the eviction
+        # victim), so the skip is exact.
+        prev_page = -1
+        no_prefetch = not (dcu_on or ip_on or hw_on or cl_on)
+
+        if no_prefetch and nlevels <= 2 and not has_branch:
+            return self._replay_fast(trace, lines_l, pages_l)
+
+        ops = trace.ops.tolist()
+        addrs = trace.addrs.tolist()
+        streams = trace.streams.tolist()
+
+        for op, addr, stream, line, page in zip(ops, addrs, streams,
+                                                lines_l, pages_l):
+            if op == 3:                                   # branch
+                if branch_exec is None:
+                    raise ValueError(
+                        "trace contains branch ops but no branch unit "
+                        "was passed to replay()")
+                cycles += 15.0 if branch_exec(addr, bool(stream)) else 1.0
+                continue
+
+            # TLB (fully associative LRU, inlined).
+            if page != prev_page:
+                if page in pages:
+                    pages.pop(page)
+                    pages[page] = None
+                else:
+                    tlb_miss += 1
+                    if len(pages) >= tlb_entries:
+                        pages.pop(next(iter(pages)))
+                    pages[page] = None
+                prev_page = page
+
+            if op == 2:                                   # nontemporal store
+                nt_stores += 1
+                for cache in levels:
+                    cache._sets[line % cache.num_sets].pop(line, None)
+                nt_accum += 8
+                if nt_accum >= line_size:
+                    nt_accum -= line_size
+                    self.dram_writes += 1
+                continue
+
+            write = op == 1
+            if write:
+                stores += 1
+            else:
+                loads += 1
+
+            # L1 probe, inlined (the dominant path).
+            s = l1_sets[line % l1_nsets]
+            if line in s:
+                l1_hit += 1
+                hit_level = 0
+                s[line] = s.pop(line) or write
+                if no_prefetch:
+                    continue
+            else:
+                hit_level = miss_rest(line, write)
+                cycles += lat[hit_level if hit_level < 3 else 3]
+                if no_prefetch:
+                    continue
+
+            # Prefetchers observe demand traffic (same order as scalar).
+            if dcu_on and not write:
+                if s1_last is not None and line == s1_last + 1:
+                    s1_run += 1
+                    if s1_run >= s1_confirm:
+                        prefetch_into(
+                            [line + k for k in range(1, s1_depth + 1)], 0)
+                elif line != s1_last:
+                    s1_run = 0
+                s1_last = line
+            if ip_on:
+                last = ip_table.get(stream)
+                if last is None:
+                    if len(ip_table) >= ip_max:
+                        ip_table.pop(next(iter(ip_table)))
+                    ip_table[stream] = (addr, 0, 0)
+                else:
+                    last_addr, last_stride, hits = last
+                    stride = addr - last_addr
+                    if stride != 0 and stride == last_stride:
+                        hits += 1
+                    else:
+                        hits = 0
+                    ip_table[stream] = (addr, stride, hits)
+                    if hits >= 2 and stride != 0:
+                        target = addr + stride
+                        if target // line_size != line:
+                            prefetch_into([target // line_size], 0)
+            if hit_level and multi:
+                if hw_on:
+                    if s2_last is not None and line == s2_last + 1:
+                        s2_run += 1
+                        if s2_run >= s2_confirm:
+                            prefetch_into(
+                                [line + k for k in range(1, s2_depth + 1)], 1)
+                    elif line != s2_last:
+                        s2_run = 0
+                    s2_last = line
+                if cl_on and hit_level >= 2:
+                    prefetch_into([line ^ 1], 1)
+
+        # Fold the local counters back into the shared state, and
+        # reconstruct everything derivable from them.
+        demand = loads + stores
+        st = l1.stats
+        st.accesses += demand
+        st.hits += l1_hit
+        st.misses += demand - l1_hit
+        tlb.accesses += demand + nt_stores
+        tlb.misses += tlb_miss
+        self.loads += loads
+        self.stores += stores
+        self.nt_stores += nt_stores
+        self._nt_accum = nt_accum
+        s1._last_line, s1._run = s1_last, s1_run
+        s2._last_line, s2._run = s2_last, s2_run
+        # L1 hits cost 1.0 cycle each, NT stores a constant bypass
+        # latency; both fold in exactly (integer-valued floats).
+        return cycles + l1_hit * 1.0 + nt_stores * nt_lat
+
+    def _replay_fast(self, trace: TraceArrays, lines_l: list,
+                     pages_l: list) -> float:
+        """Fully inlined replay for the common measurement shape: every
+        prefetcher off, no branch ops, at most two cache levels (the
+        ablation benchmarks' configuration).  The entire miss path —
+        outer-level probe, fills, victim writebacks — runs inside the
+        loop with counters in plain locals, folded back once at the
+        end.  Bit-exact with the general loop and the scalar engine.
+        """
+        levels = self.levels
+        multi = len(levels) > 1
+        l1 = levels[0]
+        l1_sets = l1._sets
+        l1_nsets = l1.num_sets
+        l1_ways = l1.ways
+        if multi:
+            l2 = levels[1]
+            l2_sets = l2._sets
+            l2_nsets = l2.num_sets
+            l2_ways = l2.ways
+        line_size = self.line_size
+
+        tlb = self.tlb
+        pages = tlb._pages
+        tlb_entries = tlb.entries
+
+        loads = stores = nt_stores = 0
+        tlb_miss = 0
+        l1_hit = l2_hit = 0
+        l1_ev = l1_dev = l1_in = 0
+        l2_ev = l2_dev = l2_in = 0
+        dram_w = 0
+        nt_accum = self._nt_accum
+        prev_page = -1
+
+        for op, line, page in zip(trace.ops.tolist(), lines_l, pages_l):
+            # TLB (fully associative LRU; MRU repeats skip exactly).
+            if page != prev_page:
+                if page in pages:
+                    pages.pop(page)
+                    pages[page] = None
+                else:
+                    tlb_miss += 1
+                    if len(pages) >= tlb_entries:
+                        pages.pop(next(iter(pages)))
+                    pages[page] = None
+                prev_page = page
+
+            if op == 2:                                   # nontemporal store
+                nt_stores += 1
+                l1_sets[line % l1_nsets].pop(line, None)
+                if multi:
+                    l2_sets[line % l2_nsets].pop(line, None)
+                nt_accum += 8
+                if nt_accum >= line_size:
+                    nt_accum -= line_size
+                    dram_w += 1
+                continue
+
+            write = op == 1
+            if write:
+                stores += 1
+            else:
+                loads += 1
+
+            s = l1_sets[line % l1_nsets]
+            if line in s:
+                l1_hit += 1
+                s[line] = s.pop(line) or write
+                continue
+
+            # L1 miss: probe/fill L2 first, then fill L1 — the same
+            # dict-mutation order as the scalar fill chain.
+            if multi:
+                s2 = l2_sets[line % l2_nsets]
+                if line in s2:
+                    l2_hit += 1
+                    s2[line] = s2.pop(line)
+                else:
+                    if len(s2) >= l2_ways:
+                        l2_ev += 1
+                        if s2.pop(next(iter(s2))):
+                            l2_dev += 1
+                            dram_w += 1
+                    s2[line] = False
+                    l2_in += 1
+            if len(s) >= l1_ways:
+                victim = next(iter(s))
+                l1_ev += 1
+                if s.pop(victim):
+                    l1_dev += 1
+                    if multi:
+                        t2 = l2_sets[victim % l2_nsets]
+                        if victim in t2:
+                            t2.pop(victim)
+                            t2[victim] = True
+                        else:
+                            if len(t2) >= l2_ways:
+                                l2_ev += 1
+                                if t2.pop(next(iter(t2))):
+                                    l2_dev += 1
+                                    dram_w += 1
+                            t2[victim] = True
+                            l2_in += 1
+                    else:
+                        dram_w += 1
+            s[line] = write
+            l1_in += 1
+
+        # Fold local counters back; derive the rest (L2 demand accesses
+        # equal L1 misses, DRAM reads equal last-level misses, and the
+        # latency sum decomposes per service level — all integer-valued
+        # floats, so the sums are order-independent and exact).
+        demand = loads + stores
+        l1_miss = demand - l1_hit
+        st = l1.stats
+        st.accesses += demand
+        st.hits += l1_hit
+        st.misses += l1_miss
+        st.evictions += l1_ev
+        st.dirty_evictions += l1_dev
+        st.lines_in += l1_in
+        if multi:
+            l2_miss = l1_miss - l2_hit
+            st2 = l2.stats
+            st2.accesses += l1_miss
+            st2.hits += l2_hit
+            st2.misses += l2_miss
+            st2.evictions += l2_ev
+            st2.dirty_evictions += l2_dev
+            st2.lines_in += l2_in
+            self.dram_reads += l2_miss
+            miss_cycles = l2_hit * 8.0 + l2_miss * 30.0
+            nt_lat = 30.0
+        else:
+            self.dram_reads += l1_miss
+            miss_cycles = l1_miss * 8.0
+            nt_lat = 8.0
+        self.dram_writes += dram_w
+        tlb.accesses += demand + nt_stores
+        tlb.misses += tlb_miss
+        self.loads += loads
+        self.stores += stores
+        self.nt_stores += nt_stores
+        self._nt_accum = nt_accum
+        return miss_cycles + l1_hit * 1.0 + nt_stores * nt_lat
+
+    def _miss_rest(self, line: int, write: bool) -> int:
+        """Slow path for an access that missed L1: probe the outer
+        levels (registering demand stats exactly like the scalar
+        ``_miss_level``), count a DRAM read on a full miss, and run the
+        fill chain."""
+        levels = self.levels
+        nlevels = len(levels)
+        hit_level = nlevels
+        for i in range(1, nlevels):
+            c = levels[i]
+            st = c.stats
+            st.accesses += 1
+            s = c._sets[line % c.num_sets]
+            if line in s:
+                st.hits += 1
+                s[line] = s.pop(line)
+                hit_level = i
+                break
+            st.misses += 1
+        if hit_level == nlevels:
+            self.dram_reads += 1
+        self._fill_chain(line, hit_level - 1, dirty=write)
+        return hit_level
+
+    # -- iterative, direct-dict re-implementations of the hierarchy
+    # -- helpers (bit-exact with the scalar versions; enforced by the
+    # -- differential tests) -------------------------------------------------
+
+    def _fill_chain(self, line: int, upto: int, *, dirty: bool = False,
+                    prefetch: bool = False) -> None:
+        levels = self.levels
+        for i in range(upto, -1, -1):
+            c = levels[i]
+            s = c._sets[line % c.num_sets]
+            d = dirty and i == 0
+            if line in s:
+                s[line] = s.pop(line) or d
+                continue
+            st = c.stats
+            if len(s) >= c.ways:
+                victim_line = next(iter(s))
+                victim_dirty = s.pop(victim_line)
+                st.evictions += 1
+                if victim_dirty:
+                    st.dirty_evictions += 1
+                    self._writeback((victim_line, True), from_level=i)
+            s[line] = d
+            st.lines_in += 1
+            if prefetch:
+                st.prefetch_fills += 1
+
+    def _writeback(self, victim, from_level: int) -> None:
+        line, dirty = victim
+        if not dirty:
+            return
+        levels = self.levels
+        nlevels = len(levels)
+        i = from_level + 1
+        while True:
+            if i >= nlevels:
+                self.dram_writes += 1
+                return
+            c = levels[i]
+            s = c._sets[line % c.num_sets]
+            if line in s:
+                s.pop(line)
+                s[line] = True
+                return
+            st = c.stats
+            cascade = None
+            if len(s) >= c.ways:
+                victim_line = next(iter(s))
+                victim_dirty = s.pop(victim_line)
+                st.evictions += 1
+                if victim_dirty:
+                    st.dirty_evictions += 1
+                    cascade = victim_line
+            s[line] = True
+            st.lines_in += 1
+            if cascade is None:
+                return
+            line = cascade
+            i += 1
+
+    def _prefetch_into(self, lines, upto: int) -> None:
+        levels = self.levels
+        nlevels = len(levels)
+        l1 = levels[0]
+        l1_sets = l1._sets
+        l1_nsets = l1.num_sets
+        for line in lines:
+            if line in l1_sets[line % l1_nsets]:
+                continue
+            hit_level = nlevels
+            for i in range(upto + 1, nlevels):
+                c = levels[i]
+                s = c._sets[line % c.num_sets]
+                if line in s:
+                    s[line] = s.pop(line)
+                    hit_level = i
+                    break
+            if hit_level == nlevels:
+                self.dram_reads += 1
+            self._fill_chain(line, upto, prefetch=True)

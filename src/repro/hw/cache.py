@@ -105,8 +105,20 @@ class SetAssocCache:
         s = self._sets[self._set_index(line)]
         return s.pop(line, None) is not None
 
+    def has_line(self, line: int) -> bool:
+        """O(1) membership probe restricted to the line's mapped set.
+
+        Unlike :meth:`contents`, which walks every set (O(sets·ways)),
+        this only consults the one set the line can live in and never
+        touches LRU state — the right primitive for coherence probes.
+        """
+        return line in self._sets[self._set_index(line)]
+
+    __contains__ = has_line
+
     def contents(self) -> set[int]:
-        """All resident line numbers (testing/inspection)."""
+        """All resident line numbers (testing/inspection only — this
+        scans every set; use :meth:`has_line` for membership checks)."""
         return {line for s in self._sets for line in s}
 
 
@@ -145,6 +157,10 @@ class CacheHierarchy:
     AMD policy is approximated the same way, documented in DESIGN.md).
     """
 
+    #: Cache class used for each level; :class:`repro.hw.batch.BatchHierarchy`
+    #: overrides this to build batch-friendly levels.
+    cache_factory = SetAssocCache
+
     def __init__(self, caches: list[CacheSpec],
                  prefetch: PrefetcherConfig | None = None,
                  *, tlb_entries: int = 64, page_size: int = 4096):
@@ -152,7 +168,7 @@ class CacheHierarchy:
                              key=lambda c: c.level)
         if not data_levels:
             raise ValueError("hierarchy needs at least one data cache level")
-        self.levels = [SetAssocCache(c) for c in data_levels]
+        self.levels = [self.cache_factory(c) for c in data_levels]
         self.line_size = self.levels[0].line_size
         self.tlb = SimTlb(tlb_entries, page_size)
         self.prefetch = prefetch or PrefetcherConfig()

@@ -93,7 +93,11 @@ class SharedCacheSystem:
             if other == core:
                 continue
             for level in self.private[other]:
-                level.invalidate(line)
+                # O(1) mapped-set membership probe (has_line) — the
+                # coherence path must never scan whole caches, and the
+                # probe must not touch LRU state or demand stats.
+                if line in level:
+                    level.invalidate(line)
             holders.discard(other)
             self.invalidations += 1
         self._dirty_owner.pop(line, None)

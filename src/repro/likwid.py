@@ -22,9 +22,19 @@ Also provided are the likwid API's pinning helpers
 (``likwid_pinProcess`` / ``likwid_pinThread``), which the paper's
 library offers "to determine the core ID of processes or threads" and
 bind them.
+
+The binding state lives in a :class:`LikwidSession`.  The C-style free
+functions delegate to one module-level default session (faithful to
+the real library's process-global state), but independent sessions can
+be created directly — e.g. to instrument two simulated processes side
+by side — and :func:`likwid_bound` scopes a binding to a ``with``
+block, restoring whatever was bound before on exit.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
 
 from repro.core.perfctr.marker import MarkerAPI
 from repro.core.perfctr.measurement import PerfCtrSession
@@ -32,99 +42,189 @@ from repro.errors import MarkerError
 from repro.oskern.scheduler import OSKernel
 from repro.oskern.threads import SimThread
 
-_marker: MarkerAPI | None = None
-_kernel: OSKernel | None = None
-_calling: SimThread | None = None
 
+class LikwidSession:
+    """One binding of the likwid API: a marker session, the OS instance
+    answering scheduling queries, and the current calling thread.
+
+    Mirrors every ``likwid_*`` free function as a snake_case method;
+    the free functions are thin delegates to the default session.
+    """
+
+    def __init__(self) -> None:
+        self._marker: MarkerAPI | None = None
+        self._kernel: OSKernel | None = None
+        self._calling: SimThread | None = None
+
+    # -- binding -------------------------------------------------------------
+
+    @property
+    def bound(self) -> bool:
+        return self._marker is not None
+
+    def bind(self, session: PerfCtrSession, kernel: OSKernel,
+             calling_thread: SimThread) -> None:
+        """Bind to a measurement session and the calling thread (the
+        simulation's stand-in for the env-var handshake the real
+        likwid-perfctr -m performs with the instrumented binary)."""
+        self._marker = MarkerAPI(session)
+        self._kernel = kernel
+        self._calling = calling_thread
+
+    def unbind(self) -> None:
+        """Reset the session state (process exit)."""
+        self._marker = None
+        self._kernel = None
+        self._calling = None
+
+    def _require_marker(self) -> MarkerAPI:
+        if self._marker is None:
+            raise MarkerError("likwid marker API not bound "
+                              "(call likwid_markerBind first)")
+        return self._marker
+
+    def _require_kernel(self) -> OSKernel:
+        if self._kernel is None:
+            raise MarkerError("likwid API not bound to an OS instance")
+        return self._kernel
+
+    def set_calling_thread(self, thread: SimThread) -> None:
+        """Switch the simulated "calling thread" (each simulated thread
+        calls this before using the API, standing in for real TLS)."""
+        self._calling = thread
+
+    # -- the C API, as methods -----------------------------------------------
+
+    def process_get_processor_id(self) -> int:
+        """Core id the calling thread currently runs on."""
+        kernel = self._require_kernel()
+        if self._calling is None:
+            raise MarkerError("no calling thread bound")
+        if self._calling.hwthread is None:
+            kernel.place_thread(self._calling.tid)
+        return int(self._calling.hwthread)  # type: ignore[arg-type]
+
+    def pin_process(self, cpu: int) -> int:
+        """Pin the calling process to one core; returns 0 on success."""
+        kernel = self._require_kernel()
+        if self._calling is None:
+            raise MarkerError("no calling thread bound")
+        kernel.sched_setaffinity(self._calling.tid, {cpu})
+        kernel.place_thread(self._calling.tid)
+        return 0
+
+    def pin_thread(self, cpu: int) -> int:
+        """Alias for :meth:`pin_process` at thread granularity."""
+        return self.pin_process(cpu)
+
+    def marker_init(self, number_of_threads: int,
+                    number_of_regions: int) -> None:
+        self._require_marker().likwid_markerInit(number_of_threads,
+                                                 number_of_regions)
+
+    def marker_register_region(self, name: str) -> int:
+        return self._require_marker().likwid_markerRegisterRegion(name)
+
+    def marker_start_region(self, thread_id: int, core_id: int) -> None:
+        self._require_marker().likwid_markerStartRegion(thread_id, core_id)
+
+    def marker_stop_region(self, thread_id: int, core_id: int,
+                           region_id: int) -> None:
+        self._require_marker().likwid_markerStopRegion(thread_id, core_id,
+                                                       region_id)
+
+    def marker_close(self) -> None:
+        self._require_marker().likwid_markerClose()
+
+    def marker_results(self) -> MarkerAPI:
+        """Access the accumulated region results (the tool side reads
+        these after the application exits)."""
+        return self._require_marker()
+
+
+#: The process-global session the C-style free functions operate on.
+_default = LikwidSession()
+
+
+def default_session() -> LikwidSession:
+    """The session backing the module-level free functions."""
+    return _default
+
+
+@contextmanager
+def likwid_bound(session: PerfCtrSession, kernel: OSKernel,
+                 calling_thread: SimThread) -> Iterator[LikwidSession]:
+    """Bind the default session for the duration of a ``with`` block.
+
+    Whatever binding existed before (including none) is restored on
+    exit, so nested instrumented scopes compose.
+    """
+    prior = (_default._marker, _default._kernel, _default._calling)
+    _default.bind(session, kernel, calling_thread)
+    try:
+        yield _default
+    finally:
+        _default._marker, _default._kernel, _default._calling = prior
+
+
+# -- the C API ---------------------------------------------------------------
 
 def likwid_markerBind(session: PerfCtrSession, kernel: OSKernel,
                       calling_thread: SimThread) -> None:
     """Bind the API to a measurement session and the calling thread
     (the simulation's stand-in for the env-var handshake the real
     likwid-perfctr -m performs with the instrumented binary)."""
-    global _marker, _kernel, _calling
-    _marker = MarkerAPI(session)
-    _kernel = kernel
-    _calling = calling_thread
+    _default.bind(session, kernel, calling_thread)
 
 
 def likwid_markerUnbind() -> None:
     """Reset module state (process exit)."""
-    global _marker, _kernel, _calling
-    _marker = None
-    _kernel = None
-    _calling = None
-
-
-def _require_marker() -> MarkerAPI:
-    if _marker is None:
-        raise MarkerError("likwid marker API not bound "
-                          "(call likwid_markerBind first)")
-    return _marker
-
-
-def _require_kernel() -> OSKernel:
-    if _kernel is None:
-        raise MarkerError("likwid API not bound to an OS instance")
-    return _kernel
+    _default.unbind()
 
 
 def likwid_setCallingThread(thread: SimThread) -> None:
     """Switch the simulated "calling thread" (each simulated thread
     calls this before using the API, standing in for real TLS)."""
-    global _calling
-    _calling = thread
+    _default.set_calling_thread(thread)
 
-
-# -- the C API ---------------------------------------------------------------
 
 def likwid_processGetProcessorId() -> int:
     """Core id the calling thread currently runs on."""
-    kernel = _require_kernel()
-    if _calling is None:
-        raise MarkerError("no calling thread bound")
-    if _calling.hwthread is None:
-        kernel.place_thread(_calling.tid)
-    return int(_calling.hwthread)  # type: ignore[arg-type]
+    return _default.process_get_processor_id()
 
 
 def likwid_pinProcess(cpu: int) -> int:
     """Pin the calling process to one core; returns 0 on success."""
-    kernel = _require_kernel()
-    if _calling is None:
-        raise MarkerError("no calling thread bound")
-    kernel.sched_setaffinity(_calling.tid, {cpu})
-    kernel.place_thread(_calling.tid)
-    return 0
+    return _default.pin_process(cpu)
 
 
 def likwid_pinThread(cpu: int) -> int:
     """Alias for pinProcess at thread granularity."""
-    return likwid_pinProcess(cpu)
+    return _default.pin_thread(cpu)
 
 
 def likwid_markerInit(number_of_threads: int, number_of_regions: int) -> None:
-    _require_marker().likwid_markerInit(number_of_threads, number_of_regions)
+    _default.marker_init(number_of_threads, number_of_regions)
 
 
 def likwid_markerRegisterRegion(name: str) -> int:
-    return _require_marker().likwid_markerRegisterRegion(name)
+    return _default.marker_register_region(name)
 
 
 def likwid_markerStartRegion(thread_id: int, core_id: int) -> None:
-    _require_marker().likwid_markerStartRegion(thread_id, core_id)
+    _default.marker_start_region(thread_id, core_id)
 
 
 def likwid_markerStopRegion(thread_id: int, core_id: int,
                             region_id: int) -> None:
-    _require_marker().likwid_markerStopRegion(thread_id, core_id, region_id)
+    _default.marker_stop_region(thread_id, core_id, region_id)
 
 
 def likwid_markerClose() -> None:
-    _require_marker().likwid_markerClose()
+    _default.marker_close()
 
 
 def likwid_markerResults() -> MarkerAPI:
     """Access the accumulated region results (the tool side reads
     these after the application exits)."""
-    return _require_marker()
+    return _default.marker_results()

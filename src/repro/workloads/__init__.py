@@ -4,7 +4,11 @@ from repro.workloads.jacobi import JacobiConfig, JacobiResult, run_jacobi
 from repro.workloads.matmul import MatmulConfig, MatmulResult, run_matmul
 from repro.workloads.runner import run_team, run_trace
 from repro.workloads.stream import StreamResult, run_stream, stream_samples
+from repro.workloads.trace_cache import (TRACE_KERNELS, clear_trace_cache,
+                                         trace_arrays, trace_cache_info)
 
 __all__ = ["JacobiConfig", "JacobiResult", "run_jacobi",
            "MatmulConfig", "MatmulResult", "run_matmul", "run_team",
-           "run_trace", "StreamResult", "run_stream", "stream_samples"]
+           "run_trace", "StreamResult", "run_stream", "stream_samples",
+           "TRACE_KERNELS", "trace_arrays", "trace_cache_info",
+           "clear_trace_cache"]

@@ -37,6 +37,15 @@ def streaming_triad(n: int, *, nontemporal: bool = False) -> Trace:
         yield ("N" if nontemporal else "S", spacing * 3 + i * DOUBLE, 3)  # a[i]
 
 
+def streaming_store(n: int, *, base: int = 0, stream: int = 0,
+                    nontemporal: bool = False) -> Trace:
+    """Sequential 8-byte stores over n elements (write-allocate unless
+    nontemporal — the likwid-bench 'store' / 'store_nt' pattern)."""
+    op = "N" if nontemporal else "S"
+    for i in range(n):
+        yield (op, base + i * DOUBLE, stream)
+
+
 def strided_load(n: int, stride_bytes: int, *, base: int = 0,
                  stream: int = 0) -> Trace:
     """Constant-stride loads — the IP prefetcher's target pattern."""

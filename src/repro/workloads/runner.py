@@ -68,40 +68,62 @@ def apply_result(machine: SimMachine, result: RunResult) -> None:
 def run_trace(machine: SimMachine, hwthread: int,
               trace: Iterable[tuple[str, int, int]], *,
               flops_per_load: float = 1.0,
-              apply_counts: bool = True) -> dict[Channel, float]:
+              apply_counts: bool = True,
+              engine: str = "batched") -> dict[Channel, float]:
     """Execute an access trace exactly through the cache simulator.
 
     *trace* yields ``(op, address, stream_id)`` with op ``'L'`` (load),
     ``'S'`` (store), ``'N'`` (nontemporal store) or ``'B'`` (branch at
     program counter *address*, whose third field is the taken outcome,
-    run through the core's branch predictor).  The prefetcher
+    run through the core's branch predictor).  A pre-captured
+    :class:`~repro.hw.batch.TraceArrays` is accepted as well and is
+    the fast way to replay a trace repeatedly.  The prefetcher
     configuration is read from the machine's IA32_MISC_ENABLE for the
     given hardware thread, so likwid-features toggles are observable.
+
+    *engine* selects the execution substrate: ``"batched"`` (default)
+    replays the whole trace through
+    :class:`~repro.hw.batch.BatchHierarchy` in one call; ``"scalar"``
+    feeds one access at a time through
+    :class:`~repro.hw.cache.CacheHierarchy`.  Both produce identical
+    counts (the differential tests enforce it); scalar remains the
+    readable reference implementation.
     """
     from repro.hw.branch import BranchUnit
     config = PrefetcherConfig.from_machine(machine, hwthread)
-    hierarchy = CacheHierarchy(list(machine.spec.caches), config,
-                               tlb_entries=machine.spec.dtlb_entries,
-                               page_size=machine.spec.page_size)
     branch_unit = BranchUnit()
-    cycles = 0.0
-    for op, addr, stream in trace:
-        if op == "L":
-            level = hierarchy.load(addr, stream=stream)
-        elif op == "S":
-            level = hierarchy.store(addr, stream=stream)
-        elif op == "N":
-            level = hierarchy.store(addr, stream=stream, nontemporal=True)
-        elif op == "B":
-            # A mispredicted branch costs a pipeline flush (~15 cycles).
-            cycles += 15.0 if branch_unit.execute(addr, bool(stream)) \
-                else 1.0
-            continue
-        else:
-            raise ValueError(f"unknown trace op {op!r}")
-        # Rough latency model per service level: L1 hit 1 cycle, then
-        # increasingly expensive — only used for CPI-flavoured metrics.
-        cycles += (1.0, 8.0, 30.0, 200.0)[min(level, 3)]
+    if engine == "batched":
+        from repro.hw.batch import BatchHierarchy, encode_trace
+        hierarchy = BatchHierarchy(list(machine.spec.caches), config,
+                                   tlb_entries=machine.spec.dtlb_entries,
+                                   page_size=machine.spec.page_size)
+        cycles = hierarchy.replay(encode_trace(trace), branch_unit)
+    elif engine == "scalar":
+        hierarchy = CacheHierarchy(list(machine.spec.caches), config,
+                                   tlb_entries=machine.spec.dtlb_entries,
+                                   page_size=machine.spec.page_size)
+        cycles = 0.0
+        for op, addr, stream in trace:
+            if op == "L":
+                level = hierarchy.load(addr, stream=stream)
+            elif op == "S":
+                level = hierarchy.store(addr, stream=stream)
+            elif op == "N":
+                level = hierarchy.store(addr, stream=stream,
+                                        nontemporal=True)
+            elif op == "B":
+                # A mispredicted branch costs a pipeline flush (~15 cycles).
+                cycles += 15.0 if branch_unit.execute(addr, bool(stream)) \
+                    else 1.0
+                continue
+            else:
+                raise ValueError(f"unknown trace op {op!r}")
+            # Rough latency model per service level: L1 hit 1 cycle, then
+            # increasingly expensive — only used for CPI-flavoured metrics.
+            cycles += (1.0, 8.0, 30.0, 200.0)[min(level, 3)]
+    else:
+        raise ValueError(f"unknown trace engine {engine!r}; "
+                         "choose 'batched' or 'scalar'")
     channels = hierarchy.channels()
     ops = (hierarchy.loads + hierarchy.stores + hierarchy.nt_stores
            + branch_unit.stats.branches)

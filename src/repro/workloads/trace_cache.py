@@ -1,0 +1,96 @@
+"""Content-addressed cache of captured trace arrays.
+
+All trace kernels in :mod:`repro.workloads.kernels` are pure
+functions of their parameters, so the tuple ``(kernel name, sorted
+parameters, line size)`` *is* a content address for the trace they
+generate.  Sweeps that revisit the same working-set point (the
+fig. 4–10 style parameter scans, the bandwidth ladder, the ablation
+benchmarks, prefetcher on/off A-B runs) therefore pay trace
+generation once and replay the captured :class:`~repro.hw.batch.TraceArrays`
+from memory afterwards.
+
+The cache is bounded (LRU over whole traces) because captured arrays
+are ~17 bytes per access; `trace_cache_info()` exposes hit/miss/byte
+counters so benchmarks can assert reuse actually happens.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import repro.workloads.kernels as kernels
+from repro.hw.batch import TraceArrays, encode_trace
+
+#: Kernel generators addressable by name.  Every entry is
+#: deterministic in its keyword parameters — the precondition for
+#: content-addressing the captured trace.
+TRACE_KERNELS: dict[str, Callable[..., Iterable[tuple[str, int, int]]]] = {
+    "streaming_load": kernels.streaming_load,
+    "streaming_store": kernels.streaming_store,
+    "streaming_triad": kernels.streaming_triad,
+    "strided_load": kernels.strided_load,
+    "random_load": kernels.random_load,
+    "pointer_chase": kernels.pointer_chase,
+    "blocked_sum": kernels.blocked_sum,
+    "copy_kernel": kernels.copy_kernel,
+    "loop_branches": kernels.loop_branches,
+    "random_branches": kernels.random_branches,
+    "alternating_branches": kernels.alternating_branches,
+}
+
+_MAX_TRACES = 64
+
+_cache: OrderedDict[tuple, TraceArrays] = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+@dataclass(frozen=True)
+class TraceCacheInfo:
+    hits: int
+    misses: int
+    traces: int
+    bytes: int
+
+
+def trace_arrays(kernel: str, *args, **params) -> TraceArrays:
+    """Return the captured trace for ``kernel(*args, **params)``,
+    generating and caching it on first use.
+
+    The cache key covers the kernel name, every positional and keyword
+    parameter, and the line size constant the generators are written
+    against — the full content address of the resulting arrays.
+    """
+    global _hits, _misses
+    try:
+        generator = TRACE_KERNELS[kernel]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace kernel {kernel!r}; known: "
+            f"{', '.join(sorted(TRACE_KERNELS))}") from None
+    key = (kernel, args, tuple(sorted(params.items())), kernels.LINE)
+    cached = _cache.get(key)
+    if cached is not None:
+        _hits += 1
+        _cache.move_to_end(key)
+        return cached
+    _misses += 1
+    arrays = encode_trace(generator(*args, **params))
+    _cache[key] = arrays
+    while len(_cache) > _MAX_TRACES:
+        _cache.popitem(last=False)
+    return arrays
+
+
+def trace_cache_info() -> TraceCacheInfo:
+    return TraceCacheInfo(hits=_hits, misses=_misses, traces=len(_cache),
+                          bytes=sum(t.nbytes for t in _cache.values()))
+
+
+def clear_trace_cache() -> None:
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0

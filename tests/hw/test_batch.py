@@ -1,0 +1,181 @@
+"""Differential tests: the batched replay engine is bit-exact with
+the scalar cache hierarchy.
+
+The batch engine (:mod:`repro.hw.batch`) re-implements the hot path of
+:class:`~repro.hw.cache.CacheHierarchy` as one tight loop.  Nothing
+guards its correctness except these tests, so they compare *all*
+externally observable state — per-level stats, DRAM traffic, TLB,
+prefetcher learning state, event channels, even the exact LRU order of
+every cache set — across every kernel family and both prefetcher
+configurations.
+"""
+
+import pytest
+
+from repro.hw.batch import (OP_BRANCH, OP_LOAD, OP_NT_STORE, OP_STORE,
+                            BatchHierarchy, encode_trace)
+from repro.hw.branch import BranchUnit
+from repro.hw.cache import CacheHierarchy
+from repro.hw.prefetch import PrefetcherConfig
+from repro.hw.spec import CacheSpec
+from repro.workloads import clear_trace_cache, trace_arrays, trace_cache_info
+from repro.workloads.kernels import (blocked_sum, pointer_chase, random_load,
+                                     streaming_store, streaming_triad,
+                                     strided_load)
+
+SPECS = [
+    CacheSpec(1, "Data cache", 4 * 1024, 4, 64),
+    CacheSpec(2, "Unified cache", 32 * 1024, 8, 64),
+]
+
+KERNELS = {
+    "streaming": lambda: streaming_triad(512),
+    "streaming_nt": lambda: streaming_triad(512, nontemporal=True),
+    "strided": lambda: strided_load(512, 192),
+    "random": lambda: random_load(1024, 1 << 16),
+    "pointer_chase": lambda: pointer_chase(1024, 1 << 15),
+    "blocked": lambda: blocked_sum(1024, 2048, 3),
+    "store_stream": lambda: streaming_store(512),
+}
+
+CONFIGS = {
+    "pf_on": PrefetcherConfig(),
+    "pf_off": PrefetcherConfig.all_off(),
+}
+
+
+def run_scalar(config, trace):
+    h = CacheHierarchy(list(SPECS), config, tlb_entries=16)
+    cycles = 0.0
+    for op, addr, stream in trace:
+        if op == "L":
+            level = h.load(addr, stream=stream)
+        elif op == "S":
+            level = h.store(addr, stream=stream)
+        else:
+            level = h.store(addr, stream=stream, nontemporal=True)
+        cycles += (1.0, 8.0, 30.0, 200.0)[min(level, 3)]
+    return h, cycles
+
+
+def run_batched(config, trace):
+    h = BatchHierarchy(list(SPECS), config, tlb_entries=16)
+    cycles = h.replay(encode_trace(trace))
+    return h, cycles
+
+
+def full_state(h):
+    """Every piece of observable hierarchy state, LRU order included."""
+    state = {
+        "loads": h.loads, "stores": h.stores, "nt_stores": h.nt_stores,
+        "dram_reads": h.dram_reads, "dram_writes": h.dram_writes,
+        "nt_accum": h._nt_accum,
+        "tlb": (h.tlb.accesses, h.tlb.misses, list(h.tlb._pages)),
+        "stream_l1": (h._l1_stream._last_line, h._l1_stream._run),
+        "stream_l2": (h._l2_stream._last_line, h._l2_stream._run),
+        "ip_table": dict(h._ip._table),
+        "channels": h.channels(),
+    }
+    for i, cache in enumerate(h.levels):
+        s = cache.stats
+        state[f"level{i}_stats"] = (s.accesses, s.hits, s.misses,
+                                    s.evictions, s.dirty_evictions,
+                                    s.lines_in, s.prefetch_fills)
+        state[f"level{i}_lru"] = [list(d.items()) for d in cache._sets]
+    return state
+
+
+@pytest.mark.parametrize("config", CONFIGS.values(), ids=CONFIGS.keys())
+@pytest.mark.parametrize("kernel", KERNELS.values(), ids=KERNELS.keys())
+class TestDifferential:
+    def test_bit_exact_state_and_cycles(self, kernel, config):
+        hs, cs = run_scalar(config, kernel())
+        hb, cb = run_batched(config, kernel())
+        assert cb == cs
+        assert full_state(hb) == full_state(hs)
+
+    def test_replay_then_scalar_interop(self, kernel, config):
+        """A replay followed by scalar accesses lands in the same state
+        as running everything scalar — the engines share state."""
+        hs, _ = run_scalar(config, kernel())
+        hb, _ = run_batched(config, kernel())
+        for h in (hs, hb):
+            for i in range(64):
+                h.load(1 << 22 | i * 64, stream=7)
+                h.store(1 << 23 | i * 64, stream=8)
+        assert full_state(hb) == full_state(hs)
+
+
+class TestBranches:
+    def test_branch_trace_matches_scalar_predictor(self):
+        trace = [("B", 0x400000, i % 3 != 0) for i in range(200)]
+        bu_s, bu_b = BranchUnit(), BranchUnit()
+        cycles_s = sum(15.0 if bu_s.execute(a, bool(t)) else 1.0
+                       for _, a, t in trace)
+        h = BatchHierarchy(list(SPECS), PrefetcherConfig())
+        cycles_b = h.replay(encode_trace(trace), bu_b)
+        assert cycles_b == cycles_s
+        assert bu_b.stats.branches == bu_s.stats.branches
+        assert bu_b.stats.mispredictions == bu_s.stats.mispredictions
+
+    def test_branch_without_unit_raises(self):
+        h = BatchHierarchy(list(SPECS), PrefetcherConfig())
+        with pytest.raises(ValueError, match="no branch unit"):
+            h.replay(encode_trace([("B", 0x400000, 1)]))
+
+
+class TestEncode:
+    def test_roundtrip_preserves_scalar_view(self):
+        trace = [("L", 0, 1), ("S", 64, 2), ("N", 128, 3), ("B", 4096, 1)]
+        arrays = encode_trace(trace)
+        assert list(arrays) == trace
+        assert len(arrays) == 4
+        assert list(arrays.ops) == [OP_LOAD, OP_STORE, OP_NT_STORE,
+                                    OP_BRANCH]
+
+    def test_encode_is_idempotent(self):
+        arrays = encode_trace([("L", 0, 0)])
+        assert encode_trace(arrays) is arrays
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace op"):
+            encode_trace([("X", 0, 0)])
+
+    def test_nbytes_counts_all_arrays(self):
+        arrays = encode_trace([("L", i * 64, 0) for i in range(10)])
+        assert arrays.nbytes == 10 * (1 + 8 + 8)
+
+    def test_empty_replay_is_noop(self):
+        h = BatchHierarchy(list(SPECS), PrefetcherConfig())
+        assert h.replay(encode_trace([])) == 0.0
+        assert h.loads == 0 and h.tlb.accesses == 0
+
+
+class TestTraceCache:
+    def setup_method(self):
+        clear_trace_cache()
+
+    def teardown_method(self):
+        clear_trace_cache()
+
+    def test_content_addressed_reuse(self):
+        a = trace_arrays("streaming_triad", 64)
+        b = trace_arrays("streaming_triad", 64)
+        assert a is b
+        info = trace_cache_info()
+        assert (info.hits, info.misses, info.traces) == (1, 1, 1)
+        assert info.bytes == a.nbytes
+
+    def test_distinct_params_are_distinct_entries(self):
+        a = trace_arrays("streaming_triad", 64)
+        b = trace_arrays("streaming_triad", 64, nontemporal=True)
+        assert a is not b
+        assert trace_cache_info().traces == 2
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError, match="unknown trace kernel"):
+            trace_arrays("not_a_kernel", 64)
+
+    def test_cached_trace_equals_generator(self):
+        from repro.workloads.kernels import streaming_triad as gen
+        assert list(trace_arrays("streaming_triad", 64)) == list(gen(64))

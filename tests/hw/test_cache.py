@@ -89,6 +89,16 @@ class TestSetAssocCache:
         c.fill(9)
         assert c.contents() == {1, 9}
 
+    def test_has_line_probe_is_stat_and_lru_neutral(self):
+        c = small_cache(sets=1, ways=2)
+        c.fill(0)
+        c.fill(1)
+        assert c.has_line(0) and 1 in c and 2 not in c
+        # Probing must not register demand accesses...
+        assert c.stats.accesses == 0
+        # ...nor refresh LRU age: 0 is still the eviction victim.
+        assert c.fill(2) == (0, False)
+
 
 class TestHierarchyExactTraffic:
     def test_streaming_reads_miss_once_per_line(self):

@@ -77,6 +77,66 @@ class TestPaperListing:
         with pytest.raises(MarkerError, match="not bound"):
             likwid.likwid_processGetProcessorId()
 
+    def test_session_object_mirrors_free_functions(self):
+        """An explicit LikwidSession runs the same listing without
+        touching the module-global default binding."""
+        machine = create_machine("core2")
+        kernel = OSKernel(machine, seed=0)
+        process = kernel.spawn_process("a.out")
+        kernel.sched_setaffinity(process.tid, {0})
+        kernel.place_thread(process.tid)
+        perf_session = LikwidPerfCtr(machine).session([0], "FLOPS_DP")
+        perf_session.start()
+
+        session = likwid.LikwidSession()
+        session.bind(perf_session, kernel, process)
+        assert not likwid.default_session().bound
+
+        core_id = session.process_get_processor_id()
+        session.marker_init(1, 1)
+        rid = session.marker_register_region("Main")
+        session.marker_start_region(0, core_id)
+        machine.apply_counts({core_id: {Channel.FLOPS_PACKED_DP: 42}})
+        session.marker_stop_region(0, core_id, rid)
+        session.marker_close()
+        perf_session.stop()
+
+        result = session.marker_results().region_result("Main")
+        assert result.event(
+            core_id, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE") == 42
+        # The free functions are still unbound.
+        with pytest.raises(MarkerError, match="not bound"):
+            likwid.likwid_markerInit(1, 1)
+
+    def test_likwid_bound_scopes_and_restores(self):
+        machine = create_machine("core2")
+        kernel = OSKernel(machine, seed=0)
+        process = kernel.spawn_process("a.out")
+        kernel.sched_setaffinity(process.tid, {0})
+        kernel.place_thread(process.tid)
+        perf_session = LikwidPerfCtr(machine).session([0], "FLOPS_DP")
+        perf_session.start()
+
+        with likwid.likwid_bound(perf_session, kernel, process) as session:
+            assert session is likwid.default_session()
+            assert likwid.likwid_processGetProcessorId() == 0
+            likwid.likwid_markerInit(1, 1)
+        # The prior (unbound) state is restored on exit.
+        with pytest.raises(MarkerError, match="not bound"):
+            likwid.likwid_processGetProcessorId()
+
+    def test_likwid_bound_restores_outer_binding(self):
+        machine, kernel, process, _session = bind()
+        other = kernel.spawn_process("b.out")
+        kernel.sched_setaffinity(other.tid, {1})
+        kernel.place_thread(other.tid)
+        inner = LikwidPerfCtr(machine).session([1], "FLOPS_DP")
+        inner.start()
+        with likwid.likwid_bound(inner, kernel, other):
+            assert likwid.likwid_processGetProcessorId() == 1
+        # Back on the outer binding from bind().
+        assert likwid.likwid_processGetProcessorId() == 0
+
     def test_multithreaded_calling_context(self):
         machine, kernel, _process, session = bind()
         likwid.likwid_markerInit(2, 1)
