@@ -1,0 +1,45 @@
+"""Static analysis of the perfctr configuration surface.
+
+``repro.analysis`` verifies — without any simulated machine or MSR
+traffic — that every architecture's event tables, register layouts,
+builtin and file-backed performance groups, metric formulas and
+thread placements are mutually consistent.  Four analyzers emit
+:class:`~repro.analysis.diagnostics.Diagnostic` objects with stable
+``LKxxx`` codes (catalog in ``docs/linting.md``); the ``repro-lint``
+CLI and the runtime validators in :mod:`repro.core.perfctr.counters`
+are both thin consumers of the same check definitions
+(:mod:`repro.analysis.checks`).
+
+Only the leaf modules load eagerly so the runtime validators can
+import this package without dragging in the group catalogs; the
+runner and reporters resolve lazily on first use.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import checks, diagnostics  # noqa: F401  (eager leaves)
+from repro.analysis.diagnostics import CODES, Diagnostic, Severity  # noqa: F401
+
+_LAZY = {
+    "lint_all": "repro.analysis.runner",
+    "lint_spec": "repro.analysis.runner",
+    "lint_group": "repro.analysis.runner",
+    "lint_event_string": "repro.analysis.runner",
+    "lint_affinity": "repro.analysis.runner",
+    "catalog_for": "repro.analysis.runner",
+    "render_text": "repro.analysis.report",
+    "render_json": "repro.analysis.report",
+}
+
+__all__ = ["CODES", "Diagnostic", "Severity", "checks", "diagnostics",
+           *sorted(_LAZY)]
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+    return getattr(importlib.import_module(module_name), name)

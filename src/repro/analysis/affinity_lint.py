@@ -1,0 +1,92 @@
+"""Affinity and socket-lock analysis (LK40x).
+
+Statically inspects a likwid-pin / likwid-perfctr thread placement —
+core expression, skip mask, thread type, optionally the measured group
+— against the machine topology:
+
+* the expression and skip mask must resolve at all (LK404);
+* two measured threads on one physical core share its execution
+  resources and, with SMT, distort each other's counts (LK401);
+* a skip mask that skips more threads than the core list provides
+  leaves cores silently unused (LK402);
+* a group with uncore (socket-scope) events measured from several
+  threads of one socket means all of them contend for the single
+  uncore PMU — the socket lock attributes its counts to exactly one
+  of them (LK403, a NOTE: this is the documented likwid behaviour).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.core.affinity import (resolve_affinity_expression, skip_mask_for)
+from repro.core.perfctr.groups import GroupDef
+from repro.errors import AffinityError
+from repro.hw.events import CounterScope
+from repro.hw.spec import ArchSpec
+
+
+def lint_affinity(spec: ArchSpec, expression: str,
+                  *, skip_mask: int | None = None,
+                  thread_type: str | None = None,
+                  group: GroupDef | None = None) -> list[Diagnostic]:
+    """All placement diagnostics for one pin expression on one machine."""
+    locus = f"affinity:{expression}"
+    group_name = group.name if group is not None else None
+
+    def diag(code: str, severity: Severity, message: str) -> Diagnostic:
+        return Diagnostic(code, severity, message, arch=spec.name,
+                          group=group_name, locus=locus)
+
+    try:
+        cpus = resolve_affinity_expression(spec, expression)
+    except AffinityError as exc:
+        return [diag("LK404", Severity.ERROR, str(exc))]
+    try:
+        mask = skip_mask_for(thread_type, skip_mask)
+    except AffinityError as exc:
+        return [diag("LK404", Severity.ERROR, str(exc))]
+
+    diags: list[Diagnostic] = []
+
+    by_core: dict[tuple[int, int], list[int]] = {}
+    for cpu in cpus:
+        by_core.setdefault(spec.physical_core_of(cpu), []).append(cpu)
+    for (socket, core), sharers in sorted(by_core.items()):
+        if len(sharers) > 1:
+            diags.append(diag(
+                "LK401", Severity.WARNING,
+                f"threads on cpus {sharers} all land on physical core "
+                f"{core} of socket {socket}; they share its execution "
+                "resources and distort each other's counts"))
+
+    pinnable = len(cpus) + bin(mask).count("1")
+    if mask >> pinnable:
+        diags.append(diag(
+            "LK402", Severity.WARNING,
+            f"skip mask 0x{mask:X} sets bits beyond the first "
+            f"{pinnable} created threads; those bits can never match"))
+    if bin(mask).count("1") >= len(cpus) and mask:
+        diags.append(diag(
+            "LK402", Severity.WARNING,
+            f"skip mask 0x{mask:X} skips {bin(mask).count('1')} threads "
+            f"but the core list only holds {len(cpus)} cpus; some cores "
+            "stay unused"))
+
+    if group is not None:
+        uncore = sorted({e.event for e in group.events
+                         if e.event in spec.events
+                         and spec.events.lookup(e.event).scope
+                         is CounterScope.UNCORE})
+        if uncore:
+            by_socket: dict[int, list[int]] = {}
+            for cpu in cpus:
+                by_socket.setdefault(spec.socket_of(cpu), []).append(cpu)
+            for socket, members in sorted(by_socket.items()):
+                if len(members) > 1:
+                    diags.append(diag(
+                        "LK403", Severity.NOTE,
+                        f"cpus {members} on socket {socket} all measure "
+                        f"uncore events ({', '.join(uncore)}); the socket "
+                        "lock attributes those counts to exactly one of "
+                        "them"))
+    return diags

@@ -1,0 +1,156 @@
+"""Shared check definitions: one source of truth, two consumers.
+
+Each function here states one correctness rule about the perfctr
+configuration surface and returns :class:`Diagnostic` objects.  The
+static linter (:mod:`repro.analysis.runner`) applies them over the
+whole architecture × group matrix; the runtime validators
+(``core.perfctr.counters.validate_assignments`` and
+``CounterProgrammer``) apply them to the single configuration being
+executed and raise errors built from the same diagnostics — so a rule
+can never drift between lint time and run time.
+
+This module deliberately imports only the hardware layer (never
+``core.perfctr``), keeping it importable from both sides.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.hw import registers as regs
+from repro.hw.events import CounterScope, EventDef
+from repro.hw.pmu import PmuSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.perfctr.events import EventOptions
+
+
+class CounterLike(Protocol):
+    """The slice of ``core.perfctr.counters.CounterInfo`` checks need."""
+
+    name: str
+    cls: str
+    index: int
+
+
+# ---------------------------------------------------------------------------
+# Assignment rules (LK11x) — used by validate_assignments and the
+# group-feasibility analyzer
+# ---------------------------------------------------------------------------
+
+def assignment_diagnostic(event: EventDef, counter: CounterLike,
+                          options: "EventOptions | None" = None,
+                          *, arch: str | None = None,
+                          group: str | None = None,
+                          locus: str | None = None) -> Diagnostic | None:
+    """The first rule an event→counter binding violates, or None.
+
+    The message substrings are load-bearing: runtime callers raise
+    ``CounterError(str(diag))`` and existing tooling matches on them.
+    """
+    def diag(code: str, message: str) -> Diagnostic:
+        return Diagnostic(code, Severity.ERROR, message, arch=arch,
+                          group=group, locus=locus)
+
+    if event.is_fixed:
+        if counter.cls != "FIXC" or counter.index != event.fixed_index:
+            return diag("LK110",
+                        f"{event.name} is hard-wired to "
+                        f"FIXC{event.fixed_index}, cannot count on "
+                        f"{counter.name}")
+        if options is not None and options != type(options)():
+            return diag("LK111",
+                        f"fixed counter {counter.name} has no event-select "
+                        "register; options are not supported")
+        return None
+    if event.scope is CounterScope.UNCORE:
+        if counter.cls != "UPMC":
+            return diag("LK112",
+                        f"uncore event {event.name} requires a UPMC "
+                        f"counter, got {counter.name}")
+        return None
+    if counter.cls != "PMC":
+        return diag("LK113",
+                    f"core event {event.name} requires a PMC counter, "
+                    f"got {counter.name}")
+    if not event.allowed_on(counter.index):
+        return diag("LK114",
+                    f"{event.name} cannot be counted on {counter.name}")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Encoding rules (LK30x) — used by CounterProgrammer and the
+# register write-path analyzer
+# ---------------------------------------------------------------------------
+
+def encoding_diagnostics(event: EventDef, pmu: PmuSpec,
+                         *, cmask: int = 0,
+                         arch: str | None = None,
+                         group: str | None = None,
+                         locus: str | None = None) -> list[Diagnostic]:
+    """Every way an event's register encoding violates the declared
+    PERFEVTSEL/FIXED_CTR field layout of :mod:`repro.hw.registers`."""
+    def diag(code: str, message: str) -> Diagnostic:
+        return Diagnostic(code, Severity.ERROR, message, arch=arch,
+                          group=group, locus=locus)
+
+    out: list[Diagnostic] = []
+    if event.is_fixed:
+        if not pmu.has_fixed:
+            out.append(diag(
+                "LK305", f"{event.name} claims fixed counter "
+                f"{event.fixed_index} but the PMU has no fixed counters"))
+        elif not 0 <= event.fixed_index < regs.NUM_FIXED_CTRS:
+            out.append(diag(
+                "LK305", f"{event.name} claims fixed counter index "
+                f"{event.fixed_index}, outside the architectural range "
+                f"0..{regs.NUM_FIXED_CTRS - 1}"))
+        return out
+    if not 0 <= event.event_code < (1 << regs.EVTSEL_EVENT_WIDTH):
+        out.append(diag(
+            "LK301", f"{event.name} event code 0x{event.event_code:X} "
+            f"does not fit the {regs.EVTSEL_EVENT_WIDTH}-bit PERFEVTSEL "
+            "event field (it would be silently truncated)"))
+    if not 0 <= event.umask < (1 << regs.EVTSEL_UMASK_WIDTH):
+        out.append(diag(
+            "LK302", f"{event.name} unit mask 0x{event.umask:X} does not "
+            f"fit the {regs.EVTSEL_UMASK_WIDTH}-bit PERFEVTSEL umask field"))
+    if not 0 <= cmask < (1 << regs.EVTSEL_CMASK_WIDTH):
+        out.append(diag(
+            "LK303", f"{event.name} counter mask 0x{cmask:X} does not fit "
+            f"the {regs.EVTSEL_CMASK_WIDTH}-bit PERFEVTSEL cmask field"))
+    raw = regs.evtsel_compose_raw(max(event.event_code, 0),
+                                  max(event.umask, 0),
+                                  cmask=max(cmask, 0))
+    reserved = regs.evtsel_reserved_bits(raw)
+    if reserved:
+        out.append(diag(
+            "LK304", f"{event.name} encoding would set reserved "
+            f"PERFEVTSEL bits 0x{reserved:X}"))
+    return out
+
+
+def overflow_diagnostic(pmu: PmuSpec, clock_hz: float,
+                        *, arch: str | None = None,
+                        max_events_per_cycle: float = 4.0,
+                        min_safe_seconds: float = 60.0) -> Diagnostic | None:
+    """Counter-width overflow hazard (LK107).
+
+    At the theoretical peak rate (*max_events_per_cycle* increments per
+    core cycle) a counter of the declared width must survive at least
+    *min_safe_seconds* before wrapping; 48-bit counters give hours,
+    but a narrowed width (or a future very high clock) would silently
+    wrap mid-measurement."""
+    seconds_to_wrap = (1 << pmu.counter_width) / (max_events_per_cycle
+                                                  * clock_hz)
+    if seconds_to_wrap >= min_safe_seconds:
+        return None
+    return Diagnostic(
+        "LK107", Severity.WARNING,
+        f"{pmu.counter_width}-bit counters wrap after "
+        f"{seconds_to_wrap:.1f}s at peak event rate "
+        f"({max_events_per_cycle:g}/cycle at {clock_hz / 1e9:.2f} GHz); "
+        f"measurements longer than that lose counts",
+        arch=arch, locus=f"registers:{arch}" if arch else None)

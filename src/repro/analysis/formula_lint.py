@@ -1,0 +1,88 @@
+"""Metric-formula static analysis (LK20x).
+
+Walks the formula AST of :mod:`repro.core.perfctr.formula` — the same
+parser the runtime evaluator uses, so lint and evaluation can never
+disagree about what a formula means.  Checks, per group:
+
+* every identifier resolves to a measured event or a built-in variable
+  (``time``, ``clock``), with the offending column (LK201);
+* every explicitly measured event feeds at least one metric (LK202);
+* divisions whose denominator is built purely from raw counters are
+  flagged as division-by-zero hazards (LK203, a NOTE: the runtime
+  yields NaN, which is often intended — e.g. CPI on an idle core).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.core.perfctr import formula as fm
+from repro.core.perfctr.groups import GroupDef
+from repro.errors import GroupError
+from repro.hw.spec import ArchSpec
+
+BUILTIN_VARIABLES = frozenset({"time", "clock"})
+
+# Auto-counted on every Intel measurement (see auto_fixed_assignments).
+AUTO_FIXED_EVENTS = ("INSTR_RETIRED_ANY", "CPU_CLK_UNHALTED_CORE",
+                     "CPU_CLK_UNHALTED_REF")
+
+
+def measured_names(spec: ArchSpec, group: GroupDef) -> set[str]:
+    """Identifiers a metric of *group* may legally reference."""
+    names = {e.event for e in group.events}
+    if spec.pmu.has_fixed:
+        for name in AUTO_FIXED_EVENTS:
+            if name in spec.events and spec.events.lookup(name).is_fixed:
+                names.add(name)
+    return names
+
+
+def _counter_only(node: fm.Node, events: set[str]) -> bool:
+    """True if every leaf of *node* is a raw-counter reference — the
+    subtree evaluates to 0 whenever the counters read 0."""
+    leaves = [n for n in fm.walk(node) if isinstance(n, (fm.Num, fm.Var))]
+    return bool(leaves) and all(
+        isinstance(n, fm.Var) and n.name in events for n in leaves)
+
+
+def lint_group_formulas(spec: ArchSpec, group: GroupDef,
+                        *, locus: str | None = None) -> list[Diagnostic]:
+    """All formula diagnostics for one group on one architecture."""
+    diags: list[Diagnostic] = []
+    allowed = measured_names(spec, group)
+    events = {e.event for e in group.events}
+    used: set[str] = set()
+    for label, text in group.metrics:
+        try:
+            ast = fm.parse(text)
+        except GroupError as exc:
+            diags.append(Diagnostic(
+                "LK204", Severity.ERROR,
+                f"metric {label!r}: {exc}", arch=spec.name,
+                group=group.name, locus=locus))
+            continue
+        for var in fm.variables(ast):
+            if var.name in allowed or var.name in BUILTIN_VARIABLES:
+                used.add(var.name)
+            else:
+                diags.append(Diagnostic(
+                    "LK201", Severity.ERROR,
+                    f"metric {label!r} references {var.name!r}, which is "
+                    "neither a measured event nor a built-in variable",
+                    arch=spec.name, group=group.name, locus=locus,
+                    column=var.column))
+        for denom in fm.denominators(ast):
+            if _counter_only(denom, allowed):
+                diags.append(Diagnostic(
+                    "LK203", Severity.NOTE,
+                    f"metric {label!r} divides by a raw counter value; "
+                    "a zero count yields NaN for this metric",
+                    arch=spec.name, group=group.name, locus=locus,
+                    column=denom.column))
+    for name in sorted(events - used):
+        diags.append(Diagnostic(
+            "LK202", Severity.WARNING,
+            f"event {name} is measured but no metric uses it "
+            "(it burns a counter for nothing)",
+            arch=spec.name, group=group.name, locus=locus))
+    return diags

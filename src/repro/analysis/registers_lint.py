@@ -1,0 +1,67 @@
+"""Register write-path analysis (LK30x, LK107).
+
+Statically verifies that every event an architecture defines can be
+encoded into its PERFEVTSEL registers without silent truncation or
+touching reserved bits (reusing the shared encoding rules of
+:mod:`repro.analysis.checks`), that the declared counter register
+addresses never collide, and that the declared counter width cannot
+overflow within a realistic measurement window.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checks import encoding_diagnostics, overflow_diagnostic
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.hw import registers as regs
+from repro.hw.spec import ArchSpec
+
+
+def _register_layout(spec: ArchSpec) -> dict[str, int]:
+    """Name → MSR address of every counter-related register the
+    architecture declares (mirrors CorePMU/UncorePMU declarations)."""
+    pmu = spec.pmu
+    layout: dict[str, int] = {}
+    for i in range(pmu.num_pmcs):
+        layout[f"PERFEVTSEL{i}"] = pmu.evtsel_address(i)
+        layout[f"PMC{i}"] = pmu.pmc_address(i)
+    if pmu.has_fixed:
+        for i in range(regs.NUM_FIXED_CTRS):
+            layout[f"FIXED_CTR{i}"] = regs.IA32_FIXED_CTR0 + i
+        layout["FIXED_CTR_CTRL"] = regs.IA32_FIXED_CTR_CTRL
+    if not pmu.vendor_amd:
+        layout["PERF_GLOBAL_CTRL"] = regs.IA32_PERF_GLOBAL_CTRL
+        layout["PERF_GLOBAL_STATUS"] = regs.IA32_PERF_GLOBAL_STATUS
+        layout["PERF_GLOBAL_OVF_CTRL"] = regs.IA32_PERF_GLOBAL_OVF_CTRL
+    if pmu.has_uncore:
+        layout["UNCORE_PERF_GLOBAL_CTRL"] = regs.MSR_UNCORE_PERF_GLOBAL_CTRL
+        for i in range(pmu.num_uncore_pmcs):
+            layout[f"UNCORE_PERFEVTSEL{i}"] = regs.MSR_UNCORE_PERFEVTSEL0 + i
+            layout[f"UNCORE_PMC{i}"] = regs.MSR_UNCORE_PMC0 + i
+    if pmu.has_uncore_fixed:
+        layout["UNCORE_FIXED_CTR0"] = regs.MSR_UNCORE_FIXED_CTR0
+        layout["UNCORE_FIXED_CTR_CTRL"] = regs.MSR_UNCORE_FIXED_CTR_CTRL
+    return layout
+
+
+def lint_arch_registers(spec: ArchSpec) -> list[Diagnostic]:
+    """All write-path diagnostics for one architecture."""
+    locus = f"registers:{spec.name}"
+    diags: list[Diagnostic] = []
+    for name in spec.events.names():
+        event = spec.events.lookup(name)
+        diags.extend(encoding_diagnostics(event, spec.pmu, arch=spec.name,
+                                          locus=f"events:{spec.name}"))
+    by_addr: dict[int, list[str]] = {}
+    for reg_name, addr in _register_layout(spec).items():
+        by_addr.setdefault(addr, []).append(reg_name)
+    for addr, names in sorted(by_addr.items()):
+        if len(names) > 1:
+            diags.append(Diagnostic(
+                "LK306", Severity.ERROR,
+                f"registers {', '.join(sorted(names))} all resolve to "
+                f"MSR 0x{addr:X}; a write to one clobbers the others",
+                arch=spec.name, locus=locus))
+    hazard = overflow_diagnostic(spec.pmu, spec.clock_hz, arch=spec.name)
+    if hazard is not None:
+        diags.append(hazard)
+    return diags

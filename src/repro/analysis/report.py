@@ -1,0 +1,50 @@
+"""Diagnostic reporters: human-readable text and stable JSON.
+
+The text reporter groups findings by architecture and hides NOTEs
+unless asked (``--pedantic``); the JSON reporter emits a versioned,
+sorted, newline-terminated document for golden-file tests and CI
+tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import (Diagnostic, Severity, counts,
+                                        sort_key)
+
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(diags: list[Diagnostic], *, pedantic: bool = False) -> str:
+    """Human-readable report; empty-input yields a clean-bill line."""
+    shown = sorted((d for d in diags
+                    if pedantic or d.severity is not Severity.NOTE),
+                   key=sort_key)
+    lines: list[str] = []
+    current_arch: str | None = None
+    for d in shown:
+        if d.arch != current_arch:
+            current_arch = d.arch
+            lines.append(f"== {d.arch or '(no arch)'} ==")
+        where = f"[{d.locus}] " if d.locus else ""
+        col = f" (column {d.column})" if d.column is not None else ""
+        lines.append(f"  {where}{d.code} {d.severity.value}: "
+                     f"{d.message}{col}")
+    summary = counts(diags)
+    lines.append(f"{summary['errors']} error(s), "
+                 f"{summary['warnings']} warning(s), "
+                 f"{summary['notes']} note(s)")
+    if not shown and not diags:
+        lines.insert(0, "configuration surface is clean")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(diags: list[Diagnostic]) -> str:
+    """Versioned machine-readable report (stable key and entry order)."""
+    document = {
+        "version": JSON_FORMAT_VERSION,
+        "diagnostics": [d.to_json() for d in sorted(diags, key=sort_key)],
+        "summary": counts(diags),
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,85 @@
+"""Drives the analyzers over the whole configuration surface.
+
+The unit of work is one architecture: its register layout and event
+encodings, then every group in both catalogs — the built-in
+(code-defined) family groups and the shipped ``groupfiles/<arch>``
+directory.  Built-in catalogs are shared across a family, so groups
+whose events an architecture lacks are skipped exactly as
+:func:`~repro.core.perfctr.groups.groups_for` would skip them at
+runtime; file-backed groups are per-architecture and are linted
+unconditionally — there, a reference to an unavailable event is a
+genuine defect (LK101), not cross-family variance.
+
+Everything operates on :class:`~repro.hw.spec.ArchSpec` and
+:class:`~repro.core.perfctr.counters.CounterMap` only — no simulated
+machine, no MSR driver.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import affinity_lint, feasibility, formula_lint, registers_lint
+from repro.analysis.diagnostics import Diagnostic, sort_key
+from repro.core.perfctr.events import EventSpec, parse_event_string
+from repro.core.perfctr.groups import (GroupDef, builtin_groups_for,
+                                       file_groups_for)
+from repro.errors import EventError, GroupError
+from repro.hw.spec import ArchSpec
+
+lint_affinity = affinity_lint.lint_affinity
+
+
+def lint_group(spec: ArchSpec, group: GroupDef,
+               *, locus: str | None = None) -> list[Diagnostic]:
+    """Feasibility + formula diagnostics for one group on one arch."""
+    diags = feasibility.lint_events(spec, group.events,
+                                    group=group.name, locus=locus)
+    diags.extend(formula_lint.lint_group_formulas(spec, group, locus=locus))
+    return diags
+
+
+def lint_event_string(spec: ArchSpec, text: str) -> list[Diagnostic]:
+    """Feasibility diagnostics for a raw EVENT:COUNTER,... string."""
+    try:
+        specs: list[EventSpec] = parse_event_string(text)
+    except EventError as exc:
+        # Unparseable strings map onto the closest catalog code.
+        code = "LK103" if "assigned twice" in str(exc) else "LK101"
+        from repro.analysis.diagnostics import Severity
+        return [Diagnostic(code, Severity.ERROR, str(exc), arch=spec.name,
+                           locus=f"events:{text}")]
+    return feasibility.lint_events(spec, specs, locus=f"events:{text}")
+
+
+def catalog_for(spec: ArchSpec) -> list[tuple[str, GroupDef]]:
+    """(locus, group) for everything lintable on one architecture."""
+    out: list[tuple[str, GroupDef]] = []
+    try:
+        builtin = builtin_groups_for(spec)
+    except GroupError:
+        builtin = {}
+    for name in sorted(builtin):
+        group = builtin[name]
+        if all(e.event in spec.events for e in group.events):
+            out.append((f"builtin:{name}", group))
+    file_groups = file_groups_for(spec) or {}
+    for name in sorted(file_groups):
+        out.append((f"groupfile:{spec.name}/{name}.txt", file_groups[name]))
+    return out
+
+
+def lint_spec(spec: ArchSpec) -> list[Diagnostic]:
+    """Every diagnostic for one architecture, deterministically ordered."""
+    diags = registers_lint.lint_arch_registers(spec)
+    for locus, group in catalog_for(spec):
+        diags.extend(lint_group(spec, group, locus=locus))
+    return sorted(diags, key=sort_key)
+
+
+def lint_all(arch_names: list[str] | None = None) -> list[Diagnostic]:
+    """Lint the full architecture matrix (default: every known arch)."""
+    from repro.hw.arch import available, get_arch
+    names = arch_names if arch_names is not None else available()
+    diags: list[Diagnostic] = []
+    for name in names:
+        diags.extend(lint_spec(get_arch(name)))
+    return sorted(diags, key=sort_key)

@@ -1,2 +1,3 @@
 """Command-line front-ends: likwid-topology, likwid-perfctr,
-likwid-pin, likwid-features, repro-bench."""
+likwid-pin, likwid-features, likwid-bench, repro-bench, repro-mpirun
+and repro-lint."""

@@ -1,0 +1,107 @@
+"""``repro-lint`` command-line front-end.
+
+The one tool in the suite with no real-LIKWID counterpart: a static
+verification pass over the whole perfctr configuration surface.
+Without touching a simulated machine or MSR driver it checks event
+tables, register layouts, builtin and file-backed performance groups,
+metric formulas and thread placements, and reports findings with
+stable ``LKxxx`` codes (catalog: ``docs/linting.md``)::
+
+    repro-lint --all --strict            # whole matrix, CI gate
+    repro-lint --arch nehalem_ep         # one architecture
+    repro-lint --arch nehalem_ep -g MEM  # one group
+    repro-lint -g EVT:PMC0,EVT:PMC0      # an explicit event string
+    repro-lint -c 0-3 -g MEM -t intel    # a thread placement
+
+Exit status: 0 clean, 1 findings (errors; with ``--strict`` also
+warnings), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.common import add_arch_argument, restore_sigpipe
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Statically verify the perfctr configuration surface.")
+    parser.add_argument("--all", action="store_true",
+                        help="lint every architecture in the catalog")
+    parser.add_argument("-g", dest="group", default=None,
+                        help="limit to one group (name or EVENT:COUNTER list)")
+    parser.add_argument("-c", dest="cpus", default=None,
+                        help="lint a thread placement (core list or "
+                             "affinity-domain expression)")
+    parser.add_argument("-t", dest="thread_type", default=None,
+                        help="thread type for -c (gnu, intel, intel_mpi, ...)")
+    parser.add_argument("-s", dest="skip", default=None,
+                        help="explicit skip mask for -c (e.g. 0x3)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the versioned JSON report")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as findings (exit 1)")
+    parser.add_argument("--pedantic", action="store_true",
+                        help="show NOTE-level diagnostics in the text report")
+    add_arch_argument(parser)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    restore_sigpipe()
+    args = build_parser().parse_args(argv)
+
+    from repro.analysis import report, runner
+    from repro.analysis.diagnostics import counts
+    from repro.errors import AffinityError, GroupError
+    from repro.hw.arch import get_arch
+
+    def resolve_group(spec):
+        from repro.core.perfctr.groups import lookup_group
+        return lookup_group(spec, args.group)
+
+    try:
+        if args.all:
+            diags = runner.lint_all()
+        else:
+            spec = get_arch(args.arch)
+            if args.cpus is not None:
+                group = None
+                if args.group:
+                    group = resolve_group(spec)
+                skip = None
+                if args.skip is not None:
+                    from repro.core.affinity import parse_skip_mask
+                    skip = parse_skip_mask(args.skip)
+                diags = runner.lint_affinity(
+                    spec, args.cpus, skip_mask=skip,
+                    thread_type=args.thread_type, group=group)
+            elif args.group:
+                from repro.core.perfctr.events import is_event_string
+                if is_event_string(args.group):
+                    diags = runner.lint_event_string(spec, args.group)
+                else:
+                    group = resolve_group(spec)
+                    diags = runner.lint_group(spec, group,
+                                              locus=f"group:{group.name}")
+            else:
+                diags = runner.lint_spec(spec)
+    except (GroupError, AffinityError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        sys.stdout.write(report.render_json(diags))
+    else:
+        sys.stdout.write(report.render_text(diags, pedantic=args.pedantic))
+    summary = counts(diags)
+    if summary["errors"] or (args.strict and summary["warnings"]):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.checks import assignment_diagnostic, encoding_diagnostics
 from repro.errors import CounterError
 from repro.hw import registers as regs
-from repro.hw.events import CounterScope, EventDef, EventTable
+from repro.hw.events import EventDef, EventTable
 from repro.hw.spec import ArchSpec
 from repro.core.perfctr.events import EventOptions, EventSpec
 from repro.oskern.msr_driver import MsrDriver
@@ -92,33 +93,19 @@ class Assignment:
 
 def validate_assignments(table: EventTable, counters: CounterMap,
                          specs: list[EventSpec]) -> list[Assignment]:
-    """Resolve and validate a parsed event string for an architecture."""
+    """Resolve and validate a parsed event string for an architecture.
+
+    The rules live in :mod:`repro.analysis.checks`, shared with the
+    static linter; a violation raises the diagnostic's rendered form
+    so runtime errors carry the same stable LKxxx codes lint reports.
+    """
     out: list[Assignment] = []
     for spec in specs:
         event = table.lookup(spec.event)
         counter = counters.lookup(spec.counter)
-        if event.is_fixed:
-            if counter.cls != "FIXC" or counter.index != event.fixed_index:
-                raise CounterError(
-                    f"{event.name} is hard-wired to FIXC{event.fixed_index}, "
-                    f"cannot count on {counter.name}")
-            if spec.options != EventOptions():
-                raise CounterError(
-                    f"fixed counter {counter.name} has no event-select "
-                    "register; options are not supported")
-        elif event.scope is CounterScope.UNCORE:
-            if counter.cls != "UPMC":
-                raise CounterError(
-                    f"uncore event {event.name} requires a UPMC counter, "
-                    f"got {counter.name}")
-        else:
-            if counter.cls != "PMC":
-                raise CounterError(
-                    f"core event {event.name} requires a PMC counter, "
-                    f"got {counter.name}")
-            if not event.allowed_on(counter.index):
-                raise CounterError(
-                    f"{event.name} cannot be counted on {counter.name}")
+        bad = assignment_diagnostic(event, counter, spec.options)
+        if bad is not None:
+            raise CounterError(str(bad))
         out.append(Assignment(event, counter, spec.options))
     return out
 
@@ -157,6 +144,15 @@ class CounterProgrammer:
         self.counters = counters
         self.spec = counters.spec
 
+    def _check_encoding(self, a: Assignment) -> None:
+        """Refuse to write an encoding the linter would reject (same
+        LK3xx rules, from :mod:`repro.analysis.checks`)."""
+        diags = encoding_diagnostics(a.event, self.spec.pmu,
+                                     cmask=a.options.cmask,
+                                     arch=self.spec.name)
+        if diags:
+            raise CounterError(str(diags[0]))
+
     # -- core counters -------------------------------------------------------
 
     def setup_core(self, cpu: int, assignments: list[Assignment]) -> None:
@@ -169,6 +165,7 @@ class CounterProgrammer:
             for a in assignments:
                 if a.counter.is_uncore:
                     continue
+                self._check_encoding(a)
                 if a.counter.cls == "FIXC":
                     fixed_ctrl |= regs.fixed_ctr_ctrl_encode(a.counter.index)
                 else:
@@ -242,6 +239,7 @@ class CounterProgrammer:
             for a in assignments:
                 if not a.counter.is_uncore:
                     continue
+                self._check_encoding(a)
                 if a.counter.cls == "UFIXC":
                     fixed = True
                 else:

@@ -1,4 +1,4 @@
-"""Tiny arithmetic-expression evaluator for derived metrics.
+"""Arithmetic-expression parser/evaluator for derived metrics.
 
 Preconfigured event groups define metrics as formulas over event names
 and the built-in variables ``time`` (region runtime in seconds) and
@@ -8,20 +8,26 @@ and the built-in variables ``time`` (region runtime in seconds) and
 
 A real recursive-descent parser (not :func:`eval`) keeps evaluation
 safe and gives precise error messages for malformed group files.
-Grammar::
+Parsing builds an explicit AST (:class:`Num`, :class:`Var`,
+:class:`Neg`, :class:`BinOp`) that carries the source column of every
+token, so errors point at the offending position and static analyzers
+(:mod:`repro.analysis.formula_lint`) can walk the tree without
+re-implementing the grammar.  Grammar::
 
     expr   := term (('+'|'-') term)*
     term   := unary (('*'|'/') unary)*
     unary  := '-' unary | atom
     atom   := NUMBER | IDENT | '(' expr ')'
 
-Identifiers may contain letters, digits and underscores.
+Identifiers may contain letters, digits and underscores.  Columns are
+1-based.
 """
 
 from __future__ import annotations
 
 import re
-from collections.abc import Mapping
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
 
 from repro.errors import GroupError
 
@@ -33,94 +39,204 @@ _TOKEN_RE = re.compile(r"""
 """, re.VERBOSE)
 
 
-def tokenize(text: str) -> list[tuple[str, str]]:
-    tokens: list[tuple[str, str]] = []
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its 1-based source column.
+
+    Iterates as the historical ``(kind, text)`` pair so existing
+    callers that unpack two values keep working; the column rides
+    along as an attribute.
+    """
+
+    kind: str     # "num" | "ident" | "op"
+    text: str
+    column: int   # 1-based offset of the first character
+
+    def __iter__(self) -> Iterator[str]:
+        yield self.kind
+        yield self.text
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
     pos = 0
     while pos < len(text):
         m = _TOKEN_RE.match(text, pos)
         if m is None:
-            raise GroupError(f"bad character {text[pos]!r} in formula {text!r}")
-        pos = m.end()
+            raise GroupError(f"bad character {text[pos]!r} in formula "
+                             f"{text!r} (column {pos + 1})")
         kind = m.lastgroup
         if kind != "ws":
-            tokens.append((kind, m.group()))
+            tokens.append(Token(kind, m.group(), pos + 1))
+        pos = m.end()
     return tokens
 
 
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Num:
+    """Numeric literal."""
+
+    value: float
+    column: int
+
+
+@dataclass(frozen=True)
+class Var:
+    """Identifier reference (event name or built-in variable)."""
+
+    name: str
+    column: int
+
+
+@dataclass(frozen=True)
+class Neg:
+    """Unary minus."""
+
+    operand: "Node"
+    column: int
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary operation; ``op`` is one of ``+ - * /``."""
+
+    op: str
+    left: "Node"
+    right: "Node"
+    column: int   # column of the operator
+
+
+Node = Num | Var | Neg | BinOp
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield *node* and every descendant (pre-order)."""
+    yield node
+    if isinstance(node, Neg):
+        yield from walk(node.operand)
+    elif isinstance(node, BinOp):
+        yield from walk(node.left)
+        yield from walk(node.right)
+
+
+def variables(node: Node) -> Iterator[Var]:
+    """Every identifier reference in the tree, in source order."""
+    for n in walk(node):
+        if isinstance(n, Var):
+            yield n
+
+
+def denominators(node: Node) -> Iterator[Node]:
+    """The right operand of every division in the tree."""
+    for n in walk(node):
+        if isinstance(n, BinOp) and n.op == "/":
+            yield n.right
+
+
 class _Parser:
-    def __init__(self, text: str, variables: Mapping[str, float]):
+    def __init__(self, text: str):
         self.text = text
         self.tokens = tokenize(text)
         self.pos = 0
-        self.variables = variables
 
-    def _peek(self) -> tuple[str, str] | None:
+    def _peek(self) -> Token | None:
         return self.tokens[self.pos] if self.pos < len(self.tokens) else None
 
-    def _next(self) -> tuple[str, str]:
+    def _next(self) -> Token:
         tok = self._peek()
         if tok is None:
             raise GroupError(f"unexpected end of formula {self.text!r}")
         self.pos += 1
         return tok
 
-    def parse(self) -> float:
-        value = self._expr()
-        if self._peek() is not None:
-            raise GroupError(
-                f"trailing tokens after expression in {self.text!r}")
-        return value
-
-    def _expr(self) -> float:
-        value = self._term()
-        while (tok := self._peek()) and tok[1] in "+-":
-            self._next()
-            rhs = self._term()
-            value = value + rhs if tok[1] == "+" else value - rhs
-        return value
-
-    def _term(self) -> float:
-        value = self._unary()
-        while (tok := self._peek()) and tok[1] in "*/":
-            self._next()
-            rhs = self._unary()
-            if tok[1] == "*":
-                value *= rhs
-            else:
-                value = value / rhs if rhs != 0 else float("nan")
-        return value
-
-    def _unary(self) -> float:
+    def parse(self) -> Node:
+        node = self._expr()
         tok = self._peek()
-        if tok and tok[1] == "-":
+        if tok is not None:
+            raise GroupError(f"trailing tokens after expression in "
+                             f"{self.text!r} (column {tok.column})")
+        return node
+
+    def _expr(self) -> Node:
+        node = self._term()
+        while (tok := self._peek()) and tok.text in "+-":
             self._next()
-            return -self._unary()
+            node = BinOp(tok.text, node, self._term(), tok.column)
+        return node
+
+    def _term(self) -> Node:
+        node = self._unary()
+        while (tok := self._peek()) and tok.text in "*/":
+            self._next()
+            node = BinOp(tok.text, node, self._unary(), tok.column)
+        return node
+
+    def _unary(self) -> Node:
+        tok = self._peek()
+        if tok and tok.text == "-":
+            self._next()
+            return Neg(self._unary(), tok.column)
         return self._atom()
 
-    def _atom(self) -> float:
-        kind, text = self._next()
-        if kind == "num":
-            return float(text)
-        if kind == "ident":
-            try:
-                return float(self.variables[text])
-            except KeyError:
-                raise GroupError(
-                    f"unknown variable {text!r} in formula {self.text!r}") from None
-        if text == "(":
-            value = self._expr()
-            kind, text = self._next()
-            if text != ")":
-                raise GroupError(f"expected ')' in formula {self.text!r}")
-            return value
-        raise GroupError(f"unexpected token {text!r} in formula {self.text!r}")
+    def _atom(self) -> Node:
+        tok = self._next()
+        if tok.kind == "num":
+            return Num(float(tok.text), tok.column)
+        if tok.kind == "ident":
+            return Var(tok.text, tok.column)
+        if tok.text == "(":
+            node = self._expr()
+            closing = self._next()
+            if closing.text != ")":
+                raise GroupError(f"expected ')' in formula {self.text!r} "
+                                 f"(column {closing.column})")
+            return node
+        raise GroupError(f"unexpected token {tok.text!r} in formula "
+                         f"{self.text!r} (column {tok.column})")
+
+
+def parse(formula: str) -> Node:
+    """Parse a metric formula into its AST (raises GroupError)."""
+    return _Parser(formula).parse()
+
+
+def evaluate_ast(node: Node, variables: Mapping[str, float],
+                 *, formula: str = "") -> float:
+    """Evaluate a parsed formula tree against counter values.
+
+    Division by zero yields NaN (a zero counter must not abort the
+    whole measurement report)."""
+    if isinstance(node, Num):
+        return node.value
+    if isinstance(node, Var):
+        try:
+            return float(variables[node.name])
+        except KeyError:
+            raise GroupError(
+                f"unknown variable {node.name!r} in formula {formula!r} "
+                f"(column {node.column})") from None
+    if isinstance(node, Neg):
+        return -evaluate_ast(node.operand, variables, formula=formula)
+    lhs = evaluate_ast(node.left, variables, formula=formula)
+    rhs = evaluate_ast(node.right, variables, formula=formula)
+    if node.op == "+":
+        return lhs + rhs
+    if node.op == "-":
+        return lhs - rhs
+    if node.op == "*":
+        return lhs * rhs
+    return lhs / rhs if rhs != 0 else float("nan")
 
 
 def evaluate(formula: str, variables: Mapping[str, float]) -> float:
     """Evaluate a metric formula against counter values."""
-    return _Parser(formula, variables).parse()
+    return evaluate_ast(parse(formula), variables, formula=formula)
 
 
 def formula_variables(formula: str) -> set[str]:
     """The identifiers a formula references (for validation)."""
-    return {text for kind, text in tokenize(formula) if kind == "ident"}
+    return {tok.text for tok in tokenize(formula) if tok.kind == "ident"}

@@ -298,8 +298,7 @@ def _amd_groups() -> dict[str, GroupDef]:
                ("L2 miss rate", "L2_MISSES_ALL/RETIRED_INSTRUCTIONS"),
                ("L2 miss ratio", "L2_MISSES_ALL/L2_REQUESTS_ALL")]),
         _g("L3",
-           _AMD_FIXED + [("L3_FILLS_ALL_CORES", "PMC2"),
-                         ("L3_READ_REQUEST_ALL_CORES", "PMC3")],
+           _AMD_FIXED + [("L3_FILLS_ALL_CORES", "PMC2")],
            _AMD_COMMON + [
                ("L3 bandwidth [MBytes/s]",
                 "1.0E-06*L3_FILLS_ALL_CORES*64.0/time")]),

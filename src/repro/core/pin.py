@@ -65,6 +65,18 @@ class LikwidPin:
         overlay.pin_master(self.kernel, master)
         return PinnedProcess(master, overlay, cpus, mask)
 
+    def lint(self, corelist: str, *, thread_type: str | None = None,
+             skip: int | None = None, group=None) -> list:
+        """Static placement diagnostics for a prospective launch,
+        without spawning anything (same analysis as ``repro-lint -c``).
+
+        Returns :class:`repro.analysis.Diagnostic` objects; an empty
+        list means the placement is clean."""
+        from repro.analysis import lint_affinity
+        return lint_affinity(self.kernel.machine.spec, corelist,
+                             skip_mask=skip, thread_type=thread_type,
+                             group=group)
+
     def verify(self, process: PinnedProcess) -> dict[int, int]:
         """Map each pinned tid to the single CPU its mask allows —
         a post-hoc check that pinning took effect."""

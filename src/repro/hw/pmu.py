@@ -43,6 +43,11 @@ class PmuSpec:
     num_uncore_pmcs: int = 0  # Nehalem/Westmere: 8, else 0
     has_uncore_fixed: bool = False
     vendor_amd: bool = False  # AMD register addresses
+    counter_width: int = COUNTER_WIDTH  # bits before wrap-around
+
+    @property
+    def counter_mask(self) -> int:
+        return (1 << self.counter_width) - 1
 
     @property
     def has_uncore(self) -> bool:
@@ -78,14 +83,14 @@ class CorePMU:
         self.overflow_handlers: list = []
         for i in range(spec.num_pmcs):
             msr.declare(spec.evtsel_address(i), name=f"PERFEVTSEL{i}")
-            msr.declare(spec.pmc_address(i), write_mask=COUNTER_MASK,
+            msr.declare(spec.pmc_address(i), write_mask=spec.counter_mask,
                         name=f"PMC{i}")
         if spec.has_fixed:
-            msr.declare(regs.IA32_FIXED_CTR0, write_mask=COUNTER_MASK,
+            msr.declare(regs.IA32_FIXED_CTR0, write_mask=spec.counter_mask,
                         name="FIXED_CTR0")
-            msr.declare(regs.IA32_FIXED_CTR1, write_mask=COUNTER_MASK,
+            msr.declare(regs.IA32_FIXED_CTR1, write_mask=spec.counter_mask,
                         name="FIXED_CTR1")
-            msr.declare(regs.IA32_FIXED_CTR2, write_mask=COUNTER_MASK,
+            msr.declare(regs.IA32_FIXED_CTR2, write_mask=spec.counter_mask,
                         name="FIXED_CTR2")
             msr.declare(regs.IA32_FIXED_CTR_CTRL, name="FIXED_CTR_CTRL")
         if not spec.vendor_amd:
@@ -159,8 +164,8 @@ class CorePMU:
             if count:
                 addr = self.spec.pmc_address(i)
                 raw = self.msr.peek(addr) + int(round(count))
-                self.msr.poke(addr, raw & COUNTER_MASK)
-                if raw > COUNTER_MASK:
+                self.msr.poke(addr, raw & self.spec.counter_mask)
+                if raw > self.spec.counter_mask:
                     self._raise_overflow(i)
         for fi, channel in enumerate(self._FIXED_CHANNELS):
             if not self.fixed_active(fi):
@@ -169,8 +174,8 @@ class CorePMU:
             if count:
                 addr = regs.IA32_FIXED_CTR0 + fi
                 raw = self.msr.peek(addr) + int(round(count))
-                self.msr.poke(addr, raw & COUNTER_MASK)
-                if raw > COUNTER_MASK:
+                self.msr.poke(addr, raw & self.spec.counter_mask)
+                if raw > self.spec.counter_mask:
                     self._raise_overflow(32 + fi)
 
 
@@ -254,10 +259,10 @@ class UncorePMU:
             if count:
                 addr = regs.MSR_UNCORE_PMC0 + i
                 self._shared[addr] = (self._shared[addr]
-                                      + int(round(count))) & COUNTER_MASK
+                                      + int(round(count))) & self.spec.counter_mask
         if self.fixed_active():
             count = channels.get(Channel.UNC_CYCLES, 0.0)
             if count:
                 addr = regs.MSR_UNCORE_FIXED_CTR0
                 self._shared[addr] = (self._shared[addr]
-                                      + int(round(count))) & COUNTER_MASK
+                                      + int(round(count))) & self.spec.counter_mask

@@ -58,7 +58,9 @@ AMD_PMC0 = 0xC0010004               # PMC0..3
 # --------------------------------------------------------------------------
 
 EVTSEL_EVENT_SHIFT = 0      # bits 0-7: event number
+EVTSEL_EVENT_WIDTH = 8
 EVTSEL_UMASK_SHIFT = 8      # bits 8-15: unit mask
+EVTSEL_UMASK_WIDTH = 8
 EVTSEL_USR = 1 << 16        # count user-mode
 EVTSEL_OS = 1 << 17         # count kernel-mode
 EVTSEL_EDGE = 1 << 18
@@ -68,6 +70,38 @@ EVTSEL_ANYTHREAD = 1 << 21
 EVTSEL_EN = 1 << 22         # enable
 EVTSEL_INV = 1 << 23
 EVTSEL_CMASK_SHIFT = 24     # bits 24-31
+EVTSEL_CMASK_WIDTH = 8
+
+# Every bit the architectural PERFEVTSEL layout defines; bits outside
+# this mask (32-63) are reserved and must never be written.
+EVTSEL_WRITABLE_MASK = (
+    ((1 << EVTSEL_EVENT_WIDTH) - 1) << EVTSEL_EVENT_SHIFT
+    | ((1 << EVTSEL_UMASK_WIDTH) - 1) << EVTSEL_UMASK_SHIFT
+    | EVTSEL_USR | EVTSEL_OS | EVTSEL_EDGE | EVTSEL_PC | EVTSEL_INT
+    | EVTSEL_ANYTHREAD | EVTSEL_EN | EVTSEL_INV
+    | ((1 << EVTSEL_CMASK_WIDTH) - 1) << EVTSEL_CMASK_SHIFT)
+
+# Intel architectural fixed-function counters (FIXED_CTR0..2).
+NUM_FIXED_CTRS = 3
+
+
+def evtsel_compose_raw(event: int, umask: int, *, cmask: int = 0,
+                       flags: int = 0) -> int:
+    """Compose a PERFEVTSEL value *without* masking the fields.
+
+    Unlike :func:`evtsel_encode` (which truncates silently, as the
+    silicon would), this keeps oversized field values visible so
+    static checks can detect encodings that do not fit the declared
+    field widths or would touch reserved bits."""
+    return (event << EVTSEL_EVENT_SHIFT
+            | umask << EVTSEL_UMASK_SHIFT
+            | cmask << EVTSEL_CMASK_SHIFT
+            | flags)
+
+
+def evtsel_reserved_bits(value: int) -> int:
+    """The reserved bits a PERFEVTSEL value would touch (0 if none)."""
+    return value & ~EVTSEL_WRITABLE_MASK
 
 
 def evtsel_encode(event: int, umask: int, *, usr: bool = True, os: bool = True,

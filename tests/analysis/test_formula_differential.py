@@ -1,0 +1,92 @@
+"""Differential test: the recursive-descent formula parser against a
+trusted reference (Python's own expression semantics), over randomly
+generated expressions — plus column-accuracy checks for the token
+positions the parser now carries."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.perfctr import formula as fm
+from repro.errors import GroupError
+
+VARIABLES = {"A": 3.5, "B": 0.25, "C": 0.0, "time": 2.0}
+
+
+def _leaf():
+    numbers = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                        allow_infinity=False).map(repr)
+    return st.one_of(numbers, st.sampled_from(sorted(VARIABLES)))
+
+
+def _compose(inner):
+    binop = st.tuples(inner, st.sampled_from("+-*/"), inner).map(
+        lambda t: f"({t[0]}{t[1]}{t[2]})")
+    negation = inner.map(lambda e: f"(-{e})")
+    return st.one_of(binop, negation)
+
+
+expressions = st.recursive(_leaf(), _compose, max_leaves=16)
+
+
+def reference_eval(text: str) -> float:
+    """Python's evaluator, with the formula module's division-by-zero
+    convention (NaN instead of an exception)."""
+    try:
+        return float(eval(text, {"__builtins__": {}}, dict(VARIABLES)))
+    except ZeroDivisionError:
+        return float("nan")
+
+
+@given(expressions)
+def test_parser_agrees_with_reference(text):
+    got = fm.evaluate(text, VARIABLES)
+    expected = reference_eval(text)
+    if math.isnan(expected):
+        assert math.isnan(got)
+    elif math.isinf(expected):
+        assert got == expected
+    else:
+        assert got == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+
+@given(expressions)
+def test_ast_variables_match_textual_scan(text):
+    ast = fm.parse(text)
+    from_ast = {v.name for v in fm.variables(ast)}
+    assert from_ast == fm.formula_variables(text)
+
+
+class TestColumns:
+    def test_token_columns_are_one_based(self):
+        tokens = fm.tokenize("A + B2*3")
+        assert [(t.text, t.column) for t in tokens] == [
+            ("A", 1), ("+", 3), ("B2", 5), ("*", 7), ("3", 8)]
+
+    def test_tokens_still_unpack_as_pairs(self):
+        kinds = [k for k, _ in fm.tokenize("1+x")]
+        assert kinds == ["num", "op", "ident"]
+
+    def test_bad_character_column(self):
+        with pytest.raises(GroupError, match=r"column 3"):
+            fm.tokenize("1+@")
+
+    def test_unknown_variable_column(self):
+        with pytest.raises(GroupError, match=r"column 5"):
+            fm.evaluate("1.0*XY+1", {})
+
+    def test_trailing_tokens_column(self):
+        with pytest.raises(GroupError, match=r"column 3"):
+            fm.parse("1 2")
+
+    def test_var_nodes_carry_columns(self):
+        ast = fm.parse("1e-6*(PACKED*2.0+SCALAR)/time")
+        columns = {v.name: v.column for v in fm.variables(ast)}
+        assert columns == {"PACKED": 7, "SCALAR": 18, "time": 26}
+
+    def test_denominator_extraction(self):
+        ast = fm.parse("A/B+C/(time*2)")
+        denoms = list(fm.denominators(ast))
+        assert len(denoms) == 2

@@ -1,0 +1,250 @@
+"""Deliberately broken configurations produce the expected LKxxx codes,
+in both the text and the JSON reporters."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis import (Severity, lint_affinity, lint_event_string,
+                            lint_group, render_json, render_text)
+from repro.analysis.checks import encoding_diagnostics
+from repro.analysis.feasibility import lint_events
+from repro.analysis.registers_lint import lint_arch_registers
+from repro.core.perfctr.counters import (Assignment, CounterMap,
+                                         CounterProgrammer,
+                                         validate_assignments)
+from repro.core.perfctr.events import EventSpec, parse_event_string
+from repro.core.perfctr.groups import GroupDef
+from repro.errors import CounterError
+from repro.hw.arch import create_machine, get_arch
+from repro.hw.events import Channel, EventDef, EventTable
+from repro.hw.pmu import PmuSpec
+from repro.oskern.msr_driver import MsrDriver
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+def table_of(*events):
+    table = EventTable("testarch")
+    table.add_all(list(events))
+    return table
+
+
+def spec_with(**changes):
+    return dataclasses.replace(get_arch("nehalem_ep"), **changes)
+
+
+NEHALEM = get_arch("nehalem_ep")
+
+
+class TestFeasibilityCodes:
+    def test_unknown_event_lk101(self):
+        assert codes(lint_event_string(NEHALEM, "BOGUS:PMC0")) == {"LK101"}
+
+    def test_missing_counter_lk102(self):
+        assert codes(lint_event_string(NEHALEM, "L1D_REPL:PMC9")) == {"LK102"}
+
+    def test_duplicate_counter_lk103(self):
+        diags = lint_events(NEHALEM, [EventSpec("L1D_REPL", "PMC0"),
+                                      EventSpec("L1D_M_EVICT", "PMC0")])
+        assert "LK103" in codes(diags)
+
+    def test_fixed_event_wrong_counter_lk110(self):
+        diags = lint_event_string(NEHALEM, "INSTR_RETIRED_ANY:PMC0")
+        assert codes(diags) == {"LK110"}
+
+    def test_options_on_fixed_counter_lk111(self):
+        diags = lint_event_string(NEHALEM, "INSTR_RETIRED_ANY:FIXC0:EDGEDETECT")
+        assert codes(diags) == {"LK111"}
+
+    def test_uncore_event_on_core_counter_lk112(self):
+        diags = lint_event_string(NEHALEM, "UNC_L3_LINES_IN_ANY:PMC0")
+        assert codes(diags) == {"LK112"}
+
+    def test_core_event_on_uncore_counter_lk113(self):
+        diags = lint_event_string(NEHALEM, "L1D_REPL:UPMC0")
+        assert codes(diags) == {"LK113"}
+
+    def test_restricted_event_lk114(self):
+        diags = lint_event_string(NEHALEM,
+                                  "OFFCORE_RESPONSE_0_ANY_REQUEST:PMC2")
+        assert codes(diags) == {"LK114"}
+
+    def test_no_matching_lk104(self):
+        # Three events all restricted to PMC0/PMC1: each individual
+        # binding can be made legal, but no conflict-free assignment
+        # of all three exists.
+        restricted = [EventDef(f"R{i}", 0x10 + i, 0, Channel.LOADS,
+                               counter_mask=frozenset({0, 1}))
+                      for i in range(3)]
+        spec = spec_with(events=table_of(*restricted))
+        diags = lint_events(spec, [EventSpec("R0", "PMC0"),
+                                   EventSpec("R1", "PMC1"),
+                                   EventSpec("R2", "PMC0")])
+        assert "LK104" in codes(diags)
+        lk104 = [d for d in diags if d.code == "LK104"]
+        assert lk104[0].severity is Severity.ERROR
+
+    def test_oversubscription_lk105(self):
+        events = [EventDef(f"E{i}", 0x20 + i, 0, Channel.LOADS)
+                  for i in range(5)]
+        spec = spec_with(events=table_of(*events))
+        specs = [EventSpec(f"E{i}", f"PMC{i % 4}") for i in range(5)]
+        diags = lint_events(spec, specs)
+        assert "LK105" in codes(diags)
+        assert [d for d in diags if d.code == "LK105"][0].severity \
+            is Severity.WARNING
+
+    def test_unschedulable_event_lk106(self):
+        impossible = EventDef("NOWHERE", 0x30, 0, Channel.LOADS,
+                              counter_mask=frozenset({9}))
+        spec = spec_with(events=table_of(impossible))
+        diags = lint_events(spec, [EventSpec("NOWHERE", "PMC0")])
+        assert "LK106" in codes(diags)
+
+
+class TestRegisterCodes:
+    def test_event_field_overflow_lk301(self):
+        spec = spec_with(events=table_of(
+            EventDef("TOO_WIDE", 0x1FF, 0x00, Channel.LOADS)))
+        assert "LK301" in codes(lint_arch_registers(spec))
+
+    def test_umask_overflow_lk302(self):
+        spec = spec_with(events=table_of(
+            EventDef("WIDE_UMASK", 0x10, 0x100, Channel.LOADS)))
+        assert "LK302" in codes(lint_arch_registers(spec))
+
+    def test_cmask_overflow_lk303_and_reserved_spill_lk304(self):
+        event = NEHALEM.events.lookup("L1D_REPL")
+        diags = encoding_diagnostics(event, NEHALEM.pmu, cmask=0x200)
+        # The oversized cmask both overflows its 8-bit field and, once
+        # shifted, lands in the reserved bits above bit 31.
+        assert codes(diags) == {"LK303", "LK304"}
+
+    def test_fixed_index_out_of_range_lk305(self):
+        spec = spec_with(events=table_of(
+            EventDef("PHANTOM_FIXED", 0x00, 0x00, Channel.INSTRUCTIONS,
+                     fixed_index=7)))
+        assert "LK305" in codes(lint_arch_registers(spec))
+
+    def test_fixed_event_without_fixed_counters_lk305(self):
+        amd = get_arch("amd_istanbul")
+        spec = dataclasses.replace(amd, events=table_of(
+            EventDef("PHANTOM_FIXED", 0x00, 0x00, Channel.INSTRUCTIONS,
+                     fixed_index=0)))
+        assert "LK305" in codes(lint_arch_registers(spec))
+
+    def test_narrow_counter_overflow_hazard_lk107(self):
+        spec = spec_with(pmu=PmuSpec(num_pmcs=4, has_fixed=True,
+                                     counter_width=32))
+        diags = lint_arch_registers(spec)
+        assert "LK107" in codes(diags)
+        assert [d for d in diags if d.code == "LK107"][0].severity \
+            is Severity.WARNING
+
+    def test_full_width_counter_has_no_hazard(self):
+        assert "LK107" not in codes(lint_arch_registers(NEHALEM))
+
+
+class TestFormulaCodes:
+    def _group(self, metrics, events=(("L1D_REPL", "PMC0"),)):
+        return GroupDef("TESTGRP", "test group",
+                        tuple(EventSpec(e, c) for e, c in events),
+                        tuple(metrics))
+
+    def test_unknown_identifier_lk201_with_column(self):
+        group = self._group([("bad", "1.0*NOT_MEASURED/time")])
+        diags = lint_group(NEHALEM, group)
+        lk201 = [d for d in diags if d.code == "LK201"]
+        assert len(lk201) == 1
+        assert lk201[0].column == 5
+
+    def test_unused_event_lk202(self):
+        group = self._group([("noop", "time*1.0")])
+        diags = lint_group(NEHALEM, group)
+        assert "LK202" in codes(diags)
+
+    def test_raw_denominator_lk203_is_note(self):
+        group = self._group([("ratio", "1.0/L1D_REPL")])
+        lk203 = [d for d in lint_group(NEHALEM, group)
+                 if d.code == "LK203"]
+        assert len(lk203) == 1
+        assert lk203[0].severity is Severity.NOTE
+
+    def test_unparseable_formula_lk204(self):
+        group = self._group([("broken", "L1D_REPL*")])
+        assert "LK204" in codes(lint_group(NEHALEM, group))
+
+
+class TestAffinityCodes:
+    def test_core_oversubscription_lk401(self):
+        diags = lint_affinity(NEHALEM, "0,8")  # SMT siblings of core 0
+        assert "LK401" in codes(diags)
+
+    def test_skip_mask_mismatch_lk402(self):
+        diags = lint_affinity(NEHALEM, "0", skip_mask=0x3)
+        assert "LK402" in codes(diags)
+
+    def test_socket_lock_sharing_lk403_is_note(self):
+        from repro.core.perfctr.groups import lookup_group
+        mem = lookup_group(NEHALEM, "MEM")
+        lk403 = [d for d in lint_affinity(NEHALEM, "0-3", group=mem)
+                 if d.code == "LK403"]
+        assert len(lk403) == 1
+        assert lk403[0].severity is Severity.NOTE
+
+    def test_bad_expression_lk404(self):
+        assert codes(lint_affinity(NEHALEM, "0-")) == {"LK404"}
+        assert codes(lint_affinity(NEHALEM, "Z9:0-3")) == {"LK404"}
+
+
+class TestReporters:
+    def _broken_diags(self):
+        return lint_event_string(NEHALEM, "BOGUS:PMC0,L1D_REPL:PMC9")
+
+    def test_text_report_carries_codes(self):
+        text = render_text(self._broken_diags())
+        assert "LK101" in text and "LK102" in text
+        assert "2 error(s)" in text
+
+    def test_json_report_carries_codes(self):
+        doc = json.loads(render_json(self._broken_diags()))
+        assert doc["version"] == 1
+        assert [d["code"] for d in doc["diagnostics"]] == ["LK101", "LK102"]
+        assert doc["summary"] == {"errors": 2, "warnings": 0, "notes": 0}
+
+    def test_cli_json_and_exit_code(self, capsys):
+        from repro.cli.lint_cmd import main
+        rc = main(["--arch", "nehalem_ep", "-g", "BOGUS:PMC0", "--json"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["diagnostics"][0]["code"] == "LK101"
+
+
+class TestRuntimeSharesCheckDefinitions:
+    """The dedup satellite: validate_assignments and CounterProgrammer
+    raise errors rendered from the same diagnostics the linter emits."""
+
+    def test_validator_error_carries_lint_code(self):
+        cm = CounterMap(NEHALEM)
+        with pytest.raises(CounterError, match="LK110.*hard-wired"):
+            validate_assignments(NEHALEM.events, cm,
+                                 parse_event_string("INSTR_RETIRED_ANY:PMC0"))
+        with pytest.raises(CounterError, match="LK114.*cannot be counted"):
+            validate_assignments(
+                NEHALEM.events, cm,
+                parse_event_string("OFFCORE_RESPONSE_0_ANY_REQUEST:PMC2"))
+
+    def test_programmer_refuses_what_the_linter_rejects(self):
+        machine = create_machine("nehalem_ep")
+        cm = CounterMap(machine.spec)
+        programmer = CounterProgrammer(MsrDriver(machine), cm)
+        bad_event = EventDef("TOO_WIDE", 0x1FF, 0x00, Channel.LOADS)
+        assignment = Assignment(bad_event, cm.lookup("PMC0"))
+        lint_codes = codes(encoding_diagnostics(bad_event, machine.spec.pmu))
+        assert lint_codes == {"LK301"}
+        with pytest.raises(CounterError, match="LK301"):
+            programmer.setup_core(0, [assignment])

@@ -1,0 +1,59 @@
+"""Golden-file test pinning the JSON report format.
+
+The JSON document is a contract for CI tooling: versioned, sorted
+keys, deterministic diagnostic order.  Any change to the shape must
+update ``golden/report.json`` deliberately.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.report import render_json, render_text
+
+GOLDEN = Path(__file__).parent / "golden" / "report.json"
+
+# A fixed, reporter-order-scrambled set covering every field shape:
+# with/without group, locus, and column, all three severities.
+FIXED_DIAGNOSTICS = [
+    Diagnostic("LK203", Severity.NOTE,
+               "metric 'CPI' divides by a raw counter value; a zero "
+               "count yields NaN for this metric",
+               arch="nehalem_ep", group="MEM", locus="builtin:MEM",
+               column=23),
+    Diagnostic("LK101", Severity.ERROR,
+               "event 'BOGUS' is not defined in the nehalem_ep event table",
+               arch="nehalem_ep", group="CUSTOM", locus="events:BOGUS:PMC0"),
+    Diagnostic("LK107", Severity.WARNING,
+               "32-bit counters wrap after 0.4s at peak event rate "
+               "(4/cycle at 2.93 GHz); measurements longer than that "
+               "lose counts",
+               arch="core2", locus="registers:core2"),
+]
+
+
+def test_json_report_matches_golden():
+    assert render_json(FIXED_DIAGNOSTICS) == GOLDEN.read_text()
+
+
+def test_golden_is_valid_versioned_json():
+    doc = json.loads(GOLDEN.read_text())
+    assert doc["version"] == 1
+    assert doc["summary"] == {"errors": 1, "warnings": 1, "notes": 1}
+    # Deterministic order: sorted by (arch, locus, ...), so core2
+    # leads and the builtin: locus precedes the events: locus.
+    assert [d["code"] for d in doc["diagnostics"]] == \
+        ["LK107", "LK203", "LK101"]
+    # Every entry carries the full, stable key set.
+    for entry in doc["diagnostics"]:
+        assert sorted(entry) == ["arch", "code", "column", "group",
+                                 "locus", "message", "severity", "title"]
+
+
+def test_text_report_hides_notes_unless_pedantic():
+    plain = render_text(FIXED_DIAGNOSTICS)
+    assert "LK203" not in plain
+    assert "LK101" in plain and "LK107" in plain
+    assert "1 error(s), 1 warning(s), 1 note(s)" in plain
+    pedantic = render_text(FIXED_DIAGNOSTICS, pedantic=True)
+    assert "LK203" in pedantic and "(column 23)" in pedantic

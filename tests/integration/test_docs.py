@@ -55,5 +55,6 @@ class TestDocsConsistency:
         import importlib
         text = (ROOT / "docs" / "api.md").read_text()
         for match in set(re.findall(r"`((?:hw|oskern|core|model|"
-                                    r"workloads|papi)\.[\w.]+)`", text)):
+                                    r"workloads|papi|analysis)\.[\w.]+)`",
+                                    text)):
             importlib.import_module(f"repro.{match.group(0) if False else match}")
