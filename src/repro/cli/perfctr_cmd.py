@@ -7,6 +7,14 @@ Mirrors the paper's usage::
     likwid-perfctr -c 0-3 -g FLOPS_DP -m stream_icc
 
 with the wrapped binary replaced by a named simulated workload.
+
+Exit codes map the measurement outcome (see docs/robustness.md):
+
+* 0 — success (possibly with degradation warnings on stderr)
+* 1 — generic tool error
+* 2 — usage error
+* 3 — msr driver unavailable or permission denied
+* 4 — measurement degraded and ``--strict-io`` was given
 """
 
 from __future__ import annotations
@@ -21,8 +29,15 @@ from repro.core.affinity import parse_corelist
 from repro.core.perfctr import LikwidPerfCtr
 from repro.core.perfctr.groups import GROUP_FUNCTIONS, groups_for
 from repro.core.perfctr.output import render_header, render_result
-from repro.errors import ReproError
+from repro.errors import DegradedError, MsrError, ReproError
+from repro.oskern.msr_driver import FaultPlan, MsrDriver
 from repro.oskern.scheduler import OSKernel
+
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_DRIVER = 3
+EXIT_DEGRADED = 4
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="workload thread count (default: #cpus)")
     parser.add_argument("--xml", action="store_true",
                         help="emit results as XML instead of tables")
+    parser.add_argument("--strict-io", action="store_true", dest="strict_io",
+                        help="treat degraded (NaN-producing) measurements "
+                             "as errors (exit 4) instead of warning")
+    parser.add_argument("--msr-faults", dest="msr_faults", metavar="SPEC",
+                        help="inject deterministic msr-driver faults, e.g. "
+                             "'seed=7,read_fault_rate=0.1' or "
+                             "'sticky=0x394,overflow_after=1000'")
     parser.add_argument("workload", nargs="?", default="stream_icc",
                         help=f"simulated workload: {', '.join(WORKLOADS)}")
     add_arch_argument(parser, default="nehalem_ep")
@@ -78,7 +100,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if not args.group:
         print("likwid-perfctr: option -g is required", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     kernel = OSKernel(machine, seed=0)
     cpus = parse_corelist(args.cpus, max_cpu=machine.num_hwthreads - 1)
@@ -86,41 +108,63 @@ def main(argv: list[str] | None = None) -> int:
     pin = cpus if args.pin else None
     group_name = args.group if ":" not in args.group else None
 
-    perfctr = LikwidPerfCtr(machine)
+    driver = None
+    if args.msr_faults:
+        try:
+            driver = MsrDriver(machine,
+                               faults=FaultPlan.from_string(args.msr_faults))
+        except ValueError as exc:
+            print(f"likwid-perfctr: bad --msr-faults: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    perfctr = LikwidPerfCtr(machine, driver, strict_io=args.strict_io)
     try:
         if args.marker:
             session = perfctr.session(cpus, args.group)
-            session.start()
-            marker = run_marked_workload(args.workload, machine, kernel,
-                                         session, nthreads=nthreads,
-                                         pin_cpus=pin)
-            session.stop()
+            with session:
+                marker = run_marked_workload(args.workload, machine, kernel,
+                                             session, nthreads=nthreads,
+                                             pin_cpus=pin)
+                session.stop()
+            _report_warnings(session.warnings)
             if args.xml:
                 from repro.core.xmlout import measurement_to_xml
                 for region in marker.region_names():
                     print(measurement_to_xml(marker.region_result(region),
                                              group_name=group_name,
                                              region=region))
-                return 0
+                return EXIT_OK
             print(render_header(machine, group_name))
             for region in marker.region_names():
                 print(render_result(machine, marker.region_result(region),
                                     region=region))
-            return 0
+            return EXIT_OK
         result = perfctr.wrap(
             cpus, args.group,
             lambda: run_workload(args.workload, machine, kernel,
                                  nthreads=nthreads, pin_cpus=pin))
+    except DegradedError as exc:
+        print(f"likwid-perfctr: {exc}", file=sys.stderr)
+        return EXIT_DEGRADED
+    except MsrError as exc:
+        print(f"likwid-perfctr: {exc}", file=sys.stderr)
+        return EXIT_DRIVER
     except ReproError as exc:
         print(f"likwid-perfctr: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
+    _report_warnings(result.warnings)
     if args.xml:
         from repro.core.xmlout import measurement_to_xml
         print(measurement_to_xml(result, group_name=group_name))
-        return 0
+        return EXIT_OK
     print(render_header(machine, group_name))
     print(render_result(machine, result))
-    return 0
+    return EXIT_OK
+
+
+def _report_warnings(warnings: list[str]) -> None:
+    for warning in warnings:
+        print(f"likwid-perfctr: warning: {warning}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -1,6 +1,7 @@
 """likwid-perfCtr: hardware performance counter measurement."""
 
-from repro.core.perfctr.counters import Assignment, CounterMap
+from repro.core.perfctr.counters import (Assignment, CounterMap, RetryPolicy,
+                                         counter_delta)
 from repro.core.perfctr.events import EventSpec, parse_event_string
 from repro.core.perfctr.groups import GroupDef, groups_for, lookup_group
 from repro.core.perfctr.marker import MarkerAPI
@@ -8,7 +9,8 @@ from repro.core.perfctr.measurement import (LikwidPerfCtr, MeasurementResult,
                                             PerfCtrSession)
 from repro.core.perfctr.multiplex import measure_multiplexed, split_event_sets
 
-__all__ = ["Assignment", "CounterMap", "EventSpec", "parse_event_string",
+__all__ = ["Assignment", "CounterMap", "RetryPolicy", "counter_delta",
+           "EventSpec", "parse_event_string",
            "GroupDef", "groups_for", "lookup_group", "MarkerAPI",
            "LikwidPerfCtr", "MeasurementResult", "PerfCtrSession",
            "measure_multiplexed", "split_event_sets"]

@@ -15,6 +15,7 @@ uncore event counts are assigned to one thread per socket").
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 
 from repro.analysis.checks import assignment_diagnostic, encoding_diagnostics
@@ -132,17 +133,95 @@ def self_has_fixed(counters: CounterMap) -> bool:
     return bool(counters.names("FIXC"))
 
 
+def counter_delta(current: float, previous: float, width: int) -> float:
+    """Difference of two counter readings, corrected for wrap-around.
+
+    Hardware counters are *width* bits wide (48 on every arch here);
+    when a counter wraps between two readouts the raw difference goes
+    negative by exactly one period, so adding ``2**width`` back
+    recovers the true delta — as long as at most one wrap happened in
+    the interval, which a sane sampling period guarantees.  NaN inputs
+    (degraded uncore reads) pass through unchanged."""
+    delta = current - previous
+    if delta < 0:
+        delta += float(1 << width)
+    return delta
+
+
 # ---------------------------------------------------------------------------
 # programming through the msr driver
 # ---------------------------------------------------------------------------
 
-class CounterProgrammer:
-    """Programs, starts, stops and reads one CPU's share of a setup."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient msr faults.
 
-    def __init__(self, driver: MsrDriver, counters: CounterMap):
+    A transient fault (``EAGAIN``/``EIO`` with ``transient=True``) is
+    retried up to ``max_attempts`` times total, sleeping
+    ``min(backoff_cap, backoff_base * 2**retry)`` between attempts.
+    The defaults keep the worst-case stall per operation under ~3 ms
+    while surviving the fault rates a loaded system realistically
+    shows.  Non-transient faults are never retried."""
+
+    max_attempts: int = 8
+    backoff_base: float = 0.0001   # seconds before the first retry
+    backoff_cap: float = 0.002     # per-retry sleep ceiling
+
+    def delay(self, retry: int) -> float:
+        return min(self.backoff_cap, self.backoff_base * (2 ** retry))
+
+
+class CounterProgrammer:
+    """Programs, starts, stops and reads one CPU's share of a setup.
+
+    Every msr operation goes through a bounded-retry wrapper so
+    transient driver faults are invisible to results (the counts are
+    identical to a fault-free run) while remaining observable in
+    ``retries`` and ``DriverStats.faults``."""
+
+    def __init__(self, driver: MsrDriver, counters: CounterMap,
+                 policy: RetryPolicy | None = None):
         self.driver = driver
         self.counters = counters
         self.spec = counters.spec
+        self.policy = policy or RetryPolicy()
+        self.retries = 0            # transient faults absorbed
+        self.backoff_seconds = 0.0  # total time spent backing off
+
+    # -- retrying I/O helpers ------------------------------------------------
+
+    def _read(self, msr, address: int) -> int:
+        if self.driver.fault_plan is None:
+            return msr.read_msr(address)
+        return self._io(lambda: msr.read_msr(address))
+
+    def _write(self, msr, address: int, value: int) -> None:
+        if self.driver.fault_plan is None:
+            msr.write_msr(address, value)
+            return
+        self._io(lambda: msr.write_msr(address, value))
+
+    def _io(self, op):
+        from repro.errors import MsrIOError
+        retry = 0
+        while True:
+            try:
+                return op()
+            except MsrIOError as exc:
+                if not exc.transient:
+                    raise
+                retry += 1
+                if retry >= self.policy.max_attempts:
+                    raise MsrIOError(
+                        exc.errno_name,
+                        f"giving up after {retry} transient faults: {exc}",
+                        cpu=exc.cpu, address=exc.address,
+                        exhausted=True) from exc
+                self.retries += 1
+                delay = self.policy.delay(retry - 1)
+                if delay > 0.0:
+                    self.backoff_seconds += delay
+                    _time.sleep(delay)
 
     def _check_encoding(self, a: Assignment) -> None:
         """Refuse to write an encoding the linter would reject (same
@@ -160,7 +239,7 @@ class CounterProgrammer:
         msr = self.driver.open(cpu)
         try:
             if not self.spec.pmu.vendor_amd:
-                msr.write_msr(regs.IA32_PERF_GLOBAL_CTRL, 0)
+                self._write(msr, regs.IA32_PERF_GLOBAL_CTRL, 0)
             fixed_ctrl = 0
             for a in assignments:
                 if a.counter.is_uncore:
@@ -172,13 +251,13 @@ class CounterProgrammer:
                     # Intel gates counting with the global-control MSR,
                     # so EN can be staged here; AMD has no global control
                     # and must keep EN clear until start.
-                    msr.write_msr(a.counter.config_addr, regs.evtsel_encode(
+                    self._write(msr, a.counter.config_addr, regs.evtsel_encode(
                         a.event.event_code, a.event.umask,
                         enable=not self.spec.pmu.vendor_amd,
                         **a.options.evtsel_kwargs()))
-                msr.write_msr(a.counter.counter_addr, 0)
+                self._write(msr, a.counter.counter_addr, 0)
             if fixed_ctrl and not self.spec.pmu.vendor_amd:
-                msr.write_msr(regs.IA32_FIXED_CTR_CTRL, fixed_ctrl)
+                self._write(msr, regs.IA32_FIXED_CTR_CTRL, fixed_ctrl)
         finally:
             msr.close()
 
@@ -189,9 +268,11 @@ class CounterProgrammer:
             if self.spec.pmu.vendor_amd:
                 for a in assignments:
                     if not a.counter.is_uncore and a.counter.cls == "PMC":
-                        msr.write_msr(a.counter.config_addr, regs.evtsel_encode(
-                            a.event.event_code, a.event.umask, enable=True,
-                            **a.options.evtsel_kwargs()))
+                        self._write(msr, a.counter.config_addr,
+                                    regs.evtsel_encode(
+                                        a.event.event_code, a.event.umask,
+                                        enable=True,
+                                        **a.options.evtsel_kwargs()))
                 return
             ctrl = 0
             for a in assignments:
@@ -201,7 +282,7 @@ class CounterProgrammer:
                     ctrl |= regs.global_ctrl_fixed_bit(a.counter.index)
                 else:
                     ctrl |= regs.global_ctrl_pmc_bit(a.counter.index)
-            msr.write_msr(regs.IA32_PERF_GLOBAL_CTRL, ctrl)
+            self._write(msr, regs.IA32_PERF_GLOBAL_CTRL, ctrl)
         finally:
             msr.close()
 
@@ -211,11 +292,13 @@ class CounterProgrammer:
             if self.spec.pmu.vendor_amd:
                 for a in assignments:
                     if not a.counter.is_uncore and a.counter.cls == "PMC":
-                        msr.write_msr(a.counter.config_addr, regs.evtsel_encode(
-                            a.event.event_code, a.event.umask, enable=False,
-                            **a.options.evtsel_kwargs()))
+                        self._write(msr, a.counter.config_addr,
+                                    regs.evtsel_encode(
+                                        a.event.event_code, a.event.umask,
+                                        enable=False,
+                                        **a.options.evtsel_kwargs()))
             else:
-                msr.write_msr(regs.IA32_PERF_GLOBAL_CTRL, 0)
+                self._write(msr, regs.IA32_PERF_GLOBAL_CTRL, 0)
         finally:
             msr.close()
 
@@ -224,7 +307,7 @@ class CounterProgrammer:
         """Read the core-scope counters; keys are counter names."""
         msr = self.driver.open(cpu, write=False)
         try:
-            return {a.counter.name: msr.read_msr(a.counter.counter_addr)
+            return {a.counter.name: self._read(msr, a.counter.counter_addr)
                     for a in assignments if not a.counter.is_uncore}
         finally:
             msr.close()
@@ -234,7 +317,7 @@ class CounterProgrammer:
     def setup_uncore(self, cpu: int, assignments: list[Assignment]) -> None:
         msr = self.driver.open(cpu)
         try:
-            msr.write_msr(regs.MSR_UNCORE_PERF_GLOBAL_CTRL, 0)
+            self._write(msr, regs.MSR_UNCORE_PERF_GLOBAL_CTRL, 0)
             fixed = False
             for a in assignments:
                 if not a.counter.is_uncore:
@@ -243,12 +326,14 @@ class CounterProgrammer:
                 if a.counter.cls == "UFIXC":
                     fixed = True
                 else:
-                    msr.write_msr(a.counter.config_addr, regs.evtsel_encode(
-                        a.event.event_code, a.event.umask, enable=True,
-                        **a.options.evtsel_kwargs()))
-                msr.write_msr(a.counter.counter_addr, 0)
+                    self._write(msr, a.counter.config_addr,
+                                regs.evtsel_encode(
+                                    a.event.event_code, a.event.umask,
+                                    enable=True,
+                                    **a.options.evtsel_kwargs()))
+                self._write(msr, a.counter.counter_addr, 0)
             if fixed:
-                msr.write_msr(regs.MSR_UNCORE_FIXED_CTR_CTRL, 1)
+                self._write(msr, regs.MSR_UNCORE_FIXED_CTR_CTRL, 1)
         finally:
             msr.close()
 
@@ -263,14 +348,14 @@ class CounterProgrammer:
                     ctrl |= 1 << 32
                 else:
                     ctrl |= regs.global_ctrl_pmc_bit(a.counter.index)
-            msr.write_msr(regs.MSR_UNCORE_PERF_GLOBAL_CTRL, ctrl)
+            self._write(msr, regs.MSR_UNCORE_PERF_GLOBAL_CTRL, ctrl)
         finally:
             msr.close()
 
     def stop_uncore(self, cpu: int) -> None:
         msr = self.driver.open(cpu)
         try:
-            msr.write_msr(regs.MSR_UNCORE_PERF_GLOBAL_CTRL, 0)
+            self._write(msr, regs.MSR_UNCORE_PERF_GLOBAL_CTRL, 0)
         finally:
             msr.close()
 
@@ -278,7 +363,7 @@ class CounterProgrammer:
                     assignments: list[Assignment]) -> dict[str, int]:
         msr = self.driver.open(cpu, write=False)
         try:
-            return {a.counter.name: msr.read_msr(a.counter.counter_addr)
+            return {a.counter.name: self._read(msr, a.counter.counter_addr)
                     for a in assignments if a.counter.is_uncore}
         finally:
             msr.close()

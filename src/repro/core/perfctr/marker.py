@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.perfctr.counters import counter_delta
 from repro.core.perfctr.measurement import (MeasurementResult, PerfCtrSession,
                                             derive_metrics)
 from repro.errors import MarkerError
@@ -109,8 +110,9 @@ class MarkerAPI:
             raise MarkerError(f"unknown region id {region_id}") from None
         current = self.session.read_raw(core_id)
         acc = region.counts.setdefault(core_id, {})
+        width = self.session.machine.spec.pmu.counter_width
         for name, value in current.items():
-            delta = value - snapshot.get(name, 0.0)
+            delta = counter_delta(value, snapshot.get(name, 0.0), width)
             acc[name] = acc.get(name, 0.0) + delta
         region.call_count[thread_id] = region.call_count.get(thread_id, 0) + 1
 

@@ -12,6 +12,18 @@ counters, start them, run the application, stop, read, and derive
 metrics.  Counting is strictly core-based: whatever executed on the
 measured cores during the window is counted, regardless of process
 (paper §II.A) — enforcing affinity is the user's job (likwid-pin).
+
+Sessions are context managers with guaranteed teardown: if the wrapped
+workload raises, the counters are disabled and the socket locks
+released anyway (``with session: ...``).  The runtime is hardened
+against a faulting msr driver (see
+:class:`~repro.oskern.msr_driver.FaultPlan`): transient faults are
+retried invisibly, counter wrap-around is corrected via the PMU's
+overflow interrupt and the architecture's declared counter width, and
+uncore permission/lock failures degrade to per-event NaN with a
+warning instead of aborting the measurement — unless strict-I/O
+semantics were requested, in which case they raise
+:class:`~repro.errors.DegradedError`.
 """
 
 from __future__ import annotations
@@ -22,13 +34,14 @@ from dataclasses import dataclass, field
 
 from repro.core.affinity import parse_corelist
 from repro.core.perfctr.counters import (Assignment, CounterMap,
-                                         CounterProgrammer,
+                                         CounterProgrammer, RetryPolicy,
                                          auto_fixed_assignments,
-                                         validate_assignments)
+                                         counter_delta, validate_assignments)
 from repro.core.perfctr.events import is_event_string, parse_event_string
 from repro.core.perfctr.formula import evaluate
 from repro.core.perfctr.groups import GroupDef, lookup_group
-from repro.errors import CounterError
+from repro.errors import (CounterError, DegradedError, MsrIOError,
+                          MsrPermissionError)
 from repro.hw.machine import SimMachine
 from repro.oskern.msr_driver import MsrDriver
 
@@ -42,6 +55,8 @@ class MeasurementResult:
     metrics: dict[int, dict[str, float]] = field(default_factory=dict)
     wall_time: float = 0.0
     group: GroupDef | None = None
+    warnings: list[str] = field(default_factory=list)  # degraded events
+    io_retries: int = 0                # transient msr faults absorbed
 
     def event(self, cpu: int, name: str) -> float:
         return self.counts[cpu].get(name, 0.0)
@@ -52,13 +67,36 @@ class MeasurementResult:
     def metric(self, cpu: int, name: str) -> float:
         return self.metrics[cpu][name]
 
+    @property
+    def degraded(self) -> bool:
+        """True when any event degraded to NaN (see ``warnings``)."""
+        return bool(self.warnings)
+
+
+def _degradable(exc: Exception) -> bool:
+    """Uncore failures the runtime may absorb as per-event NaN:
+    device permission errors and sticky/exhausted I/O faults.  A
+    vanished module (ENODEV) or any other MsrError stays fatal."""
+    if isinstance(exc, MsrPermissionError):
+        return True
+    if isinstance(exc, MsrIOError):
+        return exc.errno_name in ("EIO", "EAGAIN")
+    return False
+
 
 class PerfCtrSession:
-    """One configured measurement across a CPU set."""
+    """One configured measurement across a CPU set.
+
+    Usable as a context manager: entering starts the counters (if not
+    already started) and exiting guarantees teardown even when the
+    measured workload raises — no counters left enabled, no socket
+    locks held, no leaked msr file handles."""
 
     def __init__(self, machine: SimMachine, driver: MsrDriver,
                  cpus: list[int], assignments: list[Assignment],
-                 group: GroupDef | None = None):
+                 group: GroupDef | None = None, *,
+                 strict_io: bool = False,
+                 retry_policy: RetryPolicy | None = None):
         if not cpus:
             raise CounterError("no cpus to measure")
         if len(set(cpus)) != len(cpus):
@@ -67,10 +105,24 @@ class PerfCtrSession:
         self.cpus = list(cpus)
         self.assignments = assignments
         self.group = group
+        self.strict_io = strict_io
         self.counters = CounterMap(machine.spec)
-        self.programmer = CounterProgrammer(driver, self.counters)
+        self.programmer = CounterProgrammer(driver, self.counters,
+                                            retry_policy)
         self._started_at: float | None = None
+        self._stopped = False
+        self._closed = False
         self.wall_time = 0.0
+        self.warnings: list[str] = []
+        # (cpu, status_bit) -> number of wrap-arounds observed while
+        # the session was counting (fed by the PMU's overflow PMI).
+        self._overflows: dict[tuple[int, int], int] = {}
+        self._handlers: dict[int, Callable] = {}
+        # Counter values right after enabling: subtracted from every
+        # readout so a non-zero initial counter state (e.g. a forced
+        # overflow preload) cannot corrupt the counts.
+        self._base: dict[int, dict[str, float]] = {}
+        self._degraded_sockets: set[int] = set()
 
         self.core_assignments = [a for a in assignments
                                  if not a.counter.is_uncore]
@@ -89,16 +141,56 @@ class PerfCtrSession:
 
     # -- lifecycle ------------------------------------------------------------
 
+    @property
+    def active(self) -> bool:
+        """Counters currently enabled (started, not yet stopped)."""
+        return self._started_at is not None and not self._stopped
+
     def start(self) -> None:
-        """Program and enable all counters (counters start from zero)."""
+        """Program and enable all counters (counters start from zero).
+
+        On any failure the already-programmed CPUs are disabled again
+        before the error propagates — a failed start never leaves a
+        torn, half-enabled session behind."""
+        try:
+            self._start_inner()
+        except Exception:
+            self._teardown()
+            raise
+
+    def _start_inner(self) -> None:
+        self._overflows.clear()
+        self._base = {}
+        self._stopped = False
         for cpu in self.cpus:
             self.programmer.setup_core(cpu, self.core_assignments)
-        for cpu in self.socket_locks.values():
-            self.programmer.setup_uncore(cpu, self.uncore_assignments)
+        for socket, cpu in self.socket_locks.items():
+            self._guarded_uncore(socket, cpu, "setup",
+                                 lambda c=cpu: self.programmer.setup_uncore(
+                                     c, self.uncore_assignments))
         for cpu in self.cpus:
+            self._register_overflow_handler(cpu)
             self.programmer.start_core(cpu, self.core_assignments)
-        for cpu in self.socket_locks.values():
-            self.programmer.start_uncore(cpu, self.uncore_assignments)
+        for socket, cpu in self.socket_locks.items():
+            if socket in self._degraded_sockets:
+                continue
+            self._guarded_uncore(socket, cpu, "start",
+                                 lambda c=cpu: self.programmer.start_uncore(
+                                     c, self.uncore_assignments))
+        # Baseline snapshot: nothing has executed yet, so this reads
+        # each counter's initial value (0 unless something — like a
+        # forced-overflow fault — preloaded it).
+        for cpu in self.cpus:
+            raw = self.programmer.read_core(cpu, self.core_assignments)
+            self._base[cpu] = {name: float(v) for name, v in raw.items()}
+        for socket, cpu in self.socket_locks.items():
+            if socket in self._degraded_sockets:
+                continue
+            def read_base(c=cpu):
+                raw = self.programmer.read_uncore(c, self.uncore_assignments)
+                self._base.setdefault(c, {}).update(
+                    (name, float(v)) for name, v in raw.items())
+            self._guarded_uncore(socket, cpu, "baseline read", read_base)
         self._started_at = _time.perf_counter()
 
     def stop(self) -> None:
@@ -107,29 +199,148 @@ class PerfCtrSession:
         self.wall_time = _time.perf_counter() - self._started_at
         for cpu in self.cpus:
             self.programmer.stop_core(cpu, self.core_assignments)
-        for cpu in self.socket_locks.values():
-            self.programmer.stop_uncore(cpu)
+        for socket, cpu in self.socket_locks.items():
+            if socket in self._degraded_sockets:
+                continue
+            try:
+                self.programmer.stop_uncore(cpu)
+            except Exception as exc:
+                if not _degradable(exc):
+                    raise
+                self._degrade(socket, f"uncore stop on cpu {cpu}: {exc}",
+                              raise_strict=False)
+        self._stopped = True
+
+    def close(self) -> None:
+        """Release everything, absorbing secondary failures.
+
+        Safe to call multiple times and in any state; after close the
+        counters are guaranteed disabled (best effort against a
+        faulting driver) and the overflow handlers deregistered."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.active:
+            self.wall_time = _time.perf_counter() - self._started_at
+            self._teardown()
+            self._stopped = True
+        self._unregister_overflow_handlers()
+
+    def _teardown(self) -> None:
+        """Best-effort disable of every counter this session touched."""
+        for cpu in self.cpus:
+            try:
+                self.programmer.stop_core(cpu, self.core_assignments)
+            except Exception:
+                pass
+        for socket, cpu in self.socket_locks.items():
+            try:
+                self.programmer.stop_uncore(cpu)
+            except Exception:
+                pass
+
+    def __enter__(self) -> "PerfCtrSession":
+        if not self.active:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- degradation and overflow bookkeeping ---------------------------------
+
+    def _degrade(self, socket: int, what: str, *,
+                 raise_strict: bool = True) -> None:
+        message = (f"uncore measurement degraded on socket {socket} "
+                   f"({what}); its events report NaN")
+        if self.strict_io and raise_strict:
+            raise DegradedError(message)
+        self._degraded_sockets.add(socket)
+        self.warnings.append(message)
+
+    def _guarded_uncore(self, socket: int, cpu: int, what: str,
+                        op: Callable[[], object]) -> None:
+        try:
+            op()
+        except Exception as exc:
+            if not _degradable(exc):
+                raise
+            self._degrade(socket, f"uncore {what} on cpu {cpu}: {exc}")
+
+    def _register_overflow_handler(self, cpu: int) -> None:
+        if cpu in self._handlers:
+            return
+
+        def handler(hwthread: int, status_bit: int,
+                    _cpu: int = cpu) -> None:
+            key = (_cpu, status_bit)
+            self._overflows[key] = self._overflows.get(key, 0) + 1
+
+        self._handlers[cpu] = handler
+        self.machine.core_pmus[cpu].overflow_handlers.append(handler)
+
+    def _unregister_overflow_handlers(self) -> None:
+        for cpu, handler in self._handlers.items():
+            handlers = self.machine.core_pmus[cpu].overflow_handlers
+            if handler in handlers:
+                handlers.remove(handler)
+        self._handlers.clear()
+
+    @staticmethod
+    def _status_bit(a: Assignment) -> int:
+        """IA32_PERF_GLOBAL_STATUS bit index of an assignment's counter
+        (PMC i -> bit i, FIXC i -> bit 32+i)."""
+        if a.counter.cls == "FIXC":
+            return 32 + a.counter.index
+        return a.counter.index
 
     # -- reading ----------------------------------------------------------------
 
     def read_raw(self, cpu: int) -> dict[str, float]:
         """Current counter values for one CPU, keyed by event name.
-        Uncore counts appear only for the socket-lock owner."""
+        Uncore counts appear only for the socket-lock owner.
+
+        Values are overflow-corrected: each observed wrap-around adds
+        one full counter period (``2**width``), and the baseline
+        snapshot taken at start is subtracted, so counts stay exact
+        across wraps and non-zero initial counter state."""
+        period = float(1 << self.machine.spec.pmu.counter_width)
+        base = self._base.get(cpu, {})
         values: dict[str, float] = {}
         raw = self.programmer.read_core(cpu, self.core_assignments)
         for a in self.core_assignments:
-            values[a.event.name] = float(raw[a.counter.name])
+            value = float(raw[a.counter.name])
+            value += self._overflows.get((cpu, self._status_bit(a)), 0) \
+                * period
+            values[a.event.name] = value - base.get(a.counter.name, 0.0)
         if self.uncore_assignments:
             socket = self.machine.spec.socket_of(cpu)
-            if self.socket_locks.get(socket) == cpu:
-                raw = self.programmer.read_uncore(cpu, self.uncore_assignments)
-                for a in self.uncore_assignments:
-                    values[a.event.name] = float(raw[a.counter.name])
-            else:
+            if self.socket_locks.get(socket) != cpu:
                 # Socket lock: the count is attributed to one thread per
                 # socket; everyone else reports zero for uncore events.
                 for a in self.uncore_assignments:
                     values[a.event.name] = 0.0
+            elif socket in self._degraded_sockets:
+                for a in self.uncore_assignments:
+                    values[a.event.name] = float("nan")
+            else:
+                try:
+                    raw = self.programmer.read_uncore(
+                        cpu, self.uncore_assignments)
+                except Exception as exc:
+                    if not _degradable(exc):
+                        raise
+                    self._degrade(socket, f"uncore read on cpu {cpu}: {exc}")
+                    for a in self.uncore_assignments:
+                        values[a.event.name] = float("nan")
+                else:
+                    # The uncore PMU has no overflow interrupt here, so
+                    # wrap correction is width-based (one wrap max).
+                    for a in self.uncore_assignments:
+                        values[a.event.name] = counter_delta(
+                            float(raw[a.counter.name]),
+                            base.get(a.counter.name, 0.0),
+                            self.machine.spec.pmu.counter_width)
         return values
 
     def read(self, *, wall_time: float | None = None) -> MeasurementResult:
@@ -137,7 +348,8 @@ class PerfCtrSession:
         result = MeasurementResult(
             cpus=list(self.cpus), counts=counts,
             wall_time=self.wall_time if wall_time is None else wall_time,
-            group=self.group)
+            group=self.group, warnings=list(self.warnings),
+            io_retries=self.programmer.retries)
         if self.group is not None:
             derive_metrics(result, self.group, self.machine.spec.clock_hz)
         return result
@@ -167,12 +379,20 @@ def derive_metrics(result: MeasurementResult, group: GroupDef,
 
 
 class LikwidPerfCtr:
-    """The likwid-perfCtr tool bound to one machine."""
+    """The likwid-perfCtr tool bound to one machine.
 
-    def __init__(self, machine: SimMachine, driver: MsrDriver | None = None):
+    ``strict_io=True`` turns degraded (NaN-producing) outcomes into
+    :class:`~repro.errors.DegradedError`; ``retry_policy`` tunes the
+    bounded-backoff retry of transient msr faults."""
+
+    def __init__(self, machine: SimMachine, driver: MsrDriver | None = None,
+                 *, strict_io: bool = False,
+                 retry_policy: RetryPolicy | None = None):
         self.machine = machine
         self.driver = driver or MsrDriver(machine)
         self.counters = CounterMap(machine.spec)
+        self.strict_io = strict_io
+        self.retry_policy = retry_policy
 
     def _resolve(self, group_or_events: str) \
             -> tuple[list[Assignment], GroupDef | None]:
@@ -199,22 +419,24 @@ class LikwidPerfCtr:
                                   max_cpu=self.machine.num_hwthreads - 1)
         assignments, group = self._resolve(group_or_events)
         return PerfCtrSession(self.machine, self.driver, cpus,
-                              assignments, group)
+                              assignments, group, strict_io=self.strict_io,
+                              retry_policy=self.retry_policy)
 
     def wrap(self, cpus: str | list[int], group_or_events: str,
              run: Callable[[], object]) -> MeasurementResult:
         """Wrapper mode: measure an application over its full runtime.
 
         The callable stands for the wrapped binary; anything it
-        executes on the measured cores lands in the counters.
+        executes on the measured cores lands in the counters.  If the
+        workload raises, the session is torn down (counters disabled,
+        socket locks released) before the exception propagates.
         """
         session = self.session(cpus, group_or_events)
-        session.start()
-        payload = run()
-        session.stop()
-        wall = getattr(payload, "total_time", None)
-        result = session.read(wall_time=wall)
-        return result
+        with session:
+            payload = run()
+            session.stop()
+            wall = getattr(payload, "total_time", None)
+            return session.read(wall_time=wall)
 
     def available_events(self) -> list[str]:
         return self.machine.spec.events.names()

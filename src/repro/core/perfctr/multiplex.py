@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from repro.core.perfctr.counters import auto_fixed_assignments
 from repro.core.perfctr.measurement import LikwidPerfCtr, MeasurementResult
 from repro.errors import CounterError
 
@@ -92,11 +93,23 @@ def measure_multiplexed(perfctr: LikwidPerfCtr, cpus: str | list[int],
     from repro.core.perfctr.events import parse_event_string
     for set_index, text in enumerate(event_sets):
         frac = slices_per_set[set_index] / rotations
-        for spec in parse_event_string(text):
-            scheduled[spec.event] = scheduled.get(spec.event, 0.0) + frac
-    # The auto-added fixed events count in every slice.
-    always = {"INSTR_RETIRED_ANY", "CPU_CLK_UNHALTED_CORE",
-              "CPU_CLK_UNHALTED_REF"}
+        # Dedupe within the set: an event programmed on two counters of
+        # the same set still only observes that set's slices once.
+        for name in {spec.event for spec in
+                     parse_event_string(text, allow_duplicates=True)}:
+            scheduled[name] = scheduled.get(name, 0.0) + frac
+    # Set fractions sum to 1, so per-event fractions cannot exceed a
+    # full run; clamp anyway so rounding can never under-extrapolate.
+    scheduled = {name: min(frac, 1.0) for name, frac in scheduled.items()}
+    # The auto-added fixed events count in every slice — but only on
+    # architectures that actually have fixed counters.  Deriving the
+    # set from the arch (instead of hardcoding the Intel names) keeps
+    # extrapolation correct on AMD and the fixed-counter-less Intel
+    # parts, where the cycle/instruction events live on ordinary PMCs
+    # and *are* subject to multiplexing.
+    always = {a.event.name
+              for a in auto_fixed_assignments(perfctr.machine.spec.events,
+                                              perfctr.counters)}
 
     estimates: dict[int, dict[str, float]] = {}
     for cpu, counts in accumulated.items():

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.core.perfctr.counters import counter_delta
 from repro.core.perfctr.measurement import (LikwidPerfCtr, MeasurementResult,
                                             derive_metrics)
 from repro.errors import CounterError
@@ -52,31 +53,37 @@ class TimelineMeasurement:
         """
         if num_intervals < 1:
             raise CounterError("need at least one interval")
-        self.session.start()
-        previous = {cpu: self.session.read_raw(cpu)
-                    for cpu in self.session.cpus}
-        now = 0.0
-        for index in range(num_intervals):
-            run_slice(index, self.interval)
-            now += self.interval
-            current = {cpu: self.session.read_raw(cpu)
-                       for cpu in self.session.cpus}
-            deltas = {
-                cpu: {name: current[cpu][name] - previous[cpu].get(name, 0.0)
-                      for name in current[cpu]}
-                for cpu in self.session.cpus
-            }
-            sample = TimelineSample(index, now, deltas)
-            if self.session.group is not None:
-                result = MeasurementResult(
-                    cpus=list(self.session.cpus), counts=deltas,
-                    wall_time=self.interval, group=self.session.group)
-                derive_metrics(result, self.session.group,
-                               self.perfctr.machine.spec.clock_hz)
-                sample.metrics = result.metrics
-            self.samples.append(sample)
-            previous = current
-        self.session.stop()
+        width = self.perfctr.machine.spec.pmu.counter_width
+        with self.session:
+            previous = {cpu: self.session.read_raw(cpu)
+                        for cpu in self.session.cpus}
+            now = 0.0
+            for index in range(num_intervals):
+                run_slice(index, self.interval)
+                now += self.interval
+                current = {cpu: self.session.read_raw(cpu)
+                           for cpu in self.session.cpus}
+                # Counters keep running between samples and are only
+                # `width` bits wide: a mid-interval wrap makes the raw
+                # difference negative, so correct it by one period.
+                deltas = {
+                    cpu: {name: counter_delta(current[cpu][name],
+                                              previous[cpu].get(name, 0.0),
+                                              width)
+                          for name in current[cpu]}
+                    for cpu in self.session.cpus
+                }
+                sample = TimelineSample(index, now, deltas)
+                if self.session.group is not None:
+                    result = MeasurementResult(
+                        cpus=list(self.session.cpus), counts=deltas,
+                        wall_time=self.interval, group=self.session.group)
+                    derive_metrics(result, self.session.group,
+                                   self.perfctr.machine.spec.clock_hz)
+                    sample.metrics = result.metrics
+                self.samples.append(sample)
+                previous = current
+            self.session.stop()
         return self.samples
 
     def series(self, cpu: int, event: str) -> list[float]:

@@ -20,6 +20,45 @@ class MsrError(ReproError):
     """Invalid MSR access: undefined address, bad width, or permission."""
 
 
+class MsrPermissionError(MsrError):
+    """Device-node permission failure (EACCES/EPERM on /dev/cpu/N/msr).
+
+    Raised when an msr device is opened for writing without write
+    permission — the "run as root or chmod the device" installation
+    stumbling block the paper documents.  Kept as a subclass so the
+    perfctr runtime can degrade uncore measurements instead of
+    aborting, while generic MsrError stays fatal."""
+
+
+class MsrIOError(MsrError):
+    """An I/O fault on an open msr device file (pread/pwrite level).
+
+    Mirrors the errno a real device file would return:
+
+    * ``EAGAIN`` — transient, the operation may succeed on retry
+    * ``EIO``    — sticky hardware/driver fault on an address
+    * ``ENODEV`` — the msr module disappeared under the open file
+
+    ``transient`` tells the retry layer whether repeating the call can
+    help; ``exhausted`` is set when a retry loop gave up on a fault
+    that was nominally transient."""
+
+    def __init__(self, errno_name: str, message: str, *,
+                 transient: bool = False, cpu: int | None = None,
+                 address: int | None = None, exhausted: bool = False):
+        super().__init__(f"[{errno_name}] {message}")
+        self.errno_name = errno_name
+        self.transient = transient
+        self.cpu = cpu
+        self.address = address
+        self.exhausted = exhausted
+
+
+class DegradedError(ReproError):
+    """A measurement would have produced partial (NaN) results and the
+    caller asked for strict I/O semantics (``--strict-io``)."""
+
+
 class TopologyError(ReproError):
     """Topology decoding failed or produced an inconsistent layout."""
 

@@ -45,6 +45,7 @@ class SimMachine:
     def __init__(self, spec: ArchSpec):
         self.spec = spec
         self._cpuid = CpuidEngine(spec)
+        self._counter_addresses: frozenset[int] | None = None
         self.msr: list[MSRSpace] = []
         self.core_pmus: list[CorePMU] = []
         self.uncore_pmus: list[UncorePMU] = [
@@ -79,6 +80,32 @@ class SimMachine:
     @property
     def num_hwthreads(self) -> int:
         return self.spec.num_hwthreads
+
+    @property
+    def counter_width(self) -> int:
+        """Bits of the PMU counters before wrap-around (48 on every
+        simulated architecture, like the real hardware)."""
+        return self.spec.pmu.counter_width
+
+    def counter_addresses(self) -> frozenset[int]:
+        """MSR addresses of all counter-class registers: core PMCs,
+        Intel fixed counters, and the socket-scope uncore counters.
+
+        These are the registers whose contents accumulate and wrap at
+        the counter width; config/control registers are excluded.  The
+        fault-injecting msr driver uses this set to recognise counter
+        writes (forced-overflow preloading)."""
+        if self._counter_addresses is None:
+            pmu = self.spec.pmu
+            addrs = {pmu.pmc_address(i) for i in range(pmu.num_pmcs)}
+            if pmu.has_fixed:
+                addrs.update(regs.IA32_FIXED_CTR0 + i for i in range(3))
+            for i in range(pmu.num_uncore_pmcs):
+                addrs.add(regs.MSR_UNCORE_PMC0 + i)
+            if pmu.has_uncore_fixed:
+                addrs.add(regs.MSR_UNCORE_FIXED_CTR0)
+            self._counter_addresses = frozenset(addrs)
+        return self._counter_addresses
 
     # -- instruction-level interfaces -----------------------------------------
 

@@ -1,11 +1,12 @@
 """Simulated Linux-like OS layer: scheduler, msr driver, /proc, sysfs,
 OpenMP runtimes and the pthread_create preload mechanism."""
 
-from repro.oskern.msr_driver import MsrDriver, MsrFile
+from repro.oskern.msr_driver import (DriverStats, FaultPlan, MsrDriver,
+                                     MsrFile)
 from repro.oskern.openmp import OpenMPRuntime, Team
 from repro.oskern.preload import PinOverlay
 from repro.oskern.scheduler import OSKernel
 from repro.oskern.threads import SimThread, ThreadKind
 
 __all__ = ["OSKernel", "SimThread", "ThreadKind", "MsrDriver", "MsrFile",
-           "OpenMPRuntime", "Team", "PinOverlay"]
+           "DriverStats", "FaultPlan", "OpenMPRuntime", "Team", "PinOverlay"]

@@ -9,14 +9,24 @@ pread/pwrite at the file offset equal to the register address.
 The module must be *loaded* before device files can be opened, and
 opening requires root unless the device permissions were relaxed —
 the two installation stumbling blocks the real tool documents.
+
+Beyond the happy path, the driver can *inject faults*: a seeded,
+deterministic :class:`FaultPlan` reproduces the failure modes a
+long-running monitoring daemon sees in the field — transient
+``EAGAIN``/``EIO`` on pread/pwrite, the module being unloaded under an
+open file, device permissions flipping mid-run, addresses going
+permanently bad, and counters forced to overflow after a programmable
+number of events.  The perfctr runtime is hardened against all of
+them (see :mod:`repro.core.perfctr.measurement`).
 """
 
 from __future__ import annotations
 
+import random
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.errors import MsrError
+from repro.errors import MsrError, MsrIOError, MsrPermissionError
 from repro.hw.machine import SimMachine
 
 
@@ -24,40 +34,156 @@ from repro.hw.machine import SimMachine
 class DriverStats:
     """Access accounting: the basis of the tool's low-overhead claim —
     a measurement costs a fixed number of device-file operations, not
-    anything proportional to the application's runtime."""
+    anything proportional to the application's runtime.
+
+    ``opens``/``closes`` make handle leaks observable (a resilient
+    runtime must end a run with ``live_handles == 0`` even when the
+    workload raised); ``faults`` counts injected failures so retry
+    behaviour can be asserted on."""
 
     opens: int = 0
     reads: int = 0
     writes: int = 0
+    closes: int = 0
+    faults: int = 0
 
     @property
     def operations(self) -> int:
         return self.reads + self.writes
 
+    @property
+    def live_handles(self) -> int:
+        """Currently open device files (leak detector)."""
+        return self.opens - self.closes
+
     def reset(self) -> None:
         self.opens = self.reads = self.writes = 0
+        self.closes = self.faults = 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seedable schedule of msr-driver faults.
+
+    All randomness comes from one ``random.Random(seed)`` stream that
+    advances once per fault decision, so a given plan against a given
+    operation sequence always injects the same faults — tests and the
+    fault-injection CI job are exactly reproducible.
+
+    Fault kinds (all independent, all optional):
+
+    * ``read_fault_rate`` / ``write_fault_rate`` — probability that a
+      pread/pwrite raises a *transient* fault (``transient_errno``,
+      default ``EAGAIN``).  Retrying the operation draws fresh
+      randomness and will eventually succeed.
+    * ``unload_after`` — after this many device operations (opens +
+      reads + writes) the module behaves as if ``rmmod msr`` ran:
+      new opens fail, and I/O on already-open files raises a
+      non-transient ``ENODEV``.
+    * ``revoke_write_after`` — after this many operations the device
+      nodes lose write permission; new writable opens raise
+      :class:`~repro.errors.MsrPermissionError` (already-open files
+      keep their access mode, like real fds).
+    * ``sticky_addresses`` — offsets that permanently fail with a
+      non-transient ``EIO`` (a broken register, in effect).
+    * ``overflow_after`` — whenever the tool layer zeroes a counter
+      register, preload it with ``2**width - overflow_after`` instead,
+      so the counter overflows (wraps past zero) after that many
+      events — the standard trick for forcing mid-run wrap-around.
+    """
+
+    seed: int = 0
+    read_fault_rate: float = 0.0
+    write_fault_rate: float = 0.0
+    transient_errno: str = "EAGAIN"
+    unload_after: int | None = None
+    revoke_write_after: int | None = None
+    sticky_addresses: tuple[int, ...] = ()
+    overflow_after: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("read_fault_rate", "write_fault_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.transient_errno not in ("EAGAIN", "EIO"):
+            raise ValueError(
+                f"transient_errno must be EAGAIN or EIO, "
+                f"got {self.transient_errno!r}")
+        if self.overflow_after is not None and self.overflow_after < 1:
+            raise ValueError("overflow_after must be >= 1")
+
+    @classmethod
+    def from_string(cls, text: str) -> "FaultPlan":
+        """Parse the CLI syntax: comma-separated ``key=value`` pairs.
+
+        Keys are the field names (``sticky`` may repeat and accepts
+        hex addresses)::
+
+            seed=7,read_fault_rate=0.1
+            unload_after=20
+            sticky=0x38F,sticky=0xC1
+            overflow_after=1000
+        """
+        kwargs: dict = {}
+        sticky: list[int] = []
+        for part in filter(None, (p.strip() for p in text.split(","))):
+            if "=" not in part:
+                raise ValueError(f"bad fault spec {part!r} (need key=value)")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key in ("sticky", "sticky_addresses"):
+                sticky.append(int(value, 0))
+            elif key in ("read_fault_rate", "write_fault_rate"):
+                kwargs[key] = float(value)
+            elif key in ("seed", "unload_after", "revoke_write_after",
+                         "overflow_after"):
+                kwargs[key] = int(value, 0)
+            elif key == "transient_errno":
+                kwargs[key] = value
+            else:
+                raise ValueError(f"unknown fault key {key!r}")
+        if sticky:
+            kwargs["sticky_addresses"] = tuple(sticky)
+        return cls(**kwargs)
+
+
+@dataclass
+class _FaultState:
+    """Mutable per-driver state of an armed FaultPlan."""
+
+    plan: FaultPlan
+    rng: random.Random
+    op_count: int = 0
+    sticky: frozenset = field(default_factory=frozenset)
 
 
 class MsrFile:
     """An open ``/dev/cpu/N/msr`` file descriptor."""
 
-    def __init__(self, machine: SimMachine, cpu: int, writable: bool,
-                 stats: DriverStats | None = None):
-        self._machine = machine
+    def __init__(self, driver: "MsrDriver", cpu: int, writable: bool):
+        self._driver = driver
+        self._machine = driver.machine
         self.cpu = cpu
         self.writable = writable
         self.closed = False
-        self._stats = stats
+        self._stats = driver.stats
 
     def _check_open(self) -> None:
         if self.closed:
             raise MsrError(f"I/O on closed msr device for cpu {self.cpu}")
+        if not self._driver.loaded:
+            raise MsrIOError(
+                "ENODEV",
+                f"msr module unloaded under open device for cpu {self.cpu}",
+                cpu=self.cpu)
 
     def pread(self, address: int) -> bytes:
         """Read 8 bytes at offset *address* (one RDMSR)."""
         self._check_open()
-        if self._stats is not None:
-            self._stats.reads += 1
+        self._driver._before_op(self.cpu, address, write=False)
+        self._stats.reads += 1
         return struct.pack("<Q", self._machine.rdmsr(self.cpu, address))
 
     def pwrite(self, address: int, data: bytes) -> None:
@@ -67,9 +193,11 @@ class MsrFile:
             raise MsrError(f"msr device for cpu {self.cpu} opened read-only")
         if len(data) != 8:
             raise MsrError(f"msr writes must be 8 bytes, got {len(data)}")
-        if self._stats is not None:
-            self._stats.writes += 1
-        self._machine.wrmsr(self.cpu, address, struct.unpack("<Q", data)[0])
+        self._driver._before_op(self.cpu, address, write=True)
+        value = struct.unpack("<Q", data)[0]
+        value = self._driver._rewrite_value(address, value)
+        self._stats.writes += 1
+        self._machine.wrmsr(self.cpu, address, value)
 
     # Convenience integer forms used by the tool layer.
 
@@ -80,18 +208,36 @@ class MsrFile:
         self.pwrite(address, struct.pack("<Q", value & (2**64 - 1)))
 
     def close(self) -> None:
-        self.closed = True
+        if not self.closed:
+            self.closed = True
+            self._stats.closes += 1
+
+    # Context-manager form so ad-hoc users get guaranteed closes too.
+
+    def __enter__(self) -> "MsrFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class MsrDriver:
-    """The msr kernel module: loadable, with device-node permissions."""
+    """The msr kernel module: loadable, with device-node permissions,
+    and (optionally) a deterministic fault schedule."""
 
     def __init__(self, machine: SimMachine, *, loaded: bool = True,
-                 device_writable: bool = True):
+                 device_writable: bool = True,
+                 faults: FaultPlan | None = None):
         self.machine = machine
         self.loaded = loaded
         self.device_writable = device_writable
         self.stats = DriverStats()
+        self.fault_plan = faults
+        self._faults: _FaultState | None = None
+        if faults is not None:
+            self._faults = _FaultState(
+                plan=faults, rng=random.Random(faults.seed),
+                sticky=frozenset(faults.sticky_addresses))
 
     def load(self) -> None:
         """modprobe msr"""
@@ -102,6 +248,7 @@ class MsrDriver:
 
     def open(self, cpu: int, *, write: bool = True) -> MsrFile:
         """Open ``/dev/cpu/<cpu>/msr``."""
+        self._count_op()
         if not self.loaded:
             raise MsrError(
                 "msr module not loaded: /dev/cpu/*/msr does not exist "
@@ -109,7 +256,65 @@ class MsrDriver:
         if not 0 <= cpu < self.machine.num_hwthreads:
             raise MsrError(f"no such device /dev/cpu/{cpu}/msr")
         if write and not self.device_writable:
-            raise MsrError(
+            raise MsrPermissionError(
                 f"permission denied opening /dev/cpu/{cpu}/msr for writing")
         self.stats.opens += 1
-        return MsrFile(self.machine, cpu, writable=write, stats=self.stats)
+        return MsrFile(self, cpu, writable=write)
+
+    # -- fault machinery -------------------------------------------------------
+
+    def _count_op(self) -> None:
+        """Advance the operation clock and fire any scheduled state
+        flips (module unload, permission revocation)."""
+        state = self._faults
+        if state is None:
+            return
+        state.op_count += 1
+        plan = state.plan
+        if plan.unload_after is not None \
+                and state.op_count > plan.unload_after and self.loaded:
+            self.loaded = False
+        if plan.revoke_write_after is not None \
+                and state.op_count > plan.revoke_write_after \
+                and self.device_writable:
+            self.device_writable = False
+
+    def _before_op(self, cpu: int, address: int, *, write: bool) -> None:
+        """Roll the dice for one pread/pwrite; raise to inject."""
+        state = self._faults
+        if state is None:
+            return
+        self._count_op()
+        if not self.loaded:
+            # The op clock just crossed unload_after: this very
+            # operation observes the module's disappearance.
+            raise MsrIOError(
+                "ENODEV",
+                f"msr module unloaded under open device for cpu {cpu}",
+                cpu=cpu, address=address)
+        plan = state.plan
+        if address in state.sticky:
+            self.stats.faults += 1
+            raise MsrIOError(
+                "EIO", f"sticky fault at msr 0x{address:X} on cpu {cpu}",
+                cpu=cpu, address=address)
+        rate = plan.write_fault_rate if write else plan.read_fault_rate
+        if rate > 0.0 and state.rng.random() < rate:
+            self.stats.faults += 1
+            op = "pwrite" if write else "pread"
+            raise MsrIOError(
+                plan.transient_errno,
+                f"transient {op} fault at msr 0x{address:X} on cpu {cpu}",
+                transient=True, cpu=cpu, address=address)
+
+    def _rewrite_value(self, address: int, value: int) -> int:
+        """Forced overflow: zeroing a counter register preloads it near
+        the top of its range instead, so it wraps after
+        ``overflow_after`` counted events."""
+        state = self._faults
+        if state is None or state.plan.overflow_after is None:
+            return value
+        if value == 0 and address in self.machine.counter_addresses():
+            top = 1 << self.machine.counter_width
+            return top - state.plan.overflow_after
+        return value

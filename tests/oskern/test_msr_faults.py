@@ -1,0 +1,177 @@
+"""Unit tests for the msr driver's deterministic fault injection."""
+
+import pytest
+
+from repro.errors import (MsrError, MsrIOError, MsrPermissionError)
+from repro.hw import registers as regs
+from repro.hw.arch import create_machine
+from repro.oskern.msr_driver import DriverStats, FaultPlan, MsrDriver
+
+
+@pytest.fixture
+def machine():
+    return create_machine("nehalem_ep")
+
+
+class TestFaultPlanValidation:
+    def test_rates_bounded(self):
+        with pytest.raises(ValueError, match="read_fault_rate"):
+            FaultPlan(read_fault_rate=1.5)
+        with pytest.raises(ValueError, match="write_fault_rate"):
+            FaultPlan(write_fault_rate=-0.1)
+
+    def test_errno_restricted(self):
+        with pytest.raises(ValueError, match="EAGAIN or EIO"):
+            FaultPlan(transient_errno="ENOSPC")
+
+    def test_overflow_positive(self):
+        with pytest.raises(ValueError, match="overflow_after"):
+            FaultPlan(overflow_after=0)
+
+    def test_from_string(self):
+        plan = FaultPlan.from_string(
+            "seed=7, read_fault_rate=0.1, sticky=0x3B0, sticky=0xC1,"
+            "overflow_after=1000")
+        assert plan.seed == 7
+        assert plan.read_fault_rate == pytest.approx(0.1)
+        assert plan.sticky_addresses == (0x3B0, 0xC1)
+        assert plan.overflow_after == 1000
+
+    def test_from_string_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown fault key"):
+            FaultPlan.from_string("bogus=1")
+        with pytest.raises(ValueError, match="key=value"):
+            FaultPlan.from_string("just-a-word")
+
+
+class TestTransientFaults:
+    def test_read_fault_is_transient_and_counted(self, machine):
+        driver = MsrDriver(machine, faults=FaultPlan(seed=0,
+                                                     read_fault_rate=1.0))
+        f = driver.open(0, write=False)
+        with pytest.raises(MsrIOError) as info:
+            f.read_msr(regs.IA32_TSC)
+        assert info.value.transient
+        assert info.value.errno_name == "EAGAIN"
+        assert driver.stats.faults == 1
+
+    def test_write_fault_uses_configured_errno(self, machine):
+        driver = MsrDriver(machine, faults=FaultPlan(
+            write_fault_rate=1.0, transient_errno="EIO"))
+        f = driver.open(0)
+        with pytest.raises(MsrIOError) as info:
+            f.write_msr(regs.IA32_PERFEVTSEL0, 1)
+        assert info.value.errno_name == "EIO"
+        assert info.value.transient
+
+    def test_deterministic_for_fixed_seed(self, machine):
+        def fault_pattern(seed):
+            driver = MsrDriver(machine,
+                               faults=FaultPlan(seed=seed,
+                                                read_fault_rate=0.5))
+            f = driver.open(0, write=False)
+            pattern = []
+            for _ in range(64):
+                try:
+                    f.read_msr(regs.IA32_TSC)
+                    pattern.append(0)
+                except MsrIOError:
+                    pattern.append(1)
+            return pattern
+
+        assert fault_pattern(42) == fault_pattern(42)
+        assert fault_pattern(42) != fault_pattern(43)
+
+    def test_faulted_op_does_not_count_as_access(self, machine):
+        driver = MsrDriver(machine, faults=FaultPlan(read_fault_rate=1.0))
+        f = driver.open(0, write=False)
+        with pytest.raises(MsrIOError):
+            f.read_msr(regs.IA32_TSC)
+        assert driver.stats.reads == 0
+
+
+class TestScheduledStateFlips:
+    def test_module_unloads_after_op_budget(self, machine):
+        driver = MsrDriver(machine, faults=FaultPlan(unload_after=3))
+        f = driver.open(0, write=False)          # op 1
+        f.read_msr(regs.IA32_TSC)                # op 2
+        f.read_msr(regs.IA32_TSC)                # op 3
+        # Budget exhausted: the module vanishes under the open file.
+        with pytest.raises(MsrIOError, match="ENODEV"):
+            f.read_msr(regs.IA32_TSC)
+        with pytest.raises(MsrError, match="modprobe msr"):
+            driver.open(1)
+
+    def test_write_permission_revoked_after_op_budget(self, machine):
+        driver = MsrDriver(machine, faults=FaultPlan(revoke_write_after=2))
+        f = driver.open(0)                       # op 1
+        f.write_msr(regs.IA32_PERFEVTSEL0, 1)    # op 2
+        # The already-open writable fd keeps its access mode...
+        f.write_msr(regs.IA32_PERFEVTSEL0, 2)
+        # ...but new writable opens are denied.
+        with pytest.raises(MsrPermissionError, match="permission denied"):
+            driver.open(1)
+        # Read-only opens still work.
+        assert driver.open(1, write=False) is not None
+
+
+class TestStickyAddresses:
+    def test_sticky_address_always_fails(self, machine):
+        driver = MsrDriver(machine, faults=FaultPlan(
+            sticky_addresses=(regs.IA32_PMC0,)))
+        f = driver.open(0, write=False)
+        for _ in range(3):
+            with pytest.raises(MsrIOError) as info:
+                f.read_msr(regs.IA32_PMC0)
+            assert not info.value.transient
+            assert info.value.errno_name == "EIO"
+        # Other addresses are unaffected.
+        assert f.read_msr(regs.IA32_TSC) == 0
+        assert driver.stats.faults == 3
+
+
+class TestForcedOverflow:
+    def test_zeroing_a_counter_preloads_it(self, machine):
+        driver = MsrDriver(machine, faults=FaultPlan(overflow_after=100))
+        f = driver.open(0)
+        f.write_msr(regs.IA32_PMC0, 0)
+        top = 1 << machine.counter_width
+        assert f.read_msr(regs.IA32_PMC0) == top - 100
+
+    def test_config_registers_not_preloaded(self, machine):
+        driver = MsrDriver(machine, faults=FaultPlan(overflow_after=100))
+        f = driver.open(0)
+        f.write_msr(regs.IA32_PERF_GLOBAL_CTRL, 0)
+        assert f.read_msr(regs.IA32_PERF_GLOBAL_CTRL) == 0
+
+    def test_nonzero_counter_writes_pass_through(self, machine):
+        driver = MsrDriver(machine, faults=FaultPlan(overflow_after=100))
+        f = driver.open(0)
+        f.write_msr(regs.IA32_PMC0, 77)
+        assert f.read_msr(regs.IA32_PMC0) == 77
+
+
+class TestStats:
+    def test_closes_and_live_handles(self, machine):
+        driver = MsrDriver(machine)
+        f0 = driver.open(0)
+        f1 = driver.open(1)
+        assert driver.stats.live_handles == 2
+        f0.close()
+        f0.close()   # double close counted once
+        assert driver.stats.closes == 1
+        assert driver.stats.live_handles == 1
+        f1.close()
+        assert driver.stats.live_handles == 0
+
+    def test_context_manager_closes(self, machine):
+        driver = MsrDriver(machine)
+        with driver.open(0, write=False) as f:
+            f.read_msr(regs.IA32_TSC)
+        assert driver.stats.live_handles == 0
+
+    def test_reset_clears_new_fields(self):
+        stats = DriverStats(opens=3, reads=2, writes=1, closes=3, faults=4)
+        stats.reset()
+        assert (stats.opens, stats.reads, stats.writes,
+                stats.closes, stats.faults) == (0, 0, 0, 0, 0)

@@ -90,6 +90,54 @@ class TestDriverFailures:
         assert first.event(0, "L1D_REPL") == second.event(0, "L1D_REPL") == 5
 
 
+class TestWrapTeardown:
+    """Regression: ``LikwidPerfCtr.wrap`` used to leak the started
+    session when the workload raised — counters stayed enabled and the
+    msr handles stayed open for the rest of the process."""
+
+    class Boom(RuntimeError):
+        pass
+
+    def test_wrap_tears_down_when_workload_raises(self):
+        machine = create_machine("nehalem_ep")
+        driver = MsrDriver(machine)
+        perfctr = LikwidPerfCtr(machine, driver)
+
+        def exploding_workload():
+            raise self.Boom("workload died")
+
+        with pytest.raises(self.Boom):
+            perfctr.wrap([0, 1], "FLOPS_DP", exploding_workload)
+        for cpu in (0, 1):
+            assert not machine.core_pmus[cpu].pmc_active(0)
+            assert not machine.core_pmus[cpu].fixed_active(0)
+        assert driver.stats.live_handles == 0
+
+    def test_wrap_tears_down_uncore_when_workload_raises(self):
+        from repro.hw import registers as regs
+        machine = create_machine("nehalem_ep")
+        driver = MsrDriver(machine)
+        perfctr = LikwidPerfCtr(machine, driver)
+        with pytest.raises(self.Boom):
+            perfctr.wrap([0], "UNC_L3_LINES_IN_ANY:UPMC0",
+                         lambda: (_ for _ in ()).throw(self.Boom()))
+        assert machine.rdmsr(0, regs.MSR_UNCORE_PERF_GLOBAL_CTRL) == 0
+        assert driver.stats.live_handles == 0
+
+    def test_measurement_works_after_failed_wrap(self):
+        from repro.hw.events import Channel
+        machine = create_machine("nehalem_ep")
+        driver = MsrDriver(machine)
+        perfctr = LikwidPerfCtr(machine, driver)
+        with pytest.raises(self.Boom):
+            perfctr.wrap([0], "L1D_REPL:PMC0",
+                         lambda: (_ for _ in ()).throw(self.Boom()))
+        result = perfctr.wrap(
+            [0], "L1D_REPL:PMC0",
+            lambda: machine.apply_counts({0: {Channel.L1D_REPLACEMENT: 9}}))
+        assert result.event(0, "L1D_REPL") == 9.0
+
+
 class TestSessionMisuse:
     def test_double_stop(self):
         machine = create_machine("core2")

@@ -82,6 +82,55 @@ class TestMultiplexedMeasurement:
         # Fixed events counted in every slice: no extrapolation.
         assert result.event(0, "INSTR_RETIRED_ANY") == pytest.approx(1000.0)
 
+    def test_amd_pmc_events_are_extrapolated(self):
+        """Regression: the always-counted set used to be the hardcoded
+        Intel fixed-event names, so on AMD (no fixed counters) the
+        cycle/instruction events were wrongly treated as full-run counts
+        and never extrapolated — halving them for two sets."""
+        amd = create_machine("amd_istanbul")
+        perfctr = LikwidPerfCtr(amd)
+        run = self._run_slice(amd, {Channel.INSTRUCTIONS: 8000.0,
+                                    Channel.CORE_CYCLES: 6000.0})
+        sets = ["RETIRED_INSTRUCTIONS:PMC0", "CPU_CLOCKS_UNHALTED:PMC0"]
+        result = measure_multiplexed(perfctr, [0], sets, run, rotations=10)
+        assert result.scheduled_fraction["RETIRED_INSTRUCTIONS"] == \
+            pytest.approx(0.5)
+        # The old code returned 4000/3000 here.
+        assert result.event(0, "RETIRED_INSTRUCTIONS") == \
+            pytest.approx(8000.0)
+        assert result.event(0, "CPU_CLOCKS_UNHALTED") == \
+            pytest.approx(6000.0)
+
+    def test_fixedless_intel_extrapolates_instructions(self):
+        """Same bug on Pentium M: INSTR_RETIRED_ANY matches an Intel
+        fixed-event *name* but lives on a general PMC there and is
+        multiplexed like any other event."""
+        pm = create_machine("pentium_m")
+        perfctr = LikwidPerfCtr(pm)
+        run = self._run_slice(pm, {Channel.INSTRUCTIONS: 8000.0,
+                                   Channel.LOADS: 4000.0})
+        sets = ["INSTR_RETIRED_ANY:PMC0", "DATA_MEM_REFS:PMC0"]
+        result = measure_multiplexed(perfctr, [0], sets, run, rotations=10)
+        assert result.event(0, "INSTR_RETIRED_ANY") == pytest.approx(8000.0)
+        assert result.event(0, "DATA_MEM_REFS") == pytest.approx(4000.0)
+
+    def test_duplicate_event_within_set_not_double_scheduled(self, machine):
+        """An event programmed on two counters of the same set observes
+        that set's slices once — its scheduled fraction must not be
+        double-counted (which would halve the extrapolated estimate)."""
+        perfctr = LikwidPerfCtr(machine)
+        run = self._run_slice(machine, {Channel.L1D_REPLACEMENT: 4000.0,
+                                        Channel.FLOPS_PACKED_DP: 2000.0})
+        sets = ["L1D_REPL:PMC0,L1D_REPL:PMC1",
+                "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE:PMC0"]
+        result = measure_multiplexed(perfctr, [0], sets, run, rotations=10)
+        assert result.scheduled_fraction["L1D_REPL"] == pytest.approx(0.5)
+        # The event observed 2000 during set 0's scheduled half (results
+        # are keyed by event name, so the twin counters collapse to one
+        # reading); 2000 / 0.5 recovers the true 4000.  Double-counting
+        # the fraction would have yielded 2000.
+        assert result.event(0, "L1D_REPL") == pytest.approx(4000.0)
+
     def test_too_few_rotations_rejected(self, machine):
         perfctr = LikwidPerfCtr(machine)
         with pytest.raises(CounterError, match="rotations"):
