@@ -1,0 +1,101 @@
+"""Benchmark: disabled tracing must be free (ISSUE 4 acceptance).
+
+The observability layer's contract is a single-attribute-check no-op
+path: with ``repro.trace`` disabled (the default), every instrumented
+site either takes an ``if not tracer.enabled`` branch or receives the
+shared null span.  This bench prices that path the same way the retry
+plumbing bench does — per-site cost measured directly, scaled by a
+deliberately generous site count, compared against the PR-1 ablation
+workload (batched triad replay, N=16384) — and fails above 2%.
+"""
+
+import time
+
+from repro import trace
+from repro.hw.batch import BatchHierarchy
+from repro.hw.prefetch import PrefetcherConfig
+from repro.hw.spec import CacheSpec
+from repro.trace.tracer import _NULL_SPAN
+from repro.workloads.trace_cache import trace_arrays
+
+N = 16384  # the PR-1 ablation workload size
+
+SPECS = [
+    CacheSpec(1, "Data cache", 32 * 1024, 8, 64),
+    CacheSpec(2, "Unified cache", 256 * 1024, 8, 64),
+]
+
+
+def best_of(fn, repeats, rounds=5):
+    """Best-of-N per-call time: noise only ever slows a round down."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best / repeats
+
+
+def test_disabled_tracing_overhead_below_2pct(benchmark):
+    assert trace.TRACER.enabled is False      # default state — the
+    # bench prices exactly what every untraced user pays.
+    captured = trace_arrays("streaming_triad", N)
+    hierarchy = BatchHierarchy(list(SPECS), PrefetcherConfig.all_off())
+
+    def replay():
+        hierarchy.replay(captured)
+
+    tracer = trace.TRACER
+
+    def null_span_site():
+        # The span-granularity no-op: helper call + null context
+        # manager enter/exit (what runner/perfctr/batch sites pay).
+        with trace.span("bench.noop"):
+            pass
+
+    def guard_site():
+        # The hot-path no-op: a bare attribute check (what the msr
+        # per-op and cache-probe sites pay).
+        if tracer.enabled:
+            raise AssertionError
+
+    def compare():
+        per_span = best_of(null_span_site, 20_000)
+        per_guard = best_of(guard_site, 20_000)
+        per_replay = best_of(replay, 1)
+        # Generous accounting: a replay crosses ~4 span-bearing sites
+        # (run_trace, batch.replay, encode passthrough, cache lookup);
+        # budget 16 spans + 64 bare guards per replay.
+        added = 16 * per_span + 64 * per_guard
+        return added, per_replay
+
+    added, per_replay = benchmark.pedantic(compare, iterations=1, rounds=1)
+    assert added <= 0.02 * per_replay, (
+        f"disabled tracing adds {added / per_replay * 100:.2f}% (>2%) "
+        f"to the ablation replay ({added * 1e9:.0f}ns of "
+        f"{per_replay * 1e6:.0f}us)")
+
+
+def test_disabled_span_is_shared_singleton(benchmark):
+    """The no-op path allocates nothing: every disabled span is the
+    same object, so the site cost is call + identity, no GC traffic."""
+    def grab():
+        return trace.span("a"), trace.span("b", key=1)
+
+    a, b = benchmark.pedantic(grab, iterations=1, rounds=1)
+    assert a is _NULL_SPAN
+    assert b is _NULL_SPAN
+
+
+def test_disabled_tracing_records_nothing(benchmark):
+    """After a full replay with tracing off, the global tracer holds
+    no spans and no replay metrics — nothing accumulates silently."""
+    captured = trace_arrays("streaming_triad", N)
+    hierarchy = BatchHierarchy(list(SPECS), PrefetcherConfig.all_off())
+    before_records = len(trace.records())
+    before_replays = trace.metrics().value("batch.replay.calls")
+    benchmark.pedantic(lambda: hierarchy.replay(captured),
+                       iterations=1, rounds=1)
+    assert len(trace.records()) == before_records
+    assert trace.metrics().value("batch.replay.calls") == before_replays

@@ -13,7 +13,8 @@ import argparse
 import sys
 
 from repro import experiments
-from repro.cli.common import add_arch_argument, machine_from_args
+from repro.cli.common import (add_arch_argument, add_profile_arguments,
+                              machine_from_args, profiled)
 from repro.tables import render_table
 
 
@@ -21,6 +22,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's evaluation artefacts.")
+    # Global flags go before the subcommand:
+    #   repro-bench --profile-json trace.json table2
+    add_profile_arguments(parser)
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("fig1", help="topology diagram (Fig. 1)")
     sub.add_parser("table1", help="LIKWID vs PAPI comparison (Table I)")
@@ -59,6 +63,11 @@ def main(argv: list[str] | None = None) -> int:
     from repro.cli.common import restore_sigpipe
     restore_sigpipe()
     args = build_parser().parse_args(argv)
+    with profiled(args, "repro-bench"):
+        return _run(args)
+
+
+def _run(args: argparse.Namespace) -> int:
     if args.command == "fig1":
         print(experiments.figure1_topology())
     elif args.command == "table1":

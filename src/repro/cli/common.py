@@ -9,6 +9,8 @@ README).
 from __future__ import annotations
 
 import argparse
+import contextlib
+import sys
 
 from repro.errors import TopologyError
 from repro.hw.arch import available, create_machine
@@ -35,6 +37,44 @@ def machine_from_args(args: argparse.Namespace) -> SimMachine:
         raise SystemExit(
             f"unknown architecture {args.arch!r} "
             f"(available: {', '.join(available())}): {exc}") from None
+
+
+def add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    """The self-observability flags every front-end shares: turn on
+    :mod:`repro.trace` for the run and export what it saw."""
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="trace this tool's own hot paths and print a flat span/"
+             "metric report to stderr when it exits")
+    parser.add_argument(
+        "--profile-json", dest="profile_json", metavar="PATH",
+        help="write the run's trace as schema-validated JSON loadable "
+             "in about:tracing / Perfetto (implies tracing on)")
+
+
+@contextlib.contextmanager
+def profiled(args: argparse.Namespace, tool: str):
+    """Run the tool body under the global tracer when profiling was
+    requested; export on the way out (even if the body raised, so a
+    failing run still leaves its trace behind)."""
+    wants = getattr(args, "profile", False) or \
+        getattr(args, "profile_json", None)
+    if not wants:
+        yield
+        return
+    from repro import trace
+    trace.enable(reset=True)
+    try:
+        yield
+    finally:
+        trace.disable()
+        if args.profile_json:
+            from repro.trace.export import write_profile
+            write_profile(args.profile_json, trace.TRACER, tool=tool)
+        if args.profile:
+            from repro.trace.export import text_report
+            print(f"== {tool} self-profile ==", file=sys.stderr)
+            print(text_report(trace.TRACER), file=sys.stderr)
 
 
 # Workload registry for the wrapper-style tools: the simulated stand-in

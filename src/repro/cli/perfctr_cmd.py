@@ -23,8 +23,8 @@ import argparse
 import sys
 
 from repro.cli.common import (WORKLOADS, add_arch_argument,
-                              machine_from_args, run_marked_workload,
-                              run_workload)
+                              add_profile_arguments, machine_from_args,
+                              profiled, run_marked_workload, run_workload)
 from repro.core.affinity import parse_corelist
 from repro.core.perfctr import LikwidPerfCtr
 from repro.core.perfctr.groups import GROUP_FUNCTIONS, groups_for
@@ -72,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("workload", nargs="?", default="stream_icc",
                         help=f"simulated workload: {', '.join(WORKLOADS)}")
     add_arch_argument(parser, default="nehalem_ep")
+    add_profile_arguments(parser)
     return parser
 
 
@@ -79,6 +80,11 @@ def main(argv: list[str] | None = None) -> int:
     from repro.cli.common import restore_sigpipe
     restore_sigpipe()
     args = build_parser().parse_args(argv)
+    with profiled(args, "likwid-perfctr"):
+        return _run(args)
+
+
+def _run(args: argparse.Namespace) -> int:
     machine = machine_from_args(args)
     if args.list_groups:
         for name, group in sorted(groups_for(machine.spec).items()):

@@ -177,7 +177,15 @@ class CounterProgrammer:
     Every msr operation goes through a bounded-retry wrapper so
     transient driver faults are invisible to results (the counts are
     identical to a fault-free run) while remaining observable in
-    ``retries`` and ``DriverStats.faults``."""
+    ``retries`` and ``DriverStats.faults``.
+
+    Retry accounting is *derived* from the driver's metrics registry
+    rather than tallied separately: the driver counts every injected
+    transient fault (``msr.faults.transient``) and this wrapper counts
+    every absorbed one (``msr.io.retries``) in the same registry, so
+    ``MeasurementResult.io_retries`` and the driver's fault counts are
+    reconciled by construction (regression-tested under a seeded 10%
+    EAGAIN plan)."""
 
     def __init__(self, driver: MsrDriver, counters: CounterMap,
                  policy: RetryPolicy | None = None):
@@ -185,8 +193,15 @@ class CounterProgrammer:
         self.counters = counters
         self.spec = counters.spec
         self.policy = policy or RetryPolicy()
-        self.retries = 0            # transient faults absorbed
+        self._metrics = driver.metrics
+        self._retries_base = self._metrics.value("msr.io.retries")
         self.backoff_seconds = 0.0  # total time spent backing off
+
+    @property
+    def retries(self) -> int:
+        """Transient faults absorbed by this programmer (registry-backed:
+        the same counter the driver's fault accounting reconciles with)."""
+        return self._metrics.value("msr.io.retries") - self._retries_base
 
     # -- retrying I/O helpers ------------------------------------------------
 
@@ -212,15 +227,17 @@ class CounterProgrammer:
                     raise
                 retry += 1
                 if retry >= self.policy.max_attempts:
+                    self._metrics.incr("msr.io.giveups")
                     raise MsrIOError(
                         exc.errno_name,
                         f"giving up after {retry} transient faults: {exc}",
                         cpu=exc.cpu, address=exc.address,
                         exhausted=True) from exc
-                self.retries += 1
+                self._metrics.incr("msr.io.retries")
                 delay = self.policy.delay(retry - 1)
                 if delay > 0.0:
                     self.backoff_seconds += delay
+                    self._metrics.observe("msr.io.backoff_ns", delay * 1e9)
                     _time.sleep(delay)
 
     def _check_encoding(self, a: Assignment) -> None:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import trace as _trace
 from repro.core.perfctr.counters import counter_delta
 from repro.core.perfctr.measurement import (MeasurementResult, PerfCtrSession,
                                             derive_metrics)
@@ -115,6 +116,8 @@ class MarkerAPI:
             delta = counter_delta(value, snapshot.get(name, 0.0), width)
             acc[name] = acc.get(name, 0.0) + delta
         region.call_count[thread_id] = region.call_count.get(thread_id, 0) + 1
+        if _trace.TRACER.enabled:
+            _trace.incr("marker.region_visits")
 
     def likwid_markerClose(self) -> None:
         self._check_init()

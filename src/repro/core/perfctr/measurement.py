@@ -32,6 +32,7 @@ import time as _time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro import trace as _trace
 from repro.core.affinity import parse_corelist
 from repro.core.perfctr.counters import (Assignment, CounterMap,
                                          CounterProgrammer, RetryPolicy,
@@ -152,63 +153,77 @@ class PerfCtrSession:
         On any failure the already-programmed CPUs are disabled again
         before the error propagates — a failed start never leaves a
         torn, half-enabled session behind."""
-        try:
-            self._start_inner()
-        except Exception:
-            self._teardown()
-            raise
+        group = self.group.name if self.group is not None else None
+        with _trace.span("perfctr.start", group=group,
+                         cpus=len(self.cpus),
+                         events=len(self.assignments)):
+            try:
+                self._start_inner()
+            except Exception:
+                self._teardown()
+                raise
+        if _trace.TRACER.enabled:
+            _trace.incr("perfctr.sessions.started")
 
     def _start_inner(self) -> None:
         self._overflows.clear()
         self._base = {}
         self._stopped = False
-        for cpu in self.cpus:
-            self.programmer.setup_core(cpu, self.core_assignments)
-        for socket, cpu in self.socket_locks.items():
-            self._guarded_uncore(socket, cpu, "setup",
-                                 lambda c=cpu: self.programmer.setup_uncore(
-                                     c, self.uncore_assignments))
-        for cpu in self.cpus:
-            self._register_overflow_handler(cpu)
-            self.programmer.start_core(cpu, self.core_assignments)
-        for socket, cpu in self.socket_locks.items():
-            if socket in self._degraded_sockets:
-                continue
-            self._guarded_uncore(socket, cpu, "start",
-                                 lambda c=cpu: self.programmer.start_uncore(
-                                     c, self.uncore_assignments))
+        with _trace.span("perfctr.program", cpus=len(self.cpus)):
+            for cpu in self.cpus:
+                self.programmer.setup_core(cpu, self.core_assignments)
+            for socket, cpu in self.socket_locks.items():
+                self._guarded_uncore(
+                    socket, cpu, "setup",
+                    lambda c=cpu: self.programmer.setup_uncore(
+                        c, self.uncore_assignments))
+        with _trace.span("perfctr.enable", cpus=len(self.cpus)):
+            for cpu in self.cpus:
+                self._register_overflow_handler(cpu)
+                self.programmer.start_core(cpu, self.core_assignments)
+            for socket, cpu in self.socket_locks.items():
+                if socket in self._degraded_sockets:
+                    continue
+                self._guarded_uncore(
+                    socket, cpu, "start",
+                    lambda c=cpu: self.programmer.start_uncore(
+                        c, self.uncore_assignments))
         # Baseline snapshot: nothing has executed yet, so this reads
         # each counter's initial value (0 unless something — like a
         # forced-overflow fault — preloaded it).
-        for cpu in self.cpus:
-            raw = self.programmer.read_core(cpu, self.core_assignments)
-            self._base[cpu] = {name: float(v) for name, v in raw.items()}
-        for socket, cpu in self.socket_locks.items():
-            if socket in self._degraded_sockets:
-                continue
-            def read_base(c=cpu):
-                raw = self.programmer.read_uncore(c, self.uncore_assignments)
-                self._base.setdefault(c, {}).update(
-                    (name, float(v)) for name, v in raw.items())
-            self._guarded_uncore(socket, cpu, "baseline read", read_base)
+        with _trace.span("perfctr.baseline", cpus=len(self.cpus)):
+            for cpu in self.cpus:
+                raw = self.programmer.read_core(cpu, self.core_assignments)
+                self._base[cpu] = {name: float(v) for name, v in raw.items()}
+            for socket, cpu in self.socket_locks.items():
+                if socket in self._degraded_sockets:
+                    continue
+
+                def read_base(c=cpu):
+                    raw = self.programmer.read_uncore(
+                        c, self.uncore_assignments)
+                    self._base.setdefault(c, {}).update(
+                        (name, float(v)) for name, v in raw.items())
+                self._guarded_uncore(socket, cpu, "baseline read", read_base)
         self._started_at = _time.perf_counter()
 
     def stop(self) -> None:
         if self._started_at is None:
             raise CounterError("session not started")
         self.wall_time = _time.perf_counter() - self._started_at
-        for cpu in self.cpus:
-            self.programmer.stop_core(cpu, self.core_assignments)
-        for socket, cpu in self.socket_locks.items():
-            if socket in self._degraded_sockets:
-                continue
-            try:
-                self.programmer.stop_uncore(cpu)
-            except Exception as exc:
-                if not _degradable(exc):
-                    raise
-                self._degrade(socket, f"uncore stop on cpu {cpu}: {exc}",
-                              raise_strict=False)
+        with _trace.span("perfctr.stop", cpus=len(self.cpus)):
+            for cpu in self.cpus:
+                self.programmer.stop_core(cpu, self.core_assignments)
+            for socket, cpu in self.socket_locks.items():
+                if socket in self._degraded_sockets:
+                    continue
+                try:
+                    self.programmer.stop_uncore(cpu)
+                except Exception as exc:
+                    if not _degradable(exc):
+                        raise
+                    self._degrade(socket, f"uncore stop on cpu {cpu}: {exc}",
+                                  raise_strict=False)
         self._stopped = True
 
     def close(self) -> None:
@@ -344,7 +359,9 @@ class PerfCtrSession:
         return values
 
     def read(self, *, wall_time: float | None = None) -> MeasurementResult:
-        counts = {cpu: self.read_raw(cpu) for cpu in self.cpus}
+        group = self.group.name if self.group is not None else None
+        with _trace.span("perfctr.read", group=group, cpus=len(self.cpus)):
+            counts = {cpu: self.read_raw(cpu) for cpu in self.cpus}
         result = MeasurementResult(
             cpus=list(self.cpus), counts=counts,
             wall_time=self.wall_time if wall_time is None else wall_time,
@@ -431,12 +448,14 @@ class LikwidPerfCtr:
         workload raises, the session is torn down (counters disabled,
         socket locks released) before the exception propagates.
         """
-        session = self.session(cpus, group_or_events)
-        with session:
-            payload = run()
-            session.stop()
-            wall = getattr(payload, "total_time", None)
-            return session.read(wall_time=wall)
+        with _trace.span("perfctr.wrap", group=group_or_events):
+            session = self.session(cpus, group_or_events)
+            with session:
+                with _trace.span("perfctr.workload"):
+                    payload = run()
+                session.stop()
+                wall = getattr(payload, "total_time", None)
+                return session.read(wall_time=wall)
 
     def available_events(self) -> list[str]:
         return self.machine.spec.events.names()

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from repro import trace as _trace
 from repro.core.perfctr.counters import auto_fixed_assignments
 from repro.core.perfctr.measurement import LikwidPerfCtr, MeasurementResult
 from repro.errors import CounterError
@@ -81,8 +82,12 @@ def measure_multiplexed(perfctr: LikwidPerfCtr, cpus: str | list[int],
     for rotation in range(rotations):
         set_index = rotation % len(event_sets)
         slices_per_set[set_index] += 1
-        result: MeasurementResult = perfctr.wrap(
-            cpus, event_sets[set_index], lambda: run_slice(fraction))
+        if _trace.TRACER.enabled:
+            _trace.incr("multiplex.sets_scheduled")
+        with _trace.span("multiplex.rotation", rotation=rotation,
+                         set=set_index):
+            result: MeasurementResult = perfctr.wrap(
+                cpus, event_sets[set_index], lambda: run_slice(fraction))
         for cpu, counts in result.counts.items():
             acc = accumulated.setdefault(cpu, {})
             for name, value in counts.items():

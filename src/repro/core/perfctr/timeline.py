@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro import trace as _trace
 from repro.core.perfctr.counters import counter_delta
 from repro.core.perfctr.measurement import (LikwidPerfCtr, MeasurementResult,
                                             derive_metrics)
@@ -73,6 +74,8 @@ class TimelineMeasurement:
                           for name in current[cpu]}
                     for cpu in self.session.cpus
                 }
+                if _trace.TRACER.enabled:
+                    _trace.incr("timeline.samples")
                 sample = TimelineSample(index, now, deltas)
                 if self.session.group is not None:
                     result = MeasurementResult(

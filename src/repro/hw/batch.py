@@ -24,6 +24,7 @@ from array import array
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from repro import trace as _trace
 from repro.hw.cache import CacheHierarchy, SetAssocCache
 
 OP_LOAD = 0
@@ -64,6 +65,16 @@ def encode_trace(trace: Iterable[tuple[str, int, int]]) -> TraceArrays:
     """Capture a scalar trace iterable into :class:`TraceArrays`."""
     if isinstance(trace, TraceArrays):
         return trace
+    tracer = _trace.TRACER
+    if not tracer.enabled:
+        return _encode(trace)
+    with tracer.span("batch.encode"):
+        arrays = _encode(trace)
+    tracer.metrics.incr("batch.encode.accesses", len(arrays))
+    return arrays
+
+
+def _encode(trace: Iterable[tuple[str, int, int]]) -> TraceArrays:
     ops = array("B")
     addrs = array("q")
     streams = array("q")
@@ -110,6 +121,17 @@ class BatchHierarchy(CacheHierarchy):
         """
         if not isinstance(trace, TraceArrays):
             trace = encode_trace(trace)
+        tracer = _trace.TRACER
+        if not tracer.enabled:                      # the no-op fast path
+            return self._replay(trace, branch_unit)
+        with tracer.span("batch.replay", engine="batch",
+                         accesses=len(trace)):
+            cycles = self._replay(trace, branch_unit)
+        tracer.metrics.incr("batch.replay.calls")
+        tracer.metrics.incr("batch.replay.accesses", len(trace))
+        return cycles
+
+    def _replay(self, trace: TraceArrays, branch_unit=None) -> float:
         if not len(trace.ops):
             return 0.0
 
@@ -182,7 +204,8 @@ class BatchHierarchy(CacheHierarchy):
         no_prefetch = not (dcu_on or ip_on or hw_on or cl_on)
 
         if no_prefetch and nlevels <= 2 and not has_branch:
-            return self._replay_fast(trace, lines_l, pages_l)
+            with _trace.span("batch.replay_fast", accesses=len(trace)):
+                return self._replay_fast(trace, lines_l, pages_l)
 
         ops = trace.ops.tolist()
         addrs = trace.addrs.tolist()

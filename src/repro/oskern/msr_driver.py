@@ -24,10 +24,13 @@ from __future__ import annotations
 
 import random
 import struct
+import time as _time
 from dataclasses import dataclass, field
 
+from repro import trace as _trace
 from repro.errors import MsrError, MsrIOError, MsrPermissionError
 from repro.hw.machine import SimMachine
+from repro.trace.metrics import MetricsRegistry
 
 
 @dataclass
@@ -182,9 +185,20 @@ class MsrFile:
     def pread(self, address: int) -> bytes:
         """Read 8 bytes at offset *address* (one RDMSR)."""
         self._check_open()
-        self._driver._before_op(self.cpu, address, write=False)
-        self._stats.reads += 1
-        return struct.pack("<Q", self._machine.rdmsr(self.cpu, address))
+        tracer = _trace.TRACER
+        if not tracer.enabled:
+            self._driver._before_op(self.cpu, address, write=False)
+            self._stats.reads += 1
+            return struct.pack("<Q", self._machine.rdmsr(self.cpu, address))
+        t0 = _time.perf_counter_ns()
+        try:
+            self._driver._before_op(self.cpu, address, write=False)
+            self._stats.reads += 1
+            return struct.pack("<Q", self._machine.rdmsr(self.cpu, address))
+        finally:
+            metrics = tracer.metrics
+            metrics.incr("msr.pread")
+            metrics.observe("msr.pread.ns", _time.perf_counter_ns() - t0)
 
     def pwrite(self, address: int, data: bytes) -> None:
         """Write 8 bytes at offset *address* (one WRMSR)."""
@@ -193,6 +207,19 @@ class MsrFile:
             raise MsrError(f"msr device for cpu {self.cpu} opened read-only")
         if len(data) != 8:
             raise MsrError(f"msr writes must be 8 bytes, got {len(data)}")
+        tracer = _trace.TRACER
+        if not tracer.enabled:
+            self._do_pwrite(address, data)
+            return
+        t0 = _time.perf_counter_ns()
+        try:
+            self._do_pwrite(address, data)
+        finally:
+            metrics = tracer.metrics
+            metrics.incr("msr.pwrite")
+            metrics.observe("msr.pwrite.ns", _time.perf_counter_ns() - t0)
+
+    def _do_pwrite(self, address: int, data: bytes) -> None:
         self._driver._before_op(self.cpu, address, write=True)
         value = struct.unpack("<Q", data)[0]
         value = self._driver._rewrite_value(address, value)
@@ -227,11 +254,18 @@ class MsrDriver:
 
     def __init__(self, machine: SimMachine, *, loaded: bool = True,
                  device_writable: bool = True,
-                 faults: FaultPlan | None = None):
+                 faults: FaultPlan | None = None,
+                 metrics: MetricsRegistry | None = None):
         self.machine = machine
         self.loaded = loaded
         self.device_writable = device_writable
         self.stats = DriverStats()
+        # Fault accounting is reconciled with the perfctr retry loop
+        # through one registry: the driver counts every injected fault
+        # here (msr.faults.*) and CounterProgrammer counts every
+        # absorbed/abandoned one in the same registry (msr.io.*), so
+        # the two sides cannot drift apart (docs/observability.md).
+        self.metrics = metrics if metrics is not None else _trace.metrics()
         self.fault_plan = faults
         self._faults: _FaultState | None = None
         if faults is not None:
@@ -295,12 +329,14 @@ class MsrDriver:
         plan = state.plan
         if address in state.sticky:
             self.stats.faults += 1
+            self.metrics.incr("msr.faults.sticky")
             raise MsrIOError(
                 "EIO", f"sticky fault at msr 0x{address:X} on cpu {cpu}",
                 cpu=cpu, address=address)
         rate = plan.write_fault_rate if write else plan.read_fault_rate
         if rate > 0.0 and state.rng.random() < rate:
             self.stats.faults += 1
+            self.metrics.incr("msr.faults.transient")
             op = "pwrite" if write else "pread"
             raise MsrIOError(
                 plan.transient_errno,

@@ -1,0 +1,91 @@
+"""``repro.trace``: the tool suite's self-observability layer.
+
+LIKWID instruments *other* programs; this package instruments the
+reproduction itself, with the same cost discipline the paper demands
+of its marker API.  Three pieces:
+
+* a span tracer (:class:`~repro.trace.tracer.Tracer`) — monotonic
+  nanosecond timing, thread-local nesting, context-manager and
+  decorator forms;
+* a metrics registry (:class:`~repro.trace.metrics.MetricsRegistry`)
+  — counters, gauges and histograms with exact percentile math;
+* exporters (:mod:`repro.trace.export`) — Chrome ``trace_event`` JSON
+  (open in ``about:tracing`` or https://ui.perfetto.dev), a flat text
+  report, and the schema-validated ``--profile-json`` dump.
+
+One process-global :data:`TRACER` serves every instrumented module;
+the module-level helpers below delegate to it.  **Disabled tracing
+costs one attribute check** at every call site (guarded by
+``benchmarks/test_bench_trace_overhead.py``): hot paths are written
+as ``if TRACER.enabled: ...``, and :func:`span` returns a shared
+no-op context manager when disabled.
+
+Fault-path counters are the one always-on exception: the msr driver
+and the perfctr retry loop count ``msr.faults.*`` / ``msr.io.*``
+unconditionally so their accounting is reconciled through a single
+registry (see docs/observability.md).
+"""
+
+from __future__ import annotations
+
+from repro.trace.metrics import (Counter, Gauge, Histogram,
+                                 MetricsRegistry)
+from repro.trace.tracer import SpanRecord, Tracer
+
+#: The process-global tracer every instrumented subsystem shares.
+TRACER = Tracer()
+
+
+def enable(*, reset: bool = True) -> None:
+    """Turn the global tracer on (fresh slate by default)."""
+    TRACER.enable(reset=reset)
+
+
+def disable() -> None:
+    TRACER.disable()
+
+
+def is_enabled() -> bool:
+    return TRACER.enabled
+
+
+def reset() -> None:
+    TRACER.reset()
+
+
+def span(name: str, **args):
+    """``with trace.span("replay", engine="batch"): ...``"""
+    return TRACER.span(name, **args)
+
+
+def traced(name: str | None = None, **args):
+    """Decorator form: ``@trace.traced("perfctr.wrap")``."""
+    return TRACER.traced(name, **args)
+
+
+def metrics() -> MetricsRegistry:
+    """The global tracer's registry."""
+    return TRACER.metrics
+
+
+def incr(name: str, n: int = 1) -> None:
+    TRACER.metrics.incr(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    TRACER.metrics.observe(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    TRACER.metrics.set_gauge(name, value)
+
+
+def records() -> list[SpanRecord]:
+    return TRACER.records()
+
+
+__all__ = ["TRACER", "Tracer", "SpanRecord",
+           "MetricsRegistry", "Counter", "Gauge", "Histogram",
+           "enable", "disable", "is_enabled", "reset",
+           "span", "traced", "metrics", "incr", "observe", "set_gauge",
+           "records"]

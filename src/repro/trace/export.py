@@ -1,0 +1,223 @@
+"""Exporters: Chrome ``trace_event`` JSON, flat text report, profile dump.
+
+The ``--profile-json`` dump is one JSON object that is simultaneously
+
+* a valid Chrome trace-event file — the top level carries
+  ``traceEvents`` (complete ``"ph": "X"`` events, microsecond
+  timestamps), so ``about:tracing`` and Perfetto load it directly
+  (both ignore the extra keys), and
+* a machine-readable profile — ``meta`` identifies the producing tool
+  and schema version, ``metrics`` carries the registry snapshot, and
+  ``spans`` the raw nanosecond records.
+
+:data:`PROFILE_SCHEMA` describes that shape and
+:func:`validate_profile` enforces it (dependency-free — the CI smoke
+step runs it against real CLI output to catch exporter drift).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.trace.tracer import SpanRecord, Tracer
+
+PROFILE_VERSION = 1
+
+#: JSON-Schema-flavoured description of the ``--profile-json`` shape.
+#: ``validate_profile`` interprets the subset used here (type,
+#: required, properties, items, enum); keeping the schema data-driven
+#: means the validator, the docs and the CI smoke test can never
+#: disagree about what the exporter promises.
+PROFILE_SCHEMA: dict = {
+    "type": "object",
+    "required": ["meta", "traceEvents", "metrics", "spans"],
+    "properties": {
+        "meta": {
+            "type": "object",
+            "required": ["version", "tool", "generator"],
+            "properties": {
+                "version": {"enum": [PROFILE_VERSION]},
+                "tool": {"type": "string"},
+                "generator": {"type": "string"},
+            },
+        },
+        "displayTimeUnit": {"enum": ["ms", "ns"]},
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "ts", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "cat": {"type": "string"},
+                    "ph": {"enum": ["X", "C", "M"]},
+                    "ts": {"type": "number"},
+                    "dur": {"type": "number"},
+                    "pid": {"type": "integer"},
+                    "tid": {"type": "integer"},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+        "metrics": {
+            "type": "object",
+            "required": ["counters", "gauges", "histograms"],
+            "properties": {
+                "counters": {"type": "object"},
+                "gauges": {"type": "object"},
+                "histograms": {"type": "object"},
+            },
+        },
+        "spans": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["span_id", "name", "start_ns", "duration_ns",
+                             "thread_id", "depth", "parent_id", "args",
+                             "error"],
+                "properties": {
+                    "span_id": {"type": "integer"},
+                    "name": {"type": "string"},
+                    "start_ns": {"type": "integer"},
+                    "duration_ns": {"type": "integer"},
+                    "thread_id": {"type": "integer"},
+                    "depth": {"type": "integer"},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+_TYPES = {"object": dict, "array": list, "string": str,
+          "integer": int, "number": (int, float), "boolean": bool}
+
+
+def _validate(obj, schema: dict, path: str, errors: list[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        py = _TYPES[expected]
+        if isinstance(obj, bool) and expected in ("integer", "number"):
+            errors.append(f"{path}: expected {expected}, got bool")
+            return
+        if not isinstance(obj, py):
+            errors.append(f"{path}: expected {expected}, "
+                          f"got {type(obj).__name__}")
+            return
+    if "enum" in schema and obj not in schema["enum"]:
+        errors.append(f"{path}: {obj!r} not in {schema['enum']}")
+    for key in schema.get("required", ()):
+        if key not in obj:
+            errors.append(f"{path}: missing required key {key!r}")
+    for key, sub in schema.get("properties", {}).items():
+        if isinstance(obj, dict) and key in obj:
+            _validate(obj[key], sub, f"{path}.{key}", errors)
+    if "items" in schema and isinstance(obj, list):
+        for i, item in enumerate(obj):
+            _validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate_profile(profile) -> list[str]:
+    """Check a parsed ``--profile-json`` object against
+    :data:`PROFILE_SCHEMA`; returns the list of problems (empty when
+    valid)."""
+    errors: list[str] = []
+    _validate(profile, PROFILE_SCHEMA, "$", errors)
+    if not errors:
+        # Cross-field invariants the schema language cannot express.
+        for i, event in enumerate(profile["traceEvents"]):
+            if event["ph"] == "X" and "dur" not in event:
+                errors.append(f"$.traceEvents[{i}]: complete event "
+                              "('ph': 'X') missing 'dur'")
+        for i, span in enumerate(profile["spans"]):
+            if span["duration_ns"] < 0:
+                errors.append(f"$.spans[{i}]: negative duration_ns")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# exporters
+# ---------------------------------------------------------------------------
+
+def chrome_trace_events(records: list[SpanRecord], *, pid: int = 1) -> list:
+    """Spans as Chrome complete events (``ph: X``, microsecond units)."""
+    events = []
+    for r in sorted(records, key=lambda r: (r.start_ns, r.span_id)):
+        args = {str(k): v for k, v in r.args.items()}
+        if r.error is not None:
+            args["error"] = r.error
+        events.append({
+            "name": r.name, "cat": "repro", "ph": "X",
+            "ts": r.start_ns / 1000.0, "dur": r.duration_ns / 1000.0,
+            "pid": pid, "tid": r.thread_id, "args": args,
+        })
+    return events
+
+
+def profile_dict(tracer: Tracer, *, tool: str = "repro",
+                 pid: int = 1) -> dict:
+    """The full ``--profile-json`` object (schema-valid by
+    construction; the exporter tests and CI smoke keep it that way)."""
+    records = tracer.records()
+    return {
+        "meta": {"version": PROFILE_VERSION, "tool": tool,
+                 "generator": "repro.trace"},
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(records, pid=pid),
+        "metrics": tracer.metrics.snapshot(),
+        "spans": [{
+            "span_id": r.span_id, "name": r.name,
+            "start_ns": r.start_ns, "duration_ns": r.duration_ns,
+            "thread_id": r.thread_id, "depth": r.depth,
+            "parent_id": r.parent_id,
+            "args": {str(k): v for k, v in r.args.items()},
+            "error": r.error,
+        } for r in sorted(records, key=lambda r: r.span_id)],
+    }
+
+
+def write_profile(path: str, tracer: Tracer, *, tool: str = "repro") -> None:
+    with open(path, "w") as fh:
+        json.dump(profile_dict(tracer, tool=tool), fh, indent=1)
+        fh.write("\n")
+
+
+def text_report(tracer: Tracer) -> str:
+    """Flat aggregation: per span name — calls, total/mean/min/max ms —
+    then the metrics registry."""
+    records = tracer.records()
+    by_name: dict[str, list[int]] = {}
+    for r in records:
+        by_name.setdefault(r.name, []).append(r.duration_ns)
+    lines = ["== spans =="]
+    if not by_name:
+        lines.append("(no spans recorded)")
+    else:
+        width = max(len(n) for n in by_name)
+        lines.append(f"{'name':<{width}}  {'calls':>7} {'total ms':>10} "
+                     f"{'mean ms':>10} {'min ms':>10} {'max ms':>10}")
+        for name in sorted(by_name,
+                           key=lambda n: -sum(by_name[n])):
+            ds = by_name[name]
+            total = sum(ds)
+            lines.append(
+                f"{name:<{width}}  {len(ds):>7} {total / 1e6:>10.3f} "
+                f"{total / len(ds) / 1e6:>10.3f} {min(ds) / 1e6:>10.3f} "
+                f"{max(ds) / 1e6:>10.3f}")
+    snap = tracer.metrics.snapshot()
+    if snap["counters"]:
+        lines.append("== counters ==")
+        for name, value in snap["counters"].items():
+            lines.append(f"{name} = {value}")
+    if snap["gauges"]:
+        lines.append("== gauges ==")
+        for name, value in snap["gauges"].items():
+            lines.append(f"{name} = {value:g}")
+    if snap["histograms"]:
+        lines.append("== histograms ==")
+        for name, h in snap["histograms"].items():
+            lines.append(
+                f"{name}: n={h['count']} mean={h['mean']:g} "
+                f"p50={h['p50']:g} p90={h['p90']:g} p99={h['p99']:g} "
+                f"max={h['max']:g}")
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""The metrics registry: counters, gauges and histograms.
+
+Naming convention (docs/observability.md): dot-separated paths,
+``<subsystem>.<object>.<what>`` — e.g. ``msr.pread.retries``,
+``batch.cache.hits``, ``multiplex.sets_scheduled``.  Latency
+histograms end in the unit (``msr.pread.ns``).
+
+Counters on *fault paths* are incremented unconditionally (faults are
+rare, and the perfctr runtime's retry accounting is reconciled through
+them — see ``msr.faults.transient`` vs ``msr.io.retries``); everything
+on a hot path is guarded by ``tracer.enabled`` at the call site, so a
+disabled tracer costs one attribute check.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def incr(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins sampled value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution of observations with exact percentile math.
+
+    Stores raw samples up to ``max_samples``; past that, ``count``,
+    ``sum``, ``min`` and ``max`` stay exact while percentiles are
+    computed over the retained prefix (documented approximation — the
+    instrumented paths observe at most a few thousand values per run).
+    """
+
+    __slots__ = ("name", "max_samples", "count", "sum", "min", "max",
+                 "_samples")
+
+    def __init__(self, name: str, *, max_samples: int = 100_000):
+        self.name = name
+        self.max_samples = max_samples
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def percentile(self, p: float) -> float:
+        """Linear interpolation between closest ranks (the numpy
+        default): for sorted samples ``x``, rank ``r = p/100*(n-1)``,
+        value ``x[floor(r)] + frac(r) * (x[ceil(r)] - x[floor(r)])``.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return float("nan")
+        xs = sorted(self._samples)
+        rank = p / 100.0 * (len(xs) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return xs[lo]
+        return xs[lo] + (rank - lo) * (xs[hi] - xs[lo])
+
+    def summary(self) -> dict:
+        """The exported shape (see PROFILE_SCHEMA)."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {"count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max, "mean": self.mean,
+                "p50": self.percentile(50), "p90": self.percentile(90),
+                "p99": self.percentile(99)}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    A name is bound to one kind on first use; reusing it as a
+    different kind raises (catches typo'd instrumentation early).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_kind(self, name: str, kind: dict) -> None:
+        for other in (self._counters, self._gauges, self._histograms):
+            if other is not kind and name in other:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different kind")
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                self._check_kind(name, self._counters)
+                c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                self._check_kind(name, self._gauges)
+                g = self._gauges[name] = Gauge(name)
+            return g
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                self._check_kind(name, self._histograms)
+                h = self._histograms[name] = Histogram(name)
+            return h
+
+    # Convenience single-call forms (the instrumentation idiom).
+
+    def incr(self, name: str, n: int = 1) -> None:
+        self.counter(name).incr(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def value(self, name: str) -> int:
+        """A counter's current value (0 if never incremented)."""
+        with self._lock:
+            c = self._counters.get(name)
+        return c.value if c is not None else 0
+
+    def snapshot(self) -> dict:
+        """The exported shape: plain dicts, JSON-ready."""
+        with self._lock:
+            return {
+                "counters": {n: c.value
+                             for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value
+                           for n, g in sorted(self._gauges.items())},
+                "histograms": {n: h.summary()
+                               for n, h in sorted(self._histograms.items())},
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

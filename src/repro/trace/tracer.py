@@ -1,0 +1,199 @@
+"""Span-based tracing with a zero-cost disabled path.
+
+The tool suite's own measurement philosophy, turned on itself: the
+paper argues instrumentation must be cheap enough to leave compiled
+in (the marker API costs a handful of register reads per region
+visit).  This tracer holds itself to the same standard — when
+disabled, an instrumented call site pays exactly one attribute check
+(``tracer.enabled``) and, for ``span()`` call sites, one allocation-free
+call returning a shared no-op context manager.
+
+When enabled, ``span()`` records monotonic start/duration
+(``time.perf_counter_ns``), the calling thread id, the nesting depth
+and parent span on a *thread-local* stack (concurrent threads never
+see each other's frames), arbitrary key/value attributes, and the
+exception type if the body raised.  Exceptions always propagate; the
+stack is unwound in a ``finally`` so a raising span can never corrupt
+its siblings' parents.
+
+Instrumentation idioms::
+
+    from repro import trace
+
+    with trace.span("batch.replay", accesses=len(t)):   # context manager
+        ...
+
+    @trace.traced("perfctr.wrap")                        # decorator: the
+    def wrap(...): ...                                   # enabled check is
+                                                         # per call, so
+                                                         # enabling tracing
+                                                         # later still works
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from functools import wraps
+
+from repro.trace.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span (immutable; exported verbatim)."""
+
+    span_id: int
+    name: str
+    start_ns: int          # time.perf_counter_ns() at entry
+    duration_ns: int
+    thread_id: int         # threading.get_ident()
+    depth: int             # 0 for a root span on its thread
+    parent_id: int | None  # span_id of the enclosing span, if any
+    args: dict = field(default_factory=dict)
+    error: str | None = None   # exception type name if the body raised
+
+
+class _NullSpan:
+    """The shared disabled-path context manager: no state, no effect."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span (enabled path only)."""
+
+    __slots__ = ("_tracer", "name", "args", "_start_ns", "_id",
+                 "_depth", "_parent_id")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self._id = tracer._next_id()
+        self._depth = len(stack)
+        self._parent_id = stack[-1] if stack else None
+        stack.append(self._id)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter_ns() - self._start_ns
+        tracer = self._tracer
+        try:
+            tracer._record(SpanRecord(
+                span_id=self._id, name=self.name,
+                start_ns=self._start_ns, duration_ns=duration,
+                thread_id=threading.get_ident(), depth=self._depth,
+                parent_id=self._parent_id, args=self.args,
+                error=exc_type.__name__ if exc_type is not None else None))
+        finally:
+            # Unwind even if recording failed: a raising span must
+            # never leave itself on the stack as a phantom parent.
+            stack = tracer._stack()
+            if stack and stack[-1] == self._id:
+                stack.pop()
+            elif self._id in stack:          # defensive: torn nesting
+                del stack[stack.index(self._id):]
+        return None   # never swallow the body's exception
+
+
+class Tracer:
+    """A span recorder plus its metrics registry.
+
+    ``enabled`` is the one attribute every instrumented call site
+    checks; everything else only runs on the enabled path.  One global
+    instance (:data:`repro.trace.TRACER`) serves the whole process;
+    separate instances exist for tests.
+    """
+
+    def __init__(self, *, enabled: bool = False):
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self._records: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._id_counter = 0
+        self._local = threading.local()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self, *, reset: bool = True) -> None:
+        """Start recording; by default from a clean slate."""
+        if reset:
+            self.reset()
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording.  Collected spans and metrics stay readable
+        (that is how the CLI exporters run after the measured work)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._id_counter = 0
+        self.metrics.reset()
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, **args):
+        """Context manager timing one region.  Disabled: returns the
+        shared no-op span (one attribute check, zero allocation)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, args)
+
+    def traced(self, name: str | None = None, **args):
+        """Decorator form of :meth:`span`.  The enabled check happens
+        on every call, so tracing toggled at runtime is honoured."""
+        def decorate(fn):
+            span_name = name or fn.__qualname__
+
+            @wraps(fn)
+            def wrapper(*a, **kw):
+                if not self.enabled:
+                    return fn(*a, **kw)
+                with _Span(self, span_name, args):
+                    return fn(*a, **kw)
+            return wrapper
+        return decorate
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._id_counter += 1
+            return self._id_counter
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    # -- reading -------------------------------------------------------------
+
+    def records(self) -> list[SpanRecord]:
+        """Finished spans, in completion order (children before their
+        parents, exactly like a sampling profiler's stack unwind)."""
+        with self._lock:
+            return list(self._records)
+
+    def spans_named(self, name: str) -> list[SpanRecord]:
+        return [r for r in self.records() if r.name == name]

@@ -1,0 +1,42 @@
+"""``python -m repro.trace.validate profile.json``: check a
+``--profile-json`` dump against the exporter schema.
+
+Exit 0 when the file is schema-valid Chrome-trace-compatible output,
+exit 1 with one problem per line otherwise.  The CI profile-smoke
+step runs this against real CLI output so exporter drift fails fast.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.trace.export import validate_profile
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.trace.validate <profile.json>",
+              file=sys.stderr)
+        return 2
+    try:
+        with open(argv[0]) as fh:
+            profile = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"repro.trace.validate: cannot load {argv[0]}: {exc}",
+              file=sys.stderr)
+        return 1
+    problems = validate_profile(profile)
+    for problem in problems:
+        print(f"repro.trace.validate: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"{argv[0]}: valid profile "
+          f"({len(profile['traceEvents'])} trace events, "
+          f"{len(profile['metrics']['counters'])} counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

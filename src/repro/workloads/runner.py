@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable
 
+from repro import trace as _trace
 from repro.hw.cache import CacheHierarchy
 from repro.hw.events import Channel
 from repro.hw.machine import SimMachine
@@ -32,25 +33,27 @@ def run_team(machine: SimMachine, kernel: OSKernel, team: Team,
              phase_for: PhaseFactory, *, migrate: bool = True,
              apply_counts: bool = True) -> RunResult:
     """Execute one parallel phase on an OpenMP team."""
-    kernel.place_all()
-    compute = team.compute_threads
-    if migrate:
-        kernel.maybe_migrate([t.tid for t in compute])
-    work: list[PlacedWork] = []
-    for index, thread in enumerate(compute):
-        if thread.hwthread is None:
-            kernel.place_thread(thread.tid)
-        assert thread.memory_socket is not None
-        work.append(PlacedWork(
-            tid=thread.tid,
-            hwthread=thread.hwthread,
-            memory_socket=thread.memory_socket,
-            phase=phase_for(index, len(compute)),
-        ))
-    result = solve(machine.spec, work)
-    if apply_counts:
-        apply_result(machine, result)
-    return result
+    with _trace.span("runner.run_team",
+                     threads=len(team.compute_threads)):
+        kernel.place_all()
+        compute = team.compute_threads
+        if migrate:
+            kernel.maybe_migrate([t.tid for t in compute])
+        work: list[PlacedWork] = []
+        for index, thread in enumerate(compute):
+            if thread.hwthread is None:
+                kernel.place_thread(thread.tid)
+            assert thread.memory_socket is not None
+            work.append(PlacedWork(
+                tid=thread.tid,
+                hwthread=thread.hwthread,
+                memory_socket=thread.memory_socket,
+                phase=phase_for(index, len(compute)),
+            ))
+        result = solve(machine.spec, work)
+        if apply_counts:
+            apply_result(machine, result)
+        return result
 
 
 def apply_result(machine: SimMachine, result: RunResult) -> None:
@@ -89,6 +92,17 @@ def run_trace(machine: SimMachine, hwthread: int,
     counts (the differential tests enforce it); scalar remains the
     readable reference implementation.
     """
+    with _trace.span("runner.run_trace", engine=engine,
+                     hwthread=hwthread):
+        return _run_trace(machine, hwthread, trace,
+                          flops_per_load=flops_per_load,
+                          apply_counts=apply_counts, engine=engine)
+
+
+def _run_trace(machine: SimMachine, hwthread: int,
+               trace: Iterable[tuple[str, int, int]], *,
+               flops_per_load: float, apply_counts: bool,
+               engine: str) -> dict[Channel, float]:
     from repro.hw.branch import BranchUnit
     config = PrefetcherConfig.from_machine(machine, hwthread)
     branch_unit = BranchUnit()

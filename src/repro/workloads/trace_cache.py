@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 import repro.workloads.kernels as kernels
+from repro import trace as _trace
 from repro.hw.batch import TraceArrays, encode_trace
 
 #: Kernel generators addressable by name.  Every entry is
@@ -71,13 +72,19 @@ def trace_arrays(kernel: str, *args, **params) -> TraceArrays:
             f"unknown trace kernel {kernel!r}; known: "
             f"{', '.join(sorted(TRACE_KERNELS))}") from None
     key = (kernel, args, tuple(sorted(params.items())), kernels.LINE)
+    tracer = _trace.TRACER
     cached = _cache.get(key)
     if cached is not None:
         _hits += 1
+        if tracer.enabled:
+            tracer.metrics.incr("batch.cache.hits")
         _cache.move_to_end(key)
         return cached
     _misses += 1
-    arrays = encode_trace(generator(*args, **params))
+    if tracer.enabled:
+        tracer.metrics.incr("batch.cache.misses")
+    with tracer.span("batch.cache.generate", kernel=kernel):
+        arrays = encode_trace(generator(*args, **params))
     _cache[key] = arrays
     while len(_cache) > _MAX_TRACES:
         _cache.popitem(last=False)

@@ -1,0 +1,84 @@
+"""Driver fault counts and programmer retry counts cannot disagree.
+
+The bug this guards against: ``DriverStats.faults`` and the
+programmer's retry counter used to be maintained independently, so a
+refactor touching one path could silently desynchronise them.  Both
+now flow through one :class:`~repro.trace.metrics.MetricsRegistry`
+(the programmer's ``retries`` is *derived* from it), making the
+invariant structural:
+
+    msr.faults.transient == msr.io.retries
+                         == driver.stats.faults == result.io_retries
+
+whenever every fault is transient and every retry succeeds.
+"""
+
+from repro.core.perfctr import LikwidPerfCtr
+from repro.hw.arch import create_machine
+from repro.hw.events import Channel
+from repro.oskern.msr_driver import FaultPlan, MsrDriver
+from repro.trace.metrics import MetricsRegistry
+
+
+def faulty_wrap(registry, *, seed=1234, rate=0.1):
+    machine = create_machine("nehalem_ep")
+    driver = MsrDriver(machine,
+                       faults=FaultPlan(seed=seed, read_fault_rate=rate),
+                       metrics=registry)
+    result = LikwidPerfCtr(machine, driver).wrap(
+        "0-3", "FLOPS_DP",
+        lambda: machine.apply_counts(
+            {cpu: {Channel.FLOPS_PACKED_DP: 1e6,
+                   Channel.INSTRUCTIONS: 4e6,
+                   Channel.CORE_CYCLES: 5e6} for cpu in range(4)}))
+    return driver, result
+
+
+class TestReconciliation:
+    def test_ten_percent_eagain_counters_agree(self):
+        """The ISSUE's regression test: 10% injected EAGAIN, all four
+        views of 'how many transient faults' must be equal."""
+        registry = MetricsRegistry()
+        driver, result = faulty_wrap(registry)
+
+        transient = registry.value("msr.faults.transient")
+        retries = registry.value("msr.io.retries")
+        assert transient > 0                       # faults did happen
+        assert registry.value("msr.io.giveups") == 0
+        assert transient == retries
+        assert driver.stats.faults == transient
+        assert result.io_retries == retries
+
+    def test_agreement_is_seed_independent(self):
+        for seed in (1, 7, 42):
+            registry = MetricsRegistry()
+            driver, result = faulty_wrap(registry, seed=seed, rate=0.15)
+            assert (driver.stats.faults
+                    == registry.value("msr.faults.transient")
+                    == registry.value("msr.io.retries")
+                    == result.io_retries)
+
+    def test_fault_free_run_all_zero(self):
+        registry = MetricsRegistry()
+        driver, result = faulty_wrap(registry, rate=0.0)
+        assert driver.stats.faults == 0
+        assert registry.value("msr.faults.transient") == 0
+        assert registry.value("msr.io.retries") == 0
+        assert result.io_retries == 0
+
+    def test_fault_counters_are_always_on(self):
+        """Fault accounting must not depend on the tracer being
+        enabled — it feeds ``DriverStats``/``io_retries`` which are
+        part of the tool's normal (untraced) output."""
+        from repro import trace
+        assert trace.TRACER.enabled is False       # default state
+        registry = MetricsRegistry()
+        _, result = faulty_wrap(registry)
+        assert registry.value("msr.faults.transient") > 0
+        assert result.io_retries > 0
+
+    def test_private_registry_does_not_pollute_global(self):
+        from repro import trace
+        before = trace.metrics().value("msr.faults.transient")
+        faulty_wrap(MetricsRegistry())
+        assert trace.metrics().value("msr.faults.transient") == before

@@ -1,0 +1,88 @@
+"""Observing a measurement must not change it.
+
+Runs the same workloads with tracing disabled (the default) and
+enabled, and asserts every produced number is bit-for-bit identical —
+the tracer may only add latency, never touch results.
+"""
+
+import pytest
+
+from repro import trace
+from repro.core.perfctr import LikwidPerfCtr
+from repro.core.perfctr.measurement import derive_metrics
+from repro.hw.arch import create_machine
+from repro.hw.events import Channel
+from repro.workloads.kernels import streaming_triad, strided_load
+from repro.workloads.runner import run_trace
+
+
+@pytest.fixture
+def traced():
+    """Enable the global tracer for the test body, always restore."""
+    trace.enable(reset=True)
+    yield trace.TRACER
+    trace.disable()
+    trace.reset()
+
+
+def wrap_measurement():
+    """One FLOPS_DP wrap; wall time pinned so derived metrics (which
+    divide by the real, nondeterministic runtime) become comparable."""
+    machine = create_machine("nehalem_ep")
+    result = LikwidPerfCtr(machine).wrap(
+        "0-3", "FLOPS_DP",
+        lambda: machine.apply_counts(
+            {cpu: {Channel.FLOPS_PACKED_DP: 1e6,
+                   Channel.INSTRUCTIONS: 4e6,
+                   Channel.CORE_CYCLES: 5e6} for cpu in range(4)}))
+    result.wall_time = 1.0
+    derive_metrics(result, result.group, machine.spec.clock_hz)
+    return result
+
+
+class TestMeasurementUnchanged:
+    def test_wrap_result_bit_identical(self, traced):
+        baseline = wrap_measurement()          # tracing on (fixture)
+        trace.disable()
+        dark = wrap_measurement()              # tracing off
+        assert dark.counts == baseline.counts
+        assert dark.metrics == baseline.metrics
+        assert dark.io_retries == baseline.io_retries
+        assert dark.warnings == baseline.warnings
+
+    def test_wrap_produced_spans(self, traced):
+        wrap_measurement()
+        names = {r.name for r in traced.records()}
+        assert {"perfctr.wrap", "perfctr.start", "perfctr.program",
+                "perfctr.read", "perfctr.workload"} <= names
+        assert traced.metrics.value("perfctr.sessions.started") == 1
+
+
+class TestRunTraceUnchanged:
+    @pytest.mark.parametrize("engine", ["batched", "scalar"])
+    def test_channels_bit_identical(self, traced, engine):
+        def run():
+            machine = create_machine("core2")
+            return run_trace(machine, 0, streaming_triad(2048),
+                             engine=engine)
+
+        lit = run()
+        trace.disable()
+        dark = run()
+        assert dark == lit                     # dict of floats, exact
+
+    def test_batched_strided_identical(self, traced):
+        def run():
+            machine = create_machine("nehalem_ep")
+            return run_trace(machine, 0, strided_load(4000, 128))
+
+        lit = run()
+        trace.disable()
+        assert run() == lit
+
+    def test_replay_spans_recorded(self, traced):
+        machine = create_machine("core2")
+        run_trace(machine, 0, streaming_triad(1024))
+        names = {r.name for r in traced.records()}
+        assert "runner.run_trace" in names
+        assert {"batch.replay", "batch.replay_fast"} & names

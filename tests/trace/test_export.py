@@ -1,0 +1,130 @@
+"""Exporters: Chrome trace-event golden file, schema validation,
+text report."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.trace.export import (PROFILE_SCHEMA, chrome_trace_events,
+                                profile_dict, text_report, validate_profile,
+                                write_profile)
+from repro.trace.tracer import SpanRecord, Tracer
+
+GOLDEN = Path(__file__).parent / "golden" / "chrome_trace.json"
+
+
+def make_tracer() -> Tracer:
+    """A tracer with a fixed, hand-written history (deterministic
+    timestamps/thread ids, so the export is byte-stable)."""
+    tracer = Tracer()
+    tracer._records = [
+        SpanRecord(span_id=1, name="perfctr.wrap", start_ns=1_000,
+                   duration_ns=900_000, thread_id=7, depth=0,
+                   parent_id=None, args={"group": "FLOPS_DP"}),
+        SpanRecord(span_id=2, name="batch.replay", start_ns=2_000,
+                   duration_ns=500_000, thread_id=7, depth=1,
+                   parent_id=1, args={"engine": "batch", "accesses": 128}),
+        SpanRecord(span_id=3, name="perfctr.read", start_ns=600_000,
+                   duration_ns=1_500, thread_id=8, depth=0,
+                   parent_id=None, args={}, error="MsrIOError"),
+    ]
+    tracer.metrics.incr("batch.cache.hits", 3)
+    tracer.metrics.incr("msr.pread", 40)
+    tracer.metrics.set_gauge("batch.cache.bytes", 4096)
+    for v in (100.0, 200.0, 300.0):
+        tracer.metrics.observe("msr.pread.ns", v)
+    return tracer
+
+
+class TestChromeTraceGolden:
+    def test_matches_golden_file(self):
+        profile = profile_dict(make_tracer(), tool="golden", pid=1)
+        golden = json.loads(GOLDEN.read_text())
+        assert profile == golden, (
+            "exporter output drifted from tests/trace/golden/"
+            "chrome_trace.json — if the change is intentional, "
+            "regenerate the golden file and bump PROFILE_VERSION "
+            "if the shape changed")
+
+    def test_golden_is_schema_valid(self):
+        assert validate_profile(json.loads(GOLDEN.read_text())) == []
+
+    def test_events_are_chrome_complete_events(self):
+        events = chrome_trace_events(make_tracer().records(), pid=1)
+        assert all(e["ph"] == "X" for e in events)
+        # Microsecond units: 900_000 ns -> 900 us.
+        wrap = next(e for e in events if e["name"] == "perfctr.wrap")
+        assert wrap["ts"] == 1.0 and wrap["dur"] == 900.0
+        # Events sorted by start time, pid/tid integral.
+        assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+        assert all(isinstance(e["tid"], int) for e in events)
+
+    def test_error_spans_carry_error_arg(self):
+        events = chrome_trace_events(make_tracer().records())
+        read = next(e for e in events if e["name"] == "perfctr.read")
+        assert read["args"]["error"] == "MsrIOError"
+
+
+class TestProfileSchema:
+    def test_real_profile_round_trips(self, tmp_path):
+        path = tmp_path / "p.json"
+        write_profile(str(path), make_tracer(), tool="test")
+        reloaded = json.loads(path.read_text())
+        assert validate_profile(reloaded) == []
+        assert reloaded["meta"]["tool"] == "test"
+
+    def test_empty_tracer_is_valid(self):
+        assert validate_profile(profile_dict(Tracer())) == []
+
+    @pytest.mark.parametrize("mutate, fragment", [
+        (lambda p: p.pop("traceEvents"), "traceEvents"),
+        (lambda p: p["meta"].pop("version"), "version"),
+        (lambda p: p["meta"].update(version=99), "not in"),
+        (lambda p: p["traceEvents"][0].pop("ts"), "ts"),
+        (lambda p: p["traceEvents"][0].update(ph="Z"), "not in"),
+        (lambda p: p["traceEvents"][0].update(tid="main"), "integer"),
+        (lambda p: p["metrics"].pop("histograms"), "histograms"),
+        (lambda p: p["spans"][0].update(duration_ns=-5), "negative"),
+        (lambda p: p["spans"][0].pop("name"), "name"),
+    ])
+    def test_validator_catches_drift(self, mutate, fragment):
+        profile = profile_dict(make_tracer())
+        mutate(profile)
+        errors = validate_profile(profile)
+        assert errors, "mutation not caught"
+        assert any(fragment in e for e in errors), errors
+
+    def test_schema_is_json_serialisable(self):
+        json.dumps(PROFILE_SCHEMA)
+
+    def test_validate_cli(self, tmp_path, capsys):
+        from repro.trace.validate import main
+        path = tmp_path / "p.json"
+        write_profile(str(path), make_tracer())
+        assert main([str(path)]) == 0
+        path.write_text("{}")
+        assert main([str(path)]) == 1
+        path.write_text("not json")
+        assert main([str(path)]) == 1
+        assert main([]) == 2
+
+
+class TestTextReport:
+    def test_mentions_spans_and_metrics(self):
+        report = text_report(make_tracer())
+        assert "perfctr.wrap" in report
+        assert "batch.replay" in report
+        assert "batch.cache.hits = 3" in report
+        assert "msr.pread.ns" in report
+        assert "p50=200" in report
+
+    def test_empty_tracer(self):
+        report = text_report(Tracer())
+        assert "no spans recorded" in report
+
+    def test_sorted_by_total_time(self):
+        report = text_report(make_tracer())
+        lines = report.splitlines()
+        assert lines.index([l for l in lines if "perfctr.wrap" in l][0]) \
+            < lines.index([l for l in lines if "perfctr.read" in l][0])

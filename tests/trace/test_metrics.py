@@ -1,0 +1,121 @@
+"""Metrics registry: counters, gauges, histogram percentile math."""
+
+import math
+
+import pytest
+
+from repro.trace.metrics import Histogram, MetricsRegistry
+
+
+class TestCounters:
+    def test_incr_and_value(self):
+        reg = MetricsRegistry()
+        reg.incr("msr.pread")
+        reg.incr("msr.pread", 4)
+        assert reg.value("msr.pread") == 5
+
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().value("never.touched") == 0
+
+    def test_counter_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.incr("a")
+        reg.set_gauge("g", 3.0)
+        reg.observe("h", 1.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("batch.cache.bytes", 10)
+        reg.set_gauge("batch.cache.bytes", 250)
+        assert reg.snapshot()["gauges"]["batch.cache.bytes"] == 250.0
+
+
+class TestKindCollision:
+    def test_name_cannot_change_kind(self):
+        reg = MetricsRegistry()
+        reg.incr("x")
+        with pytest.raises(ValueError):
+            reg.observe("x", 1.0)
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+
+class TestHistogramPercentiles:
+    def test_linear_interpolation_definition(self):
+        h = Histogram("t")
+        for v in (10.0, 20.0, 30.0, 40.0):
+            h.observe(v)
+        # rank = p/100 * (n-1); n=4 -> p50 lands midway between 20, 30
+        assert h.percentile(0) == 10.0
+        assert h.percentile(50) == 25.0
+        assert h.percentile(100) == 40.0
+        assert h.percentile(25) == pytest.approx(17.5)
+
+    def test_percentiles_match_numpy(self):
+        numpy = pytest.importorskip("numpy")
+        h = Histogram("t")
+        values = [float((17 * i) % 101) for i in range(101)]
+        for v in values:
+            h.observe(v)
+        for p in (0, 10, 50, 90, 99, 100):
+            assert h.percentile(p) == pytest.approx(
+                float(numpy.percentile(values, p)))
+
+    def test_single_observation(self):
+        h = Histogram("t")
+        h.observe(7.0)
+        assert h.percentile(0) == h.percentile(50) == h.percentile(100) == 7.0
+
+    def test_unordered_input(self):
+        h = Histogram("t")
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            h.observe(v)
+        assert h.percentile(50) == 3.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(Histogram("t").percentile(50))
+
+    def test_out_of_range_raises(self):
+        h = Histogram("t")
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+
+    def test_summary_fields(self):
+        h = Histogram("t")
+        for v in range(1, 11):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 10
+        assert s["sum"] == 55.0
+        assert s["min"] == 1.0
+        assert s["max"] == 10.0
+        assert s["mean"] == 5.5
+        assert s["p50"] == 5.5
+        assert s["p90"] == pytest.approx(9.1)
+
+    def test_empty_summary_is_json_safe(self):
+        s = Histogram("t").summary()
+        assert s["count"] == 0
+        assert all(isinstance(v, (int, float)) and v == v
+                   for v in s.values())   # no NaN leaks into exports
+
+    def test_bounded_samples_keep_exact_count_sum_minmax(self):
+        h = Histogram("t", max_samples=10)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.sum == sum(range(100))
+        assert h.min == 0.0 and h.max == 99.0
+        # Percentiles degrade to the retained prefix, but stay defined.
+        assert 0.0 <= h.percentile(50) <= 99.0

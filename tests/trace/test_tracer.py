@@ -1,0 +1,214 @@
+"""Span tracer semantics: nesting, exception safety, thread-local
+stacks, the decorator form, and the disabled no-op fast path."""
+
+import threading
+
+import pytest
+
+from repro.trace.tracer import Tracer, _NULL_SPAN
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestNesting:
+    def test_parent_and_depth(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["outer"].depth == 0
+        assert by_name["outer"].parent_id is None
+        assert by_name["middle"].depth == 1
+        assert by_name["middle"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].depth == 2
+        assert by_name["inner"].parent_id == by_name["middle"].span_id
+
+    def test_siblings_share_parent(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["a"].parent_id == by_name["root"].span_id
+        assert by_name["b"].parent_id == by_name["root"].span_id
+        assert by_name["a"].depth == by_name["b"].depth == 1
+
+    def test_children_recorded_before_parents(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [r.name for r in tracer.records()] == ["inner", "outer"]
+
+    def test_monotonic_containment(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.records()
+        assert outer.start_ns <= inner.start_ns
+        assert (inner.start_ns + inner.duration_ns
+                <= outer.start_ns + outer.duration_ns)
+
+    def test_args_recorded(self, tracer):
+        with tracer.span("replay", engine="batch", accesses=42):
+            pass
+        (record,) = tracer.records()
+        assert record.args == {"engine": "batch", "accesses": 42}
+
+
+class TestExceptionSafety:
+    def test_exception_propagates_and_is_recorded(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (record,) = tracer.records()
+        assert record.error == "ValueError"
+
+    def test_stack_unwound_after_raise(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError
+        # A new root span must not inherit a phantom parent.
+        with tracer.span("fresh"):
+            pass
+        fresh = tracer.spans_named("fresh")[0]
+        assert fresh.depth == 0
+        assert fresh.parent_id is None
+        assert tracer.spans_named("outer")[0].error == "RuntimeError"
+
+    def test_success_has_no_error(self, tracer):
+        with tracer.span("fine"):
+            pass
+        assert tracer.records()[0].error is None
+
+
+class TestThreadLocalStacks:
+    def test_threads_do_not_see_each_other(self, tracer):
+        release = threading.Event()
+        entered = threading.Barrier(3)
+
+        def work(name):
+            with tracer.span(name):
+                entered.wait(timeout=5)   # both threads inside a span
+                release.wait(timeout=5)
+                with tracer.span(f"{name}.child"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        entered.wait(timeout=5)
+        release.set()
+        for t in threads:
+            t.join(timeout=5)
+        for i in range(2):
+            parent = tracer.spans_named(f"t{i}")[0]
+            child = tracer.spans_named(f"t{i}.child")[0]
+            # Each child's parent is its own thread's span, never the
+            # concurrently open span of the other thread.
+            assert child.parent_id == parent.span_id
+            assert child.thread_id == parent.thread_id
+            assert parent.depth == 0 and child.depth == 1
+
+    def test_thread_id_recorded(self, tracer):
+        ids = {}
+
+        def work():
+            with tracer.span("in-thread"):
+                ids["thread"] = threading.get_ident()
+
+        t = threading.Thread(target=work)
+        t.start()
+        t.join()
+        assert tracer.records()[0].thread_id == ids["thread"]
+
+
+class TestDecorator:
+    def test_traced_records_per_call(self, tracer):
+        @tracer.traced("fn.span", kind="test")
+        def fn(x):
+            return x * 2
+
+        assert fn(3) == 6
+        assert fn(4) == 8
+        spans = tracer.spans_named("fn.span")
+        assert len(spans) == 2
+        assert spans[0].args == {"kind": "test"}
+
+    def test_traced_default_name(self, tracer):
+        @tracer.traced()
+        def some_function():
+            return 1
+
+        some_function()
+        assert any("some_function" in r.name for r in tracer.records())
+
+    def test_traced_respects_runtime_toggle(self):
+        tracer = Tracer(enabled=False)
+
+        @tracer.traced("toggled")
+        def fn():
+            return 1
+
+        fn()
+        assert tracer.records() == []
+        tracer.enable()
+        fn()
+        assert len(tracer.spans_named("toggled")) == 1
+
+    def test_traced_propagates_exception(self, tracer):
+        @tracer.traced("raises")
+        def fn():
+            raise KeyError("x")
+
+        with pytest.raises(KeyError):
+            fn()
+        assert tracer.spans_named("raises")[0].error == "KeyError"
+
+
+class TestDisabledFastPath:
+    def test_span_returns_shared_null_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is _NULL_SPAN
+        assert tracer.span("b", key="value") is tracer.span("c")
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("invisible"):
+            pass
+        assert tracer.records() == []
+
+    def test_enable_reset_clears(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("old"):
+            pass
+        tracer.metrics.incr("old.counter")
+        tracer.enable(reset=True)
+        assert tracer.records() == []
+        assert tracer.metrics.value("old.counter") == 0
+
+    def test_enable_without_reset_keeps(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("kept"):
+            pass
+        tracer.disable()
+        tracer.enable(reset=False)
+        assert len(tracer.spans_named("kept")) == 1
+
+    def test_disable_keeps_records_readable(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("exported-later"):
+            pass
+        tracer.disable()
+        assert len(tracer.records()) == 1
+
+
+def test_global_tracer_disabled_by_default():
+    from repro import trace
+    assert trace.TRACER.enabled is False

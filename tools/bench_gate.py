@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI (ISSUE 4 satellite).
+
+Two modes, both stdlib-only so the CI job needs nothing installed
+beyond the test toolchain:
+
+``record``
+    Convert a ``pytest --benchmark-json`` dump into the compact
+    trajectory format committed/uploaded by CI::
+
+        python tools/bench_gate.py record raw.json BENCH_2026-08-06.json
+
+    The output carries the UTC date, a machine fingerprint (so
+    cross-machine comparisons are visibly apples-to-oranges) and the
+    median nanoseconds of every benchmark.
+
+``check``
+    Compare a recorded file against the committed baseline::
+
+        python tools/bench_gate.py check BENCH_today.json BENCH_baseline.json
+
+    Exit 1 if any benchmark's median regressed more than the
+    threshold (default 25%, ``--threshold 1.25``); benchmarks present
+    on only one side are warned about, never fatal — adding a bench
+    must not break CI until a baseline bump records it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+
+
+def fingerprint() -> dict:
+    return {
+        "node": platform.node(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 0,
+    }
+
+
+def record(raw_path: str, out_path: str) -> int:
+    with open(raw_path) as fh:
+        raw = json.load(fh)
+    benchmarks = {}
+    for bench in raw.get("benchmarks", []):
+        # pytest-benchmark stats are in seconds; store integral ns.
+        benchmarks[bench["name"]] = int(bench["stats"]["median"] * 1e9)
+    if not benchmarks:
+        print(f"bench_gate: no benchmarks in {raw_path}", file=sys.stderr)
+        return 1
+    payload = {
+        "date": datetime.date.today().isoformat(),
+        "machine": fingerprint(),
+        "benchmarks": dict(sorted(benchmarks.items())),
+    }
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"bench_gate: recorded {len(benchmarks)} medians -> {out_path}")
+    return 0
+
+
+def check(current_path: str, baseline_path: str, threshold: float) -> int:
+    with open(current_path) as fh:
+        current = json.load(fh)
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    cur, base = current["benchmarks"], baseline["benchmarks"]
+
+    for name in sorted(set(base) - set(cur)):
+        print(f"bench_gate: warning: '{name}' in baseline but not in "
+              f"current run (removed bench?)", file=sys.stderr)
+    for name in sorted(set(cur) - set(base)):
+        print(f"bench_gate: warning: '{name}' has no baseline yet "
+              f"(new bench — bump {baseline_path} to gate it)",
+              file=sys.stderr)
+
+    failures = []
+    for name in sorted(set(cur) & set(base)):
+        if base[name] <= 0:
+            continue
+        ratio = cur[name] / base[name]
+        marker = "FAIL" if ratio > threshold else "ok"
+        print(f"bench_gate: {marker:>4}  {ratio:>6.2f}x  "
+              f"{cur[name]:>14,} ns vs {base[name]:>14,} ns  {name}")
+        if ratio > threshold:
+            failures.append((name, ratio))
+    if failures:
+        print(f"bench_gate: {len(failures)} benchmark(s) regressed "
+              f"beyond {threshold:.2f}x the committed baseline:",
+              file=sys.stderr)
+        for name, ratio in failures:
+            print(f"bench_gate:   {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"bench_gate: {len(set(cur) & set(base))} benchmark(s) within "
+          f"{threshold:.2f}x of baseline")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_gate.py",
+        description="Record benchmark medians / gate against a baseline.")
+    sub = parser.add_subparsers(dest="mode", required=True)
+    rec = sub.add_parser("record", help="pytest-benchmark JSON -> trajectory")
+    rec.add_argument("raw", help="pytest --benchmark-json output")
+    rec.add_argument("out", help="BENCH_<date>.json to write")
+    chk = sub.add_parser("check", help="gate current medians vs baseline")
+    chk.add_argument("current", help="a recorded BENCH_*.json")
+    chk.add_argument("baseline", help="the committed BENCH_baseline.json")
+    chk.add_argument("--threshold", type=float, default=1.25,
+                     help="fail above current/baseline ratio "
+                          "(default: %(default)s)")
+    args = parser.parse_args(argv)
+    if args.mode == "record":
+        return record(args.raw, args.out)
+    return check(args.current, args.baseline, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
