@@ -26,6 +26,8 @@ _LAZY = {
     "lint_group": "repro.analysis.runner",
     "lint_event_string": "repro.analysis.runner",
     "lint_affinity": "repro.analysis.runner",
+    "lint_write_sites": "repro.analysis.journal_lint",
+    "lint_journal_coverage": "repro.analysis.journal_lint",
     "catalog_for": "repro.analysis.runner",
     "render_text": "repro.analysis.report",
     "render_json": "repro.analysis.report",

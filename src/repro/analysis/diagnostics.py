@@ -6,13 +6,14 @@ as :class:`Diagnostic` objects with a *stable* code, so tooling can
 filter, count and assert on them, and error text can evolve without
 breaking automation.
 
-Code ranges mirror the four analyzers:
+Code ranges mirror the five analyzers:
 
 ======  =====================================================
 LK1xx   group/PMU feasibility (events, counters, matching)
 LK2xx   metric-formula static analysis
 LK3xx   register write-path / encoding checks
 LK4xx   affinity and uncore socket-lock analysis
+LK5xx   crash-safety: journal write-surface verification
 ======  =====================================================
 
 The full catalog with one example per code lives in
@@ -72,6 +73,10 @@ CODES: dict[str, str] = {
     "LK402": "skip mask inconsistent with the core list or thread type",
     "LK403": "multiple measured threads share one uncore socket lock",
     "LK404": "invalid affinity expression or skip mask",
+    # LK5xx — crash-safety / journal write surface
+    "LK501": "raw MSR write bypasses the write-ahead journal API",
+    "LK502": "tool-layer write target missing from the journal's "
+             "state-mutating classification",
 }
 
 

@@ -1,0 +1,108 @@
+"""Crash-safety write-surface analysis (LK50x).
+
+The write-ahead journal (:mod:`repro.oskern.journal`) can only make
+crashes recoverable if two invariants hold, and both are statically
+checkable:
+
+* **LK501** — every MSR write in the tool layer (``core/perfctr`` and
+  ``core/features``) goes through the journaling driver API
+  (``MsrFile.journaled_write``).  A raw ``write_msr``/``pwrite`` call
+  site would mutate state the journal never saw, so recovery could
+  not undo it.  Checked by walking the AST of the tool-layer sources
+  — no imports, no execution.
+* **LK502** — the journal's per-architecture state-mutating register
+  classification (:func:`~repro.oskern.journal.state_mutating_addresses`)
+  covers every register the tool layer writes on that architecture.
+  An uncovered register would make ``journaled_write`` refuse at
+  runtime.  Checked by deriving the programmer's write surface from
+  the architecture's declared register layout and comparing.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registers_lint import _register_layout
+from repro.hw import registers as regs
+from repro.hw.spec import ArchSpec
+from repro.oskern.journal import state_mutating_addresses
+
+#: Method names that bypass the journal when called from tool code.
+RAW_WRITERS = ("write_msr", "pwrite")
+
+#: Registers in the declared layout the tool layer only ever reads.
+_READ_ONLY = frozenset({"PERF_GLOBAL_STATUS"})
+
+
+def tool_layer_sources() -> list[str]:
+    """The source files bound by the journaled-write invariant: the
+    perfctr programming layer and likwid-features."""
+    import repro
+    base = os.path.dirname(repro.__file__)
+    roots = [os.path.join(base, "core", "perfctr"),
+             os.path.join(base, "core", "features.py")]
+    files: list[str] = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(root)
+            continue
+        for dirpath, _dirs, names in os.walk(root):
+            files.extend(os.path.join(dirpath, name)
+                         for name in names if name.endswith(".py"))
+    return sorted(files)
+
+
+def lint_write_sites(paths: list[str] | None = None) -> list[Diagnostic]:
+    """LK501: find raw MSR write call sites in the tool layer.
+
+    ``paths`` overrides the default tool-layer file set (used by the
+    self-check tests to lint fixture sources)."""
+    diags: list[Diagnostic] = []
+    for path in (paths if paths is not None else tool_layer_sources()):
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        module = os.path.basename(path)
+        for node in ast.walk(ast.parse(source, filename=path)):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in RAW_WRITERS):
+                continue
+            diags.append(Diagnostic(
+                "LK501", Severity.ERROR,
+                f"{module}:{node.lineno} calls .{node.func.attr}() "
+                f"directly; state-mutating writes must go through "
+                f"MsrFile.journaled_write() so a crashed run stays "
+                f"recoverable",
+                locus=f"source:{module}:{node.lineno}"))
+    return diags
+
+
+def programmer_write_surface(spec: ArchSpec) -> dict[int, str]:
+    """Address → register name of everything the tool layer may write
+    on one architecture: the declared counter-register layout minus
+    its read-only members, plus ``IA32_MISC_ENABLE`` where
+    likwid-features applies."""
+    surface = {addr: name
+               for name, addr in _register_layout(spec).items()
+               if name not in _READ_ONLY}
+    if spec.has_misc_enable:
+        surface[regs.IA32_MISC_ENABLE] = "MISC_ENABLE"
+    return surface
+
+
+def lint_journal_coverage(spec: ArchSpec) -> list[Diagnostic]:
+    """LK502: the journal classification must cover the write surface."""
+    covered = state_mutating_addresses(spec)
+    diags: list[Diagnostic] = []
+    for addr, name in sorted(programmer_write_surface(spec).items()):
+        if addr in covered:
+            continue
+        diags.append(Diagnostic(
+            "LK502", Severity.ERROR,
+            f"register {name} (MSR 0x{addr:X}) is written by the tool "
+            f"layer but missing from state_mutating_addresses(); "
+            f"journaled_write() would refuse it at runtime",
+            arch=spec.name, locus=f"journal:{spec.name}"))
+    return diags

@@ -17,7 +17,8 @@ machine, no MSR driver.
 
 from __future__ import annotations
 
-from repro.analysis import affinity_lint, feasibility, formula_lint, registers_lint
+from repro.analysis import (affinity_lint, feasibility, formula_lint,
+                            journal_lint, registers_lint)
 from repro.analysis.diagnostics import Diagnostic, sort_key
 from repro.core.perfctr.events import EventSpec, parse_event_string
 from repro.core.perfctr.groups import (GroupDef, builtin_groups_for,
@@ -67,9 +68,17 @@ def catalog_for(spec: ArchSpec) -> list[tuple[str, GroupDef]]:
     return out
 
 
-def lint_spec(spec: ArchSpec) -> list[Diagnostic]:
-    """Every diagnostic for one architecture, deterministically ordered."""
+def lint_spec(spec: ArchSpec, *,
+              include_write_sites: bool = True) -> list[Diagnostic]:
+    """Every diagnostic for one architecture, deterministically ordered.
+
+    The LK501 write-site scan is source-level (arch-independent);
+    ``lint_all`` runs it once for the whole matrix instead of once
+    per architecture."""
     diags = registers_lint.lint_arch_registers(spec)
+    diags.extend(journal_lint.lint_journal_coverage(spec))
+    if include_write_sites:
+        diags.extend(journal_lint.lint_write_sites())
     for locus, group in catalog_for(spec):
         diags.extend(lint_group(spec, group, locus=locus))
     return sorted(diags, key=sort_key)
@@ -79,7 +88,7 @@ def lint_all(arch_names: list[str] | None = None) -> list[Diagnostic]:
     """Lint the full architecture matrix (default: every known arch)."""
     from repro.hw.arch import available, get_arch
     names = arch_names if arch_names is not None else available()
-    diags: list[Diagnostic] = []
+    diags: list[Diagnostic] = journal_lint.lint_write_sites()
     for name in names:
-        diags.extend(lint_spec(get_arch(name)))
+        diags.extend(lint_spec(get_arch(name), include_write_sites=False))
     return sorted(diags, key=sort_key)

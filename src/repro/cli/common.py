@@ -39,6 +39,99 @@ def machine_from_args(args: argparse.Namespace) -> SimMachine:
             f"(available: {', '.join(available())}): {exc}") from None
 
 
+# Crash-safety exit codes shared by the msr-writing front-ends
+# (likwid-perfctr also defines 0-4; see docs/robustness.md).
+EXIT_RECOVERED = 5       # --recover found and undid orphaned state
+EXIT_UNRECOVERABLE = 6   # journal history corrupt; nothing restored
+EXIT_KILLED = 7          # simulated kill fired; dirty state left behind
+
+
+def add_journal_arguments(parser: argparse.ArgumentParser) -> None:
+    """The crash-safety flags every msr-writing front-end shares."""
+    parser.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="file-backed write-ahead journal for this run's msr "
+             "mutations (the in-memory default cannot survive a real "
+             "process death)")
+    parser.add_argument(
+        "--no-journal", dest="no_journal", action="store_true",
+        help="disable the write-ahead journal entirely (a crashed run "
+             "leaves unrecoverable dirty msr state)")
+    parser.add_argument(
+        "--recover", action="store_true",
+        help="recover orphaned msr state and stale socket locks from "
+             "a crashed run's journal, then exit (requires --journal)")
+
+
+def check_journal_arguments(args: argparse.Namespace,
+                            tool: str) -> str | None:
+    """Validate the flag combinations; returns an error message (the
+    caller prints it and exits with the usage code) or None."""
+    if args.recover and args.no_journal:
+        return f"{tool}: --recover and --no-journal are contradictory"
+    if args.recover and not args.journal:
+        return (f"{tool}: --recover needs --journal PATH "
+                f"(the crashed run's journal file)")
+    return None
+
+
+def driver_from_args(machine: SimMachine, args: argparse.Namespace,
+                     *, faults=None):
+    """Build the tool's msr driver honoring --journal/--no-journal.
+    Raises :class:`~repro.errors.JournalError` when an existing
+    journal file cannot be loaded."""
+    from repro.oskern.journal import MsrJournal
+    from repro.oskern.msr_driver import MsrDriver
+
+    if getattr(args, "no_journal", False):
+        return MsrDriver(machine, faults=faults, journaling=False)
+    journal = MsrJournal(args.journal) if getattr(args, "journal", None) \
+        else None
+    return MsrDriver(machine, faults=faults, journal=journal)
+
+
+def warn_orphaned_journal(driver, tool: str) -> None:
+    """A non-empty journal at startup means a previous run died
+    mid-session; measuring from its dirty baseline is wrong."""
+    journal = driver.journal
+    if journal is not None and journal.record_count:
+        print(f"{tool}: warning: journal holds {journal.record_count} "
+              f"record(s) from a crashed run; counters may be dirty — "
+              f"run --recover first", file=sys.stderr)
+
+
+def run_recovery(args: argparse.Namespace, tool: str) -> int:
+    """The shared ``--recover`` entry point.
+
+    The simulated machine's registers live in process memory, so a
+    recovering process first re-materialises the crashed run's dirty
+    register state from the journal's after-values (on real hardware
+    the registers would still physically hold them), then runs the
+    recovery engine: backwards replay to pristine state, stale-lock
+    reclaim, journal retirement."""
+    from repro.errors import JournalCorruptError, JournalError
+    from repro.oskern.journal import OP_WRITE, MsrJournal
+    from repro.oskern.msr_driver import MsrDriver
+    from repro.oskern.recovery import RecoveryEngine
+
+    machine = machine_from_args(args)
+    try:
+        journal = MsrJournal(args.journal)
+        driver = MsrDriver(machine, journal=journal)
+        for rec in journal.scan().records:
+            if rec.op == OP_WRITE:
+                machine.msr[rec.cpu].write(rec.address, rec.after)
+        report = RecoveryEngine(driver).recover()
+    except JournalCorruptError as exc:
+        print(f"{tool}: journal unrecoverable: {exc}", file=sys.stderr)
+        return EXIT_UNRECOVERABLE
+    except (JournalError, OSError) as exc:
+        print(f"{tool}: recovery failed: {exc}", file=sys.stderr)
+        return EXIT_UNRECOVERABLE
+    print(f"{tool}: {report.summary()}")
+    return 0 if report.clean else EXIT_RECOVERED
+
+
 def add_profile_arguments(parser: argparse.ArgumentParser) -> None:
     """The self-observability flags every front-end shares: turn on
     :mod:`repro.trace` for the run and export what it saw."""

@@ -1,14 +1,29 @@
-"""``likwid-features`` command-line front-end (paper §II.D)."""
+"""``likwid-features`` command-line front-end (paper §II.D).
+
+Exit codes (shared with likwid-perfctr; see docs/robustness.md):
+
+* 0 — success, or ``--recover`` with nothing to recover
+* 1 — tool error (unknown feature, read-only feature, failed verify)
+* 2 — usage error
+* 5 — ``--recover`` found and undid orphaned state
+* 6 — journal history corrupt; recovery refused
+* 7 — run killed mid-session; state is dirty
+"""
 
 from __future__ import annotations
 
 import argparse
 import sys
 
-from repro.cli.common import add_arch_argument, machine_from_args
+from repro.cli.common import (EXIT_KILLED, EXIT_UNRECOVERABLE,
+                              add_arch_argument, add_journal_arguments,
+                              check_journal_arguments, driver_from_args,
+                              machine_from_args, run_recovery,
+                              warn_orphaned_journal)
 from repro.core.features import LikwidFeatures
-from repro.errors import ReproError
-from repro.oskern.msr_driver import MsrDriver
+from repro.errors import JournalError, ProcessKilled, ReproError
+
+EXIT_USAGE = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -22,6 +37,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-u", dest="disable", default=None, metavar="KEY",
                         help="disable a feature (e.g. CL_PREFETCHER)")
     add_arch_argument(parser, default="core2")
+    add_journal_arguments(parser)
     return parser
 
 
@@ -29,9 +45,22 @@ def main(argv: list[str] | None = None) -> int:
     from repro.cli.common import restore_sigpipe
     restore_sigpipe()
     args = build_parser().parse_args(argv)
+    usage = check_journal_arguments(args, "likwid-features")
+    if usage is not None:
+        print(usage, file=sys.stderr)
+        return EXIT_USAGE
+    if args.recover:
+        return run_recovery(args, "likwid-features")
     machine = machine_from_args(args)
     try:
-        features = LikwidFeatures(MsrDriver(machine), cpu=args.cpu)
+        driver = driver_from_args(machine, args)
+    except JournalError as exc:
+        print(f"likwid-features: cannot load journal: {exc}",
+              file=sys.stderr)
+        return EXIT_UNRECOVERABLE
+    warn_orphaned_journal(driver, "likwid-features")
+    try:
+        features = LikwidFeatures(driver, cpu=args.cpu)
         if args.enable:
             state = features.enable(args.enable)
             print(f"{state.key}: {state.display}")
@@ -40,6 +69,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{state.key}: {state.display}")
         else:
             print(features.report())
+    except ProcessKilled as exc:
+        print(f"likwid-features: {exc}", file=sys.stderr)
+        if args.journal:
+            print(f"likwid-features: run `likwid-features --recover "
+                  f"--journal {args.journal} --arch {args.arch}` to "
+                  f"restore pristine msr state", file=sys.stderr)
+        return EXIT_KILLED
     except ReproError as exc:
         print(f"likwid-features: {exc}", file=sys.stderr)
         return 1

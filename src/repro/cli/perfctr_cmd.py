@@ -15,6 +15,9 @@ Exit codes map the measurement outcome (see docs/robustness.md):
 * 2 — usage error
 * 3 — msr driver unavailable or permission denied
 * 4 — measurement degraded and ``--strict-io`` was given
+* 5 — ``--recover`` found and undid orphaned state
+* 6 — journal history corrupt; recovery refused
+* 7 — run killed mid-session (``kill_after`` fault); state is dirty
 """
 
 from __future__ import annotations
@@ -22,15 +25,19 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.cli.common import (WORKLOADS, add_arch_argument,
-                              add_profile_arguments, machine_from_args,
-                              profiled, run_marked_workload, run_workload)
+from repro.cli.common import (EXIT_KILLED, EXIT_UNRECOVERABLE, WORKLOADS,
+                              add_arch_argument, add_journal_arguments,
+                              add_profile_arguments, check_journal_arguments,
+                              driver_from_args, machine_from_args, profiled,
+                              run_marked_workload, run_recovery, run_workload,
+                              warn_orphaned_journal)
 from repro.core.affinity import parse_corelist
 from repro.core.perfctr import LikwidPerfCtr
 from repro.core.perfctr.groups import GROUP_FUNCTIONS, groups_for
 from repro.core.perfctr.output import render_header, render_result
-from repro.errors import DegradedError, MsrError, ReproError
-from repro.oskern.msr_driver import FaultPlan, MsrDriver
+from repro.errors import (DegradedError, JournalError, MsrError,
+                          ProcessKilled, ReproError, SimulatedInterrupt)
+from repro.oskern.msr_driver import FaultPlan
 from repro.oskern.scheduler import OSKernel
 
 EXIT_OK = 0
@@ -38,6 +45,7 @@ EXIT_ERROR = 1
 EXIT_USAGE = 2
 EXIT_DRIVER = 3
 EXIT_DEGRADED = 4
+# 5/6/7 (recovered / unrecoverable / killed) come from cli.common.
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("workload", nargs="?", default="stream_icc",
                         help=f"simulated workload: {', '.join(WORKLOADS)}")
     add_arch_argument(parser, default="nehalem_ep")
+    add_journal_arguments(parser)
     add_profile_arguments(parser)
     return parser
 
@@ -85,6 +94,12 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run(args: argparse.Namespace) -> int:
+    usage = check_journal_arguments(args, "likwid-perfctr")
+    if usage is not None:
+        print(usage, file=sys.stderr)
+        return EXIT_USAGE
+    if args.recover:
+        return run_recovery(args, "likwid-perfctr")
     machine = machine_from_args(args)
     if args.list_groups:
         for name, group in sorted(groups_for(machine.spec).items()):
@@ -114,15 +129,21 @@ def _run(args: argparse.Namespace) -> int:
     pin = cpus if args.pin else None
     group_name = args.group if ":" not in args.group else None
 
-    driver = None
+    faults = None
     if args.msr_faults:
         try:
-            driver = MsrDriver(machine,
-                               faults=FaultPlan.from_string(args.msr_faults))
+            faults = FaultPlan.from_string(args.msr_faults)
         except ValueError as exc:
             print(f"likwid-perfctr: bad --msr-faults: {exc}",
                   file=sys.stderr)
             return EXIT_USAGE
+    try:
+        driver = driver_from_args(machine, args, faults=faults)
+    except JournalError as exc:
+        print(f"likwid-perfctr: cannot load journal: {exc}",
+              file=sys.stderr)
+        return EXIT_UNRECOVERABLE
+    warn_orphaned_journal(driver, "likwid-perfctr")
     perfctr = LikwidPerfCtr(machine, driver, strict_io=args.strict_io)
     try:
         if args.marker:
@@ -149,6 +170,17 @@ def _run(args: argparse.Namespace) -> int:
             cpus, args.group,
             lambda: run_workload(args.workload, machine, kernel,
                                  nthreads=nthreads, pin_cpus=pin))
+    except ProcessKilled as exc:
+        print(f"likwid-perfctr: {exc}", file=sys.stderr)
+        if args.journal:
+            print(f"likwid-perfctr: run `likwid-perfctr --recover "
+                  f"--journal {args.journal} --arch {args.arch}` to "
+                  f"restore pristine msr state", file=sys.stderr)
+        return EXIT_KILLED
+    except SimulatedInterrupt as exc:
+        # Graceful ^C: session teardown already ran on the way out.
+        print(f"likwid-perfctr: interrupted: {exc}", file=sys.stderr)
+        return 130
     except DegradedError as exc:
         print(f"likwid-perfctr: {exc}", file=sys.stderr)
         return EXIT_DEGRADED

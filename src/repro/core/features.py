@@ -84,20 +84,40 @@ class LikwidFeatures:
                 f"{', '.join(sorted(regs.MISC_ENABLE_BY_KEY))}") from None
 
     def _set(self, key: str, enabled: bool) -> FeatureState:
+        """Read-modify-write-verify with restore-on-mismatch.
+
+        The write is journaled (crash safety: a kill between write and
+        verify is undone by ``--recover``), then read back.  If the
+        device did not latch the requested value — a masked bit, a
+        misdeclared write mask — the original value is written back
+        and :class:`~repro.errors.FeatureError` is raised, so a
+        half-applied toggle never survives the tool run."""
         bit = self._bit(key)
         if not bit.writable:
             raise FeatureError(f"feature {bit.key} is read-only")
         raw_bit_value = (not enabled) if bit.invert else enabled
+        epoch = self.driver.begin_epoch()
         msr = self.driver.open(self.cpu, write=True)
         try:
-            value = msr.read_msr(regs.IA32_MISC_ENABLE)
+            before = msr.read_msr(regs.IA32_MISC_ENABLE)
             if raw_bit_value:
-                value |= 1 << bit.bit
+                value = before | (1 << bit.bit)
             else:
-                value &= ~(1 << bit.bit)
-            msr.write_msr(regs.IA32_MISC_ENABLE, value)
+                value = before & ~(1 << bit.bit)
+            msr.journaled_write(regs.IA32_MISC_ENABLE, value)
+            readback = msr.read_msr(regs.IA32_MISC_ENABLE)
+            if readback != value:
+                msr.journaled_write(regs.IA32_MISC_ENABLE, before)
+                restored = msr.read_msr(regs.IA32_MISC_ENABLE)
+                state = ("original value restored" if restored == before
+                         else f"restore also failed (left {restored:#x})")
+                raise FeatureError(
+                    f"verify failed toggling {bit.key} on cpu "
+                    f"{self.cpu}: wrote {value:#x}, read back "
+                    f"{readback:#x}; {state}")
         finally:
             msr.close()
+            self.driver.end_epoch(epoch)
         return self.state(key)
 
     def enable(self, key: str) -> FeatureState:

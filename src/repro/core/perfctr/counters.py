@@ -211,10 +211,14 @@ class CounterProgrammer:
         return self._io(lambda: msr.read_msr(address))
 
     def _write(self, msr, address: int, value: int) -> None:
+        # Every state-mutating write goes through the journaling
+        # driver API (crash safety: docs/robustness.md; statically
+        # enforced by the LK501 lint).  With journaling off this is a
+        # plain device write.
         if self.driver.fault_plan is None:
-            msr.write_msr(address, value)
+            msr.journaled_write(address, value)
             return
-        self._io(lambda: msr.write_msr(address, value))
+        self._io(lambda: msr.journaled_write(address, value))
 
     def _io(self, op):
         from repro.errors import MsrIOError

@@ -42,7 +42,7 @@ from repro.core.perfctr.events import is_event_string, parse_event_string
 from repro.core.perfctr.formula import evaluate
 from repro.core.perfctr.groups import GroupDef, lookup_group
 from repro.errors import (CounterError, DegradedError, MsrIOError,
-                          MsrPermissionError)
+                          MsrPermissionError, SocketLockError)
 from repro.hw.machine import SimMachine
 from repro.oskern.msr_driver import MsrDriver
 
@@ -76,9 +76,10 @@ class MeasurementResult:
 
 def _degradable(exc: Exception) -> bool:
     """Uncore failures the runtime may absorb as per-event NaN:
-    device permission errors and sticky/exhausted I/O faults.  A
-    vanished module (ENODEV) or any other MsrError stays fatal."""
-    if isinstance(exc, MsrPermissionError):
+    device permission errors, sticky/exhausted I/O faults, and a
+    socket lock held by another *live* session.  A vanished module
+    (ENODEV) or any other MsrError stays fatal."""
+    if isinstance(exc, (MsrPermissionError, SocketLockError)):
         return True
     if isinstance(exc, MsrIOError):
         return exc.errno_name in ("EIO", "EAGAIN")
@@ -103,6 +104,7 @@ class PerfCtrSession:
         if len(set(cpus)) != len(cpus):
             raise CounterError(f"duplicate cpus in measurement set {cpus}")
         self.machine = machine
+        self.driver = driver
         self.cpus = list(cpus)
         self.assignments = assignments
         self.group = group
@@ -110,6 +112,9 @@ class PerfCtrSession:
         self.counters = CounterMap(machine.spec)
         self.programmer = CounterProgrammer(driver, self.counters,
                                             retry_policy)
+        # Session epoch: the unit the write-ahead journal and the
+        # socket-lock table attribute this session's mutations to.
+        self._epoch: int | None = None
         self._started_at: float | None = None
         self._stopped = False
         self._closed = False
@@ -161,6 +166,7 @@ class PerfCtrSession:
                 self._start_inner()
             except Exception:
                 self._teardown()
+                self._end_epoch()
                 raise
         if _trace.TRACER.enabled:
             _trace.incr("perfctr.sessions.started")
@@ -169,10 +175,23 @@ class PerfCtrSession:
         self._overflows.clear()
         self._base = {}
         self._stopped = False
+        if self._epoch is None:
+            self._epoch = self.driver.begin_epoch()
+        # Acquire each socket's uncore lock before touching its
+        # counters.  A lock held by a *live* session degrades this
+        # socket to NaN (SocketLockError is degradable); a stale lock
+        # from a crashed run is reclaimed inside the driver.
+        for socket, cpu in self.socket_locks.items():
+            self._guarded_uncore(
+                socket, cpu, "lock acquisition",
+                lambda s=socket, c=cpu: self.driver.acquire_socket_lock(
+                    s, c, self._epoch))
         with _trace.span("perfctr.program", cpus=len(self.cpus)):
             for cpu in self.cpus:
                 self.programmer.setup_core(cpu, self.core_assignments)
             for socket, cpu in self.socket_locks.items():
+                if socket in self._degraded_sockets:
+                    continue
                 self._guarded_uncore(
                     socket, cpu, "setup",
                     lambda c=cpu: self.programmer.setup_uncore(
@@ -239,10 +258,23 @@ class PerfCtrSession:
             self.wall_time = _time.perf_counter() - self._started_at
             self._teardown()
             self._stopped = True
+        else:
+            self._release_locks()
+        self._end_epoch()
         self._unregister_overflow_handlers()
 
+    def _end_epoch(self) -> None:
+        if self._epoch is None:
+            return
+        try:
+            self.driver.end_epoch(self._epoch)
+        except Exception:
+            pass
+        self._epoch = None
+
     def _teardown(self) -> None:
-        """Best-effort disable of every counter this session touched."""
+        """Best-effort disable of every counter this session touched,
+        then release its socket locks."""
         for cpu in self.cpus:
             try:
                 self.programmer.stop_core(cpu, self.core_assignments)
@@ -251,6 +283,20 @@ class PerfCtrSession:
         for socket, cpu in self.socket_locks.items():
             try:
                 self.programmer.stop_uncore(cpu)
+            except Exception:
+                pass
+        self._release_locks()
+
+    def _release_locks(self) -> None:
+        """Drop this session's socket locks.  The driver compares pid
+        *and* epoch before touching an entry, so a lock lost to a
+        stale-reclaim is left with its new owner (the mismatch is
+        counted as ``recover.lock_conflict``)."""
+        if self._epoch is None:
+            return
+        for socket in self.socket_locks:
+            try:
+                self.driver.release_socket_lock(socket, self._epoch)
             except Exception:
                 pass
 

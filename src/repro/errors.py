@@ -59,6 +59,55 @@ class DegradedError(ReproError):
     caller asked for strict I/O semantics (``--strict-io``)."""
 
 
+class ProcessKilled(ReproError):
+    """The simulated tool process was killed (SIGKILL model).
+
+    Raised by the msr driver when a :class:`FaultPlan` with
+    ``kill_after=N`` fires: the process model dies *mid-operation*
+    with no teardown — every subsequent driver operation raises this
+    again (a dead process executes nothing), so whatever MSR state the
+    session had mutated stays mutated and its write-ahead journal
+    stays orphaned until ``--recover`` replays it."""
+
+
+class SimulatedInterrupt(ReproError):
+    """The simulated tool process received SIGINT (``sigint_after=N``).
+
+    Unlike :class:`ProcessKilled` this is a *graceful* abort: the
+    exception propagates through the session context managers, so the
+    normal teardown (counters disabled, socket locks released, journal
+    retired) still runs — the contract tests assert the difference."""
+
+
+class JournalError(ReproError):
+    """Write-ahead journal failure (bad record, unclassified register)."""
+
+
+class JournalCorruptError(JournalError):
+    """A journal record *before* the tail failed its checksum.
+
+    A torn tail record is expected (the crash happened mid-append) and
+    is silently truncated; a bad record with valid records after it
+    means the history is lost and recovery would mis-restore — the
+    recovery engine refuses and the CLI exits 'unrecoverable'."""
+
+
+class SocketLockError(MsrError):
+    """An uncore socket lock is held by another *live* owner.
+
+    Subclasses :class:`MsrError` so the perfctr runtime can degrade
+    the affected socket's uncore events to NaN (the same policy as a
+    permission failure) instead of aborting the whole measurement.
+    Locks whose owner is dead are never reported through this error —
+    they are reclaimed in place (stale-lock recovery)."""
+
+    def __init__(self, message: str, *, socket: int | None = None,
+                 owner_pid: int | None = None):
+        super().__init__(message)
+        self.socket = socket
+        self.owner_pid = owner_pid
+
+
 class TopologyError(ReproError):
     """Topology decoding failed or produced an inconsistent layout."""
 

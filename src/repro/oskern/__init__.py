@@ -1,12 +1,23 @@
 """Simulated Linux-like OS layer: scheduler, msr driver, /proc, sysfs,
-OpenMP runtimes and the pthread_create preload mechanism."""
+OpenMP runtimes, the pthread_create preload mechanism, and the
+crash-safety machinery (write-ahead MSR journal, socket-lock table,
+orphaned-state recovery)."""
 
+from repro.oskern.journal import (JournalRecord, JournalScan, MsrJournal,
+                                  state_mutating_addresses)
+from repro.oskern.locks import SocketLock, SocketLockTable
 from repro.oskern.msr_driver import (DriverStats, FaultPlan, MsrDriver,
                                      MsrFile)
 from repro.oskern.openmp import OpenMPRuntime, Team
 from repro.oskern.preload import PinOverlay
+from repro.oskern.proc import SimProcessTable, pid_alive
+from repro.oskern.recovery import RecoveryEngine, RecoveryReport, recover
 from repro.oskern.scheduler import OSKernel
 from repro.oskern.threads import SimThread, ThreadKind
 
 __all__ = ["OSKernel", "SimThread", "ThreadKind", "MsrDriver", "MsrFile",
-           "DriverStats", "FaultPlan", "OpenMPRuntime", "Team", "PinOverlay"]
+           "DriverStats", "FaultPlan", "OpenMPRuntime", "Team", "PinOverlay",
+           "MsrJournal", "JournalRecord", "JournalScan",
+           "state_mutating_addresses", "SocketLock", "SocketLockTable",
+           "SimProcessTable", "pid_alive",
+           "RecoveryEngine", "RecoveryReport", "recover"]

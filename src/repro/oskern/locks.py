@@ -1,0 +1,94 @@
+"""Uncore socket locks with owner liveness (paper §II.A, §III.C).
+
+Uncore counters are socket-scope, so likwid-perfctr elects one thread
+per socket — the *socket lock owner* — to program and read them.  The
+original tool implements the lock as shared state that survives the
+process; the consequence it long struggled with is a crashed run
+leaving sockets locked for every subsequent measurement.
+
+:class:`SocketLockTable` models the shared lock state with enough
+metadata to fix that: each lock stores its **owner pid** and the
+**session epoch** that acquired it.  Acquisition against a *live*
+owner fails (:class:`~repro.errors.SocketLockError`, which the
+perfctr runtime degrades to per-event NaN); acquisition against a
+*dead* owner reclaims the stale lock in place instead of failing —
+the ``recover.stale_locks_reclaimed`` metric counts every steal.
+Release compares pid **and** epoch, so a session that lost its lock
+to a reclaim cannot clobber the new owner's entry
+(``recover.lock_conflict``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SocketLockError
+from repro.oskern.proc import SimProcessTable
+
+
+@dataclass(frozen=True)
+class SocketLock:
+    """One held lock: which socket, who owns it, since which epoch."""
+
+    socket: int
+    owner_pid: int
+    epoch: int
+    cpu: int = -1     # the owning hardware thread (informational)
+
+
+class SocketLockTable:
+    """Shared socket-lock state for one machine's uncore PMUs."""
+
+    def __init__(self, procs: SimProcessTable):
+        self.procs = procs
+        self._locks: dict[int, SocketLock] = {}
+
+    def holder(self, socket: int) -> SocketLock | None:
+        return self._locks.get(socket)
+
+    def held(self) -> dict[int, SocketLock]:
+        """All currently held locks, by socket."""
+        return dict(self._locks)
+
+    def acquire(self, socket: int, cpu: int, pid: int,
+                epoch: int) -> bool:
+        """Take the lock for (pid, epoch).
+
+        Returns ``True`` on a plain acquisition, ``False`` when a
+        stale lock (dead owner) was reclaimed along the way.  Raises
+        :class:`SocketLockError` when a *live* owner holds it."""
+        current = self._locks.get(socket)
+        stale = False
+        if current is not None:
+            if current.owner_pid == pid and current.epoch == epoch:
+                return True          # re-entrant within one session
+            if self.procs.alive(current.owner_pid):
+                raise SocketLockError(
+                    f"socket {socket} uncore lock held by live "
+                    f"pid {current.owner_pid} (epoch {current.epoch})",
+                    socket=socket, owner_pid=current.owner_pid)
+            stale = True             # dead owner: reclaim in place
+        self._locks[socket] = SocketLock(socket, pid, epoch, cpu)
+        return not stale
+
+    def release(self, socket: int, pid: int, epoch: int) -> bool:
+        """Drop the lock if (pid, epoch) still owns it.
+
+        Returns ``False`` — without touching the entry — when the
+        lock is gone or owned by someone else (it was reclaimed or
+        re-acquired mid-session); the caller records the conflict."""
+        current = self._locks.get(socket)
+        if current is None or current.owner_pid != pid \
+                or current.epoch != epoch:
+            return False
+        del self._locks[socket]
+        return True
+
+    def force_release(self, socket: int) -> SocketLock | None:
+        """Unconditional removal (recovery engine only)."""
+        return self._locks.pop(socket, None)
+
+    def stale(self) -> list[SocketLock]:
+        """Held locks whose owner is no longer alive."""
+        return [lock for lock in self._locks.values()
+                if not self.procs.alive(lock.owner_pid)]

@@ -28,8 +28,13 @@ import time as _time
 from dataclasses import dataclass, field
 
 from repro import trace as _trace
-from repro.errors import MsrError, MsrIOError, MsrPermissionError
+from repro.errors import (JournalError, MsrError, MsrIOError,
+                          MsrPermissionError, ProcessKilled,
+                          SimulatedInterrupt)
 from repro.hw.machine import SimMachine
+from repro.oskern.journal import MsrJournal, state_mutating_addresses
+from repro.oskern.locks import SocketLockTable
+from repro.oskern.proc import SimProcessTable
 from repro.trace.metrics import MetricsRegistry
 
 
@@ -93,6 +98,20 @@ class FaultPlan:
       register, preload it with ``2**width - overflow_after`` instead,
       so the counter overflows (wraps past zero) after that many
       events — the standard trick for forcing mid-run wrap-around.
+    * ``kill_after`` — after this many device operations the tool
+      *process model dies* (SIGKILL semantics): the operation raises
+      :class:`~repro.errors.ProcessKilled`, the driver's pid is marked
+      dead, and **every** later driver call raises the same — no
+      teardown runs, MSR state stays dirty, socket locks stay held and
+      the write-ahead journal stays orphaned.  Recovery is the job of
+      a *new* process (``driver.respawn()`` + the recovery engine, or
+      ``--recover`` on the CLI).  Fires once.
+    * ``sigint_after`` — after this many operations the process model
+      receives a simulated SIGINT: the operation raises
+      :class:`~repro.errors.SimulatedInterrupt`, which propagates
+      through the session context managers so the *graceful* teardown
+      path runs (counters disabled, locks released, journal retired).
+      Fires once; teardown's own device operations proceed normally.
     """
 
     seed: int = 0
@@ -103,6 +122,8 @@ class FaultPlan:
     revoke_write_after: int | None = None
     sticky_addresses: tuple[int, ...] = ()
     overflow_after: int | None = None
+    kill_after: int | None = None
+    sigint_after: int | None = None
 
     def __post_init__(self) -> None:
         for name in ("read_fault_rate", "write_fault_rate"):
@@ -115,6 +136,10 @@ class FaultPlan:
                 f"got {self.transient_errno!r}")
         if self.overflow_after is not None and self.overflow_after < 1:
             raise ValueError("overflow_after must be >= 1")
+        for name in ("kill_after", "sigint_after"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1")
 
     @classmethod
     def from_string(cls, text: str) -> "FaultPlan":
@@ -141,7 +166,7 @@ class FaultPlan:
             elif key in ("read_fault_rate", "write_fault_rate"):
                 kwargs[key] = float(value)
             elif key in ("seed", "unload_after", "revoke_write_after",
-                         "overflow_after"):
+                         "overflow_after", "kill_after", "sigint_after"):
                 kwargs[key] = int(value, 0)
             elif key == "transient_errno":
                 kwargs[key] = value
@@ -160,6 +185,8 @@ class _FaultState:
     rng: random.Random
     op_count: int = 0
     sticky: frozenset = field(default_factory=frozenset)
+    kill_fired: bool = False
+    sigint_fired: bool = False
 
 
 class MsrFile:
@@ -172,8 +199,15 @@ class MsrFile:
         self.writable = writable
         self.closed = False
         self._stats = driver.stats
+        # Bound-method caches for the journaled-write hot path (the
+        # journal and register space never change under an open fd).
+        self._peek = driver.machine.msr[cpu].peek
+        self._mutable = driver.mutable_addresses
+        self._record_write = driver.journal.record_write \
+            if driver.journal is not None else None
 
     def _check_open(self) -> None:
+        self._driver._check_process()
         if self.closed:
             raise MsrError(f"I/O on closed msr device for cpu {self.cpu}")
         if not self._driver.loaded:
@@ -234,6 +268,40 @@ class MsrFile:
     def write_msr(self, address: int, value: int) -> None:
         self.pwrite(address, struct.pack("<Q", value & (2**64 - 1)))
 
+    def journaled_write(self, address: int, value: int) -> None:
+        """The crash-safe write path for state-mutating registers.
+
+        Write-ahead ordering: the journal record — before-value, new
+        value, cpu, register, session epoch — is appended (and, for a
+        file-backed journal, flushed) *before* the device write, so a
+        crash at any instant leaves either an un-acted-on record
+        (recovery restores an unchanged value — idempotent) or a
+        record for a completed write (recovery undoes it).  The
+        before-value is the device's own knowledge of its register
+        file, so journaling never perturbs the operation clock or the
+        fault dice — a journaled run injects the same faults at the
+        same points as an unjournaled one.
+
+        With journaling disabled (``--no-journal``) this degrades to
+        a plain :meth:`write_msr`; either way the address must be in
+        the architecture's state-mutating classification (the LK5xx
+        lint statically verifies the tool layer only writes through
+        here)."""
+        driver = self._driver
+        journal = driver.journal
+        if journal is None:
+            self.write_msr(address, value)
+            return
+        if address not in self._mutable:
+            raise JournalError(
+                f"journaled write to MSR 0x{address:X}, which is not a "
+                f"state-mutating register of {driver.machine.name} "
+                f"(classifier bug — see docs/linting.md LK502)")
+        self._record_write(driver.current_epoch, self.cpu, address,
+                           self._peek(address),
+                           value & 0xFFFFFFFFFFFFFFFF)
+        self.write_msr(address, value)
+
     def close(self) -> None:
         if not self.closed:
             self.closed = True
@@ -255,7 +323,11 @@ class MsrDriver:
     def __init__(self, machine: SimMachine, *, loaded: bool = True,
                  device_writable: bool = True,
                  faults: FaultPlan | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 journal: MsrJournal | None = None,
+                 journaling: bool = True,
+                 procs: SimProcessTable | None = None,
+                 pid: int | None = None):
         self.machine = machine
         self.loaded = loaded
         self.device_writable = device_writable
@@ -272,6 +344,128 @@ class MsrDriver:
             self._faults = _FaultState(
                 plan=faults, rng=random.Random(faults.seed),
                 sticky=frozenset(faults.sticky_addresses))
+        # Crash-safety state: the write-ahead journal (on by default,
+        # in-memory unless a file-backed one is passed in), the shared
+        # socket-lock table, and the simulated process the driver acts
+        # for.  ``journaling=False`` is the --no-journal path.
+        self.procs = procs if procs is not None else SimProcessTable()
+        self.pid = pid if pid is not None else self.procs.spawn()
+        if not journaling:
+            self.journal: MsrJournal | None = None
+        else:
+            self.journal = journal if journal is not None \
+                else MsrJournal(metrics=self.metrics)
+        self.locks = SocketLockTable(self.procs)
+        self.current_epoch = 0
+        self._open_epochs: set[int] = set()
+        self._epoch_counter = 0
+        self._process_dead = False
+        self._mutable: frozenset[int] | None = None
+
+    @property
+    def mutable_addresses(self) -> frozenset[int]:
+        """The architecture's state-mutating register classification
+        (journal write surface), computed once per driver."""
+        if self._mutable is None:
+            self._mutable = state_mutating_addresses(self.machine.spec)
+        return self._mutable
+
+    # -- process model ---------------------------------------------------------
+
+    @property
+    def process_alive(self) -> bool:
+        return not self._process_dead
+
+    def _check_process(self) -> None:
+        if self._process_dead:
+            raise ProcessKilled(
+                f"pid {self.pid} was killed mid-session; msr state may "
+                f"be dirty — recover before measuring")
+
+    def _die(self) -> None:
+        """SIGKILL the process model: mark the pid dead and refuse
+        every further driver operation."""
+        self._process_dead = True
+        self.procs.kill(self.pid)
+        raise ProcessKilled(
+            f"pid {self.pid} killed after "
+            f"{self._faults.op_count if self._faults else 0} device "
+            f"operations (kill_after fault); no teardown will run")
+
+    def respawn(self) -> int:
+        """Start a new process model against the same hardware (the
+        recovering tool invocation).  The dirty MSR state, held locks
+        and orphaned journal are untouched — that is recovery's job."""
+        self.pid = self.procs.spawn()
+        self._process_dead = False
+        self.current_epoch = 0
+        return self.pid
+
+    # -- session epochs --------------------------------------------------------
+
+    def begin_epoch(self) -> int:
+        """Open a session epoch: the unit the journal and socket locks
+        attribute mutations to."""
+        self._check_process()
+        if self.journal is not None:
+            epoch = self.journal.begin_epoch()
+        else:
+            self._epoch_counter += 1
+            epoch = self._epoch_counter
+        self._open_epochs.add(epoch)
+        self.current_epoch = epoch
+        return epoch
+
+    def end_epoch(self, epoch: int) -> None:
+        """Close a session epoch.  When no epoch remains open and no
+        socket lock is held, the journal is retired — a cleanly ended
+        run leaves nothing to recover."""
+        if self._process_dead:
+            return          # a dead process runs no epilogue
+        self._open_epochs.discard(epoch)
+        if self.current_epoch == epoch:
+            self.current_epoch = 0
+        if self.journal is not None and not self._open_epochs \
+                and not self.locks.held():
+            self.journal.clear()
+
+    # -- socket locks ----------------------------------------------------------
+
+    def acquire_socket_lock(self, socket: int, cpu: int,
+                            epoch: int) -> None:
+        """Take a socket's uncore lock for this pid/epoch, journaling
+        the transition.  A stale lock (dead owner) is reclaimed in
+        place and counted in ``recover.stale_locks_reclaimed``; a
+        live owner raises :class:`~repro.errors.SocketLockError`."""
+        self._check_process()
+        holder = self.locks.holder(socket)
+        fresh = self.locks.acquire(socket, cpu, self.pid, epoch)
+        if not fresh:
+            self.metrics.incr("recover.stale_locks_reclaimed")
+            if self.journal is not None and holder is not None:
+                self.journal.record_unlock(holder.epoch, socket,
+                                           holder.owner_pid)
+        if self.journal is not None:
+            self.journal.record_lock(epoch, socket, self.pid)
+
+    def release_socket_lock(self, socket: int, epoch: int) -> bool:
+        """Drop a socket lock held by this pid/epoch.
+
+        Returns ``False`` — and counts ``recover.lock_conflict`` —
+        when the lock was lost to another owner mid-session, leaving
+        the new owner's entry untouched.  A dead process releases
+        nothing (its locks go stale instead)."""
+        if self._process_dead:
+            return False
+        if not self.locks.release(socket, self.pid, epoch):
+            if self.locks.holder(socket) is not None:
+                self.metrics.incr("recover.lock_conflict")
+            return False
+        if self.journal is not None:
+            self.journal.record_unlock(epoch, socket, self.pid)
+        return True
+
+    # -- module lifecycle ------------------------------------------------------
 
     def load(self) -> None:
         """modprobe msr"""
@@ -282,6 +476,7 @@ class MsrDriver:
 
     def open(self, cpu: int, *, write: bool = True) -> MsrFile:
         """Open ``/dev/cpu/<cpu>/msr``."""
+        self._check_process()
         self._count_op()
         if not self.loaded:
             raise MsrError(
@@ -299,7 +494,7 @@ class MsrDriver:
 
     def _count_op(self) -> None:
         """Advance the operation clock and fire any scheduled state
-        flips (module unload, permission revocation)."""
+        flips (module unload, permission revocation, process death)."""
         state = self._faults
         if state is None:
             return
@@ -312,6 +507,16 @@ class MsrDriver:
                 and state.op_count > plan.revoke_write_after \
                 and self.device_writable:
             self.device_writable = False
+        if plan.kill_after is not None and not state.kill_fired \
+                and state.op_count > plan.kill_after:
+            state.kill_fired = True
+            self._die()         # raises ProcessKilled
+        if plan.sigint_after is not None and not state.sigint_fired \
+                and state.op_count > plan.sigint_after:
+            state.sigint_fired = True
+            raise SimulatedInterrupt(
+                f"simulated SIGINT after {state.op_count - 1} device "
+                f"operations; graceful teardown should follow")
 
     def _before_op(self, cpu: int, address: int, *, write: bool) -> None:
         """Roll the dice for one pread/pwrite; raise to inject."""

@@ -1,17 +1,92 @@
-"""Rendering of ``/proc/cpuinfo`` for a simulated machine.
+"""The ``/proc`` surface of the simulated OS.
 
-The paper notes that the Linux kernel "numbers the usable cores and
-makes this information accessible in /proc/cpuinfo", but that the
-mapping to node topology is opaque — which is exactly what this
-renderer shows: per-CPU stanzas with ``physical id``/``core id``
-fields whose relation to caches and sockets needs likwid-topology to
-untangle.
+Two pieces live here:
+
+* rendering of ``/proc/cpuinfo`` for a simulated machine — the paper
+  notes that the Linux kernel "numbers the usable cores and makes
+  this information accessible in /proc/cpuinfo", but that the mapping
+  to node topology is opaque, which is exactly what the renderer
+  shows;
+* **process liveness** — the ``kill -0`` style existence probe the
+  crash-recovery machinery uses to decide whether a socket-lock owner
+  or journal epoch belongs to a process that is still alive.  The
+  simulated process table (:class:`SimProcessTable`) models the tool
+  process the msr driver acts for, so a ``kill_after`` fault can
+  "kill" it without taking the test process down; pids the table did
+  not create fall back to a real OS-level probe, which is what makes
+  cross-process CLI recovery honest (a crashed ``likwid-perfctr``
+  leaves its real pid in the journal, and the recovering run sees it
+  as dead).
 """
 
 from __future__ import annotations
 
+import os
+
 from repro.hw.cpuid import decode_signature
 from repro.hw.machine import SimMachine
+
+
+def pid_alive(pid: int) -> bool:
+    """OS-level liveness probe: ``kill(pid, 0)`` semantics.
+
+    ``ESRCH`` (no such process) means dead; ``EPERM`` means the
+    process exists but belongs to someone else — alive for lock
+    purposes.  Non-positive pids are never alive (0/-1 address
+    process groups, not processes)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+class SimProcessTable:
+    """Liveness registry for simulated tool processes.
+
+    ``spawn()`` allocates a pid from a private range far above any
+    real pid_max so simulated pids can never collide with (and be
+    shadowed by) live OS processes.  ``alive()`` answers for spawned
+    pids from the table and delegates everything else to
+    :func:`pid_alive`, so one probe serves both the in-process crash
+    matrix and real crashed-CLI journals.
+
+    Allocation is process-wide (class-level counter) and offset by the
+    hosting real pid: a recovering invocation — whether a new table in
+    the same interpreter or a different OS process reading the crashed
+    run's journal — can never re-allocate the dead run's pid and
+    thereby mistake its stale locks for its own live ones."""
+
+    #: First simulated pid; Linux pid_max caps real pids at 2**22.
+    PID_BASE = 1 << 24
+    _counter = 0     # shared across every table in this process
+
+    def __init__(self):
+        self._alive: dict[int, bool] = {}
+
+    def spawn(self) -> int:
+        pid = self.PID_BASE + ((os.getpid() & 0xFFFF) << 12) \
+            + SimProcessTable._counter
+        SimProcessTable._counter += 1
+        self._alive[pid] = True
+        return pid
+
+    def kill(self, pid: int) -> None:
+        """SIGKILL model: mark a spawned pid dead (idempotent)."""
+        if pid in self._alive:
+            self._alive[pid] = False
+
+    def alive(self, pid: int) -> bool:
+        known = self._alive.get(pid)
+        if known is not None:
+            return known
+        return pid_alive(pid)
 
 
 def render_cpuinfo(machine: SimMachine) -> str:

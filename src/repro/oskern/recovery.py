@@ -1,0 +1,161 @@
+"""Orphaned-state recovery: replay the journal, reclaim stale locks.
+
+A crashed (killed) tool run leaves three things behind: mutated MSR
+state on every cpu it touched, socket locks owned by a dead pid, and
+the write-ahead journal recording exactly what was mutated.  The
+recovery engine — ``likwid-perfctr --recover`` / ``likwid-features
+--recover`` on the CLI — undoes all of it:
+
+1. **Scan** the journal, validating checksums.  A torn tail record is
+   truncated (write-ahead ordering guarantees its MSR write never
+   happened); corruption anywhere earlier raises
+   :class:`~repro.errors.JournalCorruptError` and nothing is touched
+   — mis-restoring is worse than reporting 'unrecoverable'.
+2. **Replay backwards**: walk the write records newest-to-oldest,
+   restoring each register's before-value.  The earliest record per
+   register is applied last, so the end state is bit-identical to the
+   pristine pre-session state no matter how many times a register was
+   rewritten.  Restores go through the machine's register file with
+   normal write semantics (write masks preserved, control-register
+   hooks fire), bypassing the fault-injection dice — the recovery
+   path is the driver's own crash-consistency machinery, not tool
+   I/O.
+3. **Reclaim stale locks**: every socket lock — from the journal's
+   outstanding lock records and the in-process table — whose owner
+   pid is dead is force-released; a lock with a *live* owner is left
+   alone (that session is still measuring).
+4. **Retire** the journal.
+
+Metrics: ``recover.restored``, ``recover.stale_locks_reclaimed``
+(shared with the acquisition-time steal path) and
+``journal.torn_records_truncated`` flow into the same registry as
+every other ``repro.trace`` counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import trace as _trace
+from repro.errors import JournalError
+from repro.oskern.journal import OP_WRITE
+from repro.oskern.msr_driver import MsrDriver
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass found and did."""
+
+    scanned_records: int = 0
+    restored_writes: int = 0
+    stale_locks_reclaimed: int = 0
+    live_locks_left: int = 0
+    torn_bytes_dropped: int = 0
+    epochs_seen: tuple[int, ...] = ()
+    registers: list[tuple[int, int, int]] = field(default_factory=list)
+    # (cpu, address, restored value) in restore order
+
+    @property
+    def clean(self) -> bool:
+        """Nothing was dirty: no writes undone, no locks reclaimed."""
+        return self.restored_writes == 0 \
+            and self.stale_locks_reclaimed == 0
+
+    def summary(self) -> str:
+        if self.clean:
+            return ("journal clean: no orphaned msr state, "
+                    "no stale socket locks")
+        parts = [f"restored {self.restored_writes} msr write(s) "
+                 f"across {len({(c, a) for c, a, _ in self.registers})} "
+                 f"register(s)",
+                 f"reclaimed {self.stale_locks_reclaimed} stale "
+                 f"socket lock(s)"]
+        if self.torn_bytes_dropped:
+            parts.append(f"truncated {self.torn_bytes_dropped} torn "
+                         f"tail byte(s)")
+        if self.live_locks_left:
+            parts.append(f"left {self.live_locks_left} lock(s) with "
+                         f"live owners untouched")
+        return "; ".join(parts)
+
+
+class RecoveryEngine:
+    """Replays a driver's journal backwards and reclaims stale locks."""
+
+    def __init__(self, driver: MsrDriver):
+        self.driver = driver
+
+    def recover(self) -> RecoveryReport:
+        """One full recovery pass; raises
+        :class:`~repro.errors.JournalCorruptError` on a journal whose
+        history cannot be trusted (the CLI's 'unrecoverable' exit)."""
+        driver = self.driver
+        if not driver.process_alive:
+            raise JournalError(
+                "recovery must run from a live process "
+                "(driver.respawn() first)")
+        with _trace.span("recover.run"):
+            return self._recover_inner()
+
+    def _recover_inner(self) -> RecoveryReport:
+        driver = self.driver
+        metrics = driver.metrics
+        report = RecoveryReport()
+        journal = driver.journal
+
+        scan = None
+        if journal is not None:
+            scan = journal.scan()       # raises JournalCorruptError
+            report.scanned_records = len(scan.records)
+            report.torn_bytes_dropped = scan.torn_bytes
+            report.epochs_seen = tuple(sorted(
+                {r.epoch for r in scan.records}))
+
+        # Backwards replay: newest record first, so the earliest
+        # (pristine) before-value of each register lands last.
+        if scan is not None:
+            machine = driver.machine
+            for rec in reversed(scan.records):
+                if rec.op != OP_WRITE:
+                    continue
+                space = machine.msr[rec.cpu]
+                if space.peek(rec.address) == rec.before:
+                    continue    # unchanged (or the record's write was
+                    # never acted on) — replaying would be a no-op
+                space.write(rec.address, rec.before)
+                report.restored_writes += 1
+                report.registers.append(
+                    (rec.cpu, rec.address, rec.before))
+                metrics.incr("recover.restored")
+
+        # Stale-lock reclaim over the union of journal-derived
+        # outstanding locks (a crashed process's locks may exist only
+        # in its journal) and the in-process lock table.
+        report = self._reclaim(scan, report)
+
+        if journal is not None:
+            journal.clear()
+        return report
+
+    def _reclaim(self, scan, report: RecoveryReport) -> RecoveryReport:
+        driver = self.driver
+        metrics = driver.metrics
+        # Union of journal-derived and in-table locks, keyed by socket.
+        outstanding: dict[int, tuple[int, int]] = {}
+        if scan is not None:
+            outstanding.update(scan.outstanding_locks())
+        for socket, lock in driver.locks.held().items():
+            outstanding[socket] = (lock.owner_pid, lock.epoch)
+        for socket, (pid, _epoch) in sorted(outstanding.items()):
+            if driver.procs.alive(pid):
+                report.live_locks_left += 1
+                continue
+            driver.locks.force_release(socket)
+            report.stale_locks_reclaimed += 1
+            metrics.incr("recover.stale_locks_reclaimed")
+        return report
+
+
+def recover(driver: MsrDriver) -> RecoveryReport:
+    """Convenience one-shot: ``recover(driver)``."""
+    return RecoveryEngine(driver).recover()

@@ -1,0 +1,69 @@
+"""LK5xx self-check: the shipped tool layer writes MSRs only through
+the journaling API, and the journal's state-mutating classification
+covers the whole write surface on every architecture (ISSUE 5
+satellite 3)."""
+
+import pytest
+
+from repro.analysis.journal_lint import (lint_journal_coverage,
+                                         lint_write_sites,
+                                         programmer_write_surface,
+                                         tool_layer_sources)
+from repro.hw.arch import available, get_arch
+from repro.oskern.journal import state_mutating_addresses
+
+
+class TestWriteSiteScan:
+    def test_shipped_tool_layer_is_clean(self):
+        assert lint_write_sites() == []
+
+    def test_scanned_surface_is_the_tool_layer(self):
+        names = {path.rsplit("/", 1)[-1] for path in tool_layer_sources()}
+        assert "counters.py" in names       # the programmer
+        assert "measurement.py" in names    # the session runtime
+        assert "features.py" in names       # likwid-features
+
+    def test_raw_write_site_detected(self, tmp_path):
+        bad = tmp_path / "rogue.py"
+        bad.write_text(
+            "def setup(msr):\n"
+            "    msr.read_msr(0x38F)\n"           # reads are fine
+            "    msr.write_msr(0x38F, 0x3)\n"     # LK501
+            "    msr.journaled_write(0x186, 1)\n" # the blessed path
+            "    msr.pwrite(0x186, b'x' * 8)\n")  # LK501
+        diags = lint_write_sites([str(bad)])
+        assert [d.code for d in diags] == ["LK501", "LK501"]
+        assert "rogue.py:3" in diags[0].message
+        assert ".pwrite()" in diags[1].message
+
+    def test_diagnostics_are_errors_with_loci(self, tmp_path):
+        bad = tmp_path / "one.py"
+        bad.write_text("handle.write_msr(1, 2)\n")
+        [diag] = lint_write_sites([str(bad)])
+        from repro.analysis.diagnostics import Severity
+        assert diag.severity is Severity.ERROR
+        assert diag.locus == "source:one.py:1"
+
+
+@pytest.mark.parametrize("arch", available())
+class TestJournalCoverage:
+    def test_classification_covers_write_surface(self, arch):
+        assert lint_journal_coverage(get_arch(arch)) == []
+
+    def test_broken_classifier_detected(self, arch, monkeypatch):
+        """Drop one register from the classification: LK502 fires."""
+        spec = get_arch(arch)
+        surface = programmer_write_surface(spec)
+        assert surface, f"{arch} has an empty write surface"
+        victim = min(surface)
+        real = state_mutating_addresses
+
+        def broken(s):
+            return frozenset(real(s) - {victim})
+
+        monkeypatch.setattr("repro.analysis.journal_lint."
+                            "state_mutating_addresses", broken)
+        diags = lint_journal_coverage(spec)
+        assert [d.code for d in diags] == ["LK502"]
+        assert diags[0].arch == arch
+        assert f"0x{victim:X}" in diags[0].message

@@ -1,0 +1,136 @@
+"""CLI-level crash safety: --journal / --no-journal / --recover and
+the exit codes that distinguish killed, recovered, unrecoverable and
+clean outcomes (ISSUE 5).
+
+Exit codes under test (docs/robustness.md):
+0 clean · 2 usage · 5 recovered · 6 unrecoverable · 7 killed.
+"""
+
+import pytest
+
+from repro.cli import features_cmd, perfctr_cmd
+from repro.cli.common import (EXIT_KILLED, EXIT_RECOVERED,
+                              EXIT_UNRECOVERABLE)
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return str(tmp_path / "msr.journal")
+
+
+def kill_run(journal, kill_after=40, group="FLOPS_DP", cpus="0-3"):
+    return perfctr_cmd.main(
+        ["-c", cpus, "-g", group, "--journal", journal,
+         "--msr-faults", f"kill_after={kill_after}",
+         "stream_icc", "--arch", "nehalem_ep"])
+
+
+class TestUsage:
+    def test_recover_without_journal(self, capsys):
+        assert perfctr_cmd.main(["--recover"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_recover_with_no_journal(self, capsys):
+        assert features_cmd.main(["--recover", "--no-journal"]) == 2
+        assert "contradictory" in capsys.readouterr().err
+
+
+class TestPerfctrCrashCycle:
+    def test_kill_recover_rerecover(self, journal, capsys):
+        import os
+        assert kill_run(journal) == EXIT_KILLED
+        err = capsys.readouterr().err
+        assert "killed" in err
+        assert "--recover" in err         # the hint names the remedy
+        assert os.path.exists(journal)    # orphaned journal survives
+
+        rc = perfctr_cmd.main(["--recover", "--journal", journal,
+                               "--arch", "nehalem_ep"])
+        assert rc == EXIT_RECOVERED
+        assert "restored" in capsys.readouterr().out
+        assert not os.path.exists(journal)   # retired after recovery
+
+        rc = perfctr_cmd.main(["--recover", "--journal", journal,
+                               "--arch", "nehalem_ep"])
+        assert rc == 0                       # nothing left: clean
+        assert "journal clean" in capsys.readouterr().out
+
+    def test_uncore_locks_reclaimed(self, journal, capsys):
+        assert kill_run(journal, kill_after=120, group="MEM",
+                        cpus="0-7") == EXIT_KILLED
+        capsys.readouterr()
+        rc = perfctr_cmd.main(["--recover", "--journal", journal,
+                               "--arch", "nehalem_ep"])
+        assert rc == EXIT_RECOVERED
+        assert "reclaimed 2 stale socket lock(s)" in \
+            capsys.readouterr().out
+
+    def test_corrupt_journal_unrecoverable(self, journal, capsys):
+        assert kill_run(journal) == EXIT_KILLED
+        with open(journal, "r+b") as fh:
+            fh.seek(20)
+            fh.write(b"\xff\xff\xff")     # mid-journal corruption
+        rc = perfctr_cmd.main(["--recover", "--journal", journal,
+                               "--arch", "nehalem_ep"])
+        assert rc == EXIT_UNRECOVERABLE
+        assert "unrecoverable" in capsys.readouterr().err
+
+    def test_orphaned_journal_warns_next_run(self, journal, capsys):
+        assert kill_run(journal) == EXIT_KILLED
+        capsys.readouterr()
+        rc = perfctr_cmd.main(["-c", "0-3", "-g", "FLOPS_DP",
+                               "--journal", journal,
+                               "stream_icc", "--arch", "nehalem_ep"])
+        assert rc == 0
+        assert "run --recover first" in capsys.readouterr().err
+
+    def test_clean_run_retires_file_journal(self, journal):
+        import os
+        rc = perfctr_cmd.main(["-c", "0-3", "-g", "FLOPS_DP",
+                               "--journal", journal,
+                               "stream_icc", "--arch", "nehalem_ep"])
+        assert rc == 0
+        assert not os.path.exists(journal)
+
+    def test_no_journal_mode_still_measures(self, capsys):
+        rc = perfctr_cmd.main(["-c", "0-3", "-g", "FLOPS_DP",
+                               "--no-journal",
+                               "stream_icc", "--arch", "nehalem_ep"])
+        assert rc == 0
+        assert "DP MFlops/s" in capsys.readouterr().out
+
+    def test_sigint_exits_130_clean(self, journal, capsys):
+        import os
+        rc = perfctr_cmd.main(
+            ["-c", "0-3", "-g", "FLOPS_DP", "--journal", journal,
+             "--msr-faults", "sigint_after=40",
+             "stream_icc", "--arch", "nehalem_ep"])
+        assert rc == 130
+        assert "interrupted" in capsys.readouterr().err
+        assert not os.path.exists(journal)   # graceful teardown ran
+
+
+class TestFeaturesCrashCycle:
+    def test_clean_toggle_retires_journal(self, tmp_path, capsys):
+        import os
+        journal = str(tmp_path / "features.journal")
+        rc = features_cmd.main(["-u", "CL_PREFETCHER",
+                                "--journal", journal,
+                                "--arch", "core2"])
+        assert rc == 0
+        assert "CL_PREFETCHER: disabled" in capsys.readouterr().out
+        assert not os.path.exists(journal)
+        rc = features_cmd.main(["--recover", "--journal", journal,
+                                "--arch", "core2"])
+        assert rc == 0
+        assert "journal clean" in capsys.readouterr().out
+
+    def test_recover_perfctr_journal_via_features(self, journal, capsys):
+        """One journal format, one recovery engine: either front-end
+        can recover the other's orphaned state."""
+        assert kill_run(journal) == EXIT_KILLED
+        capsys.readouterr()
+        rc = features_cmd.main(["--recover", "--journal", journal,
+                                "--arch", "nehalem_ep"])
+        assert rc == EXIT_RECOVERED
+        assert "restored" in capsys.readouterr().out

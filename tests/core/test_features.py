@@ -99,3 +99,72 @@ class TestRestrictions:
     def test_core2duo_also_supported(self):
         features = LikwidFeatures(MsrDriver(create_machine("core2duo")))
         assert "Intel Core 2 65nm processor" in features.report()
+
+
+class TestVerifiedWrite:
+    """Satellite 1 (ISSUE 5): read-modify-write-verify semantics."""
+
+    def _mask_bit(self, machine, key, cpu=0):
+        """Make one MISC_ENABLE bit unwritable, so the device silently
+        drops the toggle (a misdeclared write mask, in effect)."""
+        from repro.hw import registers as regs
+        bit = regs.MISC_ENABLE_BY_KEY[key]
+        reg = machine.msr[cpu]._reg(regs.IA32_MISC_ENABLE)
+        reg.write_mask &= ~(1 << bit.bit)
+        return bit
+
+    def test_verify_mismatch_raises_and_restores(self):
+        machine = create_machine("core2")
+        driver = MsrDriver(machine)
+        features = LikwidFeatures(driver, cpu=0)
+        before = features._read()
+        self._mask_bit(machine, "CL_PREFETCHER")
+        with pytest.raises(FeatureError, match="verify failed"):
+            features.disable("CL_PREFETCHER")
+        assert features._read() == before
+        assert features.state("CL_PREFETCHER").enabled
+
+    def test_failed_toggle_leaves_no_journal_orphan(self):
+        """The verify failure is a *handled* error: the epoch closes
+        and the journal retires; nothing is left to recover."""
+        machine = create_machine("core2")
+        driver = MsrDriver(machine)
+        features = LikwidFeatures(driver, cpu=0)
+        self._mask_bit(machine, "DCU_PREFETCHER")
+        with pytest.raises(FeatureError):
+            features.disable("DCU_PREFETCHER")
+        assert driver.journal.record_count == 0
+        from repro.oskern.recovery import RecoveryEngine
+        assert RecoveryEngine(driver).recover().clean
+
+    def test_toggle_is_journaled_while_in_flight(self):
+        """The write-ahead record exists before the mutation: a kill
+        between write and verify is recoverable."""
+        from repro.errors import ProcessKilled
+        from repro.hw import registers as regs
+        from repro.oskern.msr_driver import FaultPlan
+        from repro.oskern.recovery import RecoveryEngine
+        machine = create_machine("core2")
+        pristine = machine.msr[0].peek(regs.IA32_MISC_ENABLE)
+        # Ops: open doesn't roll the clock without a plan; with one it
+        # does: op1=open, op2=read, write is op3 — kill on the verify
+        # read (op4) leaves the journaled write applied but unverified.
+        driver = MsrDriver(machine, faults=FaultPlan(kill_after=3))
+        features = LikwidFeatures(driver, cpu=0)
+        with pytest.raises(ProcessKilled):
+            features.disable("CL_PREFETCHER")
+        assert machine.msr[0].peek(regs.IA32_MISC_ENABLE) != pristine
+        assert driver.journal.record_count == 1
+        driver.respawn()
+        report = RecoveryEngine(driver).recover()
+        assert report.restored_writes == 1
+        assert machine.msr[0].peek(regs.IA32_MISC_ENABLE) == pristine
+
+    def test_clean_toggle_retires_journal(self):
+        machine = create_machine("core2")
+        driver = MsrDriver(machine)
+        features = LikwidFeatures(driver, cpu=0)
+        features.disable("IP_PREFETCHER")
+        assert driver.journal.record_count == 0
+        features.enable("IP_PREFETCHER")
+        assert features.state("IP_PREFETCHER").enabled

@@ -1,0 +1,181 @@
+"""The write-ahead MSR journal: records, checksums, torn tails,
+file round-trips and the journaling driver API (ISSUE 5 tentpole).
+
+The core safety property under test: a record that fails its checksum
+at the *tail* is a torn write and is truncated (write-ahead ordering
+guarantees its MSR write never happened), while a bad record with
+valid records after it means the history is untrustworthy and raises
+``JournalCorruptError`` instead of mis-restoring.
+"""
+
+import pytest
+
+from repro.errors import JournalCorruptError, JournalError
+from repro.hw import registers as regs
+from repro.hw.arch import available, create_machine, get_arch
+from repro.oskern.journal import (HEADER, OP_LOCK, OP_UNLOCK, OP_WRITE,
+                                  RECORD_SIZE, JournalRecord, MsrJournal,
+                                  state_mutating_addresses)
+from repro.oskern.msr_driver import MsrDriver
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        rec = JournalRecord(seq=7, epoch=3, op=OP_WRITE, cpu=5,
+                            address=regs.IA32_PERF_GLOBAL_CTRL,
+                            before=0x0, after=0x70000000F)
+        blob = rec.encode()
+        assert len(blob) == RECORD_SIZE
+        assert JournalRecord.decode(blob) == rec
+
+    def test_checksum_rejects_bit_flip(self):
+        blob = bytearray(JournalRecord(0, 1, OP_WRITE, 0, 0x38F,
+                                       0, 3).encode())
+        blob[10] ^= 0x40
+        with pytest.raises(JournalError):
+            JournalRecord.decode(bytes(blob))
+
+    def test_short_record_rejected(self):
+        with pytest.raises(JournalError):
+            JournalRecord.decode(b"\x00" * (RECORD_SIZE - 1))
+
+
+class TestScanSemantics:
+    def _journal_with(self, n=3):
+        journal = MsrJournal()
+        epoch = journal.begin_epoch()
+        for i in range(n):
+            journal.record_write(epoch, 0, 0x38F, i, i + 1)
+        return journal
+
+    def test_clean_scan(self):
+        journal = self._journal_with(3)
+        scan = journal.scan()
+        assert [r.after for r in scan.records] == [1, 2, 3]
+        assert scan.torn_bytes == 0
+
+    def test_torn_tail_truncated(self):
+        journal = self._journal_with(3)
+        # Simulate a crash mid-append: half a record at the tail.
+        journal.buffer += JournalRecord(9, 1, OP_WRITE, 0, 0x38F,
+                                        3, 4).encode()[:10]
+        scan = journal.scan()
+        assert len(scan.records) == 3
+        assert scan.torn_bytes == 10
+        # The truncation is physical: the next scan is clean.
+        assert journal.scan().torn_bytes == 0
+
+    def test_corrupt_tail_record_truncated(self):
+        journal = self._journal_with(2)
+        journal.buffer[-4] ^= 0xFF        # clobber the last CRC
+        scan = journal.scan()
+        assert len(scan.records) == 1
+        assert scan.torn_bytes == RECORD_SIZE
+
+    def test_mid_journal_corruption_is_unrecoverable(self):
+        journal = self._journal_with(3)
+        journal.buffer[len(HEADER) + 4] ^= 0xFF   # first record's epoch
+        with pytest.raises(JournalCorruptError):
+            journal.scan()
+
+    def test_bad_magic(self):
+        journal = MsrJournal()
+        journal.buffer += b"NOPE" + b"\x00" * 40
+        with pytest.raises(JournalCorruptError):
+            journal.scan()
+
+    def test_outstanding_locks(self):
+        journal = MsrJournal()
+        e = journal.begin_epoch()
+        journal.record_lock(e, socket=0, pid=4242)
+        journal.record_lock(e, socket=1, pid=4242)
+        journal.record_unlock(e, socket=0, pid=4242)
+        assert journal.scan().outstanding_locks() == {1: (4242, e)}
+
+    def test_duplicate_appends_filtered(self):
+        journal = MsrJournal()
+        e = journal.begin_epoch()
+        journal.record_write(e, 0, 0x38F, 0, 3)
+        journal.record_write(e, 0, 0x38F, 0, 3)   # retried op
+        journal.record_write(e, 0, 0x38F, 3, 0)   # a different write
+        assert journal.record_count == 2
+
+
+class TestFileBacking:
+    def test_round_trip_and_continuation(self, tmp_path):
+        path = tmp_path / "msr.journal"
+        journal = MsrJournal(path)
+        e = journal.begin_epoch()
+        journal.record_write(e, 2, 0x186, 0, 0x41010C, )
+        journal.record_lock(e, socket=0, pid=777)
+
+        reloaded = MsrJournal(path)
+        scan = reloaded.scan()
+        assert [r.op for r in scan.records] == [OP_WRITE, OP_LOCK]
+        assert scan.records[0].cpu == 2
+        # Sequence numbers and epochs continue, never restart.
+        assert reloaded.begin_epoch() == e + 1
+
+    def test_torn_tail_truncated_on_disk(self, tmp_path):
+        path = tmp_path / "msr.journal"
+        journal = MsrJournal(path)
+        e = journal.begin_epoch()
+        journal.record_write(e, 0, 0x38F, 0, 1)
+        with open(path, "ab") as fh:
+            fh.write(b"\x01\x02\x03")     # torn append
+        reloaded = MsrJournal(path)
+        assert reloaded.record_count == 1
+        import os
+        assert os.path.getsize(path) == len(HEADER) + RECORD_SIZE
+
+    def test_clear_unlinks(self, tmp_path):
+        path = tmp_path / "msr.journal"
+        journal = MsrJournal(path)
+        journal.record_write(journal.begin_epoch(), 0, 0x38F, 0, 1)
+        journal.clear()
+        assert not path.exists()
+
+    def test_version_gate(self, tmp_path):
+        path = tmp_path / "msr.journal"
+        path.write_bytes(b"RJRN\x63\x00\x00\x00")   # format v99
+        with pytest.raises(JournalError):
+            MsrJournal(path)
+
+
+class TestJournaledWriteAPI:
+    def test_write_ahead_ordering_and_values(self):
+        machine = create_machine("nehalem_ep")
+        driver = MsrDriver(machine)
+        epoch = driver.begin_epoch()
+        handle = driver.open(0)
+        handle.journaled_write(regs.IA32_PERF_GLOBAL_CTRL, 0x3)
+        [rec] = driver.journal.scan().records
+        assert (rec.epoch, rec.cpu, rec.op) == (epoch, 0, OP_WRITE)
+        assert rec.address == regs.IA32_PERF_GLOBAL_CTRL
+        assert rec.before == 0 and rec.after == 0x3
+
+    def test_refuses_unclassified_address(self):
+        machine = create_machine("nehalem_ep")
+        driver = MsrDriver(machine)
+        driver.begin_epoch()
+        handle = driver.open(0)
+        with pytest.raises(JournalError, match="state-mutating"):
+            handle.journaled_write(0x10, 1)       # IA32_TIME_STAMP_COUNTER
+
+    def test_no_journal_mode_writes_plainly(self):
+        machine = create_machine("nehalem_ep")
+        driver = MsrDriver(machine, journaling=False)
+        handle = driver.open(0)
+        handle.journaled_write(regs.IA32_PERF_GLOBAL_CTRL, 0x3)
+        assert driver.journal is None
+        assert machine.msr[0].peek(regs.IA32_PERF_GLOBAL_CTRL) == 0x3
+
+
+@pytest.mark.parametrize("arch", available())
+def test_classifier_nonempty_everywhere(arch):
+    """Every architecture has a non-trivial state-mutating surface
+    including its first PERFEVTSEL register."""
+    spec = get_arch(arch)
+    addrs = state_mutating_addresses(spec)
+    assert spec.pmu.evtsel_address(0) in addrs
+    assert spec.pmu.pmc_address(0) in addrs
