@@ -1,0 +1,70 @@
+"""Benchmark: the perf backend's rdpmc read path (ISSUE 6 satellite e).
+
+``perf_backend_read`` prices one full ``read_batch`` of a programmed
+4-event context — the hot readout the timeline/daemon modes sit in a
+loop on.  An rdpmc-style read bypasses the device node entirely
+(:meth:`MSRSpace.peek`), so it must stay cheaper than the msr
+backend's device-path readout of the same assignments; the cross-check
+is asserted here and the absolute median is recorded into
+``BENCH_baseline.json`` by ``tools/bench_gate.py``.
+"""
+
+from repro.core.perfctr.counters import CounterMap, validate_assignments
+from repro.core.perfctr.events import parse_event_string
+from repro.hw.arch import create_machine
+from repro.hw.events import Channel
+from repro.oskern.access import open_backend
+
+EVENTS = ("FP_COMP_OPS_EXE_SSE_FP_PACKED:PMC0,"
+          "FP_COMP_OPS_EXE_SSE_FP_SCALAR:PMC1,"
+          "L1D_REPL:PMC2,DTLB_MISSES_ANY:PMC3")
+
+
+def programmed_backend(mode):
+    machine = create_machine("nehalem_ep")
+    backend = open_backend(mode, machine)
+    counters = CounterMap(machine.spec)
+    backend.attach(counters)
+    assignments = validate_assignments(
+        machine.spec.events, counters, parse_event_string(EVENTS))
+    backend.program_core(0, assignments)
+    backend.start_core(0, assignments)
+    machine.apply_counts({0: {Channel.FLOPS_PACKED_DP: 1000.0,
+                              Channel.FLOPS_SCALAR_DP: 500.0}},
+                         elapsed_seconds=0.1)
+    return backend, assignments
+
+
+def test_perf_backend_read(benchmark):
+    backend, assignments = programmed_backend("perf")
+    values = benchmark(lambda: backend.read_batch(0, assignments))
+    assert values["PMC0"] == 1000
+    assert values["PMC1"] == 500
+
+
+def test_rdpmc_read_beats_device_read(benchmark):
+    """The differential the backend exists for: userspace reads must
+    not price like device I/O."""
+    import time
+
+    perf, perf_assignments = programmed_backend("perf")
+    msr, msr_assignments = programmed_backend("msr")
+
+    def timed(fn, repeats=2000, rounds=5):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for _ in range(repeats):
+                fn()
+            best = min(best, time.perf_counter() - start)
+        return best / repeats
+
+    def compare():
+        per_perf = timed(lambda: perf.read_batch(0, perf_assignments))
+        per_msr = timed(lambda: msr.read_batch(0, msr_assignments))
+        return per_perf, per_msr
+
+    per_perf, per_msr = benchmark.pedantic(compare, iterations=1, rounds=1)
+    assert per_perf < per_msr, (
+        f"rdpmc read ({per_perf * 1e6:.2f}us) should beat the device "
+        f"read path ({per_msr * 1e6:.2f}us)")

@@ -77,6 +77,8 @@ CODES: dict[str, str] = {
     "LK501": "raw MSR write bypasses the write-ahead journal API",
     "LK502": "tool-layer write target missing from the journal's "
              "state-mutating classification",
+    "LK503": "CLI front-end constructs MsrDriver directly instead of "
+             "using the access-backend API",
 }
 
 

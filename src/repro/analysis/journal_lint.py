@@ -16,6 +16,12 @@ checkable:
   An uncovered register would make ``journaled_write`` refuse at
   runtime.  Checked by deriving the programmer's write surface from
   the architecture's declared register layout and comparing.
+* **LK503** — the CLI front-ends (``src/repro/cli``) obtain counter
+  access through :func:`repro.oskern.access.open_backend` rather than
+  constructing :class:`~repro.oskern.msr_driver.MsrDriver` themselves.
+  A direct construction bypasses the backend API (``--access-mode``
+  would silently not apply) the same way a raw write bypasses the
+  journal; the AST scan mirrors LK501.
 """
 
 from __future__ import annotations
@@ -75,6 +81,48 @@ def lint_write_sites(paths: list[str] | None = None) -> list[Diagnostic]:
                 f"directly; state-mutating writes must go through "
                 f"MsrFile.journaled_write() so a crashed run stays "
                 f"recoverable",
+                locus=f"source:{module}:{node.lineno}"))
+    return diags
+
+
+def cli_layer_sources() -> list[str]:
+    """The source files bound by the backend-API invariant: every
+    likwid-* front-end plus their shared plumbing."""
+    import repro
+    base = os.path.dirname(repro.__file__)
+    root = os.path.join(base, "cli")
+    files: list[str] = []
+    for dirpath, _dirs, names in os.walk(root):
+        files.extend(os.path.join(dirpath, name)
+                     for name in names if name.endswith(".py"))
+    return sorted(files)
+
+
+def lint_backend_bypass(paths: list[str] | None = None) -> list[Diagnostic]:
+    """LK503: find direct ``MsrDriver(...)`` construction in the CLI
+    layer.
+
+    ``paths`` overrides the default CLI-layer file set (used by the
+    self-check tests to lint fixture sources)."""
+    diags: list[Diagnostic] = []
+    for path in (paths if paths is not None else cli_layer_sources()):
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        module = os.path.basename(path)
+        for node in ast.walk(ast.parse(source, filename=path)):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else \
+                func.attr if isinstance(func, ast.Attribute) else None
+            if name != "MsrDriver":
+                continue
+            diags.append(Diagnostic(
+                "LK503", Severity.ERROR,
+                f"{module}:{node.lineno} constructs MsrDriver() "
+                f"directly; tool front-ends must obtain counter access "
+                f"through repro.oskern.access.open_backend() so "
+                f"--access-mode applies uniformly",
                 locus=f"source:{module}:{node.lineno}"))
     return diags
 

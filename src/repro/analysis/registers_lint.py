@@ -28,8 +28,9 @@ def _register_layout(spec: ArchSpec) -> dict[str, int]:
         for i in range(regs.NUM_FIXED_CTRS):
             layout[f"FIXED_CTR{i}"] = regs.IA32_FIXED_CTR0 + i
         layout["FIXED_CTR_CTRL"] = regs.IA32_FIXED_CTR_CTRL
-    if not pmu.vendor_amd:
-        layout["PERF_GLOBAL_CTRL"] = regs.IA32_PERF_GLOBAL_CTRL
+    if pmu.has_global_ctrl:
+        layout["PERF_GLOBAL_CTRL"] = pmu.global_ctrl_address()
+    if pmu.has_global_status:
         layout["PERF_GLOBAL_STATUS"] = regs.IA32_PERF_GLOBAL_STATUS
         layout["PERF_GLOBAL_OVF_CTRL"] = regs.IA32_PERF_GLOBAL_OVF_CTRL
     if pmu.has_uncore:

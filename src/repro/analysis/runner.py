@@ -72,13 +72,14 @@ def lint_spec(spec: ArchSpec, *,
               include_write_sites: bool = True) -> list[Diagnostic]:
     """Every diagnostic for one architecture, deterministically ordered.
 
-    The LK501 write-site scan is source-level (arch-independent);
-    ``lint_all`` runs it once for the whole matrix instead of once
-    per architecture."""
+    The LK501 write-site and LK503 backend-bypass scans are
+    source-level (arch-independent); ``lint_all`` runs them once for
+    the whole matrix instead of once per architecture."""
     diags = registers_lint.lint_arch_registers(spec)
     diags.extend(journal_lint.lint_journal_coverage(spec))
     if include_write_sites:
         diags.extend(journal_lint.lint_write_sites())
+        diags.extend(journal_lint.lint_backend_bypass())
     for locus, group in catalog_for(spec):
         diags.extend(lint_group(spec, group, locus=locus))
     return sorted(diags, key=sort_key)
@@ -89,6 +90,7 @@ def lint_all(arch_names: list[str] | None = None) -> list[Diagnostic]:
     from repro.hw.arch import available, get_arch
     names = arch_names if arch_names is not None else available()
     diags: list[Diagnostic] = journal_lint.lint_write_sites()
+    diags.extend(journal_lint.lint_backend_bypass())
     for name in names:
         diags.extend(lint_spec(get_arch(name), include_write_sites=False))
     return sorted(diags, key=sort_key)

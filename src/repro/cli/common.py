@@ -75,19 +75,47 @@ def check_journal_arguments(args: argparse.Namespace,
     return None
 
 
+def add_access_mode_argument(parser: argparse.ArgumentParser) -> None:
+    """The ``--access-mode`` definition every counter-touching
+    front-end shares (see docs/access-modes.md)."""
+    from repro.oskern.access import ACCESS_MODES
+    parser.add_argument(
+        "--access-mode", dest="access_mode", default="msr",
+        choices=list(ACCESS_MODES),
+        help="counter-access backend: direct msr register access or "
+             "perf_event-style fds with kernel multiplexing "
+             "(default: %(default)s)")
+
+
+def backend_from_args(machine: SimMachine, args: argparse.Namespace,
+                      *, faults=None):
+    """Open the counter-access backend selected by ``--access-mode``,
+    honoring --journal/--no-journal (the crash-safety knobs ride on
+    the underlying msr driver in either mode).  Raises
+    :class:`~repro.errors.JournalError` when an existing journal file
+    cannot be loaded."""
+    from repro.oskern.access import open_backend
+
+    mode = getattr(args, "access_mode", None) or "msr"
+    if getattr(args, "no_journal", False):
+        return open_backend(mode, machine, faults=faults, journaling=False)
+    journal = None
+    if getattr(args, "journal", None):
+        from repro.oskern.journal import MsrJournal
+        journal = MsrJournal(args.journal)
+    return open_backend(mode, machine, faults=faults, journal=journal)
+
+
 def driver_from_args(machine: SimMachine, args: argparse.Namespace,
                      *, faults=None):
-    """Build the tool's msr driver honoring --journal/--no-journal.
-    Raises :class:`~repro.errors.JournalError` when an existing
-    journal file cannot be loaded."""
-    from repro.oskern.journal import MsrJournal
-    from repro.oskern.msr_driver import MsrDriver
+    """Deprecated: the raw msr driver behind the default backend.
 
-    if getattr(args, "no_journal", False):
-        return MsrDriver(machine, faults=faults, journaling=False)
-    journal = MsrJournal(args.journal) if getattr(args, "journal", None) \
-        else None
-    return MsrDriver(machine, faults=faults, journal=journal)
+    Tool code should hold an :class:`~repro.oskern.access.AccessBackend`
+    from :func:`backend_from_args` instead (LK503 flags direct
+    ``MsrDriver(...)`` construction in this layer); this shim keeps old
+    call sites working and is mode-blind — the driver is the same
+    object either backend would wrap."""
+    return backend_from_args(machine, args, faults=faults).driver
 
 
 def warn_orphaned_journal(driver, tool: str) -> None:
@@ -110,14 +138,15 @@ def run_recovery(args: argparse.Namespace, tool: str) -> int:
     recovery engine: backwards replay to pristine state, stale-lock
     reclaim, journal retirement."""
     from repro.errors import JournalCorruptError, JournalError
+    from repro.oskern.access import open_backend
     from repro.oskern.journal import OP_WRITE, MsrJournal
-    from repro.oskern.msr_driver import MsrDriver
     from repro.oskern.recovery import RecoveryEngine
 
     machine = machine_from_args(args)
     try:
         journal = MsrJournal(args.journal)
-        driver = MsrDriver(machine, journal=journal)
+        # Recovery replays raw register writes: always the msr backend.
+        driver = open_backend("msr", machine, journal=journal).driver
         for rec in journal.scan().records:
             if rec.op == OP_WRITE:
                 machine.msr[rec.cpu].write(rec.address, rec.after)

@@ -16,10 +16,10 @@ import argparse
 import sys
 
 from repro.cli.common import (EXIT_KILLED, EXIT_UNRECOVERABLE,
-                              add_arch_argument, add_journal_arguments,
-                              check_journal_arguments, driver_from_args,
-                              machine_from_args, run_recovery,
-                              warn_orphaned_journal)
+                              add_access_mode_argument, add_arch_argument,
+                              add_journal_arguments, backend_from_args,
+                              check_journal_arguments, machine_from_args,
+                              run_recovery, warn_orphaned_journal)
 from repro.core.features import LikwidFeatures
 from repro.errors import JournalError, ProcessKilled, ReproError
 
@@ -37,6 +37,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-u", dest="disable", default=None, metavar="KEY",
                         help="disable a feature (e.g. CL_PREFETCHER)")
     add_arch_argument(parser, default="core2")
+    add_access_mode_argument(parser)
     add_journal_arguments(parser)
     return parser
 
@@ -53,14 +54,21 @@ def main(argv: list[str] | None = None) -> int:
         return run_recovery(args, "likwid-features")
     machine = machine_from_args(args)
     try:
-        driver = driver_from_args(machine, args)
+        backend = backend_from_args(machine, args)
     except JournalError as exc:
         print(f"likwid-features: cannot load journal: {exc}",
               file=sys.stderr)
         return EXIT_UNRECOVERABLE
-    warn_orphaned_journal(driver, "likwid-features")
+    if (args.enable or args.disable) and \
+            not backend.capabilities.feature_control:
+        print(f"likwid-features: the {backend.capabilities.name!r} "
+              f"access mode cannot toggle processor features (no "
+              f"direct msr write path); rerun with --access-mode msr",
+              file=sys.stderr)
+        return 1
+    warn_orphaned_journal(backend.driver, "likwid-features")
     try:
-        features = LikwidFeatures(driver, cpu=args.cpu)
+        features = LikwidFeatures(backend.driver, cpu=args.cpu)
         if args.enable:
             state = features.enable(args.enable)
             print(f"{state.key}: {state.display}")

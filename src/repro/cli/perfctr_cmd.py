@@ -26,9 +26,10 @@ import argparse
 import sys
 
 from repro.cli.common import (EXIT_KILLED, EXIT_UNRECOVERABLE, WORKLOADS,
-                              add_arch_argument, add_journal_arguments,
-                              add_profile_arguments, check_journal_arguments,
-                              driver_from_args, machine_from_args, profiled,
+                              add_access_mode_argument, add_arch_argument,
+                              add_journal_arguments, add_profile_arguments,
+                              backend_from_args, check_journal_arguments,
+                              machine_from_args, profiled,
                               run_marked_workload, run_recovery, run_workload,
                               warn_orphaned_journal)
 from repro.core.affinity import parse_corelist
@@ -80,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("workload", nargs="?", default="stream_icc",
                         help=f"simulated workload: {', '.join(WORKLOADS)}")
     add_arch_argument(parser, default="nehalem_ep")
+    add_access_mode_argument(parser)
     add_journal_arguments(parser)
     add_profile_arguments(parser)
     return parser
@@ -138,13 +140,14 @@ def _run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return EXIT_USAGE
     try:
-        driver = driver_from_args(machine, args, faults=faults)
+        backend = backend_from_args(machine, args, faults=faults)
     except JournalError as exc:
         print(f"likwid-perfctr: cannot load journal: {exc}",
               file=sys.stderr)
         return EXIT_UNRECOVERABLE
-    warn_orphaned_journal(driver, "likwid-perfctr")
-    perfctr = LikwidPerfCtr(machine, driver, strict_io=args.strict_io)
+    warn_orphaned_journal(backend.driver, "likwid-perfctr")
+    perfctr = LikwidPerfCtr(machine, backend=backend,
+                            strict_io=args.strict_io)
     try:
         if args.marker:
             session = perfctr.session(cpus, args.group)

@@ -257,10 +257,11 @@ class CounterProgrammer:
 
     def setup_core(self, cpu: int, assignments: list[Assignment]) -> None:
         """Write event selections and zero the involved counters."""
+        pmu = self.spec.pmu
         msr = self.driver.open(cpu)
         try:
-            if not self.spec.pmu.vendor_amd:
-                self._write(msr, regs.IA32_PERF_GLOBAL_CTRL, 0)
+            if pmu.has_global_ctrl:
+                self._write(msr, pmu.global_ctrl_address(), 0)
             fixed_ctrl = 0
             for a in assignments:
                 if a.counter.is_uncore:
@@ -269,24 +270,26 @@ class CounterProgrammer:
                 if a.counter.cls == "FIXC":
                     fixed_ctrl |= regs.fixed_ctr_ctrl_encode(a.counter.index)
                 else:
-                    # Intel gates counting with the global-control MSR,
-                    # so EN can be staged here; AMD has no global control
-                    # and must keep EN clear until start.
+                    # A global-control register (Intel, POWER9's MMCR0
+                    # analog) gates counting, so EN can be staged here;
+                    # AMD has no global control and must keep EN clear
+                    # until start.
                     self._write(msr, a.counter.config_addr, regs.evtsel_encode(
                         a.event.event_code, a.event.umask,
-                        enable=not self.spec.pmu.vendor_amd,
+                        enable=pmu.has_global_ctrl,
                         **a.options.evtsel_kwargs()))
                 self._write(msr, a.counter.counter_addr, 0)
-            if fixed_ctrl and not self.spec.pmu.vendor_amd:
+            if fixed_ctrl:
                 self._write(msr, regs.IA32_FIXED_CTR_CTRL, fixed_ctrl)
         finally:
             msr.close()
 
     def start_core(self, cpu: int, assignments: list[Assignment]) -> None:
-        """Enable counting (global-control on Intel; EN bits on AMD)."""
+        """Enable counting (global-control where present; EN bits on AMD)."""
+        pmu = self.spec.pmu
         msr = self.driver.open(cpu)
         try:
-            if self.spec.pmu.vendor_amd:
+            if not pmu.has_global_ctrl:
                 for a in assignments:
                     if not a.counter.is_uncore and a.counter.cls == "PMC":
                         self._write(msr, a.counter.config_addr,
@@ -303,14 +306,15 @@ class CounterProgrammer:
                     ctrl |= regs.global_ctrl_fixed_bit(a.counter.index)
                 else:
                     ctrl |= regs.global_ctrl_pmc_bit(a.counter.index)
-            self._write(msr, regs.IA32_PERF_GLOBAL_CTRL, ctrl)
+            self._write(msr, pmu.global_ctrl_address(), ctrl)
         finally:
             msr.close()
 
     def stop_core(self, cpu: int, assignments: list[Assignment]) -> None:
+        pmu = self.spec.pmu
         msr = self.driver.open(cpu)
         try:
-            if self.spec.pmu.vendor_amd:
+            if not pmu.has_global_ctrl:
                 for a in assignments:
                     if not a.counter.is_uncore and a.counter.cls == "PMC":
                         self._write(msr, a.counter.config_addr,
@@ -319,7 +323,7 @@ class CounterProgrammer:
                                         enable=False,
                                         **a.options.evtsel_kwargs()))
             else:
-                self._write(msr, regs.IA32_PERF_GLOBAL_CTRL, 0)
+                self._write(msr, pmu.global_ctrl_address(), 0)
         finally:
             msr.close()
 

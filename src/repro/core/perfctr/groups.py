@@ -331,6 +331,66 @@ def _amd_groups() -> dict[str, GroupDef]:
     ]}
 
 
+def _power9_groups() -> dict[str, GroupDef]:
+    # No fixed-counter file: the run-latch pair PM_RUN_INST_CMPL /
+    # PM_RUN_CYC is restricted to the last two general counters, so
+    # every group spends PMC4/PMC5 on it ("always counted").  Payload
+    # events come first, the pair last.  POWER9 cache lines are 128B.
+    fixed = [("PM_RUN_INST_CMPL", "PMC4"), ("PM_RUN_CYC", "PMC5")]
+    common = [
+        ("Runtime [s]", "PM_RUN_CYC/clock"),
+        ("CPI", "PM_RUN_CYC/PM_RUN_INST_CMPL"),
+    ]
+    return {g.name: g for g in [
+        _g("FLOPS_DP",
+           [("PM_VECTOR_FLOP_CMPL", "PMC0"),
+            ("PM_SCALAR_FLOP_CMPL", "PMC1")] + fixed,
+           common + [
+               ("DP MFlops/s",
+                "1.0E-06*(PM_VECTOR_FLOP_CMPL*2.0"
+                "+PM_SCALAR_FLOP_CMPL)/time")]),
+        _g("FLOPS_SP",
+           [("PM_VECTOR_FLOP_SP_CMPL", "PMC0"),
+            ("PM_SCALAR_FLOP_SP_CMPL", "PMC1")] + fixed,
+           common + [
+               ("SP MFlops/s",
+                "1.0E-06*(PM_VECTOR_FLOP_SP_CMPL*4.0"
+                "+PM_SCALAR_FLOP_SP_CMPL)/time")]),
+        _g("MEM",
+           [("PM_DATA_FROM_LMEM", "PMC0"),
+            ("PM_DATA_TO_LMEM", "PMC1")] + fixed,
+           common + [
+               ("Memory bandwidth [MBytes/s]",
+                "1.0E-06*(PM_DATA_FROM_LMEM"
+                "+PM_DATA_TO_LMEM)*128.0/time")]),
+        _g("CACHE",
+           [("PM_LD_MISS_L1", "PMC0"),
+            ("PM_LD_CMPL", "PMC1"),
+            ("PM_ST_CMPL", "PMC2")] + fixed,
+           common + [
+               ("Data cache misses", "PM_LD_MISS_L1"),
+               ("Data cache miss rate", "PM_LD_MISS_L1/PM_RUN_INST_CMPL"),
+               ("Data cache miss ratio",
+                "PM_LD_MISS_L1/(PM_LD_CMPL+PM_ST_CMPL)")]),
+        _g("DATA",
+           [("PM_LD_CMPL", "PMC0"), ("PM_ST_CMPL", "PMC1")] + fixed,
+           common + [
+               ("Load to store ratio", "PM_LD_CMPL/PM_ST_CMPL")]),
+        _g("BRANCH",
+           [("PM_BR_CMPL", "PMC0"), ("PM_BR_MPRED_CMPL", "PMC1")] + fixed,
+           common + [
+               ("Branch rate", "PM_BR_CMPL/PM_RUN_INST_CMPL"),
+               ("Branch misprediction rate",
+                "PM_BR_MPRED_CMPL/PM_RUN_INST_CMPL"),
+               ("Branch misprediction ratio",
+                "PM_BR_MPRED_CMPL/PM_BR_CMPL")]),
+        _g("TLB",
+           [("PM_DTLB_MISS", "PMC0")] + fixed,
+           common + [
+               ("DTLB miss rate", "PM_DTLB_MISS/PM_RUN_INST_CMPL")]),
+    ]}
+
+
 _FAMILY_BUILDERS = {
     "core2": _core2_groups,
     "core2duo": _core2_groups,
@@ -342,6 +402,7 @@ _FAMILY_BUILDERS = {
     "banias": _pentium_m_groups,
     "amd_k8": _amd_groups,
     "amd_istanbul": _amd_groups,
+    "power9": _power9_groups,
 }
 
 

@@ -34,8 +34,7 @@ from dataclasses import dataclass, field
 
 from repro import trace as _trace
 from repro.core.affinity import parse_corelist
-from repro.core.perfctr.counters import (Assignment, CounterMap,
-                                         CounterProgrammer, RetryPolicy,
+from repro.core.perfctr.counters import (Assignment, CounterMap, RetryPolicy,
                                          auto_fixed_assignments,
                                          counter_delta, validate_assignments)
 from repro.core.perfctr.events import is_event_string, parse_event_string
@@ -44,6 +43,7 @@ from repro.core.perfctr.groups import GroupDef, lookup_group
 from repro.errors import (CounterError, DegradedError, MsrIOError,
                           MsrPermissionError, SocketLockError)
 from repro.hw.machine import SimMachine
+from repro.oskern.access import AccessBackend, MsrBackend, backend_for
 from repro.oskern.msr_driver import MsrDriver
 
 
@@ -98,7 +98,8 @@ class PerfCtrSession:
                  cpus: list[int], assignments: list[Assignment],
                  group: GroupDef | None = None, *,
                  strict_io: bool = False,
-                 retry_policy: RetryPolicy | None = None):
+                 retry_policy: RetryPolicy | None = None,
+                 backend: AccessBackend | None = None):
         if not cpus:
             raise CounterError("no cpus to measure")
         if len(set(cpus)) != len(cpus):
@@ -110,8 +111,13 @@ class PerfCtrSession:
         self.group = group
         self.strict_io = strict_io
         self.counters = CounterMap(machine.spec)
-        self.programmer = CounterProgrammer(driver, self.counters,
-                                            retry_policy)
+        # All register traffic flows through an access backend
+        # (direct-msr by default); the backend owns the event-level
+        # programming engine, exposed as ``programmer`` for
+        # compatibility and test instrumentation.
+        self.backend = backend if backend is not None else MsrBackend(driver)
+        self.backend.attach(self.counters, retry_policy=retry_policy)
+        self.programmer = self.backend.programmer
         # Session epoch: the unit the write-ahead journal and the
         # socket-lock table attribute this session's mutations to.
         self._epoch: int | None = None
@@ -180,46 +186,49 @@ class PerfCtrSession:
         # Acquire each socket's uncore lock before touching its
         # counters.  A lock held by a *live* session degrades this
         # socket to NaN (SocketLockError is degradable); a stale lock
-        # from a crashed run is reclaimed inside the driver.
-        for socket, cpu in self.socket_locks.items():
-            self._guarded_uncore(
-                socket, cpu, "lock acquisition",
-                lambda s=socket, c=cpu: self.driver.acquire_socket_lock(
-                    s, c, self._epoch))
+        # from a crashed run is reclaimed inside the driver.  A
+        # backend whose kernel arbitrates uncore access itself
+        # (perf_event) skips the tool-level locks entirely.
+        if self.backend.capabilities.needs_socket_locks:
+            for socket, cpu in self.socket_locks.items():
+                self._guarded_uncore(
+                    socket, cpu, "lock acquisition",
+                    lambda s=socket, c=cpu: self.driver.acquire_socket_lock(
+                        s, c, self._epoch))
         with _trace.span("perfctr.program", cpus=len(self.cpus)):
             for cpu in self.cpus:
-                self.programmer.setup_core(cpu, self.core_assignments)
+                self.backend.program_core(cpu, self.core_assignments)
             for socket, cpu in self.socket_locks.items():
                 if socket in self._degraded_sockets:
                     continue
                 self._guarded_uncore(
                     socket, cpu, "setup",
-                    lambda c=cpu: self.programmer.setup_uncore(
+                    lambda c=cpu: self.backend.program_uncore(
                         c, self.uncore_assignments))
         with _trace.span("perfctr.enable", cpus=len(self.cpus)):
             for cpu in self.cpus:
                 self._register_overflow_handler(cpu)
-                self.programmer.start_core(cpu, self.core_assignments)
+                self.backend.start_core(cpu, self.core_assignments)
             for socket, cpu in self.socket_locks.items():
                 if socket in self._degraded_sockets:
                     continue
                 self._guarded_uncore(
                     socket, cpu, "start",
-                    lambda c=cpu: self.programmer.start_uncore(
+                    lambda c=cpu: self.backend.start_uncore(
                         c, self.uncore_assignments))
         # Baseline snapshot: nothing has executed yet, so this reads
         # each counter's initial value (0 unless something — like a
         # forced-overflow fault — preloaded it).
         with _trace.span("perfctr.baseline", cpus=len(self.cpus)):
             for cpu in self.cpus:
-                raw = self.programmer.read_core(cpu, self.core_assignments)
+                raw = self.backend.read_batch(cpu, self.core_assignments)
                 self._base[cpu] = {name: float(v) for name, v in raw.items()}
             for socket, cpu in self.socket_locks.items():
                 if socket in self._degraded_sockets:
                     continue
 
                 def read_base(c=cpu):
-                    raw = self.programmer.read_uncore(
+                    raw = self.backend.read_uncore_batch(
                         c, self.uncore_assignments)
                     self._base.setdefault(c, {}).update(
                         (name, float(v)) for name, v in raw.items())
@@ -232,12 +241,12 @@ class PerfCtrSession:
         self.wall_time = _time.perf_counter() - self._started_at
         with _trace.span("perfctr.stop", cpus=len(self.cpus)):
             for cpu in self.cpus:
-                self.programmer.stop_core(cpu, self.core_assignments)
+                self.backend.stop_core(cpu, self.core_assignments)
             for socket, cpu in self.socket_locks.items():
                 if socket in self._degraded_sockets:
                     continue
                 try:
-                    self.programmer.stop_uncore(cpu)
+                    self.backend.stop_uncore(cpu)
                 except Exception as exc:
                     if not _degradable(exc):
                         raise
@@ -262,6 +271,7 @@ class PerfCtrSession:
             self._release_locks()
         self._end_epoch()
         self._unregister_overflow_handlers()
+        self.backend.release()
 
     def _end_epoch(self) -> None:
         if self._epoch is None:
@@ -277,12 +287,12 @@ class PerfCtrSession:
         then release its socket locks."""
         for cpu in self.cpus:
             try:
-                self.programmer.stop_core(cpu, self.core_assignments)
+                self.backend.stop_core(cpu, self.core_assignments)
             except Exception:
                 pass
         for socket, cpu in self.socket_locks.items():
             try:
-                self.programmer.stop_uncore(cpu)
+                self.backend.stop_uncore(cpu)
             except Exception:
                 pass
         self._release_locks()
@@ -293,6 +303,8 @@ class PerfCtrSession:
         stale-reclaim is left with its new owner (the mismatch is
         counted as ``recover.lock_conflict``)."""
         if self._epoch is None:
+            return
+        if not self.backend.capabilities.needs_socket_locks:
             return
         for socket in self.socket_locks:
             try:
@@ -368,7 +380,7 @@ class PerfCtrSession:
         period = float(1 << self.machine.spec.pmu.counter_width)
         base = self._base.get(cpu, {})
         values: dict[str, float] = {}
-        raw = self.programmer.read_core(cpu, self.core_assignments)
+        raw = self.backend.read_batch(cpu, self.core_assignments)
         for a in self.core_assignments:
             value = float(raw[a.counter.name])
             value += self._overflows.get((cpu, self._status_bit(a)), 0) \
@@ -386,7 +398,7 @@ class PerfCtrSession:
                     values[a.event.name] = float("nan")
             else:
                 try:
-                    raw = self.programmer.read_uncore(
+                    raw = self.backend.read_uncore_batch(
                         cpu, self.uncore_assignments)
                 except Exception as exc:
                     if not _degradable(exc):
@@ -412,7 +424,7 @@ class PerfCtrSession:
             cpus=list(self.cpus), counts=counts,
             wall_time=self.wall_time if wall_time is None else wall_time,
             group=self.group, warnings=list(self.warnings),
-            io_retries=self.programmer.retries)
+            io_retries=self.backend.retries)
         if self.group is not None:
             derive_metrics(result, self.group, self.machine.spec.clock_hz)
         return result
@@ -425,7 +437,8 @@ def derive_metrics(result: MeasurementResult, group: GroupDef,
     ``time`` is derived from the unhalted-cycles event when present
     (exactly how the real tool computes per-core runtime), falling back
     to wall-clock time otherwise."""
-    cycles_events = ("CPU_CLK_UNHALTED_CORE", "CPU_CLOCKS_UNHALTED")
+    cycles_events = ("CPU_CLK_UNHALTED_CORE", "CPU_CLOCKS_UNHALTED",
+                     "PM_RUN_CYC")
     for cpu in result.cpus:
         variables = dict(result.counts[cpu])
         region_time = result.wall_time
@@ -446,13 +459,25 @@ class LikwidPerfCtr:
 
     ``strict_io=True`` turns degraded (NaN-producing) outcomes into
     :class:`~repro.errors.DegradedError`; ``retry_policy`` tunes the
-    bounded-backoff retry of transient msr faults."""
+    bounded-backoff retry of transient msr faults.  ``access_mode``
+    selects the counter-access backend (``msr`` or ``perf``, the
+    ``--access-mode`` flag); alternatively an :class:`AccessBackend`
+    instance is accepted and shared by every session (one active
+    session at a time), in which case its driver is adopted."""
 
     def __init__(self, machine: SimMachine, driver: MsrDriver | None = None,
                  *, strict_io: bool = False,
-                 retry_policy: RetryPolicy | None = None):
+                 retry_policy: RetryPolicy | None = None,
+                 access_mode: str = "msr",
+                 backend: AccessBackend | None = None):
         self.machine = machine
-        self.driver = driver or MsrDriver(machine)
+        if backend is not None:
+            self.driver = backend.driver
+        else:
+            self.driver = driver or MsrDriver(machine)
+        self._backend = backend
+        self.access_mode = backend.capabilities.name if backend is not None \
+            else access_mode
         self.counters = CounterMap(machine.spec)
         self.strict_io = strict_io
         self.retry_policy = retry_policy
@@ -481,9 +506,12 @@ class LikwidPerfCtr:
             cpus = parse_corelist(cpus,
                                   max_cpu=self.machine.num_hwthreads - 1)
         assignments, group = self._resolve(group_or_events)
+        backend = self._backend if self._backend is not None \
+            else backend_for(self.access_mode, self.driver)
         return PerfCtrSession(self.machine, self.driver, cpus,
                               assignments, group, strict_io=self.strict_io,
-                              retry_policy=self.retry_policy)
+                              retry_policy=self.retry_policy,
+                              backend=backend)
 
     def wrap(self, cpus: str | list[int], group_or_events: str,
              run: Callable[[], object]) -> MeasurementResult:
@@ -509,7 +537,8 @@ class LikwidPerfCtr:
 
 def cycles_channel_count(result: MeasurementResult, cpu: int) -> float:
     """Unhalted core cycles on a CPU (helper for tests)."""
-    for name in ("CPU_CLK_UNHALTED_CORE", "CPU_CLOCKS_UNHALTED"):
+    for name in ("CPU_CLK_UNHALTED_CORE", "CPU_CLOCKS_UNHALTED",
+                 "PM_RUN_CYC"):
         if name in result.counts[cpu]:
             return result.counts[cpu][name]
     return 0.0

@@ -299,16 +299,19 @@ def probe_topology(machine: SimMachine) -> NodeTopology:
     max_leaf = _max_leaf(machine)
 
     threads: list[HWThreadEntry] = []
-    if vendor == "GenuineIntel" and max_leaf >= 0xB:
+    if vendor == "AuthenticAMD":
+        smt_bits, core_bits = _amd_field_widths(machine)
+        for hw in range(nthreads):
+            threads.append(_decode_thread_from_widths(machine, hw,
+                                                      smt_bits, core_bits))
+    elif max_leaf >= 0xB:
+        # The x2APIC-style enumeration protocol (leaf 11): used by
+        # modern Intel parts and by any firmware speaking the generic
+        # "SMT bits below core bits" scheme (the POWER9-like machine).
         for hw in range(nthreads):
             threads.append(_decode_thread_intel_leaf11(machine, hw))
     elif vendor == "GenuineIntel":
         smt_bits, core_bits = _legacy_field_widths(machine)
-        for hw in range(nthreads):
-            threads.append(_decode_thread_from_widths(machine, hw,
-                                                      smt_bits, core_bits))
-    elif vendor == "AuthenticAMD":
-        smt_bits, core_bits = _amd_field_widths(machine)
         for hw in range(nthreads):
             threads.append(_decode_thread_from_widths(machine, hw,
                                                       smt_bits, core_bits))
@@ -320,13 +323,13 @@ def probe_topology(machine: SimMachine) -> NodeTopology:
                             if t.socket_id == sockets[0]})
     threads_per_core = max(t.thread_id for t in threads) + 1
 
-    if vendor == "GenuineIntel" and max_leaf >= 0x4:
-        caches = _decode_caches_leaf4(machine)
-    elif vendor == "GenuineIntel":
-        caches = _decode_caches_leaf2(machine)
-    else:
+    if vendor == "AuthenticAMD":
         caches = _decode_caches_amd(machine, threads_per_core,
                                     cores_per_socket)
+    elif max_leaf >= 0x4:
+        caches = _decode_caches_leaf4(machine)
+    else:
+        caches = _decode_caches_leaf2(machine)
 
     for cache in caches:
         cache.groups = _cache_groups(threads, cache, threads_per_core)

@@ -12,6 +12,7 @@ from repro.hw.arch.intel_core2 import CORE2_DUO, CORE2_QUAD
 from repro.hw.arch.intel_nehalem import NEHALEM_EP
 from repro.hw.arch.intel_small import ATOM, BANIAS, NEHALEM_WS, PENTIUM_M
 from repro.hw.arch.intel_westmere import WESTMERE_EP
+from repro.hw.arch.power9 import POWER9
 from repro.hw.machine import SimMachine
 from repro.hw.spec import ArchSpec
 
@@ -19,7 +20,7 @@ ARCH_SPECS: dict[str, ArchSpec] = {
     spec.name: spec
     for spec in (CORE2_QUAD, CORE2_DUO, NEHALEM_EP, NEHALEM_WS,
                  WESTMERE_EP, ATOM, PENTIUM_M, BANIAS, AMD_K8,
-                 AMD_ISTANBUL)
+                 AMD_ISTANBUL, POWER9)
 }
 
 
@@ -46,4 +47,4 @@ def create_machine(name: str) -> SimMachine:
 __all__ = ["ARCH_SPECS", "available", "get_arch", "create_machine",
            "CORE2_QUAD", "CORE2_DUO", "NEHALEM_EP", "WESTMERE_EP",
            "ATOM", "PENTIUM_M", "BANIAS", "NEHALEM_WS", "AMD_K8",
-           "AMD_ISTANBUL"]
+           "AMD_ISTANBUL", "POWER9"]

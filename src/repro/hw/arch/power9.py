@@ -1,0 +1,102 @@
+"""A POWER9-like (SMT4) dual-socket node — the eleventh architecture.
+
+This machine exists to prove the :mod:`repro.oskern.access` backend
+API is not secretly x86-shaped (ISSUE 6): its counter file is laid out
+on the POWER9 SPR numbers rather than the IA32 MSR map, it has no
+fixed counters, no ``IA32_MISC_ENABLE`` and no Intel
+STATUS/OVF_CTRL pair — a single MMCR0-style control register gates
+all six counters.
+
+Documented simplifications of the model (not claims about hardware):
+
+* Registers are addressed by their SPR numbers inside the same
+  per-thread register-file abstraction the x86 machines use: PMC1–6
+  live at SPR 771–776 (0x303–0x308) and the global control at MMCR0's
+  SPR 779 (0x30B).  Event selection, which real POWER9 packs into
+  MMCR1 fields, is modeled as a per-counter selector bank at
+  0x30E–0x313 using the shared PERFEVTSEL encoding so the LK30x
+  encoding lints apply unchanged.
+* Firmware answers the topology enumeration protocol of the leaf-11
+  style (the generic "SMT bits below core bits" scheme), so the
+  existing topology prober works without an x86 vendor check.
+* ``PM_RUN_INST_CMPL`` / ``PM_RUN_CYC`` are hard-wired to PMC5/PMC6
+  on real POWER9; here they carry ``counter_mask`` restrictions to
+  the last two general counters — the always-counted pair the CPI
+  metric rides on, without Intel's separate fixed-counter file.
+"""
+
+from __future__ import annotations
+
+from repro.hw.events import Channel, EventDef, EventTable
+from repro.hw.pmu import PmuSpec
+from repro.hw.spec import ArchSpec, CacheSpec, MachinePerf
+
+# SPR numbers of the modeled counter file.
+P9_PMC_BASE = 0x303        # SPR 771..776: PMC1..PMC6
+P9_EVTSEL_BASE = 0x30E     # modeled per-counter selector bank (MMCR1)
+P9_MMCR0 = 0x30B           # SPR 779: global freeze/run control
+
+
+def power9_events() -> EventTable:
+    """POWER9-flavoured event names on the shared encoding layout."""
+    table = EventTable("power9")
+
+    def ev(name, code, umask, channel, mask=None):
+        return EventDef(name, code, umask, channel,
+                        counter_mask=mask)
+
+    table.add_all([
+        # The always-counted run-latch pair, restricted to PMC4/PMC5.
+        ev("PM_RUN_INST_CMPL", 0xFA, 0x04, Channel.INSTRUCTIONS,
+           mask=frozenset({4})),
+        ev("PM_RUN_CYC", 0xF4, 0x04, Channel.CORE_CYCLES,
+           mask=frozenset({5})),
+        # General events, programmable on any counter.
+        ev("PM_INST_CMPL", 0x02, 0x00, Channel.INSTRUCTIONS),
+        ev("PM_CYC", 0x1E, 0x00, Channel.CORE_CYCLES),
+        ev("PM_VECTOR_FLOP_CMPL", 0x50, 0x04, Channel.FLOPS_PACKED_DP),
+        ev("PM_SCALAR_FLOP_CMPL", 0x50, 0x08, Channel.FLOPS_SCALAR_DP),
+        ev("PM_VECTOR_FLOP_SP_CMPL", 0x51, 0x04, Channel.FLOPS_PACKED_SP),
+        ev("PM_SCALAR_FLOP_SP_CMPL", 0x51, 0x08, Channel.FLOPS_SCALAR_SP),
+        ev("PM_LD_CMPL", 0x54, 0x00, Channel.LOADS),
+        ev("PM_ST_CMPL", 0x55, 0x00, Channel.STORES),
+        ev("PM_LD_MISS_L1", 0x3E, 0x00, Channel.L1D_REPLACEMENT),
+        ev("PM_BR_CMPL", 0x4D, 0x00, Channel.BRANCHES),
+        ev("PM_BR_MPRED_CMPL", 0x4E, 0x00, Channel.BRANCH_MISSES),
+        ev("PM_DTLB_MISS", 0x66, 0x00, Channel.DTLB_MISSES),
+        ev("PM_DATA_FROM_LMEM", 0x48, 0x01, Channel.DRAM_READS),
+        ev("PM_DATA_TO_LMEM", 0x48, 0x02, Channel.DRAM_WRITES),
+    ])
+    return table
+
+
+POWER9 = ArchSpec(
+    name="power9",
+    cpu_name="IBM POWER9 (SMT4) processor",
+    vendor="PowerISA3.0B",
+    family=9, model=2, stepping=2,
+    clock_hz=3.8e9,
+    sockets=2, cores_per_socket=4, threads_per_core=4,
+    core_ids=(0, 1, 2, 3),
+    caches=(
+        CacheSpec(1, "Data cache", 32 * 1024, 8, 128, inclusive=False,
+                  threads_sharing=4),
+        CacheSpec(1, "Instruction cache", 32 * 1024, 8, 128,
+                  inclusive=False, threads_sharing=4),
+        CacheSpec(2, "Unified cache", 512 * 1024, 8, 128, inclusive=False,
+                  threads_sharing=4),
+        CacheSpec(3, "Unified cache", 10 * 1024 * 1024, 20, 128,
+                  inclusive=False, threads_sharing=16),
+    ),
+    pmu=PmuSpec(num_pmcs=6, has_fixed=False,
+                pmc_base=P9_PMC_BASE, evtsel_base=P9_EVTSEL_BASE,
+                global_ctrl_addr=P9_MMCR0),
+    events=power9_events(),
+    cpuid_style="leaf11",
+    # Eight DDR4 channels per socket: high sustained socket bandwidth,
+    # single-thread extraction limited as on the x86 testbeds.
+    perf=MachinePerf(socket_mem_bw=110.0e9, thread_mem_bw=22.0e9,
+                     socket_l3_bw=190.0e9, thread_l3_bw=38.0e9,
+                     remote_mem_penalty=0.65, smt_issue_scale=1.4),
+    feature_flags=(),
+)

@@ -46,6 +46,11 @@ class SimMachine:
         self.spec = spec
         self._cpuid = CpuidEngine(spec)
         self._counter_addresses: frozenset[int] | None = None
+        # Scheduler-tick observers: called after every apply_counts
+        # slice with the elapsed wall time.  The perf_event-style
+        # access backend registers its rotation/multiplexing timer
+        # here; the list is empty otherwise, costing nothing.
+        self._tick_hooks: list = []
         self.msr: list[MSRSpace] = []
         self.core_pmus: list[CorePMU] = []
         self.uncore_pmus: list[UncorePMU] = [
@@ -145,6 +150,17 @@ class SimMachine:
             for space in self.msr:
                 space.poke(regs.IA32_TSC,
                            space.peek(regs.IA32_TSC) + ticks)
+        for hook in list(self._tick_hooks):
+            hook(elapsed_seconds)
+
+    def add_tick_hook(self, hook) -> None:
+        """Register a callable invoked as ``hook(elapsed_seconds)``
+        after every :meth:`apply_counts` slice."""
+        self._tick_hooks.append(hook)
+
+    def remove_tick_hook(self, hook) -> None:
+        if hook in self._tick_hooks:
+            self._tick_hooks.remove(hook)
 
     # -- feature state queried by the cache/prefetch models ---------------------
 

@@ -44,6 +44,11 @@ class PmuSpec:
     has_uncore_fixed: bool = False
     vendor_amd: bool = False  # AMD register addresses
     counter_width: int = COUNTER_WIDTH  # bits before wrap-around
+    # Explicit register bases for non-x86 layouts (POWER9-like); when
+    # None the classic Intel/AMD addresses apply.
+    pmc_base: int | None = None
+    evtsel_base: int | None = None
+    global_ctrl_addr: int | None = None
 
     @property
     def counter_mask(self) -> int:
@@ -53,11 +58,32 @@ class PmuSpec:
     def has_uncore(self) -> bool:
         return self.num_uncore_pmcs > 0
 
+    @property
+    def has_global_ctrl(self) -> bool:
+        """A single register gates all counters (Intel's GLOBAL_CTRL,
+        POWER9's MMCR0 analog); AMD relies on the per-EVTSEL EN bit."""
+        return self.global_ctrl_addr is not None or not self.vendor_amd
+
+    @property
+    def has_global_status(self) -> bool:
+        """Intel's architectural STATUS/OVF_CTRL pair; custom layouts
+        declare a global control without the overflow-ack registers."""
+        return not self.vendor_amd and self.global_ctrl_addr is None
+
+    def global_ctrl_address(self) -> int:
+        if self.global_ctrl_addr is not None:
+            return self.global_ctrl_addr
+        return regs.IA32_PERF_GLOBAL_CTRL
+
     def pmc_address(self, index: int) -> int:
+        if self.pmc_base is not None:
+            return self.pmc_base + index
         base = regs.AMD_PMC0 if self.vendor_amd else regs.IA32_PMC0
         return base + index
 
     def evtsel_address(self, index: int) -> int:
+        if self.evtsel_base is not None:
+            return self.evtsel_base + index
         base = regs.AMD_PERFEVTSEL0 if self.vendor_amd else regs.IA32_PERFEVTSEL0
         return base + index
 
@@ -93,8 +119,9 @@ class CorePMU:
             msr.declare(regs.IA32_FIXED_CTR2, write_mask=spec.counter_mask,
                         name="FIXED_CTR2")
             msr.declare(regs.IA32_FIXED_CTR_CTRL, name="FIXED_CTR_CTRL")
-        if not spec.vendor_amd:
-            msr.declare(regs.IA32_PERF_GLOBAL_CTRL, name="PERF_GLOBAL_CTRL")
+        if spec.has_global_ctrl:
+            msr.declare(spec.global_ctrl_address(), name="PERF_GLOBAL_CTRL")
+        if spec.has_global_status:
             msr.declare(regs.IA32_PERF_GLOBAL_STATUS, write_mask=0,
                         name="PERF_GLOBAL_STATUS")
             msr.declare(regs.IA32_PERF_GLOBAL_OVF_CTRL,
@@ -107,23 +134,21 @@ class CorePMU:
         self.msr.poke(regs.IA32_PERF_GLOBAL_STATUS, status & ~value)
 
     def _raise_overflow(self, status_bit: int) -> None:
-        if self.spec.vendor_amd:
-            # AMD K8/K10 signal overflow via APIC only; status modelling
-            # is Intel-specific here.
-            pass
-        else:
+        if self.spec.has_global_status:
             status = self.msr.peek(regs.IA32_PERF_GLOBAL_STATUS)
             self.msr.poke(regs.IA32_PERF_GLOBAL_STATUS,
                           status | (1 << status_bit))
+        # AMD (APIC-only) and POWER9-like PMUs have no status register;
+        # the PMI still fires.
         for handler in self.overflow_handlers:
             handler(self.hwthread, status_bit)
 
     # -- enable logic ------------------------------------------------------
 
     def _global_ctrl(self) -> int:
-        if self.spec.vendor_amd:
+        if not self.spec.has_global_ctrl:
             return ~0  # AMD has no global enable register; EN bit suffices
-        return self.msr.peek(regs.IA32_PERF_GLOBAL_CTRL)
+        return self.msr.peek(self.spec.global_ctrl_address())
 
     def pmc_active(self, index: int) -> bool:
         """True if general counter *index* is currently counting."""

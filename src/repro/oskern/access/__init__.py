@@ -1,0 +1,54 @@
+"""Pluggable counter-access backends (ISSUE 6).
+
+``open_backend`` is the tool layer's one entry point: it owns msr
+driver construction, so CLI code never instantiates
+:class:`MsrDriver` directly (statically enforced by the LK503 lint,
+the backend-API sibling of LK501's raw-write scan).
+"""
+
+from __future__ import annotations
+
+from repro.oskern.access.base import AccessBackend, BackendCapabilities
+from repro.oskern.access.msr import MsrBackend
+from repro.oskern.access.perf import PerfEventBackend
+
+ACCESS_MODES = ("msr", "perf")
+
+_BACKENDS = {"msr": MsrBackend, "perf": PerfEventBackend}
+
+
+def backend_for(mode: str, driver) -> AccessBackend:
+    """Wrap an existing driver in the backend class for *mode*."""
+    try:
+        cls = _BACKENDS[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown access mode {mode!r} "
+            f"(choose from {', '.join(ACCESS_MODES)})") from None
+    return cls(driver)
+
+
+def open_backend(mode: str, machine, *, driver=None, faults=None,
+                 journal=None, journaling: bool = True) -> AccessBackend:
+    """Open counter access to *machine* through one access mode.
+
+    Builds the journaled msr driver internally unless an existing one
+    is passed in; the remaining keywords mirror the driver's crash-
+    safety knobs (``--journal`` / ``--no-journal`` / ``--msr-faults``).
+    """
+    if driver is None:
+        from repro.oskern.msr_driver import MsrDriver
+        driver = MsrDriver(machine, faults=faults, journal=journal,
+                           journaling=journaling)
+    return backend_for(mode, driver)
+
+
+__all__ = [
+    "ACCESS_MODES",
+    "AccessBackend",
+    "BackendCapabilities",
+    "MsrBackend",
+    "PerfEventBackend",
+    "backend_for",
+    "open_backend",
+]

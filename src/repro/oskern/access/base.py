@@ -1,0 +1,138 @@
+"""The pluggable counter-access interface (ISSUE 6 tentpole).
+
+LIKWID's design point is talking to the msr device files directly, but
+"Measuring Software Performance on Linux" (PAPERS.md) contrasts that
+with the kernel's perf_event interface: fd-per-event lifetimes,
+kernel-side multiplexing with ``time_enabled``/``time_running``
+scaling, and rdpmc userspace reads.  :class:`AccessBackend` is the
+seam between the two: the tool layer (``repro.core.perfctr`` and the
+CLI front-ends) programs *events onto counters* through this API and
+never needs to know which access path carries the register traffic.
+
+Both implementations sit on top of the same :class:`MsrDriver` — the
+simulated kernel's perf subsystem ultimately programs the same PMU
+registers — so the write-ahead journal, fault injection, and crash
+recovery of PR 5 apply to every backend identically.
+
+Layering note: the backends build a
+:class:`~repro.core.perfctr.counters.CounterProgrammer` lazily inside
+:meth:`attach`.  The import direction (oskern → core) is deliberate
+and confined to that method: the programmer is the one event-level
+engine both access paths share, and importing it at call time keeps
+``repro.oskern`` importable standalone.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one access path can and cannot do (docs/access-modes.md)."""
+
+    name: str
+    direct_msr: bool           # raw register handles via open_core()
+    kernel_multiplexing: bool  # oversubscribed event sets are rotated
+    userspace_read: bool       # rdpmc-style reads bypass the device
+    needs_socket_locks: bool   # tool arbitrates uncore access itself
+    feature_control: bool      # may toggle IA32_MISC_ENABLE features
+
+
+class AccessBackend(ABC):
+    """One way of reaching the counters of a simulated machine.
+
+    The life cycle mirrors a perfctr session: :meth:`attach` binds the
+    backend to one session's counter map (resetting per-session
+    state), then per CPU ``program → start → [read_batch ...] → stop``,
+    and finally :meth:`release`.  Uncore programming is kernel-mediated
+    on every backend and shares the default implementations here.
+    """
+
+    capabilities: BackendCapabilities
+
+    def __init__(self, driver):
+        self._driver = driver
+        self._programmer = None
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def driver(self):
+        """The msr driver carrying this backend's register traffic."""
+        return self._driver
+
+    @property
+    def machine(self):
+        return self._driver.machine
+
+    @property
+    def programmer(self):
+        """The shared event-level programming engine (bound by attach)."""
+        return self._programmer
+
+    @property
+    def retries(self) -> int:
+        return self._programmer.retries if self._programmer is not None else 0
+
+    # -- session binding ---------------------------------------------------
+
+    def attach(self, counters, *, retry_policy=None) -> None:
+        """Bind to one session's :class:`CounterMap`; resets any
+        per-session backend state left by a previous session."""
+        from repro.core.perfctr.counters import CounterProgrammer
+        self._programmer = CounterProgrammer(
+            self._driver, counters, retry_policy)
+        self._attached(counters)
+
+    def _attached(self, counters) -> None:
+        """Subclass hook: per-session state reset."""
+
+    def release(self) -> None:
+        """Drop per-session resources (fds, tick hooks); the driver
+        itself stays open for the next session."""
+
+    # -- raw access --------------------------------------------------------
+
+    def open_core(self, cpu: int, *, write: bool = True):
+        """A raw device handle for one CPU (direct-msr capability)."""
+        return self._driver.open(cpu, write=write)
+
+    def write_surface(self) -> frozenset[int]:
+        """Every register address this backend may legitimately mutate
+        on its machine — the journal's write-surface classification."""
+        from repro.oskern.journal import state_mutating_addresses
+        return state_mutating_addresses(self._driver.machine.spec)
+
+    # -- core counters -----------------------------------------------------
+
+    @abstractmethod
+    def program_core(self, cpu: int, assignments) -> None:
+        """Write event selections and zero the involved counters."""
+
+    @abstractmethod
+    def start_core(self, cpu: int, assignments) -> None:
+        """Enable counting on one CPU."""
+
+    @abstractmethod
+    def stop_core(self, cpu: int, assignments) -> None:
+        """Freeze counting on one CPU."""
+
+    @abstractmethod
+    def read_batch(self, cpu: int, assignments) -> dict:
+        """Read the core-scope counters; keys are counter names."""
+
+    # -- uncore counters (kernel-mediated on every backend) ----------------
+
+    def program_uncore(self, cpu: int, assignments) -> None:
+        self._programmer.setup_uncore(cpu, assignments)
+
+    def start_uncore(self, cpu: int, assignments) -> None:
+        self._programmer.start_uncore(cpu, assignments)
+
+    def stop_uncore(self, cpu: int) -> None:
+        self._programmer.stop_uncore(cpu)
+
+    def read_uncore_batch(self, cpu: int, assignments) -> dict:
+        return self._programmer.read_uncore(cpu, assignments)

@@ -1,0 +1,236 @@
+"""A perf_event-style access backend.
+
+Models the three semantics that distinguish the kernel's perf_event
+interface from LIKWID's direct-MSR path ("Measuring Software
+Performance on Linux", PAPERS.md):
+
+* **fd-per-event**: every event→counter binding becomes a
+  :class:`PerfEvent` with its own fd number and lifetime, rather than
+  a register the tool owns outright.
+* **kernel-side multiplexing**: when the requested events need the
+  same physical counter, the "kernel" splits them into conflict-free
+  sets and rotates the sets on every scheduler tick
+  (:meth:`SimMachine.add_tick_hook`), accumulating per-event
+  ``time_enabled``/``time_running``.  Reads extrapolate the counted
+  slice to the full window: ``count * time_enabled / time_running``.
+* **rdpmc userspace reads**: core counters are read straight from the
+  register file (:meth:`MSRSpace.peek`), never through the device
+  node — a read costs no device op and cannot take a device fault.
+
+Programming still flows through the shared journaled
+:class:`CounterProgrammer`: the simulated kernel's perf subsystem
+writes the same PMU registers through the same crash-safe driver, so
+fault plans, kills, and journal recovery behave identically under
+both backends.
+
+Uncore counters have no rdpmc and no per-event rotation here (as on
+real hardware, where uncore PMUs are a separate perf subsystem); they
+use the kernel-mediated defaults from :class:`AccessBackend`.
+"""
+
+from __future__ import annotations
+
+from repro.oskern.access.base import AccessBackend, BackendCapabilities
+
+
+class PerfEvent:
+    """One fd's worth of perf_event state."""
+
+    __slots__ = ("fd", "assignment", "value", "time_enabled",
+                 "time_running")
+
+    def __init__(self, fd: int, assignment):
+        self.fd = fd
+        self.assignment = assignment
+        self.value = 0          # counts harvested from retired slices
+        self.time_enabled = 0.0
+        self.time_running = 0.0
+
+    def scaled(self, residue: int) -> float:
+        """The kernel's extrapolation: observed counts scaled by the
+        fraction of the window the event was actually scheduled."""
+        total = self.value + residue
+        if self.time_running <= 0.0:
+            return 0.0 if total == 0 else float(total)
+        return total * (self.time_enabled / self.time_running)
+
+
+class _CpuContext:
+    """Per-CPU event list, conflict-free sets, and rotation cursor."""
+
+    __slots__ = ("events", "sets", "active", "enabled", "rotations")
+
+    def __init__(self, events, sets):
+        self.events = events
+        self.sets = sets        # list[list[PerfEvent]]
+        self.active = 0
+        self.enabled = False
+        self.rotations = 0
+
+    def active_assignments(self):
+        return [ev.assignment for ev in self.sets[self.active]]
+
+    @property
+    def multiplexed(self) -> bool:
+        return len(self.sets) > 1
+
+
+def split_conflicts(assignments) -> list[list]:
+    """Greedy first-fit split into sets with no counter claimed twice —
+    the kernel scheduler's grouping of incompatible events."""
+    sets: list[list] = []
+    for a in assignments:
+        for group in sets:
+            if all(b.counter.name != a.counter.name for b in group):
+                group.append(a)
+                break
+        else:
+            sets.append([a])
+    return sets
+
+
+class PerfEventBackend(AccessBackend):
+    """Counter access through a modeled perf_event kernel interface."""
+
+    capabilities = BackendCapabilities(
+        name="perf",
+        direct_msr=False,
+        kernel_multiplexing=True,
+        userspace_read=True,
+        needs_socket_locks=False,  # the kernel arbitrates uncore access
+        feature_control=False,
+    )
+
+    def __init__(self, driver):
+        super().__init__(driver)
+        self._cpus: dict[int, _CpuContext] = {}
+        self._next_fd = 3
+        self._hooked = False
+
+    # -- session binding ---------------------------------------------------
+
+    def _attached(self, counters) -> None:
+        self._unhook()
+        self._cpus.clear()
+
+    def release(self) -> None:
+        self._unhook()
+        self._cpus.clear()
+
+    def _unhook(self) -> None:
+        if self._hooked:
+            self.machine.remove_tick_hook(self._tick)
+            self._hooked = False
+
+    # -- core counters -----------------------------------------------------
+
+    def program_core(self, cpu: int, assignments) -> None:
+        core = [a for a in assignments if not a.counter.is_uncore]
+        events = []
+        for a in core:
+            events.append(PerfEvent(self._next_fd, a))
+            self._next_fd += 1
+        sets = split_conflicts(core)
+        fd_sets = [[ev for ev in events if ev.assignment in group]
+                   for group in sets]
+        self._cpus[cpu] = ctx = _CpuContext(events, fd_sets)
+        self._programmer.setup_core(cpu, ctx.active_assignments())
+
+    def start_core(self, cpu: int, assignments) -> None:
+        ctx = self._cpus[cpu]
+        ctx.enabled = True
+        self._programmer.start_core(cpu, ctx.active_assignments())
+        if not self._hooked:
+            self.machine.add_tick_hook(self._tick)
+            self._hooked = True
+
+    def stop_core(self, cpu: int, assignments) -> None:
+        ctx = self._cpus.get(cpu)
+        if ctx is None:
+            # Teardown of a CPU that never got programmed.
+            self._programmer.stop_core(cpu, assignments)
+            return
+        ctx.enabled = False
+        self._programmer.stop_core(cpu, ctx.active_assignments())
+
+    def read_batch(self, cpu: int, assignments) -> dict:
+        """rdpmc read of one CPU's core counters (no device ops).
+
+        Multiplexed values are scaled estimates and therefore floats;
+        an un-multiplexed context returns the exact raw counts, so an
+        in-capacity measurement agrees with the msr backend bit for
+        bit.  With duplicate counter claims the per-fd view is
+        :meth:`read_events`; here the last fd on a counter wins.
+        """
+        ctx = self._cpus.get(cpu)
+        if ctx is None:
+            return {}
+        peek = self.machine.msr[cpu].peek
+        self._driver.metrics.incr("perf.rdpmc_reads")
+        out: dict = {}
+        for ev in ctx.events:
+            residue = peek(ev.assignment.counter.counter_addr) \
+                if ev in ctx.sets[ctx.active] else 0
+            if ctx.multiplexed:
+                out[ev.assignment.counter.name] = ev.scaled(residue)
+            else:
+                out[ev.assignment.counter.name] = ev.value + residue
+        return out
+
+    def read_events(self, cpu: int) -> list[dict]:
+        """The fd-level read format: one record per event with the raw
+        count, the scaling times, and the extrapolated estimate."""
+        ctx = self._cpus.get(cpu)
+        if ctx is None:
+            return []
+        peek = self.machine.msr[cpu].peek
+        records = []
+        for ev in ctx.events:
+            residue = peek(ev.assignment.counter.counter_addr) \
+                if ev in ctx.sets[ctx.active] else 0
+            records.append({
+                "fd": ev.fd,
+                "event": ev.assignment.event.name,
+                "counter": ev.assignment.counter.name,
+                "raw": ev.value + residue,
+                "time_enabled": ev.time_enabled,
+                "time_running": ev.time_running,
+                "scaled": ev.scaled(residue),
+            })
+        return records
+
+    def rotations(self, cpu: int) -> int:
+        ctx = self._cpus.get(cpu)
+        return ctx.rotations if ctx is not None else 0
+
+    # -- the kernel's scheduler tick ---------------------------------------
+
+    def _tick(self, elapsed_seconds: float) -> None:
+        # Timeless slices (pure event injection) still advance the
+        # rotation clock by one nominal tick so rotation makes
+        # progress; any real elapsed time is used as-is.
+        dt = elapsed_seconds if elapsed_seconds > 0.0 else 1.0
+        for cpu, ctx in self._cpus.items():
+            if not ctx.enabled:
+                continue
+            for ev in ctx.events:
+                ev.time_enabled += dt
+            for ev in ctx.sets[ctx.active]:
+                ev.time_running += dt
+            if ctx.multiplexed:
+                self._rotate(cpu, ctx)
+
+    def _rotate(self, cpu: int, ctx: _CpuContext) -> None:
+        """Retire the active set (harvest its counts) and schedule the
+        next one — journaled register writes, like the real kernel's
+        PMU writes on a rotation interrupt."""
+        peek = self.machine.msr[cpu].peek
+        for ev in ctx.sets[ctx.active]:
+            ev.value += peek(ev.assignment.counter.counter_addr)
+        self._programmer.stop_core(cpu, ctx.active_assignments())
+        ctx.active = (ctx.active + 1) % len(ctx.sets)
+        nxt = ctx.active_assignments()
+        self._programmer.setup_core(cpu, nxt)
+        self._programmer.start_core(cpu, nxt)
+        ctx.rotations += 1
+        self._driver.metrics.incr("perf.rotations")

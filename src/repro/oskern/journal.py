@@ -147,8 +147,9 @@ def state_mutating_addresses(spec: ArchSpec) -> frozenset[int]:
         addrs.update(regs.IA32_FIXED_CTR0 + i
                      for i in range(regs.NUM_FIXED_CTRS))
         addrs.add(regs.IA32_FIXED_CTR_CTRL)
-    if not pmu.vendor_amd:
-        addrs.add(regs.IA32_PERF_GLOBAL_CTRL)
+    if pmu.has_global_ctrl:
+        addrs.add(pmu.global_ctrl_address())
+    if pmu.has_global_status:
         addrs.add(regs.IA32_PERF_GLOBAL_OVF_CTRL)
     if pmu.has_uncore:
         addrs.add(regs.MSR_UNCORE_PERF_GLOBAL_CTRL)

@@ -146,7 +146,8 @@ class FaultPlan:
         """Parse the CLI syntax: comma-separated ``key=value`` pairs.
 
         Keys are the field names (``sticky`` may repeat and accepts
-        hex addresses)::
+        hex addresses; any other repeated key is rejected rather than
+        silently keeping the last value)::
 
             seed=7,read_fault_rate=0.1
             unload_after=20
@@ -161,6 +162,8 @@ class FaultPlan:
             key, _, value = part.partition("=")
             key = key.strip()
             value = value.strip()
+            if key not in ("sticky", "sticky_addresses") and key in kwargs:
+                raise ValueError(f"duplicate fault key {key!r}")
             if key in ("sticky", "sticky_addresses"):
                 sticky.append(int(value, 0))
             elif key in ("read_fault_rate", "write_fault_rate"):

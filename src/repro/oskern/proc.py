@@ -97,7 +97,7 @@ def render_cpuinfo(machine: SimMachine) -> str:
         leaf1 = machine.cpuid(hwthread, 0x1)
         family, model, stepping = decode_signature(leaf1.eax)
         socket, core_index, _smt = spec.hwthread_location(hwthread)
-        vendor = "GenuineIntel" if spec.vendor == "GenuineIntel" else "AuthenticAMD"
+        vendor = spec.vendor
         llc = spec.last_level_cache()
         flags = " ".join(spec.feature_flags
                          + (("ht",) if spec.threads_per_core > 1 else ()))

@@ -121,4 +121,16 @@ NATIVE_MAPPINGS: dict[str, dict[int, str]] = {
     },
     "amd_k8": _AMD,
     "amd_istanbul": _AMD,
+    "power9": {
+        PAPI_TOT_INS: "PM_INST_CMPL",
+        PAPI_TOT_CYC: "PM_CYC",
+        PAPI_FP_OPS: "PM_SCALAR_FLOP_CMPL",
+        PAPI_DP_OPS: "PM_VECTOR_FLOP_CMPL",
+        PAPI_L1_DCM: "PM_LD_MISS_L1",
+        PAPI_BR_INS: "PM_BR_CMPL",
+        PAPI_BR_MSP: "PM_BR_MPRED_CMPL",
+        PAPI_TLB_DM: "PM_DTLB_MISS",
+        PAPI_LD_INS: "PM_LD_CMPL",
+        PAPI_SR_INS: "PM_ST_CMPL",
+    },
 }

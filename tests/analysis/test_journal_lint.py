@@ -5,7 +5,9 @@ satellite 3)."""
 
 import pytest
 
-from repro.analysis.journal_lint import (lint_journal_coverage,
+from repro.analysis.journal_lint import (cli_layer_sources,
+                                         lint_backend_bypass,
+                                         lint_journal_coverage,
                                          lint_write_sites,
                                          programmer_write_surface,
                                          tool_layer_sources)
@@ -43,6 +45,41 @@ class TestWriteSiteScan:
         from repro.analysis.diagnostics import Severity
         assert diag.severity is Severity.ERROR
         assert diag.locus == "source:one.py:1"
+
+
+class TestBackendBypassScan:
+    def test_shipped_cli_layer_is_clean(self):
+        assert lint_backend_bypass() == []
+
+    def test_scanned_surface_is_the_cli_layer(self):
+        names = {path.rsplit("/", 1)[-1] for path in cli_layer_sources()}
+        assert "common.py" in names         # driver plumbing
+        assert "perfctr_cmd.py" in names    # likwid-perfctr
+        assert "features_cmd.py" in names   # likwid-features
+
+    def test_direct_construction_detected(self, tmp_path):
+        bad = tmp_path / "rogue_cli.py"
+        bad.write_text(
+            "from repro.oskern import msr_driver\n"
+            "from repro.oskern.msr_driver import MsrDriver\n"
+            "from repro.oskern.access import open_backend\n"
+            "def run(machine):\n"
+            "    d1 = MsrDriver(machine)\n"              # LK503
+            "    d2 = msr_driver.MsrDriver(machine)\n"   # LK503
+            "    b = open_backend('msr', machine)\n"     # the blessed path
+            "    return d1, d2, b\n")
+        diags = lint_backend_bypass([str(bad)])
+        assert [d.code for d in diags] == ["LK503", "LK503"]
+        assert "rogue_cli.py:5" in diags[0].message
+        assert "open_backend" in diags[0].message
+
+    def test_diagnostics_are_errors_with_loci(self, tmp_path):
+        bad = tmp_path / "one_cli.py"
+        bad.write_text("d = MsrDriver(m)\n")
+        [diag] = lint_backend_bypass([str(bad)])
+        from repro.analysis.diagnostics import Severity
+        assert diag.severity is Severity.ERROR
+        assert diag.locus == "source:one_cli.py:1"
 
 
 @pytest.mark.parametrize("arch", available())

@@ -43,6 +43,22 @@ class TestFaultPlanValidation:
         with pytest.raises(ValueError, match="key=value"):
             FaultPlan.from_string("just-a-word")
 
+    def test_from_string_rejects_duplicate_key(self):
+        with pytest.raises(ValueError, match="duplicate fault key 'seed'"):
+            FaultPlan.from_string("seed=7,seed=8")
+        with pytest.raises(ValueError, match="duplicate fault key"):
+            FaultPlan.from_string("kill_after=3,read_fault_rate=0.1,"
+                                  "kill_after=9")
+
+    def test_from_string_sticky_may_repeat(self):
+        plan = FaultPlan.from_string("sticky=0x38F,sticky_addresses=0xC1")
+        assert plan.sticky_addresses == (0x38F, 0xC1)
+
+    def test_from_string_tolerates_empty_segments(self):
+        plan = FaultPlan.from_string(",seed=7,, overflow_after=1000 ,")
+        assert plan.seed == 7
+        assert plan.overflow_after == 1000
+
 
 class TestTransientFaults:
     def test_read_fault_is_transient_and_counted(self, machine):

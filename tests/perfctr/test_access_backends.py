@@ -1,0 +1,232 @@
+"""Differential backend agreement (ISSUE 6 satellite c).
+
+The msr and perf backends must be interchangeable for any in-capacity
+measurement: identical workload, seed, and group produce identical
+counts on every shared architecture (a single perf event set is never
+scaled, so agreement is exact, not approximate).  Oversubscribed
+requests are the perf backend's own territory — kernel-side rotation
+with ``time_enabled``/``time_running`` extrapolation — and its scaled
+estimates must land on the true totals within multiplex-scaling
+tolerance.  The POWER9 legs re-run the PR 5 crash matrix and the
+recovery-idempotence invariant under both backends.
+"""
+
+import math
+
+import pytest
+
+from repro.core.perfctr import LikwidPerfCtr
+from repro.core.perfctr.counters import CounterMap, validate_assignments
+from repro.core.perfctr.events import parse_event_string
+from repro.core.perfctr.groups import groups_for
+from repro.errors import ProcessKilled
+from repro.hw.arch import available, create_machine, get_arch
+from repro.hw.events import Channel
+from repro.oskern.access import (ACCESS_MODES, MsrBackend, PerfEventBackend,
+                                 backend_for, open_backend)
+from repro.oskern.journal import state_mutating_addresses
+from repro.oskern.msr_driver import FaultPlan, MsrDriver
+from repro.oskern.recovery import RecoveryEngine
+
+ALL_ARCHES = available()
+
+# A broad synthetic slice: every channel produces, so whatever events a
+# group selects, both backends observe the same non-trivial state.
+WORKLOAD = {ch: 1000.0 * (i + 1) for i, ch in enumerate(Channel)}
+
+
+def measure(arch: str, mode: str, group: str):
+    machine = create_machine(arch)
+    perfctr = LikwidPerfCtr(machine, backend=open_backend(mode, machine))
+    cpus = [0, 1] if machine.num_hwthreads > 1 else [0]
+    return perfctr.wrap(
+        cpus, group,
+        lambda: machine.apply_counts({cpu: dict(WORKLOAD) for cpu in cpus},
+                                     elapsed_seconds=0.25))
+
+
+def same_value(a: float, b: float) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    return a == b
+
+
+class TestRegistry:
+    def test_unknown_mode_rejected(self):
+        machine = create_machine("nehalem_ep")
+        with pytest.raises(ValueError, match="msr, perf"):
+            open_backend("xenon", machine)
+        with pytest.raises(ValueError, match="unknown access mode"):
+            backend_for("ptrace", MsrDriver(machine))
+
+    def test_modes_map_to_classes(self):
+        machine = create_machine("nehalem_ep")
+        assert isinstance(open_backend("msr", machine), MsrBackend)
+        assert isinstance(open_backend("perf", machine), PerfEventBackend)
+        assert tuple(ACCESS_MODES) == ("msr", "perf")
+
+    def test_capability_matrix(self):
+        msr = MsrBackend.capabilities
+        perf = PerfEventBackend.capabilities
+        assert msr.direct_msr and not perf.direct_msr
+        assert perf.kernel_multiplexing and not msr.kernel_multiplexing
+        assert perf.userspace_read and not msr.userspace_read
+        assert msr.needs_socket_locks and not perf.needs_socket_locks
+        assert msr.feature_control and not perf.feature_control
+
+
+@pytest.mark.parametrize("arch", ALL_ARCHES)
+def test_backends_agree_on_every_group(arch):
+    """Identical workload/seed/group: msr and perf counts are equal on
+    every event of every group the architecture offers (exact — a
+    single event set multiplex-scales by 1.0)."""
+    spec = get_arch(arch)
+    for group in sorted(groups_for(spec)):
+        via_msr = measure(arch, "msr", group)
+        via_perf = measure(arch, "perf", group)
+        assert via_msr.cpus == via_perf.cpus
+        for cpu in via_msr.cpus:
+            events_msr = via_msr.counts[cpu]
+            events_perf = via_perf.counts[cpu]
+            assert set(events_msr) == set(events_perf), (arch, group)
+            for name, value in events_msr.items():
+                assert same_value(value, events_perf[name]), \
+                    f"{arch} {group} cpu{cpu} {name}: " \
+                    f"msr={value} perf={events_perf[name]}"
+
+
+def test_perf_reads_cost_no_device_ops():
+    """rdpmc semantics: the perf backend's core reads never touch the
+    device node, so the same measurement needs strictly fewer device
+    ops than under msr — and cannot take read faults."""
+    ops = {}
+    for mode in ACCESS_MODES:
+        machine = create_machine("nehalem_ep")
+        driver = MsrDriver(machine, faults=FaultPlan(seed=0))
+        perfctr = LikwidPerfCtr(machine, backend=backend_for(mode, driver))
+        perfctr.wrap([0, 1], "FLOPS_DP",
+                     lambda m=machine: m.apply_counts(
+                         {0: dict(WORKLOAD), 1: dict(WORKLOAD)}))
+        ops[mode] = driver._faults.op_count
+    assert ops["perf"] < ops["msr"]
+
+
+class TestMultiplexScaling:
+    """Oversubscription: two events claim PMC0; the kernel rotates."""
+
+    EVENTS = ("FP_COMP_OPS_EXE_SSE_FP_PACKED:PMC0,"
+              "FP_COMP_OPS_EXE_SSE_FP_SCALAR:PMC0")
+
+    def _run(self, ticks=20):
+        machine = create_machine("nehalem_ep")
+        backend = open_backend("perf", machine)
+        counters = CounterMap(machine.spec)
+        backend.attach(counters)
+        specs = parse_event_string(self.EVENTS, allow_duplicates=True)
+        assignments = validate_assignments(machine.spec.events, counters,
+                                           specs)
+        backend.program_core(0, assignments)
+        backend.start_core(0, assignments)
+        for _ in range(ticks):
+            machine.apply_counts({0: {Channel.FLOPS_PACKED_DP: 100.0,
+                                      Channel.FLOPS_SCALAR_DP: 300.0}},
+                                 elapsed_seconds=0.05)
+        backend.stop_core(0, assignments)
+        return machine, backend, assignments
+
+    def test_scaled_estimates_hit_true_totals(self):
+        machine, backend, assignments = self._run(ticks=20)
+        assert backend.rotations(0) > 5
+        records = {r["event"]: r for r in backend.read_events(0)}
+        packed = records["FP_COMP_OPS_EXE_SSE_FP_PACKED"]
+        scalar = records["FP_COMP_OPS_EXE_SSE_FP_SCALAR"]
+        # Each event ran ~half the window and the workload is uniform
+        # per tick, so extrapolation recovers the true totals exactly;
+        # the acceptance bound is the multiplex-scaling tolerance.
+        assert packed["scaled"] == pytest.approx(20 * 100.0, rel=0.15)
+        assert scalar["scaled"] == pytest.approx(20 * 300.0, rel=0.15)
+        assert packed["raw"] < 20 * 100.0
+        assert scalar["raw"] < 20 * 300.0
+        assert 0.0 < packed["time_running"] < packed["time_enabled"]
+
+    def test_in_capacity_context_is_never_scaled(self):
+        machine = create_machine("nehalem_ep")
+        backend = open_backend("perf", machine)
+        counters = CounterMap(machine.spec)
+        backend.attach(counters)
+        assignments = validate_assignments(
+            machine.spec.events, counters,
+            parse_event_string("FP_COMP_OPS_EXE_SSE_FP_PACKED:PMC0,"
+                               "FP_COMP_OPS_EXE_SSE_FP_SCALAR:PMC1"))
+        backend.program_core(0, assignments)
+        backend.start_core(0, assignments)
+        machine.apply_counts({0: {Channel.FLOPS_PACKED_DP: 500.0,
+                                  Channel.FLOPS_SCALAR_DP: 700.0}},
+                             elapsed_seconds=0.1)
+        backend.stop_core(0, assignments)
+        assert backend.rotations(0) == 0
+        values = backend.read_batch(0, assignments)
+        assert values["PMC0"] == 500
+        assert values["PMC1"] == 700
+
+
+# -- POWER9 crash matrix and recovery idempotence, per backend -------------
+
+
+def snapshot(machine):
+    addrs = sorted(state_mutating_addresses(machine.spec))
+    return {(cpu, addr): machine.msr[cpu].peek(addr)
+            for cpu in range(machine.num_hwthreads)
+            for addr in addrs}
+
+
+def backend_measurement(machine, driver, mode, group, cpus):
+    perfctr = LikwidPerfCtr(machine, backend=backend_for(mode, driver))
+    return perfctr.wrap(
+        cpus, group,
+        lambda: machine.apply_counts({cpu: dict(WORKLOAD) for cpu in cpus}))
+
+
+def count_ops(arch, mode, group, cpus):
+    machine = create_machine(arch)
+    driver = MsrDriver(machine, faults=FaultPlan(seed=0))
+    backend_measurement(machine, driver, mode, group, cpus)
+    return driver._faults.op_count
+
+
+def crash_and_recover(arch, mode, group, cpus, kill_at):
+    machine = create_machine(arch)
+    pristine = snapshot(machine)
+    driver = MsrDriver(machine, faults=FaultPlan(seed=0, kill_after=kill_at))
+    with pytest.raises(ProcessKilled):
+        backend_measurement(machine, driver, mode, group, cpus)
+    driver.respawn()
+    report = RecoveryEngine(driver).recover()
+    return machine, driver, pristine, report
+
+
+@pytest.mark.parametrize("mode", ACCESS_MODES)
+class TestPower9CrashMatrix:
+    GROUP = "FLOPS_DP"   # payload pair + the PMC4/PMC5 run-latch pair
+    CPUS = [0, 4]        # two cores of socket 0 (SMT4 stride)
+
+    def test_sampled_kill_indices(self, mode):
+        total = count_ops("power9", mode, self.GROUP, self.CPUS)
+        assert total > 5
+        step = max(1, total // 7)
+        for kill_at in range(1, total, step):
+            machine, driver, pristine, _ = crash_and_recover(
+                "power9", mode, self.GROUP, self.CPUS, kill_at)
+            assert snapshot(machine) == pristine, \
+                f"{mode}: state not pristine after kill at op {kill_at}"
+            assert driver.locks.held() == {}
+            assert driver.journal.record_count == 0
+
+    def test_recovery_is_idempotent(self, mode):
+        total = count_ops("power9", mode, self.GROUP, self.CPUS)
+        machine, driver, pristine, first = crash_and_recover(
+            "power9", mode, self.GROUP, self.CPUS, total // 2)
+        assert not first.clean
+        second = RecoveryEngine(driver).recover()
+        assert second.clean
+        assert snapshot(machine) == pristine
