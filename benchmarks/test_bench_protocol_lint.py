@@ -1,0 +1,25 @@
+"""Benchmark: the LK6xx protocol pass must stay pre-commit fast
+(ISSUE 7 satellite).
+
+The CFG/dataflow analysis runs over every function in the measurement
+runtime (oskern + perfctr + features + CLI) on each `repro-lint --all`
+and in the CI fast-fail job, so its wall clock is a product surface:
+the budget is a full cold tree scan in **under 5 seconds**.  The
+per-file (path, mtime) cache is cleared each round — warm runs are
+effectively free and would make the number meaningless.
+"""
+
+from repro.analysis import protocol
+
+BUDGET_SECONDS = 5.0
+
+
+def cold_full_tree_scan():
+    protocol.clear_cache()
+    return protocol.lint_protocol()
+
+
+def test_protocol_lint_full_tree(benchmark):
+    diags = benchmark(cold_full_tree_scan)
+    assert diags == []      # the self-check, timed
+    assert benchmark.stats.stats.median < BUDGET_SECONDS

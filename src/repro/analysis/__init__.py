@@ -28,6 +28,11 @@ _LAZY = {
     "lint_affinity": "repro.analysis.runner",
     "lint_write_sites": "repro.analysis.journal_lint",
     "lint_journal_coverage": "repro.analysis.journal_lint",
+    "lint_protocol": "repro.analysis.protocol",
+    "protocol_sources": "repro.analysis.protocol",
+    "lint_changed": "repro.analysis.runner",
+    "build_cfg": "repro.analysis.cfg",
+    "solve": "repro.analysis.dataflow",
     "catalog_for": "repro.analysis.runner",
     "render_text": "repro.analysis.report",
     "render_json": "repro.analysis.report",

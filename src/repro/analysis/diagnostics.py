@@ -14,6 +14,7 @@ LK2xx   metric-formula static analysis
 LK3xx   register write-path / encoding checks
 LK4xx   affinity and uncore socket-lock analysis
 LK5xx   crash-safety: journal write-surface verification
+LK6xx   protocol & resource-safety (CFG/dataflow typestate)
 ======  =====================================================
 
 The full catalog with one example per code lives in
@@ -79,6 +80,17 @@ CODES: dict[str, str] = {
              "state-mutating classification",
     "LK503": "CLI front-end constructs MsrDriver directly instead of "
              "using the access-backend API",
+    # LK6xx — protocol & resource-safety (CFG/dataflow typestate)
+    "LK601": "resource lifecycle violated on some control-flow path "
+             "(leak, double-start or use-after-close)",
+    "LK602": "socket-lock protocol violated (unreleased path, missing "
+             "epoch on release, or removal without epoch compare)",
+    "LK603": "raw device write not dominated by a journal append",
+    "LK604": "inconsistent lock-acquisition order across functions "
+             "(deadlock hazard)",
+    "LK605": "tracer span unbalanced (never entered, or not exited "
+             "on some path)",
+    "LK609": "unused `# lk: disable` suppression",
 }
 
 

@@ -60,24 +60,71 @@ def tool_layer_sources() -> list[str]:
     return sorted(files)
 
 
+def _alias_names(tree: ast.Module, targets: frozenset[str]) -> set[str]:
+    """Local names bound to any of *targets* — via ``from x import y
+    as z`` or plain rebinding (``w = msr.write_msr``; ``D =
+    MsrDriver``), including chains (``E = D``).  A bare-name scan
+    alone misses all of these."""
+    aliases: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(tree):
+            bound: str | None = None
+            value: str | None = None
+            if isinstance(node, ast.ImportFrom):
+                for entry in node.names:
+                    if entry.name in targets:
+                        local = entry.asname or entry.name
+                        if local not in aliases:
+                            aliases.add(local)
+                            changed = True
+                continue
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                bound = node.targets[0].id
+                if isinstance(node.value, ast.Name):
+                    value = node.value.id
+                elif isinstance(node.value, ast.Attribute):
+                    value = node.value.attr
+            if bound is not None and value is not None \
+                    and (value in targets or value in aliases) \
+                    and bound not in aliases:
+                aliases.add(bound)
+                changed = True
+    return aliases
+
+
 def lint_write_sites(paths: list[str] | None = None) -> list[Diagnostic]:
     """LK501: find raw MSR write call sites in the tool layer.
 
-    ``paths`` overrides the default tool-layer file set (used by the
-    self-check tests to lint fixture sources)."""
+    Catches attribute calls (``msr.write_msr(...)``), calls through a
+    locally rebound method (``w = msr.write_msr; w(...)``) and calls
+    through an aliased import.  ``paths`` overrides the default
+    tool-layer file set (used by the self-check tests to lint fixture
+    sources)."""
+    raw = frozenset(RAW_WRITERS)
     diags: list[Diagnostic] = []
     for path in (paths if paths is not None else tool_layer_sources()):
         with open(path, encoding="utf-8") as fh:
             source = fh.read()
         module = os.path.basename(path)
-        for node in ast.walk(ast.parse(source, filename=path)):
-            if not (isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
-                    and node.func.attr in RAW_WRITERS):
+        tree = ast.parse(source, filename=path)
+        aliases = _alias_names(tree, raw)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in raw:
+                called = node.func.attr
+            elif isinstance(node.func, ast.Name) \
+                    and node.func.id in (raw | aliases):
+                called = node.func.id
+            else:
                 continue
             diags.append(Diagnostic(
                 "LK501", Severity.ERROR,
-                f"{module}:{node.lineno} calls .{node.func.attr}() "
+                f"{module}:{node.lineno} calls .{called}() "
                 f"directly; state-mutating writes must go through "
                 f"MsrFile.journaled_write() so a crashed run stays "
                 f"recoverable",
@@ -102,20 +149,25 @@ def lint_backend_bypass(paths: list[str] | None = None) -> list[Diagnostic]:
     """LK503: find direct ``MsrDriver(...)`` construction in the CLI
     layer.
 
-    ``paths`` overrides the default CLI-layer file set (used by the
-    self-check tests to lint fixture sources)."""
+    Catches direct construction, construction through an aliased
+    import (``from ... import MsrDriver as D; D(...)``) and through a
+    rebound name (``cls = MsrDriver; cls(...)``).  ``paths`` overrides
+    the default CLI-layer file set (used by the self-check tests to
+    lint fixture sources)."""
     diags: list[Diagnostic] = []
     for path in (paths if paths is not None else cli_layer_sources()):
         with open(path, encoding="utf-8") as fh:
             source = fh.read()
         module = os.path.basename(path)
-        for node in ast.walk(ast.parse(source, filename=path)):
+        tree = ast.parse(source, filename=path)
+        aliases = _alias_names(tree, frozenset({"MsrDriver"}))
+        for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
             name = func.id if isinstance(func, ast.Name) else \
                 func.attr if isinstance(func, ast.Attribute) else None
-            if name != "MsrDriver":
+            if name != "MsrDriver" and name not in aliases:
                 continue
             diags.append(Diagnostic(
                 "LK503", Severity.ERROR,

@@ -1,0 +1,957 @@
+"""Protocol & resource-safety analysis of the measurement runtime (LK6xx).
+
+The LK1xx–LK5xx passes verify *configuration*; this pass verifies the
+*runtime's own discipline*: the protocol invariants PRs 3/5/6 rest on.
+It builds a control-flow graph per function
+(:mod:`repro.analysis.cfg`), runs small forward dataflow analyses
+(:mod:`repro.analysis.dataflow`) over ``src/repro/oskern``,
+``src/repro/core/perfctr``, ``src/repro/core/features.py`` and
+``src/repro/cli``, and reports:
+
+LK601
+    Resource-lifecycle typestate.  A locally created measurement
+    session (``perfctr.session(...)`` / ``PerfCtrSession(...)``), msr
+    device handle (``driver.open(cpu)``) or session epoch
+    (``driver.begin_epoch()``) must be stopped/closed/ended on
+    **every** path out of the function — including the exception
+    edges — unless it escapes (returned or stored).  Also: starting
+    an already-started session, and using a handle or reading a
+    session after it was closed.
+LK602
+    Socket-lock safety.  A lock acquired on a local lock table must
+    be released on every path; a release call must pass the session
+    epoch; and a release implementation that removes a lock-table
+    entry must be dominated by an epoch comparison (the guard that
+    keeps a reclaimed lock from being clobbered — see
+    ``oskern/locks.py``).
+LK603
+    Journal discipline.  In journal-aware driver code, a raw device
+    write (``write_msr``/``pwrite``) must be dominated by a journal
+    append (``record_write``/``record_lock``/...) or by a ``journal
+    is None`` guard (journaling off).  This is the CFG-strength
+    version of LK501's flat write-site scan.
+LK604
+    Lock-acquisition order.  Each function contributes its
+    acquisition sequence (lock *b* taken while *a* is held) to a
+    global order graph; a cycle is a deadlock hazard between
+    concurrent sessions.
+LK605
+    Tracer spans.  A ``span(...)`` created but never entered (a bare
+    expression statement, or assigned and dropped), or entered via
+    ``__enter__`` without ``__exit__`` on some path, records nothing
+    or corrupts nesting.  ``with ...span(...):`` is the blessed form.
+
+Findings can be suppressed per line with a justification comment::
+
+    table.pop(socket)   # lk: disable=LK602 -- recovery bypasses ownership
+
+A suppression that matches no finding is itself reported (LK609,
+NOTE) so stale disables cannot accumulate; ``repro-lint
+--fail-unused`` turns those notes into a failing exit for CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+
+from repro.analysis import cfg as C
+from repro.analysis.dataflow import Analysis, solve
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+# -- what counts as what ------------------------------------------------------
+
+#: attr-call ctors: method name -> resource kind (receiver rules apply)
+SESSION_CTOR_ATTRS = frozenset({"session"})
+SESSION_CTOR_NAMES = frozenset({"PerfCtrSession"})
+HANDLE_CTOR_ATTR = "open"          # only on *driver*-named receivers
+EPOCH_CTOR_ATTR = "begin_epoch"
+SPAN_CTOR_NAME = "span"
+
+SESSION_READS = frozenset({"read", "read_raw"})
+ACQUIRE_METHODS = frozenset({"acquire", "acquire_socket_lock"})
+RELEASE_METHODS = frozenset({"release", "release_socket_lock",
+                             "force_release"})
+JOURNAL_APPENDS = frozenset({"record_write", "_record_write",
+                             "record_lock", "record_unlock"})
+RAW_WRITE_METHODS = frozenset({"write_msr", "pwrite"})
+
+_SUPPRESS_RE = re.compile(r"lk:\s*disable=\s*([A-Z0-9,\s]+?)"
+                          r"(?:\s*(?:--|—).*)?$", re.IGNORECASE)
+
+# Per-file analysis cache: path -> (mtime_ns, size, payload).
+_CACHE: dict[str, tuple[int, int, tuple]] = {}
+
+
+def protocol_sources() -> list[str]:
+    """The sources bound by the protocol invariants: the os-kernel
+    layer, the perfctr tool layer (incl. likwid-features) and every
+    CLI front-end."""
+    import repro
+    base = os.path.dirname(repro.__file__)
+    roots = [os.path.join(base, "oskern"),
+             os.path.join(base, "core", "perfctr"),
+             os.path.join(base, "core", "features.py"),
+             os.path.join(base, "cli")]
+    files: list[str] = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(root)
+            continue
+        for dirpath, _dirs, names in os.walk(root):
+            files.extend(os.path.join(dirpath, name)
+                         for name in names if name.endswith(".py"))
+    return sorted(files)
+
+
+# -- tiny AST helpers ---------------------------------------------------------
+
+def _expr_text(expr: ast.AST) -> str:
+    """Dotted text of a Name/Attribute chain ('' when not one)."""
+    parts: list[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        parts.append(expr.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _attr_call(call: ast.Call) -> tuple[str, ast.AST] | None:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr, call.func.value
+    return None
+
+
+def _walk_no_nested(root: ast.AST):
+    """ast.walk, but do not descend into nested function scopes —
+    their bodies are separate CFGs with their own analysis."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def _mentions(expr: ast.AST, ident: str) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and node.id == ident:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == ident:
+            return True
+    return False
+
+
+def _is_span_ctor(call: ast.Call) -> bool:
+    func = call.func
+    return (isinstance(func, ast.Name) and func.id == SPAN_CTOR_NAME) or \
+        (isinstance(func, ast.Attribute) and func.attr == SPAN_CTOR_NAME)
+
+
+def _ctor_kind(call: ast.Call) -> str | None:
+    """The resource kind a call constructs, or None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id in SESSION_CTOR_NAMES:
+            return "session"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr in SESSION_CTOR_ATTRS:
+        return "session"
+    if func.attr == EPOCH_CTOR_ATTR:
+        return "epoch"
+    if func.attr == HANDLE_CTOR_ATTR:
+        # Only driver handles: plain file I/O (os.open, path.open)
+        # has its own linters.
+        recv = _expr_text(func.value)
+        if recv.lower().endswith("driver"):
+            return "handle"
+    if _is_span_ctor(call):
+        return "span"
+    return None
+
+
+def _lock_key(call: ast.Call) -> str:
+    if call.args:
+        arg = call.args[0]
+        if isinstance(arg, ast.Constant):
+            return repr(arg.value)
+        text = _expr_text(arg)
+        if text:
+            return text
+    return "?"
+
+
+_INITIAL = {"session": "new", "handle": "open", "epoch": "open",
+            "span": "pending"}
+_WITH_ENTER_STATE = {"session": "active", "handle": "open",
+                     "span": "entered"}
+_WITH_EXIT_STATE = {"session": "closed", "handle": "closed",
+                    "span": "done"}
+_LEAK_STATE = {"session": "active", "handle": "open", "epoch": "open"}
+_LEAK_WHAT = {
+    "session": "session is still started",
+    "handle": "msr handle is still open",
+    "epoch": "session epoch is still open",
+}
+
+
+# -- per-function syntactic summary -------------------------------------------
+
+class _FuncInfo:
+    """Everything the dataflow passes need to know about one function
+    before running: which locals are tracked resources, which escape,
+    where things were created (for anchoring findings)."""
+
+    def __init__(self, qualname: str, node):
+        self.qualname = qualname
+        self.node = node
+        self.kinds: dict[str, str] = {}       # var -> resource kind
+        self.origins: dict[str, int] = {}     # var -> ctor lineno
+        self.escaped: set[str] = set()
+        self.lock_origins: dict[tuple[str, str], int] = {}
+        self._collect()
+
+    def _collect(self) -> None:
+        body = self.node.body if not isinstance(self.node, ast.Lambda) \
+            else [self.node.body]
+        conflicted: set[str] = set()
+        for stmt in body if isinstance(body, list) else [body]:
+            for sub in _walk_no_nested(stmt):
+                self._see(sub, conflicted)
+        for var in conflicted:
+            self.kinds.pop(var, None)
+
+    def _see(self, node: ast.AST, conflicted: set[str]) -> None:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            if len(targets) == 1 and isinstance(targets[0], ast.Name) \
+                    and isinstance(node.value, ast.Call):
+                kind = _ctor_kind(node.value)
+                if kind is not None:
+                    var = targets[0].id
+                    if self.kinds.get(var, kind) != kind:
+                        conflicted.add(var)
+                    self.kinds[var] = kind
+                    self.origins.setdefault(var, node.value.lineno)
+            # Stores into attributes/subscripts/tuples publish the
+            # value; aliasing one name to another does too.
+            if any(not isinstance(t, ast.Name) for t in targets) \
+                    or isinstance(node.value, ast.Name):
+                self._escape_value(node.value)
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                self._escape_value(node.value)
+        elif isinstance(node, (ast.List, ast.Tuple, ast.Set, ast.Dict)):
+            self._escape_value(node)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            self.escaped.update(node.names)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.Lambda)):
+            # A closure can do anything with what it captures.
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name):
+                    self.escaped.add(sub.id)
+        elif isinstance(node, ast.withitem):
+            if isinstance(node.context_expr, ast.Call) \
+                    and node.optional_vars is not None \
+                    and isinstance(node.optional_vars, ast.Name):
+                kind = _ctor_kind(node.context_expr)
+                if kind is not None:
+                    var = node.optional_vars.id
+                    if self.kinds.get(var, kind) != kind:
+                        conflicted.add(var)
+                    self.kinds[var] = kind
+                    self.origins.setdefault(
+                        var, node.context_expr.lineno)
+        elif isinstance(node, ast.Call):
+            info = _attr_call(node)
+            if info is not None and info[0] in ACQUIRE_METHODS:
+                recv = _expr_text(info[1])
+                if recv:
+                    key = (recv, _lock_key(node))
+                    self.lock_origins.setdefault(key, node.lineno)
+        # Nested scopes escape their captures, but the outer scope
+        # also escapes names it passes into nested defs via defaults.
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for default in node.args.defaults + node.args.kw_defaults:
+                if default is not None:
+                    self._escape_names(default)
+
+    def _escape_names(self, expr: ast.AST) -> None:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name):
+                self.escaped.add(sub.id)
+
+    def _escape_value(self, expr: ast.AST) -> None:
+        """Escape only *value-position* names: ``return session``
+        publishes the session, ``return session.read()`` publishes
+        the read result, not the session."""
+        if isinstance(expr, ast.Name):
+            self.escaped.add(expr.id)
+        elif isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for elt in expr.elts:
+                self._escape_value(elt)
+        elif isinstance(expr, ast.Dict):
+            for sub in list(expr.keys) + list(expr.values):
+                if sub is not None:
+                    self._escape_value(sub)
+        elif isinstance(expr, ast.Starred):
+            self._escape_value(expr.value)
+        elif isinstance(expr, ast.IfExp):
+            self._escape_value(expr.body)
+            self._escape_value(expr.orelse)
+        elif isinstance(expr, ast.Await):
+            self._escape_value(expr.value)
+        elif isinstance(expr, ast.NamedExpr):
+            self._escape_value(expr.value)
+
+    def tracked(self, var: str) -> bool:
+        return var in self.kinds and var not in self.escaped
+
+    def local_lock(self, recv: str) -> bool:
+        """A lock receiver whose lifetime is this function's: a bare
+        local name that does not escape."""
+        return "." not in recv and recv not in self.escaped \
+            and recv != "self"
+
+
+# -- the may-typestate analysis -----------------------------------------------
+
+class _Typestate(Analysis):
+    """May-analysis: per tracked variable (and per (receiver, key)
+    lock), the set of states it can be in at each point."""
+
+    def __init__(self, info: _FuncInfo):
+        self.info = info
+
+    def initial(self):
+        return ()
+
+    def join(self, a, b):
+        merged = dict(a)
+        for key, states in b:
+            merged[key] = merged.get(key, frozenset()) | states
+        return tuple(sorted(merged.items()))
+
+    # transfer helpers ------------------------------------------------------
+
+    def _events(self, node: C.Node):
+        """(op, *payload) events of one CFG node, in syntactic order."""
+        events = []
+        info = self.info
+        if node.kind in (C.WITH_ENTER, C.WITH_EXIT):
+            item = node.payload
+            ctx = item.context_expr
+            state_map = _WITH_ENTER_STATE if node.kind == C.WITH_ENTER \
+                else _WITH_EXIT_STATE
+            if isinstance(ctx, ast.Name) and info.tracked(ctx.id):
+                events.append(("set", ctx.id, state_map))
+            elif isinstance(ctx, ast.Call) and item.optional_vars is not None \
+                    and isinstance(item.optional_vars, ast.Name):
+                var = item.optional_vars.id
+                if info.tracked(var):
+                    if node.kind == C.WITH_ENTER:
+                        events.append(("bind_entered", var))
+                    else:
+                        events.append(("set", var, state_map))
+            return events
+        if node.kind == C.HANDLER:
+            handler = node.stmt
+            if handler.name:
+                events.append(("kill", handler.name))
+            return events
+        if node.kind == C.LOOP_ITER:
+            for sub in ast.walk(node.stmt.target):
+                if isinstance(sub, ast.Name):
+                    events.append(("kill", sub.id))
+            return events
+        stmt = node.stmt
+        if stmt is None:
+            return events
+        for sub in _walk_no_nested(stmt):
+            if isinstance(sub, ast.Call):
+                events.extend(self._call_events(sub))
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            var = stmt.targets[0].id
+            if isinstance(stmt.value, ast.Call) \
+                    and _ctor_kind(stmt.value) is not None \
+                    and info.tracked(var):
+                events.append(("bind", var))
+            else:
+                events.append(("kill", var))
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)) \
+                and isinstance(stmt.target, ast.Name):
+            events.append(("kill", stmt.target.id))
+        return events
+
+    def _call_events(self, call: ast.Call):
+        events = []
+        info = self.info
+        attr = _attr_call(call)
+        if attr is not None:
+            method, recv = attr
+            recv_text = _expr_text(recv)
+            if isinstance(recv, ast.Name) and info.tracked(recv.id):
+                events.append(("method", recv.id, method, call))
+            if method in ACQUIRE_METHODS and recv_text:
+                events.append(("acquire", recv_text, _lock_key(call), call))
+            elif method in RELEASE_METHODS and recv_text:
+                events.append(("release", recv_text, _lock_key(call)))
+            elif method == "end_epoch":
+                for arg in call.args:
+                    if isinstance(arg, ast.Name) and info.tracked(arg.id) \
+                            and info.kinds[arg.id] == "epoch":
+                        events.append(("end_epoch", arg.id))
+        for arg in call.args:
+            if isinstance(arg, ast.Name) and info.tracked(arg.id):
+                events.append(("argpass", arg.id, call))
+        return events
+
+    def transfer(self, node: C.Node, fact):
+        return self._apply(node, fact, teardown_only=False)
+
+    def exc_transfer(self, node: C.Node, fact):
+        # A raising statement's constructive effects (binding a
+        # resource, acquiring a lock) did not happen, but its teardown
+        # effects are kept: a close()/release() that raises has still
+        # relinquished the resource for our purposes.
+        return self._apply(node, fact, teardown_only=True)
+
+    _TEARDOWN_METHODS = frozenset({"stop", "close", "__exit__"})
+
+    def _apply(self, node: C.Node, fact, *, teardown_only: bool):
+        events = self._events(node)
+        if not events:
+            return fact
+        state = dict(fact)
+        info = self.info
+        for event in events:
+            op = event[0]
+            if teardown_only and not self._is_teardown(event):
+                continue
+            if op == "bind":
+                var = event[1]
+                state[("v", var)] = frozenset(
+                    {_INITIAL[info.kinds[var]]})
+            elif op == "bind_entered":
+                var = event[1]
+                state[("v", var)] = frozenset(
+                    {_WITH_ENTER_STATE.get(info.kinds[var], "open")})
+            elif op == "kill":
+                state.pop(("v", event[1]), None)
+            elif op == "set":
+                var, state_map = event[1], event[2]
+                kind = info.kinds.get(var)
+                if kind in state_map and ("v", var) in state:
+                    state[("v", var)] = frozenset({state_map[kind]})
+            elif op == "method":
+                var, method = event[1], event[2]
+                kind = info.kinds[var]
+                key = ("v", var)
+                if key not in state:
+                    continue
+                if kind == "session":
+                    if method == "start":
+                        state[key] = frozenset({"active"})
+                    elif method == "stop":
+                        state[key] = frozenset({"stopped"})
+                    elif method == "close":
+                        state[key] = frozenset({"closed"})
+                elif kind == "handle" and method == "close":
+                    state[key] = frozenset({"closed"})
+                elif kind == "span":
+                    if method == "__enter__":
+                        state[key] = frozenset({"entered"})
+                    elif method == "__exit__":
+                        state[key] = frozenset({"done"})
+            elif op == "end_epoch":
+                key = ("v", event[1])
+                if key in state:
+                    state[key] = frozenset({"done"})
+            elif op == "acquire":
+                state[("lock", event[1], event[2])] = frozenset({"held"})
+            elif op == "release":
+                key = ("lock", event[1], event[2])
+                if key in state:
+                    state[key] = frozenset({"released"})
+        return tuple(sorted(state.items()))
+
+    def _is_teardown(self, event) -> bool:
+        op = event[0]
+        if op in ("end_epoch", "release"):
+            return True
+        if op == "set":
+            return event[2] is _WITH_EXIT_STATE
+        if op == "method":
+            return event[2] in self._TEARDOWN_METHODS
+        return False
+
+
+# -- must-analyses ------------------------------------------------------------
+
+class _MustFact(Analysis):
+    """Boolean must-fact: True only when every path established it."""
+
+    def __init__(self, establishes, refines=None):
+        self._establishes = establishes      # Node -> bool
+        self._refines = refines              # (test, value) -> bool
+
+    def initial(self):
+        return False
+
+    def join(self, a, b):
+        return a and b
+
+    def transfer(self, node, fact):
+        if self._establishes(node):
+            return True
+        return fact
+
+    def refine(self, fact, label):
+        if label is not None and label[0] == "cond" \
+                and self._refines is not None:
+            if self._refines(label[1], label[2]):
+                return True
+        return fact
+
+
+def _establishes_journal(node: C.Node) -> bool:
+    if node.stmt is None:
+        return False
+    for sub in _walk_no_nested(node.stmt):
+        if isinstance(sub, ast.Call):
+            attr = _attr_call(sub)
+            if attr is not None and attr[0] in JOURNAL_APPENDS:
+                return True
+            if isinstance(sub.func, ast.Name) \
+                    and sub.func.id in JOURNAL_APPENDS:
+                return True
+    return False
+
+
+def _journal_none_refine(test: ast.AST, value: bool) -> bool:
+    """True when this branch outcome proves the journal is absent
+    (journaling off — raw writes are then legitimate)."""
+    for sub in ast.walk(test):
+        if not isinstance(sub, ast.Compare) or len(sub.ops) != 1:
+            continue
+        if not isinstance(sub.comparators[0], ast.Constant) \
+                or sub.comparators[0].value is not None:
+            continue
+        if not _mentions(sub.left, "journal"):
+            continue
+        if isinstance(sub.ops[0], ast.Is) and value:
+            return True
+        if isinstance(sub.ops[0], ast.IsNot) and not value:
+            return True
+    return False
+
+
+def _establishes_epoch_check(node: C.Node) -> bool:
+    if node.stmt is None:
+        return False
+    for sub in _walk_no_nested(node.stmt):
+        if isinstance(sub, ast.Compare) and (
+                _mentions(sub.left, "epoch")
+                or any(_mentions(c, "epoch") for c in sub.comparators)):
+            return True
+    return False
+
+
+# -- per-file pass ------------------------------------------------------------
+
+class _Finding:
+    """A raw finding before suppression filtering."""
+
+    __slots__ = ("code", "severity", "message", "line")
+
+    def __init__(self, code: str, severity: Severity, message: str,
+                 line: int):
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.line = line
+
+
+def _collect_functions(tree: ast.Module):
+    """(qualname, node) for every function, method and lambda."""
+    out = []
+
+    def visit(node, prefix):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                out.append((qual, child))
+                visit(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+            elif isinstance(child, ast.Lambda):
+                out.append((f"{prefix}<lambda:{child.lineno}>", child))
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return out
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """line -> suppressed codes, from ``# lk: disable=...`` comments."""
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string.lstrip("#").strip())
+            if match is None:
+                continue
+            codes = {c.strip().upper()
+                     for c in match.group(1).split(",") if c.strip()}
+            out.setdefault(tok.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+def _function_findings(qualname: str, func) \
+        -> tuple[list[_Finding], list[tuple]]:
+    """All LK6xx findings of one function plus its lock-order edges
+    ((held, acquired, qualname, lineno), ...)."""
+    findings: list[_Finding] = []
+    edges: list[tuple] = []
+    info = _FuncInfo(qualname, func)
+    graph = C.build_cfg(func, qualname)
+    ts = _Typestate(info)
+    facts = solve(graph, ts)
+    seen: set[tuple] = set()
+
+    def emit(code, severity, message, line):
+        key = (code, message, line)
+        if key not in seen:
+            seen.add(key)
+            findings.append(_Finding(code, severity, message, line))
+
+    for node in graph.real_nodes():
+        if node.nid not in facts:
+            continue
+        state = dict(facts[node.nid])
+        for event in ts._events(node):
+            op = event[0]
+            if op == "method":
+                var, method, call = event[1], event[2], event[3]
+                kind = info.kinds[var]
+                states = state.get(("v", var), frozenset())
+                if kind == "session":
+                    if method == "start" and "active" in states:
+                        emit("LK601", Severity.ERROR,
+                             f"{qualname} may start session {var!r} "
+                             f"twice (already started on some path "
+                             f"reaching line {call.lineno})",
+                             call.lineno)
+                    elif method in SESSION_READS and "closed" in states:
+                        emit("LK601", Severity.ERROR,
+                             f"{qualname} reads session {var!r} after "
+                             f"it was closed on some path",
+                             call.lineno)
+                elif kind == "handle" and method != "close" \
+                        and "closed" in states:
+                    emit("LK601", Severity.ERROR,
+                         f"{qualname} uses msr handle {var!r} "
+                         f"(.{method}) after close on some path",
+                         call.lineno)
+            elif op == "argpass":
+                var, call = event[1], event[2]
+                if info.kinds[var] == "handle" \
+                        and "closed" in state.get(("v", var), frozenset()):
+                    emit("LK601", Severity.ERROR,
+                         f"{qualname} passes msr handle {var!r} to a "
+                         f"call after close on some path", call.lineno)
+            elif op == "acquire":
+                recv, key, call = event[1], event[2], event[3]
+                held = [k for k, states in state.items()
+                        if k[0] == "lock" and "held" in states
+                        and (k[1], k[2]) != (recv, key)]
+                for k in sorted(held):
+                    edges.append(((k[1], k[2]), (recv, key),
+                                  qualname, call.lineno))
+        # Bare ctor expression statements: created and dropped.
+        if node.kind == C.STMT and isinstance(node.stmt, ast.Expr) \
+                and isinstance(node.stmt.value, ast.Call):
+            kind = _ctor_kind(node.stmt.value)
+            if kind == "span":
+                emit("LK605", Severity.WARNING,
+                     f"{qualname} creates a tracer span and never "
+                     f"enters it (use `with ...span(...):`)",
+                     node.stmt.lineno)
+            elif kind == "handle":
+                emit("LK601", Severity.ERROR,
+                     f"{qualname} opens an msr handle and discards it "
+                     f"without closing", node.stmt.lineno)
+
+    # Exit-state checks: leaks on the normal and exceptional exits.
+    for exit_nid, how in ((graph.exit, "a normal exit"),
+                          (graph.exc_exit, "an exception path")):
+        if exit_nid not in facts:
+            continue
+        for key, states in dict(facts[exit_nid]).items():
+            if key[0] == "v":
+                var = key[1]
+                kind = info.kinds[var]
+                line = info.origins.get(var, info.node.lineno)
+                if kind == "span":
+                    # "never entered" is only a defect on the normal
+                    # exit: a pending span on the exception path just
+                    # means __enter__ itself raised.
+                    if "pending" in states and exit_nid == graph.exit:
+                        emit("LK605", Severity.WARNING,
+                             f"{qualname} assigns tracer span {var!r} "
+                             f"but never enters it", line)
+                    elif "entered" in states:
+                        emit("LK605", Severity.WARNING,
+                             f"{qualname} enters tracer span {var!r} "
+                             f"but does not exit it on {how}", line)
+                elif _LEAK_STATE.get(kind) in states:
+                    emit("LK601", Severity.ERROR,
+                         f"{qualname}: {_LEAK_WHAT[kind]} ({var!r}) "
+                         f"when the function leaves via {how}", line)
+            elif key[0] == "lock" and "held" in states:
+                recv, lkey = key[1], key[2]
+                if info.local_lock(recv):
+                    line = info.lock_origins.get(
+                        (recv, lkey), info.node.lineno)
+                    emit("LK602", Severity.ERROR,
+                         f"{qualname}: socket lock {recv}[{lkey}] "
+                         f"acquired but not released on {how}", line)
+
+    # LK602: release calls must carry the epoch.
+    for sub in _walk_no_nested(func):
+        if not isinstance(sub, ast.Call):
+            continue
+        attr = _attr_call(sub)
+        if attr is None:
+            continue
+        method, recv = attr
+        recv_text = _expr_text(recv)
+        kwnames = {kw.arg for kw in sub.keywords}
+        if method == "release_socket_lock":
+            if len(sub.args) < 2 and "epoch" not in kwnames:
+                emit("LK602", Severity.ERROR,
+                     f"{qualname} releases a socket lock without the "
+                     f"session epoch; a reclaimed lock would be "
+                     f"clobbered", sub.lineno)
+        elif method == "release" and "lock" in recv_text.lower():
+            if len(sub.args) < 3 and "epoch" not in kwnames:
+                emit("LK602", Severity.ERROR,
+                     f"{qualname} calls {recv_text}.release() without "
+                     f"the session epoch; release must compare "
+                     f"pid and epoch", sub.lineno)
+
+    # LK602: an epoch-aware release implementation must compare the
+    # epoch before removing a lock entry.
+    args = getattr(func, "args", None)
+    has_epoch_param = args is not None and any(
+        a.arg == "epoch" for a in args.args + args.kwonlyargs)
+    if has_epoch_param:
+        must = solve(graph, _MustFact(_establishes_epoch_check))
+        for node in graph.real_nodes():
+            if node.nid not in facts or node.stmt is None:
+                continue
+            removal = None
+            for sub in _walk_no_nested(node.stmt):
+                if isinstance(sub, ast.Delete):
+                    for tgt in sub.targets:
+                        if isinstance(tgt, ast.Subscript) and \
+                                "lock" in _expr_text(tgt.value).lower():
+                            removal = sub
+                elif isinstance(sub, ast.Call):
+                    attr = _attr_call(sub)
+                    if attr is not None and attr[0] == "pop" and \
+                            "lock" in _expr_text(attr[1]).lower():
+                        removal = sub
+            if removal is not None and not must.get(node.nid, False):
+                emit("LK602", Severity.ERROR,
+                     f"{qualname} removes a socket-lock entry without "
+                     f"first comparing the session epoch (a reclaimed "
+                     f"lock could be clobbered)", node.stmt.lineno)
+
+    # LK603: journal-aware code must dominate raw writes with an
+    # append (or a `journal is None` guard).
+    if _mentions(func, "journal"):
+        must = None
+        for node in graph.real_nodes():
+            if node.stmt is None or node.nid not in facts:
+                continue
+            for sub in _walk_no_nested(node.stmt):
+                if not isinstance(sub, ast.Call):
+                    continue
+                attr = _attr_call(sub)
+                if attr is None or attr[0] not in RAW_WRITE_METHODS:
+                    continue
+                if must is None:
+                    must = solve(graph, _MustFact(
+                        _establishes_journal, _journal_none_refine))
+                if not must.get(node.nid, False):
+                    emit("LK603", Severity.ERROR,
+                         f"{qualname} writes a device register "
+                         f"(.{attr[0]}) on a path with no preceding "
+                         f"journal append and no `journal is None` "
+                         f"guard; a crash there is invisible to "
+                         f"recovery", sub.lineno)
+    return findings, edges
+
+
+def _analyze_file(path: str) -> tuple[list[_Finding], list[tuple],
+                                      dict[int, set[str]]]:
+    try:
+        stat = os.stat(path)
+        cached = _CACHE.get(path)
+        if cached is not None and cached[0] == stat.st_mtime_ns \
+                and cached[1] == stat.st_size:
+            return cached[2]
+    except OSError:
+        stat = None
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=path)
+    findings: list[_Finding] = []
+    edges: list[tuple] = []
+    for qualname, func in _collect_functions(tree):
+        f, e = _function_findings(qualname, func)
+        findings.extend(f)
+        edges.extend(e)
+    payload = (findings, edges, _suppressions(source))
+    if stat is not None:
+        _CACHE[path] = (stat.st_mtime_ns, stat.st_size, payload)
+    return payload
+
+
+# -- lock-order graph (LK604) -------------------------------------------------
+
+def _lock_order_findings(all_edges: dict[str, list[tuple]]) \
+        -> list[tuple[str, _Finding]]:
+    """Cycles in the union acquisition-order graph.  Returns
+    (module, finding) pairs anchored at one contributing edge."""
+    # node: "recv[key]"; edge annotated with (module, qualname, line).
+    graph: dict[str, dict[str, tuple]] = {}
+    for module, edges in sorted(all_edges.items()):
+        for held, acquired, qualname, line in edges:
+            a = f"{held[0]}[{held[1]}]"
+            b = f"{acquired[0]}[{acquired[1]}]"
+            if a == b:
+                continue        # re-entrant same-lock acquire
+            graph.setdefault(a, {}).setdefault(b, (module, qualname, line))
+            graph.setdefault(b, {})
+
+    findings: list[tuple[str, _Finding]] = []
+    # Find cycles with a colored DFS; report each cycle once, at its
+    # lexicographically first edge.
+    seen_cycles: set[frozenset] = set()
+
+    def dfs(start):
+        stack = [(start, iter(sorted(graph.get(start, {}))))]
+        on_path = [start]
+        on_set = {start}
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt in on_set:
+                    cycle = on_path[on_path.index(nxt):]
+                    key = frozenset(cycle)
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        _report(cycle)
+                    continue
+                if (node, nxt) in visited_edges:
+                    continue
+                visited_edges.add((node, nxt))
+                stack.append((nxt, iter(sorted(graph.get(nxt, {})))))
+                on_path.append(nxt)
+                on_set.add(nxt)
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+                on_set.discard(on_path.pop())
+
+    def _report(cycle):
+        steps = []
+        first = None
+        for i, a in enumerate(cycle):
+            b = cycle[(i + 1) % len(cycle)]
+            module, qualname, line = graph[a][b]
+            steps.append(f"{b} after {a} in {qualname} "
+                         f"({module}:{line})")
+            if first is None:
+                first = (module, line)
+        module, line = first
+        findings.append((module, _Finding(
+            "LK604", Severity.WARNING,
+            "inconsistent lock-acquisition order (deadlock hazard): "
+            + "; ".join(steps), line)))
+
+    visited_edges: set[tuple] = set()
+    for start in sorted(graph):
+        dfs(start)
+    return findings
+
+
+# -- public entry point -------------------------------------------------------
+
+def lint_protocol(paths: list[str] | None = None) -> list[Diagnostic]:
+    """Run the LK6xx protocol passes; ``paths`` overrides the default
+    source set (fixture tests, ``--changed``)."""
+    files = paths if paths is not None else protocol_sources()
+    per_file: dict[str, tuple[list[_Finding], dict[int, set[str]]]] = {}
+    all_edges: dict[str, list[tuple]] = {}
+    for path in files:
+        findings, edges, suppressions = _analyze_file(path)
+        module = os.path.basename(path)
+        per_file.setdefault(module, ([], {}))
+        per_file[module][0].extend(findings)
+        for line, codes in suppressions.items():
+            per_file[module][1].setdefault(line, set()).update(codes)
+        if edges:
+            all_edges.setdefault(module, []).extend(edges)
+
+    for module, finding in _lock_order_findings(all_edges):
+        per_file.setdefault(module, ([], {}))
+        per_file[module][0].append(finding)
+
+    diags: list[Diagnostic] = []
+    for module in sorted(per_file):
+        findings, suppressions = per_file[module]
+        used: set[tuple[int, str]] = set()
+        for f in findings:
+            if f.code in suppressions.get(f.line, ()):
+                used.add((f.line, f.code))
+                continue
+            diags.append(Diagnostic(
+                f.code, f.severity, f.message,
+                locus=f"source:{module}:{f.line}"))
+        for line in sorted(suppressions):
+            for code in sorted(suppressions[line]):
+                if (line, code) not in used:
+                    diags.append(Diagnostic(
+                        "LK609", Severity.NOTE,
+                        f"suppression `# lk: disable={code}` on "
+                        f"{module}:{line} matched no finding; remove "
+                        f"it or fix the rot",
+                        locus=f"source:{module}:{line}"))
+    return diags
+
+
+def clear_cache() -> None:
+    """Drop the per-file result cache (benchmarks, tests)."""
+    _CACHE.clear()

@@ -12,6 +12,8 @@ stable ``LKxxx`` codes (catalog: ``docs/linting.md``)::
     repro-lint --arch nehalem_ep -g MEM  # one group
     repro-lint -g EVT:PMC0,EVT:PMC0      # an explicit event string
     repro-lint -c 0-3 -g MEM -t intel    # a thread placement
+    repro-lint --changed                 # only files touched vs origin/main
+    repro-lint --all --fail-unused       # also fail on stale suppressions
 
 Exit status: 0 clean, 1 findings (errors; with ``--strict`` also
 warnings), 2 usage errors.
@@ -40,12 +42,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="thread type for -c (gnu, intel, intel_mpi, ...)")
     parser.add_argument("-s", dest="skip", default=None,
                         help="explicit skip mask for -c (e.g. 0x3)")
+    parser.add_argument("--changed", nargs="?", const="origin/main",
+                        default=None, metavar="REF",
+                        help="lint only files touched vs REF (default "
+                             "origin/main) plus untracked files; exit "
+                             "semantics match a full run on that subset")
     parser.add_argument("--json", action="store_true",
                         help="emit the versioned JSON report")
     parser.add_argument("--strict", action="store_true",
                         help="treat warnings as findings (exit 1)")
     parser.add_argument("--pedantic", action="store_true",
                         help="show NOTE-level diagnostics in the text report")
+    parser.add_argument("--fail-unused", action="store_true",
+                        help="exit 1 if any `# lk: disable` suppression "
+                             "matched no finding (LK609)")
     add_arch_argument(parser)
     return parser
 
@@ -64,7 +74,9 @@ def main(argv: list[str] | None = None) -> int:
         return lookup_group(spec, args.group)
 
     try:
-        if args.all:
+        if args.changed is not None:
+            diags = runner.lint_changed(args.changed)
+        elif args.all:
             diags = runner.lint_all()
         else:
             spec = get_arch(args.arch)
@@ -99,6 +111,8 @@ def main(argv: list[str] | None = None) -> int:
         sys.stdout.write(report.render_text(diags, pedantic=args.pedantic))
     summary = counts(diags)
     if summary["errors"] or (args.strict and summary["warnings"]):
+        return 1
+    if args.fail_unused and any(d.code == "LK609" for d in diags):
         return 1
     return 0
 

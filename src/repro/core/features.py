@@ -97,26 +97,30 @@ class LikwidFeatures:
             raise FeatureError(f"feature {bit.key} is read-only")
         raw_bit_value = (not enabled) if bit.invert else enabled
         epoch = self.driver.begin_epoch()
-        msr = self.driver.open(self.cpu, write=True)
         try:
-            before = msr.read_msr(regs.IA32_MISC_ENABLE)
-            if raw_bit_value:
-                value = before | (1 << bit.bit)
-            else:
-                value = before & ~(1 << bit.bit)
-            msr.journaled_write(regs.IA32_MISC_ENABLE, value)
-            readback = msr.read_msr(regs.IA32_MISC_ENABLE)
-            if readback != value:
-                msr.journaled_write(regs.IA32_MISC_ENABLE, before)
-                restored = msr.read_msr(regs.IA32_MISC_ENABLE)
-                state = ("original value restored" if restored == before
-                         else f"restore also failed (left {restored:#x})")
-                raise FeatureError(
-                    f"verify failed toggling {bit.key} on cpu "
-                    f"{self.cpu}: wrote {value:#x}, read back "
-                    f"{readback:#x}; {state}")
+            msr = self.driver.open(self.cpu, write=True)
+            try:
+                before = msr.read_msr(regs.IA32_MISC_ENABLE)
+                if raw_bit_value:
+                    value = before | (1 << bit.bit)
+                else:
+                    value = before & ~(1 << bit.bit)
+                msr.journaled_write(regs.IA32_MISC_ENABLE, value)
+                readback = msr.read_msr(regs.IA32_MISC_ENABLE)
+                if readback != value:
+                    msr.journaled_write(regs.IA32_MISC_ENABLE, before)
+                    restored = msr.read_msr(regs.IA32_MISC_ENABLE)
+                    state = ("original value restored"
+                             if restored == before
+                             else f"restore also failed (left "
+                                  f"{restored:#x})")
+                    raise FeatureError(
+                        f"verify failed toggling {bit.key} on cpu "
+                        f"{self.cpu}: wrote {value:#x}, read back "
+                        f"{readback:#x}; {state}")
+            finally:
+                msr.close()
         finally:
-            msr.close()
             self.driver.end_epoch(epoch)
         return self.state(key)
 

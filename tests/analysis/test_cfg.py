@@ -1,0 +1,242 @@
+"""Unit tests for the CFG builder and the dataflow engine (ISSUE 7
+tentpole): the shapes the LK6xx protocol checks rely on — exception
+edges, ``finally`` inlining, ``with`` desugaring, loop/branch labels —
+asserted directly, so a protocol-check regression can be bisected to
+either the graph or the checks."""
+
+import ast
+import textwrap
+
+from repro.analysis import cfg as C
+from repro.analysis.dataflow import Analysis, solve
+
+
+def build(src: str) -> C.CFG:
+    tree = ast.parse(textwrap.dedent(src))
+    func = next(n for n in ast.walk(tree)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)))
+    return build_func(func)
+
+
+def build_func(func) -> C.CFG:
+    return C.build_cfg(func)
+
+
+class Lines(Analysis):
+    """May-analysis: the set of source lines that can have executed.
+    Small enough to validate path structure end to end."""
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, node, fact):
+        if node.stmt is not None and hasattr(node.stmt, "lineno"):
+            return fact | {node.stmt.lineno}
+        return fact
+
+
+def lines_at_exit(graph: C.CFG) -> frozenset:
+    return solve(graph, Lines()).get(graph.exit, frozenset())
+
+
+def lines_at_exc_exit(graph: C.CFG) -> frozenset:
+    return solve(graph, Lines()).get(graph.exc_exit, frozenset())
+
+
+class TestStructure:
+    def test_linear_body_reaches_exit(self):
+        graph = build("""
+            def f():
+                a = 1
+                b = 2
+        """)
+        assert lines_at_exit(graph) == {3, 4}
+
+    def test_branch_edges_are_labelled(self):
+        graph = build("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+        """)
+        test_node = next(n for n in graph.real_nodes()
+                         if n.kind == C.TEST)
+        labels = {label[2] for _dst, label in graph.succs[test_node.nid]
+                  if label is not None and label[0] == "cond"}
+        assert labels == {True, False}
+
+    def test_only_one_branch_arm_per_path(self):
+        graph = build("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    b = 2
+                c = 3
+        """)
+        # May-union at exit sees both arms; each individual path sees
+        # one — the test node must not fall through to both arms
+        # unconditionally.
+        assert lines_at_exit(graph) == {3, 4, 6, 7}
+
+    def test_while_loop_has_back_edge_and_exit(self):
+        graph = build("""
+            def f(n):
+                while n:
+                    n = step(n)
+                done()
+        """)
+        assert 5 in lines_at_exit(graph)      # loop exit reached
+        # the loop body can execute before the exit
+        assert 4 in lines_at_exit(graph)
+
+    def test_break_leaves_the_loop(self):
+        graph = build("""
+            def f(xs):
+                for x in xs:
+                    if x:
+                        break
+                    tail = 1
+                after = 2
+        """)
+        assert 7 in lines_at_exit(graph)
+
+    def test_return_skips_following_statements(self):
+        graph = build("""
+            def f():
+                return 1
+                dead = 2
+        """)
+        assert 4 not in lines_at_exit(graph)
+
+
+class TestExceptions:
+    def test_call_statement_has_exception_edge(self):
+        graph = build("""
+            def f():
+                risky()
+        """)
+        stmt = next(n for n in graph.real_nodes() if n.kind == C.STMT)
+        assert any(label is not None and label[0] == "exc"
+                   for _dst, label in graph.succs[stmt.nid])
+        assert graph.exc_exit in {dst for dst, _ in graph.succs[stmt.nid]}
+
+    def test_finally_runs_on_return_and_exception(self):
+        graph = build("""
+            def f():
+                try:
+                    return risky()
+                finally:
+                    cleanup()
+        """)
+        assert 6 in lines_at_exit(graph)
+        assert 6 in lines_at_exc_exit(graph)
+
+    def test_catchall_handler_swallows_the_exception(self):
+        graph = build("""
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    handled = 1
+        """)
+        facts = solve(graph, Lines())
+        assert graph.exc_exit not in facts    # nothing escapes
+
+    def test_narrow_handler_still_propagates(self):
+        graph = build("""
+            def f():
+                try:
+                    risky()
+                except KeyError:
+                    fallback()
+        """)
+        facts = solve(graph, Lines())
+        assert graph.exc_exit in facts
+
+    def test_exception_edge_carries_in_state(self):
+        # If the statement itself raises, its effect is not assumed:
+        # line 3 must not be "executed" on its own exception edge.
+        graph = build("""
+            def f():
+                risky()
+        """)
+        assert 3 not in lines_at_exc_exit(graph)
+
+
+class TestWith:
+    def test_with_desugars_to_enter_and_exit_nodes(self):
+        graph = build("""
+            def f(ctx):
+                with ctx:
+                    body()
+        """)
+        kinds = {n.kind for n in graph.real_nodes()}
+        assert C.WITH_ENTER in kinds
+        assert C.WITH_EXIT in kinds
+
+    def test_with_exit_runs_on_body_exception(self):
+        graph = build("""
+            def f(ctx):
+                with ctx:
+                    risky()
+        """)
+        exits = [n for n in graph.real_nodes() if n.kind == C.WITH_EXIT]
+        facts = solve(graph, Lines())
+        # at least one WITH_EXIT copy sits on the exception route
+        assert any(n.nid in facts and
+                   graph.exc_exit in {d for d, _ in graph.succs[n.nid]}
+                   for n in exits)
+
+
+class TestEngine:
+    def test_refine_narrows_branch_edges(self):
+        class TruthOfX(Analysis):
+            def initial(self):
+                return "unknown"
+
+            def join(self, a, b):
+                return a if a == b else "unknown"
+
+            def refine(self, fact, label):
+                if label is not None and label[0] == "cond" \
+                        and isinstance(label[1], ast.Name) \
+                        and label[1].id == "x":
+                    return "truthy" if label[2] else "falsy"
+                return fact
+
+        graph = build("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    b = 2
+        """)
+        facts = solve(graph, TruthOfX())
+        by_line = {n.stmt.lineno: facts[n.nid]
+                   for n in graph.real_nodes()
+                   if n.kind == C.STMT and n.nid in facts}
+        assert by_line[4] == "truthy"
+        assert by_line[6] == "falsy"
+        assert facts[graph.exit] == "unknown"
+
+    def test_loop_reaches_fixpoint(self):
+        graph = build("""
+            def f(n):
+                total = 0
+                while n:
+                    total = total + n
+                    n = n - 1
+                return total
+        """)
+        assert lines_at_exit(graph) == {3, 4, 5, 6, 7}
+
+    def test_lambda_builds(self):
+        tree = ast.parse("g = lambda a: a.close()")
+        lam = next(n for n in ast.walk(tree) if isinstance(n, ast.Lambda))
+        graph = C.build_cfg(lam)
+        assert lines_at_exit(graph) == {1}

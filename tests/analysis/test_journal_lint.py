@@ -82,6 +82,67 @@ class TestBackendBypassScan:
         assert diag.locus == "source:one_cli.py:1"
 
 
+class TestAliasHardening:
+    """ISSUE 7 satellite: the scans must see through aliased imports
+    and local rebinding, not just bare attribute/name matches."""
+
+    def test_rebound_write_method_detected(self, tmp_path):
+        bad = tmp_path / "rebound.py"
+        bad.write_text(
+            "def setup(msr):\n"
+            "    w = msr.write_msr\n"
+            "    w(0x38F, 0x3)\n")
+        diags = lint_write_sites([str(bad)])
+        assert [d.code for d in diags] == ["LK501"]
+        assert diags[0].locus == "source:rebound.py:3"
+
+    def test_chained_rebinding_detected(self, tmp_path):
+        bad = tmp_path / "chain.py"
+        bad.write_text(
+            "def setup(msr):\n"
+            "    a = msr.pwrite\n"
+            "    b = a\n"
+            "    b(0x186, b'x' * 8)\n")
+        diags = lint_write_sites([str(bad)])
+        assert [d.code for d in diags] == ["LK501"]
+
+    def test_rebound_safe_method_is_not_flagged(self, tmp_path):
+        good = tmp_path / "safe.py"
+        good.write_text(
+            "def setup(msr):\n"
+            "    w = msr.journaled_write\n"
+            "    w(0x38F, 0x3)\n")
+        assert lint_write_sites([str(good)]) == []
+
+    def test_aliased_import_construction_detected(self, tmp_path):
+        bad = tmp_path / "aliased_cli.py"
+        bad.write_text(
+            "from repro.oskern.msr_driver import MsrDriver as D\n"
+            "def run(machine):\n"
+            "    return D(machine)\n")
+        diags = lint_backend_bypass([str(bad)])
+        assert [d.code for d in diags] == ["LK503"]
+        assert diags[0].locus == "source:aliased_cli.py:3"
+
+    def test_rebound_class_construction_detected(self, tmp_path):
+        bad = tmp_path / "rebound_cli.py"
+        bad.write_text(
+            "from repro.oskern import msr_driver\n"
+            "def run(machine):\n"
+            "    cls = msr_driver.MsrDriver\n"
+            "    return cls(machine)\n")
+        diags = lint_backend_bypass([str(bad)])
+        assert [d.code for d in diags] == ["LK503"]
+
+    def test_unrelated_alias_is_not_flagged(self, tmp_path):
+        good = tmp_path / "fine_cli.py"
+        good.write_text(
+            "from repro.oskern.access import open_backend as ob\n"
+            "def run(machine):\n"
+            "    return ob('msr', machine)\n")
+        assert lint_backend_bypass([str(good)]) == []
+
+
 @pytest.mark.parametrize("arch", available())
 class TestJournalCoverage:
     def test_classification_covers_write_surface(self, arch):

@@ -1,0 +1,466 @@
+"""LK6xx protocol-analysis suite (ISSUE 7).
+
+Three layers of assurance, mirroring how PR 2 proved the original
+linter:
+
+* a broken-fixture suite — one minimal snippet per code, positive
+  (fires) and negative (the fixed form stays silent);
+* seeded-bug tests — the acceptance scenarios: strip the ``with``
+  teardown from ``LikwidPerfCtr.wrap`` or the epoch compare from
+  ``SocketLockTable.release`` *in a mutated copy of the real source*
+  and assert LK601/LK602 catch it;
+* the self-check — the shipped runtime has zero unsuppressed LK6xx
+  findings, which is what lets CI gate on the pass at all.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.protocol import (lint_protocol, protocol_sources)
+from repro.analysis.report import render_json
+from repro.analysis.runner import lint_changed
+
+
+def lint_snippet(tmp_path, source, name="fixture.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return lint_protocol(paths=[str(path)])
+
+
+def codes(diags):
+    return sorted({d.code for d in diags})
+
+
+# -- broken fixtures: one positive and one negative per code -----------------
+
+BROKEN = {
+    "LK601-leak-on-exception": """
+        def f(driver, cpu):
+            msr = driver.open(cpu)
+            msr.read_msr(0x38F)
+            msr.close()
+    """,
+    "LK601-double-start": """
+        def f(perfctr, cpus, group):
+            session = perfctr.session(cpus, group)
+            session.start()
+            session.start()
+            session.close()
+    """,
+    "LK601-read-after-close": """
+        def f(perfctr, cpus, group):
+            session = perfctr.session(cpus, group)
+            session.start()
+            session.close()
+            return session.read()
+    """,
+    "LK601-epoch-leak": """
+        def f(driver, work):
+            epoch = driver.begin_epoch()
+            work()
+            driver.end_epoch(epoch)
+    """,
+    "LK602-unreleased-branch": """
+        def f(table, socket, pid, epoch, risky):
+            table.acquire(socket, pid, epoch)
+            if risky:
+                return None
+            table.release(socket, pid, epoch)
+    """,
+    "LK602-release-without-epoch": """
+        def f(driver, socket, pid):
+            driver.release_socket_lock(socket)
+    """,
+    "LK602-removal-without-compare": """
+        def release(self, socket, pid, epoch):
+            current = self._locks.get(socket)
+            if current is None or current.owner_pid != pid:
+                return False
+            del self._locks[socket]
+            return True
+    """,
+    "LK603-unguarded-write": """
+        def flush(self, reg, value):
+            if self.journal is not None:
+                pass
+            self.write_msr(reg, value)
+    """,
+    "LK605-bare-span": """
+        def f(tracer):
+            tracer.span("work")
+    """,
+    "LK605-entered-not-exited": """
+        def f(tracer, work):
+            s = tracer.span("work")
+            s.__enter__()
+            work()
+    """,
+}
+
+FIXED = {
+    "LK601-leak-on-exception": """
+        def f(driver, cpu):
+            msr = driver.open(cpu)
+            try:
+                msr.read_msr(0x38F)
+            finally:
+                msr.close()
+    """,
+    "LK601-double-start": """
+        def f(perfctr, cpus, group):
+            session = perfctr.session(cpus, group)
+            session.start()
+            session.stop()
+            session.close()
+    """,
+    "LK601-read-after-close": """
+        def f(perfctr, cpus, group):
+            session = perfctr.session(cpus, group)
+            session.start()
+            session.stop()
+            result = session.read()
+            session.close()
+            return result
+    """,
+    "LK601-epoch-leak": """
+        def f(driver, work):
+            epoch = driver.begin_epoch()
+            try:
+                work()
+            finally:
+                driver.end_epoch(epoch)
+    """,
+    "LK602-unreleased-branch": """
+        def f(table, socket, pid, epoch, risky):
+            table.acquire(socket, pid, epoch)
+            try:
+                if risky:
+                    return None
+            finally:
+                table.release(socket, pid, epoch)
+    """,
+    "LK602-release-without-epoch": """
+        def f(driver, socket, pid, epoch):
+            driver.release_socket_lock(socket, epoch)
+    """,
+    "LK602-removal-without-compare": """
+        def release(self, socket, pid, epoch):
+            current = self._locks.get(socket)
+            if current is None or current.owner_pid != pid \\
+                    or current.epoch != epoch:
+                return False
+            del self._locks[socket]
+            return True
+    """,
+    "LK603-unguarded-write": """
+        def flush(self, reg, value):
+            if self.journal is None:
+                self.write_msr(reg, value)
+                return
+            self.journal.record_write(reg, value)
+            self.write_msr(reg, value)
+    """,
+    "LK605-bare-span": """
+        def f(tracer, work):
+            with tracer.span("work"):
+                work()
+    """,
+    "LK605-entered-not-exited": """
+        def f(tracer, work):
+            s = tracer.span("work")
+            s.__enter__()
+            try:
+                work()
+            finally:
+                s.__exit__(None, None, None)
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(BROKEN))
+def test_broken_fixture_fires(tmp_path, name):
+    expected = name.split("-")[0]
+    diags = lint_snippet(tmp_path, BROKEN[name])
+    assert expected in codes(diags), \
+        f"{name}: expected {expected}, got {[str(d) for d in diags]}"
+
+
+@pytest.mark.parametrize("name", sorted(FIXED))
+def test_fixed_fixture_is_silent(tmp_path, name):
+    target = name.split("-")[0]
+    diags = lint_snippet(tmp_path, FIXED[name])
+    assert target not in codes(diags), \
+        f"{name}: fixed form still reports {[str(d) for d in diags]}"
+
+
+class TestLockOrder:
+    SOURCE = """
+        def first(t, pid, e):
+            t.acquire(0, pid, e)
+            try:
+                t.acquire(1, pid, e)
+                t.release(1, pid, e)
+            finally:
+                t.release(0, pid, e)
+
+        def second(t, pid, e):
+            t.acquire(1, pid, e)
+            try:
+                t.acquire(0, pid, e)
+                t.release(0, pid, e)
+            finally:
+                t.release(1, pid, e)
+    """
+
+    def test_conflicting_order_is_a_deadlock_hazard(self, tmp_path):
+        diags = lint_snippet(tmp_path, self.SOURCE)
+        lk604 = [d for d in diags if d.code == "LK604"]
+        assert len(lk604) == 1
+        assert "deadlock" in lk604[0].message
+        assert "first" in lk604[0].message
+        assert "second" in lk604[0].message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        consistent = self.SOURCE.replace(
+            "def second(t, pid, e):\n            t.acquire(1, pid, e)",
+            "def second(t, pid, e):\n            t.acquire(0, pid, e)"
+        ).replace(
+            "t.acquire(0, pid, e)\n                t.release(0, pid, e)",
+            "t.acquire(1, pid, e)\n                t.release(1, pid, e)"
+        ).replace(
+            "finally:\n                t.release(1, pid, e)",
+            "finally:\n                t.release(0, pid, e)")
+        diags = lint_snippet(tmp_path, consistent)
+        assert "LK604" not in codes(diags)
+
+    def test_order_graph_spans_files(self, tmp_path):
+        a = tmp_path / "a.py"
+        a.write_text(textwrap.dedent("""
+            def first(t, pid, e):
+                t.acquire(0, pid, e)
+                t.acquire(1, pid, e)
+                t.release(1, pid, e)
+                t.release(0, pid, e)
+        """))
+        b = tmp_path / "b.py"
+        b.write_text(textwrap.dedent("""
+            def second(t, pid, e):
+                t.acquire(1, pid, e)
+                t.acquire(0, pid, e)
+                t.release(0, pid, e)
+                t.release(1, pid, e)
+        """))
+        diags = lint_protocol(paths=[str(a), str(b)])
+        assert "LK604" in codes(diags)
+
+
+class TestSuppression:
+    def test_suppressed_finding_is_silent(self, tmp_path):
+        diags = lint_snippet(tmp_path, """
+            def f(tracer):
+                tracer.span("work")   # lk: disable=LK605 -- fixture
+        """)
+        assert codes(diags) == []
+
+    def test_unused_suppression_reports_lk609(self, tmp_path):
+        diags = lint_snippet(tmp_path, """
+            def f(tracer, work):
+                with tracer.span("w"):   # lk: disable=LK605 -- stale
+                    work()
+        """)
+        assert codes(diags) == ["LK609"]
+        assert "matched no finding" in diags[0].message
+
+    def test_suppression_is_per_code(self, tmp_path):
+        # Disabling LK601 does not hide the LK605 on the same line.
+        diags = lint_snippet(tmp_path, """
+            def f(tracer):
+                tracer.span("work")   # lk: disable=LK601 -- wrong code
+        """)
+        assert "LK605" in codes(diags)
+        assert "LK609" in codes(diags)    # the LK601 disable is unused
+
+    def test_multiple_codes_one_comment(self, tmp_path):
+        diags = lint_snippet(tmp_path, """
+            def f(driver, socket, pid):
+                driver.release_socket_lock(socket)   # lk: disable=LK602,LK601 -- x
+        """)
+        assert "LK602" not in codes(diags)
+        assert "LK609" in codes(diags)    # the LK601 half is unused
+
+
+class TestGoldenJsonReport:
+    def test_report_with_suppressions(self, tmp_path):
+        path = tmp_path / "golden_fixture.py"
+        path.write_text(textwrap.dedent("""
+            def leaky(tracer):
+                tracer.span("a")
+
+            def excused(tracer):
+                tracer.span("b")   # lk: disable=LK605 -- exercised by tests
+
+            def stale(tracer, work):
+                with tracer.span("c"):   # lk: disable=LK605 -- outdated
+                    work()
+        """))
+        document = json.loads(render_json(lint_protocol(paths=[str(path)])))
+        assert document == {
+            "version": 1,
+            "diagnostics": [
+                {"arch": None, "code": "LK605", "column": None,
+                 "group": None,
+                 "locus": "source:golden_fixture.py:3",
+                 "message": "leaky creates a tracer span and never "
+                            "enters it (use `with ...span(...):`)",
+                 "severity": "warning",
+                 "title": "tracer span unbalanced (never entered, or "
+                          "not exited on some path)"},
+                {"arch": None, "code": "LK609", "column": None,
+                 "group": None,
+                 "locus": "source:golden_fixture.py:9",
+                 "message": "suppression `# lk: disable=LK605` on "
+                            "golden_fixture.py:9 matched no finding; "
+                            "remove it or fix the rot",
+                 "severity": "note",
+                 "title": "unused `# lk: disable` suppression"},
+            ],
+            "summary": {"errors": 0, "warnings": 1, "notes": 1},
+        }
+
+
+# -- seeded-bug tests over mutated real sources ------------------------------
+
+def mutate(tmp_path, relpath, old, new):
+    import pathlib
+    source = pathlib.Path("src/repro") / relpath
+    text = source.read_text()
+    assert old in text, f"seed anchor drifted in {relpath}"
+    out = tmp_path / source.name
+    out.write_text(text.replace(old, new))
+    return str(out)
+
+
+class TestSeededBugs:
+    def test_dropping_session_teardown_is_caught(self, tmp_path):
+        """Replace wrap()'s `with session:` teardown with bare calls:
+        an exception in the workload now leaks a started session."""
+        path = mutate(
+            tmp_path, "core/perfctr/measurement.py",
+            "            session = self.session(cpus, group_or_events)\n"
+            "            with session:\n"
+            "                with _trace.span(\"perfctr.workload\"):\n"
+            "                    payload = run()\n"
+            "                session.stop()\n"
+            "                wall = getattr(payload, \"total_time\","
+            " None)\n"
+            "                return session.read(wall_time=wall)\n",
+            "            session = self.session(cpus, group_or_events)\n"
+            "            session.start()\n"
+            "            with _trace.span(\"perfctr.workload\"):\n"
+            "                payload = run()\n"
+            "            session.stop()\n"
+            "            wall = getattr(payload, \"total_time\","
+            " None)\n"
+            "            return session.read(wall_time=wall)\n")
+        diags = lint_protocol(paths=[path])
+        assert "LK601" in codes(diags)
+        assert any("session" in d.message and "exception" in d.message
+                   for d in diags if d.code == "LK601")
+
+    def test_dropping_epoch_compare_is_caught(self, tmp_path):
+        """Strip the epoch compare from SocketLockTable.release: the
+        entry removal is no longer guarded against reclaimed locks."""
+        path = mutate(
+            tmp_path, "oskern/locks.py",
+            "        if current is None or current.owner_pid != pid \\\n"
+            "                or current.epoch != epoch:\n",
+            "        if current is None or current.owner_pid != pid:\n")
+        diags = lint_protocol(paths=[path])
+        assert "LK602" in codes(diags)
+        assert any("epoch" in d.message for d in diags
+                   if d.code == "LK602")
+
+
+# -- the self-check ----------------------------------------------------------
+
+class TestSelfCheck:
+    def test_shipped_runtime_is_protocol_clean(self):
+        diags = lint_protocol()
+        assert diags == [], "\n".join(str(d) for d in diags)
+
+    def test_scan_covers_the_measurement_runtime(self):
+        names = {p.rsplit("/", 1)[-1] for p in protocol_sources()}
+        assert "measurement.py" in names     # sessions
+        assert "locks.py" in names           # socket locks
+        assert "msr_driver.py" in names      # journal + epochs
+        assert "features.py" in names        # likwid-features
+        assert "perfctr_cmd.py" in names     # CLI front-end
+
+    def test_clean_exemplars_stay_clean(self):
+        """The runtime patterns the checks were calibrated against."""
+        import repro
+        base = repro.__path__[0]
+        for rel in ("core/perfctr/counters.py",
+                    "core/perfctr/measurement.py",
+                    "core/features.py",
+                    "oskern/locks.py",
+                    "oskern/msr_driver.py"):
+            assert lint_protocol(paths=[f"{base}/{rel}"]) == [], rel
+
+
+# -- `repro-lint --changed` ---------------------------------------------------
+
+class TestLintChanged:
+    def test_runtime_source_restricts_to_source_passes(self):
+        diags = lint_changed(files=["src/repro/core/features.py"])
+        assert diags == []      # the shipped file is clean
+
+    def test_irrelevant_files_produce_nothing(self):
+        assert lint_changed(files=["README.md", "docs/linting.md"]) == []
+
+    def test_changed_groupfile_lints_that_group(self):
+        diags = lint_changed(
+            files=["src/repro/core/perfctr/groupfiles/nehalem_ep/MEM.txt"])
+        loci = {d.locus for d in diags}
+        assert loci <= {"groupfile:nehalem_ep/MEM.txt"}
+
+    def test_analysis_change_falls_back_to_full_matrix(self):
+        subset = lint_changed(files=["src/repro/analysis/protocol.py"])
+        from repro.analysis.runner import lint_all
+        assert len(subset) == len(lint_all())
+
+    def test_broken_source_fails_like_a_full_run(self, tmp_path,
+                                                 monkeypatch):
+        """On the selected subset, findings surface with the same
+        codes the full run would give for that file."""
+        bad = tmp_path / "rogue.py"
+        bad.write_text("def f(tracer):\n    tracer.span('x')\n")
+        import repro.analysis.protocol as protocol
+        monkeypatch.setattr(protocol, "protocol_sources",
+                            lambda: [str(bad)])
+        diags = lint_changed(files=[str(bad)])
+        assert codes(diags) == ["LK605"]
+
+
+class TestCliFlags:
+    def test_fail_unused_gates_on_lk609(self, monkeypatch, capsys):
+        from repro.analysis.diagnostics import Diagnostic, Severity
+        from repro.cli import lint_cmd
+
+        stale = [Diagnostic("LK609", Severity.NOTE,
+                            "suppression `# lk: disable=LK605` on x.py:1 "
+                            "matched no finding; remove it or fix the rot",
+                            locus="source:x.py:1")]
+        monkeypatch.setattr("repro.analysis.runner.lint_changed",
+                            lambda ref: stale)
+        assert lint_cmd.main(["--changed", "HEAD"]) == 0
+        assert lint_cmd.main(["--changed", "HEAD", "--fail-unused"]) == 1
+
+    def test_changed_flag_defaults_to_origin_main(self):
+        from repro.cli import lint_cmd
+        parser = lint_cmd.build_parser()
+        assert parser.parse_args(["--changed"]).changed == "origin/main"
+        assert parser.parse_args(["--changed", "HEAD~1"]).changed == "HEAD~1"
+        assert parser.parse_args([]).changed is None
