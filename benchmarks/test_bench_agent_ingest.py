@@ -1,0 +1,64 @@
+"""Benchmark: the agent's ingest and window-loop hot paths (ISSUE 8).
+
+Two medians recorded into ``BENCH_baseline.json`` and gated by
+``tools/bench_gate.py`` (>25% regression fails CI):
+
+``test_agent_ingest_throughput``
+    One batch pushed through a back-pressured lane into the fleet
+    aggregator — the per-window cost every node pays at the shared
+    pipeline, downsampling included.
+
+``test_agent_window_loop``
+    One full monitoring window (session program/start/read/teardown,
+    synthetic load, normalization, dispatch) — the agent's steady-state
+    loop body, priced end to end.
+"""
+
+from repro.agent import (AgentConfig, Aggregator, AggregatorSink,
+                         AgentSample, MonitorAgent, SampleBatch,
+                         SinkLane, SyntheticLoad)
+from repro.hw.arch import create_machine
+from repro.oskern.access import open_backend
+
+BATCH_SAMPLES = 64
+INGEST_CAP = 40          # forces downsampling on every push
+
+
+def make_batch(window: int) -> SampleBatch:
+    samples = tuple(
+        AgentSample("bench0", "MEM", window, 0.1 * (window + 1), "cpu",
+                    i % 4, f"metric{i % 8}", float(i),
+                    seq=window * BATCH_SAMPLES + i)
+        for i in range(BATCH_SAMPLES))
+    return SampleBatch("bench0", "MEM", window, 0.1 * (window + 1),
+                       0.1, samples, seq=window)
+
+
+def test_agent_ingest_throughput(benchmark):
+    aggregator = Aggregator()
+    lane = SinkLane(AggregatorSink(aggregator, max_batch=INGEST_CAP),
+                    seed=7)
+    batch = make_batch(0)
+
+    benchmark(lambda: lane.push(batch))
+
+    acct = lane.accounting
+    assert acct.consistent
+    assert acct.dropped > 0                  # back-pressure was live
+    assert aggregator.total_samples == acct.emitted
+
+
+def test_agent_window_loop(benchmark):
+    machine = create_machine("nehalem_ep")
+    backend = open_backend("msr", machine)
+    config = AgentConfig(groups=("FLOPS_DP",), cpus=(0, 1),
+                         window=0.01, node="bench0")
+    agent = MonitorAgent(machine, backend, config,
+                         workload=SyntheticLoad(machine, (0, 1)))
+    counter = iter(range(1_000_000))
+
+    batch = benchmark(lambda: agent.measure_window("FLOPS_DP",
+                                                   next(counter)))
+
+    assert len(batch.samples) > 0
+    assert any(s.scope == "socket" for s in batch.samples)

@@ -1,0 +1,49 @@
+"""``repro.agent``: continuous monitoring and fleet ingest (ISSUE 8).
+
+The paper demonstrates daemon-style monitoring by wrapping ``sleep``;
+this package grows that idiom into ``likwid-agent`` (the ninth
+front-end): a long-running monitor that rotates metric groups over a
+:class:`~repro.core.perfctr.measurement.PerfCtrSession`
+(:mod:`~repro.agent.scheduler`), normalizes derived metrics into
+per-cpu and per-socket samples (:mod:`~repro.agent.batch`), pushes
+them through a pluggable sink layer with deterministic back-pressure
+(:mod:`~repro.agent.sinks`), and scales to a simulated fleet feeding
+one aggregation pipeline (:mod:`~repro.agent.fleet`,
+:mod:`~repro.agent.aggregate`).
+"""
+
+from repro.agent.aggregate import Aggregator, AggregatorSink
+from repro.agent.batch import (FLOPS_ANY, AgentReport, AgentSample,
+                               LaneAccounting, SampleBatch,
+                               normalize_result)
+from repro.agent.fleet import (SOAK_RETRIES, FleetReport, FleetSimulator,
+                               NodeSpec, default_fleet)
+from repro.agent.scheduler import AgentConfig, MonitorAgent, SyntheticLoad
+from repro.agent.sinks import (CollectorSink, JsonlSink, LineProtocolSink,
+                               RingSink, Sink, SinkLane, downsample)
+
+__all__ = [
+    "FLOPS_ANY",
+    "AgentConfig",
+    "AgentReport",
+    "AgentSample",
+    "Aggregator",
+    "AggregatorSink",
+    "CollectorSink",
+    "FleetReport",
+    "FleetSimulator",
+    "JsonlSink",
+    "LaneAccounting",
+    "LineProtocolSink",
+    "MonitorAgent",
+    "NodeSpec",
+    "RingSink",
+    "SOAK_RETRIES",
+    "SampleBatch",
+    "Sink",
+    "SinkLane",
+    "SyntheticLoad",
+    "default_fleet",
+    "downsample",
+    "normalize_result",
+]

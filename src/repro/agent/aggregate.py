@@ -1,0 +1,113 @@
+"""The fleet ingest pipeline: merge per-node batches into rollups.
+
+One :class:`Aggregator` is the single ingest path many nodes' agents
+feed ("millions of users" = many tenants' metrics through one fast
+pipeline).  It keeps:
+
+* per-node sample/batch/window counts (the reconciliation surface —
+  a node's ingested count must equal its lane's ``emitted``);
+* per ``(group, metric)`` distributions with exact p50/p99 (reusing
+  :class:`repro.trace.metrics.Histogram`, the same percentile math the
+  observability layer ships);
+* per ``(node, socket, metric)`` totals for the socket-scope samples.
+
+``rollup()`` renders everything as a plain JSON-ready dict.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.agent.batch import SampleBatch
+from repro.agent.sinks import Sink
+from repro.trace.metrics import Histogram
+
+
+@dataclass
+class NodeIngest:
+    """What one node has contributed to the pipeline."""
+
+    batches: int = 0
+    samples: int = 0
+    windows: set = field(default_factory=set)
+    nan_samples: int = 0      # degraded (NaN) values, kept visible
+
+
+class Aggregator:
+    """Merges sample batches from many nodes into fleet rollups."""
+
+    def __init__(self):
+        self.nodes: dict[str, NodeIngest] = {}
+        self._metrics: dict[tuple[str, str], Histogram] = {}
+        self._sockets: dict[tuple[str, int, str], float] = {}
+        self.total_samples = 0
+
+    def ingest(self, batch: SampleBatch) -> None:
+        node = self.nodes.setdefault(batch.node, NodeIngest())
+        node.batches += 1
+        node.windows.add(batch.window)
+        for sample in batch.samples:
+            node.samples += 1
+            self.total_samples += 1
+            if math.isnan(sample.value):
+                node.nan_samples += 1
+                continue
+            key = (sample.group, sample.metric)
+            hist = self._metrics.get(key)
+            if hist is None:
+                hist = self._metrics[key] = Histogram(
+                    f"{sample.group}/{sample.metric}")
+            hist.observe(sample.value)
+            if sample.scope == "socket":
+                skey = (sample.node, sample.ident, sample.metric)
+                self._sockets[skey] = \
+                    self._sockets.get(skey, 0.0) + sample.value
+
+    def node_samples(self, node: str) -> int:
+        ingest = self.nodes.get(node)
+        return ingest.samples if ingest is not None else 0
+
+    def rollup(self) -> dict:
+        """The fleet-wide summary, JSON-ready."""
+        groups: dict[str, dict[str, dict]] = {}
+        for (group, metric), hist in sorted(self._metrics.items()):
+            groups.setdefault(group, {})[metric] = {
+                "count": hist.count,
+                "mean": hist.mean,
+                "p50": hist.percentile(50),
+                "p99": hist.percentile(99),
+                "min": hist.min,
+                "max": hist.max,
+            }
+        sockets: dict[str, dict[str, float]] = {}
+        for (node, socket, metric), total in sorted(self._sockets.items()):
+            sockets.setdefault(f"{node}/socket{socket}", {})[metric] = total
+        return {
+            "nodes": {
+                name: {"batches": n.batches, "samples": n.samples,
+                       "windows": len(n.windows),
+                       "nan_samples": n.nan_samples}
+                for name, n in sorted(self.nodes.items())
+            },
+            "groups": groups,
+            "sockets": sockets,
+            "total_samples": self.total_samples,
+        }
+
+
+class AggregatorSink(Sink):
+    """The sink that feeds an :class:`Aggregator` — a node's lane
+    pushes into the shared ingest pipeline through one of these
+    (optionally rate-limited via ``max_batch``, which makes the
+    pipeline exert real back-pressure on that node)."""
+
+    kind = "aggregator"
+
+    def __init__(self, aggregator: Aggregator, *,
+                 max_batch: int | None = None):
+        super().__init__(max_batch=max_batch)
+        self.aggregator = aggregator
+
+    def emit(self, batch: SampleBatch) -> None:
+        self.aggregator.ingest(batch)

@@ -1,0 +1,178 @@
+"""Samples and batches: the agent's wire format.
+
+One measurement window produces one :class:`SampleBatch` holding
+normalized :class:`AgentSample` records — per-cpu derived metrics plus
+per-socket rollups, the shape the collectd likwid plugin dispatches
+(per-cpu values, per-socket values, normalized FLOPS).
+
+Normalization follows the plugin's ``normalizeFlops`` idiom: every
+``MFlops/s`` metric is additionally published under one canonical name
+(``flops_any``) scaled to single-precision-equivalent operations, so a
+fleet mixing FLOPS_DP and FLOPS_SP windows still aggregates one
+comparable series.  Bandwidth metrics (``MBytes/s``) and FLOPS are
+*extensive* — summing them across the cpus of a socket is meaningful —
+so each gets a socket-scope rollup sample; ratio-like metrics (CPI,
+miss rates) stay per-cpu only.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.core.perfctr.measurement import MeasurementResult
+from repro.hw.spec import ArchSpec
+
+#: Canonical name for normalized floating-point throughput.
+FLOPS_ANY = "flops_any [MFlops/s]"
+
+#: Single-precision-equivalent multipliers per metric flavour (the
+#: collectd plugin's ``xFlops``: one DP op does the work of two SP ops).
+_FLOPS_SCALE = (("DP MFlops/s", 2.0), ("SP MFlops/s", 1.0))
+
+
+@dataclass(frozen=True)
+class AgentSample:
+    """One normalized metric value at one point in the stream."""
+
+    node: str
+    group: str
+    window: int          # global window index (monotonic per node)
+    time: float          # window end, seconds since agent start
+    scope: str           # "cpu" | "socket"
+    ident: int           # cpu id or socket id
+    metric: str
+    value: float
+    seq: int = 0         # per-node emission sequence number
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "node": self.node, "group": self.group,
+            "window": self.window, "time": self.time,
+            "scope": self.scope, "id": self.ident,
+            "metric": self.metric, "value": self.value,
+            "seq": self.seq,
+        }, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class SampleBatch:
+    """All samples of one node's measurement window."""
+
+    node: str
+    group: str
+    window: int
+    time: float          # window end, seconds since agent start
+    duration: float      # measured window length, seconds
+    samples: tuple[AgentSample, ...] = ()
+    seq: int = 0         # per-node batch sequence number
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def with_samples(self, samples) -> "SampleBatch":
+        return replace(self, samples=tuple(samples))
+
+
+def _extensive(metric: str) -> bool:
+    """Metrics that may be summed across a socket's cpus."""
+    return "MFlops/s" in metric or "MBytes/s" in metric
+
+
+def flops_normalized(metric: str, value: float) -> float | None:
+    """SP-equivalent MFlops/s for a FLOPS metric (None otherwise)."""
+    for needle, scale in _FLOPS_SCALE:
+        if needle in metric:
+            return value * scale
+    return None
+
+
+def normalize_result(node: str, group: str, window: int, time: float,
+                     duration: float, result: MeasurementResult,
+                     spec: ArchSpec, *, seq_start: int = 0) \
+        -> list[AgentSample]:
+    """Flatten one window's :class:`MeasurementResult` into samples.
+
+    Per-cpu samples carry every derived group metric plus the
+    normalized ``flops_any`` series; per-socket samples roll up the
+    extensive (throughput) metrics over the socket's measured cpus.
+    NaN metric values (degraded uncore reads) stay NaN per-cpu — the
+    sink layer is the wrong place to hide degradation — but are
+    excluded from socket sums so one degraded cpu cannot poison the
+    socket rollup.
+    """
+    samples: list[AgentSample] = []
+    seq = seq_start
+    socket_sums: dict[tuple[int, str], float] = {}
+
+    def add(scope: str, ident: int, metric: str, value: float) -> None:
+        nonlocal seq
+        samples.append(AgentSample(node, group, window, time, scope,
+                                   ident, metric, value, seq))
+        seq += 1
+
+    for cpu in result.cpus:
+        socket = spec.socket_of(cpu)
+        for metric, value in result.metrics.get(cpu, {}).items():
+            add("cpu", cpu, metric, value)
+            normalized = flops_normalized(metric, value)
+            if normalized is not None:
+                add("cpu", cpu, FLOPS_ANY, normalized)
+                metric, value = FLOPS_ANY, normalized
+            if _extensive(metric) and not math.isnan(value):
+                key = (socket, metric)
+                socket_sums[key] = socket_sums.get(key, 0.0) + value
+    for (socket, metric), value in sorted(socket_sums.items()):
+        add("socket", socket, metric, value)
+    return samples
+
+
+@dataclass
+class LaneAccounting:
+    """Exact sample accounting of one sink lane.
+
+    The invariant every soak test pins: ``offered == emitted +
+    dropped`` at all times — no sample is ever unaccounted for."""
+
+    sink: str
+    offered: int = 0
+    emitted: int = 0
+    dropped: int = 0
+
+    @property
+    def consistent(self) -> bool:
+        return self.offered == self.emitted + self.dropped
+
+    def as_dict(self) -> dict:
+        return {"sink": self.sink, "offered": self.offered,
+                "emitted": self.emitted, "dropped": self.dropped}
+
+
+@dataclass
+class AgentReport:
+    """What one agent run did: windows, batches, per-lane accounting."""
+
+    node: str
+    windows: int = 0
+    batches: int = 0
+    samples: int = 0                       # produced (pre-downsampling)
+    lanes: list[LaneAccounting] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return all(lane.consistent and lane.offered == self.samples
+                   for lane in self.lanes)
+
+    def inconsistencies(self) -> list[str]:
+        out = []
+        for lane in self.lanes:
+            if not lane.consistent:
+                out.append(
+                    f"{self.node}/{lane.sink}: offered {lane.offered} != "
+                    f"emitted {lane.emitted} + dropped {lane.dropped}")
+            if lane.offered != self.samples:
+                out.append(
+                    f"{self.node}/{lane.sink}: offered {lane.offered} != "
+                    f"produced {self.samples}")
+        return out

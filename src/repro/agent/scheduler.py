@@ -1,0 +1,213 @@
+"""The monitoring loop: group rotation over a PerfCtrSession.
+
+``likwid-agent`` is the paper's daemon idiom (``likwid-perfctr -d``
+around ``sleep``) grown into a long-running monitor, shaped like the
+collectd likwid plugin: rotate through a configured list of metric
+groups, give each group one *measurement window* (program counters,
+let the node run, read, tear down), normalize the derived metrics and
+hand the batch to the sink lanes.  The loop never blocks on a slow
+sink — back-pressure is the lane's deterministic downsampling
+(:mod:`repro.agent.sinks`).
+
+Window timing reuses the timeline layer's overrun rule
+(:func:`~repro.core.perfctr.timeline.slice_duration`): a window that
+ran long is accounted at its measured duration, so published rates
+stay correct under scheduling jitter.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro import trace as _trace
+from repro.agent.batch import AgentReport, SampleBatch, normalize_result
+from repro.agent.sinks import Sink, SinkLane
+from repro.core.perfctr.measurement import LikwidPerfCtr
+from repro.core.perfctr.timeline import slice_duration
+from repro.errors import CounterError
+from repro.hw.events import Channel
+from repro.hw.machine import SimMachine
+
+
+@dataclass(frozen=True)
+class AgentConfig:
+    """One agent's monitoring plan."""
+
+    groups: tuple[str, ...]       # rotation list, in order
+    cpus: tuple[int, ...]
+    window: float = 1.0           # seconds of measurement per group
+    rotations: int = 1            # full passes through the group list
+    node: str = "node0"
+    seed: int = 0
+    strict_io: bool = False
+
+    def __post_init__(self):
+        if not self.groups:
+            raise CounterError("agent needs at least one metric group")
+        if not self.cpus:
+            raise CounterError("agent needs at least one cpu")
+        if self.window <= 0:
+            raise CounterError("measurement window must be positive")
+        if self.rotations < 1:
+            raise CounterError("need at least one rotation")
+
+
+class SyntheticLoad:
+    """A deterministic, phase-varying stand-in for the monitored node.
+
+    Per window it applies one slice of channel counts whose intensity
+    varies smoothly with the window index and cpu (so rollup
+    percentiles are non-degenerate), seeded per node so a fleet of
+    nodes is diverse but every run is reproducible.  ``overrun_rate``
+    makes a seeded fraction of windows run long (reported through the
+    return value, the timeline overrun convention).
+    """
+
+    def __init__(self, machine: SimMachine, cpus, *, seed: int = 0,
+                 overrun_rate: float = 0.0, overrun_factor: float = 3.0):
+        self.machine = machine
+        self.cpus = list(cpus)
+        self.seed = seed
+        self.overrun_rate = overrun_rate
+        self.overrun_factor = overrun_factor
+
+    def _utilization(self, window: int, cpu: int) -> float:
+        phase = 0.7 * window + 0.45 * cpu + 0.13 * self.seed
+        return 0.55 + 0.35 * math.sin(phase)
+
+    def __call__(self, window: int, group: str,
+                 seconds: float) -> float:
+        # Seeded overrun decision, stable per (seed, window).
+        duration = seconds
+        if self.overrun_rate > 0.0:
+            draw = math.sin(12.9898 * (window + 1) + 78.233 * self.seed)
+            if (draw - math.floor(draw)) < self.overrun_rate:
+                duration = seconds * self.overrun_factor
+        clock = self.machine.spec.clock_hz
+        core: dict[int, dict[Channel, float]] = {}
+        for cpu in self.cpus:
+            cycles = clock * duration * self._utilization(window, cpu)
+            core[cpu] = {
+                Channel.CORE_CYCLES: cycles,
+                Channel.REF_CYCLES: cycles,
+                Channel.INSTRUCTIONS: cycles * 1.1,
+                Channel.FLOPS_PACKED_DP: cycles * 0.12,
+                Channel.FLOPS_SCALAR_DP: cycles * 0.05,
+                Channel.FLOPS_PACKED_SP: cycles * 0.08,
+                Channel.FLOPS_SCALAR_SP: cycles * 0.04,
+                Channel.LOADS: cycles * 0.30,
+                Channel.STORES: cycles * 0.15,
+                Channel.L1D_REPLACEMENT: cycles * 0.012,
+                Channel.L1D_EVICT: cycles * 0.006,
+                Channel.L2_LINES_IN: cycles * 0.004,
+                Channel.L2_LINES_OUT: cycles * 0.002,
+                Channel.L2_REQUESTS: cycles * 0.015,
+                Channel.L2_MISSES: cycles * 0.004,
+                Channel.BRANCHES: cycles * 0.18,
+                Channel.BRANCH_MISSES: cycles * 0.004,
+                Channel.DTLB_MISSES: cycles * 0.001,
+                Channel.DRAM_READS: cycles * 0.002,
+                Channel.DRAM_WRITES: cycles * 0.001,
+            }
+        uncore = None
+        if self.machine.spec.pmu.has_uncore:
+            uncore = {}
+            for socket in range(self.machine.spec.sockets):
+                busy = sum(core[c][Channel.CORE_CYCLES]
+                           for c in self.cpus
+                           if self.machine.spec.socket_of(c) == socket)
+                uncore[socket] = {
+                    Channel.UNC_CYCLES: clock * duration,
+                    Channel.L3_LINES_IN: busy * 0.003,
+                    Channel.L3_LINES_OUT: busy * 0.001,
+                    Channel.UNC_L3_HITS: busy * 0.010,
+                    Channel.UNC_L3_MISSES: busy * 0.003,
+                    Channel.MEM_READS: busy * 0.002,
+                    Channel.MEM_WRITES: busy * 0.001,
+                }
+        self.machine.apply_counts(core, uncore, elapsed_seconds=duration)
+        return duration
+
+
+class MonitorAgent:
+    """One node's continuous monitor.
+
+    Rotates through ``config.groups``; each window is one full
+    program/run/read/teardown cycle through the access backend (so
+    journaling, fault injection and crash recovery all apply per
+    window, exactly like repeated ``likwid-perfctr`` invocations),
+    then a normalized batch pushed through every sink lane.
+    """
+
+    def __init__(self, machine: SimMachine, backend, config: AgentConfig,
+                 *, sinks: tuple[Sink, ...] = (),
+                 workload: Callable[[int, str, float], object] | None = None,
+                 retry_policy=None):
+        self.machine = machine
+        self.config = config
+        self.perfctr = LikwidPerfCtr(machine, backend=backend,
+                                     strict_io=config.strict_io,
+                                     retry_policy=retry_policy)
+        self.lanes = [SinkLane(sink, seed=config.seed) for sink in sinks]
+        self.workload = workload if workload is not None else \
+            SyntheticLoad(machine, config.cpus, seed=config.seed)
+        self.report = AgentReport(config.node)
+        self.warnings: list[str] = []
+        self._sample_seq = 0
+        self._batch_seq = 0
+        self._clock = 0.0          # agent-relative seconds
+
+    def run(self) -> AgentReport:
+        """Execute the full rotation plan; returns the accounting."""
+        cfg = self.config
+        with _trace.span("agent.run", node=cfg.node,
+                         groups=len(cfg.groups), rotations=cfg.rotations):
+            window = 0
+            for _rotation in range(cfg.rotations):
+                for group in cfg.groups:
+                    batch = self.measure_window(group, window)
+                    self.dispatch(batch)
+                    window += 1
+        for lane in self.lanes:
+            lane.close()
+        self.report.lanes = [lane.accounting for lane in self.lanes]
+        return self.report
+
+    def measure_window(self, group: str, window: int) -> SampleBatch:
+        """One measurement window: counters on, run, read, normalize."""
+        cfg = self.config
+        with _trace.span("agent.window", group=group, window=window):
+            session = self.perfctr.session(list(cfg.cpus), group)
+            began = _time.perf_counter()
+            with session:
+                returned = self.workload(window, group, cfg.window)
+                session.stop()
+                duration = slice_duration(
+                    cfg.window, _time.perf_counter() - began, returned)
+                result = session.read(wall_time=duration)
+            self.warnings.extend(result.warnings)
+        self._clock += duration
+        samples = normalize_result(
+            cfg.node, group, window, self._clock, duration, result,
+            self.machine.spec, seq_start=self._sample_seq)
+        self._sample_seq += len(samples)
+        batch = SampleBatch(cfg.node, group, window, self._clock,
+                            duration, tuple(samples),
+                            seq=self._batch_seq)
+        self._batch_seq += 1
+        self.report.windows += 1
+        self.report.samples += len(samples)
+        if _trace.TRACER.enabled:
+            _trace.incr("agent.windows")
+            _trace.incr("agent.samples.produced", len(samples))
+        return batch
+
+    def dispatch(self, batch: SampleBatch) -> None:
+        for lane in self.lanes:
+            lane.push(batch)
+        self.report.batches += 1
+        if _trace.TRACER.enabled:
+            _trace.incr("agent.batches")

@@ -1,0 +1,236 @@
+"""The agent's pluggable sink layer with explicit back-pressure.
+
+A :class:`Sink` accepts batches of normalized samples; a
+:class:`SinkLane` wraps one sink with the agent-side flow control:
+when the sink is slow (its :meth:`Sink.capacity` is smaller than the
+batch), the lane *downsamples deterministically* instead of blocking
+the measurement loop — the drop policy of a monitoring agent, where a
+stale complete history is worth less than a fresh thinned one.
+
+Every lane keeps exact :class:`~repro.agent.batch.LaneAccounting`
+(``offered == emitted + dropped`` always) and surfaces drops through
+``repro.trace`` counters (``agent.samples.dropped`` is always-on, like
+the msr fault counters, so accounting reconciles through one
+registry).
+
+Shipped sinks:
+
+* :class:`JsonlSink` — one JSON object per sample, append-only file;
+* :class:`RingSink` — bounded in-memory ring, oldest evicted first;
+* :class:`LineProtocolSink` — influx-style line protocol
+  (``likwid,node=n0,...,metric=... value=<v> <ns>``), modeled on the
+  collectd ecosystem's influx writer;
+* :class:`CollectorSink` — unbounded in-memory list (tests, fleet
+  ingest plumbing).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import IO, Iterable
+
+from repro import trace as _trace
+from repro.agent.batch import AgentSample, LaneAccounting, SampleBatch
+
+
+class Sink:
+    """One destination for sample batches.
+
+    ``max_batch`` models the sink's ingestion speed: the number of
+    samples it can absorb per push (None = unbounded).  Real sinks
+    are bounded by network or disk; the simulated ones expose the
+    knob directly so back-pressure is deterministic and testable.
+    """
+
+    kind = "sink"
+
+    def __init__(self, *, max_batch: int | None = None):
+        self.max_batch = max_batch
+
+    @property
+    def name(self) -> str:
+        return self.kind
+
+    def capacity(self, offered: int) -> int | None:
+        """How many of *offered* samples the sink will accept right
+        now; None means all of them.  Called once per push — a
+        stateful sink may model recovery or fatigue here."""
+        return self.max_batch
+
+    def emit(self, batch: SampleBatch) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class CollectorSink(Sink):
+    """Unbounded in-memory collection (tests and ingest plumbing)."""
+
+    kind = "collector"
+
+    def __init__(self, *, max_batch: int | None = None):
+        super().__init__(max_batch=max_batch)
+        self.batches: list[SampleBatch] = []
+
+    @property
+    def samples(self) -> list[AgentSample]:
+        return [s for b in self.batches for s in b.samples]
+
+    def emit(self, batch: SampleBatch) -> None:
+        self.batches.append(batch)
+
+
+class RingSink(Sink):
+    """Bounded in-memory ring: keeps the newest ``capacity`` samples.
+
+    Eviction is oldest-first, so :meth:`latest` always returns the
+    most recent history newest-first — the "what just happened"
+    query a monitoring dashboard asks.  Evicted samples were
+    *accepted* (they are not back-pressure drops); ``evicted`` counts
+    them separately."""
+
+    kind = "ring"
+
+    def __init__(self, ring_capacity: int, *,
+                 max_batch: int | None = None):
+        super().__init__(max_batch=max_batch)
+        if ring_capacity < 1:
+            raise ValueError("ring capacity must be positive")
+        self.ring_capacity = ring_capacity
+        self.evicted = 0
+        self._ring: deque[AgentSample] = deque(maxlen=ring_capacity)
+
+    def emit(self, batch: SampleBatch) -> None:
+        for sample in batch.samples:
+            if len(self._ring) == self.ring_capacity:
+                self.evicted += 1
+            self._ring.append(sample)
+
+    def latest(self, n: int | None = None) -> list[AgentSample]:
+        """The newest samples, newest first."""
+        out = list(self._ring)
+        out.reverse()
+        return out if n is None else out[:n]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class JsonlSink(Sink):
+    """One JSON object per sample, appended to a text stream."""
+
+    kind = "jsonl"
+
+    def __init__(self, stream: IO[str], *, max_batch: int | None = None):
+        super().__init__(max_batch=max_batch)
+        self.stream = stream
+        self.lines = 0
+
+    def emit(self, batch: SampleBatch) -> None:
+        for sample in batch.samples:
+            self.stream.write(sample.to_json())
+            self.stream.write("\n")
+            self.lines += 1
+
+    def close(self) -> None:
+        self.stream.flush()
+
+
+def _escape_tag(value: str) -> str:
+    """Influx line-protocol tag escaping: commas, spaces, equals."""
+    return (value.replace("\\", "\\\\").replace(",", "\\,")
+            .replace(" ", "\\ ").replace("=", "\\="))
+
+
+class LineProtocolSink(Sink):
+    """Influx-style line protocol writer.
+
+    ``likwid,node=n0,group=MEM,scope=socket,id=0,metric=Memory\\ band...
+    value=123.4 <timestamp_ns>`` — tags identify the series, the one
+    field carries the value, and the timestamp is the window-relative
+    time in integral nanoseconds (the agent clock, not wall time, so
+    replays are bit-identical)."""
+
+    kind = "line"
+
+    def __init__(self, stream: IO[str], *,
+                 measurement: str = "likwid",
+                 max_batch: int | None = None):
+        super().__init__(max_batch=max_batch)
+        self.stream = stream
+        self.measurement = measurement
+        self.lines = 0
+
+    def format(self, sample: AgentSample) -> str:
+        tags = (f"node={_escape_tag(sample.node)},"
+                f"group={_escape_tag(sample.group)},"
+                f"scope={sample.scope},id={sample.ident},"
+                f"metric={_escape_tag(sample.metric)}")
+        return (f"{self.measurement},{tags} value={sample.value!r} "
+                f"{int(sample.time * 1e9)}")
+
+    def emit(self, batch: SampleBatch) -> None:
+        for sample in batch.samples:
+            self.stream.write(self.format(sample))
+            self.stream.write("\n")
+            self.lines += 1
+
+    def close(self) -> None:
+        self.stream.flush()
+
+
+def downsample(samples: Iterable[AgentSample], keep: int, seed: int,
+               batch_seq: int) -> list[AgentSample]:
+    """Deterministically thin *samples* down to *keep* survivors.
+
+    The selection is a seeded draw keyed by ``(seed, batch_seq)`` —
+    the same agent seed and batch always drop the same samples, so a
+    replayed run (and a regression test) reproduces the stream
+    bit-for-bit.  Survivors keep their original order."""
+    samples = list(samples)
+    if keep <= 0:
+        return []
+    if keep >= len(samples):
+        return samples
+    rng = random.Random(f"{seed}:{batch_seq}")
+    indices = sorted(rng.sample(range(len(samples)), keep))
+    return [samples[i] for i in indices]
+
+
+class SinkLane:
+    """One sink plus the agent-side flow control in front of it.
+
+    ``push`` never blocks and never fails accounting: every offered
+    sample is either emitted into the sink or counted as dropped.
+    """
+
+    def __init__(self, sink: Sink, *, seed: int = 0):
+        self.sink = sink
+        self.seed = seed
+        self.accounting = LaneAccounting(sink.name)
+
+    def push(self, batch: SampleBatch) -> SampleBatch:
+        """Offer one batch; returns what was actually emitted."""
+        acct = self.accounting
+        offered = len(batch.samples)
+        acct.offered += offered
+        cap = self.sink.capacity(offered)
+        if cap is not None and cap < offered:
+            kept = downsample(batch.samples, cap, self.seed, batch.seq)
+            dropped = offered - len(kept)
+            acct.dropped += dropped
+            # Always-on, like the msr fault counters: drop accounting
+            # must reconcile through the shared registry even when
+            # tracing is off.
+            _trace.incr("agent.samples.dropped", dropped)
+            batch = batch.with_samples(kept)
+        self.sink.emit(batch)
+        acct.emitted += len(batch.samples)
+        if _trace.TRACER.enabled:
+            _trace.incr("agent.samples.emitted", len(batch.samples))
+        return batch
+
+    def close(self) -> None:
+        self.sink.close()

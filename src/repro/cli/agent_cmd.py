@@ -1,0 +1,322 @@
+"""``likwid-agent`` command-line front-end.
+
+The paper demonstrates system monitoring by wrapping ``sleep``; this
+tool is that idiom as a real daemon loop: rotate through metric
+groups, one measurement window each, publish normalized samples to
+one or more sinks, never block on a slow sink (drops are counted, not
+silent).  Two modes::
+
+    likwid-agent -c 0-1 -g FLOPS_DP,MEM --rotations 5 --window 0.1
+    likwid-agent --fleet 50 -g FLOPS_DP,MEM,BRANCH --rotations 20 \\
+                 --msr-faults read_fault_rate=0.1 --verify
+
+Single-node mode monitors one simulated machine (``--arch``) through
+the selected access backend; fleet mode simulates a mixed-architecture
+fleet feeding one aggregation pipeline and prints the rollup.
+
+Exit codes:
+
+* 0 — success (accounting verified when ``--verify`` was given)
+* 1 — tool error, or ``--verify`` found unaccounted samples
+* 2 — usage error
+* 7 — run killed mid-session (``kill_after`` fault); state is dirty
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.cli.common import (EXIT_KILLED, add_access_mode_argument,
+                              add_arch_argument, add_journal_arguments,
+                              add_msr_faults_argument,
+                              add_profile_arguments, backend_from_args,
+                              check_journal_arguments, faults_from_args,
+                              machine_from_args, profiled, run_recovery,
+                              warn_orphaned_journal)
+from repro.errors import JournalError, ProcessKilled, ReproError
+
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+
+TOOL = "likwid-agent"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=TOOL,
+        description="Continuously monitor metric groups and publish "
+                    "normalized samples to pluggable sinks.")
+    parser.add_argument("-c", dest="cpus", default="0-1",
+                        help="cpu list to monitor (e.g. 0-3)")
+    parser.add_argument("-g", dest="groups", default="FLOPS_DP,MEM",
+                        help="comma-separated metric groups to rotate "
+                             "through (default: %(default)s)")
+    parser.add_argument("--window", type=float, default=0.1,
+                        help="seconds of measurement per group per "
+                             "rotation (default: %(default)s)")
+    parser.add_argument("--rotations", type=int, default=1,
+                        help="full passes through the group list "
+                             "(default: %(default)s)")
+    parser.add_argument("--sink", dest="sinks", action="append",
+                        metavar="SPEC", default=[],
+                        help="add a sink: jsonl:PATH, line:PATH or "
+                             "ring:CAPACITY (repeatable; default is an "
+                             "in-memory collector)")
+    parser.add_argument("--sink-capacity", dest="sink_capacity",
+                        type=int, default=None, metavar="N",
+                        help="samples each sink absorbs per push; "
+                             "excess is deterministically downsampled "
+                             "(back-pressure; default unbounded)")
+    parser.add_argument("--fleet", type=int, default=None, metavar="N",
+                        help="simulate an N-node mixed-architecture "
+                             "fleet feeding one aggregation pipeline "
+                             "(--arch then only seeds the catalog)")
+    parser.add_argument("--cpus-per-node", dest="cpus_per_node",
+                        type=int, default=2,
+                        help="monitored cpus per fleet node "
+                             "(default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for synthetic load, fleet "
+                             "derivation and downsampling "
+                             "(default: %(default)s)")
+    parser.add_argument("--overrun-rate", dest="overrun_rate",
+                        type=float, default=0.0,
+                        help="seeded fraction of windows that run long "
+                             "(default: %(default)s)")
+    parser.add_argument("--verify", action="store_true",
+                        help="reconcile sample accounting at the end "
+                             "(offered == emitted + dropped everywhere, "
+                             "pipeline ingest matches lane emits); any "
+                             "violation exits 1")
+    parser.add_argument("--json", dest="as_json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    parser.add_argument("--strict-io", action="store_true",
+                        dest="strict_io",
+                        help="treat degraded (NaN-producing) windows as "
+                             "errors instead of publishing NaN samples")
+    add_arch_argument(parser, default="nehalem_ep")
+    add_access_mode_argument(parser)
+    add_journal_arguments(parser)
+    add_msr_faults_argument(parser)
+    add_profile_arguments(parser)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli.common import restore_sigpipe
+    restore_sigpipe()
+    args = build_parser().parse_args(argv)
+    with profiled(args, TOOL):
+        try:
+            return _run(args)
+        except SystemExit as exc:
+            code = exc.code
+            if isinstance(code, int):
+                return code
+            if code:
+                print(code, file=sys.stderr)
+            return EXIT_USAGE if code else EXIT_OK
+
+
+def _parse_groups(spec: str) -> tuple[str, ...]:
+    groups = tuple(g.strip() for g in spec.split(",") if g.strip())
+    if not groups:
+        print(f"{TOOL}: -g needs at least one metric group",
+              file=sys.stderr)
+        raise SystemExit(EXIT_USAGE)
+    return groups
+
+
+def _open_sinks(args: argparse.Namespace):
+    """Build the sink list from ``--sink`` specs; returns the sinks
+    plus the file handles to close afterwards."""
+    from repro.agent import CollectorSink, JsonlSink, LineProtocolSink, \
+        RingSink
+    cap = args.sink_capacity
+    sinks, handles = [], []
+    for spec in args.sinks:
+        kind, _, operand = spec.partition(":")
+        if kind in ("jsonl", "line") and operand:
+            stream = open(operand, "w", encoding="utf-8")
+            handles.append(stream)
+            cls = JsonlSink if kind == "jsonl" else LineProtocolSink
+            sinks.append(cls(stream, max_batch=cap))
+        elif kind == "ring" and operand:
+            try:
+                sinks.append(RingSink(int(operand), max_batch=cap))
+            except ValueError as exc:
+                print(f"{TOOL}: bad --sink {spec!r}: {exc}",
+                      file=sys.stderr)
+                raise SystemExit(EXIT_USAGE) from None
+        else:
+            print(f"{TOOL}: bad --sink {spec!r} (want jsonl:PATH, "
+                  f"line:PATH or ring:CAPACITY)", file=sys.stderr)
+            raise SystemExit(EXIT_USAGE)
+    if not sinks:
+        sinks.append(CollectorSink(max_batch=cap))
+    return sinks, handles
+
+
+def _print_lanes(lanes) -> None:
+    print(f"{'sink':<12} {'offered':>8} {'emitted':>8} {'dropped':>8}")
+    for lane in lanes:
+        print(f"{lane.sink:<12} {lane.offered:>8} {lane.emitted:>8} "
+              f"{lane.dropped:>8}")
+
+
+def _print_rollup(rollup: dict) -> None:
+    for group, metrics in rollup.get("groups", {}).items():
+        print(f"Group {group}:")
+        for metric, stats in metrics.items():
+            print(f"  {metric:<32} n={stats['count']:<6} "
+                  f"p50={stats['p50']:<12.4g} p99={stats['p99']:<12.4g}")
+    sockets = rollup.get("sockets", {})
+    if sockets:
+        print("Socket totals:")
+        for ident, metrics in sockets.items():
+            for metric, total in metrics.items():
+                print(f"  {ident:<18} {metric:<32} {total:.4g}")
+
+
+def _verify(problems: list[str]) -> int:
+    if problems:
+        for problem in problems:
+            print(f"{TOOL}: accounting violation: {problem}",
+                  file=sys.stderr)
+        return EXIT_ERROR
+    # stderr so --json keeps stdout machine-parseable.
+    print(f"{TOOL}: accounting verified: every offered sample is "
+          f"emitted or counted dropped", file=sys.stderr)
+    return EXIT_OK
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    from repro.agent import (AgentConfig, Aggregator, AggregatorSink,
+                             MonitorAgent, SyntheticLoad)
+    from repro.core.affinity import parse_corelist
+    from repro.core.perfctr.groups import groups_for
+
+    machine = machine_from_args(args)
+    groups = _parse_groups(args.groups)
+    provided = groups_for(machine.spec)
+    unknown = [g for g in groups if g not in provided]
+    if unknown:
+        print(f"{TOOL}: unknown group(s) for {args.arch}: "
+              f"{', '.join(unknown)} (available: "
+              f"{', '.join(sorted(provided))})", file=sys.stderr)
+        return EXIT_USAGE
+    cpus = parse_corelist(args.cpus, max_cpu=machine.num_hwthreads - 1)
+
+    faults = faults_from_args(args, TOOL)
+    try:
+        backend = backend_from_args(machine, args, faults=faults)
+    except JournalError as exc:
+        print(f"{TOOL}: cannot load journal: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    warn_orphaned_journal(backend.driver, TOOL)
+
+    try:
+        config = AgentConfig(groups=groups, cpus=tuple(cpus),
+                             window=args.window,
+                             rotations=args.rotations,
+                             seed=args.seed, strict_io=args.strict_io)
+    except ReproError as exc:
+        print(f"{TOOL}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    aggregator = Aggregator()
+    sinks, handles = _open_sinks(args)
+    sinks.append(AggregatorSink(aggregator))
+    workload = SyntheticLoad(machine, cpus, seed=args.seed,
+                             overrun_rate=args.overrun_rate)
+    agent = MonitorAgent(machine, backend, config, sinks=tuple(sinks),
+                         workload=workload)
+    try:
+        report = agent.run()
+    finally:
+        for handle in handles:
+            handle.close()
+    for warning in agent.warnings:
+        print(f"{TOOL}: warning: {warning}", file=sys.stderr)
+
+    rollup = aggregator.rollup()
+    if args.as_json:
+        doc = {"node": config.node, "windows": report.windows,
+               "samples": report.samples, "batches": report.batches,
+               "lanes": [lane.as_dict() for lane in report.lanes],
+               "rollup": rollup}
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(f"Monitored {len(cpus)} cpu(s) on {args.arch}: "
+              f"{report.windows} window(s), {report.samples} sample(s)")
+        _print_lanes(report.lanes)
+        _print_rollup(rollup)
+    if args.verify:
+        return _verify(report.inconsistencies())
+    return EXIT_OK
+
+
+def _run_fleet(args: argparse.Namespace) -> int:
+    from repro.agent import FleetSimulator, default_fleet
+
+    if args.fleet < 1:
+        print(f"{TOOL}: --fleet needs at least one node",
+              file=sys.stderr)
+        return EXIT_USAGE
+    groups = _parse_groups(args.groups)
+    # Validate the spec string once up front (per-node plans re-seed it).
+    faults_from_args(args, TOOL)
+    nodes = default_fleet(args.fleet, seed=args.seed,
+                          faults=args.msr_faults,
+                          ingest_capacity=args.sink_capacity,
+                          overrun_rate=args.overrun_rate)
+    try:
+        sim = FleetSimulator(nodes, groups,
+                             cpus_per_node=args.cpus_per_node,
+                             window=args.window,
+                             rotations=args.rotations)
+        report = sim.run()
+    except (ValueError, ReproError) as exc:
+        print(f"{TOOL}: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.as_json:
+        doc = {"fleet": args.fleet,
+               "emitted": report.total_emitted,
+               "dropped": report.total_dropped,
+               "rollup": report.rollup}
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(f"Fleet of {args.fleet} node(s): "
+              f"{report.rollup['total_samples']} sample(s) ingested, "
+              f"{report.total_dropped} dropped by back-pressure")
+        _print_rollup(report.rollup)
+    if args.verify:
+        return _verify(report.inconsistencies())
+    return EXIT_OK
+
+
+def _run(args: argparse.Namespace) -> int:
+    usage = check_journal_arguments(args, TOOL)
+    if usage is not None:
+        print(usage, file=sys.stderr)
+        return EXIT_USAGE
+    if args.recover:
+        return run_recovery(args, TOOL)
+    try:
+        if args.fleet is not None:
+            return _run_fleet(args)
+        return _run_single(args)
+    except ProcessKilled as exc:
+        print(f"{TOOL}: killed mid-run: {exc}", file=sys.stderr)
+        return EXIT_KILLED
+    except ReproError as exc:
+        print(f"{TOOL}: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -161,6 +161,30 @@ def run_recovery(args: argparse.Namespace, tool: str) -> int:
     return 0 if report.clean else EXIT_RECOVERED
 
 
+def add_msr_faults_argument(parser: argparse.ArgumentParser) -> None:
+    """The deterministic fault-injection flag shared by the
+    counter-touching front-ends (and the agent's soak mode)."""
+    parser.add_argument(
+        "--msr-faults", dest="msr_faults", metavar="SPEC",
+        help="inject deterministic msr-driver faults, e.g. "
+             "'seed=7,read_fault_rate=0.1' or "
+             "'sticky=0x394,overflow_after=1000'")
+
+
+def faults_from_args(args: argparse.Namespace, tool: str):
+    """Parse ``--msr-faults`` into a FaultPlan; on a malformed spec
+    prints the uniform usage error and raises SystemExit(2)."""
+    spec = getattr(args, "msr_faults", None)
+    if not spec:
+        return None
+    from repro.oskern.msr_driver import FaultPlan
+    try:
+        return FaultPlan.from_string(spec)
+    except ValueError as exc:
+        print(f"{tool}: bad --msr-faults: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
 def add_profile_arguments(parser: argparse.ArgumentParser) -> None:
     """The self-observability flags every front-end shares: turn on
     :mod:`repro.trace` for the run and export what it saw."""

@@ -28,7 +28,8 @@ import sys
 from repro.cli.common import (EXIT_KILLED, EXIT_UNRECOVERABLE, WORKLOADS,
                               add_access_mode_argument, add_arch_argument,
                               add_journal_arguments, add_profile_arguments,
-                              backend_from_args, check_journal_arguments,
+                              add_msr_faults_argument, backend_from_args,
+                              check_journal_arguments, faults_from_args,
                               machine_from_args, profiled,
                               run_marked_workload, run_recovery, run_workload,
                               warn_orphaned_journal)
@@ -38,7 +39,6 @@ from repro.core.perfctr.groups import GROUP_FUNCTIONS, groups_for
 from repro.core.perfctr.output import render_header, render_result
 from repro.errors import (DegradedError, JournalError, MsrError,
                           ProcessKilled, ReproError, SimulatedInterrupt)
-from repro.oskern.msr_driver import FaultPlan
 from repro.oskern.scheduler import OSKernel
 
 EXIT_OK = 0
@@ -74,10 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--strict-io", action="store_true", dest="strict_io",
                         help="treat degraded (NaN-producing) measurements "
                              "as errors (exit 4) instead of warning")
-    parser.add_argument("--msr-faults", dest="msr_faults", metavar="SPEC",
-                        help="inject deterministic msr-driver faults, e.g. "
-                             "'seed=7,read_fault_rate=0.1' or "
-                             "'sticky=0x394,overflow_after=1000'")
+    add_msr_faults_argument(parser)
     parser.add_argument("workload", nargs="?", default="stream_icc",
                         help=f"simulated workload: {', '.join(WORKLOADS)}")
     add_arch_argument(parser, default="nehalem_ep")
@@ -131,14 +128,10 @@ def _run(args: argparse.Namespace) -> int:
     pin = cpus if args.pin else None
     group_name = args.group if ":" not in args.group else None
 
-    faults = None
-    if args.msr_faults:
-        try:
-            faults = FaultPlan.from_string(args.msr_faults)
-        except ValueError as exc:
-            print(f"likwid-perfctr: bad --msr-faults: {exc}",
-                  file=sys.stderr)
-            return EXIT_USAGE
+    try:
+        faults = faults_from_args(args, "likwid-perfctr")
+    except SystemExit:
+        return EXIT_USAGE
     try:
         backend = backend_from_args(machine, args, faults=faults)
     except JournalError as exc:

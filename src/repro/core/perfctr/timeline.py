@@ -13,6 +13,7 @@ interval.
 
 from __future__ import annotations
 
+import time as _time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -21,6 +22,8 @@ from repro.core.perfctr.counters import counter_delta
 from repro.core.perfctr.measurement import (LikwidPerfCtr, MeasurementResult,
                                             derive_metrics)
 from repro.errors import CounterError
+
+_NAN = float("nan")
 
 
 @dataclass
@@ -31,6 +34,62 @@ class TimelineSample:
     time: float                       # interval end, seconds since start
     counts: dict[int, dict[str, float]]   # deltas per cpu
     metrics: dict[int, dict[str, float]] = field(default_factory=dict)
+    duration: float = 0.0             # measured slice length, seconds
+
+
+def slice_duration(nominal: float, measured: float,
+                   returned: object) -> float:
+    """The actual length of one measurement slice.
+
+    A well-behaved slice fills exactly the nominal interval (a real
+    daemon sleeps out the remainder), but a slice that *overruns* —
+    the workload would not yield — lasted however long it lasted, and
+    pretending otherwise skews every derived rate.  A slice may
+    report its own duration by returning a positive number (how the
+    simulated workloads express an overrun deterministically);
+    otherwise the wall-clock measurement decides."""
+    if isinstance(returned, (int, float)) and not isinstance(returned, bool) \
+            and returned > 0.0:
+        return float(returned)
+    return max(nominal, measured)
+
+
+def timeline_deltas(current: dict[int, dict[str, float]],
+                    previous: dict[int, dict[str, float]],
+                    width: int) -> dict[int, dict[str, float]]:
+    """Per-cpu wrap-corrected deltas between two readouts.
+
+    Two degraded-readout hazards are handled here rather than in
+    :func:`counter_delta`:
+
+    * an event name *absent* from the previous readout has no
+      baseline — the delta is NaN, never ``current - 0.0`` (which
+      would fabricate a full-count delta out of thin air);
+    * a NaN previous value (degraded uncore read) makes this one
+      interval's delta NaN, and recovery is the caller's job: keep
+      the last *finite* reading as the baseline (see
+      :func:`advance_baseline`) so the next successful readout yields
+      a finite delta instead of NaN poisoning every later sample.
+    """
+    return {
+        cpu: {name: counter_delta(value, prev.get(name, _NAN), width)
+              for name, value in values.items()}
+        for cpu, values in current.items()
+        for prev in (previous.get(cpu, {}),)
+    }
+
+
+def advance_baseline(previous: dict[int, dict[str, float]],
+                     current: dict[int, dict[str, float]]) -> None:
+    """Fold a readout into the running baseline, keeping the last
+    finite value per event: a NaN reading (degraded uncore) must not
+    become the next interval's baseline, or one bad readout poisons
+    the sample after it too."""
+    for cpu, values in current.items():
+        prev = previous.setdefault(cpu, {})
+        for name, value in values.items():
+            if value == value:      # not NaN
+                prev[name] = value
 
 
 class TimelineMeasurement:
@@ -60,32 +119,33 @@ class TimelineMeasurement:
                         for cpu in self.session.cpus}
             now = 0.0
             for index in range(num_intervals):
-                run_slice(index, self.interval)
-                now += self.interval
+                began = _time.perf_counter()
+                returned = run_slice(index, self.interval)
+                # An overrunning slice really lasted longer than the
+                # nominal interval; advancing `now` by the nominal
+                # value anyway would skew every derived rate.
+                duration = slice_duration(
+                    self.interval, _time.perf_counter() - began, returned)
+                now += duration
                 current = {cpu: self.session.read_raw(cpu)
                            for cpu in self.session.cpus}
                 # Counters keep running between samples and are only
                 # `width` bits wide: a mid-interval wrap makes the raw
                 # difference negative, so correct it by one period.
-                deltas = {
-                    cpu: {name: counter_delta(current[cpu][name],
-                                              previous[cpu].get(name, 0.0),
-                                              width)
-                          for name in current[cpu]}
-                    for cpu in self.session.cpus
-                }
+                deltas = timeline_deltas(current, previous, width)
                 if _trace.TRACER.enabled:
                     _trace.incr("timeline.samples")
-                sample = TimelineSample(index, now, deltas)
+                sample = TimelineSample(index, now, deltas,
+                                        duration=duration)
                 if self.session.group is not None:
                     result = MeasurementResult(
                         cpus=list(self.session.cpus), counts=deltas,
-                        wall_time=self.interval, group=self.session.group)
+                        wall_time=duration, group=self.session.group)
                     derive_metrics(result, self.session.group,
                                    self.perfctr.machine.spec.clock_hz)
                     sample.metrics = result.metrics
                 self.samples.append(sample)
-                previous = current
+                advance_baseline(previous, current)
             self.session.stop()
         return self.samples
 

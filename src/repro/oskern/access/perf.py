@@ -48,9 +48,20 @@ class PerfEvent:
 
     def scaled(self, residue: int) -> float:
         """The kernel's extrapolation: observed counts scaled by the
-        fraction of the window the event was actually scheduled."""
+        fraction of the window the event was actually scheduled.
+
+        An event that was enabled but never scheduled onto a counter
+        (``time_running == 0`` with ``time_enabled > 0`` — rotation
+        starvation) cannot have observed anything; the kernel reports
+        0 for it, and so do we, even if stale residue sits on the
+        physical counter.  An event that was never even enabled
+        (both times zero) passes its raw total through: that is the
+        baseline-snapshot path, which must see preloaded counter
+        state as-is."""
         total = self.value + residue
         if self.time_running <= 0.0:
+            if self.time_enabled > 0.0:
+                return 0.0
             return 0.0 if total == 0 else float(total)
         return total * (self.time_enabled / self.time_running)
 

@@ -1,0 +1,138 @@
+"""FleetSimulator: mixed-arch fleets, one ingest pipeline, rollups."""
+
+import math
+
+import pytest
+
+from repro.agent import (Aggregator, AggregatorSink, FleetSimulator,
+                         NodeSpec, default_fleet)
+from repro.agent.batch import AgentSample, SampleBatch
+from repro.hw.arch import available
+
+
+def sample(node="n0", group="MEM", window=0, value=1.0, scope="cpu",
+           ident=0, metric="Memory bandwidth [MBytes/s]", seq=0):
+    return AgentSample(node, group, window, 0.1, scope, ident, metric,
+                       value, seq)
+
+
+class TestAggregator:
+    def test_percentiles_over_ingested_values(self):
+        agg = Aggregator()
+        samples = tuple(sample(value=float(i), seq=i) for i in range(100))
+        agg.ingest(SampleBatch("n0", "MEM", 0, 0.1, 0.1, samples))
+        stats = agg.rollup()["groups"]["MEM"][
+            "Memory bandwidth [MBytes/s]"]
+        assert stats["count"] == 100
+        assert stats["p50"] == pytest.approx(49.5)
+        assert stats["p99"] == pytest.approx(98.01)
+        assert stats["min"] == 0.0 and stats["max"] == 99.0
+
+    def test_nan_samples_counted_not_aggregated(self):
+        agg = Aggregator()
+        samples = (sample(value=float("nan"), seq=0),
+                   sample(value=5.0, seq=1))
+        agg.ingest(SampleBatch("n0", "MEM", 0, 0.1, 0.1, samples))
+        rollup = agg.rollup()
+        assert rollup["nodes"]["n0"]["nan_samples"] == 1
+        assert rollup["nodes"]["n0"]["samples"] == 2
+        stats = rollup["groups"]["MEM"]["Memory bandwidth [MBytes/s]"]
+        assert stats["count"] == 1 and not math.isnan(stats["mean"])
+
+    def test_socket_totals_accumulate_across_windows(self):
+        agg = Aggregator()
+        for window in range(3):
+            agg.ingest(SampleBatch("n0", "MEM", window, 0.1, 0.1,
+                                   (sample(scope="socket", window=window,
+                                           value=10.0, seq=window),)))
+        totals = agg.rollup()["sockets"]["n0/socket0"]
+        assert totals["Memory bandwidth [MBytes/s]"] == pytest.approx(30.0)
+
+    def test_aggregator_sink_exerts_back_pressure(self):
+        from repro.agent import SinkLane
+        agg = Aggregator()
+        lane = SinkLane(AggregatorSink(agg, max_batch=3))
+        samples = tuple(sample(seq=i, value=float(i)) for i in range(10))
+        lane.push(SampleBatch("n0", "MEM", 0, 0.1, 0.1, samples))
+        assert lane.accounting.dropped == 7
+        assert agg.node_samples("n0") == 3 == lane.accounting.emitted
+
+
+class TestDefaultFleet:
+    def test_round_robins_archs_and_modes(self):
+        nodes = default_fleet(8, seed=4)
+        archs = {n.arch for n in nodes}
+        modes = {n.access_mode for n in nodes}
+        assert len(archs) == min(8, len(available()))
+        assert modes == {"msr", "perf"}
+        assert len({n.seed for n in nodes}) == 8
+        assert [n.name for n in nodes] == [f"node{i:03d}" for i in range(8)]
+
+    def test_fault_template_reseeded_per_node(self):
+        nodes = default_fleet(3, seed=10, faults="read_fault_rate=0.1")
+        assert [n.faults for n in nodes] == [
+            "seed=10,read_fault_rate=0.1",
+            "seed=11,read_fault_rate=0.1",
+            "seed=12,read_fault_rate=0.1"]
+
+    def test_explicit_seed_in_template_is_kept(self):
+        nodes = default_fleet(2, faults="seed=99,read_fault_rate=0.5")
+        assert all(n.faults == "seed=99,read_fault_rate=0.5"
+                   for n in nodes)
+
+
+class TestFleetSimulator:
+    def test_mixed_fleet_produces_consistent_rollup(self):
+        nodes = default_fleet(6, seed=1)
+        sim = FleetSimulator(nodes, ("FLOPS_DP", "MEM"),
+                             window=0.02, rotations=2)
+        report = sim.run()
+        assert not report.inconsistencies()
+        rollup = report.rollup
+        assert set(rollup["nodes"]) == {n.name for n in nodes}
+        assert rollup["total_samples"] == report.total_emitted
+        for node in rollup["nodes"].values():
+            assert node["windows"] == 4        # 2 groups x 2 rotations
+        assert set(rollup["groups"]) == {"FLOPS_DP", "MEM"}
+
+    def test_unsupported_groups_filtered_per_node(self):
+        # L3 is Nehalem-only among these two; the banias node monitors
+        # the subset it supports instead of failing the whole fleet.
+        nodes = [NodeSpec("a", arch="nehalem_ep"),
+                 NodeSpec("b", arch="banias", seed=1)]
+        sim = FleetSimulator(nodes, ("FLOPS_DP", "L3"),
+                             window=0.02, rotations=1)
+        report = sim.run()
+        assert report.rollup["nodes"]["a"]["windows"] == 2
+        assert report.rollup["nodes"]["b"]["windows"] == 1
+
+    def test_node_with_no_supported_group_raises(self):
+        nodes = [NodeSpec("a", arch="banias")]
+        sim = FleetSimulator(nodes, ("L3",), window=0.02)
+        with pytest.raises(ValueError, match="supports none"):
+            sim.run()
+
+    def test_ingest_capacity_drops_are_accounted(self):
+        nodes = default_fleet(4, seed=2, ingest_capacity=5)
+        sim = FleetSimulator(nodes, ("FLOPS_DP", "MEM"),
+                             window=0.02, rotations=2)
+        report = sim.run()
+        assert report.total_dropped > 0
+        assert not report.inconsistencies()
+        for name, agent_report in report.reports.items():
+            emitted = sum(lane.emitted for lane in agent_report.lanes)
+            assert report.ingested[name] == emitted
+
+    def test_fleet_replay_is_deterministic(self):
+        rollups = []
+        for _ in range(2):
+            nodes = default_fleet(3, seed=7,
+                                  faults="read_fault_rate=0.05")
+            sim = FleetSimulator(nodes, ("FLOPS_DP", "MEM"),
+                                 window=0.02, rotations=2)
+            rollups.append(sim.run().rollup)
+        assert rollups[0] == rollups[1]
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            FleetSimulator([], ("MEM",))

@@ -1,0 +1,158 @@
+"""Sink layer: back-pressure, deterministic downsampling, accounting.
+
+The satellite coverage ISSUE 8 demands: downsampling is reproducible
+under a fixed seed, drop counters reconcile *exactly* (``offered ==
+emitted + dropped`` on every lane), and the ring sink evicts oldest
+first so ``latest()`` is always newest-first.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import trace
+from repro.agent import (AgentSample, CollectorSink, JsonlSink,
+                         LineProtocolSink, RingSink, SampleBatch,
+                         SinkLane, downsample)
+
+
+def make_samples(n, *, window=0, node="n0", group="FLOPS_DP"):
+    return tuple(
+        AgentSample(node, group, window, 0.1 * (window + 1), "cpu",
+                    i % 2, f"metric{i}", float(i), seq=window * n + i)
+        for i in range(n))
+
+
+def make_batch(n, *, window=0, seq=None, node="n0"):
+    return SampleBatch(node, "FLOPS_DP", window, 0.1 * (window + 1),
+                       0.1, make_samples(n, window=window, node=node),
+                       seq=window if seq is None else seq)
+
+
+class TestDownsample:
+    def test_deterministic_under_fixed_seed(self):
+        samples = make_samples(20)
+        first = downsample(samples, 7, 42, 3)
+        second = downsample(samples, 7, 42, 3)
+        assert first == second
+        assert len(first) == 7
+
+    def test_different_batch_seq_changes_selection(self):
+        samples = make_samples(50)
+        assert downsample(samples, 10, 42, 0) != \
+            downsample(samples, 10, 42, 1)
+
+    def test_different_seed_changes_selection(self):
+        samples = make_samples(50)
+        assert downsample(samples, 10, 1, 0) != downsample(samples, 10, 2, 0)
+
+    def test_survivors_keep_original_order(self):
+        samples = make_samples(30)
+        kept = downsample(samples, 11, 7, 0)
+        seqs = [s.seq for s in kept]
+        assert seqs == sorted(seqs)
+
+    def test_keep_all_and_keep_none(self):
+        samples = make_samples(5)
+        assert downsample(samples, 5, 0, 0) == list(samples)
+        assert downsample(samples, 9, 0, 0) == list(samples)
+        assert downsample(samples, 0, 0, 0) == []
+
+
+class TestLaneAccounting:
+    def test_drops_reconcile_exactly(self):
+        sink = CollectorSink(max_batch=6)
+        lane = SinkLane(sink, seed=3)
+        for window in range(10):
+            lane.push(make_batch(9, window=window))
+        acct = lane.accounting
+        assert acct.offered == 90
+        assert acct.emitted == 60
+        assert acct.dropped == 30
+        assert acct.consistent
+        assert len(sink.samples) == acct.emitted
+
+    def test_unbounded_sink_never_drops(self):
+        lane = SinkLane(CollectorSink())
+        for window in range(5):
+            lane.push(make_batch(4, window=window))
+        assert lane.accounting.dropped == 0
+        assert lane.accounting.offered == lane.accounting.emitted == 20
+
+    def test_drop_counter_surfaced_in_trace_registry(self):
+        trace.reset()
+        lane = SinkLane(CollectorSink(max_batch=2), seed=1)
+        lane.push(make_batch(10))
+        # Always-on, even with tracing disabled (like msr.faults.*).
+        assert not trace.TRACER.enabled
+        assert trace.metrics().value("agent.samples.dropped") == 8
+
+    def test_replayed_lane_emits_identical_stream(self):
+        kept = []
+        for _ in range(2):
+            sink = CollectorSink(max_batch=5)
+            lane = SinkLane(sink, seed=9)
+            for window in range(6):
+                lane.push(make_batch(8, window=window))
+            kept.append([s.seq for s in sink.samples])
+        assert kept[0] == kept[1]
+
+
+class TestRingSink:
+    def test_eviction_preserves_newest_first_ordering(self):
+        ring = RingSink(10)
+        lane = SinkLane(ring)
+        for window in range(5):
+            lane.push(make_batch(4, window=window))
+        assert len(ring) == 10
+        assert ring.evicted == 10
+        latest = ring.latest()
+        seqs = [s.seq for s in latest]
+        assert seqs == sorted(seqs, reverse=True)
+        assert seqs[0] == 19          # the newest sample survives
+        assert ring.latest(3) == latest[:3]
+
+    def test_eviction_is_not_a_drop(self):
+        ring = RingSink(3)
+        lane = SinkLane(ring)
+        lane.push(make_batch(9))
+        assert lane.accounting.dropped == 0
+        assert lane.accounting.emitted == 9
+        assert ring.evicted == 6
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingSink(0)
+
+
+class TestFileSinks:
+    def test_jsonl_round_trips(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        SinkLane(sink).push(make_batch(4))
+        lines = buf.getvalue().strip().splitlines()
+        assert len(lines) == 4 == sink.lines
+        doc = json.loads(lines[0])
+        assert doc["node"] == "n0" and doc["scope"] == "cpu"
+
+    def test_line_protocol_escapes_tags(self):
+        sink = LineProtocolSink(io.StringIO())
+        sample = AgentSample("n 0", "ME,M", 0, 0.5, "socket", 1,
+                             "Memory bandwidth [MBytes/s]", 123.5)
+        line = sink.format(sample)
+        tags, _, rest = line.partition(" value=")
+        assert "node=n\\ 0" in tags
+        assert "group=ME\\,M" in tags
+        assert "metric=Memory\\ bandwidth\\ [MBytes/s]" in tags
+        value, _, stamp = rest.partition(" ")
+        assert float(value) == 123.5
+        assert stamp == str(int(0.5 * 1e9))
+
+    def test_line_protocol_writes_one_line_per_sample(self):
+        buf = io.StringIO()
+        sink = LineProtocolSink(buf, measurement="m")
+        SinkLane(sink).push(make_batch(3))
+        lines = buf.getvalue().strip().splitlines()
+        assert len(lines) == 3 == sink.lines
+        assert all(line.startswith("m,node=n0,") for line in lines)

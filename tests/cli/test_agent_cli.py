@@ -1,0 +1,99 @@
+"""likwid-agent front-end smoke tests."""
+
+import json
+
+from repro.cli.agent_cmd import main
+
+
+class TestSingleNode:
+    def test_basic_run_verifies(self, capsys):
+        code = main(["-c", "0-1", "-g", "FLOPS_DP,MEM",
+                     "--window", "0.02", "--rotations", "2", "--verify"])
+        captured = capsys.readouterr()
+        out = captured.out
+        assert code == 0
+        assert "4 window(s)" in out
+        assert "accounting verified" in captured.err
+        assert "Group FLOPS_DP:" in out and "Group MEM:" in out
+        assert "flops_any [MFlops/s]" in out
+
+    def test_json_output(self, capsys):
+        code = main(["-c", "0", "-g", "FLOPS_DP", "--window", "0.02",
+                     "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["windows"] == 1
+        lanes = {lane["sink"]: lane for lane in doc["lanes"]}
+        assert lanes["collector"]["offered"] == doc["samples"]
+        assert "FLOPS_DP" in doc["rollup"]["groups"]
+
+    def test_file_sinks_and_backpressure(self, tmp_path, capsys):
+        jsonl = tmp_path / "agent.jsonl"
+        line = tmp_path / "agent.lp"
+        code = main(["-c", "0-1", "-g", "MEM", "--window", "0.02",
+                     "--rotations", "3",
+                     "--sink", f"jsonl:{jsonl}",
+                     "--sink", f"line:{line}",
+                     "--sink", "ring:8",
+                     "--sink-capacity", "4", "--verify", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        lanes = {lane["sink"]: lane for lane in doc["lanes"]}
+        assert lanes["jsonl"]["dropped"] > 0
+        assert lanes["jsonl"]["offered"] == \
+            lanes["jsonl"]["emitted"] + lanes["jsonl"]["dropped"]
+        assert len(jsonl.read_text().splitlines()) == \
+            lanes["jsonl"]["emitted"]
+        assert len(line.read_text().splitlines()) == \
+            lanes["line"]["emitted"]
+
+    def test_fault_injection_with_perf_backend(self, capsys):
+        code = main(["-c", "0-1", "-g", "FLOPS_DP", "--window", "0.02",
+                     "--rotations", "2", "--access-mode", "perf",
+                     "--msr-faults", "seed=3,read_fault_rate=0.1",
+                     "--verify"])
+        assert code == 0
+        assert "accounting verified" in capsys.readouterr().err
+
+
+class TestFleet:
+    def test_fleet_run_verifies(self, capsys):
+        code = main(["--fleet", "6", "-g", "FLOPS_DP,MEM,BRANCH",
+                     "--window", "0.02", "--rotations", "2",
+                     "--msr-faults", "read_fault_rate=0.1",
+                     "--sink-capacity", "6", "--verify"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Fleet of 6 node(s)" in captured.out
+        assert "accounting verified" in captured.err
+
+    def test_fleet_json_rollup(self, capsys):
+        code = main(["--fleet", "4", "-g", "MEM", "--window", "0.02",
+                     "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["fleet"] == 4
+        assert len(doc["rollup"]["nodes"]) == 4
+        assert doc["emitted"] == doc["rollup"]["total_samples"]
+
+    def test_zero_nodes_is_usage_error(self, capsys):
+        assert main(["--fleet", "0"]) == 2
+
+
+class TestUsageErrors:
+    def test_unknown_group(self, capsys):
+        assert main(["-g", "NOPE"]) == 2
+        assert "unknown group" in capsys.readouterr().err
+
+    def test_bad_sink_spec(self, capsys):
+        assert main(["--sink", "nope:x"]) == 2
+
+    def test_bad_fault_spec(self, capsys):
+        assert main(["--msr-faults", "wat=1"]) == 2
+        assert "bad --msr-faults" in capsys.readouterr().err
+
+    def test_empty_group_list(self, capsys):
+        assert main(["-g", " , "]) == 2
+
+    def test_contradictory_journal_flags(self, capsys):
+        assert main(["--recover", "--no-journal"]) == 2

@@ -149,6 +149,42 @@ class TestMultiplexScaling:
         assert scalar["raw"] < 20 * 300.0
         assert 0.0 < packed["time_running"] < packed["time_enabled"]
 
+    def test_starved_event_reports_zero(self):
+        """Regression (ISSUE 8): an event that was enabled but never
+        scheduled (``time_running == 0`` with ``time_enabled > 0``)
+        cannot have observed anything — stale residue on the physical
+        counter must not be reported as its count."""
+        from repro.oskern.access.perf import PerfEvent
+        starved = PerfEvent(3, None)
+        starved.time_enabled = 0.5
+        starved.time_running = 0.0
+        assert starved.scaled(12345) == 0.0
+        assert starved.scaled(0) == 0.0
+        # Never *enabled* is different: the baseline snapshot taken
+        # before any tick must see preloaded counter state raw.
+        unstarted = PerfEvent(4, None)
+        assert unstarted.scaled(777) == 777.0
+
+    def test_rotation_starvation_in_read_events(self):
+        """The fd-level view of the same bug: after one tick the
+        rotation has scheduled set 1, which has not been credited any
+        running time yet — stale counts poked onto its counter must
+        read back as a scaled estimate of 0, not as raw truth."""
+        machine, backend, assignments = self._run(ticks=1)
+        ctx = backend._cpus[0]
+        active = {ev.assignment.event.name
+                  for ev in ctx.sets[ctx.active]}
+        # Simulate stale residue: counts the active-but-never-ticked
+        # event could not have observed.
+        addr = assignments[0].counter.counter_addr
+        machine.msr[0].poke(addr, 999_999)
+        starved = [r for r in backend.read_events(0)
+                   if r["event"] in active and r["time_running"] == 0.0]
+        assert starved, "expected a scheduled-but-never-ticked event"
+        for record in starved:
+            assert record["time_enabled"] > 0.0
+            assert record["scaled"] == 0.0
+
     def test_in_capacity_context_is_never_scaled(self):
         machine = create_machine("nehalem_ep")
         backend = open_backend("perf", machine)

@@ -1,9 +1,14 @@
 """Tests for timeline (periodic-sampling) mode."""
 
+import math
+import time
+
 import pytest
 
 from repro.core.perfctr import LikwidPerfCtr
-from repro.core.perfctr.timeline import TimelineMeasurement, render_timeline
+from repro.core.perfctr.timeline import (TimelineMeasurement,
+                                         advance_baseline, render_timeline,
+                                         timeline_deltas)
 from repro.errors import CounterError
 from repro.hw.arch import create_machine
 from repro.hw.events import Channel
@@ -77,6 +82,95 @@ class TestTimeline:
         timeline = TimelineMeasurement(perfctr, [0], "L1D_REPL:PMC0")
         with pytest.raises(CounterError, match="interval"):
             timeline.run(lambda i, dt: None, 0)
+
+    def test_overrun_slice_advances_actual_time(self, machine):
+        """Regression (ISSUE 8): a slice that overruns its nominal
+        interval must advance the timeline clock by the *measured*
+        duration, not the nominal one — otherwise every derived rate
+        is skewed by the overrun factor."""
+        timeline = TimelineMeasurement(LikwidPerfCtr(machine), [0],
+                                       "FLOPS_DP", interval=0.5)
+
+        def run(index, interval):
+            # The second slice would not yield for 2.0 s (4x overrun);
+            # slices report their own duration like the simulated
+            # workloads do.
+            actual = 2.0 if index == 1 else interval
+            machine.apply_counts(
+                {0: {Channel.FLOPS_PACKED_DP: 1e6 * actual}},
+                elapsed_seconds=actual)
+            return actual
+
+        samples = timeline.run(run, 3)
+        assert [s.duration for s in samples] == [0.5, 2.0, 0.5]
+        assert [s.time for s in samples] == [0.5, 2.5, 3.0]
+        # Constant intensity => constant rate, even across the overrun
+        # (before the fix the overrun sample reported 4x the rate).
+        mflops = timeline.metric_series(0, "DP MFlops/s")
+        assert mflops[1] == pytest.approx(mflops[0], rel=0.01)
+        assert mflops[2] == pytest.approx(mflops[0], rel=0.01)
+
+    def test_wall_clock_overrun_is_measured(self, machine):
+        """A slice that simply takes too long (no self-report) is
+        timed with the wall clock."""
+        timeline = TimelineMeasurement(LikwidPerfCtr(machine), [0],
+                                       "L1D_REPL:PMC0", interval=0.001)
+
+        def run(index, interval):
+            machine.apply_counts({0: {Channel.L1D_REPLACEMENT: 10.0}})
+            time.sleep(0.03)
+
+        samples = timeline.run(run, 1)
+        assert samples[0].duration >= 0.03
+        assert samples[0].time == samples[0].duration
+
+    def test_nan_readout_does_not_poison_next_delta(self, machine):
+        """Regression (ISSUE 8): one degraded (NaN) readout must cost
+        exactly one NaN sample; the next successful readout computes
+        its delta against the last *finite* baseline."""
+        timeline = TimelineMeasurement(LikwidPerfCtr(machine), [0],
+                                       "L1D_REPL:PMC0", interval=0.5)
+        session = timeline.session
+        real_read = session.read_raw
+        degraded = {1}
+
+        def read_raw(cpu):
+            values = real_read(cpu)
+            if read_raw.interval in degraded:
+                values["L1D_REPL"] = float("nan")
+            return values
+        read_raw.interval = -1      # the pre-loop baseline readout
+
+        session.read_raw = read_raw
+
+        def run(index, interval):
+            read_raw.interval = index
+            machine.apply_counts({0: {Channel.L1D_REPLACEMENT: 100.0}},
+                                 elapsed_seconds=interval)
+
+        timeline.run(run, 3)
+        series = timeline.series(0, "L1D_REPL")
+        assert series[0] == 100.0
+        assert math.isnan(series[1])          # the degraded interval
+        # Recovery: the delta spans the degraded interval and lands on
+        # its true two-interval count — finite, never NaN.
+        assert series[2] == 200.0
+
+    def test_absent_name_cannot_fabricate_full_count(self, machine):
+        """Regression (ISSUE 8): an event name missing from the
+        previous readout has no baseline; its delta is NaN, not the
+        full cumulative count."""
+        current = {0: {"L1D_REPL": 5000.0, "NEW_EVENT": 4096.0}}
+        previous = {0: {"L1D_REPL": 4900.0}}
+        deltas = timeline_deltas(current, previous, width=48)
+        assert deltas[0]["L1D_REPL"] == 100.0
+        assert math.isnan(deltas[0]["NEW_EVENT"])
+
+    def test_advance_baseline_keeps_last_finite(self):
+        previous = {0: {"A": 10.0, "B": 20.0}}
+        advance_baseline(previous, {0: {"A": float("nan"), "B": 30.0,
+                                        "C": 1.0}})
+        assert previous == {0: {"A": 10.0, "B": 30.0, "C": 1.0}}
 
     def test_render(self, machine):
         timeline = TimelineMeasurement(LikwidPerfCtr(machine), [0],
