@@ -1,0 +1,47 @@
+"""Benchmark: the concurrent-session server's hot paths (ISSUE 9).
+
+Two medians recorded into ``BENCH_baseline.json`` and gated by
+``tools/bench_gate.py`` (>25% regression fails CI):
+
+``test_server_submit_roundtrip``
+    One submit→grant→measure→complete cycle through the synchronous
+    scheduler core — the per-session floor every client pays (driver
+    open, epoch, lease, session program/read/teardown, accounting).
+
+``test_server_load_1k_sessions``
+    A full 1000-session load-test mix through the whole stack —
+    asyncio multiplexer, TCP protocol, concurrent clients, fairness
+    queue, deadline expiry and preemption — priced end to end.
+"""
+
+from repro.server.loadtest import LoadTestConfig, run_load_test
+from repro.server.scheduler import NodeScheduler, SessionRequest
+
+
+def test_server_submit_roundtrip(benchmark):
+    sched = NodeScheduler("bench0", "westmere_ep", lease_limit=10.0)
+    seeds = iter(range(10_000_000))
+
+    def roundtrip():
+        sess = sched.submit(SessionRequest(
+            "bench0", (0, 1), "FLOPS_DP", windows=1, window=0.05,
+            seed=next(seeds)))
+        sched.run_to_idle()
+        return sess
+
+    sess = benchmark(roundtrip)
+    assert sess.state.value == "completed"
+    acc = sched.accounting()
+    assert acc["completed"] == acc["submitted"]
+    assert acc["pending"] == 0
+
+
+def test_server_load_1k_sessions(benchmark):
+    config = LoadTestConfig(
+        sessions=1000, clients=100, nodes=8, tenants=4, seed=42,
+        deadline_fraction=0.1, long_fraction=0.04)
+
+    report = benchmark.pedantic(lambda: run_load_test(config),
+                                rounds=3, iterations=1)
+    assert report.accounting_errors() == []
+    assert report.counts["completed"] > 800

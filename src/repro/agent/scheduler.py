@@ -67,12 +67,19 @@ class SyntheticLoad:
     """
 
     def __init__(self, machine: SimMachine, cpus, *, seed: int = 0,
-                 overrun_rate: float = 0.0, overrun_factor: float = 3.0):
+                 overrun_rate: float = 0.0, overrun_factor: float = 3.0,
+                 sockets: tuple[int, ...] | None = None):
         self.machine = machine
         self.cpus = list(cpus)
         self.seed = seed
         self.overrun_rate = overrun_rate
         self.overrun_factor = overrun_factor
+        # Restrict uncore application to these sockets (repro.server:
+        # concurrent sessions on disjoint sockets must not perturb
+        # each other's uncore counts — bit-identity to a standalone
+        # run depends on it).  None keeps the historical behavior of
+        # driving every socket's uncore clock.
+        self.sockets = tuple(sockets) if sockets is not None else None
 
     def _utilization(self, window: int, cpu: int) -> float:
         phase = 0.7 * window + 0.45 * cpu + 0.13 * self.seed
@@ -115,7 +122,9 @@ class SyntheticLoad:
         uncore = None
         if self.machine.spec.pmu.has_uncore:
             uncore = {}
-            for socket in range(self.machine.spec.sockets):
+            sockets = self.sockets if self.sockets is not None \
+                else range(self.machine.spec.sockets)
+            for socket in sockets:
                 busy = sum(core[c][Channel.CORE_CYCLES]
                            for c in self.cpus
                            if self.machine.spec.socket_of(c) == socket)

@@ -88,13 +88,14 @@ _CACHE: dict[str, tuple[int, int, tuple]] = {}
 
 def protocol_sources() -> list[str]:
     """The sources bound by the protocol invariants: the os-kernel
-    layer, the perfctr tool layer (incl. likwid-features) and every
-    CLI front-end."""
+    layer, the perfctr tool layer (incl. likwid-features), the
+    concurrent-session server and every CLI front-end."""
     import repro
     base = os.path.dirname(repro.__file__)
     roots = [os.path.join(base, "oskern"),
              os.path.join(base, "core", "perfctr"),
              os.path.join(base, "core", "features.py"),
+             os.path.join(base, "server"),
              os.path.join(base, "cli")]
     files: list[str] = []
     for root in roots:

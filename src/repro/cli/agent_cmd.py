@@ -70,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="samples each sink absorbs per push; "
                              "excess is deterministically downsampled "
                              "(back-pressure; default unbounded)")
+    parser.add_argument("--server", metavar="HOST:PORT", default=None,
+                        help="also ship every batch to a running "
+                             "likwid-server for central aggregation "
+                             "(single-node mode)")
     parser.add_argument("--fleet", type=int, default=None, metavar="N",
                         help="simulate an N-node mixed-architecture "
                              "fleet feeding one aggregation pipeline "
@@ -230,6 +234,15 @@ def _run_single(args: argparse.Namespace) -> int:
     aggregator = Aggregator()
     sinks, handles = _open_sinks(args)
     sinks.append(AggregatorSink(aggregator))
+    client = None
+    if args.server:
+        from repro.server.client import SyncServerClient, parse_endpoint
+        from repro.server.ingest import ServerIngestSink
+        host, port = parse_endpoint(args.server)
+        client = SyncServerClient(host, port)
+        client.connect()
+        sinks.append(ServerIngestSink(client,
+                                      max_batch=args.sink_capacity))
     workload = SyntheticLoad(machine, cpus, seed=args.seed,
                              overrun_rate=args.overrun_rate)
     agent = MonitorAgent(machine, backend, config, sinks=tuple(sinks),
@@ -239,6 +252,8 @@ def _run_single(args: argparse.Namespace) -> int:
     finally:
         for handle in handles:
             handle.close()
+        if client is not None:
+            client.close()
     for warning in agent.warnings:
         print(f"{TOOL}: warning: {warning}", file=sys.stderr)
 

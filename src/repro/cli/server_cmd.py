@@ -1,0 +1,296 @@
+"""``likwid-server`` command-line front-end (the tenth tool).
+
+Three subcommands::
+
+    likwid-server serve --nodes 4 --arch westmere_ep --port 7710
+    likwid-server submit --server 127.0.0.1:7710 --node node000 \\
+                  -c 0,1 -g FLOPS_DP --windows 2
+    likwid-server load-test --sessions 1000 --clients 200 --nodes 8 \\
+                  --tenants 4 --msr-faults read_fault_rate=0.1 --verify
+
+``serve`` hosts a fleet of simulated nodes behind the JSON-lines TCP
+protocol; ``submit`` runs one measurement session against a live
+server and prints its terminal document; ``load-test`` boots the
+whole stack in-process and drives it with hundreds of concurrent
+clients, reporting throughput, queue-wait percentiles, fairness and
+exact terminal-state accounting (see docs/likwid-server.md).
+
+Exit codes:
+
+* 0 — success (``--verify`` reconciled, when given)
+* 1 — tool error, or ``--verify`` found a violation
+* 2 — usage error
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.cli.common import (add_arch_argument, add_msr_faults_argument,
+                              add_profile_arguments, faults_from_args,
+                              profiled)
+from repro.errors import ReproError
+
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+
+TOOL = "likwid-server"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=TOOL,
+        description="Serve concurrent measurement sessions over a "
+                    "fleet of simulated nodes, or load-test the "
+                    "scheduler.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="host a fleet behind the JSON-lines TCP protocol")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=7710,
+                       help="bind port; 0 picks a free one "
+                            "(default: %(default)s)")
+    serve.add_argument("--nodes", type=int, default=4,
+                       help="fleet size (default: %(default)s)")
+    serve.add_argument("--lease-limit", dest="lease_limit", type=float,
+                       default=1.0,
+                       help="virtual seconds a granted lease may hold "
+                            "its sockets before preemption "
+                            "(default: %(default)s)")
+    serve.add_argument("--max-queue", dest="max_queue", type=int,
+                       default=64,
+                       help="per-node wait-queue bound; excess "
+                            "submissions are rejected "
+                            "(default: %(default)s)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="base seed for per-node fault derivation "
+                            "(default: %(default)s)")
+    add_arch_argument(serve)
+    add_msr_faults_argument(serve)
+    add_profile_arguments(serve)
+
+    submit = sub.add_parser(
+        "submit", help="run one session against a live server")
+    submit.add_argument("--server", required=True, metavar="HOST:PORT",
+                        help="server endpoint to connect to")
+    submit.add_argument("--node", required=True,
+                        help="node name to measure on (see ping)")
+    submit.add_argument("-c", dest="cpus", default="0",
+                        help="cpu list to measure (e.g. 0,1)")
+    submit.add_argument("-g", dest="group", default="FLOPS_DP",
+                        help="metric group (default: %(default)s)")
+    submit.add_argument("--tenant", default="default",
+                        help="fairness accounting identity "
+                             "(default: %(default)s)")
+    submit.add_argument("--windows", type=int, default=1,
+                        help="measurement windows under the lease "
+                             "(default: %(default)s)")
+    submit.add_argument("--window", type=float, default=0.1,
+                        help="virtual seconds per window "
+                             "(default: %(default)s)")
+    submit.add_argument("--deadline", type=float, default=None,
+                        help="max virtual seconds to wait queued "
+                             "before timing out (default: none)")
+    submit.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default: %(default)s)")
+    submit.add_argument("--json", dest="as_json", action="store_true",
+                        help="print the full terminal session document")
+    add_profile_arguments(submit)
+
+    load = sub.add_parser(
+        "load-test", help="boot the stack in-process and hammer it "
+                          "with concurrent clients")
+    load.add_argument("--sessions", type=int, default=200,
+                      help="total session submissions "
+                           "(default: %(default)s)")
+    load.add_argument("--clients", type=int, default=50,
+                      help="concurrent client connections "
+                           "(default: %(default)s)")
+    load.add_argument("--nodes", type=int, default=4,
+                      help="fleet size (default: %(default)s)")
+    load.add_argument("--tenants", type=int, default=4,
+                      help="tenant population, load skewed toward "
+                           "tenant 0 (default: %(default)s)")
+    load.add_argument("--seed", type=int, default=0,
+                      help="mix seed; same seed, same request stream "
+                           "(default: %(default)s)")
+    load.add_argument("--window", type=float, default=0.05,
+                      help="virtual seconds per window "
+                           "(default: %(default)s)")
+    load.add_argument("--deadline-fraction", dest="deadline_fraction",
+                      type=float, default=0.1,
+                      help="fraction of sessions given a tight "
+                           "deadline (default: %(default)s)")
+    load.add_argument("--long-fraction", dest="long_fraction",
+                      type=float, default=0.05,
+                      help="fraction of sessions long enough to be "
+                           "preempted (default: %(default)s)")
+    load.add_argument("--lease-limit", dest="lease_limit", type=float,
+                      default=1.0,
+                      help="preemption threshold, virtual seconds "
+                           "(default: %(default)s)")
+    load.add_argument("--verify", action="store_true",
+                      help="reconcile exact terminal-state accounting "
+                           "and replay completed sessions standalone "
+                           "(bit-identity); any violation exits 1")
+    load.add_argument("--verify-sample", dest="verify_sample",
+                      type=int, default=None, metavar="N",
+                      help="cap the bit-identity replay to N evenly "
+                           "spaced completed sessions (default: all)")
+    load.add_argument("--json", dest="as_json", action="store_true",
+                      help="emit the report as JSON instead of text")
+    add_arch_argument(load)
+    add_msr_faults_argument(load)
+    add_profile_arguments(load)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli.common import restore_sigpipe
+    restore_sigpipe()
+    args = build_parser().parse_args(argv)
+    with profiled(args, TOOL):
+        try:
+            return _run(args)
+        except SystemExit as exc:
+            code = exc.code
+            if isinstance(code, int):
+                return code
+            if code:
+                print(code, file=sys.stderr)
+            return EXIT_USAGE if code else EXIT_OK
+
+
+def _run(args: argparse.Namespace) -> int:
+    try:
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "submit":
+            return _run_submit(args)
+        return _run_load_test(args)
+    except ReproError as exc:
+        print(f"{TOOL}: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server.loadtest import LoadTestConfig, node_specs
+    from repro.server.protocol import ProtocolServer
+    from repro.server.server import ReproServer
+
+    faults_from_args(args, TOOL)    # validate the spec up front
+    config = LoadTestConfig(nodes=args.nodes, arch=args.arch,
+                            seed=args.seed, faults=args.msr_faults,
+                            lease_limit=args.lease_limit)
+    specs = node_specs(config)
+    server = ReproServer.from_specs(specs,
+                                    lease_limit=args.lease_limit,
+                                    max_queue=args.max_queue)
+
+    async def serve() -> None:
+        proto = ProtocolServer(server)
+        host, port = await proto.start(args.host, args.port)
+        print(f"{TOOL}: serving {len(specs)} {args.arch} node(s) on "
+              f"{host}:{port} ({', '.join(s.name for s in specs)})",
+              file=sys.stderr)
+        try:
+            await proto.serve_forever()
+        finally:
+            await proto.close()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print(f"{TOOL}: interrupted", file=sys.stderr)
+    return EXIT_OK
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    from repro.core.affinity import parse_corelist
+    from repro.server.client import SyncServerClient, parse_endpoint
+    from repro.server.scheduler import SessionRequest
+
+    host, port = parse_endpoint(args.server)
+    cpus = tuple(parse_corelist(args.cpus))
+    request = SessionRequest(node=args.node, cpus=cpus,
+                             group=args.group, tenant=args.tenant,
+                             windows=args.windows, window=args.window,
+                             deadline=args.deadline, seed=args.seed)
+    with SyncServerClient(host, port) as client:
+        doc = client.submit(request, wait=True)
+    doc.pop("ok", None)
+    if args.as_json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        wait = doc.get("queue_wait")
+        print(f"session {doc['session']} on {doc['node']}: "
+              f"{doc['state']} after {doc['windows_run']} window(s), "
+              f"queued {wait if wait is None else round(wait, 4)}s"
+              + (f" ({doc['reason']})" if doc.get("reason") else ""))
+    return EXIT_OK if doc.get("state") == "completed" else EXIT_ERROR
+
+
+def _print_report(report) -> None:
+    doc = report.as_dict()
+    counts = doc["counts"]
+    print(f"Load test: {doc['submitted']} session(s) over "
+          f"{report.config.nodes} node(s), {report.config.clients} "
+          f"client(s), {report.config.tenants} tenant(s) in "
+          f"{doc['elapsed_s']:.2f}s "
+          f"({doc['throughput_sessions_per_s']:.0f}/s)")
+    print(f"{'state':<12} {'count':>8}")
+    for state in ("completed", "timed_out", "rejected", "preempted",
+                  "cancelled", "failed", "pending"):
+        print(f"{state:<12} {counts.get(state, 0):>8}")
+    qw = doc["queue_wait"]
+    if qw.get("count"):
+        print(f"queue wait (virtual s): p50={qw['p50']:.4g} "
+              f"p90={qw['p90']:.4g} p99={qw['p99']:.4g} "
+              f"max={qw['max']:.4g}")
+    print(f"fairness (max/min tenant service): "
+          f"{doc['fairness_max_over_min']:.2f}")
+
+
+def _run_load_test(args: argparse.Namespace) -> int:
+    from repro.server.loadtest import LoadTestConfig, run_load_test
+
+    faults_from_args(args, TOOL)    # validate the spec up front
+    try:
+        config = LoadTestConfig(
+            sessions=args.sessions, clients=args.clients,
+            nodes=args.nodes, tenants=args.tenants, seed=args.seed,
+            arch=args.arch, window=args.window,
+            deadline_fraction=args.deadline_fraction,
+            long_fraction=args.long_fraction,
+            lease_limit=args.lease_limit, faults=args.msr_faults)
+    except ReproError as exc:
+        print(f"{TOOL}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    report = run_load_test(config)
+    if args.as_json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        _print_report(report)
+    if args.verify:
+        problems = report.verify(sample=args.verify_sample)
+        if problems:
+            for problem in problems:
+                print(f"{TOOL}: verify violation: {problem}",
+                      file=sys.stderr)
+            return EXIT_ERROR
+        # stderr so --json keeps stdout machine-parseable.
+        print(f"{TOOL}: verified: every session accounted terminal, "
+              f"completed results bit-identical to standalone replay",
+              file=sys.stderr)
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

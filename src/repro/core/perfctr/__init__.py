@@ -6,11 +6,11 @@ from repro.core.perfctr.events import EventSpec, parse_event_string
 from repro.core.perfctr.groups import GroupDef, groups_for, lookup_group
 from repro.core.perfctr.marker import MarkerAPI
 from repro.core.perfctr.measurement import (LikwidPerfCtr, MeasurementResult,
-                                            PerfCtrSession)
+                                            PerfCtrSession, SessionLease)
 from repro.core.perfctr.multiplex import measure_multiplexed, split_event_sets
 
 __all__ = ["Assignment", "CounterMap", "RetryPolicy", "counter_delta",
            "EventSpec", "parse_event_string",
            "GroupDef", "groups_for", "lookup_group", "MarkerAPI",
            "LikwidPerfCtr", "MeasurementResult", "PerfCtrSession",
-           "measure_multiplexed", "split_event_sets"]
+           "SessionLease", "measure_multiplexed", "split_event_sets"]

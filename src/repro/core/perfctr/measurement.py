@@ -86,6 +86,36 @@ def _degradable(exc: Exception) -> bool:
     return False
 
 
+class SessionLease:
+    """A scheduler-granted measurement lease a session runs under.
+
+    The concurrent-session server (:mod:`repro.server`) grants socket
+    leases *before* a session starts; the lease carries the driver
+    epoch the grant was journaled under, so the session's own
+    socket-lock acquisitions are re-entrant with the scheduler's
+    (same pid, same epoch) instead of conflicting.  An adopted epoch
+    is owned by the lease holder: the session does **not** end it on
+    close — the scheduler ends it after the lease's locks are
+    released, so the write-ahead journal retires exactly when the
+    lease (not merely the measurement) is over.
+
+    ``on_start``/``on_release`` are lifecycle hooks: called once with
+    the session after a successful start and once on close (every
+    close path, including teardown after a failed start or a raising
+    workload)."""
+
+    def __init__(self, epoch: int | None = None, *,
+                 on_start: Callable | None = None,
+                 on_release: Callable | None = None):
+        self.epoch = epoch
+        self.on_start = on_start
+        self.on_release = on_release
+
+    @property
+    def owns_epoch(self) -> bool:
+        return self.epoch is not None
+
+
 class PerfCtrSession:
     """One configured measurement across a CPU set.
 
@@ -99,7 +129,8 @@ class PerfCtrSession:
                  group: GroupDef | None = None, *,
                  strict_io: bool = False,
                  retry_policy: RetryPolicy | None = None,
-                 backend: AccessBackend | None = None):
+                 backend: AccessBackend | None = None,
+                 lease: SessionLease | None = None):
         if not cpus:
             raise CounterError("no cpus to measure")
         if len(set(cpus)) != len(cpus):
@@ -120,6 +151,9 @@ class PerfCtrSession:
         self.programmer = self.backend.programmer
         # Session epoch: the unit the write-ahead journal and the
         # socket-lock table attribute this session's mutations to.
+        # A lease-granted session adopts the lease's epoch instead of
+        # opening its own.
+        self.lease = lease
         self._epoch: int | None = None
         self._started_at: float | None = None
         self._stopped = False
@@ -174,6 +208,8 @@ class PerfCtrSession:
                 self._teardown()
                 self._end_epoch()
                 raise
+        if self.lease is not None and self.lease.on_start is not None:
+            self.lease.on_start(self)
         if _trace.TRACER.enabled:
             _trace.incr("perfctr.sessions.started")
 
@@ -182,7 +218,10 @@ class PerfCtrSession:
         self._base = {}
         self._stopped = False
         if self._epoch is None:
-            self._epoch = self.driver.begin_epoch()
+            if self.lease is not None and self.lease.owns_epoch:
+                self._epoch = self.lease.epoch
+            else:
+                self._epoch = self.driver.begin_epoch()
         # Acquire each socket's uncore lock before touching its
         # counters.  A lock held by a *live* session degrades this
         # socket to NaN (SocketLockError is degradable); a stale lock
@@ -272,9 +311,16 @@ class PerfCtrSession:
         self._end_epoch()
         self._unregister_overflow_handlers()
         self.backend.release()
+        if self.lease is not None and self.lease.on_release is not None:
+            self.lease.on_release(self)
 
     def _end_epoch(self) -> None:
         if self._epoch is None:
+            return
+        if self.lease is not None and self.lease.owns_epoch:
+            # An adopted epoch belongs to the lease holder; the
+            # scheduler ends it after the lease's locks are released.
+            self._epoch = None
             return
         try:
             self.driver.end_epoch(self._epoch)
@@ -500,8 +546,12 @@ class LikwidPerfCtr:
         return assignments, group
 
     def session(self, cpus: str | list[int],
-                group_or_events: str) -> PerfCtrSession:
-        """Configure a measurement (``-c <cpus> -g <group|events>``)."""
+                group_or_events: str, *,
+                lease: SessionLease | None = None) -> PerfCtrSession:
+        """Configure a measurement (``-c <cpus> -g <group|events>``).
+
+        ``lease`` attaches a scheduler-granted :class:`SessionLease`
+        (adopted epoch + lifecycle hooks, see repro.server)."""
         if isinstance(cpus, str):
             cpus = parse_corelist(cpus,
                                   max_cpu=self.machine.num_hwthreads - 1)
@@ -511,7 +561,7 @@ class LikwidPerfCtr:
         return PerfCtrSession(self.machine, self.driver, cpus,
                               assignments, group, strict_io=self.strict_io,
                               retry_policy=self.retry_policy,
-                              backend=backend)
+                              backend=backend, lease=lease)
 
     def wrap(self, cpus: str | list[int], group_or_events: str,
              run: Callable[[], object]) -> MeasurementResult:

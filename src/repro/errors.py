@@ -108,6 +108,11 @@ class SocketLockError(MsrError):
         self.owner_pid = owner_pid
 
 
+class ServerError(ReproError):
+    """Concurrent-session server failure: protocol violation, unknown
+    node/session, or a submission the scheduler cannot admit."""
+
+
 class TopologyError(ReproError):
     """Topology decoding failed or produced an inconsistent layout."""
 

@@ -29,17 +29,23 @@ def backend_for(mode: str, driver) -> AccessBackend:
 
 
 def open_backend(mode: str, machine, *, driver=None, faults=None,
-                 journal=None, journaling: bool = True) -> AccessBackend:
+                 journal=None, journaling: bool = True,
+                 procs=None, locks=None) -> AccessBackend:
     """Open counter access to *machine* through one access mode.
 
     Builds the journaled msr driver internally unless an existing one
     is passed in; the remaining keywords mirror the driver's crash-
     safety knobs (``--journal`` / ``--no-journal`` / ``--msr-faults``).
+    ``procs``/``locks`` share one process table and socket-lock table
+    across many drivers over the same machine — the concurrent-session
+    server opens one driver per granted session, all arbitrating the
+    same per-socket lock state (ISSUE 9).
     """
     if driver is None:
         from repro.oskern.msr_driver import MsrDriver
         driver = MsrDriver(machine, faults=faults, journal=journal,
-                           journaling=journaling)
+                           journaling=journaling, procs=procs,
+                           locks=locks)
     return backend_for(mode, driver)
 
 

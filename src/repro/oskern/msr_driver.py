@@ -330,7 +330,8 @@ class MsrDriver:
                  journal: MsrJournal | None = None,
                  journaling: bool = True,
                  procs: SimProcessTable | None = None,
-                 pid: int | None = None):
+                 pid: int | None = None,
+                 locks: SocketLockTable | None = None):
         self.machine = machine
         self.loaded = loaded
         self.device_writable = device_writable
@@ -358,7 +359,15 @@ class MsrDriver:
         else:
             self.journal = journal if journal is not None \
                 else MsrJournal(metrics=self.metrics)
-        self.locks = SocketLockTable(self.procs)
+        # A shared lock table (repro.server: many session drivers over
+        # one node) must be keyed by the same process table this
+        # driver's pid lives in, or liveness checks would lie.
+        if locks is not None and locks.procs is not self.procs:
+            raise ValueError(
+                "shared SocketLockTable must use the driver's process "
+                "table (pass procs= alongside locks=)")
+        self.locks = locks if locks is not None \
+            else SocketLockTable(self.procs)
         self.current_epoch = 0
         self._open_epochs: set[int] = set()
         self._epoch_counter = 0
@@ -394,6 +403,16 @@ class MsrDriver:
             f"pid {self.pid} killed after "
             f"{self._faults.op_count if self._faults else 0} device "
             f"operations (kill_after fault); no teardown will run")
+
+    def terminate(self) -> None:
+        """SIGKILL the process model *from outside* (the server's
+        lease preemption).  Unlike the fault-scheduled :meth:`_die`
+        this does not raise — the preempting scheduler is not the
+        dying process; it marks the pid dead so every further driver
+        operation fails, socket locks go stale, and the write-ahead
+        journal stays orphaned for recovery to replay."""
+        self._process_dead = True
+        self.procs.kill(self.pid)
 
     def respawn(self) -> int:
         """Start a new process model against the same hardware (the

@@ -1,0 +1,164 @@
+"""Client API for likwid-server.
+
+Two clients over the same JSON-lines protocol:
+
+* :class:`ServerClient` — asyncio, one request pipelined at a time
+  per connection; the load harness opens hundreds of these.
+* :class:`SyncServerClient` — a blocking socket client for
+  synchronous callers: ``likwid-server submit`` and the agent's
+  :class:`~repro.server.ingest.ServerIngestSink`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from repro.errors import ServerError
+from repro.server.protocol import request_to_dict
+from repro.server.scheduler import SessionRequest
+
+
+class ServerClient:
+    """Async JSON-lines client (one outstanding request at a time)."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+
+    async def __aenter__(self) -> "ServerClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._reader = None
+
+    async def call(self, doc: dict) -> dict:
+        """One request/response round trip (serialized per client —
+        the protocol matches replies to requests by order)."""
+        if self._writer is None:
+            raise ServerError("client is not connected")
+        async with self._lock:
+            self._writer.write(json.dumps(doc).encode() + b"\n")
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ServerError("server closed the connection")
+        return json.loads(line)
+
+    async def ping(self) -> dict:
+        return self._checked(await self.call({"op": "ping"}))
+
+    async def status(self) -> dict:
+        return self._checked(await self.call({"op": "status"}))
+
+    async def submit(self, request: SessionRequest, *,
+                     wait: bool = True) -> dict:
+        """Submit one session; with ``wait`` (default) blocks until
+        the terminal state and returns the full session document."""
+        doc = request_to_dict(request)
+        doc["op"] = "submit"
+        doc["wait"] = wait
+        return self._checked(await self.call(doc))
+
+    async def wait(self, node: str, session_id: int) -> dict:
+        return self._checked(await self.call(
+            {"op": "wait", "node": node, "session": session_id}))
+
+    async def cancel(self, node: str, session_id: int) -> dict:
+        return self._checked(await self.call(
+            {"op": "cancel", "node": node, "session": session_id}))
+
+    @staticmethod
+    def _checked(reply: dict) -> dict:
+        if not reply.get("ok"):
+            raise ServerError(reply.get("error", "server error"))
+        return reply
+
+
+class SyncServerClient:
+    """Blocking socket client for synchronous call sites."""
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float | None = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    def __enter__(self) -> "SyncServerClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._file.close()
+            self._sock.close()
+            self._sock = None
+            self._file = None
+
+    def call(self, doc: dict) -> dict:
+        if self._sock is None:
+            raise ServerError("client is not connected")
+        self._file.write(json.dumps(doc).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServerError("server closed the connection")
+        return json.loads(line)
+
+    def ping(self) -> dict:
+        return ServerClient._checked(self.call({"op": "ping"}))
+
+    def status(self) -> dict:
+        return ServerClient._checked(self.call({"op": "status"}))
+
+    def submit(self, request: SessionRequest, *,
+               wait: bool = True) -> dict:
+        doc = request_to_dict(request)
+        doc["op"] = "submit"
+        doc["wait"] = wait
+        return ServerClient._checked(self.call(doc))
+
+    def wait(self, node: str, session_id: int) -> dict:
+        return ServerClient._checked(self.call(
+            {"op": "wait", "node": node, "session": session_id}))
+
+    def cancel(self, node: str, session_id: int) -> dict:
+        return ServerClient._checked(self.call(
+            {"op": "cancel", "node": node, "session": session_id}))
+
+
+def parse_endpoint(text: str) -> tuple[str, int]:
+    """``HOST:PORT`` → tuple (the --server argument syntax)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ServerError(f"bad server endpoint {text!r} "
+                          f"(expected HOST:PORT)")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ServerError(f"bad server port in {text!r}") from None

@@ -1,0 +1,83 @@
+"""Server-backed agent ingest: SampleBatch over the wire.
+
+``likwid-agent --server HOST:PORT`` swaps its in-process aggregator
+lane for a :class:`ServerIngestSink` — every measurement window's
+batch is serialized to the JSON-lines protocol's ``ingest`` verb and
+aggregated server-side, so a fleet of agents feeds one central
+rollup.  The batch round-trip is exact: ``batch_from_dict(
+batch_to_dict(b)) == b`` field for field, including NaN metric
+values (degraded uncore reads must survive the wire — JSON has no
+NaN, so they travel as the string ``"nan"``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.agent.batch import AgentSample, SampleBatch
+from repro.agent.sinks import Sink
+from repro.errors import ServerError
+
+
+def _value_to_wire(value: float) -> float | str:
+    return "nan" if math.isnan(value) else value
+
+
+def _value_from_wire(value) -> float:
+    if value == "nan":
+        return math.nan
+    return float(value)
+
+
+def batch_to_dict(batch: SampleBatch) -> dict:
+    return {
+        "node": batch.node, "group": batch.group,
+        "window": batch.window, "time": batch.time,
+        "duration": batch.duration, "seq": batch.seq,
+        "samples": [
+            {"scope": s.scope, "id": s.ident, "metric": s.metric,
+             "value": _value_to_wire(s.value), "seq": s.seq}
+            for s in batch.samples],
+    }
+
+
+def batch_from_dict(doc: dict) -> SampleBatch:
+    try:
+        node = doc["node"]
+        group = doc["group"]
+        window = int(doc["window"])
+        time = float(doc["time"])
+        duration = float(doc["duration"])
+        samples = tuple(
+            AgentSample(node, group, window, time, s["scope"],
+                        int(s["id"]), s["metric"],
+                        _value_from_wire(s["value"]),
+                        int(s.get("seq", 0)))
+            for s in doc.get("samples", ()))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServerError(f"bad ingest batch: {exc}") from None
+    return SampleBatch(node, group, window, time, duration, samples,
+                       seq=int(doc.get("seq", 0)))
+
+
+class ServerIngestSink(Sink):
+    """An agent sink lane that ships every batch to a likwid-server.
+
+    Takes any object with a ``call(doc) -> dict`` method (the sync
+    client); keeps the lane accounting exact — a batch the server
+    refuses raises, it is never silently dropped."""
+
+    kind = "server"
+
+    def __init__(self, client, *, max_batch: int | None = None):
+        super().__init__(max_batch=max_batch)
+        self.client = client
+        self.shipped = 0
+
+    def emit(self, batch: SampleBatch) -> None:
+        reply = self.client.call({"op": "ingest",
+                                  "batch": batch_to_dict(batch)})
+        if not reply.get("ok"):
+            raise ServerError(
+                f"server refused ingest: {reply.get('error')}")
+        self.shipped += reply.get("accepted", 0)

@@ -1,0 +1,183 @@
+"""JSON-lines wire protocol for likwid-server.
+
+One request object per line, one response object per line, over a
+plain TCP stream — the simplest protocol that still exercises real
+concurrency (many sockets multiplexed onto one asyncio loop).  Every
+response carries ``"ok"``; failures carry ``"error"`` and never tear
+down the connection (a client's bad submission must not disturb its
+other in-flight sessions).
+
+Verbs:
+
+``ping``
+    Liveness probe → ``{"ok": true, "server": "likwid-server"}``.
+``status``
+    Fleet-wide terminal-state accounting + queue-wait summary.
+``submit``
+    One :class:`~repro.server.scheduler.SessionRequest` (fields
+    inline).  With ``"wait": true`` (default) the response is the
+    terminal session document; with ``false`` it returns the session
+    id immediately for a later ``wait``.
+``wait``
+    Block until session ``{"node", "session"}`` is terminal.
+``cancel``
+    Cancel a queued or running session.
+``ingest``
+    A serialized agent :class:`~repro.agent.batch.SampleBatch` for
+    the server-side aggregator (the ``likwid-agent --server`` path).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.agent.aggregate import Aggregator
+from repro.errors import ReproError, ServerError
+from repro.server.ingest import batch_from_dict
+from repro.server.scheduler import SessionRequest
+from repro.server.server import ReproServer
+
+#: Protocol fields of a submit verb, mirroring SessionRequest.
+REQUEST_FIELDS = ("node", "cpus", "group", "tenant", "windows",
+                  "window", "deadline", "seed")
+
+
+def request_to_dict(req: SessionRequest) -> dict:
+    return {"node": req.node, "cpus": list(req.cpus),
+            "group": req.group, "tenant": req.tenant,
+            "windows": req.windows, "window": req.window,
+            "deadline": req.deadline, "seed": req.seed}
+
+
+def request_from_dict(doc: dict) -> SessionRequest:
+    try:
+        node = doc["node"]
+        cpus = tuple(int(c) for c in doc["cpus"])
+        group = doc["group"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServerError(f"bad submit request: {exc}") from None
+    deadline = doc.get("deadline")
+    return SessionRequest(
+        node=node, cpus=cpus, group=group,
+        tenant=str(doc.get("tenant", "default")),
+        windows=int(doc.get("windows", 1)),
+        window=float(doc.get("window", 0.1)),
+        deadline=None if deadline is None else float(deadline),
+        seed=int(doc.get("seed", 0)))
+
+
+class ProtocolServer:
+    """Serve the JSON-lines protocol over TCP for one ReproServer."""
+
+    def __init__(self, server: ReproServer, *,
+                 aggregator: Aggregator | None = None):
+        self.server = server
+        self.aggregator = aggregator if aggregator is not None \
+            else Aggregator()
+        self.ingested = 0
+        self._tcp: asyncio.AbstractServer | None = None
+
+    # -- dispatch --------------------------------------------------------------
+
+    async def dispatch(self, doc: dict) -> dict:
+        op = doc.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise ServerError(f"unknown op {op!r}")
+        return await handler(doc)
+
+    async def _op_ping(self, doc: dict) -> dict:
+        return {"ok": True, "server": "likwid-server",
+                "nodes": sorted(self.server.nodes)}
+
+    async def _op_status(self, doc: dict) -> dict:
+        status = self.server.status()
+        status["ok"] = True
+        status["ingested"] = self.ingested
+        return status
+
+    async def _op_submit(self, doc: dict) -> dict:
+        req = request_from_dict(doc)
+        handle = await self.server.submit(req)
+        if doc.get("wait", True):
+            session = await handle.wait()
+            reply = session.as_dict()
+        else:
+            reply = {"session": handle.id, "node": req.node,
+                     "state": handle.state.value}
+        reply["ok"] = True
+        return reply
+
+    async def _op_wait(self, doc: dict) -> dict:
+        node = doc.get("node")
+        session_id = doc.get("session")
+        handle = self.server._handles.get((node, session_id))
+        if handle is None:
+            sched = self.server.node(node)
+            session = sched.sessions.get(session_id)
+            if session is None:
+                raise ServerError(
+                    f"unknown session {session_id} on {node}")
+            reply = session.as_dict()
+            reply["ok"] = True
+            return reply
+        session = await handle.wait()
+        reply = session.as_dict()
+        reply["ok"] = True
+        return reply
+
+    async def _op_cancel(self, doc: dict) -> dict:
+        ok = await self.server.cancel(doc.get("node"),
+                                      doc.get("session"))
+        return {"ok": True, "cancelled": ok}
+
+    async def _op_ingest(self, doc: dict) -> dict:
+        batch = batch_from_dict(doc.get("batch") or {})
+        self.aggregator.ingest(batch)
+        self.ingested += len(batch)
+        return {"ok": True, "accepted": len(batch)}
+
+    # -- transport -------------------------------------------------------------
+
+    async def handle_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    doc = json.loads(line)
+                    if not isinstance(doc, dict):
+                        raise ServerError("request must be an object")
+                    reply = await self.dispatch(doc)
+                except (ReproError, ValueError) as exc:
+                    reply = {"ok": False, "error": str(exc)}
+                writer.write(json.dumps(reply, sort_keys=True)
+                             .encode() + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> tuple[str, int]:
+        """Bind the TCP listener; returns the bound (host, port) —
+        port 0 picks a free port, the test-friendly default."""
+        self.server.start()
+        self._tcp = await asyncio.start_server(
+            self.handle_connection, host, port)
+        bound = self._tcp.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def close(self) -> None:
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+            self._tcp = None
+        await self.server.close()
+
+    async def serve_forever(self) -> None:
+        if self._tcp is None:
+            raise ServerError("start() the listener first")
+        await self._tcp.serve_forever()

@@ -1,0 +1,192 @@
+"""The asyncio multiplexer over per-node schedulers.
+
+:class:`ReproServer` hosts many :class:`~repro.server.scheduler
+.NodeScheduler` instances — one per simulated node — and drives each
+from its own asyncio task.  The scheduler cores are synchronous and
+deterministic (virtual clocks, no real timers); asyncio contributes
+only the *concurrency structure*: hundreds of clients submitting and
+awaiting sessions while the node tasks interleave window execution.
+Because no wall-clock timers participate, the event loop's FIFO ready
+queue keeps the whole server replayable.
+
+Clients get a :class:`SessionHandle` back from :meth:`ReproServer
+.submit` and ``await handle.wait()`` for the terminal state — exactly
+one of completed / timed-out / rejected / preempted / cancelled /
+failed, the accounting the load harness reconciles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.agent.fleet import NodeSpec
+from repro.errors import ServerError
+from repro.server.scheduler import (NodeScheduler, ServerSession,
+                                    SessionRequest, SessionState)
+from repro.trace.metrics import Histogram
+
+
+class SessionHandle:
+    """A client's awaitable view of one submitted session."""
+
+    def __init__(self, session: ServerSession):
+        self.session = session
+        self._done = asyncio.Event()
+        if session.state.terminal:
+            self._done.set()
+
+    @property
+    def id(self) -> int:
+        return self.session.id
+
+    @property
+    def state(self) -> SessionState:
+        return self.session.state
+
+    async def wait(self, timeout: float | None = None) -> ServerSession:
+        """Block until the session reaches a terminal state.
+
+        ``timeout`` is *real* seconds — a liveness guard for callers,
+        not part of the scheduling model (deadlines are virtual and
+        live in :class:`SessionRequest`)."""
+        if timeout is None:
+            await self._done.wait()
+        else:
+            await asyncio.wait_for(self._done.wait(), timeout)
+        return self.session
+
+    def _resolve(self) -> None:
+        self._done.set()
+
+
+class ReproServer:
+    """Concurrent measurement-session server over a fleet of nodes.
+
+    Use as an async context manager::
+
+        async with ReproServer.from_specs(nodes) as server:
+            handle = await server.submit(SessionRequest(...))
+            session = await handle.wait()
+    """
+
+    def __init__(self, schedulers: dict[str, NodeScheduler]):
+        if not schedulers:
+            raise ServerError("server needs at least one node")
+        self.nodes = dict(schedulers)
+        self.queue_wait_hist = Histogram("server.queue_wait.s")
+        self._handles: dict[tuple[str, int], SessionHandle] = {}
+        self._wake: dict[str, asyncio.Event] = {}
+        self._tasks: list[asyncio.Task] = []
+        self._closing = False
+        for name, sched in self.nodes.items():
+            sched.queue_wait_hist = self.queue_wait_hist
+            sched.on_terminal = self._on_terminal(name)
+
+    @classmethod
+    def from_specs(cls, specs: list[NodeSpec], *,
+                   lease_limit: float = 1.0,
+                   max_queue: int = 64) -> "ReproServer":
+        """Build one scheduler per fleet :class:`NodeSpec` (the same
+        node description the agent fleet uses, so a server-backed
+        fleet and a standalone fleet are configured identically)."""
+        schedulers = {
+            spec.name: NodeScheduler(
+                spec.name, spec.arch, access_mode=spec.access_mode,
+                faults=spec.faults, lease_limit=lease_limit,
+                max_queue=max_queue)
+            for spec in specs}
+        return cls(schedulers)
+
+    def _on_terminal(self, node: str):
+        def resolve(session: ServerSession) -> None:
+            handle = self._handles.get((node, session.id))
+            if handle is not None:
+                handle._resolve()
+        return resolve
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def __aenter__(self) -> "ReproServer":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    def start(self) -> None:
+        if self._tasks:
+            return
+        self._closing = False
+        for name in self.nodes:
+            self._wake[name] = asyncio.Event()
+            self._tasks.append(asyncio.ensure_future(
+                self._node_loop(name)))
+
+    async def close(self) -> None:
+        """Drain every node to idle, then stop the node tasks."""
+        self._closing = True
+        for event in self._wake.values():
+            event.set()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    async def _node_loop(self, name: str) -> None:
+        """One node's driver task: sleep until woken by a submission,
+        then step the scheduler until it goes idle — yielding to the
+        event loop after every quantum so other nodes' windows and new
+        client submissions interleave."""
+        sched = self.nodes[name]
+        wake = self._wake[name]
+        while True:
+            if not sched.pending:
+                if self._closing:
+                    return
+                await wake.wait()
+                wake.clear()
+                continue
+            progressed = sched.step()
+            if not progressed and sched.pending:
+                raise ServerError(
+                    f"{name}: scheduler wedged with "
+                    f"{sched.pending} session(s) pending")
+            await asyncio.sleep(0)
+
+    # -- client surface --------------------------------------------------------
+
+    def node(self, name: str) -> NodeScheduler:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ServerError(
+                f"unknown node {name!r} (serving: "
+                f"{', '.join(sorted(self.nodes))})") from None
+
+    async def submit(self, request: SessionRequest) -> SessionHandle:
+        """Admit one session request; returns immediately with a
+        handle (the session may already be terminal — rejected — or
+        already running if its sockets were free)."""
+        sched = self.node(request.node)
+        session = sched.submit(request)
+        handle = SessionHandle(session)
+        self._handles[(request.node, session.id)] = handle
+        self._wake[request.node].set()
+        await asyncio.sleep(0)      # let the node task pick it up
+        return handle
+
+    async def cancel(self, node: str, session_id: int) -> bool:
+        ok = self.node(node).cancel(session_id)
+        self._wake[node].set()
+        await asyncio.sleep(0)
+        return ok
+
+    def status(self) -> dict:
+        """Aggregated accounting across every node (the protocol's
+        ``status`` verb and the load harness' verify surface)."""
+        nodes = {name: sched.accounting()
+                 for name, sched in self.nodes.items()}
+        total = {key: sum(acc[key] for acc in nodes.values())
+                 for key in next(iter(nodes.values()))}
+        summary = self.queue_wait_hist.summary()
+        return {"nodes": nodes, "total": total,
+                "queue_wait": summary}

@@ -1,0 +1,104 @@
+"""SessionLease: scheduler-granted epochs and lifecycle hooks.
+
+The concurrent-session server opens a driver epoch *before* the
+measurement session starts (the lease grant is journaled under it)
+and hands it to the session through a :class:`SessionLease`.  The
+session must adopt the epoch — re-entrant lock acquisition, no
+``begin_epoch`` of its own — and must NOT end it on close: the lease
+holder ends it once the lease is over.
+"""
+
+from repro.core.perfctr import LikwidPerfCtr, SessionLease
+from repro.hw.arch import create_machine
+from repro.hw.events import Channel
+from repro.oskern.access import open_backend
+
+ARCH = "westmere_ep"
+
+
+def stack():
+    machine = create_machine(ARCH)
+    backend = open_backend("msr", machine)
+    return machine, backend, LikwidPerfCtr(machine, backend=backend)
+
+
+def run_window(machine, session, cpus):
+    machine.apply_counts(
+        {cpu: {Channel.INSTRUCTIONS: 1e6, Channel.CORE_CYCLES: 2e6}
+         for cpu in cpus})
+    session.stop()
+    return session.read(wall_time=0.1)
+
+
+class TestAdoptedEpoch:
+    def test_session_uses_the_lease_epoch(self):
+        machine, backend, perfctr = stack()
+        driver = backend.driver
+        epoch = driver.begin_epoch()
+        lease = SessionLease(epoch=epoch)
+        with perfctr.session([0], "FLOPS_DP", lease=lease) as session:
+            assert session._epoch == epoch
+            run_window(machine, session, [0])
+        # The session closed but the lease owns the epoch: it is
+        # still open and the journal not yet retired.
+        assert epoch in driver._open_epochs
+        driver.end_epoch(epoch)
+        assert epoch not in driver._open_epochs
+
+    def test_leaseless_session_manages_its_own_epoch(self):
+        machine, backend, perfctr = stack()
+        driver = backend.driver
+        with perfctr.session([0], "FLOPS_DP") as session:
+            own = session._epoch
+            assert own in driver._open_epochs
+            run_window(machine, session, [0])
+        assert own not in driver._open_epochs    # ended on close
+
+    def test_uncore_locks_are_reentrant_under_the_lease(self):
+        """The scheduler journals its lease grant under the epoch;
+        the session's own uncore acquisition with the same pid and
+        epoch must be re-entrant, not a conflict."""
+        machine, backend, perfctr = stack()
+        driver = backend.driver
+        epoch = driver.begin_epoch()
+        driver.acquire_socket_lock(0, 0, epoch)   # the "grant"
+        lease = SessionLease(epoch=epoch)
+        with perfctr.session([0], "MEM", lease=lease) as session:
+            run_window(machine, session, [0])
+        result = session.read(wall_time=0.1)
+        # No degraded-uncore warnings: the lock was re-entrant.
+        assert not result.warnings
+        driver.release_socket_lock(0, epoch)
+        driver.end_epoch(epoch)
+
+
+class TestLifecycleHooks:
+    def test_hooks_fire_once_in_order(self):
+        machine, backend, perfctr = stack()
+        calls = []
+        lease = SessionLease(
+            on_start=lambda s: calls.append(("start", s)),
+            on_release=lambda s: calls.append(("release", s)))
+        with perfctr.session([0], "FLOPS_DP", lease=lease) as session:
+            assert calls == [("start", session)]
+            run_window(machine, session, [0])
+        assert [name for name, _ in calls] == ["start", "release"]
+
+    def test_release_fires_even_when_workload_raises(self):
+        machine, backend, perfctr = stack()
+        calls = []
+        lease = SessionLease(
+            on_release=lambda s: calls.append("release"))
+        try:
+            with perfctr.session([0], "FLOPS_DP", lease=lease):
+                raise RuntimeError("workload blew up")
+        except RuntimeError:
+            pass
+        assert calls == ["release"]
+
+    def test_hookless_lease_is_inert(self):
+        machine, backend, perfctr = stack()
+        with perfctr.session([0], "FLOPS_DP",
+                             lease=SessionLease()) as session:
+            result = run_window(machine, session, [0])
+        assert result.counts[0]

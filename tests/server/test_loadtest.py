@@ -1,0 +1,120 @@
+"""Load-test harness: exact accounting and bit-identity at scale.
+
+Includes the ISSUE 9 acceptance run — 1000 sessions across 8 nodes
+and 4 tenants with deadline timeouts and 10% injected read faults —
+asserting zero unaccounted sessions and standalone-identical results.
+"""
+
+import pytest
+
+from repro.server.loadtest import (LoadTestConfig, generate_requests,
+                                   node_specs, run_load_test)
+
+
+class TestGeneration:
+    def test_same_seed_same_mix(self):
+        cfg = LoadTestConfig(sessions=50, seed=3)
+        assert generate_requests(cfg) == generate_requests(cfg)
+
+    def test_different_seed_different_mix(self):
+        a = generate_requests(LoadTestConfig(sessions=50, seed=1))
+        b = generate_requests(LoadTestConfig(sessions=50, seed=2))
+        assert a != b
+
+    def test_mix_covers_the_fleet_and_tenants(self):
+        cfg = LoadTestConfig(sessions=100, nodes=4, tenants=4)
+        reqs = generate_requests(cfg)
+        assert len(reqs) == 100
+        assert {r.node for r in reqs} == \
+            {f"node{i:03d}" for i in range(4)}
+        assert {r.tenant for r in reqs} == \
+            {f"tenant{i}" for i in range(4)}
+
+    def test_skew_favors_tenant_zero(self):
+        reqs = generate_requests(
+            LoadTestConfig(sessions=400, tenants=4))
+        counts = {}
+        for r in reqs:
+            counts[r.tenant] = counts.get(r.tenant, 0) + 1
+        assert counts["tenant0"] > counts["tenant3"]
+
+    def test_fractions_produce_long_and_deadlined(self):
+        cfg = LoadTestConfig(sessions=200, long_fraction=0.1,
+                             deadline_fraction=0.2)
+        reqs = generate_requests(cfg)
+        assert any(r.windows == cfg.long_windows for r in reqs)
+        assert any(r.deadline is not None for r in reqs)
+
+    def test_node_specs_reseed_fault_plans(self):
+        cfg = LoadTestConfig(nodes=3, seed=5,
+                             faults="read_fault_rate=0.1")
+        plans = [s.faults for s in node_specs(cfg)]
+        assert len(set(plans)) == 3
+        assert all("seed=" in p for p in plans)
+
+    def test_bad_config_rejected(self):
+        from repro.errors import ServerError
+        with pytest.raises(ServerError):
+            LoadTestConfig(sessions=0)
+
+
+class TestSmallRun:
+    def test_accounting_is_exact(self):
+        report = run_load_test(LoadTestConfig(
+            sessions=60, clients=15, nodes=2, tenants=3, seed=1))
+        assert report.accounting_errors() == []
+        assert report.submitted == 60
+        assert report.counts["failed"] == 0
+
+    def test_verify_includes_bit_identity(self):
+        report = run_load_test(LoadTestConfig(
+            sessions=40, clients=10, nodes=2, tenants=2, seed=2,
+            faults="read_fault_rate=0.1"))
+        assert report.verify() == []
+
+    def test_report_shape(self):
+        report = run_load_test(LoadTestConfig(
+            sessions=30, clients=10, nodes=2, tenants=2, seed=3))
+        doc = report.as_dict()
+        assert doc["submitted"] == 30
+        assert doc["throughput_sessions_per_s"] > 0
+        assert "p99" in doc["queue_wait"]
+        assert doc["fairness_max_over_min"] >= 1.0
+
+
+@pytest.mark.integration
+class TestAcceptanceRun:
+    def test_thousand_sessions_eight_nodes(self):
+        """The ISSUE 9 acceptance criteria in one run: 1000 sessions,
+        8 nodes, 4 tenants, deadline timeouts firing, 10% seeded read
+        faults absorbed, zero unaccounted sessions, and per-session
+        results bit-identical to the same session run standalone."""
+        config = LoadTestConfig(
+            sessions=1000, clients=100, nodes=8, tenants=4, seed=42,
+            deadline_fraction=0.1, long_fraction=0.04,
+            faults="read_fault_rate=0.1")
+        report = run_load_test(config)
+        counts = report.counts
+
+        # Exact accounting: every submission ends terminally.
+        terminal = sum(counts[k] for k in
+                       ("completed", "timed_out", "rejected",
+                        "preempted", "cancelled", "failed"))
+        assert terminal == 1000
+        assert counts["failed"] == 0
+        assert counts["pending"] == 0
+
+        # The stress ingredients actually exercised.
+        assert counts["completed"] > 800
+        assert counts["timed_out"] > 0, "no deadline ever fired"
+        assert counts["preempted"] > 0, "no lease was ever preempted"
+
+        # Queue-wait percentiles are reported and ordered.
+        qw = report.queue_wait
+        assert qw["count"] == counts["completed"] + counts["preempted"]
+        assert qw["p50"] <= qw["p99"] <= qw["max"]
+
+        # Bit-identity of completed sessions against standalone
+        # replay (an evenly spaced sample keeps CI time bounded; the
+        # small runs above verify exhaustively).
+        assert report.verify(sample=150) == []

@@ -1,0 +1,208 @@
+"""Wire protocol, asyncio server and clients (ISSUE 9).
+
+Everything here spins the real stack: ReproServer node tasks, the
+JSON-lines TCP listener on an ephemeral port, and the async/sync
+clients connecting through the loopback.  Tests run the event loop
+via ``asyncio.run`` — no plugin needed.
+"""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.agent.batch import AgentSample, SampleBatch
+from repro.agent.fleet import NodeSpec
+from repro.errors import ServerError
+from repro.server.client import (ServerClient, SyncServerClient,
+                                 parse_endpoint)
+from repro.server.ingest import batch_from_dict, batch_to_dict
+from repro.server.protocol import (ProtocolServer, request_from_dict,
+                                   request_to_dict)
+from repro.server.scheduler import SessionRequest
+from repro.server.server import ReproServer
+
+
+def specs(n=2, arch="westmere_ep"):
+    return [NodeSpec(name=f"node{i:03d}", arch=arch, seed=i)
+            for i in range(n)]
+
+
+def with_stack(coro_factory, *, nodes=2, lease_limit=10.0):
+    """Boot server + listener, run the coroutine, tear down."""
+    async def runner():
+        server = ReproServer.from_specs(specs(nodes),
+                                        lease_limit=lease_limit)
+        proto = ProtocolServer(server)
+        host, port = await proto.start()
+        try:
+            return await coro_factory(proto, host, port)
+        finally:
+            await proto.close()
+    return asyncio.run(runner())
+
+
+class TestRequestRoundTrip:
+    def test_round_trip_is_exact(self):
+        req = SessionRequest("n0", (0, 3), "MEM", tenant="t",
+                             windows=5, window=0.25, deadline=1.5,
+                             seed=9)
+        assert request_from_dict(request_to_dict(req)) == req
+
+    def test_defaults_fill_in(self):
+        req = request_from_dict({"node": "n0", "cpus": [0],
+                                 "group": "MEM"})
+        assert req.tenant == "default"
+        assert req.windows == 1
+        assert req.deadline is None
+
+    def test_missing_fields_raise(self):
+        with pytest.raises(ServerError):
+            request_from_dict({"node": "n0"})
+
+
+class TestBatchRoundTrip:
+    def make_batch(self, value=2.5):
+        sample = AgentSample("n0", "MEM", 3, 1.5, "cpu", 0,
+                             "MBytes/s", value, seq=7)
+        return SampleBatch("n0", "MEM", 3, 1.5, 0.5, (sample,), seq=2)
+
+    def test_round_trip_is_exact(self):
+        batch = self.make_batch()
+        assert batch_from_dict(batch_to_dict(batch)) == batch
+
+    def test_nan_survives_the_wire(self):
+        batch = self.make_batch(value=math.nan)
+        back = batch_from_dict(batch_to_dict(batch))
+        assert math.isnan(back.samples[0].value)
+
+    def test_malformed_batch_raises(self):
+        with pytest.raises(ServerError):
+            batch_from_dict({"node": "n0"})
+
+
+class TestEndpointParsing:
+    def test_host_port(self):
+        assert parse_endpoint("127.0.0.1:7710") == ("127.0.0.1", 7710)
+
+    def test_bad_endpoints(self):
+        for text in ("nohost", ":123", "h:notaport"):
+            with pytest.raises(ServerError):
+                parse_endpoint(text)
+
+
+class TestProtocolOverTcp:
+    def test_ping_lists_nodes(self):
+        async def go(proto, host, port):
+            async with ServerClient(host, port) as client:
+                return await client.ping()
+        reply = with_stack(go)
+        assert reply["server"] == "likwid-server"
+        assert reply["nodes"] == ["node000", "node001"]
+
+    def test_submit_wait_and_status(self):
+        async def go(proto, host, port):
+            async with ServerClient(host, port) as client:
+                doc = await client.submit(SessionRequest(
+                    "node000", (0, 1), "FLOPS_DP", windows=2,
+                    window=0.1, seed=4))
+                status = await client.status()
+                return doc, status
+        doc, status = with_stack(go)
+        assert doc["state"] == "completed"
+        assert doc["windows_run"] == 2
+        assert doc["result"]["counts"]["0"]
+        assert status["total"]["completed"] == 1
+        assert status["total"]["submitted"] == 1
+
+    def test_submit_nowait_then_wait(self):
+        async def go(proto, host, port):
+            async with ServerClient(host, port) as client:
+                first = await client.submit(SessionRequest(
+                    "node000", (0,), "MEM"), wait=False)
+                return await client.wait("node000", first["session"])
+        doc = with_stack(go)
+        assert doc["state"] == "completed"
+
+    def test_unknown_node_is_an_error_reply(self):
+        async def go(proto, host, port):
+            async with ServerClient(host, port) as client:
+                with pytest.raises(ServerError, match="unknown node"):
+                    await client.submit(SessionRequest(
+                        "nope", (0,), "MEM"))
+                return await client.ping()   # connection survives
+        assert with_stack(go)["ok"]
+
+    def test_unknown_op_and_bad_json(self):
+        async def go(proto, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b'{"op": "frobnicate"}\n')
+            writer.write(b'this is not json\n')
+            await writer.drain()
+            import json
+            bad_op = json.loads(await reader.readline())
+            bad_json = json.loads(await reader.readline())
+            writer.close()
+            return bad_op, bad_json
+        bad_op, bad_json = with_stack(go)
+        assert not bad_op["ok"]
+        assert "unknown op" in bad_op["error"]
+        assert not bad_json["ok"]
+
+    def test_cancel_queued_session(self):
+        async def go(proto, host, port):
+            async with ServerClient(host, port) as client:
+                await client.submit(SessionRequest(
+                    "node000", (0,), "FLOPS_DP", windows=50,
+                    window=0.1), wait=False)
+                queued = await client.submit(SessionRequest(
+                    "node000", (1,), "MEM"), wait=False)
+                reply = await client.cancel("node000",
+                                            queued["session"])
+                doc = await client.wait("node000", queued["session"])
+                return reply, doc
+        reply, doc = with_stack(go)
+        assert doc["state"] in ("cancelled", "completed")
+
+    def test_ingest_feeds_the_aggregator(self):
+        sample = AgentSample("ext0", "MEM", 0, 0.5, "cpu", 0,
+                             "MBytes/s", 125.0)
+        batch = SampleBatch("ext0", "MEM", 0, 0.5, 0.5, (sample,))
+
+        async def go(proto, host, port):
+            async with ServerClient(host, port) as client:
+                reply = await client.call(
+                    {"op": "ingest", "batch": batch_to_dict(batch)})
+                status = await client.status()
+            return reply, proto.aggregator.node_samples("ext0"), status
+        reply, ingested, status = with_stack(go)
+        assert reply["ok"] and reply["accepted"] == 1
+        assert ingested == 1
+        assert status["ingested"] == 1
+
+    def test_sync_client_round_trip(self):
+        async def go(proto, host, port):
+            def blocking():
+                with SyncServerClient(host, port) as client:
+                    doc = client.submit(SessionRequest(
+                        "node001", (0,), "BRANCH", windows=1))
+                    return doc, client.status()
+            return await asyncio.get_running_loop() \
+                .run_in_executor(None, blocking)
+        doc, status = with_stack(go)
+        assert doc["state"] == "completed"
+        assert status["total"]["completed"] == 1
+
+    def test_concurrent_clients_share_one_node(self):
+        async def go(proto, host, port):
+            async def one(i):
+                async with ServerClient(host, port) as client:
+                    return await client.submit(SessionRequest(
+                        "node000", (i % 4,), "FLOPS_DP", windows=1,
+                        window=0.05, seed=i, tenant=f"t{i % 2}"))
+            docs = await asyncio.gather(*[one(i) for i in range(12)])
+            return docs, proto.server.status()
+        docs, status = with_stack(go)
+        assert all(d["state"] == "completed" for d in docs)
+        assert status["total"]["submitted"] == 12
+        assert status["total"]["completed"] == 12

@@ -1,0 +1,217 @@
+"""NodeScheduler: admission, granting, virtual clock, accounting.
+
+The scheduler core is synchronous and deterministic — every test here
+drives it directly with ``submit()``/``step()``/``run_to_idle()`` and
+asserts exact outcomes, no asyncio involved.
+"""
+
+import pytest
+
+from repro.errors import ServerError
+from repro.server.scheduler import (NodeScheduler, SessionRequest,
+                                    SessionState)
+
+
+def make(arch="westmere_ep", **kwargs):
+    kwargs.setdefault("lease_limit", 10.0)
+    return NodeScheduler("n0", arch, **kwargs)
+
+
+def req(**kwargs):
+    kwargs.setdefault("node", "n0")
+    kwargs.setdefault("cpus", (0,))
+    kwargs.setdefault("group", "FLOPS_DP")
+    return SessionRequest(**kwargs)
+
+
+class TestAdmission:
+    def test_empty_cpus_rejected(self):
+        sched = make()
+        sess = sched.submit(req(cpus=()))
+        assert sess.state is SessionState.REJECTED
+        assert "empty cpu set" in sess.reason
+
+    def test_duplicate_cpus_rejected(self):
+        sess = make().submit(req(cpus=(0, 0)))
+        assert sess.state is SessionState.REJECTED
+
+    def test_out_of_range_cpu_rejected(self):
+        sess = make().submit(req(cpus=(999,)))
+        assert sess.state is SessionState.REJECTED
+        assert "outside" in sess.reason
+
+    def test_unknown_group_rejected(self):
+        sess = make().submit(req(group="NOSUCH"))
+        assert sess.state is SessionState.REJECTED
+        assert "NOSUCH" in sess.reason
+
+    def test_bad_window_plan_rejected(self):
+        sched = make()
+        assert sched.submit(req(windows=0)).state \
+            is SessionState.REJECTED
+        assert sched.submit(req(window=0.0)).state \
+            is SessionState.REJECTED
+
+    def test_full_queue_rejects(self):
+        sched = make(max_queue=1)
+        running = sched.submit(req(cpus=(0,)))
+        queued = sched.submit(req(cpus=(1,)))   # same socket: waits
+        overflow = sched.submit(req(cpus=(2,)))
+        assert running.state is SessionState.RUNNING
+        assert queued.state is SessionState.QUEUED
+        assert overflow.state is SessionState.REJECTED
+        assert "queue full" in overflow.reason
+        sched.run_to_idle()
+        assert queued.state is SessionState.COMPLETED
+
+    def test_rejection_counts_as_terminal(self):
+        sched = make()
+        sched.submit(req(cpus=()))
+        acc = sched.accounting()
+        assert acc["rejected"] == 1
+        assert acc["pending"] == 0
+
+
+class TestExecution:
+    def test_free_sockets_grant_immediately(self):
+        sched = make()
+        sess = sched.submit(req())
+        assert sess.state is SessionState.RUNNING
+        assert sess.queue_wait == 0.0
+
+    def test_completion_produces_result(self):
+        sched = make()
+        sess = sched.submit(req(windows=3, window=0.1))
+        sched.run_to_idle()
+        assert sess.state is SessionState.COMPLETED
+        assert sess.windows_run == 3
+        assert sess.result is not None
+        assert sess.result.wall_time == pytest.approx(sess.run_time)
+        assert 0 in sess.result.metrics
+
+    def test_virtual_clock_advances_by_window_time(self):
+        sched = make()
+        sched.submit(req(windows=4, window=0.25))
+        sched.run_to_idle()
+        assert sched.clock == pytest.approx(1.0)
+
+    def test_disjoint_sockets_interleave(self):
+        sched = make()
+        a = sched.submit(req(cpus=(0,), windows=2))    # socket 0
+        b = sched.submit(req(cpus=(6,), windows=2))    # socket 1
+        assert a.state is SessionState.RUNNING
+        assert b.state is SessionState.RUNNING
+        sched.run_to_idle()
+        assert a.state is SessionState.COMPLETED
+        assert b.state is SessionState.COMPLETED
+
+    def test_contending_sessions_serialize(self):
+        sched = make()
+        first = sched.submit(req(cpus=(0,), windows=2, window=0.1))
+        second = sched.submit(req(cpus=(1,), windows=1))  # socket 0 too
+        assert second.state is SessionState.QUEUED
+        sched.run_to_idle()
+        assert second.state is SessionState.COMPLETED
+        # Waited exactly the first session's two windows.
+        assert second.queue_wait == pytest.approx(0.2)
+
+    def test_queue_wait_histogram_observes_grants(self):
+        sched = make()
+        sched.submit(req(cpus=(0,), windows=1, window=0.1))
+        sched.submit(req(cpus=(1,), windows=1))
+        sched.run_to_idle()
+        assert sched.queue_wait_hist.summary()["count"] == 2
+
+    def test_accounting_totals(self):
+        sched = make()
+        for cpu in range(4):
+            sched.submit(req(cpus=(cpu,), windows=1))
+        sched.run_to_idle()
+        acc = sched.accounting()
+        assert acc["submitted"] == 4
+        assert acc["completed"] == 4
+        assert acc["pending"] == 0
+
+
+class TestPreemption:
+    def test_lease_limit_preempts(self):
+        sched = make(lease_limit=0.25)
+        hog = sched.submit(req(windows=100, window=0.1))
+        sched.run_to_idle()
+        assert hog.state is SessionState.PREEMPTED
+        assert "lease limit" in hog.reason
+        assert hog.windows_run < 100
+        assert hog.result is None
+
+    def test_preemption_frees_the_socket(self):
+        sched = make(lease_limit=0.25)
+        sched.submit(req(cpus=(0,), windows=100, window=0.1))
+        waiter = sched.submit(req(cpus=(1,), windows=1))
+        sched.run_to_idle()
+        assert waiter.state is SessionState.COMPLETED
+        assert not sched.busy
+
+    def test_session_finishing_within_lease_is_not_preempted(self):
+        sched = make(lease_limit=0.25)
+        ok = sched.submit(req(windows=2, window=0.1))
+        sched.run_to_idle()
+        assert ok.state is SessionState.COMPLETED
+
+
+class TestCancellation:
+    def test_cancel_queued(self):
+        sched = make()
+        sched.submit(req(cpus=(0,), windows=2))
+        queued = sched.submit(req(cpus=(1,)))
+        assert sched.cancel(queued.id)
+        assert queued.state is SessionState.CANCELLED
+        sched.run_to_idle()
+        assert sched.accounting()["cancelled"] == 1
+
+    def test_cancel_running_recovers_state(self):
+        sched = make()
+        running = sched.submit(req(windows=10))
+        assert sched.cancel(running.id)
+        assert running.state is SessionState.CANCELLED
+        assert not sched.busy
+        follow = sched.submit(req(windows=1))
+        sched.run_to_idle()
+        assert follow.state is SessionState.COMPLETED
+
+    def test_cancel_terminal_is_noop(self):
+        sched = make()
+        sess = sched.submit(req(windows=1))
+        sched.run_to_idle()
+        assert not sched.cancel(sess.id)
+        assert sess.state is SessionState.COMPLETED
+
+    def test_cancel_unknown_raises(self):
+        with pytest.raises(ServerError):
+            make().cancel(999)
+
+
+class TestDeadlines:
+    def test_deadline_fires_while_queued(self):
+        sched = make()
+        sched.submit(req(cpus=(0,), windows=5, window=0.1))
+        doomed = sched.submit(req(cpus=(1,), deadline=0.2))
+        sched.run_to_idle()
+        assert doomed.state is SessionState.TIMED_OUT
+        assert "deadline" in doomed.reason
+        # Waited at least its deadline before expiring.
+        assert doomed.queue_wait > 0.2
+
+    def test_deadline_does_not_fire_once_granted(self):
+        sched = make()
+        ok = sched.submit(req(deadline=0.05, windows=5, window=0.1))
+        sched.run_to_idle()
+        assert ok.state is SessionState.COMPLETED
+
+    def test_session_document_round_trip(self):
+        sched = make()
+        sess = sched.submit(req(windows=1, seed=3))
+        sched.run_to_idle()
+        doc = sess.as_dict()
+        assert doc["state"] == "completed"
+        assert doc["seed"] == 3
+        assert doc["result"]["counts"]["0"]

@@ -1,0 +1,146 @@
+"""FairWaitQueue and waitable socket acquisition (ISSUE 9).
+
+The wait queue is the scheduler's fairness core: deficit round-robin
+across tenants, FIFO within a tenant, bounded-bypass aging for
+multi-socket requests, and deadline expiry.  Everything here runs in
+the caller's virtual clock domain — no real time anywhere.
+"""
+
+import pytest
+
+from repro.errors import SocketLockError
+from repro.oskern.locks import FairWaitQueue, SocketLockTable
+from repro.oskern.proc import SimProcessTable
+
+
+def drain(queue, busy=frozenset(), now=0.0):
+    granted = []
+    while True:
+        waiter = queue.grant_next(set(busy), now)
+        if waiter is None:
+            return granted
+        granted.append(waiter)
+
+
+class TestPickOrder:
+    def test_fifo_within_one_tenant(self):
+        q = FairWaitQueue()
+        a = q.enqueue((0,), tenant="t")
+        b = q.enqueue((0,), tenant="t")
+        c = q.enqueue((1,), tenant="t")
+        assert drain(q) == [a, b, c]
+
+    def test_least_served_tenant_wins(self):
+        q = FairWaitQueue()
+        q.charge("heavy", 10.0)
+        first = q.enqueue((0,), tenant="heavy")
+        second = q.enqueue((1,), tenant="light")
+        # light has consumed nothing — it overtakes the earlier arrival
+        assert drain(q) == [second, first]
+
+    def test_charges_accumulate(self):
+        q = FairWaitQueue()
+        q.charge("t", 1.5)
+        q.charge("t", 0.5)
+        assert q.service("t") == 2.0
+        assert q.service("other") == 0.0
+
+    def test_busy_sockets_are_skipped(self):
+        q = FairWaitQueue()
+        blocked = q.enqueue((0,), tenant="a")
+        runnable = q.enqueue((1,), tenant="a")
+        assert q.grant_next({0}) is runnable
+        assert q.grant_next({0}) is None
+        assert q.waiting() == [blocked]
+
+    def test_multi_socket_grant_is_atomic(self):
+        q = FairWaitQueue()
+        wide = q.enqueue((0, 1), tenant="a")
+        assert q.grant_next({1}) is None      # half-free is not enough
+        assert q.grant_next(set()) is wide
+
+
+class TestAging:
+    def test_aged_waiter_reserves_its_sockets(self):
+        q = FairWaitQueue(age_limit=1.0)
+        wide = q.enqueue((0, 1), tenant="a", now=0.0)
+        young = q.enqueue((1,), tenant="a", now=2.0)
+        # Socket 0 busy: wide is not grantable, but it has aged past
+        # the limit, so it reserves socket 1 — young cannot overtake.
+        assert q.grant_next({0}, now=2.0) is None
+        assert len(q) == 2
+        # Once socket 0 frees, the aged request goes first.
+        assert q.grant_next(set(), now=2.0) is wide
+        assert q.grant_next(set(), now=2.0) is young
+
+    def test_young_waiter_overtakes_without_aging(self):
+        q = FairWaitQueue(age_limit=None)
+        q.enqueue((0, 1), tenant="a", now=0.0)
+        young = q.enqueue((1,), tenant="a", now=2.0)
+        # No age limit: work conservation lets the young one through.
+        assert q.grant_next({0}, now=2.0) is young
+
+
+class TestExpiry:
+    def test_deadline_fires(self):
+        q = FairWaitQueue()
+        doomed = q.enqueue((0,), tenant="a", now=0.0, deadline=1.0)
+        patient = q.enqueue((0,), tenant="a", now=0.0)
+        assert q.expire(now=0.5) == []
+        assert q.expire(now=1.5) == [doomed]
+        assert q.waiting() == [patient]
+
+    def test_expired_waiter_is_not_granted(self):
+        q = FairWaitQueue()
+        q.enqueue((0,), tenant="a", now=0.0, deadline=1.0)
+        q.expire(now=2.0)
+        assert q.grant_next(set(), now=2.0) is None
+
+    def test_cancel(self):
+        q = FairWaitQueue()
+        w = q.enqueue((0,), tenant="a")
+        assert q.cancel(w)
+        assert not q.cancel(w)          # already gone
+        assert len(q) == 0
+
+
+class TestWaitableAcquisition:
+    def make_table(self):
+        procs = SimProcessTable()
+        return SocketLockTable(procs), procs
+
+    def test_free_lock_is_taken_immediately(self):
+        locks, procs = self.make_table()
+        pid = procs.spawn()
+        q = FairWaitQueue()
+        assert locks.acquire_waitable(0, 0, pid, 1, queue=q) is None
+        assert locks.holder(0).owner_pid == pid
+        assert len(q) == 0
+
+    def test_held_lock_enqueues_instead_of_raising(self):
+        locks, procs = self.make_table()
+        owner, waiter_pid = procs.spawn(), procs.spawn()
+        locks.acquire(0, 0, owner, 1)
+        q = FairWaitQueue()
+        ticket = locks.acquire_waitable(0, 2, waiter_pid, 2, queue=q,
+                                        tenant="t", now=3.0,
+                                        deadline=2.0, payload="p")
+        assert ticket is not None
+        assert ticket.sockets == (0,)
+        assert ticket.tenant == "t"
+        assert ticket.enqueued_at == 3.0
+        assert ticket.payload == "p"
+        assert locks.holder(0).owner_pid == owner
+        # The plain API still raises on the same state.
+        with pytest.raises(SocketLockError):
+            locks.acquire(0, 2, waiter_pid, 2)
+
+    def test_stale_lock_is_reclaimed_not_queued(self):
+        locks, procs = self.make_table()
+        owner = procs.spawn()
+        locks.acquire(0, 0, owner, 1)
+        procs.kill(owner)
+        q = FairWaitQueue()
+        claimant = procs.spawn()
+        assert locks.acquire_waitable(0, 0, claimant, 2, queue=q) is None
+        assert locks.holder(0).owner_pid == claimant
