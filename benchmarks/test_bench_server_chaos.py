@@ -1,0 +1,104 @@
+"""Benchmark: chaos hardening must not tax the happy path (ISSUE 10).
+
+Two medians recorded into ``BENCH_baseline.json`` and gated by
+``tools/bench_gate.py`` (>25% regression fails CI):
+
+``test_server_chaotic_load_with_kill``
+    The headline robustness scenario priced end to end: a load-test
+    mix under full network chaos plus one mid-run server kill + WAL
+    recovery.  Tracks the cost of the whole fault-handling machinery
+    (retry loops, dedup window, journaling, replay).
+
+``test_retry_wrapper_overhead_below_5pct``
+    With chaos *disabled*, the retry/idempotency wrapper around one
+    protocol round trip must price within 5% of a bare attempt — the
+    resilient client may not slow down the fleet that never faults.
+"""
+
+import asyncio
+import contextlib
+import gc
+import time
+
+from repro.agent.fleet import NodeSpec
+from repro.server.client import ServerClient, _CallClock
+from repro.server.loadtest import LoadTestConfig, run_load_test
+from repro.server.protocol import ProtocolServer
+from repro.server.server import ReproServer
+
+CHAOS = ("refuse=0.05,drop_request=0.05,drop_reply=0.05,"
+         "torn_reply=0.05,duplicate=0.1")
+
+
+@contextlib.contextmanager
+def no_gc():
+    """Collector pauses would land disproportionately on one side of
+    the differential; time both sides with the collector off."""
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+async def timed_pair(fa, fb, repeats, rounds=5):
+    """Best-of per-call times for two coroutine factories with
+    *interleaved* rounds, so a slow window of the host machine hits
+    both sides instead of biasing the differential."""
+    best_a = best_b = float("inf")
+    with no_gc():
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for _ in range(repeats):
+                await fa()
+            best_a = min(best_a, time.perf_counter() - start)
+            start = time.perf_counter()
+            for _ in range(repeats):
+                await fb()
+            best_b = min(best_b, time.perf_counter() - start)
+    return best_a / repeats, best_b / repeats
+
+
+def test_server_chaotic_load_with_kill(benchmark):
+    config = LoadTestConfig(
+        sessions=300, clients=30, nodes=4, tenants=2, seed=42,
+        chaos=CHAOS, kill_after=100)
+
+    report = benchmark.pedantic(lambda: run_load_test(config),
+                                rounds=3, iterations=1)
+    assert report.accounting_errors() == []
+    assert report.server_restarts == 1
+    assert report.retries > 0
+    assert report.chaos
+
+
+def test_retry_wrapper_overhead_below_5pct(benchmark):
+    async def compare():
+        server = ReproServer.from_specs(
+            [NodeSpec(name="node000", arch="westmere_ep", seed=0)],
+            lease_limit=10.0)
+        proto = ProtocolServer(server)
+        host, port = await proto.start()
+        client = ServerClient(host, port)       # default RetryPolicy
+        await client.connect()
+        doc = {"op": "ping"}
+        try:
+            per_wrapped, per_bare = await timed_pair(
+                lambda: client.call(dict(doc)),
+                lambda: client._attempt(dict(doc), _CallClock(None)),
+                repeats=400)
+        finally:
+            await client.close()
+            await proto.close()
+        return per_wrapped, per_bare
+
+    per_wrapped, per_bare = benchmark.pedantic(
+        lambda: asyncio.run(compare()), iterations=1, rounds=1)
+    added = max(0.0, per_wrapped - per_bare)
+    assert added <= 0.05 * per_bare, (
+        f"retry wrapper adds {added / per_bare * 100:.1f}% (>5%) to a "
+        f"chaos-free round trip ({per_bare * 1e6:.1f}us bare, "
+        f"{per_wrapped * 1e6:.1f}us wrapped)")

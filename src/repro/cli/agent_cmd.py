@@ -74,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also ship every batch to a running "
                              "likwid-server for central aggregation "
                              "(single-node mode)")
+    parser.add_argument("--server-spill", dest="server_spill",
+                        type=int, default=64, metavar="N",
+                        help="batches the server sink's spill ring "
+                             "holds while its circuit breaker is open; "
+                             "oldest beyond N become counted drops "
+                             "(default: %(default)s)")
     parser.add_argument("--fleet", type=int, default=None, metavar="N",
                         help="simulate an N-node mixed-architecture "
                              "fleet feeding one aggregation pipeline "
@@ -235,14 +241,34 @@ def _run_single(args: argparse.Namespace) -> int:
     sinks, handles = _open_sinks(args)
     sinks.append(AggregatorSink(aggregator))
     client = None
+    server_sink = None
     if args.server:
+        from repro.cli.common import ignore_sigpipe
         from repro.server.client import SyncServerClient, parse_endpoint
         from repro.server.ingest import ServerIngestSink
+
+        # A server that dies mid-batch must trip the sink's breaker,
+        # not SIGPIPE the agent to death.
+        ignore_sigpipe()
         host, port = parse_endpoint(args.server)
         client = SyncServerClient(host, port)
-        client.connect()
-        sinks.append(ServerIngestSink(client,
-                                      max_batch=args.sink_capacity))
+        try:
+            server_sink = ServerIngestSink(
+                client, max_batch=args.sink_capacity,
+                spill_capacity=args.server_spill)
+        except ValueError as exc:
+            print(f"{TOOL}: bad --server-spill: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            client.connect()
+        except (ConnectionError, OSError) as exc:
+            # Not fatal: the sink's circuit breaker owns the outage —
+            # batches spill (bounded, counted) and drains retry.
+            print(f"{TOOL}: warning: server {args.server} unreachable "
+                  f"({exc}); batches will spill behind the breaker",
+                  file=sys.stderr)
+        sinks.append(server_sink)
     workload = SyntheticLoad(machine, cpus, seed=args.seed,
                              overrun_rate=args.overrun_rate)
     agent = MonitorAgent(machine, backend, config, sinks=tuple(sinks),
@@ -263,14 +289,35 @@ def _run_single(args: argparse.Namespace) -> int:
                "samples": report.samples, "batches": report.batches,
                "lanes": [lane.as_dict() for lane in report.lanes],
                "rollup": rollup}
+        if server_sink is not None:
+            doc["server_sink"] = {
+                "offered": server_sink.offered,
+                "shipped": server_sink.shipped,
+                "refused": server_sink.refused,
+                "dropped": server_sink.dropped,
+                "pending": server_sink.pending,
+                "breaker_open": server_sink.breaker_open,
+                "breaker_trips": server_sink.breaker_trips,
+                "retries": client.retries,
+            }
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         print(f"Monitored {len(cpus)} cpu(s) on {args.arch}: "
               f"{report.windows} window(s), {report.samples} sample(s)")
         _print_lanes(report.lanes)
+        if server_sink is not None:
+            print(f"server sink: offered={server_sink.offered} "
+                  f"shipped={server_sink.shipped} "
+                  f"refused={server_sink.refused} "
+                  f"dropped={server_sink.dropped} "
+                  f"breaker_trips={server_sink.breaker_trips} "
+                  f"retries={client.retries}")
         _print_rollup(rollup)
     if args.verify:
-        return _verify(report.inconsistencies())
+        problems = report.inconsistencies()
+        if server_sink is not None:
+            problems = problems + server_sink.inconsistencies()
+        return _verify(problems)
     return EXIT_OK
 
 

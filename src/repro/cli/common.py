@@ -313,3 +313,16 @@ def restore_sigpipe() -> None:
         signal.signal(signal.SIGPIPE, signal.SIG_DFL)
     except (AttributeError, ValueError):
         pass  # non-Unix platform or non-main thread
+
+
+def ignore_sigpipe() -> None:
+    """The opposite stance, for commands that host sockets: a peer
+    that disappears mid-write must surface as ``BrokenPipeError`` on
+    that one connection, never kill the whole process.  (Python's
+    startup default, but :func:`restore_sigpipe` may have run first
+    in this process.)"""
+    import signal
+    try:
+        signal.signal(signal.SIGPIPE, signal.SIG_IGN)
+    except (AttributeError, ValueError):
+        pass  # non-Unix platform or non-main thread

@@ -6,14 +6,20 @@ Three subcommands::
     likwid-server submit --server 127.0.0.1:7710 --node node000 \\
                   -c 0,1 -g FLOPS_DP --windows 2
     likwid-server load-test --sessions 1000 --clients 200 --nodes 8 \\
-                  --tenants 4 --msr-faults read_fault_rate=0.1 --verify
+                  --tenants 4 --msr-faults read_fault_rate=0.1 \\
+                  --chaos refuse=0.05,drop_reply=0.05,duplicate=0.1 \\
+                  --kill-server-after 300 --verify
 
 ``serve`` hosts a fleet of simulated nodes behind the JSON-lines TCP
 protocol; ``submit`` runs one measurement session against a live
 server and prints its terminal document; ``load-test`` boots the
 whole stack in-process and drives it with hundreds of concurrent
 clients, reporting throughput, queue-wait percentiles, fairness and
-exact terminal-state accounting (see docs/likwid-server.md).
+exact terminal-state accounting (see docs/likwid-server.md) — while
+optionally injecting seeded network chaos (``--chaos``, syntax in
+docs/robustness.md) and a mid-run server SIGKILL + WAL recovery
+(``--kill-server-after``).  ``serve --wal PATH`` makes a long-running
+server crash-safe the same way.
 
 Exit codes:
 
@@ -70,6 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0,
                        help="base seed for per-node fault derivation "
                             "(default: %(default)s)")
+    serve.add_argument("--wal", metavar="PATH", default=None,
+                       help="write-ahead log path; admitted sessions "
+                            "survive a server crash and are recovered "
+                            "(fenced/requeued) on the next start")
     add_arch_argument(serve)
     add_msr_faults_argument(serve)
     add_profile_arguments(serve)
@@ -134,6 +144,16 @@ def build_parser() -> argparse.ArgumentParser:
                       default=1.0,
                       help="preemption threshold, virtual seconds "
                            "(default: %(default)s)")
+    load.add_argument("--chaos", metavar="SPEC", default=None,
+                      help="seeded network fault plan armed per client "
+                           "(e.g. refuse=0.05,drop_reply=0.05,"
+                           "duplicate=0.1); seeded from --seed unless "
+                           "SPEC carries its own seed=")
+    load.add_argument("--kill-server-after", dest="kill_server_after",
+                      type=int, default=None, metavar="N",
+                      help="SIGKILL the in-process server once N "
+                           "sessions reached a terminal state, then "
+                           "recover it from its WAL on the same port")
     load.add_argument("--verify", action="store_true",
                       help="reconcile exact terminal-state accounting "
                            "and replay completed sessions standalone "
@@ -181,21 +201,39 @@ def _run(args: argparse.Namespace) -> int:
 def _run_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.cli.common import ignore_sigpipe
     from repro.server.loadtest import LoadTestConfig, node_specs
-    from repro.server.protocol import ProtocolServer
+    from repro.server.protocol import ProtocolServer, recover_protocol
     from repro.server.server import ReproServer
+    from repro.server.wal import ServerWal
+
+    ignore_sigpipe()    # a vanished client must not kill the server
 
     faults_from_args(args, TOOL)    # validate the spec up front
     config = LoadTestConfig(nodes=args.nodes, arch=args.arch,
                             seed=args.seed, faults=args.msr_faults,
                             lease_limit=args.lease_limit)
     specs = node_specs(config)
-    server = ReproServer.from_specs(specs,
-                                    lease_limit=args.lease_limit,
-                                    max_queue=args.max_queue)
+    wal = ServerWal(args.wal) if args.wal else None
 
     async def serve() -> None:
-        proto = ProtocolServer(server)
+        replay = wal.replay() if wal is not None else None
+        if replay is not None and not replay.empty:
+            # A prior incarnation died with admitted work in the log:
+            # fence/requeue it before accepting new connections.
+            proto = await recover_protocol(
+                specs, wal, lease_limit=args.lease_limit,
+                max_queue=args.max_queue)
+            print(f"{TOOL}: recovered prior incarnation from "
+                  f"{args.wal}: {len(replay.terminals)} terminal, "
+                  f"{len(replay.fenced)} fenced, "
+                  f"{len(replay.requeue_admitted) + len(replay.requeue_intended)}"
+                  f" requeued", file=sys.stderr)
+        else:
+            server = ReproServer.from_specs(
+                specs, lease_limit=args.lease_limit,
+                max_queue=args.max_queue, wal=wal)
+            proto = ProtocolServer(server)
         host, port = await proto.start(args.host, args.port)
         print(f"{TOOL}: serving {len(specs)} {args.arch} node(s) on "
               f"{host}:{port} ({', '.join(s.name for s in specs)})",
@@ -256,12 +294,36 @@ def _print_report(report) -> None:
               f"max={qw['max']:.4g}")
     print(f"fairness (max/min tenant service): "
           f"{doc['fairness_max_over_min']:.2f}")
+    injected = doc.get("chaos_injected") or {}
+    if doc.get("retries") or doc.get("dedup_hits") \
+            or doc.get("server_restarts") or injected:
+        print(f"robustness: retries={doc.get('retries', 0)} "
+              f"dedup_hits={doc.get('dedup_hits', 0)} "
+              f"server_restarts={doc.get('server_restarts', 0)}")
+    if injected:
+        print("chaos injected: " + " ".join(
+            f"{kind}={n}" for kind, n in sorted(injected.items())))
 
 
 def _run_load_test(args: argparse.Namespace) -> int:
+    from repro.cli.common import ignore_sigpipe
     from repro.server.loadtest import LoadTestConfig, run_load_test
 
+    # Chaos aborts connections mid-write on purpose; the resulting
+    # EPIPE must land on the socket, not as a process-fatal signal.
+    ignore_sigpipe()
     faults_from_args(args, TOOL)    # validate the spec up front
+    if args.chaos:
+        from repro.server.chaos import ChaosPlan
+        try:
+            ChaosPlan.from_string(args.chaos)
+        except ValueError as exc:
+            print(f"{TOOL}: bad --chaos: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    if args.kill_server_after is not None and args.kill_server_after < 1:
+        print(f"{TOOL}: --kill-server-after needs at least one "
+              f"terminal session", file=sys.stderr)
+        return EXIT_USAGE
     try:
         config = LoadTestConfig(
             sessions=args.sessions, clients=args.clients,
@@ -269,7 +331,8 @@ def _run_load_test(args: argparse.Namespace) -> int:
             arch=args.arch, window=args.window,
             deadline_fraction=args.deadline_fraction,
             long_fraction=args.long_fraction,
-            lease_limit=args.lease_limit, faults=args.msr_faults)
+            lease_limit=args.lease_limit, faults=args.msr_faults,
+            chaos=args.chaos, kill_after=args.kill_server_after)
     except ReproError as exc:
         print(f"{TOOL}: {exc}", file=sys.stderr)
         return EXIT_USAGE

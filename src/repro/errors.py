@@ -110,7 +110,34 @@ class SocketLockError(MsrError):
 
 class ServerError(ReproError):
     """Concurrent-session server failure: protocol violation, unknown
-    node/session, or a submission the scheduler cannot admit."""
+    node/session, or a submission the scheduler cannot admit.
+
+    Every instance carries a stable machine-readable ``code`` and a
+    ``retryable`` flag so clients can decide *mechanically* whether
+    repeating the request can help — "transient overload" retries,
+    "node unknown" never does — instead of string-matching the
+    human-readable message.  Error replies on the wire carry both
+    fields verbatim (docs/likwid-server.md lists the catalog).
+    """
+
+    def __init__(self, message: str, *, code: str = "server-error",
+                 retryable: bool = False):
+        super().__init__(message)
+        self.code = code
+        self.retryable = retryable
+
+
+class ChaosError(ServerError):
+    """An injected network fault from a :class:`~repro.server.chaos
+    .ChaosPlan` (connection refused, torn line, lost reply...).
+
+    Always retryable: chaos models transient network weather, and the
+    client retry layer must absorb it exactly like the perfctr retry
+    loop absorbs transient EAGAIN from the msr driver."""
+
+    def __init__(self, message: str, *, kind: str):
+        super().__init__(message, code=f"chaos-{kind}", retryable=True)
+        self.kind = kind
 
 
 class TopologyError(ReproError):

@@ -7,25 +7,96 @@ Two clients over the same JSON-lines protocol:
 * :class:`SyncServerClient` — a blocking socket client for
   synchronous callers: ``likwid-server submit`` and the agent's
   :class:`~repro.server.ingest.ServerIngestSink`.
+
+Both are **retrying** clients: every call runs under a shared
+:class:`~repro.server.retry.RetryPolicy` (seeded-jitter exponential
+backoff keyed by the client id), reconnects automatically after any
+transport failure, and honours a per-call wall-clock ``deadline``.
+``submit``/``wait``/``cancel``/``ingest`` carry idempotency keys
+(``client`` + monotonically increasing ``seq``, stamped once per
+logical operation and stable across its retries), so a retry after a
+lost reply lands on the server's dedup window instead of re-executing
+— the invariant the chaos tests hammer.
+
+A :class:`~repro.server.chaos.ChaosPlan` can be armed on either
+client; faults are injected at the stream/socket seam (see the chaos
+module docstring) and surface as retryable
+:class:`~repro.errors.ChaosError`, which the retry loop absorbs
+exactly like genuine network weather.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import os
+import random
 import socket
+import time
 
-from repro.errors import ServerError
-from repro.server.protocol import request_to_dict
-from repro.server.scheduler import SessionRequest
+from repro import trace as _trace
+from repro.errors import ChaosError, ServerError
+from repro.server import chaos as _chaos
+from repro.server.chaos import ChaosPlan
+from repro.server.retry import RetryPolicy, retryable
+from repro.server.scheduler import SessionRequest, request_to_dict
+
+_CLIENT_IDS = itertools.count(1)
+
+
+def _default_client_id() -> str:
+    return f"client-{os.getpid()}-{next(_CLIENT_IDS)}"
+
+
+def _reply_error(reply: dict) -> ServerError:
+    return ServerError(reply.get("error", "server error"),
+                       code=reply.get("code", "server-error"),
+                       retryable=bool(reply.get("retryable", False)))
+
+
+class _CallClock:
+    """Per-call deadline bookkeeping (wall clock, not virtual)."""
+
+    def __init__(self, deadline: float | None):
+        self.deadline = deadline
+        self.start = time.monotonic()
+
+    def remaining(self) -> float | None:
+        if self.deadline is None:
+            return None
+        left = self.deadline - (time.monotonic() - self.start)
+        if left <= 0.0:
+            raise ServerError(
+                f"call deadline of {self.deadline}s exceeded",
+                code="deadline-exceeded")
+        return left
 
 
 class ServerClient:
-    """Async JSON-lines client (one outstanding request at a time)."""
+    """Async JSON-lines client (one outstanding request at a time).
 
-    def __init__(self, host: str, port: int):
+    ``retry=None`` (or :data:`~repro.server.retry.NO_RETRY`) restores
+    PR 9's fail-fast behaviour; ``deadline`` is the default per-call
+    wall-clock budget (None = wait forever, the load-harness default
+    since terminal waits are legitimately long)."""
+
+    def __init__(self, host: str, port: int, *,
+                 client_id: str | None = None,
+                 retry: RetryPolicy | None = None,
+                 deadline: float | None = None,
+                 chaos: ChaosPlan | None = None):
         self.host = host
         self.port = port
+        self.client_id = client_id if client_id is not None \
+            else _default_client_id()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.deadline = deadline
+        self.chaos = chaos.arm(self.client_id) \
+            if chaos is not None and chaos.active else None
+        self.retries = 0
+        self._rng = random.Random(f"retry:{self.client_id}")
+        self._seq = 0
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._lock = asyncio.Lock()
@@ -38,66 +109,206 @@ class ServerClient:
         await self.close()
 
     async def connect(self) -> None:
+        if self.chaos is not None and self.chaos.refuse_connect():
+            raise ChaosError("connection refused (injected)",
+                             kind="refused")
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port)
 
     async def close(self) -> None:
-        if self._writer is not None:
-            self._writer.close()
-            self._writer = None
-            self._reader = None
+        """Flush and close the connection.  Waits for the transport
+        to actually close — dropping the writer reference without
+        ``wait_closed`` loses buffered data and leaks the transport
+        until GC."""
+        writer, self._writer, self._reader = self._writer, None, None
+        if writer is not None:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
-    async def call(self, doc: dict) -> dict:
+    def _abort(self) -> None:
+        """Sever the connection without ceremony (chaos and retry
+        paths; the next attempt reconnects)."""
+        writer, self._writer, self._reader = self._writer, None, None
+        if writer is not None:
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+
+    # -- the retrying call loop ------------------------------------------------
+
+    async def call(self, doc: dict, *,
+                   deadline: float | None = None) -> dict:
         """One request/response round trip (serialized per client —
-        the protocol matches replies to requests by order)."""
-        if self._writer is None:
-            raise ServerError("client is not connected")
+        the protocol matches replies to requests by order), retried
+        under the client's policy.  Returns the reply object; error
+        replies the server marked retryable are retried in here, so a
+        returned error reply is always terminal."""
+        clock = _CallClock(deadline if deadline is not None
+                           else self.deadline)
+        attempt = 0
         async with self._lock:
-            self._writer.write(json.dumps(doc).encode() + b"\n")
-            await self._writer.drain()
+            while True:
+                try:
+                    return await self._attempt(doc, clock)
+                except Exception as exc:
+                    if isinstance(exc, ServerError) \
+                            and exc.code == "deadline-exceeded":
+                        raise
+                    if not retryable(exc):
+                        raise
+                    attempt += 1
+                    self.retries += 1
+                    _trace.incr("server.retries")
+                    self._abort()
+                    if attempt >= self.retry.max_attempts:
+                        raise ServerError(
+                            f"retries exhausted after {attempt} "
+                            f"attempt(s): {exc}",
+                            code="retries-exhausted") from exc
+                    clock.remaining()
+                    await asyncio.sleep(
+                        self.retry.delay(attempt - 1, self._rng))
+
+    async def _attempt(self, doc: dict, clock: _CallClock) -> dict:
+        if self._writer is None:
+            remaining = clock.remaining()
+            if remaining is None:
+                await self.connect()
+            else:
+                await asyncio.wait_for(self.connect(), remaining)
+        data = json.dumps(doc).encode() + b"\n"
+        ch = self.chaos
+        fate = _chaos.DELIVER
+        if ch is not None:
+            pause = ch.delay()
+            if pause:
+                await asyncio.sleep(pause)
+            fate = ch.request_fate()
+            if fate == _chaos.TORN_REQUEST:
+                self._writer.write(ch.tear(data))
+                await self._writer.drain()
+                self._abort()
+                raise ChaosError("connection lost mid-request "
+                                 "(injected)", kind="torn-request")
+            if fate == _chaos.DUPLICATE:
+                data = data + data
+        self._writer.write(data)
+        await self._writer.drain()
+        if ch is not None:
+            reply_fate = ch.reply_fate()
+            if reply_fate == _chaos.DROP_REPLY:
+                self._abort()
+                raise ChaosError("connection lost before reply "
+                                 "(injected)", kind="dropped-reply")
+            if reply_fate == _chaos.TORN_REPLY:
+                await self._readline(clock)   # keep stream cadence
+                self._abort()
+                raise ChaosError("reply line torn mid-JSON "
+                                 "(injected)", kind="torn-reply")
+        line = await self._readline(clock)
+        if fate == _chaos.DUPLICATE:
+            # The duplicate delivery produced a second reply (or a
+            # dedup replay); it must leave the stream before the next
+            # request keeps order.
+            await self._readline(clock)
+        try:
+            reply = json.loads(line)
+        except ValueError:
+            raise ServerError("torn reply: response line is not JSON",
+                              code="torn-reply", retryable=True) \
+                from None
+        if not reply.get("ok") and reply.get("retryable"):
+            raise _reply_error(reply)
+        return reply
+
+    async def _readline(self, clock: _CallClock) -> bytes:
+        remaining = clock.remaining()
+        if remaining is None:
             line = await self._reader.readline()
+        else:
+            line = await asyncio.wait_for(self._reader.readline(),
+                                          remaining)
         if not line:
-            raise ServerError("server closed the connection")
-        return json.loads(line)
+            raise ServerError("server closed the connection",
+                              code="connection-lost", retryable=True)
+        return line
 
-    async def ping(self) -> dict:
-        return self._checked(await self.call({"op": "ping"}))
+    # -- verbs -----------------------------------------------------------------
 
-    async def status(self) -> dict:
-        return self._checked(await self.call({"op": "status"}))
+    def _stamp(self, doc: dict) -> dict:
+        """Attach the idempotency key: stamped once per logical
+        operation, stable across every retry of it."""
+        self._seq += 1
+        doc["client"] = self.client_id
+        doc["seq"] = self._seq
+        return doc
+
+    async def ping(self, *, deadline: float | None = None) -> dict:
+        return self._checked(await self.call({"op": "ping"},
+                                             deadline=deadline))
+
+    async def status(self, *, deadline: float | None = None) -> dict:
+        return self._checked(await self.call({"op": "status"},
+                                             deadline=deadline))
 
     async def submit(self, request: SessionRequest, *,
-                     wait: bool = True) -> dict:
+                     wait: bool = True,
+                     deadline: float | None = None) -> dict:
         """Submit one session; with ``wait`` (default) blocks until
         the terminal state and returns the full session document."""
         doc = request_to_dict(request)
         doc["op"] = "submit"
         doc["wait"] = wait
-        return self._checked(await self.call(doc))
+        return self._checked(await self.call(self._stamp(doc),
+                                             deadline=deadline))
 
-    async def wait(self, node: str, session_id: int) -> dict:
+    async def wait(self, node: str, session_id: int, *,
+                   deadline: float | None = None) -> dict:
         return self._checked(await self.call(
-            {"op": "wait", "node": node, "session": session_id}))
+            {"op": "wait", "node": node, "session": session_id},
+            deadline=deadline))
 
-    async def cancel(self, node: str, session_id: int) -> dict:
-        return self._checked(await self.call(
-            {"op": "cancel", "node": node, "session": session_id}))
+    async def cancel(self, node: str, session_id: int, *,
+                     deadline: float | None = None) -> dict:
+        return self._checked(await self.call(self._stamp(
+            {"op": "cancel", "node": node, "session": session_id}),
+            deadline=deadline))
 
     @staticmethod
     def _checked(reply: dict) -> dict:
         if not reply.get("ok"):
-            raise ServerError(reply.get("error", "server error"))
+            raise _reply_error(reply)
         return reply
 
 
 class SyncServerClient:
-    """Blocking socket client for synchronous call sites."""
+    """Blocking socket client for synchronous call sites — same
+    retry/deadline/idempotency/chaos contract as the async client.
+
+    ``timeout`` caps a single socket operation; ``deadline`` caps a
+    whole logical call across all its retries."""
 
     def __init__(self, host: str, port: int, *,
-                 timeout: float | None = 30.0):
+                 timeout: float | None = 30.0,
+                 client_id: str | None = None,
+                 retry: RetryPolicy | None = None,
+                 deadline: float | None = None,
+                 chaos: ChaosPlan | None = None):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.client_id = client_id if client_id is not None \
+            else _default_client_id()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.deadline = deadline
+        self.chaos = chaos.arm(self.client_id) \
+            if chaos is not None and chaos.active else None
+        self.retries = 0
+        self._rng = random.Random(f"retry:{self.client_id}")
+        self._seq = 0
         self._sock: socket.socket | None = None
         self._file = None
 
@@ -109,47 +320,159 @@ class SyncServerClient:
         self.close()
 
     def connect(self) -> None:
+        if self.chaos is not None and self.chaos.refuse_connect():
+            raise ChaosError("connection refused (injected)",
+                             kind="refused")
         self._sock = socket.create_connection(
             (self.host, self.port), timeout=self.timeout)
         self._file = self._sock.makefile("rwb")
 
     def close(self) -> None:
-        if self._sock is not None:
-            self._file.close()
-            self._sock.close()
-            self._sock = None
-            self._file = None
+        """Close file and socket; exception-safe — a failing buffered
+        flush in ``_file.close()`` must never leak the socket."""
+        sock, self._sock = self._sock, None
+        file, self._file = self._file, None
+        if sock is None:
+            return
+        try:
+            if file is not None:
+                file.close()
+        except (OSError, ValueError):
+            pass
+        finally:
+            sock.close()
 
-    def call(self, doc: dict) -> dict:
+    # -- the retrying call loop ------------------------------------------------
+
+    def call(self, doc: dict, *,
+             deadline: float | None = None) -> dict:
+        clock = _CallClock(deadline if deadline is not None
+                           else self.deadline)
+        attempt = 0
+        while True:
+            try:
+                return self._attempt(doc, clock)
+            except Exception as exc:
+                if isinstance(exc, ServerError) \
+                        and exc.code == "deadline-exceeded":
+                    raise
+                if not retryable(exc):
+                    raise
+                attempt += 1
+                self.retries += 1
+                _trace.incr("server.retries")
+                self.close()
+                if attempt >= self.retry.max_attempts:
+                    raise ServerError(
+                        f"retries exhausted after {attempt} "
+                        f"attempt(s): {exc}",
+                        code="retries-exhausted") from exc
+                clock.remaining()
+                time.sleep(self.retry.delay(attempt - 1, self._rng))
+
+    def _attempt(self, doc: dict, clock: _CallClock) -> dict:
         if self._sock is None:
-            raise ServerError("client is not connected")
-        self._file.write(json.dumps(doc).encode() + b"\n")
+            clock.remaining()
+            self.connect()
+        data = json.dumps(doc).encode() + b"\n"
+        ch = self.chaos
+        fate = _chaos.DELIVER
+        if ch is not None:
+            pause = ch.delay()
+            if pause:
+                time.sleep(pause)
+            fate = ch.request_fate()
+            if fate == _chaos.TORN_REQUEST:
+                self._file.write(ch.tear(data))
+                self._file.flush()
+                self.close()
+                raise ChaosError("connection lost mid-request "
+                                 "(injected)", kind="torn-request")
+            if fate == _chaos.DUPLICATE:
+                data = data + data
+        self._file.write(data)
         self._file.flush()
-        line = self._file.readline()
+        if ch is not None:
+            reply_fate = ch.reply_fate()
+            if reply_fate == _chaos.DROP_REPLY:
+                self.close()
+                raise ChaosError("connection lost before reply "
+                                 "(injected)", kind="dropped-reply")
+            if reply_fate == _chaos.TORN_REPLY:
+                self._readline(clock)
+                self.close()
+                raise ChaosError("reply line torn mid-JSON "
+                                 "(injected)", kind="torn-reply")
+        line = self._readline(clock)
+        if fate == _chaos.DUPLICATE:
+            self._readline(clock)
+        try:
+            reply = json.loads(line)
+        except ValueError:
+            raise ServerError("torn reply: response line is not JSON",
+                              code="torn-reply", retryable=True) \
+                from None
+        if not reply.get("ok") and reply.get("retryable"):
+            raise _reply_error(reply)
+        return reply
+
+    def _readline(self, clock: _CallClock) -> bytes:
+        remaining = clock.remaining()
+        if remaining is not None:
+            self._sock.settimeout(min(remaining, self.timeout)
+                                  if self.timeout is not None
+                                  else remaining)
+        try:
+            line = self._file.readline()
+        except socket.timeout:
+            raise TimeoutError("timed out waiting for reply") from None
         if not line:
-            raise ServerError("server closed the connection")
-        return json.loads(line)
+            raise ServerError("server closed the connection",
+                              code="connection-lost", retryable=True)
+        return line
 
-    def ping(self) -> dict:
-        return ServerClient._checked(self.call({"op": "ping"}))
+    # -- verbs -----------------------------------------------------------------
 
-    def status(self) -> dict:
-        return ServerClient._checked(self.call({"op": "status"}))
+    def _stamp(self, doc: dict) -> dict:
+        self._seq += 1
+        doc["client"] = self.client_id
+        doc["seq"] = self._seq
+        return doc
 
-    def submit(self, request: SessionRequest, *,
-               wait: bool = True) -> dict:
+    def next_seq(self) -> int:
+        """Allocate an idempotency sequence number for a caller that
+        stamps its own requests (the ingest sink's spill ring stamps
+        each batch once so a drained retry still deduplicates)."""
+        self._seq += 1
+        return self._seq
+
+    def ping(self, *, deadline: float | None = None) -> dict:
+        return ServerClient._checked(self.call({"op": "ping"},
+                                               deadline=deadline))
+
+    def status(self, *, deadline: float | None = None) -> dict:
+        return ServerClient._checked(self.call({"op": "status"},
+                                               deadline=deadline))
+
+    def submit(self, request: SessionRequest, *, wait: bool = True,
+               deadline: float | None = None) -> dict:
         doc = request_to_dict(request)
         doc["op"] = "submit"
         doc["wait"] = wait
-        return ServerClient._checked(self.call(doc))
+        return ServerClient._checked(self.call(self._stamp(doc),
+                                               deadline=deadline))
 
-    def wait(self, node: str, session_id: int) -> dict:
+    def wait(self, node: str, session_id: int, *,
+             deadline: float | None = None) -> dict:
         return ServerClient._checked(self.call(
-            {"op": "wait", "node": node, "session": session_id}))
+            {"op": "wait", "node": node, "session": session_id},
+            deadline=deadline))
 
-    def cancel(self, node: str, session_id: int) -> dict:
-        return ServerClient._checked(self.call(
-            {"op": "cancel", "node": node, "session": session_id}))
+    def cancel(self, node: str, session_id: int, *,
+               deadline: float | None = None) -> dict:
+        return ServerClient._checked(self.call(self._stamp(
+            {"op": "cancel", "node": node, "session": session_id}),
+            deadline=deadline))
 
 
 def parse_endpoint(text: str) -> tuple[str, int]:
@@ -157,8 +480,9 @@ def parse_endpoint(text: str) -> tuple[str, int]:
     host, sep, port = text.rpartition(":")
     if not sep or not host:
         raise ServerError(f"bad server endpoint {text!r} "
-                          f"(expected HOST:PORT)")
+                          f"(expected HOST:PORT)", code="bad-request")
     try:
         return host, int(port)
     except ValueError:
-        raise ServerError(f"bad server port in {text!r}") from None
+        raise ServerError(f"bad server port in {text!r}",
+                          code="bad-request") from None

@@ -28,12 +28,21 @@ from repro.agent.fleet import NodeSpec
 from repro.core.perfctr.groups import groups_for
 from repro.errors import ServerError
 from repro.hw.arch import create_machine
+from repro.server.chaos import ChaosPlan
 from repro.server.client import ServerClient
-from repro.server.protocol import ProtocolServer
+from repro.server.protocol import ProtocolServer, recover_protocol
+from repro.server.retry import RetryPolicy
 from repro.server.scheduler import SessionRequest
 from repro.server.server import ReproServer
+from repro.server.wal import ServerWal
 from repro.server.workload import (result_from_dict, results_identical,
                                    run_standalone)
+
+#: Client retry policy sized for the crash-restart gap: the server is
+#: unreachable while recovery replays the WAL, and every refused
+#: connect burns one attempt, so the budget must outlast the gap.
+LOADTEST_RETRIES = RetryPolicy(max_attempts=12, backoff_base=0.001,
+                               backoff_cap=0.5)
 
 #: Candidate groups, all within single-set counter capacity on every
 #: supported architecture (no multiplexing → no schedule-dependent
@@ -61,6 +70,9 @@ class LoadTestConfig:
     lease_limit: float = 1.0       # scheduler preemption threshold
     max_queue: int = 1024          # admission bound per node
     faults: str | None = None      # FaultPlan syntax, per node
+    chaos: str | None = None       # ChaosPlan syntax, armed per client
+    kill_after: int | None = None  # SIGKILL+restart the server after
+    #                                this many terminal sessions
 
     def __post_init__(self):
         if self.sessions < 1 or self.clients < 1 or self.nodes < 1 \
@@ -134,6 +146,10 @@ class LoadTestReport:
     tenant_service: dict = field(default_factory=dict)
     sessions: list = field(default_factory=list)   # terminal docs
     archs: dict = field(default_factory=dict)      # node -> arch
+    retries: int = 0               # client retry attempts, all causes
+    dedup_hits: int = 0            # idempotent replays served
+    server_restarts: int = 0       # mid-run SIGKILL + recovery cycles
+    chaos: dict = field(default_factory=dict)      # injected fault counts
 
     @property
     def throughput(self) -> float:
@@ -164,6 +180,17 @@ class LoadTestReport:
         if len(self.sessions) != self.submitted:
             out.append(f"client saw {len(self.sessions)} terminal "
                        f"documents != {self.submitted} submitted")
+        admitted = self.counts.get("submitted", self.submitted)
+        if admitted != self.submitted:
+            out.append(f"server admitted {admitted} sessions != "
+                       f"{self.submitted} client submissions "
+                       f"(a retry was executed twice?)")
+        seen = [(doc.get("node"), doc.get("session"))
+                for doc in self.sessions]
+        if len(set(seen)) != len(seen):
+            dupes = len(seen) - len(set(seen))
+            out.append(f"{dupes} duplicate terminal document(s) for "
+                       f"the same session")
         return out
 
     def verify(self, *, sample: int | None = None) -> list[str]:
@@ -199,44 +226,88 @@ class LoadTestReport:
             "queue_wait": dict(self.queue_wait),
             "fairness_max_over_min": self.fairness,
             "tenant_service": dict(self.tenant_service),
+            "retries": self.retries,
+            "dedup_hits": self.dedup_hits,
+            "server_restarts": self.server_restarts,
+            "chaos_injected": dict(self.chaos),
         }
 
 
 async def _drive(config: LoadTestConfig) -> LoadTestReport:
     specs = node_specs(config)
+    chaos_spec = config.chaos
+    if chaos_spec and "seed=" not in chaos_spec:
+        chaos_spec = f"seed={config.seed},{chaos_spec}"
+    plan = ChaosPlan.from_string(chaos_spec) if chaos_spec else None
+    # The WAL is in-memory: the simulated SIGKILL kills the server
+    # object, not the interpreter, exactly like the PR 5 crash tests.
+    wal = ServerWal() if config.kill_after is not None else None
     server = ReproServer.from_specs(specs,
                                     lease_limit=config.lease_limit,
-                                    max_queue=config.max_queue)
-    proto = ProtocolServer(server)
-    host, port = await proto.start()
+                                    max_queue=config.max_queue,
+                                    wal=wal)
+    state = {"proto": ProtocolServer(server)}
+    host, port = await state["proto"].start()
     requests = generate_requests(config)
     work = list(reversed(requests))     # pop() preserves order
     report = LoadTestReport(config=config, submitted=len(requests),
                             archs={s.name: s.arch for s in specs})
+    clients: list[ServerClient] = []
 
-    async def client_worker() -> None:
-        async with ServerClient(host, port) as client:
+    async def client_worker(i: int) -> None:
+        client = ServerClient(host, port,
+                              client_id=f"load-{i:03d}",
+                              retry=LOADTEST_RETRIES, chaos=plan)
+        clients.append(client)
+        try:
             while work:
                 req = work.pop()
                 doc = await client.submit(req, wait=True)
                 report.sessions.append(doc)
+        finally:
+            await client.close()
 
+    async def killer() -> None:
+        """One mid-run SIGKILL + WAL recovery + rebind on the same
+        port; the clients ride it out through their retry policies."""
+        while len(report.sessions) < config.kill_after and work:
+            await asyncio.sleep(0.005)
+        old = state["proto"]
+        residues = await old.abort()
+        new_proto = await recover_protocol(
+            specs, wal, residues=residues,
+            lease_limit=config.lease_limit,
+            max_queue=config.max_queue)
+        new_proto.dedup_hits += old.dedup_hits   # carry the counter
+        await new_proto.start(host, port)
+        state["proto"] = new_proto
+        report.server_restarts += 1
+
+    tasks = [client_worker(i) for i in range(config.clients)]
+    if config.kill_after is not None:
+        tasks.append(killer())
     began = _time.perf_counter()
     try:
-        await asyncio.gather(*[client_worker()
-                               for _ in range(config.clients)])
+        await asyncio.gather(*tasks)
         report.elapsed = _time.perf_counter() - began
-        status = server.status()
+        proto = state["proto"]
+        status = proto.server.status()
         report.counts = status["total"]
         report.queue_wait = status["queue_wait"]
-        for sched in server.nodes.values():
+        report.dedup_hits = proto.dedup_hits
+        report.retries = sum(c.retries for c in clients)
+        for client in clients:
+            if client.chaos is not None:
+                for kind, n in client.chaos.injected.items():
+                    report.chaos[kind] = report.chaos.get(kind, 0) + n
+        for sched in proto.server.nodes.values():
             for t in range(config.tenants):
                 tenant = f"tenant{t}"
                 report.tenant_service[tenant] = \
                     report.tenant_service.get(tenant, 0.0) \
                     + sched.queue.service(tenant)
     finally:
-        await proto.close()
+        await state["proto"].close()
     return report
 
 

@@ -45,7 +45,7 @@ from repro.oskern.access import open_backend
 from repro.oskern.locks import FairWaitQueue, SocketLockTable
 from repro.oskern.msr_driver import FaultPlan
 from repro.oskern.proc import SimProcessTable
-from repro.oskern.recovery import RecoveryEngine
+from repro.oskern.recovery import RecoveryEngine, RecoveryReport
 from repro.trace.metrics import Histogram
 
 #: Backoff-free retries: the server absorbs injected transient faults
@@ -89,6 +89,36 @@ class SessionRequest:
     window: float = 0.1           # virtual seconds per window
     deadline: float | None = None  # max queue wait (virtual seconds)
     seed: int = 0                 # workload seed (bit-identity key)
+
+
+#: Protocol fields of a submit verb, mirroring SessionRequest.
+REQUEST_FIELDS = ("node", "cpus", "group", "tenant", "windows",
+                  "window", "deadline", "seed")
+
+
+def request_to_dict(req: SessionRequest) -> dict:
+    return {"node": req.node, "cpus": list(req.cpus),
+            "group": req.group, "tenant": req.tenant,
+            "windows": req.windows, "window": req.window,
+            "deadline": req.deadline, "seed": req.seed}
+
+
+def request_from_dict(doc: dict) -> SessionRequest:
+    try:
+        node = doc["node"]
+        cpus = tuple(int(c) for c in doc["cpus"])
+        group = doc["group"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServerError(f"bad submit request: {exc}",
+                          code="bad-request") from None
+    deadline = doc.get("deadline")
+    return SessionRequest(
+        node=node, cpus=cpus, group=group,
+        tenant=str(doc.get("tenant", "default")),
+        windows=int(doc.get("windows", 1)),
+        window=float(doc.get("window", 0.1)),
+        deadline=None if deadline is None else float(deadline),
+        seed=int(doc.get("seed", 0)))
 
 
 @dataclass
@@ -137,8 +167,14 @@ class ServerSession:
         return (end if end is not None else self._now) - self.grant_clock
 
     _now: float = 0.0              # scheduler-maintained clock mirror
+    #: Terminal document adopted verbatim from a pre-crash WAL record;
+    #: when set it IS this session's wire representation, so a
+    #: post-restart ``wait`` resolves bit-identically.
+    restored_doc: dict | None = None
 
     def as_dict(self) -> dict:
+        if self.restored_doc is not None:
+            return dict(self.restored_doc)
         doc = {
             "session": self.id,
             "node": self.request.node,
@@ -168,6 +204,23 @@ class ServerSession:
         return doc
 
 
+@dataclass
+class NodeResidue:
+    """What a server crash leaves behind on one node.
+
+    The *server process* dies; the simulated hardware does not.  The
+    machine's register files, the process table, the socket-lock
+    table and the orphaned (terminated) session drivers all survive —
+    exactly like real MSR state survives a likwid-perfctr SIGKILL —
+    and the next server incarnation must recover them before it runs
+    anything, or every post-restart measurement starts dirty."""
+
+    machine: object
+    procs: SimProcessTable
+    locks: SocketLockTable
+    orphans: list            # terminated drivers of mid-run sessions
+
+
 class NodeScheduler:
     """One node's lease scheduler and session executor.
 
@@ -175,21 +228,31 @@ class NodeScheduler:
     hold its sockets before preemption; ``max_queue`` bounds the wait
     queue (admission control — excess submissions are rejected, never
     silently dropped); ``age_limit`` is the wait-queue's bounded-
-    bypass threshold."""
+    bypass threshold.  ``residue`` rebuilds the scheduler on the
+    surviving hardware of a crashed incarnation (see
+    :class:`NodeResidue`); call :meth:`recover` before submitting."""
 
     def __init__(self, name: str, arch: str = "westmere_ep", *,
                  access_mode: str = "msr", faults: str | None = None,
                  lease_limit: float = 1.0, max_queue: int = 64,
                  age_limit: float | None = None,
                  queue_wait_hist: Histogram | None = None,
-                 on_terminal=None):
+                 on_terminal=None, on_grant=None,
+                 residue: NodeResidue | None = None):
         self.name = name
         self.arch = arch
         self.access_mode = access_mode
         self.faults_spec = faults
-        self.machine = create_machine(arch)
-        self.procs = SimProcessTable()
-        self.locks = SocketLockTable(self.procs)
+        if residue is not None:
+            self.machine = residue.machine
+            self.procs = residue.procs
+            self.locks = residue.locks
+            self._orphans = list(residue.orphans)
+        else:
+            self.machine = create_machine(arch)
+            self.procs = SimProcessTable()
+            self.locks = SocketLockTable(self.procs)
+            self._orphans = []
         self.lease_limit = lease_limit
         self.max_queue = max_queue
         self.queue = FairWaitQueue(
@@ -204,9 +267,73 @@ class NodeScheduler:
         self.queue_wait_hist = queue_wait_hist if queue_wait_hist \
             is not None else Histogram("server.queue_wait.s")
         self.on_terminal = on_terminal
+        self.on_grant = on_grant
         self._next_id = 0
         self._rr = 0                   # round-robin cursor over active
         self._provided = groups_for(self.machine.spec)
+
+    # -- crash / recovery ------------------------------------------------------
+
+    def crash(self) -> NodeResidue:
+        """Simulated server SIGKILL: every running session's process
+        dies mid-operation with no teardown (the PR 5 crash model),
+        and the node's hardware state is handed over as residue for
+        the next incarnation.  The scheduler object is dead after
+        this — queued sessions are *not* drained; the WAL knows about
+        them."""
+        orphans = []
+        for sess in list(self.active):
+            sess.driver.terminate()
+            orphans.append(sess.driver)
+        return NodeResidue(self.machine, self.procs, self.locks,
+                           orphans)
+
+    def recover(self) -> list[RecoveryReport]:
+        """Fence the residue's orphaned drivers: respawn each dead
+        process and replay its write-ahead journal backwards to
+        bit-identical pristine MSR state (reclaiming its stale socket
+        locks).  Must run before any new grant — requeued sessions'
+        bit-identity depends on starting from clean registers."""
+        reports = []
+        for driver in self._orphans:
+            driver.respawn()
+            reports.append(RecoveryEngine(driver).recover())
+        self._orphans.clear()
+        return reports
+
+    def adopt_terminal(self, doc: dict) -> ServerSession:
+        """Re-register a pre-crash terminal session from its WAL
+        document, counted in the accounting but *not* re-announced
+        through ``on_terminal`` (its terminal record is already in
+        the log)."""
+        sid = int(doc["session"])
+        state = SessionState(doc["state"])
+        sess = ServerSession(sid, request_from_dict(doc))
+        sess.state = state
+        sess.reason = doc.get("reason", "")
+        sess.windows_run = int(doc.get("windows_run", 0))
+        sess.restored_doc = doc
+        self.sessions[sid] = sess
+        self.submitted += 1
+        self.counts[state] += 1
+        self._next_id = max(self._next_id, sid)
+        return sess
+
+    def adopt_fenced(self, reqdoc: dict, session_id: int,
+                     *, reason: str) -> ServerSession:
+        """Terminate a session that was *running* when the server
+        died: its registers were recovered by :meth:`recover`, but
+        the measurement itself is unaccountable, so it ends PREEMPTED
+        (never silently re-run).  Goes through ``_finish`` so the new
+        incarnation's WAL and handles both see the terminal."""
+        self._next_id = max(self._next_id, session_id)
+        sess = ServerSession(session_id, request_from_dict(reqdoc),
+                             submit_clock=self.clock)
+        sess._now = self.clock
+        self.sessions[session_id] = sess
+        self.submitted += 1
+        self._finish(sess, SessionState.PREEMPTED, reason=reason)
+        return sess
 
     # -- admission -------------------------------------------------------------
 
@@ -231,10 +358,24 @@ class NodeScheduler:
             return "window duration must be positive"
         return None
 
-    def submit(self, req: SessionRequest) -> ServerSession:
-        """Admit a submission: reject, grant immediately, or queue."""
-        self._next_id += 1
-        sess = ServerSession(self._next_id, req, submit_clock=self.clock)
+    def submit(self, req: SessionRequest, *,
+               session_id: int | None = None) -> ServerSession:
+        """Admit a submission: reject, grant immediately, or queue.
+
+        ``session_id`` re-admits a pre-crash submission under its
+        original id (crash recovery's requeue path), so the handle a
+        client obtained before the restart still names the session;
+        fresh ids always allocate past every adopted one."""
+        if session_id is None:
+            self._next_id += 1
+            session_id = self._next_id
+        else:
+            if session_id in self.sessions:
+                raise ServerError(
+                    f"session {session_id} already exists on "
+                    f"{self.name}", code="bad-request")
+            self._next_id = max(self._next_id, session_id)
+        sess = ServerSession(session_id, req, submit_clock=self.clock)
         sess._now = self.clock
         self.sessions[sess.id] = sess
         self.submitted += 1
@@ -259,7 +400,8 @@ class NodeScheduler:
         replay to pristine).  Terminal sessions are left alone."""
         sess = self.sessions.get(session_id)
         if sess is None:
-            raise ServerError(f"unknown session {session_id}")
+            raise ServerError(f"unknown session {session_id}",
+                              code="unknown-session")
         if sess.state is SessionState.QUEUED:
             self.queue.cancel(sess.waiter)
             self._finish(sess, SessionState.CANCELLED,
@@ -379,6 +521,11 @@ class NodeScheduler:
         if _trace.TRACER.enabled:
             _trace.incr("server.sessions.granted")
             _trace.observe("server.queue_wait.s", sess.queue_wait)
+        if self.on_grant is not None:
+            # The grant is durable before any window runs: _grant is
+            # synchronous, so the WAL record and the lease commit
+            # atomically with respect to the simulated server crash.
+            self.on_grant(sess)
 
     def _run_window(self, sess: ServerSession) -> None:
         req = sess.request

@@ -21,8 +21,10 @@ import asyncio
 
 from repro.agent.fleet import NodeSpec
 from repro.errors import ServerError
-from repro.server.scheduler import (NodeScheduler, ServerSession,
-                                    SessionRequest, SessionState)
+from repro.server.scheduler import (NodeResidue, NodeScheduler,
+                                    ServerSession, SessionRequest,
+                                    SessionState)
+from repro.server.wal import ServerWal
 from repro.trace.metrics import Histogram
 
 
@@ -69,10 +71,12 @@ class ReproServer:
             session = await handle.wait()
     """
 
-    def __init__(self, schedulers: dict[str, NodeScheduler]):
+    def __init__(self, schedulers: dict[str, NodeScheduler], *,
+                 wal: ServerWal | None = None):
         if not schedulers:
             raise ServerError("server needs at least one node")
         self.nodes = dict(schedulers)
+        self.wal = wal
         self.queue_wait_hist = Histogram("server.queue_wait.s")
         self._handles: dict[tuple[str, int], SessionHandle] = {}
         self._wake: dict[str, asyncio.Event] = {}
@@ -81,28 +85,45 @@ class ReproServer:
         for name, sched in self.nodes.items():
             sched.queue_wait_hist = self.queue_wait_hist
             sched.on_terminal = self._on_terminal(name)
+            sched.on_grant = self._on_grant(name)
 
     @classmethod
     def from_specs(cls, specs: list[NodeSpec], *,
                    lease_limit: float = 1.0,
-                   max_queue: int = 64) -> "ReproServer":
+                   max_queue: int = 64,
+                   wal: ServerWal | None = None,
+                   residues: dict[str, NodeResidue] | None = None
+                   ) -> "ReproServer":
         """Build one scheduler per fleet :class:`NodeSpec` (the same
         node description the agent fleet uses, so a server-backed
-        fleet and a standalone fleet are configured identically)."""
+        fleet and a standalone fleet are configured identically).
+        ``residues`` rebuilds named nodes on the hardware a crashed
+        incarnation left behind (callers must then run each node's
+        ``recover()`` — :func:`repro.server.protocol.recover_protocol`
+        does all of it)."""
+        residues = residues or {}
         schedulers = {
             spec.name: NodeScheduler(
                 spec.name, spec.arch, access_mode=spec.access_mode,
                 faults=spec.faults, lease_limit=lease_limit,
-                max_queue=max_queue)
+                max_queue=max_queue, residue=residues.get(spec.name))
             for spec in specs}
-        return cls(schedulers)
+        return cls(schedulers, wal=wal)
 
     def _on_terminal(self, node: str):
         def resolve(session: ServerSession) -> None:
+            if self.wal is not None:
+                self.wal.record_terminal(node, session.as_dict())
             handle = self._handles.get((node, session.id))
             if handle is not None:
                 handle._resolve()
         return resolve
+
+    def _on_grant(self, node: str):
+        def record(session: ServerSession) -> None:
+            if self.wal is not None:
+                self.wal.record_grant(node, session.id)
+        return record
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -130,6 +151,21 @@ class ReproServer:
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks.clear()
+
+    async def crash(self) -> dict[str, NodeResidue]:
+        """Simulated SIGKILL of the whole server process: node tasks
+        are cancelled immediately (no draining — queued sessions are
+        simply abandoned to the WAL), every running session's
+        simulated process dies without teardown, and the per-node
+        hardware residue is returned for the next incarnation."""
+        for task in self._tasks:
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        self._wake.clear()
+        return {name: sched.crash()
+                for name, sched in self.nodes.items()}
 
     async def _node_loop(self, name: str) -> None:
         """One node's driver task: sleep until woken by a submission,
@@ -160,14 +196,25 @@ class ReproServer:
         except KeyError:
             raise ServerError(
                 f"unknown node {name!r} (serving: "
-                f"{', '.join(sorted(self.nodes))})") from None
+                f"{', '.join(sorted(self.nodes))})",
+                code="unknown-node") from None
 
-    async def submit(self, request: SessionRequest) -> SessionHandle:
+    async def submit(self, request: SessionRequest, *,
+                     session_id: int | None = None,
+                     intent: int | None = None) -> SessionHandle:
         """Admit one session request; returns immediately with a
         handle (the session may already be terminal — rejected — or
-        already running if its sockets were free)."""
+        already running if its sockets were free).  ``session_id``
+        re-admits a recovered pre-crash submission under its original
+        id.  ``intent`` ties the admission to a WAL intent record: the
+        ADMIT record is written here, in the same event-loop step that
+        creates the session, so a crash can never separate the two —
+        if it could, the replay would see the intent without the admit
+        and resubmit a session that already ran (double execution)."""
         sched = self.node(request.node)
-        session = sched.submit(request)
+        session = sched.submit(request, session_id=session_id)
+        if intent is not None and self.wal is not None:
+            self.wal.record_admit(intent, request.node, session.id)
         handle = SessionHandle(session)
         self._handles[(request.node, session.id)] = handle
         self._wake[request.node].set()

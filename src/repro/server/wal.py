@@ -1,0 +1,343 @@
+"""Session-intent write-ahead log for the server plane.
+
+PR 5's :class:`~repro.oskern.journal.MsrJournal` makes a *node's*
+register state crash-safe; this log makes the *server's* scheduling
+state crash-safe.  Before the server acts on a submission it appends
+an intent record; every later transition (admitted with a session id,
+lease granted, terminal document, ingest accepted) appends its own
+record.  After a SIGKILL the replay classifies every session the
+crashed incarnation knew about:
+
+* **terminal** — a TERMINAL record exists: adopt the document as-is
+  so a post-restart ``wait`` resolves identically.
+* **fenced** — GRANT but no TERMINAL: the session was *running* when
+  the server died.  Its simulated process is an orphan holding real
+  MSR state; recovery fences it (terminal state ``preempted``) after
+  the per-node :class:`~repro.oskern.recovery.RecoveryEngine` has
+  restored pristine registers.  It is *not* re-run: the server cannot
+  know how much of the measurement happened, and a silent re-run is
+  exactly the duplicate-execution failure this PR exists to prevent.
+* **requeue (admitted)** — ADMIT but no GRANT: the session sat in
+  the wait queue; it is resubmitted under its *original* session id
+  so client handles stay valid.
+* **requeue (intended)** — INTENT but no ADMIT: the crash hit the
+  narrow window before admission; resubmitted under a fresh id (no
+  client ever learned an id for it).
+
+Record integrity follows the journal's contract exactly: CRC32 per
+record, a bad record at the tail is a torn append and is truncated, a
+bad record with valid data after it raises
+:class:`~repro.errors.JournalCorruptError` (mis-restoring is worse
+than not restoring).  Records are variable length (JSON payloads)
+behind a fixed length prefix.  In-memory by default — the crash tests
+kill the simulated server, not the interpreter — and file-backed for
+``likwid-server serve --wal``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro import trace as _trace
+from repro.errors import JournalCorruptError, JournalError
+
+#: File header: magic + format version (little-endian u16) + padding.
+MAGIC = b"RWAL"
+FORMAT_VERSION = 1
+HEADER = MAGIC + struct.pack("<HH", FORMAT_VERSION, 0)
+
+#: Fixed record prefix: seq u32, kind u8, payload length u32.  The
+#: JSON payload follows, then CRC32 u32 over prefix + payload.
+_PREFIX = struct.Struct("<IBI")
+_CRC = struct.Struct("<I")
+MAX_PAYLOAD = 1 << 20
+
+K_INTENT = 1     # {"intent", "key", "req"} — about to submit
+K_ADMIT = 2      # {"intent", "node", "session"} — scheduler admitted
+K_GRANT = 3      # {"node", "session"} — lease granted, windows running
+K_TERMINAL = 4   # {"node", "doc"} — full terminal session document
+K_INGEST = 5     # {"key", "accepted"} — aggregator accepted a batch
+
+_KIND_NAMES = {K_INTENT: "intent", K_ADMIT: "admit", K_GRANT: "grant",
+               K_TERMINAL: "terminal", K_INGEST: "ingest"}
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One log entry: a kind tag plus its JSON document."""
+
+    seq: int
+    kind: int
+    doc: dict
+
+    @property
+    def kind_name(self) -> str:
+        return _KIND_NAMES.get(self.kind, f"kind{self.kind}")
+
+    def encode(self) -> bytes:
+        payload = json.dumps(self.doc, sort_keys=True,
+                             separators=(",", ":")).encode()
+        prefix = _PREFIX.pack(self.seq, self.kind, len(payload))
+        return prefix + payload + _CRC.pack(zlib.crc32(prefix + payload))
+
+
+def _decode_at(body: bytes, offset: int) -> tuple["WalRecord", int]:
+    """Decode the record at *offset*; raises :class:`JournalError` on
+    truncation or checksum failure (the caller decides torn vs
+    corrupt) and returns (record, next offset)."""
+    if offset + _PREFIX.size > len(body):
+        raise JournalError("short wal record prefix")
+    seq, kind, length = _PREFIX.unpack_from(body, offset)
+    if length > MAX_PAYLOAD:
+        raise JournalError(f"wal payload length {length} exceeds "
+                           f"{MAX_PAYLOAD}")
+    end = offset + _PREFIX.size + length + _CRC.size
+    if end > len(body):
+        raise JournalError("short wal record payload")
+    blob = body[offset:end - _CRC.size]
+    crc = _CRC.unpack_from(body, end - _CRC.size)[0]
+    if zlib.crc32(blob) != crc:
+        raise JournalError("wal record checksum mismatch")
+    try:
+        doc = json.loads(blob[_PREFIX.size:])
+    except ValueError:
+        raise JournalError("wal record payload is not JSON") from None
+    return WalRecord(seq, kind, doc), end
+
+
+@dataclass
+class WalScan:
+    """Result of validating a log image."""
+
+    records: list[WalRecord]
+    torn_bytes: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return not self.records
+
+
+@dataclass
+class WalReplay:
+    """The crash-recovery classification (see the module docstring).
+
+    ``dedup`` maps idempotency keys to their outcome so the protocol
+    layer can restore its dedup window: a retried ``submit`` arriving
+    after the restart still lands on the pre-crash session."""
+
+    terminals: list[tuple[str, int, dict]] = field(default_factory=list)
+    fenced: list[tuple[str, int, dict]] = field(default_factory=list)
+    requeue_admitted: list[tuple[str, int, dict, str | None]] = \
+        field(default_factory=list)
+    requeue_intended: list[tuple[dict, str | None]] = \
+        field(default_factory=list)
+    ingest: list[tuple[str | None, int]] = field(default_factory=list)
+    dedup: dict[str, tuple[str, int]] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.terminals or self.fenced
+                    or self.requeue_admitted or self.requeue_intended
+                    or self.ingest)
+
+
+class ServerWal:
+    """The append-only session-intent log itself."""
+
+    def __init__(self, path: str | os.PathLike | None = None):
+        self.path = os.fspath(path) if path is not None else None
+        self.buffer = bytearray()
+        self._seq = 0
+        self._intent = 0
+        if self.path is not None and os.path.exists(self.path):
+            with open(self.path, "rb") as fh:
+                self.buffer = bytearray(fh.read())
+        if self.buffer:
+            self._check_header()
+            scan = self.scan()
+            if scan.records:
+                self._seq = scan.records[-1].seq + 1
+                self._intent = max(
+                    (r.doc.get("intent", 0) for r in scan.records
+                     if r.kind in (K_INTENT, K_ADMIT)), default=0)
+
+    # -- low-level image handling ---------------------------------------------
+
+    def _check_header(self) -> None:
+        if len(self.buffer) < len(HEADER) or \
+                bytes(self.buffer[:len(MAGIC)]) != MAGIC:
+            raise JournalCorruptError(
+                f"not a server wal: bad magic in "
+                f"{self.path or '<memory>'!s}")
+        version = struct.unpack_from("<H", self.buffer, len(MAGIC))[0]
+        if version != FORMAT_VERSION:
+            raise JournalError(
+                f"server wal format v{version} not supported "
+                f"(this build writes v{FORMAT_VERSION})")
+
+    def _flush(self, data: bytes) -> None:
+        if self.path is None:
+            return
+        mode = "ab" if os.path.exists(self.path) else "wb"
+        with open(self.path, mode) as fh:
+            if mode == "wb":
+                fh.write(bytes(self.buffer[:-len(data)]))
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _append(self, kind: int, doc: dict) -> None:
+        if not self.buffer:
+            self.buffer += HEADER
+            self._flush(HEADER)
+        blob = WalRecord(self._seq, kind, doc).encode()
+        self.buffer += blob
+        self._flush(blob)
+        self._seq += 1
+        _trace.incr("server.wal.records")
+
+    # -- appends ---------------------------------------------------------------
+
+    def record_intent(self, key: str | None, req: dict) -> int:
+        """Log the intent to submit *req*; returns the intent id that
+        ties the later ADMIT record back to this request.  Intent ids
+        are unique across server incarnations (the constructor resumes
+        the counter past everything already in the log)."""
+        self._intent += 1
+        self._append(K_INTENT,
+                     {"intent": self._intent, "key": key, "req": req})
+        return self._intent
+
+    def record_admit(self, intent: int, node: str, session: int) -> None:
+        self._append(K_ADMIT,
+                     {"intent": intent, "node": node, "session": session})
+
+    def record_grant(self, node: str, session: int) -> None:
+        self._append(K_GRANT, {"node": node, "session": session})
+
+    def record_terminal(self, node: str, doc: dict) -> None:
+        self._append(K_TERMINAL, {"node": node, "doc": doc})
+
+    def record_ingest(self, key: str | None, accepted: int) -> None:
+        self._append(K_INGEST, {"key": key, "accepted": accepted})
+
+    # -- scanning and replay ---------------------------------------------------
+
+    def scan(self) -> WalScan:
+        """Validate the log image record by record; torn tail is
+        truncated, earlier damage raises
+        :class:`~repro.errors.JournalCorruptError`."""
+        if not self.buffer:
+            return WalScan([])
+        self._check_header()
+        body = bytes(self.buffer[len(HEADER):])
+        records: list[WalRecord] = []
+        offset = 0
+        while offset < len(body):
+            try:
+                record, end = _decode_at(body, offset)
+            except JournalError:
+                # Is there a *valid* record after the damage?  For
+                # variable-length records the only honest probe is to
+                # rescan from every later prefix-aligned offset; a
+                # torn tail never yields one, mid-log damage does.
+                for probe in range(offset + 1,
+                                   len(body) - _PREFIX.size - _CRC.size):
+                    try:
+                        _decode_at(body, probe)
+                    except JournalError:
+                        continue
+                    raise JournalCorruptError(
+                        f"server wal record at byte "
+                        f"{len(HEADER) + offset} is corrupt but later "
+                        f"records follow; history is unrecoverable") \
+                        from None
+                torn = len(body) - offset
+                del self.buffer[len(HEADER) + offset:]
+                self._rewrite()
+                _trace.incr("server.wal.torn_records_truncated")
+                return WalScan(records, torn_bytes=torn)
+            records.append(record)
+            offset = end
+        return WalScan(records)
+
+    def replay(self) -> WalReplay:
+        """Scan and classify (the recovery entry point)."""
+        scan = self.scan()
+        intents: dict[int, tuple[str | None, dict]] = {}
+        admits: dict[tuple[str, int], int] = {}
+        admitted_intents: set[int] = set()
+        grants: set[tuple[str, int]] = set()
+        terminals: dict[tuple[str, int], dict] = {}
+        order: list[tuple[str, int]] = []
+        replay = WalReplay()
+        for r in scan.records:
+            if r.kind == K_INTENT:
+                intents[r.doc["intent"]] = (r.doc.get("key"),
+                                            r.doc["req"])
+            elif r.kind == K_ADMIT:
+                sid = (r.doc["node"], r.doc["session"])
+                admits[sid] = r.doc["intent"]
+                admitted_intents.add(r.doc["intent"])
+                if sid not in terminals:
+                    order.append(sid)
+            elif r.kind == K_GRANT:
+                grants.add((r.doc["node"], r.doc["session"]))
+            elif r.kind == K_TERMINAL:
+                doc = r.doc["doc"]
+                terminals[(r.doc["node"], doc["session"])] = doc
+            elif r.kind == K_INGEST:
+                replay.ingest.append((r.doc.get("key"),
+                                      r.doc["accepted"]))
+        seen: set[tuple[str, int]] = set()
+        for sid in order:
+            if sid in seen:
+                continue
+            seen.add(sid)
+            node, session = sid
+            intent = admits[sid]
+            key, req = intents.get(intent, (None, None))
+            if sid in terminals:
+                replay.terminals.append((node, session, terminals[sid]))
+            elif sid in grants:
+                replay.fenced.append((node, session,
+                                      req if req is not None else {}))
+            else:
+                replay.requeue_admitted.append((node, session,
+                                                req if req is not None
+                                                else {}, key))
+            if key is not None:
+                replay.dedup[key] = sid
+        for sid, doc in terminals.items():
+            # A terminal adopted from a log that lost its ADMIT (e.g.
+            # multi-incarnation append order) still must be adopted.
+            if sid not in seen:
+                seen.add(sid)
+                replay.terminals.append((sid[0], sid[1], doc))
+        for intent, (key, req) in intents.items():
+            if intent not in admitted_intents:
+                replay.requeue_intended.append((req, key))
+        return replay
+
+    def clear(self) -> None:
+        """Retire the log (every session it covers is terminal)."""
+        self.buffer.clear()
+        self._seq = 0
+        self._intent = 0
+        if self.path is not None and os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def _rewrite(self) -> None:
+        if self.path is not None:
+            with open(self.path, "wb") as fh:
+                fh.write(bytes(self.buffer))
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    @property
+    def record_count(self) -> int:
+        return sum(1 for _ in self.scan().records) if self.buffer else 0

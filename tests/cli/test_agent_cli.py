@@ -97,3 +97,34 @@ class TestUsageErrors:
 
     def test_contradictory_journal_flags(self, capsys):
         assert main(["--recover", "--no-journal"]) == 2
+
+    def test_bad_server_spill(self, capsys):
+        assert main(["--server", "127.0.0.1:1",
+                     "--server-spill", "0"]) == 2
+        assert "bad --server-spill" in capsys.readouterr().err
+
+
+class TestServerSink:
+    def test_dead_server_spills_behind_the_breaker(self, capsys):
+        """A server that never answers must not fail the agent run:
+        the breaker opens, every batch becomes a counted drop, and
+        --verify still balances."""
+        import socket
+        # A bound-but-unlistened port: connects are refused fast.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main(["-c", "0", "-g", "FLOPS_DP", "--window", "0.02",
+                     "--rotations", "2", "--server",
+                     f"127.0.0.1:{port}", "--server-spill", "1",
+                     "--verify", "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "unreachable" in captured.err
+        doc = json.loads(captured.out)
+        sink = doc["server_sink"]
+        assert sink["breaker_open"] is True
+        assert sink["breaker_trips"] >= 1
+        assert sink["shipped"] == 0
+        assert sink["offered"] == sink["dropped"] + sink["pending"]

@@ -130,6 +130,39 @@ class TestLoadTest:
         code = main(["load-test", "--sessions", "0"])
         assert code == 2
 
+    def test_chaotic_run_verifies(self, capsys):
+        code = main(["load-test", "--sessions", "40",
+                     "--clients", "8", "--nodes", "2",
+                     "--chaos", "refuse=0.1,duplicate=0.2,"
+                     "drop_reply=0.1", "--verify"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "robustness:" in captured.out
+        assert "chaos injected:" in captured.out
+
+    def test_chaotic_kill_run_reports_restart(self, capsys):
+        code = main(["load-test", "--sessions", "60",
+                     "--clients", "10", "--nodes", "2",
+                     "--chaos", "drop_reply=0.1,duplicate=0.1",
+                     "--kill-server-after", "20", "--verify",
+                     "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["submitted"] == 60
+        assert doc["server_restarts"] == 1
+        assert doc["chaos_injected"]
+
+    def test_bad_chaos_spec_is_usage_error(self, capsys):
+        code = main(["load-test", "--sessions", "10",
+                     "--chaos", "explode=1.0"])
+        assert code == 2
+        assert "bad --chaos" in capsys.readouterr().err
+
+    def test_bad_kill_after_is_usage_error(self, capsys):
+        code = main(["load-test", "--sessions", "10",
+                     "--kill-server-after", "0"])
+        assert code == 2
+
 
 class TestAgentServerIngest:
     def test_agent_ships_batches_to_server(self, live_server, capsys):

@@ -1,0 +1,26 @@
+"""Process-level isolation between tests.
+
+The CLI front-ends legitimately flip the process SIGPIPE disposition:
+filter-style commands install ``SIG_DFL`` (``restore_sigpipe``, so
+``likwid-topology | head`` dies quietly) while socket-hosting ones
+install ``SIG_IGN`` (``ignore_sigpipe``, so a vanished peer surfaces
+as ``BrokenPipeError``).  Inside one pytest process that disposition
+would leak from a CLI test into every later socket test — a chaos
+test writing into an aborted connection would then kill the whole
+test run with a real SIGPIPE (observed: exit 141 at the first
+server-plane test after ``tests/cli``).  Restore the interpreter's
+startup default (ignored) after every test.
+"""
+
+import signal
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolate_sigpipe():
+    yield
+    try:
+        signal.signal(signal.SIGPIPE, signal.SIG_IGN)
+    except (AttributeError, ValueError):
+        pass  # non-Unix platform or non-main thread

@@ -1,0 +1,254 @@
+"""ServerIngestSink: circuit breaker, spill ring, exact accounting.
+
+The sink's contract is that ``emit`` never raises and the ledger
+``offered == shipped + refused + dropped + pending`` balances after
+every single operation — a dead server costs counted drops behind an
+open breaker, never an exception in the agent loop and never a
+silently lost sample.  The server is scripted here (no sockets): each
+test drives the breaker state machine directly.
+"""
+
+import pytest
+
+from repro.agent.batch import AgentSample, SampleBatch
+from repro.errors import ServerError
+from repro.server.ingest import (ServerIngestSink, batch_from_dict,
+                                 batch_to_dict)
+
+
+def _batch(window=0, samples=1, node="n0"):
+    sams = tuple(AgentSample(node, "MEM", window, 0.05, "cpu", i,
+                             "CPI", 1.0, seq=i)
+                 for i in range(samples))
+    return SampleBatch(node, "MEM", window, 0.05, 0.05, sams,
+                       seq=window)
+
+
+class ScriptedClient:
+    """A fake sync client: each entry in ``script`` is consumed per
+    call — an exception instance to raise, ``"ok"`` to accept, or a
+    literal reply dict.  An exhausted script keeps accepting."""
+
+    client_id = "agent-x"
+
+    def __init__(self, script=()):
+        self.script = list(script)
+        self.calls = []
+        self._seq = 0
+
+    def next_seq(self):
+        self._seq += 1
+        return self._seq
+
+    def call(self, doc):
+        self.calls.append(doc)
+        action = self.script.pop(0) if self.script else "ok"
+        if isinstance(action, Exception):
+            raise action
+        if action == "ok":
+            return {"ok": True,
+                    "accepted": len(doc["batch"]["samples"])}
+        return action
+
+
+def _balanced(sink):
+    assert sink.inconsistencies() == []
+
+
+class TestHappyPath:
+    def test_batches_ship_and_balance(self):
+        client = ScriptedClient()
+        sink = ServerIngestSink(client)
+        for w in range(3):
+            sink.emit(_batch(window=w, samples=4))
+            _balanced(sink)
+        assert sink.offered == 12
+        assert sink.shipped == 12
+        assert sink.pending == 0
+        assert not sink.breaker_open
+
+    def test_batches_are_stamped_once_on_entry(self):
+        """The idempotency key is assigned when the batch enters the
+        ring, so a drain retry re-sends the *same* key and the server
+        dedups instead of double-counting."""
+        client = ScriptedClient(script=[ConnectionError("down"), "ok"])
+        sink = ServerIngestSink(client)
+        sink.emit(_batch(window=0))          # fails, spills
+        assert sink.breaker_open
+        assert sink.drain()                  # retries the same doc
+        first, retry = client.calls
+        assert first is retry                # identical object, key and all
+        assert retry["client"] == "agent-x"
+        assert retry["seq"] == 1
+        _balanced(sink)
+
+    def test_keyless_client_still_works(self):
+        class Bare:
+            def call(self, doc):
+                assert "client" not in doc and "seq" not in doc
+                return {"ok": True,
+                        "accepted": len(doc["batch"]["samples"])}
+        sink = ServerIngestSink(Bare())
+        sink.emit(_batch(samples=2))
+        assert sink.shipped == 2
+        _balanced(sink)
+
+
+class TestBreaker:
+    def test_transport_failure_trips_and_never_raises(self):
+        client = ScriptedClient(script=[ConnectionError("down")])
+        sink = ServerIngestSink(client)
+        sink.emit(_batch(samples=3))         # must not raise
+        assert sink.breaker_open
+        assert sink.breaker_trips == 1
+        assert sink.pending == 3
+        assert "down" in sink.last_error
+        _balanced(sink)
+
+    def test_retries_exhausted_is_breaker_territory(self):
+        client = ScriptedClient(script=[
+            ServerError("gone", code="retries-exhausted")])
+        sink = ServerIngestSink(client)
+        sink.emit(_batch())
+        assert sink.breaker_open
+        _balanced(sink)
+
+    def test_open_breaker_probes_exponentially(self):
+        """While the server stays dead, probe spacing doubles up to
+        MAX_SKIP: a long outage costs ~log emits on the network, not
+        one timeout per window."""
+        dead = ScriptedClient(
+            script=[ConnectionError("down")] * 1000)
+        sink = ServerIngestSink(dead, spill_capacity=4)
+        for w in range(600):
+            sink.emit(_batch(window=w))
+            _balanced(sink)
+        probes = len(dead.calls)
+        # Probe emits: 1, 2, 4, 8, ... then every MAX_SKIP.
+        assert probes < 600 / 8
+        assert sink._skip_next == ServerIngestSink.MAX_SKIP
+        assert sink.breaker_trips == 1       # one outage, one trip
+
+    def test_breaker_closes_and_spacing_resets_on_recovery(self):
+        client = ScriptedClient(script=[ConnectionError("a"),
+                                        ConnectionError("b")])
+        sink = ServerIngestSink(client)
+        # emit 0 trips; emit 1 probes and trips again (spacing 2);
+        # emit 2 is skipped entirely — the dead server is not touched.
+        for w in range(3):
+            sink.emit(_batch(window=w))
+        assert sink.breaker_open
+        assert sink._skip_next > 1
+        assert sink.drain()                  # server is back
+        assert not sink.breaker_open
+        assert sink._skip_next == 1          # probe spacing reset
+        assert sink.pending == 0
+        assert sink.shipped == 3
+        _balanced(sink)
+
+    def test_second_outage_counts_a_second_trip(self):
+        client = ScriptedClient(script=[ConnectionError("one"), "ok",
+                                        ConnectionError("two")])
+        sink = ServerIngestSink(client)
+        sink.emit(_batch(window=0))
+        sink.drain()
+        assert not sink.breaker_open
+        sink.emit(_batch(window=1))
+        assert sink.breaker_trips == 2
+        _balanced(sink)
+
+
+class TestSpillRing:
+    def test_overflow_evicts_oldest_as_counted_drops(self):
+        dead = ScriptedClient(script=[ConnectionError("x")] * 100)
+        sink = ServerIngestSink(dead, spill_capacity=4)
+        for w in range(10):
+            sink.emit(_batch(window=w, samples=2))
+            _balanced(sink)
+        assert sink.pending == 8             # 4 batches x 2 samples
+        assert sink.dropped == 12            # the 6 evicted batches
+        assert sink.offered == 20
+
+    def test_drain_ships_survivors_in_window_order(self):
+        dead = ScriptedClient(script=[ConnectionError("x")] * 100)
+        sink = ServerIngestSink(dead, spill_capacity=3)
+        for w in range(8):
+            sink.emit(_batch(window=w))
+        alive = ScriptedClient()
+        sink.client = alive
+        assert sink.drain()
+        windows = [d["batch"]["window"] for d in alive.calls]
+        assert windows == [5, 6, 7]          # oldest evicted, order kept
+        assert sink.shipped == 3
+        _balanced(sink)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="spill capacity"):
+            ServerIngestSink(ScriptedClient(), spill_capacity=0)
+
+
+class TestRefusals:
+    def test_fatal_server_error_is_refused_not_tripped(self):
+        client = ScriptedClient(script=[
+            ServerError("bad ingest batch", code="bad-request"), "ok"])
+        sink = ServerIngestSink(client)
+        sink.emit(_batch(window=0, samples=2))
+        sink.emit(_batch(window=1, samples=2))
+        # The refused batch never blocks the ring behind it.
+        assert sink.refused == 2
+        assert sink.shipped == 2
+        assert not sink.breaker_open
+        assert sink.breaker_trips == 0
+        _balanced(sink)
+
+    def test_not_ok_reply_is_refused(self):
+        client = ScriptedClient(script=[
+            {"ok": False, "error": "unknown verb"}])
+        sink = ServerIngestSink(client)
+        sink.emit(_batch(samples=3))
+        assert sink.refused == 3
+        assert "unknown verb" in sink.last_error
+        _balanced(sink)
+
+
+class TestClose:
+    def test_close_drains_then_abandons_as_counted_drops(self):
+        dead = ScriptedClient(script=[ConnectionError("x")] * 100)
+        sink = ServerIngestSink(dead, spill_capacity=8)
+        for w in range(5):
+            sink.emit(_batch(window=w, samples=2))
+        assert sink.pending == 10
+        sink.close()
+        assert sink.pending == 0
+        assert sink.dropped == 10
+        _balanced(sink)
+
+    def test_close_ships_everything_when_server_is_back(self):
+        client = ScriptedClient(script=[ConnectionError("x")] * 2)
+        sink = ServerIngestSink(client)
+        for w in range(3):
+            sink.emit(_batch(window=w))
+        sink.close()                         # script exhausted: accepts
+        assert sink.shipped == 3
+        assert sink.dropped == 0
+        _balanced(sink)
+
+
+class TestWireRoundTrip:
+    def test_nan_values_survive_the_wire(self):
+        import math
+        sams = (AgentSample("n0", "MEM", 0, 0.05, "cpu", 0, "CPI",
+                            math.nan, seq=0),)
+        batch = SampleBatch("n0", "MEM", 0, 0.05, 0.05, sams)
+        doc = batch_to_dict(batch)
+        assert doc["samples"][0]["value"] == "nan"
+        back = batch_from_dict(doc)
+        assert math.isnan(back.samples[0].value)
+
+    def test_round_trip_is_exact(self):
+        batch = _batch(window=3, samples=4)
+        assert batch_from_dict(batch_to_dict(batch)) == batch
+
+    def test_bad_batch_raises_server_error(self):
+        with pytest.raises(ServerError, match="bad ingest batch"):
+            batch_from_dict({"node": "n0"})

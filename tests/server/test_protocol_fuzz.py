@@ -1,0 +1,182 @@
+"""Wire fuzzing: the connection survives whatever arrives on it.
+
+A real network peer can send anything — torn JSON, binary garbage,
+multi-megabyte lines, invalid UTF-8.  The contract: every bad request
+line earns a machine-readable error *reply* (``ok: false`` with a
+stable ``code``), the connection stays usable, and the server keeps
+serving everyone else.  The fuzz corpus is seeded, so a failure
+reproduces.
+"""
+
+import asyncio
+import json
+import random
+
+from repro.agent.fleet import NodeSpec
+from repro.server.protocol import ProtocolServer
+from repro.server.server import ReproServer
+
+
+def _specs():
+    return [NodeSpec(name="node000", arch="westmere_ep", seed=0)]
+
+
+def with_stack(coro_factory):
+    async def runner():
+        server = ReproServer.from_specs(_specs(), lease_limit=10.0)
+        proto = ProtocolServer(server)
+        host, port = await proto.start()
+        try:
+            return await coro_factory(proto, host, port)
+        finally:
+            await proto.close()
+    return asyncio.run(runner())
+
+
+async def _exchange(reader, writer, line: bytes) -> dict:
+    writer.write(line)
+    await writer.drain()
+    reply = await asyncio.wait_for(reader.readline(), 10.0)
+    assert reply.endswith(b"\n"), "reply must be a full line"
+    return json.loads(reply)
+
+
+PING = b'{"op": "ping"}\n'
+
+
+class TestGarbageLines:
+    def test_non_json_gets_error_reply_not_disconnect(self):
+        async def body(proto, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            for line in (b"hello there\n", b"{\n", b"[1, 2,\n",
+                         b'{"op": }\n', b"\n"):
+                reply = await _exchange(reader, writer, line)
+                assert reply["ok"] is False
+                assert reply["code"] == "bad-json"
+                assert reply["retryable"] is False
+            # Same connection still serves real requests.
+            reply = await _exchange(reader, writer, PING)
+            assert reply["ok"] is True
+            writer.close()
+            await writer.wait_closed()
+        with_stack(body)
+
+    def test_invalid_utf8_is_bad_json(self):
+        async def body(proto, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            reply = await _exchange(reader, writer,
+                                    b'\xff\xfe{"op": "ping"}\n')
+            assert reply["ok"] is False
+            assert reply["code"] == "bad-json"
+            assert (await _exchange(reader, writer, PING))["ok"]
+            writer.close()
+            await writer.wait_closed()
+        with_stack(body)
+
+    def test_wrong_shapes_get_stable_codes(self):
+        async def body(proto, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            cases = [
+                (b'{"op": "warp"}\n', "unknown-op"),
+                (b'{"op": "submit"}\n', "bad-request"),
+                (b'{"op": "submit", "node": "node000"}\n',
+                 "bad-request"),
+                (b'{"op": "submit", "node": "nope", "cpus": [0], '
+                 b'"group": "FLOPS_DP"}\n', "unknown-node"),
+                (b'{"op": "wait", "node": "node000", "session": 99}\n',
+                 "unknown-session"),
+                (b'{"op": "ingest", "batch": {"bad": 1}}\n',
+                 "server-error"),
+                # Valid JSON of the wrong shape parsed fine — the
+                # *request* is what's bad.
+                (b'[1, 2, 3]\n', "bad-request"),
+                (b'"just a string"\n', "bad-request"),
+            ]
+            for line, code in cases:
+                reply = await _exchange(reader, writer, line)
+                assert reply["ok"] is False
+                assert reply["code"] == code, line
+                assert reply["retryable"] is False
+            assert (await _exchange(reader, writer, PING))["ok"]
+            writer.close()
+            await writer.wait_closed()
+        with_stack(body)
+
+    def test_oversized_line_is_refused_and_survived(self):
+        async def body(proto, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            huge = b'{"op": "ping", "pad": "' + b"x" * (2 << 20) \
+                + b'"}\n'
+            reply = await _exchange(reader, writer, huge)
+            assert reply["ok"] is False
+            assert reply["code"] == "oversized-request"
+            # The oversized line was fully drained: the next request
+            # parses from a clean stream boundary.
+            assert (await _exchange(reader, writer, PING))["ok"]
+            writer.close()
+            await writer.wait_closed()
+        with_stack(body)
+
+    def test_truncated_line_then_disconnect_is_quiet(self):
+        async def body(proto, host, port):
+            for payload in (b'{"op": "sub', b"garbage-no-newline"):
+                reader, writer = await asyncio.open_connection(host,
+                                                               port)
+                writer.write(payload)
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            # The server shrugged both off and still answers.
+            reader, writer = await asyncio.open_connection(host, port)
+            assert (await _exchange(reader, writer, PING))["ok"]
+            writer.close()
+            await writer.wait_closed()
+        with_stack(body)
+
+
+class TestSeededFuzz:
+    def test_fuzz_corpus_never_kills_the_connection(self):
+        rng = random.Random(1234)
+        corpus = []
+        for _ in range(60):
+            kind = rng.randrange(4)
+            if kind == 0:           # random bytes
+                line = bytes(rng.randrange(1, 256)
+                             for _ in range(rng.randrange(1, 80)))
+            elif kind == 1:         # truncated valid JSON
+                full = json.dumps({"op": "submit", "node": "node000",
+                                   "cpus": [0], "group": "FLOPS_DP",
+                                   "seed": rng.randrange(99)}).encode()
+                line = full[:rng.randrange(1, len(full))]
+            elif kind == 2:         # valid JSON, wrong shape
+                line = json.dumps(
+                    rng.choice([[], 42, "x", {"op": None},
+                                {"op": "submit", "cpus": "zero"},
+                                {"nested": {"op": "ping"}}])).encode()
+            else:                   # valid JSON with hostile fields
+                line = json.dumps(
+                    {"op": rng.choice(["ping", "warp", "submit"]),
+                     "node": rng.choice(["node000", "ghost", ""]),
+                     "cpus": rng.choice([[0], [-1], [9999], "all"]),
+                     "group": rng.choice(["FLOPS_DP", "NOPE", ""]),
+                     "windows": rng.choice([1, 0, -5, 10 ** 9]),
+                     "seed": 1}).encode()
+            corpus.append(line.replace(b"\n", b" ") + b"\n")
+
+        async def body(proto, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            for line in corpus:
+                reply = await _exchange(reader, writer, line)
+                assert "ok" in reply
+                if not reply["ok"]:
+                    assert reply["code"]
+            assert (await _exchange(reader, writer, PING))["ok"]
+            status = await _exchange(
+                reader, writer, b'{"op": "status"}\n')
+            assert status["ok"]
+            # Nothing leaked into a half-executed state.
+            assert status["total"]["pending"] == 0 \
+                or status["total"]["pending"] <= 2
+            writer.close()
+            await writer.wait_closed()
+        with_stack(body)

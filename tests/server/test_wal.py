@@ -1,0 +1,222 @@
+"""ServerWal codec, damage handling and replay classification.
+
+The WAL follows the PR 5 journal contract: CRC32 per record, torn
+tail truncated, mid-log damage raises (mis-restoring is worse than
+not restoring) — applied to variable-length JSON records.
+"""
+
+import struct
+
+import pytest
+
+from repro.errors import JournalCorruptError, JournalError
+from repro.server.wal import (HEADER, K_ADMIT, K_GRANT, K_INGEST,
+                              K_INTENT, K_TERMINAL, MAGIC, ServerWal,
+                              WalRecord)
+
+REQ = {"node": "node000", "cpus": [0], "group": "FLOPS_DP",
+       "tenant": "default", "windows": 1, "window": 0.05,
+       "deadline": None, "seed": 0}
+
+
+def terminal_doc(session, state="completed"):
+    return dict(REQ, session=session, state=state)
+
+
+class TestCodec:
+    def test_record_round_trip(self):
+        wal = ServerWal()
+        intent = wal.record_intent("c:1", REQ)
+        wal.record_admit(intent, "node000", 1)
+        wal.record_grant("node000", 1)
+        wal.record_terminal("node000", terminal_doc(1))
+        wal.record_ingest("c:2", 16)
+        records = wal.scan().records
+        assert [r.kind for r in records] == [
+            K_INTENT, K_ADMIT, K_GRANT, K_TERMINAL, K_INGEST]
+        assert [r.seq for r in records] == [0, 1, 2, 3, 4]
+        assert records[0].doc == {"intent": 1, "key": "c:1",
+                                  "req": REQ}
+        assert records[4].doc == {"key": "c:2", "accepted": 16}
+        assert wal.record_count == 5
+
+    def test_kind_names(self):
+        assert WalRecord(0, K_GRANT, {}).kind_name == "grant"
+        assert WalRecord(0, 99, {}).kind_name == "kind99"
+
+    def test_empty_wal(self):
+        wal = ServerWal()
+        assert wal.scan().empty
+        assert wal.replay().empty
+        assert wal.record_count == 0
+
+    def test_intent_ids_are_unique_and_monotonic(self):
+        wal = ServerWal()
+        ids = [wal.record_intent(None, REQ) for _ in range(5)]
+        assert ids == [1, 2, 3, 4, 5]
+
+
+class TestFileBacked:
+    def test_reopen_resumes_seq_and_intent(self, tmp_path):
+        path = tmp_path / "server.wal"
+        wal = ServerWal(path)
+        intent = wal.record_intent("c:1", REQ)
+        wal.record_admit(intent, "node000", 1)
+
+        again = ServerWal(path)
+        assert again.record_count == 2
+        # New appends continue both counters past the old log.
+        assert again.record_intent("c:2", REQ) == intent + 1
+        assert again.scan().records[-1].seq == 2
+
+    def test_bad_magic_raises_corrupt(self, tmp_path):
+        path = tmp_path / "server.wal"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(JournalCorruptError, match="bad magic"):
+            ServerWal(path)
+
+    def test_future_format_version_refused(self, tmp_path):
+        path = tmp_path / "server.wal"
+        path.write_bytes(MAGIC + struct.pack("<HH", 99, 0))
+        with pytest.raises(JournalError, match="v99"):
+            ServerWal(path)
+
+    def test_clear_removes_the_file(self, tmp_path):
+        path = tmp_path / "server.wal"
+        wal = ServerWal(path)
+        wal.record_intent(None, REQ)
+        assert path.exists()
+        wal.clear()
+        assert not path.exists()
+        assert wal.record_count == 0
+
+
+class TestDamage:
+    def _populated(self):
+        wal = ServerWal()
+        intent = wal.record_intent("c:1", REQ)
+        wal.record_admit(intent, "node000", 1)
+        wal.record_grant("node000", 1)
+        return wal
+
+    def test_torn_tail_is_truncated(self):
+        wal = self._populated()
+        del wal.buffer[-7:]          # tear the last record mid-CRC
+        scan = wal.scan()
+        assert [r.kind for r in scan.records] == [K_INTENT, K_ADMIT]
+        assert scan.torn_bytes > 0
+        # The image was rewritten without the torn bytes: a second
+        # scan is clean.
+        assert wal.scan().torn_bytes == 0
+
+    def test_mid_log_corruption_raises(self):
+        wal = self._populated()
+        # Flip a payload byte of the *first* record: valid records
+        # follow, so this is damage, not a torn append.
+        wal.buffer[len(HEADER) + 8] ^= 0xFF
+        with pytest.raises(JournalCorruptError, match="corrupt"):
+            wal.scan()
+
+    def test_torn_tail_survives_reopen(self, tmp_path):
+        path = tmp_path / "server.wal"
+        wal = ServerWal(path)
+        intent = wal.record_intent("c:1", REQ)
+        wal.record_admit(intent, "node000", 1)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-5])
+        again = ServerWal(path)
+        assert again.record_count == 1
+        # Appends after the truncation keep the log scannable.
+        again.record_grant("node000", 1)
+        assert again.record_count == 2
+
+
+class TestReplay:
+    def test_intent_without_admit_requeues_fresh(self):
+        wal = ServerWal()
+        wal.record_intent("c:1", REQ)
+        replay = wal.replay()
+        assert replay.requeue_intended == [(REQ, "c:1")]
+        assert not replay.terminals and not replay.fenced \
+            and not replay.requeue_admitted
+        assert replay.dedup == {}
+
+    def test_admit_without_grant_requeues_preserved_id(self):
+        wal = ServerWal()
+        intent = wal.record_intent("c:1", REQ)
+        wal.record_admit(intent, "node000", 7)
+        replay = wal.replay()
+        assert replay.requeue_admitted == [("node000", 7, REQ, "c:1")]
+        assert replay.requeue_intended == []
+        assert replay.dedup == {"c:1": ("node000", 7)}
+
+    def test_grant_without_terminal_is_fenced(self):
+        wal = ServerWal()
+        intent = wal.record_intent("c:1", REQ)
+        wal.record_admit(intent, "node000", 7)
+        wal.record_grant("node000", 7)
+        replay = wal.replay()
+        assert replay.fenced == [("node000", 7, REQ)]
+        assert replay.requeue_admitted == []
+
+    def test_terminal_is_adopted(self):
+        wal = ServerWal()
+        intent = wal.record_intent("c:1", REQ)
+        wal.record_admit(intent, "node000", 7)
+        wal.record_grant("node000", 7)
+        doc = terminal_doc(7)
+        wal.record_terminal("node000", doc)
+        replay = wal.replay()
+        assert replay.terminals == [("node000", 7, doc)]
+        assert not replay.fenced
+        assert replay.dedup == {"c:1": ("node000", 7)}
+
+    def test_grant_before_admit_still_classifies(self):
+        # ADMIT is written atomically with session creation, which can
+        # happen *after* a synchronous immediate grant hit the log —
+        # replay must not depend on record order.
+        wal = ServerWal()
+        intent = wal.record_intent("c:1", REQ)
+        wal.record_grant("node000", 7)
+        wal.record_admit(intent, "node000", 7)
+        replay = wal.replay()
+        assert replay.fenced == [("node000", 7, REQ)]
+        assert replay.requeue_intended == []
+
+    def test_keyless_submissions_replay_without_dedup(self):
+        wal = ServerWal()
+        intent = wal.record_intent(None, REQ)
+        wal.record_admit(intent, "node000", 3)
+        replay = wal.replay()
+        assert replay.requeue_admitted == [("node000", 3, REQ, None)]
+        assert replay.dedup == {}
+
+    def test_ingest_records_replay_in_order(self):
+        wal = ServerWal()
+        wal.record_ingest("a:1", 8)
+        wal.record_ingest(None, 4)
+        assert wal.replay().ingest == [("a:1", 8), (None, 4)]
+
+    def test_mixed_log_classifies_every_session(self):
+        wal = ServerWal()
+        docs = {}
+        for sid, fate in enumerate(("terminal", "fenced", "admitted",
+                                    "intended"), start=1):
+            key = f"c:{sid}"
+            intent = wal.record_intent(key, dict(REQ, seed=sid))
+            if fate == "intended":
+                continue
+            wal.record_admit(intent, "node000", sid)
+            if fate == "admitted":
+                continue
+            wal.record_grant("node000", sid)
+            if fate == "terminal":
+                docs[sid] = terminal_doc(sid)
+                wal.record_terminal("node000", docs[sid])
+        replay = wal.replay()
+        assert replay.terminals == [("node000", 1, docs[1])]
+        assert replay.fenced == [("node000", 2, dict(REQ, seed=2))]
+        assert replay.requeue_admitted == [
+            ("node000", 3, dict(REQ, seed=3), "c:3")]
+        assert replay.requeue_intended == [(dict(REQ, seed=4), "c:4")]
+        assert set(replay.dedup) == {"c:1", "c:2", "c:3"}
